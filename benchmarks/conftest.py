@@ -1,0 +1,23 @@
+"""Shared fixtures for the experiment benchmarks (E1–E10).
+
+Each ``test_eN_*.py`` file regenerates one experiment from DESIGN.md §6.
+The paper itself has no tables or figures (it is a theory paper), so each
+experiment validates the corresponding theorem/lemma *and* measures the
+decision procedure that implements it; EXPERIMENTS.md records the outcomes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mappings import isomorphism_pair
+from repro.relational import find_isomorphism
+from repro.workloads import random_keyed_schema, shuffled_copy
+
+
+@pytest.fixture
+def genuine_pair():
+    """A verified dominance pair between shuffled isomorphic schemas."""
+    s1 = random_keyed_schema(11, ["A", "B"], n_relations=2, max_arity=3)
+    s2 = shuffled_copy(s1, seed=12)
+    return isomorphism_pair(find_isomorphism(s1, s2))

@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Run all claim-validation experiments and print their tables.
+
+``pytest benchmarks/ --benchmark-only`` measures timings; this script
+regenerates the *semantic* side of every experiment — the claim each
+theorem/lemma makes, validated on its workload — and prints one table per
+experiment.  EXPERIMENTS.md records a snapshot of this output together
+with the timing numbers.
+
+Run:  python benchmarks/run_experiments.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import (
+    check_all,
+    decide_equivalence,
+    theorem13_scan,
+    transferred_dependencies,
+)
+from repro.core.lemmas import check_lemma1, check_lemma2
+from repro.core.report import Table
+from repro.cq.evaluation import evaluate
+from repro.cq.homomorphism import is_contained_in
+from repro.cq.chase import chase_egds, egds_of_schema, satisfies_egds
+from repro.cq.parser import parse_query
+from repro.cq.saturation import saturate
+from repro.mappings import isomorphism_pair
+from repro.relational import find_isomorphism, random_instance
+from repro.transform import AttributeMigration
+from repro.workloads import (
+    cycle_query,
+    edge_schema,
+    enumerate_keyed_schemas,
+    integration_instance,
+    paper_migration_spec,
+    paper_schema_1,
+    random_identity_join_query,
+    random_keyed_schema,
+    shuffled_copy,
+    star_join_instance,
+    wide_keyed_schema,
+)
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def e1() -> None:
+    schemas = list(enumerate_keyed_schemas(["T"], max_relations=1, max_arity=2))
+    rows, elapsed = timed(lambda: theorem13_scan(schemas, max_atoms=2))
+    table = Table(
+        ["pairs scanned", "isomorphic pairs", "witnesses found", "inconsistent", "time (s)"],
+        title="E1  Theorem 13 finite shadow (1 relation, 1 type, arity ≤ 2, ≤ 2 atoms)",
+    )
+    table.add_row(
+        len(rows),
+        sum(r.isomorphic for r in rows),
+        sum(r.equivalence_found for r in rows),
+        sum(not r.consistent_with_theorem13 for r in rows),
+        f"{elapsed:.2f}",
+    )
+    print(table.render(), "\n")
+
+
+def e2() -> None:
+    schema = random_keyed_schema(5, ["A", "B"], n_relations=3, max_arity=3)
+    instances = [random_instance(schema, rows_per_relation=4, seed=s) for s in range(2)]
+    total, lemma1_ok, lemma2_ok = 0, 0, 0
+    for seed in range(32):
+        query = random_identity_join_query(schema, seed=seed, max_atoms=4)
+        total += 1
+        if check_lemma1(saturate(query), schema, instances).holds:
+            lemma1_ok += 1
+        if check_lemma2(query, schema, instances).holds:
+            lemma2_ok += 1
+    table = Table(
+        ["random ij-queries", "Lemma 1 holds", "Lemma 2 holds"],
+        title="E2  Lemmas 1-2 on random identity-join queries",
+    )
+    table.add_row(total, lemma1_ok, lemma2_ok)
+    print(table.render(), "\n")
+
+
+def e3_e4_e5() -> None:
+    table = Table(
+        ["pair", "lemma checks passed", "Theorem 6 FDs (hold/total)"],
+        title="E3/E4/E5  Lemma battery, FD transfer, κ construction on dominance pairs",
+    )
+    for seed in range(5):
+        s1 = random_keyed_schema(seed, ["A", "B"], n_relations=2, max_arity=3)
+        s2 = shuffled_copy(s1, seed=seed + 40)
+        alpha, beta = isomorphism_pair(find_isomorphism(s1, s2))
+        checks = check_all(alpha, beta)
+        transferred = transferred_dependencies(alpha, beta)
+        table.add_row(
+            f"seed {seed}",
+            f"{sum(c.holds for c in checks)}/{len(checks)}",
+            f"{sum(t.holds for t in transferred)}/{len(transferred)}",
+        )
+    print(table.render(), "\n")
+
+
+def e6() -> None:
+    schema = edge_schema()
+    loop = parse_query("Q(X) :- E(X, Y), X = Y.")
+    table = Table(
+        ["cycle length", "loop ⊆ cycle", "time (ms)"],
+        title="E6  containment scale: folding cycles onto a self-loop",
+    )
+    for n in (4, 8, 12, 16):
+        verdict, elapsed = timed(lambda: is_contained_in(loop, cycle_query(n), schema))
+        table.add_row(n, verdict, f"{elapsed * 1000:.1f}")
+    print(table.render(), "\n")
+
+
+def e7() -> None:
+    from repro.cq.canonical import null_value
+    from repro.relational import DatabaseInstance, Value, parse_schema
+
+    schema, _ = parse_schema("R(k*: K, a: A, b: B)")
+    egds = egds_of_schema(schema)
+    table = Table(
+        ["rows", "rows after chase", "rounds", "time (ms)"],
+        title="E7  chase scale: duplicate-key null merging",
+    )
+    for groups in (16, 64, 256):
+        rows = []
+        for g in range(groups):
+            for i in range(4):
+                rows.append(
+                    (
+                        Value("K", g),
+                        null_value("A", f"a{g}_{i}"),
+                        null_value("B", f"b{g}_{i}"),
+                    )
+                )
+        instance = DatabaseInstance.from_rows(schema, {"R": rows})
+        result, elapsed = timed(lambda: chase_egds(instance, egds))
+        assert satisfies_egds(result.instance, egds)
+        table.add_row(
+            len(rows),
+            result.instance.total_rows(),
+            result.egd_rounds,
+            f"{elapsed * 1000:.1f}",
+        )
+    print(table.render(), "\n")
+
+
+def e8() -> None:
+    table = Table(
+        ["relations", "equivalent", "time (ms)"],
+        title="E8  Theorem 13 decision scale (shuffled wide schemas)",
+    )
+    for n in (8, 32, 64, 128):
+        s1 = wide_keyed_schema(n, arity=4)
+        s2 = shuffled_copy(s1, seed=n)
+        decision, elapsed = timed(
+            lambda: decide_equivalence(s1, s2, build_certificate=False)
+        )
+        table.add_row(n, decision.equivalent, f"{elapsed * 1000:.1f}")
+    print(table.render(), "\n")
+
+
+def e9() -> None:
+    schema1, inclusions = paper_schema_1()
+    migration = AttributeMigration(schema1, inclusions, paper_migration_spec())
+    result = migration.apply()
+    audit, elapsed = timed(lambda: migration.audit(result))
+    d = integration_instance(seed=0, employees=64)
+    round_trip = result.beta.apply(result.alpha.apply(d)) == d
+    table = Table(
+        [
+            "β∘α=id (keys+INDs)",
+            "α∘β=id (keys+INDs)",
+            "equivalent keys-only",
+            "instance round-trips",
+            "audit time (s)",
+        ],
+        title="E9  §1 integration example (yearsExp migration)",
+    )
+    table.add_row(
+        audit.round_trip_old,
+        audit.round_trip_new,
+        audit.equivalent_without_inclusions,
+        round_trip,
+        f"{elapsed:.2f}",
+    )
+    print(table.render(), "\n")
+
+
+def e10() -> None:
+    query = parse_query(
+        "Q(F, P0, P1, P2) :- fact(F, D0, D1, D2), dim0(K0, P0), dim1(K1, P1), "
+        "dim2(K2, P2), D0 = K0, D1 = K1, D2 = K2."
+    )
+    table = Table(
+        ["fact rows", "answers", "time (ms)"],
+        title="E10  evaluation scale: 3-dimension star join (hash-join path)",
+    )
+    for fact_rows in (1_000, 10_000, 100_000):
+        _, instance = star_join_instance(fact_rows=fact_rows, dimensions=3)
+        result, elapsed = timed(lambda: evaluate(query, instance))
+        table.add_row(fact_rows, len(result), f"{elapsed * 1000:.1f}")
+    print(table.render(), "\n")
+
+
+def main() -> None:
+    e1()
+    e2()
+    e3_e4_e5()
+    e6()
+    e7()
+    e8()
+    e9()
+    e10()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+"""E10 — evaluation-engine scale + the hash-join vs naive ablation.
+
+Validated claim: the hash-join evaluator handles star joins over fact
+tables that grow to 10⁴–10⁵ tuples; the naive evaluator is only feasible
+on small instances (ablation, bounded sizes) and agrees with the hash-join
+path where it runs.
+"""
+
+import pytest
+
+from repro.cq.evaluation import evaluate, evaluate_naive
+from repro.cq.parser import parse_query
+from repro.workloads import random_graph_instance, star_join_instance
+
+STAR_QUERY = parse_query(
+    "Q(F, P0, P1, P2) :- fact(F, D0, D1, D2), dim0(K0, P0), dim1(K1, P1), "
+    "dim2(K2, P2), D0 = K0, D1 = K1, D2 = K2."
+)
+TRIANGLE = parse_query(
+    "Q(X) :- E(X, Y), E(Y2, Z), E(Z2, X2), Y = Y2, Z = Z2, X = X2."
+)
+
+
+@pytest.mark.benchmark(group="e10-evaluation")
+@pytest.mark.parametrize("fact_rows", [1_000, 10_000, 100_000])
+def test_e10_star_join_scaling(benchmark, fact_rows):
+    _, instance = star_join_instance(fact_rows=fact_rows, dimensions=3)
+
+    result = benchmark(lambda: evaluate(STAR_QUERY, instance))
+    assert len(result) == fact_rows
+
+
+@pytest.mark.benchmark(group="e10-evaluation-ablation")
+@pytest.mark.parametrize("fact_rows", [50, 200])
+def test_e10_ablation_naive(benchmark, fact_rows):
+    _, instance = star_join_instance(fact_rows=fact_rows, dimensions=2, dim_rows=8)
+    query = parse_query(
+        "Q(F, P0, P1) :- fact(F, D0, D1), dim0(K0, P0), dim1(K1, P1), "
+        "D0 = K0, D1 = K1."
+    )
+
+    result = benchmark(lambda: evaluate_naive(query, instance))
+    assert result.rows == evaluate(query, instance).rows
+
+
+@pytest.mark.benchmark(group="e10-evaluation-ablation")
+@pytest.mark.parametrize("fact_rows", [50, 200])
+def test_e10_ablation_hash_join_same_sizes(benchmark, fact_rows):
+    _, instance = star_join_instance(fact_rows=fact_rows, dimensions=2, dim_rows=8)
+    query = parse_query(
+        "Q(F, P0, P1) :- fact(F, D0, D1), dim0(K0, P0), dim1(K1, P1), "
+        "D0 = K0, D1 = K1."
+    )
+
+    result = benchmark(lambda: evaluate(query, instance))
+    assert len(result) == fact_rows
+
+
+@pytest.mark.benchmark(group="e10-evaluation")
+@pytest.mark.parametrize("edges", [500, 5_000])
+def test_e10_triangle_query(benchmark, edges):
+    instance = random_graph_instance(nodes=80, edges=edges, seed=1)
+
+    # Correctness cross-check against the naive evaluator on a small graph
+    # (the naive path is cubic in the edge count — only feasible tiny).
+    small = random_graph_instance(nodes=12, edges=30, seed=2)
+    assert evaluate(TRIANGLE, small).rows == evaluate_naive(TRIANGLE, small).rows
+
+    result = benchmark(lambda: evaluate(TRIANGLE, instance))
+    assert result.schema.arity == 1
+
+
+def dangling_heavy_instance(chain_rows: int, dangling: int):
+    """A short path plus many dangling edges that never extend to a chain."""
+    from repro.relational import DatabaseInstance, Value
+    from repro.workloads import edge_schema
+
+    rows = [(Value("Node", i), Value("Node", i + 1)) for i in range(chain_rows)]
+    rows += [
+        (Value("Node", 10_000 + i), Value("Node", 20_000 + i))
+        for i in range(dangling)
+    ]
+    return DatabaseInstance.from_rows(edge_schema(), {"E": rows})
+
+
+@pytest.mark.benchmark(group="e10-yannakakis-ablation")
+@pytest.mark.parametrize("dangling", [2_000, 20_000])
+def test_e10_ablation_yannakakis(benchmark, dangling):
+    from repro.cq.yannakakis import evaluate_acyclic
+    from repro.workloads import chain_query
+
+    instance = dangling_heavy_instance(chain_rows=64, dangling=dangling)
+    query = chain_query(4)
+
+    result = benchmark(lambda: evaluate_acyclic(query, instance))
+    assert len(result) == 61  # 64-edge path has 61 chains of length 4
+
+
+@pytest.mark.benchmark(group="e10-yannakakis-ablation")
+@pytest.mark.parametrize("dangling", [2_000, 20_000])
+def test_e10_ablation_standard_on_dangling(benchmark, dangling):
+    from repro.workloads import chain_query
+
+    instance = dangling_heavy_instance(chain_rows=64, dangling=dangling)
+    query = chain_query(4)
+
+    result = benchmark(lambda: evaluate(query, instance))
+    assert len(result) == 61
+
+
+def bowtie_instance(n: int):
+    """n edges into a hub, n edges out — chain(3) blows up mid-join and
+    then dies entirely (the textbook Yannakakis worst case)."""
+    from repro.relational import DatabaseInstance, Value
+    from repro.workloads import edge_schema
+
+    rows = [(Value("Node", i), Value("Node", 0)) for i in range(1, n + 1)]
+    rows += [(Value("Node", 0), Value("Node", -i)) for i in range(1, n + 1)]
+    return DatabaseInstance.from_rows(edge_schema(), {"E": rows})
+
+
+@pytest.mark.benchmark(group="e10-yannakakis-ablation")
+@pytest.mark.parametrize("n", [200, 400])
+def test_e10_ablation_yannakakis_bowtie(benchmark, n):
+    from repro.cq.yannakakis import evaluate_acyclic
+    from repro.workloads import chain_query
+
+    instance = bowtie_instance(n)
+    result = benchmark(lambda: evaluate_acyclic(chain_query(3), instance))
+    assert result.is_empty()
+
+
+@pytest.mark.benchmark(group="e10-yannakakis-ablation")
+@pytest.mark.parametrize("n", [200, 400])
+def test_e10_ablation_standard_bowtie(benchmark, n):
+    from repro.workloads import chain_query
+
+    instance = bowtie_instance(n)
+    result = benchmark(lambda: evaluate(chain_query(3), instance))
+    assert result.is_empty()

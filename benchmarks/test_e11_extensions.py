@@ -1,0 +1,97 @@
+"""E11 — extension components: capacity counting, obstruction pre-filter,
+UCQ containment, certain answers, exhaustive fragment checking.
+
+These go beyond the paper's own results (DESIGN.md §3.7) but are part of
+the reproduction's quality story: three independent verification paths
+(chase, gadget refutation, exhaustive fragment enumeration) must agree,
+and the cheap obstructions must accelerate the E1-style search without
+changing its verdicts.
+"""
+
+import pytest
+
+from repro.core.capacity import capacity_obstruction, count_instances, uniform_sizes
+from repro.core.obstructions import dominance_obstructions
+from repro.core.search import search_dominance
+from repro.cq.certain import certain_answers
+from repro.cq.chase import egds_of_schema
+from repro.cq.parser import parse_query
+from repro.cq.ucq import UnionQuery, minimize_union, unions_equivalent
+from repro.mappings.exhaustive import exhaustive_round_trip_counterexample
+from repro.relational import parse_schema
+from repro.workloads import integration_instance, paper_schema_1, wide_keyed_schema
+
+
+@pytest.mark.benchmark(group="e11-extensions")
+def test_e11_capacity_counting(benchmark):
+    schema = wide_keyed_schema(16, arity=4)
+    sizes = uniform_sizes(schema, 5)
+
+    count = benchmark(lambda: count_instances(schema, sizes))
+    assert count > 0
+
+
+@pytest.mark.benchmark(group="e11-extensions")
+def test_e11_obstruction_prefilter_short_circuits_search(benchmark):
+    """An obstructed pair returns instantly (no candidate enumeration)."""
+    s1, _ = parse_schema("R(a*: T, b: T, c: T)")
+    s2, _ = parse_schema("P(x*: T, y: T)")
+    assert dominance_obstructions(s1, s2)
+
+    result = benchmark(lambda: search_dominance(s1, s2, max_atoms=2))
+    assert not result.found
+    assert result.stats.alpha_candidates == 0  # pre-filter fired
+
+
+@pytest.mark.benchmark(group="e11-extensions")
+def test_e11_ucq_equivalence(benchmark):
+    s, _ = parse_schema("R(a*: T, b: U)\nS(c*: T, d: U)")
+    left = UnionQuery(
+        [
+            parse_query("Q(X) :- R(X, Y)."),
+            parse_query("Q(C) :- S(C, D)."),
+            parse_query("Q(X) :- R(X, Y), S(C, D), X = C."),  # redundant
+        ]
+    )
+    right = UnionQuery(
+        [parse_query("Q(C) :- S(C, D)."), parse_query("Q(X) :- R(X, Y).")]
+    )
+
+    def run():
+        return unions_equivalent(left, right, s), minimize_union(left, s)
+
+    equivalent, minimized = benchmark(run)
+    assert equivalent
+    assert len(minimized) == 2
+
+
+@pytest.mark.benchmark(group="e11-extensions")
+def test_e11_certain_answers_with_tgd_repair(benchmark):
+    schema1, inclusions = paper_schema_1()
+    egds = egds_of_schema(schema1)
+    table = integration_instance(seed=3, employees=32)
+    query = parse_query(
+        "Q(S) :- salespeople(S, Y), employee(S2, N, M, D), S = S2."
+    )
+
+    result = benchmark(
+        lambda: certain_answers(query, table, egds=egds, inclusions=inclusions)
+    )
+    assert len(result) == 32
+
+
+@pytest.mark.benchmark(group="e11-extensions")
+def test_e11_exhaustive_fragment_check(benchmark):
+    from repro.cq.parser import parse_query as pq
+    from repro.mappings import QueryMapping
+
+    s1, _ = parse_schema("A(a1*: T, a2: U)")
+    s2, _ = parse_schema("M(m1*: T, m2: U)")
+    alpha = QueryMapping(s1, s2, {"M": pq("M(X, Y) :- A(X, Y).")})
+    beta = QueryMapping(s2, s1, {"A": pq("A(X, Y) :- M(X, Y).")})
+    sizes = {"T": 2, "U": 2}
+
+    found = benchmark(
+        lambda: exhaustive_round_trip_counterexample(alpha, beta, sizes, max_rows=2)
+    )
+    assert found is None

@@ -1,0 +1,68 @@
+"""E2 — Lemmas 1–2 at scale: saturation and product-query construction.
+
+Validated claim: for random identity-join-only queries, saturate() yields
+an ij-saturated query contained in the original, and to_product_query()
+yields an equivalent product query (Lemma 1) whose Lemma 2 conditions hold.
+The benchmark measures the construction plus the exact equivalence check.
+"""
+
+import pytest
+
+from repro.core.lemmas import check_lemma2
+from repro.cq.homomorphism import are_equivalent
+from repro.cq.saturation import is_ij_saturated, lemma2_hat, saturate, to_product_query
+from repro.relational import random_instance
+from repro.workloads import random_identity_join_query, random_keyed_schema
+
+SCHEMA = random_keyed_schema(5, ["A", "B"], n_relations=3, max_arity=3)
+QUERIES = [
+    random_identity_join_query(SCHEMA, seed=s, max_atoms=4) for s in range(24)
+]
+
+
+@pytest.mark.benchmark(group="e2-saturation")
+def test_e2_saturate_batch(benchmark):
+    def run():
+        return [saturate(q) for q in QUERIES]
+
+    saturated = benchmark(run)
+    assert all(is_ij_saturated(q) for q in saturated)
+
+
+@pytest.mark.benchmark(group="e2-saturation")
+def test_e2_lemma1_product_equivalence_batch(benchmark):
+    saturated = [saturate(q) for q in QUERIES]
+
+    def run():
+        products = [to_product_query(q) for q in saturated]
+        return [
+            are_equivalent(q, p, SCHEMA) for q, p in zip(saturated, products)
+        ]
+
+    verdicts = benchmark(run)
+    assert all(verdicts)
+
+
+@pytest.mark.benchmark(group="e2-saturation")
+def test_e2_lemma2_validation_batch(benchmark):
+    instances = [
+        random_instance(SCHEMA, rows_per_relation=4, seed=s) for s in range(2)
+    ]
+
+    def run():
+        return [check_lemma2(q, SCHEMA, instances) for q in QUERIES[:8]]
+
+    checks = benchmark(run)
+    assert all(c.holds for c in checks)
+
+
+@pytest.mark.benchmark(group="e2-saturation")
+@pytest.mark.parametrize("n_atoms", [2, 4, 6])
+def test_e2_saturation_scaling(benchmark, n_atoms):
+    """Construction cost grows with the number of repeated occurrences."""
+    query = random_identity_join_query(
+        SCHEMA, seed=99, max_atoms=n_atoms, join_probability=1.0
+    )
+
+    result = benchmark(lambda: lemma2_hat(query))
+    assert set(result.body_relations()) == set(query.body_relations())

@@ -1,0 +1,68 @@
+"""E4 — Theorem 6: FD transfer across dominance pairs.
+
+Validated claim: on genuine dominance pairs every transferred dependency
+holds in S₁, and candidate pairs that route a key and its dependents into
+different S₁ relations are refuted by the checker alone (without running
+the exact round-trip decision).
+"""
+
+import pytest
+
+from repro.core.theorem6 import (
+    superkey_images,
+    transferred_dependencies,
+    verify_theorem6,
+)
+from repro.cq.parser import parse_query
+from repro.mappings import QueryMapping, isomorphism_pair
+from repro.relational import find_isomorphism
+from repro.workloads import random_keyed_schema, shuffled_copy
+
+PAIRS = []
+for seed in range(8):
+    _s1 = random_keyed_schema(seed, ["A", "B"], n_relations=3, max_arity=3)
+    _s2 = shuffled_copy(_s1, seed=seed + 70)
+    PAIRS.append(isomorphism_pair(find_isomorphism(_s1, _s2)))
+
+
+@pytest.mark.benchmark(group="e4-fd-transfer")
+def test_e4_transfer_on_genuine_pairs(benchmark):
+    def run():
+        return [transferred_dependencies(alpha, beta) for alpha, beta in PAIRS]
+
+    all_transferred = benchmark(run)
+    assert all(
+        t.holds for transferred in all_transferred for t in transferred
+    )
+    # Something was actually transferred for every pair.
+    assert all(transferred for transferred in all_transferred)
+
+
+@pytest.mark.benchmark(group="e4-fd-transfer")
+def test_e4_refutes_key_splitting_candidate(benchmark):
+    from repro.relational import parse_schema
+
+    s1, _ = parse_schema("A(a*: T)\nB(b*: U)")
+    s2, _ = parse_schema("M(m*: T, n: U)")
+    alpha = QueryMapping(s1, s2, {"M": parse_query("M(X, Y) :- A(X), B(Y).")})
+    beta = QueryMapping(
+        s2,
+        s1,
+        {
+            "A": parse_query("A(X) :- M(X, Y)."),
+            "B": parse_query("B(Y) :- M(X, Y)."),
+        },
+    )
+
+    verdict = benchmark(lambda: verify_theorem6(alpha, beta))
+    assert not verdict
+
+
+@pytest.mark.benchmark(group="e4-fd-transfer")
+def test_e4_superkey_images(benchmark):
+    def run():
+        return [superkey_images(alpha, beta) for alpha, beta in PAIRS]
+
+    images = benchmark(run)
+    for pair_images, (alpha, _) in zip(images, PAIRS):
+        assert len(pair_images) == len(list(alpha.target))

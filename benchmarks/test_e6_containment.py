@@ -1,0 +1,77 @@
+"""E6 — containment-engine scale + the ordering-heuristic ablation.
+
+Validated claim: the homomorphism search decides containment for chain,
+cycle and star query families; the most-constrained-first atom ordering
+(production path) dominates the naive left-to-right ordering as bodies
+grow (DESIGN.md ablation).
+"""
+
+import pytest
+
+from repro.cq.canonical import canonical_database
+from repro.cq.homomorphism import (
+    find_homomorphism,
+    find_homomorphism_naive,
+    is_contained_in,
+)
+from repro.cq.parser import parse_query
+from repro.workloads import chain_query, cycle_query, edge_schema, star_query
+
+SCHEMA = edge_schema()
+LOOP = parse_query("Q(X) :- E(X, Y), X = Y.")
+
+
+@pytest.mark.benchmark(group="e6-containment")
+@pytest.mark.parametrize("n", [4, 8, 12])
+def test_e6_cycle_folds_to_loop(benchmark, n):
+    """A self-loop satisfies every cycle pattern: loop ⊆ cycle(n)."""
+    cycle = cycle_query(n)
+
+    verdict = benchmark(lambda: is_contained_in(LOOP, cycle, SCHEMA))
+    assert verdict
+
+
+@pytest.mark.benchmark(group="e6-containment")
+@pytest.mark.parametrize("n", [4, 8, 12])
+def test_e6_chain_non_containment(benchmark, n):
+    """chain(n) vs chain(n+1): neither containment holds; both decided."""
+    shorter = chain_query(n)
+    longer = chain_query(n + 1)
+
+    def run():
+        return (
+            is_contained_in(shorter, longer, SCHEMA),
+            is_contained_in(longer, shorter, SCHEMA),
+        )
+
+    forward, backward = benchmark(run)
+    assert not forward and not backward
+
+
+@pytest.mark.benchmark(group="e6-containment-ablation")
+@pytest.mark.parametrize("rays", [4, 6])
+def test_e6_ablation_smart_ordering(benchmark, rays):
+    star = star_query(rays)
+    canonical = canonical_database(star, SCHEMA)
+
+    result = benchmark(lambda: find_homomorphism(star, canonical))
+    assert result is not None
+
+
+@pytest.mark.benchmark(group="e6-containment-ablation")
+@pytest.mark.parametrize("rays", [4, 6])
+def test_e6_ablation_naive_ordering(benchmark, rays):
+    star = star_query(rays)
+    canonical = canonical_database(star, SCHEMA)
+
+    result = benchmark(lambda: find_homomorphism_naive(star, canonical))
+    assert result is not None
+
+
+@pytest.mark.benchmark(group="e6-containment")
+def test_e6_star_contains_fewer_rays(benchmark):
+    big = star_query(8)
+    small = star_query(3)
+
+    verdict = benchmark(lambda: is_contained_in(big, small, SCHEMA))
+    assert verdict  # more rays ⊆ fewer rays (same centre exported)

@@ -1,0 +1,105 @@
+"""E7 — chase scale: EGD fixpoints over growing null-laden instances.
+
+Validated claim: the EGD chase reaches a key-satisfying fixpoint in rounds
+bounded by the value-merge count; cost grows with instance size and with
+the amount of merging forced.  Measured across instance sizes and merge
+densities, plus the TGD (inclusion) path on the §1 scenario.
+"""
+
+import pytest
+
+from repro.cq.canonical import null_value
+from repro.cq.chase import chase, chase_egds, egds_of_schema, satisfies_egds
+from repro.relational import DatabaseInstance, Value, parse_schema
+from repro.workloads import integration_instance, paper_schema_1
+
+SCHEMA, _ = parse_schema("R(k*: K, a: A, b: B)")
+EGDS = egds_of_schema(SCHEMA)
+
+
+def null_instance(groups: int, per_group: int) -> DatabaseInstance:
+    """``groups`` key values, each with ``per_group`` rows of distinct nulls."""
+    rows = []
+    for g in range(groups):
+        for i in range(per_group):
+            rows.append(
+                (
+                    Value("K", g),
+                    null_value("A", f"a{g}_{i}"),
+                    null_value("B", f"b{g}_{i}"),
+                )
+            )
+    return DatabaseInstance.from_rows(SCHEMA, {"R": rows})
+
+
+@pytest.mark.benchmark(group="e7-chase")
+@pytest.mark.parametrize("groups,per_group", [(16, 4), (64, 4), (256, 4)])
+def test_e7_chase_scaling_in_groups(benchmark, groups, per_group):
+    instance = null_instance(groups, per_group)
+
+    result = benchmark(lambda: chase_egds(instance, EGDS))
+    assert satisfies_egds(result.instance, EGDS)
+    assert len(result.instance.relation("R")) == groups
+
+
+@pytest.mark.benchmark(group="e7-chase")
+@pytest.mark.parametrize("per_group", [2, 8, 32])
+def test_e7_chase_scaling_in_merge_density(benchmark, per_group):
+    instance = null_instance(16, per_group)
+
+    result = benchmark(lambda: chase_egds(instance, EGDS))
+    assert len(result.instance.relation("R")) == 16
+
+
+@pytest.mark.benchmark(group="e7-chase")
+def test_e7_chase_noop_fast_path(benchmark):
+    """Already-satisfying instances must be cheap (no rewrite rounds)."""
+    rows = [
+        (Value("K", i), Value("A", i), Value("B", i)) for i in range(512)
+    ]
+    instance = DatabaseInstance.from_rows(SCHEMA, {"R": rows})
+
+    result = benchmark(lambda: chase_egds(instance, EGDS))
+    assert result.egd_rounds == 0
+
+
+@pytest.mark.benchmark(group="e7-chase")
+def test_e7_chase_with_inclusion_tgds(benchmark):
+    """EGD+TGD interleaving on the §1 schema (weakly acyclic)."""
+    schema1, inclusions = paper_schema_1()
+    egds = egds_of_schema(schema1)
+    # Start from a key-satisfying instance with the salespeople relation
+    # emptied, so the mutual inclusion forces TGD repairs.
+    base = integration_instance(seed=0, employees=24)
+    from repro.relational import RelationInstance
+
+    holey = base.with_relation(
+        RelationInstance(schema1.relation("salespeople"))
+    )
+
+    result = benchmark(
+        lambda: chase(holey, egds=egds, inclusions=inclusions)
+    )
+    assert result.tgd_steps >= 1
+    for inclusion in inclusions:
+        assert inclusion.satisfied_by(result.instance)
+
+
+@pytest.mark.benchmark(group="e7-chase-ablation")
+@pytest.mark.parametrize("groups", [16, 64])
+def test_e7_ablation_indexed(benchmark, groups):
+    instance = null_instance(groups, 4)
+
+    result = benchmark(lambda: chase_egds(instance, EGDS))
+    assert len(result.instance.relation("R")) == groups
+
+
+@pytest.mark.benchmark(group="e7-chase-ablation")
+@pytest.mark.parametrize("groups", [16, 64])
+def test_e7_ablation_quadratic(benchmark, groups):
+    from repro.cq.chase import chase_egds_naive
+
+    instance = null_instance(groups, 4)
+
+    result = benchmark(lambda: chase_egds_naive(instance, EGDS))
+    assert len(result.instance.relation("R")) == groups

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Exploring the dominance preorder — what Theorem 13 does NOT collapse.
+
+Theorem 13 collapses *equivalence* of keyed schemas to isomorphism, but
+one-way *dominance* remains a rich preorder: a schema embeds into any
+schema that extends it, never conversely.  This example maps that preorder
+over a small universe by bounded exhaustive search, diagnoses the
+non-dominances with the lemma-based obstructions, replays the Theorem 13
+argument on an interesting pair, and prints the repair plan that would
+close the gap.
+
+Run:  python examples/dominance_explorer.py
+"""
+
+from repro.core import (
+    dominance_matrix,
+    dominance_obstructions,
+    trace_theorem13,
+)
+from repro.core.report import Table
+from repro.relational import format_schema, parse_schema
+from repro.transform import repair_plan
+
+
+def main() -> None:
+    universe = [
+        parse_schema("R(k*: T)")[0],
+        parse_schema("P(x*: T, y: T)")[0],
+        parse_schema("Q0(z*: U)")[0],
+        parse_schema("W(a*: T, b: U)")[0],
+    ]
+    labels = ["R(k*)", "P(x*,y)", "Q0(z*:U)", "W(a*,b:U)"]
+    for label, schema in zip(labels, universe):
+        print(f"  {label:12s} = {format_schema(schema)}")
+    print()
+
+    matrix = dominance_matrix(universe, max_atoms=2)
+    table = Table(["⪯"] + labels, title="Dominance matrix (bounded exhaustive search)")
+    for label, row in zip(labels, matrix):
+        table.add_row(label, *["yes" if cell else "·" for cell in row])
+    print(table.render())
+    print()
+
+    # Diagnose one non-dominance with the lemma-based obstructions.
+    print("Why not P(x*, y) ⪯ R(k*)?")
+    for obstruction in dominance_obstructions(universe[1], universe[0]):
+        print("  ", repr(obstruction))
+    print()
+
+    # Replay the Theorem 13 argument on the T-vs-U pair.
+    print(trace_theorem13(universe[0], universe[2]).render())
+    print()
+
+    # And the repair plan closing the R(k*) → W(a*, b) gap.
+    plan = repair_plan(universe[0], universe[3])
+    print("Repair plan R(k*) → W(a*, b: U):")
+    print(" ", plan.render())
+    print("  cost:", plan.cost)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Empirically probing Hull's conjecture (= Theorem 13) by exhaustive search.
+
+Enumerate every keyed schema (one per isomorphism class) within small size
+bounds, and for each unordered pair run a *bounded but exhaustive* search
+over constant-free conjunctive query mappings: candidate α and β with at
+most MAX_ATOMS body atoms per view, validated exactly and round-trip-checked
+through the chase.
+
+Theorem 13 predicts the scan finds equivalence witnesses exactly on the
+diagonal (each schema with itself — the enumerator emits one schema per
+isomorphism class, so distinct entries are never isomorphic).  The run
+prints the full scan table; any inconsistent row would be a counterexample
+to the paper.
+
+Run:  python examples/hull_conjecture_search.py
+"""
+
+from repro.core import theorem13_scan
+from repro.core.report import Table
+from repro.relational import format_schema
+from repro.workloads import enumerate_keyed_schemas
+
+TYPES = ["T", "U"]
+MAX_RELATIONS = 1
+MAX_ARITY = 2
+MAX_ATOMS = 2
+
+
+def main() -> None:
+    schemas = list(
+        enumerate_keyed_schemas(TYPES, max_relations=MAX_RELATIONS, max_arity=MAX_ARITY)
+    )
+    print(f"schema universe: {len(schemas)} isomorphism classes")
+    for index, schema in enumerate(schemas):
+        print(f"  [{index}] {format_schema(schema)}")
+    print()
+
+    rows = theorem13_scan(schemas, max_atoms=MAX_ATOMS)
+
+    table = Table(
+        ["pair", "isomorphic", "equivalence witness found", "consistent with Thm 13"],
+        title=f"Theorem 13 scan (≤{MAX_ATOMS} body atoms per view)",
+    )
+    inconsistent = 0
+    for row in rows:
+        if not row.consistent_with_theorem13:
+            inconsistent += 1
+        table.add_row(
+            f"[{row.index1}] vs [{row.index2}]",
+            row.isomorphic,
+            row.equivalence_found,
+            row.consistent_with_theorem13,
+        )
+    print(table.render())
+    print()
+    print(f"pairs scanned: {len(rows)}; inconsistent with Theorem 13: {inconsistent}")
+    if inconsistent == 0:
+        print(
+            "no non-isomorphic equivalent pair exists within these bounds — "
+            "as Theorem 13 predicts."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Certain answers over incomplete data — the chase as a query tool.
+
+The chase machinery the paper's proofs need (for validity and β∘α = id)
+doubles as the classical engine for querying *incomplete* databases: a
+table with labelled nulls stands for all its completions, and a
+conjunctive query's certain answers are computed by chasing the table
+with the dependencies and keeping null-free answer rows.
+
+The scenario: an HR database (the paper's §1 schemas) where some values
+are unknown, constrained by keys and referential integrity.
+
+Run:  python examples/incomplete_data.py
+"""
+
+from repro.cq import certain_answers, possible_answers, parse_query
+from repro.cq.canonical import null_value
+from repro.cq.chase import egds_of_schema
+from repro.relational import DatabaseInstance, Value
+from repro.workloads import paper_schema_1
+
+
+def main() -> None:
+    schema1, inclusions = paper_schema_1()
+    egds = egds_of_schema(schema1)
+
+    # An incomplete instance: Ann's department is unknown; a second record
+    # for SSN 1 knows the department but not the salary.  Bob's salesperson
+    # record exists but employee side is only implied by the inclusions.
+    unknown_dep = null_value("DeptId", "annDep")
+    unknown_salary = null_value("Money", "annSal")
+    table = DatabaseInstance.from_rows(
+        schema1,
+        {
+            "employee": [
+                (
+                    Value("SSN", 1),
+                    Value("Name", "ann"),
+                    Value("Money", 120_000),
+                    unknown_dep,
+                ),
+                (
+                    Value("SSN", 1),
+                    Value("Name", "ann"),
+                    unknown_salary,
+                    Value("DeptId", 7),
+                ),
+            ],
+            "department": [
+                (Value("DeptId", 7), Value("Name", "eng"), Value("Name", "mgr7")),
+            ],
+            "salespeople": [
+                (Value("SSN", 1), Value("Years", 9)),
+                (Value("SSN", 2), Value("Years", 4)),
+            ],
+        },
+    )
+
+    # Q1: which department is Ann (ssn 1) in?  The employee key forces the
+    # two partial records to merge: her department becomes certain.
+    q1 = parse_query(
+        "Q(D) :- employee(S, N, M, D), S = SSN:1."
+    )
+    print("Q1  Ann's department (key EGD merges the partial records):")
+    print("  certain:", sorted(certain_answers(q1, table, egds=egds).rows))
+    print()
+
+    # Q2: employees working in a department with a known name.  Certain for
+    # Ann (her department resolves to 7 = eng).
+    q2 = parse_query(
+        "Q(S, DN) :- employee(S, N, M, D), department(D2, DN, G), D = D2."
+    )
+    print("Q2  (employee, department name) joins:")
+    print("  certain:", sorted(certain_answers(q2, table, egds=egds).rows))
+    print()
+
+    # Q3: salespeople who are employees.  SSN 2 has no employee row, but
+    # the inclusion dependency salespeople[ss] ⊆ employee[ss] *implies*
+    # one — the TGD chase materialises it, so the answer is certain.
+    q3 = parse_query(
+        "Q(S) :- salespeople(S, Y), employee(S2, N, M, D), S = S2."
+    )
+    certain_q3 = certain_answers(q3, table, egds=egds, inclusions=inclusions)
+    print("Q3  salespeople provably employed (TGD repairs the incomplete db):")
+    print("  certain:", sorted(certain_q3.rows))
+    print()
+
+    # Q4: salaries — Ann's salary is certain (one record knew it); what is
+    # merely possible includes nothing extra here.
+    q4 = parse_query("Q(S, M) :- employee(S, N, M, D).")
+    print("Q4  salaries:")
+    print("  certain :", sorted(certain_answers(q4, table, egds=egds).rows))
+    print(
+        "  possible:",
+        len(possible_answers(q4, table, egds=egds)),
+        "row pattern(s)",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail at the ``bdist_wheel`` step; this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) work from the pyproject metadata.
+"""
+
+from setuptools import setup
+
+setup()

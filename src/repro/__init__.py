@@ -1,0 +1,130 @@
+"""repro — executable reproduction of *Conjunctive Query Equivalence of
+Keyed Relational Schemas* (Albert, Ioannidis, Ramakrishnan; PODS 1997).
+
+The library implements the paper's full formal apparatus — typed relational
+schemas with primary keys, conjunctive queries with equality selections,
+query mappings, dominance and equivalence — and its results as decision
+procedures and executable property checks, culminating in Theorem 13:
+
+    two keyed schemas are conjunctive-query equivalent **iff** they are
+    identical up to renaming and re-ordering of attributes and relations.
+
+Quickstart::
+
+    from repro import parse_schema, decide_equivalence
+
+    s1, _ = parse_schema("emp(ss*: SSN, name: Name)")
+    s2, _ = parse_schema("person(id*: SSN, nm: Name)")
+    decision = decide_equivalence(s1, s2)
+    assert decision.equivalent and decision.certificate.verify()
+
+Subpackages:
+
+* :mod:`repro.relational` — schemas, instances, dependencies, isomorphism;
+* :mod:`repro.cq` — the conjunctive query engine (evaluation, containment,
+  chase, saturation, receives analysis, composition);
+* :mod:`repro.mappings` — query mappings, validity, dominance, κ machinery;
+* :mod:`repro.core` — Theorem 13/6, executable lemmas, bounded search;
+* :mod:`repro.transform` — witnessed schema transformations (§1 example);
+* :mod:`repro.workloads` — schema/query/instance generators.
+"""
+
+from repro.errors import (
+    ChaseError,
+    ChaseFailure,
+    DependencyError,
+    EvaluationError,
+    InstanceError,
+    MappingError,
+    QuerySyntaxError,
+    ReproError,
+    SchemaError,
+    SearchBudgetExceeded,
+    TypecheckError,
+    TypeMismatchError,
+)
+from repro.relational import (
+    Attribute,
+    DatabaseInstance,
+    DatabaseSchema,
+    Domain,
+    QualifiedAttribute,
+    RelationInstance,
+    RelationSchema,
+    Value,
+    find_isomorphism,
+    is_isomorphic,
+    parse_schema,
+    relation,
+    schema,
+)
+from repro.cq import (
+    ConjunctiveQuery,
+    are_equivalent,
+    are_equivalent_under_keys,
+    evaluate,
+    is_contained_in,
+    minimize,
+    parse_query,
+)
+from repro.mappings import (
+    DominancePair,
+    QueryMapping,
+    identity_mapping,
+    isomorphism_pair,
+    kappa_construction,
+    verify_dominance,
+)
+from repro.core import (
+    cq_equivalent,
+    decide_equivalence,
+    search_dominance,
+    search_equivalence,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "ChaseError",
+    "ChaseFailure",
+    "ConjunctiveQuery",
+    "DatabaseInstance",
+    "DatabaseSchema",
+    "DependencyError",
+    "Domain",
+    "DominancePair",
+    "EvaluationError",
+    "InstanceError",
+    "MappingError",
+    "QualifiedAttribute",
+    "QueryMapping",
+    "QuerySyntaxError",
+    "RelationInstance",
+    "RelationSchema",
+    "ReproError",
+    "SchemaError",
+    "SearchBudgetExceeded",
+    "TypeMismatchError",
+    "TypecheckError",
+    "Value",
+    "are_equivalent",
+    "are_equivalent_under_keys",
+    "cq_equivalent",
+    "decide_equivalence",
+    "evaluate",
+    "find_isomorphism",
+    "identity_mapping",
+    "is_contained_in",
+    "is_isomorphic",
+    "isomorphism_pair",
+    "kappa_construction",
+    "minimize",
+    "parse_query",
+    "parse_schema",
+    "relation",
+    "schema",
+    "search_dominance",
+    "search_equivalence",
+    "verify_dominance",
+]

@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands operate on schema files in the parser syntax of
+:mod:`repro.relational.catalog` (starred key attributes, ``name: Type``
+ascriptions, ``R[a] <= S[b]`` inclusion dependencies) and on query files
+in the syntax of :mod:`repro.cq.parser`.
+
+* ``equiv A.schema B.schema`` — decide Theorem 13 equivalence, print the
+  verdict and certificate/explanation; exit code 0 iff equivalent.
+* ``contains SCHEMA Q1 Q2 [--keys]`` — decide q1 ⊆ q2 (optionally under
+  the schema's key dependencies); exit code 0 iff contained.
+* ``minimize SCHEMA QUERY`` — print the minimised query.
+* ``kappa SCHEMA`` — print κ(S).
+* ``ddl SCHEMA`` — print SQL DDL for a schema file.
+* ``search A.schema B.schema [--max-atoms N]`` — bounded exhaustive search
+  for a dominance witness A ⪯ B; prints the witness mapping if found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.equivalence import decide_equivalence
+from repro.errors import ReproError
+from repro.core.search import search_dominance
+from repro.cq.containment_deps import is_contained_under_keys
+from repro.cq.homomorphism import is_contained_in
+from repro.cq.minimize import minimize
+from repro.cq.parser import format_query, parse_query
+from repro.mappings.kappa import kappa_schema
+from repro.relational.catalog import format_schema, parse_schema
+from repro.relational.ddl import to_ddl
+
+
+def _load_schema(path: str):
+    return parse_schema(Path(path).read_text())
+
+
+def _load_query(text_or_path: str):
+    candidate = Path(text_or_path)
+    if candidate.exists():
+        return parse_query(candidate.read_text().strip())
+    return parse_query(text_or_path)
+
+
+def _cmd_equiv(args: argparse.Namespace) -> int:
+    s1, _ = _load_schema(args.schema1)
+    s2, _ = _load_schema(args.schema2)
+    decision = decide_equivalence(s1, s2)
+    print(decision.explain())
+    if decision.certificate is not None and args.verify:
+        print("certificate re-verifies:", decision.certificate.verify())
+    return 0 if decision.equivalent else 1
+
+
+def _cmd_contains(args: argparse.Namespace) -> int:
+    schema, _ = _load_schema(args.schema)
+    q1 = _load_query(args.query1)
+    q2 = _load_query(args.query2)
+    if args.keys:
+        verdict = is_contained_under_keys(q1, q2, schema)
+        relation = "⊆ (under keys)"
+    else:
+        verdict = is_contained_in(q1, q2, schema)
+        relation = "⊆"
+    print(f"{format_query(q1)}  {relation}  {format_query(q2)} : {verdict}")
+    return 0 if verdict else 1
+
+
+def _cmd_minimize(args: argparse.Namespace) -> int:
+    schema, _ = _load_schema(args.schema)
+    query = _load_query(args.query)
+    print(format_query(minimize(query, schema)))
+    return 0
+
+
+def _cmd_kappa(args: argparse.Namespace) -> int:
+    schema, _ = _load_schema(args.schema)
+    print(format_schema(kappa_schema(schema)))
+    return 0
+
+
+def _cmd_ddl(args: argparse.Namespace) -> int:
+    schema, inclusions = _load_schema(args.schema)
+    print(to_ddl(schema, inclusions), end="")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.proof_trace import trace_theorem13
+
+    s1, _ = _load_schema(args.schema1)
+    s2, _ = _load_schema(args.schema2)
+    trace = trace_theorem13(s1, s2)
+    print(trace.render())
+    return 0 if trace.conclusion else 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from repro.transform.repair import repair_plan
+
+    s1, _ = _load_schema(args.schema1)
+    s2, _ = _load_schema(args.schema2)
+    plan = repair_plan(s1, s2)
+    print(plan.render())
+    print(f"total edit cost: {plan.cost}")
+    return 0 if plan.is_noop else 1
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    s1, _ = _load_schema(args.schema1)
+    s2, _ = _load_schema(args.schema2)
+    result = search_dominance(s1, s2, max_atoms=args.max_atoms)
+    print(
+        f"candidates: α={result.stats.alpha_candidates} "
+        f"β={result.stats.beta_candidates}, pairs tried={result.stats.pairs_tried}, "
+        f"gadget-rejected={result.stats.pairs_gadget_rejected}, "
+        f"exact checks={result.stats.exact_checks}"
+    )
+    if result.found:
+        print("dominance witness found:")
+        for view in result.pair.alpha:
+            print("  α:", format_query(view.query))
+        for view in result.pair.beta:
+            print("  β:", format_query(view.query))
+        if args.out:
+            from repro.mappings.serialization import format_mapping
+
+            Path(args.out).write_text(
+                format_mapping(result.pair.alpha, header="α (forward)")
+                + format_mapping(result.pair.beta, header="β (backward)")
+            )
+            print(f"witness mappings written to {args.out}")
+        return 0
+    print(
+        f"no witness with ≤{args.max_atoms} body atoms per view "
+        "(exhaustive within bounds, constants excluded)"
+    )
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Conjunctive query equivalence of keyed relational schemas (PODS'97).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("equiv", help="decide Theorem 13 equivalence of two schema files")
+    p.add_argument("schema1")
+    p.add_argument("schema2")
+    p.add_argument("--verify", action="store_true", help="re-verify the certificate")
+    p.set_defaults(fn=_cmd_equiv)
+
+    p = sub.add_parser("contains", help="decide CQ containment q1 ⊆ q2")
+    p.add_argument("schema")
+    p.add_argument("query1", help="query text or file path")
+    p.add_argument("query2", help="query text or file path")
+    p.add_argument("--keys", action="store_true", help="relative to key dependencies")
+    p.set_defaults(fn=_cmd_contains)
+
+    p = sub.add_parser("minimize", help="minimise a conjunctive query")
+    p.add_argument("schema")
+    p.add_argument("query")
+    p.set_defaults(fn=_cmd_minimize)
+
+    p = sub.add_parser("kappa", help="print κ(S) of a keyed schema")
+    p.add_argument("schema")
+    p.set_defaults(fn=_cmd_kappa)
+
+    p = sub.add_parser("ddl", help="print SQL DDL for a schema file")
+    p.add_argument("schema")
+    p.set_defaults(fn=_cmd_ddl)
+
+    p = sub.add_parser("trace", help="replay the Theorem 13 argument on a pair")
+    p.add_argument("schema1")
+    p.add_argument("schema2")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("repair", help="edit script making schema1 equivalent to schema2")
+    p.add_argument("schema1")
+    p.add_argument("schema2")
+    p.set_defaults(fn=_cmd_repair)
+
+    p = sub.add_parser("search", help="bounded exhaustive dominance search")
+    p.add_argument("schema1")
+    p.add_argument("schema2")
+    p.add_argument("--max-atoms", type=int, default=2)
+    p.add_argument("--out", help="write witness mappings to this file")
+    p.set_defaults(fn=_cmd_search)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Exit codes: 0 = positive verdict, 1 = negative verdict,
+    2 = input error (bad schema/query file).
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Information capacity: counting key-satisfying instances.
+
+The paper's introduction discusses a rival notion of equivalence —
+"two schemas are equivalent if there is a bijection between their instance
+sets" [Miller/Ioannidis/Ramakrishnan; Rosenthal/Reiner] — and notes it
+degenerates over infinite domains.  Over *finite* domain fragments,
+however, instance counting is a sharp and cheap tool: if, for some
+assignment of finite sizes to the attribute types, S₁ admits more
+key-satisfying instances than S₂, then no injective instance mapping
+S₁ → S₂ exists over that fragment, so S₁ ⪯ S₂ fails for every notion of
+dominance whose mappings are generic enough to restrict to finite
+fragments.  We use it as an independent *obstruction* check that
+cross-validates the Theorem 13 decision procedure.
+
+Counting is exact (big integers).  For one keyed relation whose key
+columns range over a combined key space of size K and whose non-key
+columns range over a space of size N, the key-satisfying instances are
+exactly the partial functions from key space to non-key space:
+
+    #instances = Σ_{r=0..K} C(K, r) · N^r = (1 + N)^K
+
+and a schema's count is the product over its relations.  An unkeyed
+relation contributes 2^(K·N) (any subset of the full tuple space).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def _space_size(type_sizes: Mapping[str, int], type_names: Iterable[str]) -> int:
+    size = 1
+    for name in type_names:
+        try:
+            per_type = type_sizes[name]
+        except KeyError:
+            raise SchemaError(f"no finite size given for attribute type {name!r}") from None
+        if per_type < 0:
+            raise SchemaError(f"type size for {name!r} must be non-negative")
+        size *= per_type
+    return size
+
+
+def count_relation_instances(
+    relation: RelationSchema, type_sizes: Mapping[str, int]
+) -> int:
+    """Exact number of (key-satisfying) instances of one relation.
+
+    Keyed: ``(1 + N)^K`` partial functions from the key space (size K) to
+    the non-key space (size N).  Unkeyed: all subsets, ``2^(K·N)``.
+    """
+    if relation.is_keyed:
+        key_space = _space_size(
+            type_sizes, (a.type_name for a in relation.key_attributes())
+        )
+        nonkey_space = _space_size(
+            type_sizes, (a.type_name for a in relation.nonkey_attributes())
+        )
+        return (1 + nonkey_space) ** key_space
+    full_space = _space_size(type_sizes, (a.type_name for a in relation.attributes))
+    return 2 ** full_space
+
+
+def count_instances(schema: DatabaseSchema, type_sizes: Mapping[str, int]) -> int:
+    """Exact number of key-satisfying database instances of ``schema``."""
+    total = 1
+    for relation in schema:
+        total *= count_relation_instances(relation, type_sizes)
+    return total
+
+
+def uniform_sizes(schema: DatabaseSchema, size: int) -> Dict[str, int]:
+    """A type-size assignment giving every type the same finite size."""
+    return {name: size for name in schema.type_names()}
+
+
+def capacity_profile(
+    schema: DatabaseSchema, sizes: Iterable[int]
+) -> List[Tuple[int, int]]:
+    """Instance counts of ``schema`` for uniform type sizes in ``sizes``."""
+    return [
+        (size, count_instances(schema, uniform_sizes(schema, size)))
+        for size in sizes
+    ]
+
+
+def capacity_obstruction(
+    s1: DatabaseSchema,
+    s2: DatabaseSchema,
+    max_size: int = 4,
+) -> int | None:
+    """A finite uniform type size at which #i(S₁) > #i(S₂), if one exists.
+
+    Both schemas' types are sized uniformly (missing types get the same
+    size).  Returns the smallest witnessing size ≤ ``max_size``, or
+    ``None`` when counts never exceed within the range — in which case
+    counting is silent (NOT a proof of dominance).
+    """
+    all_types = set(s1.type_names()) | set(s2.type_names())
+    for size in range(1, max_size + 1):
+        sizes = {name: size for name in all_types}
+        if count_instances(s1, sizes) > count_instances(s2, sizes):
+            return size
+    return None
+
+
+def capacity_equal_on_range(
+    s1: DatabaseSchema, s2: DatabaseSchema, max_size: int = 4
+) -> bool:
+    """True iff the two schemas have equal counts at every size ≤ max_size.
+
+    Isomorphic schemas always do (Theorem 13's positive side implies it);
+    the converse is false in general — equal counting is necessary, not
+    sufficient, which the tests demonstrate.
+    """
+    all_types = set(s1.type_names()) | set(s2.type_names())
+    for size in range(1, max_size + 1):
+        sizes = {name: size for name in all_types}
+        if count_instances(s1, sizes) != count_instances(s2, sizes):
+            return False
+    return True

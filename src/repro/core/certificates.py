@@ -1,0 +1,96 @@
+"""Machine-checkable certificates for equivalence and non-equivalence.
+
+Theorem 13's two directions produce different artefacts:
+
+* equivalent schemas are isomorphic, so the *positive* certificate is an
+  isomorphism witness together with the induced renaming mappings in both
+  directions — all independently re-verifiable;
+* non-isomorphic schemas are inequivalent, so the *negative* certificate is
+  a structured explanation of which necessary condition fails (relation
+  counts, key signatures via κ + Hull's theorem, or non-key type counts —
+  the successive steps of the Theorem 13 proof).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.mappings.dominance import DominancePair
+from repro.relational.isomorphism import SchemaIsomorphism
+from repro.relational.schema import DatabaseSchema
+
+
+class FailureStep(enum.Enum):
+    """Which step of the Theorem 13 argument separates the schemas."""
+
+    RELATION_COUNT = "relation-count"
+    KEY_SIGNATURES = "key-signatures (κ images not isomorphic — Theorem 9 + Hull)"
+    NONKEY_TYPE_COUNTS = "non-key attribute type counts (Lemma 3 counting argument)"
+    NONKEY_PLACEMENT = "per-relation non-key attribute placement (Lemmas 10-12)"
+
+
+@dataclass(frozen=True)
+class EquivalenceCertificate:
+    """A verified witness that S₁ ≡ S₂ (necessarily: S₁ ≅ S₂)."""
+
+    s1: DatabaseSchema
+    s2: DatabaseSchema
+    isomorphism: SchemaIsomorphism
+    forward: DominancePair   # witnesses S₁ ⪯ S₂
+    backward: DominancePair  # witnesses S₂ ⪯ S₁
+
+    def verify(self) -> bool:
+        """Re-check every component from scratch (slow, exact)."""
+        return (
+            self.isomorphism.verify()
+            and self.forward.holds()
+            and self.backward.holds()
+        )
+
+    def explain(self) -> str:
+        """Human-readable summary."""
+        pairs = ", ".join(
+            f"{a}→{b}" for a, b in sorted(self.isomorphism.relation_map.items())
+        )
+        return (
+            "schemas are conjunctive-query equivalent; they are identical up "
+            f"to renaming/re-ordering (relations: {pairs})"
+        )
+
+
+@dataclass(frozen=True)
+class NonEquivalenceExplanation:
+    """A structured reason why S₁ ≢ S₂ (Theorem 13's contrapositive)."""
+
+    s1: DatabaseSchema
+    s2: DatabaseSchema
+    step: FailureStep
+    detail: str
+
+    def explain(self) -> str:
+        """Human-readable summary."""
+        return (
+            "schemas are NOT conjunctive-query equivalent — by Theorem 13 "
+            "equivalent keyed schemas are identical up to renaming and "
+            f"re-ordering, but these differ at step [{self.step.value}]: "
+            f"{self.detail}"
+        )
+
+
+@dataclass(frozen=True)
+class EquivalenceDecision:
+    """The outcome of the Theorem 13 decision procedure."""
+
+    equivalent: bool
+    certificate: Optional[EquivalenceCertificate]
+    explanation: Optional[NonEquivalenceExplanation]
+
+    def explain(self) -> str:
+        """Human-readable summary of whichever side was produced."""
+        if self.certificate is not None:
+            return self.certificate.explain()
+        if self.explanation is not None:
+            return self.explanation.explain()
+        return "undecided"

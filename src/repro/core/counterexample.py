@@ -1,0 +1,111 @@
+"""Counterexample search: the proofs' instance gadgets as refuters.
+
+The paper's arguments always distinguish schemas/mappings with one of a
+small family of instances: attribute-specific instances with fresh values
+(Lemmas 3-5, Theorem 6), the two-key-value instance and its g-swap
+(Lemma 7), and non-empty single-tuple instances.  This module packages
+those gadgets as a fast *pointwise* refuter for candidate dominance pairs:
+evaluate β(α(d)) on each gadget and compare with d.  It is sound (any
+returned instance genuinely breaks the round trip) but incomplete; the
+exact decision is :func:`repro.mappings.identity.composes_to_identity`.
+The bounded search (experiment E1) uses the gadgets to discard almost all
+candidates before paying for the exact chase-based check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.mappings.query_mapping import QueryMapping
+from repro.relational.generators import (
+    attribute_specific_instance,
+    g_swap,
+    random_instance,
+    two_key_values,
+)
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema
+
+
+def gadget_instances(
+    schema: DatabaseSchema,
+    avoid=frozenset(),
+    random_trials: int = 4,
+    seed: int = 0,
+) -> Iterator[DatabaseInstance]:
+    """The proof gadgets for ``schema``, cheapest first.
+
+    1. the empty instance;
+    2. one-tuple and two-tuple attribute-specific instances (fresh values);
+    3. per key attribute, the Lemma 7 two-key-value instance and its g-swap;
+    4. a few random key-satisfying instances.
+    """
+    yield DatabaseInstance(schema)
+    yield attribute_specific_instance(schema, rows_per_relation=1, avoid=avoid)
+    yield attribute_specific_instance(schema, rows_per_relation=2, avoid=avoid)
+    for key_attr in schema.key_qualified_attributes():
+        gadget, k1, k2 = two_key_values(schema, key_attr, avoid=avoid)
+        yield gadget
+        yield g_swap(gadget, k1, k2)
+    for trial in range(random_trials):
+        candidate = random_instance(schema, rows_per_relation=3, seed=seed + trial)
+        if candidate.satisfies_keys():
+            yield candidate
+
+
+def find_round_trip_counterexample(
+    alpha: QueryMapping,
+    beta: QueryMapping,
+    random_trials: int = 4,
+    seed: int = 0,
+) -> Optional[DatabaseInstance]:
+    """A key-satisfying d with β(α(d)) ≠ d, from the gadget family, if any."""
+    avoid = alpha.constants() | beta.constants()
+    for instance in gadget_instances(
+        alpha.source, avoid=avoid, random_trials=random_trials, seed=seed
+    ):
+        if beta.apply(alpha.apply(instance)) != instance:
+            return instance
+    return None
+
+
+def find_key_violation(
+    mapping: QueryMapping,
+    random_trials: int = 4,
+    seed: int = 0,
+) -> Optional[DatabaseInstance]:
+    """A key-satisfying source instance whose image violates a target key.
+
+    Pointwise/incomplete; the exact test is
+    :func:`repro.mappings.validity.validity_report`.
+    """
+    avoid = mapping.constants()
+    for instance in gadget_instances(
+        mapping.source, avoid=avoid, random_trials=random_trials, seed=seed
+    ):
+        if not mapping.apply(instance).satisfies_keys():
+            return instance
+    return None
+
+
+def quick_reject(
+    alpha: QueryMapping,
+    beta: QueryMapping,
+    random_trials: int = 2,
+    seed: int = 0,
+) -> bool:
+    """True when the gadgets refute (α, β) as a dominance pair.
+
+    Checks validity of both mappings and the round trip, pointwise only.
+    A ``False`` result means "survived the gadgets", not "verified".
+    """
+    if find_key_violation(alpha, random_trials=random_trials, seed=seed) is not None:
+        return True
+    if find_key_violation(beta, random_trials=random_trials, seed=seed) is not None:
+        return True
+    return (
+        find_round_trip_counterexample(
+            alpha, beta, random_trials=random_trials, seed=seed
+        )
+        is not None
+    )

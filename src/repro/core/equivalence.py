@@ -1,0 +1,134 @@
+"""Theorem 13 as a decision procedure.
+
+The paper's main result: keyed schemas S₁ and S₂ are conjunctive-query
+equivalent **iff** they are identical up to renaming and re-ordering of
+attributes and relations.  The decision procedure is therefore the
+isomorphism test; what this module adds is the *certificate structure*:
+
+* for isomorphic schemas it materialises the witnessing dominance pairs
+  (the renaming mappings in both directions) so the "easy direction" is not
+  just claimed but re-verifiable with the exact checkers;
+* for non-isomorphic schemas it locates which step of the Theorem 13 proof
+  separates them — relation counts, key signatures (the κ images compared
+  per Theorem 9 + Hull's theorem for unkeyed schemas), or non-key
+  attribute-type counts / placement (the Lemma 3/10–12 counting argument).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional, Tuple
+
+from repro.core.certificates import (
+    EquivalenceCertificate,
+    EquivalenceDecision,
+    FailureStep,
+    NonEquivalenceExplanation,
+)
+from repro.errors import SchemaError
+from repro.mappings.builders import isomorphism_pair
+from repro.mappings.dominance import DominancePair
+from repro.relational.isomorphism import (
+    canonical_form,
+    find_isomorphism,
+    is_isomorphic,
+    relation_signature,
+)
+from repro.relational.schema import DatabaseSchema
+from repro.utils.itertools_ext import multiset
+
+
+def _nonkey_type_counts(schema: DatabaseSchema) -> Counter:
+    return Counter(a.type_name for a in schema.nonkey_qualified_attributes())
+
+
+def _key_signature_multiset(schema: DatabaseSchema):
+    return multiset(
+        multiset(a.type_name for a in r.key_attributes()) for r in schema
+    )
+
+
+def locate_failure(
+    s1: DatabaseSchema, s2: DatabaseSchema
+) -> NonEquivalenceExplanation:
+    """Pinpoint the Theorem 13 proof step at which two schemas differ.
+
+    Pre-condition: the schemas are *not* isomorphic.  The steps are checked
+    in the order the proof derives them, so the reported step is the first
+    necessary condition that fails.
+    """
+    if len(s1) != len(s2):
+        return NonEquivalenceExplanation(
+            s1,
+            s2,
+            FailureStep.RELATION_COUNT,
+            f"{len(s1)} relations vs {len(s2)} relations",
+        )
+    # Theorem 9 reduces to κ images; Hull's theorem makes unkeyed
+    # equivalence equality of key signatures.
+    if _key_signature_multiset(s1) != _key_signature_multiset(s2):
+        return NonEquivalenceExplanation(
+            s1,
+            s2,
+            FailureStep.KEY_SIGNATURES,
+            "the multisets of per-relation key type signatures differ: "
+            f"κ(S1) and κ(S2) are not identical up to renaming/re-ordering",
+        )
+    counts1, counts2 = _nonkey_type_counts(s1), _nonkey_type_counts(s2)
+    if counts1 != counts2:
+        diff = {
+            t: (counts1.get(t, 0), counts2.get(t, 0))
+            for t in set(counts1) | set(counts2)
+            if counts1.get(t, 0) != counts2.get(t, 0)
+        }
+        return NonEquivalenceExplanation(
+            s1,
+            s2,
+            FailureStep.NONKEY_TYPE_COUNTS,
+            f"occurrences of non-key attribute types differ: {diff}",
+        )
+    return NonEquivalenceExplanation(
+        s1,
+        s2,
+        FailureStep.NONKEY_PLACEMENT,
+        "key signatures and global non-key type counts agree, but the "
+        "non-key attributes are distributed differently across relations",
+    )
+
+
+def decide_equivalence(
+    s1: DatabaseSchema,
+    s2: DatabaseSchema,
+    build_certificate: bool = True,
+) -> EquivalenceDecision:
+    """Decide S₁ ≡ S₂ for keyed schemas (Theorem 13).
+
+    With ``build_certificate`` (default) the positive side carries the
+    witnessing dominance pairs; pass ``False`` to skip their construction
+    when only the boolean matters (the E8 benchmark measures both).
+    """
+    if not s1.is_keyed or not s2.is_keyed:
+        raise SchemaError(
+            "decide_equivalence expects keyed schemas (every relation has a "
+            "key); use is_isomorphic for unkeyed schemas (Hull 1986)"
+        )
+    witness = find_isomorphism(s1, s2)
+    if witness is None:
+        return EquivalenceDecision(False, None, locate_failure(s1, s2))
+    if not build_certificate:
+        return EquivalenceDecision(True, None, None)
+    alpha, beta = isomorphism_pair(witness)
+    alpha_back, beta_back = isomorphism_pair(witness.inverse())
+    certificate = EquivalenceCertificate(
+        s1,
+        s2,
+        witness,
+        DominancePair(alpha, beta),
+        DominancePair(alpha_back, beta_back),
+    )
+    return EquivalenceDecision(True, certificate, None)
+
+
+def cq_equivalent(s1: DatabaseSchema, s2: DatabaseSchema) -> bool:
+    """Boolean convenience wrapper around :func:`decide_equivalence`."""
+    return decide_equivalence(s1, s2, build_certificate=False).equivalent

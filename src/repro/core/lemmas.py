@@ -1,0 +1,387 @@
+"""The paper's lemmas as executable property checks.
+
+Every lemma of the paper quantifies over dominance pairs (α, β), queries,
+or instances.  This module turns each one into a checker that, given
+concrete objects, either confirms the stated property or returns a
+description of the violation.  On verified dominance pairs all checks must
+pass (that is the paper's content); on *candidate* pairs a failing check is
+a sound refutation, which the bounded search (experiment E1) and the lemma
+benchmarks (E3) exploit.
+
+Naming: ``receives`` under α flows S₁ → S₂ attributes (targets in S₂);
+under β it flows S₂ → S₁ (targets in S₁) — see :mod:`repro.cq.receives`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, NamedTuple, Optional, Sequence
+
+from repro.cq.evaluation import evaluate
+from repro.cq.homomorphism import are_equivalent, is_contained_in
+from repro.cq.composition import identity_view
+from repro.cq.saturation import (
+    has_only_identity_joins,
+    is_ij_saturated,
+    is_product_query,
+    lemma2_hat,
+    to_product_query,
+)
+from repro.cq.syntax import ConjunctiveQuery
+from repro.mappings.kappa import (
+    KappaConstruction,
+    involved_in_condition,
+    kappa_construction,
+    lemma7_key_attribute,
+)
+from repro.mappings.query_mapping import QueryMapping
+from repro.relational.attribute import QualifiedAttribute
+from repro.relational.generators import (
+    attribute_specific_instance,
+    random_instance,
+    two_key_values,
+)
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema
+
+
+class LemmaCheck(NamedTuple):
+    """Outcome of one lemma check."""
+
+    name: str
+    holds: bool
+    detail: str
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+# --------------------------------------------------------------------------
+# Lemmas 1 and 2: saturation and product queries.
+# --------------------------------------------------------------------------
+
+def check_lemma1(
+    query: ConjunctiveQuery,
+    schema: DatabaseSchema,
+    instances: Sequence[DatabaseInstance] = (),
+) -> LemmaCheck:
+    """Lemma 1: an ij-saturated query ≡ its product query.
+
+    Checked exactly by Chandra–Merlin equivalence, and additionally by
+    evaluation on any supplied instances.
+    """
+    if not is_ij_saturated(query):
+        return LemmaCheck("lemma1", False, "query is not ij-saturated (premise)")
+    product = to_product_query(query)
+    if not is_product_query(product):
+        return LemmaCheck("lemma1", False, f"construction is not a product query: {product!r}")
+    if set(product.body_relations()) != set(query.body_relations()):
+        return LemmaCheck("lemma1", False, "product query changed the body relations")
+    if not are_equivalent(query, product, schema):
+        return LemmaCheck("lemma1", False, "q and product query are not equivalent")
+    for instance in instances:
+        if evaluate(query, instance).rows != evaluate(product, instance).rows:
+            return LemmaCheck("lemma1", False, f"answers differ on {instance!r}")
+    return LemmaCheck("lemma1", True, "product query equivalent to saturated query")
+
+
+def _head_fds_violated(
+    query: ConjunctiveQuery, instance: DatabaseInstance, max_lhs: int = 2
+) -> set:
+    """FDs (as (lhs positions, rhs position)) violated by q(instance)."""
+    answer = evaluate(query, instance)
+    arity = len(query.head.terms)
+    violated = set()
+    rows = list(answer.rows)
+    for lhs_size in range(0, min(max_lhs, arity) + 1):
+        for lhs in combinations(range(arity), lhs_size):
+            for rhs in range(arity):
+                if rhs in lhs:
+                    continue
+                seen = {}
+                for row in rows:
+                    key = tuple(row[p] for p in lhs)
+                    if key in seen and seen[key] != row[rhs]:
+                        violated.add((lhs, rhs))
+                        break
+                    seen.setdefault(key, row[rhs])
+    return violated
+
+
+def check_lemma2(
+    query: ConjunctiveQuery,
+    schema: DatabaseSchema,
+    instances: Sequence[DatabaseInstance] = (),
+) -> LemmaCheck:
+    """Lemma 2: the product query q̂ satisfies conditions (a)-(d).
+
+    (a) q̂ ⊆ q (exact, Chandra–Merlin); (b) FDs holding on q̂(d) hold on
+    q(d) — i.e. every FD *violated* by q̂(d) is violated by q(d) — checked
+    over head-position FDs on the supplied instances; (c) q(d) non-empty ⇒
+    q̂(d) non-empty, on the supplied instances; (d) same body relations.
+    """
+    if not has_only_identity_joins(query):
+        return LemmaCheck("lemma2", False, "premise fails: query has selections or non-identity joins")
+    hat = lemma2_hat(query)
+    if not is_contained_in(hat, query, schema):
+        return LemmaCheck("lemma2", False, "condition (a) fails: q̂ ⊄ q")
+    if set(hat.body_relations()) != set(query.body_relations()):
+        return LemmaCheck("lemma2", False, "condition (d) fails: body relations differ")
+    for instance in instances:
+        q_answer = evaluate(query, instance)
+        hat_answer = evaluate(hat, instance)
+        if not q_answer.is_empty() and hat_answer.is_empty():
+            return LemmaCheck("lemma2", False, f"condition (c) fails on {instance!r}")
+        # (b): an FD that holds on q(d) holds on q̂(d); contrapositive on
+        # violations of q̂.
+        if _head_fds_violated(hat, instance) - _head_fds_violated(query, instance):
+            return LemmaCheck("lemma2", False, f"condition (b) fails on {instance!r}")
+    return LemmaCheck("lemma2", True, "q̂ satisfies (a)-(d)")
+
+
+# --------------------------------------------------------------------------
+# Lemmas 3-5: round-trip properties of the receives relation.
+# --------------------------------------------------------------------------
+
+def check_lemma3(alpha: QueryMapping, beta: QueryMapping) -> LemmaCheck:
+    """Lemma 3: every S₁ attribute round-trips through some S₂ attribute."""
+    receives_alpha = alpha.receives()
+    receives_beta = beta.receives()
+    for a in alpha.source.qualified_attributes():
+        partners = [
+            b
+            for b in alpha.target.qualified_attributes()
+            if receives_alpha.receives(b, a) and receives_beta.receives(a, b)
+        ]
+        if not partners:
+            return LemmaCheck(
+                "lemma3",
+                False,
+                f"attribute {a!r} has no B with A→B under α and B→A under β",
+            )
+    return LemmaCheck("lemma3", True, "every S1 attribute round-trips")
+
+
+def check_lemma4(alpha: QueryMapping, beta: QueryMapping) -> LemmaCheck:
+    """Lemma 4: A receives B under β ⟹ B receives A under α."""
+    receives_alpha = alpha.receives()
+    receives_beta = beta.receives()
+    for a in alpha.source.qualified_attributes():
+        for b in receives_beta.received_by(a):
+            if not receives_alpha.receives(b, a):
+                return LemmaCheck(
+                    "lemma4",
+                    False,
+                    f"{a!r} receives {b!r} under β, but {b!r} does not "
+                    f"receive {a!r} under α",
+                )
+    return LemmaCheck("lemma4", True, "β-receipt implies α-receipt back")
+
+
+def check_lemma5(alpha: QueryMapping, beta: QueryMapping) -> LemmaCheck:
+    """Lemma 5: if B receives A under α and B is received at all under β,
+    B is received by A under β."""
+    receives_alpha = alpha.receives()
+    receives_beta = beta.receives()
+    for b in alpha.target.qualified_attributes():
+        receivers = receives_beta.receivers_of(b)
+        if not receivers:
+            continue
+        for a in receives_alpha.received_by(b):
+            if a not in receivers:
+                return LemmaCheck(
+                    "lemma5",
+                    False,
+                    f"{b!r} receives {a!r} under α and is received under β, "
+                    f"but not by {a!r} (receivers: {sorted(map(repr, receivers))})",
+                )
+    return LemmaCheck("lemma5", True, "received-back attributes return to their source")
+
+
+# --------------------------------------------------------------------------
+# Lemma 7: key encoding.
+# --------------------------------------------------------------------------
+
+def check_lemma7(
+    alpha: QueryMapping,
+    beta: QueryMapping,
+    extra_instances: Sequence[DatabaseInstance] = (),
+) -> LemmaCheck:
+    """Lemma 7 parts (a) and (b) for every applicable (B, K) pair.
+
+    Part (a) — existence of the key attribute K′ — is checked by the
+    receives analysis; part (b) — K′ and B share a value in every tuple of
+    every instance in range(α) — is checked on the lemma's own two-key-value
+    gadget instance plus any ``extra_instances`` (instances of S₁).
+    """
+    receives_alpha = alpha.receives()
+    receives_beta = beta.receives()
+    s1_keys = set(alpha.source.key_qualified_attributes())
+    avoid = alpha.constants() | beta.constants()
+    checked = 0
+    for b in alpha.target.nonkey_qualified_attributes():
+        for k in sorted(receives_alpha.received_by(b) & s1_keys, key=repr):
+            premise = receives_beta.receives(k, b) or involved_in_condition(beta, b)
+            if not premise:
+                continue
+            checked += 1
+            k_prime = lemma7_key_attribute(alpha, b, k)
+            if k_prime is None:
+                return LemmaCheck(
+                    "lemma7",
+                    False,
+                    f"(a) fails: no key attribute K' for B={b!r}, K={k!r}",
+                )
+            gadget, _, _ = two_key_values(alpha.source, k, avoid=avoid)
+            instances = [gadget, *extra_instances]
+            for instance in instances:
+                image = alpha.apply(instance)
+                relation = image.relation(b.relation)
+                b_pos = relation.schema.position(b.attribute)
+                kp_pos = relation.schema.position(k_prime.attribute)
+                for row in relation:
+                    if row[b_pos] != row[kp_pos]:
+                        return LemmaCheck(
+                            "lemma7",
+                            False,
+                            f"(b) fails: tuple {row!r} of {b.relation!r} has "
+                            f"{k_prime.attribute!r} ≠ {b.attribute!r}",
+                        )
+    return LemmaCheck(
+        "lemma7", True, f"key encoding holds ({checked} (B, K) pairs checked)"
+    )
+
+
+# --------------------------------------------------------------------------
+# Lemma 8 and Theorem 9: the κ construction.
+# --------------------------------------------------------------------------
+
+def check_lemma8(
+    construction: KappaConstruction,
+    kappa_instances: Sequence[DatabaseInstance] = (),
+    samples: int = 3,
+) -> LemmaCheck:
+    """Lemma 8: β(δ(π_κ(e))) = β(e) for e = α(γ(d_κ)).
+
+    Checked pointwise on attribute-specific and random instances of κ(S₁)
+    plus any supplied ones.
+    """
+    kappa_s1 = construction.kappa_s1
+    instances: List[DatabaseInstance] = list(kappa_instances)
+    avoid = construction.alpha.constants() | construction.beta.constants()
+    instances.append(attribute_specific_instance(kappa_s1, rows_per_relation=1, avoid=avoid))
+    instances.append(attribute_specific_instance(kappa_s1, rows_per_relation=2, avoid=avoid))
+    for seed in range(samples):
+        instances.append(random_instance(kappa_s1, rows_per_relation=3, seed=seed))
+    for d_kappa in instances:
+        e = construction.alpha.apply(construction.gamma.apply(d_kappa))
+        lhs = construction.beta.apply(
+            construction.delta.apply(e.key_projection())
+        )
+        rhs = construction.beta.apply(e)
+        if lhs != rhs:
+            return LemmaCheck(
+                "lemma8",
+                False,
+                f"β(δ(π_κ(e))) ≠ β(e) for d_κ = {d_kappa!r}",
+            )
+    return LemmaCheck(
+        "lemma8", True, f"δ reconstructs accurately on {len(instances)} instances"
+    )
+
+
+def check_theorem9(
+    alpha: QueryMapping, beta: QueryMapping
+) -> LemmaCheck:
+    """Theorem 9: β_κ ∘ α_κ is the identity on i(κ(S₁)) — decided exactly.
+
+    κ schemas are unkeyed, so the identity question is plain CQ
+    equivalence of the composed views with the identity views.
+    """
+    construction = kappa_construction(alpha, beta)
+    theta = construction.alpha_kappa.then(construction.beta_kappa)
+    kappa_s1 = construction.kappa_s1
+    for relation in kappa_s1:
+        identity = identity_view(relation.name, relation.arity)
+        if not are_equivalent(theta.query(relation.name), identity, kappa_s1):
+            return LemmaCheck(
+                "theorem9",
+                False,
+                f"β_κ∘α_κ is not the identity on relation {relation.name!r}",
+            )
+    return LemmaCheck("theorem9", True, "κ(S1) ⪯ κ(S2) by (α_κ, β_κ)")
+
+
+# --------------------------------------------------------------------------
+# Lemmas 10-12: counting properties of β's receives relation.
+# --------------------------------------------------------------------------
+
+def check_lemma10(alpha: QueryMapping, beta: QueryMapping) -> LemmaCheck:
+    """Lemma 10: no two S₁ attributes receive the same S₂ attribute under β."""
+    receives_beta = beta.receives()
+    for b in alpha.target.qualified_attributes():
+        receivers = receives_beta.receivers_of(b)
+        if len(receivers) > 1:
+            return LemmaCheck(
+                "lemma10",
+                False,
+                f"{b!r} is received by {len(receivers)} attributes: "
+                f"{sorted(map(repr, receivers))}",
+            )
+    return LemmaCheck("lemma10", True, "β-receivers are unique")
+
+
+def _same_type_counts(s1: DatabaseSchema, s2: DatabaseSchema) -> bool:
+    from collections import Counter
+
+    c1 = Counter(a.type_name for a in s1.qualified_attributes())
+    c2 = Counter(a.type_name for a in s2.qualified_attributes())
+    return c1 == c2
+
+
+def check_lemma11(alpha: QueryMapping, beta: QueryMapping) -> LemmaCheck:
+    """Lemma 11 (premise: equal type counts): every S₂ attribute is received under β."""
+    if not _same_type_counts(alpha.source, alpha.target):
+        return LemmaCheck("lemma11", True, "premise not applicable (type counts differ)")
+    receives_beta = beta.receives()
+    for b in alpha.target.qualified_attributes():
+        if not receives_beta.receivers_of(b):
+            return LemmaCheck(
+                "lemma11", False, f"{b!r} is received by no S1 attribute under β"
+            )
+    return LemmaCheck("lemma11", True, "every S2 attribute is received under β")
+
+
+def check_lemma12(alpha: QueryMapping, beta: QueryMapping) -> LemmaCheck:
+    """Lemma 12 (premise: equal type counts): no S₁ attribute receives two
+    distinct S₂ attributes under β."""
+    if not _same_type_counts(alpha.source, alpha.target):
+        return LemmaCheck("lemma12", True, "premise not applicable (type counts differ)")
+    receives_beta = beta.receives()
+    for a in alpha.source.qualified_attributes():
+        received = receives_beta.received_by(a)
+        if len(received) > 1:
+            return LemmaCheck(
+                "lemma12",
+                False,
+                f"{a!r} receives {len(received)} attributes: "
+                f"{sorted(map(repr, received))}",
+            )
+    return LemmaCheck("lemma12", True, "β-received attributes are unique per receiver")
+
+
+def check_all(alpha: QueryMapping, beta: QueryMapping) -> List[LemmaCheck]:
+    """Run every pair-level lemma check on (α, β)."""
+    checks = [
+        check_lemma3(alpha, beta),
+        check_lemma4(alpha, beta),
+        check_lemma5(alpha, beta),
+        check_lemma7(alpha, beta),
+        check_lemma10(alpha, beta),
+        check_lemma11(alpha, beta),
+        check_lemma12(alpha, beta),
+        check_theorem9(alpha, beta),
+    ]
+    construction = kappa_construction(alpha, beta)
+    checks.append(check_lemma8(construction))
+    return checks

@@ -1,0 +1,119 @@
+"""Cheap, sound refutations of dominance: necessary-condition obstructions.
+
+Deciding S₁ ⪯ S₂ in general requires searching for mappings, but the
+paper's lemmas yield *necessary conditions* checkable from the schemas
+alone.  Each violated condition is a sound refutation with a named lemma
+behind it:
+
+* **type presence / pigeonhole** — by Lemma 3, every attribute of S₁ must
+  round-trip through a same-typed attribute of S₂, and by Lemma 10 no two
+  S₁ attributes may share that partner; hence, per attribute type T,
+  #attrs_T(S₁) ≤ #attrs_T(S₂).
+* **key pigeonhole** — by Theorem 9, S₁ ⪯ S₂ implies κ(S₁) ⪯ κ(S₂);
+  applying the same counting to the κ images bounds the *key* attribute
+  counts per type.
+* **capacity** — over a finite uniform domain fragment, β∘α = id forces α
+  to be injective on instances, so #i(S₁) ≤ #i(S₂)
+  (:mod:`repro.core.capacity`).
+
+``dominance_obstructions`` returns every violated condition; an empty list
+means "no cheap refutation" — NOT a proof of dominance.  The bounded
+search (experiment E1) uses this as a pre-filter, and the test suite
+cross-validates the obstructions against exhaustive search outcomes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, NamedTuple
+
+from repro.core.capacity import capacity_obstruction
+from repro.relational.schema import DatabaseSchema
+
+
+class Obstruction(NamedTuple):
+    """One sound reason why S₁ ⪯ S₂ is impossible."""
+
+    kind: str
+    basis: str
+    detail: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind} / {self.basis}] {self.detail}"
+
+
+def _type_counts(schema: DatabaseSchema) -> Counter:
+    return Counter(a.type_name for a in schema.qualified_attributes())
+
+
+def _key_type_counts(schema: DatabaseSchema) -> Counter:
+    return Counter(a.type_name for a in schema.key_qualified_attributes())
+
+
+def dominance_obstructions(
+    s1: DatabaseSchema,
+    s2: DatabaseSchema,
+    max_capacity_size: int = 3,
+) -> List[Obstruction]:
+    """All cheap sound refutations of S₁ ⪯ S₂ (empty = none found)."""
+    obstructions: List[Obstruction] = []
+
+    counts1, counts2 = _type_counts(s1), _type_counts(s2)
+    for type_name, count in sorted(counts1.items()):
+        available = counts2.get(type_name, 0)
+        if available == 0:
+            obstructions.append(
+                Obstruction(
+                    "type-presence",
+                    "Lemma 3",
+                    f"S1 has {count} attribute(s) of type {type_name!r}; S2 "
+                    "has none to round-trip them through",
+                )
+            )
+        elif count > available:
+            obstructions.append(
+                Obstruction(
+                    "type-pigeonhole",
+                    "Lemmas 3 + 10",
+                    f"S1 has {count} attribute(s) of type {type_name!r} but "
+                    f"S2 only {available}; round-trip partners must be "
+                    "distinct",
+                )
+            )
+
+    if s1.is_keyed and s2.is_keyed:
+        key1, key2 = _key_type_counts(s1), _key_type_counts(s2)
+        for type_name, count in sorted(key1.items()):
+            available = key2.get(type_name, 0)
+            if count > available:
+                obstructions.append(
+                    Obstruction(
+                        "key-pigeonhole",
+                        "Theorem 9 + Lemmas 3 + 10 on κ images",
+                        f"κ(S1) has {count} key attribute(s) of type "
+                        f"{type_name!r} but κ(S2) only {available}",
+                    )
+                )
+
+    if s1.is_keyed and s2.is_keyed:
+        size = capacity_obstruction(s1, s2, max_size=max_capacity_size)
+        if size is not None:
+            obstructions.append(
+                Obstruction(
+                    "capacity",
+                    "instance counting over a finite fragment",
+                    f"at uniform type size {size}, S1 admits more "
+                    "key-satisfying instances than S2, so no injective "
+                    "instance mapping exists",
+                )
+            )
+
+    return obstructions
+
+
+def dominance_possible(s1: DatabaseSchema, s2: DatabaseSchema) -> bool:
+    """True when no cheap obstruction refutes S₁ ⪯ S₂.
+
+    Necessary-condition check only; ``True`` does not certify dominance.
+    """
+    return not dominance_obstructions(s1, s2)

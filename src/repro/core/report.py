@@ -1,0 +1,58 @@
+"""Plain-text reporting helpers for experiments and examples.
+
+The paper has no tables of its own; the experiment harness prints
+theorem-validation tables in a uniform fixed-width format through
+:class:`Table`, and lemma-check summaries through
+:func:`format_checks`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core.lemmas import LemmaCheck
+
+
+class Table:
+    """A minimal fixed-width text table."""
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; cells are str()-ed."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        """Render the table with aligned columns."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def format_checks(checks: Iterable[LemmaCheck], title: str = "Lemma checks") -> str:
+    """Render a list of lemma checks as a table."""
+    table = Table(["check", "holds", "detail"], title=title)
+    for check in checks:
+        table.add_row(check.name, "yes" if check.holds else "NO", check.detail)
+    return table.render()

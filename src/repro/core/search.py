@@ -1,0 +1,327 @@
+"""Bounded exhaustive search for dominance witnesses (experiment E1).
+
+Theorem 13 predicts that the only conjunctive-query-equivalent keyed
+schemas are isomorphic ones.  Its finite shadow is checkable: enumerate all
+constant-free conjunctive query mappings up to a body-size bound between
+two small schemas, verify each candidate pair exactly, and observe that
+witnesses exist exactly for isomorphic pairs.  This module implements the
+enumeration and the scan driver.
+
+Enumeration strategy (per target relation): choose a multiset of body
+atoms over the source relations (≤ ``max_atoms``), assign one fresh
+variable per position, enumerate all *type-homogeneous* partitions of the
+positions (a partition is exactly an equality-class structure), and
+enumerate all assignments of head positions to same-typed classes.  This
+covers every constant-free conjunctive query with ≤ ``max_atoms`` body
+atoms up to variable renaming.  Constants are deliberately excluded: the
+search space with constants is infinite, and the paper's fresh-value
+arguments (Lemma 3) show constants cannot help a mapping encode the
+unboundedly many values a round trip must preserve.
+
+Candidate pairs are bulk-rejected by the gadget refuter
+(:mod:`repro.core.counterexample`) before the exact chase-based checks run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.core.counterexample import quick_reject
+from repro.errors import MappingError
+from repro.mappings.dominance import DominancePair
+from repro.mappings.identity import composes_to_identity
+from repro.mappings.query_mapping import QueryMapping
+from repro.mappings.validity import is_valid
+from repro.cq.syntax import Atom, ConjunctiveQuery, Variable
+from repro.relational.isomorphism import is_isomorphic
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.utils.itertools_ext import partitions
+
+
+def enumerate_view_queries(
+    source: DatabaseSchema,
+    view_relation: RelationSchema,
+    max_atoms: int = 2,
+    max_queries: Optional[int] = None,
+) -> Iterator[ConjunctiveQuery]:
+    """All constant-free CQs defining ``view_relation`` over ``source``.
+
+    Complete up to variable renaming for bodies of at most ``max_atoms``
+    atoms; truncated at ``max_queries`` when given.
+    """
+    emitted = 0
+    head_types = view_relation.type_signature
+    relation_names = [r.name for r in source]
+    for n_atoms in range(1, max_atoms + 1):
+        for combo in itertools.combinations_with_replacement(relation_names, n_atoms):
+            body: List[Atom] = []
+            position_types: List[str] = []
+            variables: List[Variable] = []
+            index = 0
+            for relation_name in combo:
+                relation = source.relation(relation_name)
+                terms = []
+                for attr in relation.attributes:
+                    var = Variable(f"v{index}")
+                    index += 1
+                    terms.append(var)
+                    variables.append(var)
+                    position_types.append(attr.type_name)
+                body.append(Atom(relation_name, tuple(terms)))
+            positions = list(range(len(variables)))
+            for partition in partitions(positions):
+                # Equality classes must be type-homogeneous.
+                if any(
+                    len({position_types[p] for p in block}) > 1
+                    for block in partition
+                ):
+                    continue
+                equalities = []
+                for block in partition:
+                    anchor = variables[block[0]]
+                    for p in block[1:]:
+                        equalities.append((anchor, variables[p]))
+                # Head: each position picks a class of its type.
+                per_position_choices: List[List[Variable]] = []
+                feasible = True
+                for type_name in head_types:
+                    choices = [
+                        variables[block[0]]
+                        for block in partition
+                        if position_types[block[0]] == type_name
+                    ]
+                    if not choices:
+                        feasible = False
+                        break
+                    per_position_choices.append(choices)
+                if not feasible:
+                    continue
+                for head_vars in itertools.product(*per_position_choices):
+                    head = Atom(view_relation.name, tuple(head_vars))
+                    yield ConjunctiveQuery(head, body, equalities)
+                    emitted += 1
+                    if max_queries is not None and emitted >= max_queries:
+                        return
+
+
+def enumerate_mappings(
+    source: DatabaseSchema,
+    target: DatabaseSchema,
+    max_atoms: int = 2,
+    per_relation_cap: Optional[int] = None,
+    total_cap: Optional[int] = None,
+) -> Iterator[QueryMapping]:
+    """All constant-free query mappings source → target within the bounds."""
+    per_relation: List[List[ConjunctiveQuery]] = []
+    for relation in target:
+        candidates = list(
+            enumerate_view_queries(
+                source, relation, max_atoms=max_atoms, max_queries=per_relation_cap
+            )
+        )
+        if not candidates:
+            return
+        per_relation.append(candidates)
+    emitted = 0
+    for combination in itertools.product(*per_relation):
+        queries = {
+            relation.name: query
+            for relation, query in zip(target.relations, combination)
+        }
+        yield QueryMapping(source, target, queries)
+        emitted += 1
+        if total_cap is not None and emitted >= total_cap:
+            return
+
+
+class SearchStats(NamedTuple):
+    """Effort counters for one dominance search."""
+
+    alpha_candidates: int
+    beta_candidates: int
+    pairs_tried: int
+    pairs_gadget_rejected: int
+    exact_checks: int
+
+
+class DominanceSearchResult(NamedTuple):
+    """Outcome of :func:`search_dominance`."""
+
+    pair: Optional[DominancePair]
+    stats: SearchStats
+
+    @property
+    def found(self) -> bool:
+        """True iff a verified witness was found."""
+        return self.pair is not None
+
+
+def search_dominance(
+    s1: DatabaseSchema,
+    s2: DatabaseSchema,
+    max_atoms: int = 2,
+    per_relation_cap: Optional[int] = None,
+    mapping_cap: Optional[int] = None,
+) -> DominanceSearchResult:
+    """Bounded exhaustive search for a witness of S₁ ⪯ S₂.
+
+    All candidate α : S₁ → S₂ are filtered to the exactly-valid ones, as
+    are all candidate β : S₂ → S₁; surviving pairs are gadget-refuted and
+    then checked exactly.  Within the bounds the search is complete: if it
+    returns no pair, no constant-free witness with ≤ ``max_atoms`` body
+    atoms per view exists.
+
+    A sound lemma-based pre-filter (:mod:`repro.core.obstructions`) runs
+    first: when a necessary condition for dominance is already violated,
+    the search returns immediately with empty statistics.
+    """
+    from repro.core.obstructions import dominance_obstructions
+
+    if dominance_obstructions(s1, s2):
+        return DominanceSearchResult(None, SearchStats(0, 0, 0, 0, 0))
+    alphas = [
+        m
+        for m in enumerate_mappings(
+            s1, s2, max_atoms=max_atoms,
+            per_relation_cap=per_relation_cap, total_cap=mapping_cap,
+        )
+        if is_valid(m)
+    ]
+    betas = [
+        m
+        for m in enumerate_mappings(
+            s2, s1, max_atoms=max_atoms,
+            per_relation_cap=per_relation_cap, total_cap=mapping_cap,
+        )
+        if is_valid(m)
+    ]
+    pairs_tried = 0
+    gadget_rejected = 0
+    exact_checks = 0
+    for alpha in alphas:
+        for beta in betas:
+            pairs_tried += 1
+            if quick_reject(alpha, beta):
+                gadget_rejected += 1
+                continue
+            exact_checks += 1
+            if composes_to_identity(alpha, beta):
+                return DominanceSearchResult(
+                    DominancePair(alpha, beta),
+                    SearchStats(
+                        len(alphas), len(betas), pairs_tried,
+                        gadget_rejected, exact_checks,
+                    ),
+                )
+    return DominanceSearchResult(
+        None,
+        SearchStats(len(alphas), len(betas), pairs_tried, gadget_rejected, exact_checks),
+    )
+
+
+class EquivalenceSearchResult(NamedTuple):
+    """Outcome of :func:`search_equivalence`."""
+
+    forward: DominanceSearchResult
+    backward: Optional[DominanceSearchResult]
+
+    @property
+    def found(self) -> bool:
+        """True iff witnesses were found in both directions."""
+        return self.forward.found and (
+            self.backward is not None and self.backward.found
+        )
+
+
+def search_equivalence(
+    s1: DatabaseSchema,
+    s2: DatabaseSchema,
+    max_atoms: int = 2,
+    per_relation_cap: Optional[int] = None,
+    mapping_cap: Optional[int] = None,
+) -> EquivalenceSearchResult:
+    """Bounded search for equivalence witnesses in both directions.
+
+    The backward search only runs when the forward one succeeds.
+    """
+    forward = search_dominance(
+        s1, s2, max_atoms=max_atoms,
+        per_relation_cap=per_relation_cap, mapping_cap=mapping_cap,
+    )
+    if not forward.found:
+        return EquivalenceSearchResult(forward, None)
+    backward = search_dominance(
+        s2, s1, max_atoms=max_atoms,
+        per_relation_cap=per_relation_cap, mapping_cap=mapping_cap,
+    )
+    return EquivalenceSearchResult(forward, backward)
+
+
+class ScanRow(NamedTuple):
+    """One pair's outcome in a Theorem 13 scan."""
+
+    index1: int
+    index2: int
+    isomorphic: bool
+    equivalence_found: bool
+
+    @property
+    def consistent_with_theorem13(self) -> bool:
+        """Theorem 13 predicts: equivalence witness found ⟹ isomorphic, and
+        (within search bounds) isomorphic ⟹ witness found."""
+        return self.isomorphic == self.equivalence_found
+
+
+def dominance_matrix(
+    schemas: Sequence[DatabaseSchema],
+    max_atoms: int = 2,
+    per_relation_cap: Optional[int] = None,
+    mapping_cap: Optional[int] = None,
+) -> List[List[bool]]:
+    """The dominance preorder over a schema universe, by bounded search.
+
+    ``matrix[i][j]`` records whether a witness of ``schemas[i] ⪯
+    schemas[j]`` was found within the bounds.  Unlike equivalence (which
+    Theorem 13 collapses to isomorphism), dominance is a genuine preorder:
+    schemas embed into strictly larger ones but not conversely, so the
+    matrix is reflexive and transitive but not symmetric.  The tests check
+    exactly those properties, plus consistency with the isomorphism
+    diagonal.
+    """
+    n = len(schemas)
+    matrix: List[List[bool]] = [[False] * n for _ in range(n)]
+    for i, s1 in enumerate(schemas):
+        for j, s2 in enumerate(schemas):
+            matrix[i][j] = search_dominance(
+                s1,
+                s2,
+                max_atoms=max_atoms,
+                per_relation_cap=per_relation_cap,
+                mapping_cap=mapping_cap,
+            ).found
+    return matrix
+
+
+def theorem13_scan(
+    schemas: Sequence[DatabaseSchema],
+    max_atoms: int = 2,
+    per_relation_cap: Optional[int] = None,
+    mapping_cap: Optional[int] = None,
+) -> List[ScanRow]:
+    """Scan all unordered pairs of ``schemas`` for Theorem 13's prediction.
+
+    For each pair, run the bounded equivalence search and compare against
+    the isomorphism test.  Every row should satisfy
+    ``consistent_with_theorem13``.
+    """
+    rows: List[ScanRow] = []
+    for i, s1 in enumerate(schemas):
+        for j in range(i, len(schemas)):
+            s2 = schemas[j]
+            result = search_equivalence(
+                s1, s2, max_atoms=max_atoms,
+                per_relation_cap=per_relation_cap, mapping_cap=mapping_cap,
+            )
+            rows.append(ScanRow(i, j, is_isomorphic(s1, s2), result.found))
+    return rows

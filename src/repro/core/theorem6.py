@@ -1,0 +1,151 @@
+"""Theorem 6: FD transfer across a dominance pair.
+
+Theorem 6 states: let S₁ ⪯ S₂ by (α, β); suppose ``Y → B`` holds in some
+relation R of S₂ (with Y a superkey is the paper's use, but the statement
+is for any FD known to hold); if B is received by attribute A under β and
+every attribute of Y is received by an attribute in a set X under β, then
+``X → A`` must hold in S₁.
+
+Since the only dependencies holding in a keyed schema are its key
+dependencies (and their consequences), "X → A holds in S₁" is decided by
+FD implication from the key FDs — including the paper's §2 convention that
+a cross-relation FD fails for every instance (so X ∪ {A} must live in one
+relation for the conclusion to be satisfiable).
+
+:func:`transferred_dependencies` enumerates every instance of the theorem's
+premise for the key FDs of S₂ and reports whether each transferred FD
+holds; a genuine dominance pair must make all of them hold, which is how
+the main theorem derives the key correspondence between the schemas.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, NamedTuple, Optional, Set, Tuple
+
+from repro.cq.receives import MappingReceives
+from repro.mappings.query_mapping import QueryMapping
+from repro.relational.attribute import QualifiedAttribute
+from repro.relational.fd_theory import closure, fd
+from repro.relational.schema import DatabaseSchema
+
+
+class TransferredFD(NamedTuple):
+    """One instance of Theorem 6's conclusion.
+
+    The premise FD ``Y → B`` held in relation ``target_relation`` of S₂;
+    ``lhs`` is the receiving set X, ``rhs`` the receiving attribute A, and
+    ``holds`` whether ``X → A`` follows from S₁'s key dependencies.
+    """
+
+    target_relation: str
+    premise_lhs: Tuple[QualifiedAttribute, ...]
+    premise_rhs: QualifiedAttribute
+    lhs: FrozenSet[QualifiedAttribute]
+    rhs: QualifiedAttribute
+    holds: bool
+
+
+def fd_holds_in_keyed_schema(
+    schema: DatabaseSchema,
+    lhs: FrozenSet[QualifiedAttribute],
+    rhs: QualifiedAttribute,
+) -> bool:
+    """Does ``lhs → rhs`` follow from the schema's key dependencies?
+
+    Per the paper's §2 convention, a dependency whose attributes span
+    relations fails for every instance; within one relation, implication
+    from the key FD is decided by attribute closure.
+    """
+    relations = {a.relation for a in lhs} | {rhs.relation}
+    if len(relations) != 1:
+        return False
+    relation = schema.relation(rhs.relation)
+    if relation.key is None:
+        return False
+    key_fd = fd(relation.key, (a.name for a in relation.attributes))
+    lhs_names = {a.attribute for a in lhs}
+    return rhs.attribute in closure(lhs_names, [key_fd])
+
+
+def transferred_dependencies(
+    alpha: QueryMapping, beta: QueryMapping
+) -> List[TransferredFD]:
+    """Enumerate Theorem 6's conclusions for every key FD of S₂.
+
+    For each relation R of S₂ with key K and each attribute B of R: the
+    premise FD is K → B.  The premise on the receives side requires B to be
+    received by some A under β and *every* attribute of K to be received
+    under β; instances where the premise fails are skipped (the theorem
+    says nothing about them).
+    """
+    s2 = alpha.target
+    receives_beta: MappingReceives = beta.receives()
+    results: List[TransferredFD] = []
+    for relation in s2:
+        if relation.key is None:
+            continue
+        key_attrs = tuple(
+            QualifiedAttribute(relation.name, a.name, a.type_name)
+            for a in relation.key_attributes()
+        )
+        # Every key attribute must be received under β for the premise.
+        x_sets: List[FrozenSet[QualifiedAttribute]] = []
+        premise_ok = True
+        for key_attr in key_attrs:
+            receivers = receives_beta.receivers_of(key_attr)
+            if not receivers:
+                premise_ok = False
+                break
+            x_sets.append(receivers)
+        if not premise_ok:
+            continue
+        x_union: Set[QualifiedAttribute] = set()
+        for receivers in x_sets:
+            x_union |= receivers
+        lhs = frozenset(x_union)
+        for attr in relation.attributes:
+            b = QualifiedAttribute(relation.name, attr.name, attr.type_name)
+            for a in sorted(receives_beta.receivers_of(b), key=repr):
+                results.append(
+                    TransferredFD(
+                        relation.name,
+                        key_attrs,
+                        b,
+                        lhs,
+                        a,
+                        fd_holds_in_keyed_schema(alpha.source, lhs, a),
+                    )
+                )
+    return results
+
+
+def verify_theorem6(alpha: QueryMapping, beta: QueryMapping) -> bool:
+    """True iff every transferred FD holds in S₁.
+
+    For a verified dominance pair this must be true (Theorem 6); a
+    ``False`` here refutes the candidate pair without running the exact
+    round-trip check — the E4 experiment uses it exactly that way.
+    """
+    return all(t.holds for t in transferred_dependencies(alpha, beta))
+
+
+def superkey_images(
+    alpha: QueryMapping, beta: QueryMapping
+) -> List[Tuple[str, FrozenSet[QualifiedAttribute]]]:
+    """The sets K̄ᵢ of the Theorem 13 proof: receivers of each S₂ key.
+
+    For each relation Rᵢ of S₂ with key Kᵢ, returns (Rᵢ, K̄ᵢ) where K̄ᵢ is
+    the set of S₁ attributes receiving some attribute of Kᵢ under β.  In
+    the proof these must be superkeys of S₁ relations.
+    """
+    receives_beta = beta.receives()
+    result: List[Tuple[str, FrozenSet[QualifiedAttribute]]] = []
+    for relation in alpha.target:
+        if relation.key is None:
+            continue
+        receivers: Set[QualifiedAttribute] = set()
+        for attr in relation.key_attributes():
+            qualified = QualifiedAttribute(relation.name, attr.name, attr.type_name)
+            receivers |= receives_beta.receivers_of(qualified)
+        result.append((relation.name, frozenset(receivers)))
+    return result

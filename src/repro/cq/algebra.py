@@ -1,0 +1,260 @@
+"""Conjunctive relational algebra with equality selections.
+
+The paper defines conjunctive queries as relational algebra expressions
+built from select (equality conditions only), project, join, and cartesian
+product.  This module gives that algebra an explicit operator-tree form,
+evaluates it positionally, and converts both ways between algebra trees and
+the Datalog-style :class:`~repro.cq.syntax.ConjunctiveQuery` — establishing
+executable witnesses for the paper's claim that "all conjunctive relational
+algebra queries with equality selections can be expressed with the syntax
+just described".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple, Union
+
+from repro.cq.syntax import Atom, ConjunctiveQuery, Constant, Term, Variable
+from repro.errors import EvaluationError, QuerySyntaxError, TypecheckError
+from repro.relational.domain import Value
+from repro.relational.instance import DatabaseInstance, Row
+from repro.relational.schema import DatabaseSchema
+from repro.utils.fresh import FreshNames
+
+
+@dataclass(frozen=True)
+class Relation:
+    """Leaf: scan one base relation."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SelectColumns:
+    """σ_{i=j}: keep rows whose columns ``i`` and ``j`` are equal."""
+
+    child: "Expression"
+    left: int
+    right: int
+
+
+@dataclass(frozen=True)
+class SelectConstant:
+    """σ_{i=c}: keep rows whose column ``i`` equals the constant ``c``."""
+
+    child: "Expression"
+    column: int
+    value: Value
+
+
+@dataclass(frozen=True)
+class Project:
+    """π: reorder/duplicate/drop columns by index list."""
+
+    child: "Expression"
+    columns: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Product:
+    """×: cartesian product, columns of left then right."""
+
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class Join:
+    """⋈: equi-join on (left column, right column) pairs, concatenated columns."""
+
+    left: "Expression"
+    right: "Expression"
+    on: Tuple[Tuple[int, int], ...]
+
+
+Expression = Union[Relation, SelectColumns, SelectConstant, Project, Product, Join]
+
+
+def width(expression: Expression, schema: DatabaseSchema) -> int:
+    """Number of output columns of an algebra expression."""
+    if isinstance(expression, Relation):
+        return schema.relation(expression.name).arity
+    if isinstance(expression, (SelectColumns, SelectConstant)):
+        return width(expression.child, schema)
+    if isinstance(expression, Project):
+        return len(expression.columns)
+    if isinstance(expression, (Product, Join)):
+        return width(expression.left, schema) + width(expression.right, schema)
+    raise QuerySyntaxError(f"unknown algebra node {expression!r}")
+
+
+def validate(expression: Expression, schema: DatabaseSchema) -> int:
+    """Check column indices throughout the tree; returns the output width."""
+    if isinstance(expression, Relation):
+        if not schema.has_relation(expression.name):
+            raise TypecheckError(f"unknown relation {expression.name!r}")
+        return schema.relation(expression.name).arity
+    if isinstance(expression, SelectColumns):
+        w = validate(expression.child, schema)
+        for col in (expression.left, expression.right):
+            if not 0 <= col < w:
+                raise TypecheckError(f"selection column {col} out of range 0..{w-1}")
+        return w
+    if isinstance(expression, SelectConstant):
+        w = validate(expression.child, schema)
+        if not 0 <= expression.column < w:
+            raise TypecheckError(
+                f"selection column {expression.column} out of range 0..{w-1}"
+            )
+        return w
+    if isinstance(expression, Project):
+        w = validate(expression.child, schema)
+        for col in expression.columns:
+            if not 0 <= col < w:
+                raise TypecheckError(f"projection column {col} out of range 0..{w-1}")
+        return len(expression.columns)
+    if isinstance(expression, (Product, Join)):
+        wl = validate(expression.left, schema)
+        wr = validate(expression.right, schema)
+        if isinstance(expression, Join):
+            for left_col, right_col in expression.on:
+                if not 0 <= left_col < wl:
+                    raise TypecheckError(f"join column {left_col} out of left range")
+                if not 0 <= right_col < wr:
+                    raise TypecheckError(f"join column {right_col} out of right range")
+        return wl + wr
+    raise QuerySyntaxError(f"unknown algebra node {expression!r}")
+
+
+def evaluate_algebra(
+    expression: Expression, instance: DatabaseInstance
+) -> FrozenSet[Row]:
+    """Evaluate an algebra tree positionally over ``instance``."""
+    if isinstance(expression, Relation):
+        return frozenset(instance.relation(expression.name).rows)
+    if isinstance(expression, SelectColumns):
+        rows = evaluate_algebra(expression.child, instance)
+        return frozenset(
+            r for r in rows if r[expression.left] == r[expression.right]
+        )
+    if isinstance(expression, SelectConstant):
+        rows = evaluate_algebra(expression.child, instance)
+        return frozenset(r for r in rows if r[expression.column] == expression.value)
+    if isinstance(expression, Project):
+        rows = evaluate_algebra(expression.child, instance)
+        return frozenset(tuple(r[c] for c in expression.columns) for r in rows)
+    if isinstance(expression, Product):
+        left = evaluate_algebra(expression.left, instance)
+        right = evaluate_algebra(expression.right, instance)
+        return frozenset(l + r for l in left for r in right)
+    if isinstance(expression, Join):
+        left = evaluate_algebra(expression.left, instance)
+        right = evaluate_algebra(expression.right, instance)
+        index: Dict[Tuple[Value, ...], List[Row]] = {}
+        for r in right:
+            key = tuple(r[rc] for _, rc in expression.on)
+            index.setdefault(key, []).append(r)
+        result = set()
+        for l in left:
+            key = tuple(l[lc] for lc, _ in expression.on)
+            for r in index.get(key, ()):
+                result.add(l + r)
+        return frozenset(result)
+    raise EvaluationError(f"unknown algebra node {expression!r}")
+
+
+def from_cq(query: ConjunctiveQuery) -> Expression:
+    """Lower a conjunctive query to an algebra tree.
+
+    Product of the body atoms, equality selections for the equality list
+    (and for repeated variables/constants if the query is not in paper
+    form), and a final projection onto the head.
+    """
+    paper = query.paper_form()
+    # Column layout: body atoms concatenated left to right.
+    column_of: Dict[Variable, int] = {}
+    offset = 0
+    tree: Expression | None = None
+    for body_atom in paper.body:
+        leaf: Expression = Relation(body_atom.relation)
+        tree = leaf if tree is None else Product(tree, leaf)
+        for i, term in enumerate(body_atom.terms):
+            column_of[term] = offset + i  # type: ignore[index]
+        offset += len(body_atom.terms)
+    assert tree is not None
+    for left, right in paper.equalities:
+        if isinstance(right, Constant):
+            tree = SelectConstant(tree, column_of[left], right.value)  # type: ignore[index]
+        else:
+            tree = SelectColumns(tree, column_of[left], column_of[right])  # type: ignore[index]
+    head_columns: List[int] = []
+    pending_constants: List[Tuple[int, Value]] = []
+    for position, term in enumerate(paper.head.terms):
+        if isinstance(term, Constant):
+            # Algebra trees here have no constant-introduction operator;
+            # encode head constants by selecting a body column pinned to the
+            # constant when one exists, otherwise reject.
+            pinned = [
+                column_of[l]  # type: ignore[index]
+                for l, r in paper.equalities
+                if isinstance(r, Constant) and r.value == term.value
+            ]
+            if not pinned:
+                raise QuerySyntaxError(
+                    f"head constant {term!r} does not occur in any equality; "
+                    "cannot express as pure algebra without a constant operator"
+                )
+            head_columns.append(pinned[0])
+        else:
+            head_columns.append(column_of[term])
+    return Project(tree, tuple(head_columns))
+
+
+def to_cq(
+    expression: Expression,
+    schema: DatabaseSchema,
+    view_name: str = "V",
+) -> ConjunctiveQuery:
+    """Raise an algebra tree to a conjunctive query in paper form.
+
+    The construction witnesses the paper's remark that the restricted
+    Datalog syntax expresses every conjunctive algebra query with equality
+    selections: base relations contribute body atoms with fresh variables,
+    selections and joins contribute equality predicates, projections narrow
+    the exported column list.
+    """
+    fresh = FreshNames(prefix="X")
+
+    def build(
+        node: Expression,
+    ) -> Tuple[List[Atom], List[Tuple[Term, Term]], List[Variable]]:
+        if isinstance(node, Relation):
+            rel = schema.relation(node.name)
+            variables = [Variable(fresh.next()) for _ in range(rel.arity)]
+            return [Atom(node.name, tuple(variables))], [], variables
+        if isinstance(node, SelectColumns):
+            atoms, eqs, cols = build(node.child)
+            eqs.append((cols[node.left], cols[node.right]))
+            return atoms, eqs, cols
+        if isinstance(node, SelectConstant):
+            atoms, eqs, cols = build(node.child)
+            eqs.append((cols[node.column], Constant(node.value)))
+            return atoms, eqs, cols
+        if isinstance(node, Project):
+            atoms, eqs, cols = build(node.child)
+            return atoms, eqs, [cols[c] for c in node.columns]
+        if isinstance(node, (Product, Join)):
+            left_atoms, left_eqs, left_cols = build(node.left)
+            right_atoms, right_eqs, right_cols = build(node.right)
+            atoms = left_atoms + right_atoms
+            eqs = left_eqs + right_eqs
+            if isinstance(node, Join):
+                for left_col, right_col in node.on:
+                    eqs.append((left_cols[left_col], right_cols[right_col]))
+            return atoms, eqs, left_cols + right_cols
+        raise QuerySyntaxError(f"unknown algebra node {node!r}")
+
+    atoms, equalities, columns = build(expression)
+    head = Atom(view_name, tuple(columns))
+    return ConjunctiveQuery(head, atoms, equalities)

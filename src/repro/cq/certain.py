@@ -1,0 +1,76 @@
+"""Certain answers of conjunctive queries over incomplete databases.
+
+An instance containing labelled nulls (:mod:`repro.cq.canonical`) is a
+*naive table*: it stands for every complete instance obtained by replacing
+nulls with domain values (consistently, and — under dependencies — so that
+the dependencies hold).  A tuple is a *certain answer* of a query when it
+appears in the answer over every such completion.
+
+For conjunctive queries the classical recipe is exact: chase the table
+with the dependencies (EGDs, weakly acyclic TGDs), evaluate the query
+naively, and keep the null-free answer rows.  This module packages that
+recipe; it is a natural by-product of the chase machinery the paper's
+validity/identity checks already need, and rounds the library out as a
+usable incomplete-information tool.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cq.canonical import is_null
+from repro.cq.chase import FDEgd, chase
+from repro.cq.evaluation import evaluate, synthesize_view_schema
+from repro.cq.syntax import ConjunctiveQuery
+from repro.errors import ChaseFailure
+from repro.relational.dependencies import InclusionDependency
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.schema import RelationSchema
+
+
+def certain_answers(
+    query: ConjunctiveQuery,
+    table: DatabaseInstance,
+    egds: Sequence[FDEgd] = (),
+    inclusions: Sequence[InclusionDependency] = (),
+    view_schema: Optional[RelationSchema] = None,
+) -> Optional[RelationInstance]:
+    """Certain answers of ``query`` over the naive table ``table``.
+
+    Returns ``None`` when the table is inconsistent with the dependencies
+    (a failing chase): there are no completions, so certainty is vacuous
+    and the caller must decide what that means for its use case.
+    """
+    if view_schema is None:
+        view_schema = synthesize_view_schema(query, table)
+    try:
+        chased = chase(table, egds=egds, inclusions=inclusions)
+    except ChaseFailure:
+        return None
+    answers = evaluate(query, chased.instance, view_schema)
+    certain = {
+        row for row in answers.rows if not any(is_null(v) for v in row)
+    }
+    return RelationInstance(view_schema, certain)
+
+
+def possible_answers(
+    query: ConjunctiveQuery,
+    table: DatabaseInstance,
+    egds: Sequence[FDEgd] = (),
+    inclusions: Sequence[InclusionDependency] = (),
+    view_schema: Optional[RelationSchema] = None,
+) -> Optional[RelationInstance]:
+    """All answer rows over the chased table, nulls included.
+
+    Every certain answer is possible; rows containing nulls are answer
+    *patterns* some completion realises.  ``None`` on inconsistency, as in
+    :func:`certain_answers`.
+    """
+    if view_schema is None:
+        view_schema = synthesize_view_schema(query, table)
+    try:
+        chased = chase(table, egds=egds, inclusions=inclusions)
+    except ChaseFailure:
+        return None
+    return evaluate(query, chased.instance, view_schema)

@@ -1,0 +1,117 @@
+"""Query composition by unfolding (view substitution).
+
+Given a query ``q`` over schema S₂ and a family of conjunctive views
+defining each relation of S₂ over S₁, *unfolding* substitutes each body
+atom of ``q`` by a freshly renamed copy of its view body, producing a
+conjunctive query over S₁ that computes ``q ∘ α`` pointwise.  Conjunctive
+queries are closed under this composition — the fact the paper exploits
+when it builds β∘α, α_κ = π_κ∘α∘γ and β_κ = π_κ∘β∘δ as query mappings.
+
+The construction works on paper-form queries, where every body position
+holds a distinct variable, so each outer body variable is bound by exactly
+one inner head term and substitution is direct.  Head constants of the
+inner views flow into equalities or (for outer head positions) into head
+constants; a bound pair of distinct constants makes the composed query
+unsatisfiable, which is encoded by pinning one body variable to both
+constants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.cq.syntax import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Term,
+    Variable,
+)
+from repro.errors import MappingError
+from repro.utils.fresh import FreshNames
+
+
+def unfold(
+    outer: ConjunctiveQuery,
+    views: Mapping[str, ConjunctiveQuery],
+) -> ConjunctiveQuery:
+    """Substitute ``views`` into the body of ``outer``.
+
+    ``views`` maps each relation name occurring in ``outer``'s body to its
+    defining query; the result is a conjunctive query over the views'
+    source schema, semantically equal to evaluating ``outer`` on the view
+    images.
+    """
+    outer = outer.paper_form()
+    fresh = FreshNames(prefix="u")
+
+    body: List[Atom] = []
+    equalities: List[Tuple[Term, Term]] = []
+    binding: Dict[Variable, Term] = {}
+
+    for body_atom in outer.body:
+        view = views.get(body_atom.relation)
+        if view is None:
+            raise MappingError(
+                f"no view supplied for relation {body_atom.relation!r}"
+            )
+        if len(view.head.terms) != len(body_atom.terms):
+            raise MappingError(
+                f"view for {body_atom.relation!r} has arity "
+                f"{len(view.head.terms)}, atom {body_atom!r} expects "
+                f"{len(body_atom.terms)}"
+            )
+        instance = view.paper_form().freshened(fresh)
+        body.extend(instance.body)
+        equalities.extend(instance.equalities)
+        for outer_term, inner_term in zip(body_atom.terms, instance.head.terms):
+            # Paper form: outer_term is a variable occurring at exactly this
+            # body position, so this is its unique binding.
+            binding[outer_term] = inner_term  # type: ignore[index]
+
+    def substitute(term: Term) -> Term:
+        if isinstance(term, Variable):
+            return binding[term]
+        return term
+
+    # Outer equality list, rewritten through the binding.  A pair of
+    # distinct constants (two view heads exported different constants into
+    # an equated pair of columns) stays in the list as a constant-constant
+    # equality: it makes the equality structure inconsistent, which every
+    # consumer treats as the always-empty query.
+    for left, right in outer.equalities:
+        new_left, new_right = substitute(left), substitute(right)
+        if (
+            isinstance(new_left, Constant)
+            and isinstance(new_right, Constant)
+            and new_left.value == new_right.value
+        ):
+            continue
+        equalities.append((new_left, new_right))
+
+    head = Atom(
+        outer.head.relation, tuple(substitute(t) for t in outer.head.terms)
+    )
+    return ConjunctiveQuery(head, body, equalities)
+
+
+def compose_views(
+    outer_views: Mapping[str, ConjunctiveQuery],
+    inner_views: Mapping[str, ConjunctiveQuery],
+) -> Dict[str, ConjunctiveQuery]:
+    """Compose two view families: ``(outer ∘ inner)`` per outer view.
+
+    ``inner_views`` define the relations the outer queries' bodies mention;
+    the result defines the outer views' relations directly over the inner
+    views' source schema.  This is the query-mapping composition β∘α used
+    throughout the paper.
+    """
+    return {
+        name: unfold(query, inner_views) for name, query in outer_views.items()
+    }
+
+
+def identity_view(relation_name: str, arity: int) -> ConjunctiveQuery:
+    """The identity query ``R(X1..Xk) :- R(X1..Xk)``."""
+    variables = tuple(Variable(f"X{i}") for i in range(arity))
+    return ConjunctiveQuery(Atom(relation_name, variables), [Atom(relation_name, variables)])

@@ -1,0 +1,99 @@
+"""CQ containment and equivalence under dependencies.
+
+For conjunctive queries over a schema constrained by EGDs (keys, FDs) and
+weakly acyclic inclusion-dependency TGDs, containment relative to the
+constraint set Σ is decided by the classical chase argument:
+
+    q₁ ⊆_Σ q₂  iff  there is a homomorphism from q₂ into
+                     chase_Σ(canonical(q₁)) mapping head to the (chased)
+                     head row of q₁,
+
+with two degenerate cases: an unsatisfiable q₁ (inconsistent equalities or
+a failing chase) is Σ-contained in everything, and conversely nothing
+non-trivial is contained in an unsatisfiable q₂.
+
+This is the decision procedure behind the β∘α = id check (the identity must
+hold only on instances satisfying the key dependencies) and the §1
+transformation audit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cq.canonical import CanonicalDatabase, canonical_database
+from repro.cq.chase import FDEgd, chase, egds_of_schema
+from repro.cq.homomorphism import _check_same_type, find_homomorphism
+from repro.cq.syntax import ConjunctiveQuery
+from repro.errors import ChaseFailure
+from repro.relational.dependencies import InclusionDependency
+from repro.relational.schema import DatabaseSchema
+
+
+def chased_canonical(
+    query: ConjunctiveQuery,
+    schema: DatabaseSchema,
+    egds: Sequence[FDEgd],
+    inclusions: Sequence[InclusionDependency] = (),
+) -> Optional[CanonicalDatabase]:
+    """The canonical database of ``query`` chased with the dependencies.
+
+    Returns ``None`` when the query is unsatisfiable relative to the
+    dependencies (inconsistent equalities, or a failing chase).
+    """
+    canonical = canonical_database(query, schema)
+    if canonical is None:
+        return None
+    try:
+        result = chase(canonical.instance, egds=egds, inclusions=inclusions)
+    except ChaseFailure:
+        return None
+    head_row = result.rename_row(canonical.head_row)
+    assignment = {
+        var: result.rename(value) for var, value in canonical.assignment.items()
+    }
+    return CanonicalDatabase(result.instance, head_row, assignment)
+
+
+def is_contained_under(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    schema: DatabaseSchema,
+    egds: Sequence[FDEgd],
+    inclusions: Sequence[InclusionDependency] = (),
+) -> bool:
+    """Decide ``q1 ⊆ q2`` over all Σ-satisfying instances of ``schema``."""
+    _check_same_type(q1, q2, schema)
+    target = chased_canonical(q1, schema, egds, inclusions)
+    if target is None:
+        return True
+    if canonical_database(q2, schema) is None:
+        return False
+    return find_homomorphism(q2, target) is not None
+
+
+def are_equivalent_under(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    schema: DatabaseSchema,
+    egds: Sequence[FDEgd],
+    inclusions: Sequence[InclusionDependency] = (),
+) -> bool:
+    """Decide ``q1 ≡_Σ q2``: containment both ways under the dependencies."""
+    return is_contained_under(q1, q2, schema, egds, inclusions) and is_contained_under(
+        q2, q1, schema, egds, inclusions
+    )
+
+
+def is_contained_under_keys(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery, schema: DatabaseSchema
+) -> bool:
+    """Containment relative to the schema's declared key dependencies."""
+    return is_contained_under(q1, q2, schema, egds_of_schema(schema))
+
+
+def are_equivalent_under_keys(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery, schema: DatabaseSchema
+) -> bool:
+    """Equivalence relative to the schema's declared key dependencies."""
+    return are_equivalent_under(q1, q2, schema, egds_of_schema(schema))

@@ -1,0 +1,151 @@
+"""Equality classes of variables (paper §2).
+
+The equality list of a conjunctive query induces a natural equivalence
+relation on its terms: the reflexive-symmetric-transitive closure of the
+listed predicates.  The paper calls the resulting classes the *equality
+classes* of variables; they drive everything downstream — evaluation,
+ij-saturation, the receives analysis, and the δ construction.
+
+:class:`EqualityStructure` packages the closure: representative lookup,
+per-class constant bindings (a class may be pinned to at most one constant;
+two distinct constants in one class make the query unsatisfiable), and a
+substitution that rewrites the query into an equality-free *general form*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.cq.syntax import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Term,
+    Variable,
+)
+from repro.relational.domain import Value
+from repro.utils.unionfind import UnionFind
+
+
+class EqualityStructure:
+    """The closure of a query's equality list.
+
+    ``uf`` unions all equated terms (variables and constants alike);
+    ``constant_of`` maps each class representative to the unique constant
+    the class is pinned to, when any.  ``inconsistent`` is true when some
+    class contains two distinct constants — such a query returns the empty
+    answer on every database.
+    """
+
+    __slots__ = ("uf", "_constants", "inconsistent")
+
+    def __init__(self, query: ConjunctiveQuery) -> None:
+        self.uf: UnionFind = UnionFind()
+        # Register every body variable so singletons are visible classes.
+        for body_atom in query.body:
+            for term in body_atom.terms:
+                self.uf.add(term)
+        for left, right in query.equalities:
+            self.uf.union(left, right)
+        self._constants: Dict[Term, Value] = {}
+        self.inconsistent = False
+        for term in list(self.uf):
+            if isinstance(term, Constant):
+                rep = self.uf.find(term)
+                existing = self._constants.get(rep)
+                if existing is not None and existing != term.value:
+                    self.inconsistent = True
+                self._constants[rep] = term.value
+
+    def representative(self, term: Term) -> Term:
+        """The canonical representative of ``term``'s equality class."""
+        return self.uf.find(term)
+
+    def equivalent(self, a: Term, b: Term) -> bool:
+        """True iff the two terms are in the same equality class."""
+        return self.uf.connected(a, b)
+
+    def constant_of(self, term: Term) -> Optional[Value]:
+        """The constant the term's class is pinned to, if any."""
+        if isinstance(term, Constant):
+            return term.value
+        return self._constants.get(self.uf.find(term))
+
+    def classes(self) -> List[Set[Term]]:
+        """All equality classes (including singletons of body variables)."""
+        return self.uf.classes()
+
+    def variable_classes(self) -> List[FrozenSet[Variable]]:
+        """The classes restricted to variables, dropping empties."""
+        result = []
+        for cls in self.uf.classes():
+            vars_only = frozenset(t for t in cls if isinstance(t, Variable))
+            if vars_only:
+                result.append(vars_only)
+        return result
+
+    def resolve(self, term: Term) -> Term:
+        """Map a term to its evaluation-time canonical form.
+
+        Classes pinned to a constant resolve to that constant; other classes
+        resolve to their representative variable (representatives of mixed
+        classes are made deterministic by choosing the lexicographically
+        least variable).
+        """
+        pinned = self.constant_of(term)
+        if pinned is not None:
+            return Constant(pinned)
+        if isinstance(term, Constant):
+            return term
+        cls_vars = sorted(
+            (t for t in self.uf.class_of(term) if isinstance(t, Variable)),
+            key=lambda v: v.name,
+        )
+        return cls_vars[0] if cls_vars else term
+
+
+def equality_structure(query: ConjunctiveQuery) -> EqualityStructure:
+    """Compute the equality-class structure of ``query``."""
+    return EqualityStructure(query)
+
+
+def substitute_representatives(
+    query: ConjunctiveQuery,
+) -> Tuple[ConjunctiveQuery, EqualityStructure]:
+    """Rewrite ``query`` into an equality-free general form.
+
+    Every term is replaced by its resolved canonical form and the equality
+    list is dropped; the result is semantically identical (for consistent
+    queries) but may repeat variables and place constants in body positions.
+    Returns the rewritten query together with the structure (callers must
+    check ``structure.inconsistent`` — an inconsistent query's rewritten
+    form does *not* preserve semantics and should be treated as the empty
+    query).
+    """
+    structure = EqualityStructure(query)
+
+    def sub(term: Term) -> Term:
+        return structure.resolve(term)
+
+    head = Atom(query.head.relation, tuple(sub(t) for t in query.head.terms))
+    body = [
+        Atom(a.relation, tuple(sub(t) for t in a.terms)) for a in query.body
+    ]
+    return ConjunctiveQuery(head, body, ()), structure
+
+
+def induced_equalities(query: ConjunctiveQuery) -> FrozenSet[Tuple[Term, Term]]:
+    """All variable pairs (unordered, as sorted 2-tuples) inferable as equal.
+
+    This is the full closure of the equality list restricted to variables —
+    the set of predicates "V₁ = V₂ can be inferred" that the ij-saturation
+    definitions quantify over.
+    """
+    structure = EqualityStructure(query)
+    pairs: Set[Tuple[Term, Term]] = set()
+    for cls in structure.variable_classes():
+        members = sorted(cls, key=lambda v: v.name)
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                pairs.add((a, b))
+    return frozenset(pairs)

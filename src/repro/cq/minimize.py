@@ -1,0 +1,79 @@
+"""Conjunctive query minimisation (core computation).
+
+A CQ is *minimal* when no body atom can be dropped without changing its
+meaning.  The minimal equivalent query (the core of the canonical
+structure) is computed by greedy atom deletion with an equivalence check at
+each step — sound because CQ equivalence is decidable (Chandra–Merlin) and
+the core is unique up to isomorphism.
+
+Minimisation works on the equality-free general form; the result is
+converted back to paper form on request.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cq.equality import substitute_representatives
+from repro.cq.homomorphism import are_equivalent
+from repro.cq.syntax import Atom, ConjunctiveQuery, Variable
+from repro.relational.schema import DatabaseSchema
+
+
+def _drop_candidate(
+    query: ConjunctiveQuery, index: int
+) -> ConjunctiveQuery | None:
+    """The query without body atom ``index``, or None if not well-formed."""
+    body = list(query.body)
+    del body[index]
+    if not body:
+        return None
+    remaining_vars = {
+        t for a in body for t in a.terms if isinstance(t, Variable)
+    }
+    for term in query.head.terms:
+        if isinstance(term, Variable) and term not in remaining_vars:
+            return None
+    return ConjunctiveQuery(query.head, body, ())
+
+
+def minimize(query: ConjunctiveQuery, schema: DatabaseSchema) -> ConjunctiveQuery:
+    """Return a minimal query equivalent to ``query``.
+
+    The result is in equality-free general form (the minimisation may merge
+    atoms whose variables were equated).  Unsatisfiable queries are
+    returned unchanged — they have no canonical core.
+    """
+    rewritten, structure = substitute_representatives(query)
+    if structure.inconsistent:
+        return query
+    current = rewritten
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current.body)):
+            candidate = _drop_candidate(current, index)
+            if candidate is None:
+                continue
+            if are_equivalent(current, candidate, schema):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def is_minimal(query: ConjunctiveQuery, schema: DatabaseSchema) -> bool:
+    """True iff no body atom of the (rewritten) query is redundant."""
+    rewritten, structure = substitute_representatives(query)
+    if structure.inconsistent:
+        return False
+    for index in range(len(rewritten.body)):
+        candidate = _drop_candidate(rewritten, index)
+        if candidate is not None and are_equivalent(rewritten, candidate, schema):
+            return False
+    return True
+
+
+def body_size(query: ConjunctiveQuery) -> int:
+    """Number of body atoms (a convenience for reporting)."""
+    return len(query.body)

@@ -1,0 +1,186 @@
+"""Text parser for conjunctive queries.
+
+The concrete syntax mirrors the paper's examples::
+
+    Q(X, Y) :- R(X, Z), R(Y, T), Z = T.
+    R(Str:'a', Y, X) :- P(X, Y).
+
+* bare identifiers are variables;
+* ``Type:token`` literals are constants of attribute type ``Type`` — the
+  token is an integer (``Int:5``) or a quoted string (``Str:'a'``);
+* body items are relational atoms or equality predicates, comma-separated;
+* the trailing period is optional.
+
+A tiny hand-rolled tokenizer/recursive-descent parser keeps error messages
+precise.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional, Tuple, Union
+
+from repro.cq.syntax import Atom, ConjunctiveQuery, Constant, Term, Variable
+from repro.errors import QuerySyntaxError
+from repro.relational.domain import Value
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<ARROW>:-)
+  | (?P<CONST>[A-Za-z_]\w*:(?:'[^']*'|-?\d+))
+  | (?P<NAME>[A-Za-z_]\w*)
+  | (?P<LPAR>\()
+  | (?P<RPAR>\))
+  | (?P<COMMA>,)
+  | (?P<EQ>=)
+  | (?P<DOT>\.)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            raise QuerySyntaxError(
+                f"unexpected character {text[pos]!r} at offset {pos} in query"
+            )
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self, kind: str) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise QuerySyntaxError(f"unexpected end of query, expected {kind}")
+        if token.kind != kind:
+            raise QuerySyntaxError(
+                f"expected {kind} at offset {token.position}, got "
+                f"{token.kind} ({token.text!r})"
+            )
+        self.index += 1
+        return token
+
+    def accept(self, kind: str) -> Optional[_Token]:
+        token = self.peek()
+        if token is not None and token.kind == kind:
+            self.index += 1
+            return token
+        return None
+
+    # ------------------------------------------------------------ productions
+
+    def parse_constant(self, text: str) -> Constant:
+        type_name, _, token = text.partition(":")
+        if token.startswith("'"):
+            return Constant(Value(type_name, token[1:-1]))
+        return Constant(Value(type_name, int(token)))
+
+    def parse_term(self) -> Term:
+        const = self.accept("CONST")
+        if const is not None:
+            return self.parse_constant(const.text)
+        name = self.next("NAME")
+        return Variable(name.text)
+
+    def parse_atom_after_name(self, name: str) -> Atom:
+        self.next("LPAR")
+        terms: List[Term] = [self.parse_term()]
+        while self.accept("COMMA"):
+            terms.append(self.parse_term())
+        self.next("RPAR")
+        return Atom(name, tuple(terms))
+
+    def parse_body_item(self) -> Union[Atom, Tuple[Term, Term]]:
+        const = self.accept("CONST")
+        if const is not None:
+            left: Term = self.parse_constant(const.text)
+            self.next("EQ")
+            return (left, self.parse_term())
+        name = self.next("NAME")
+        if self.peek() is not None and self.peek().kind == "LPAR":
+            return self.parse_atom_after_name(name.text)
+        self.next("EQ")
+        return (Variable(name.text), self.parse_term())
+
+    def parse_query(self) -> ConjunctiveQuery:
+        head_name = self.next("NAME")
+        head = self.parse_atom_after_name(head_name.text)
+        self.next("ARROW")
+        body: List[Atom] = []
+        equalities: List[Tuple[Term, Term]] = []
+        while True:
+            item = self.parse_body_item()
+            if isinstance(item, Atom):
+                body.append(item)
+            else:
+                equalities.append(item)
+            if not self.accept("COMMA"):
+                break
+        self.accept("DOT")
+        if self.peek() is not None:
+            token = self.peek()
+            raise QuerySyntaxError(
+                f"trailing input at offset {token.position}: {token.text!r}"
+            )
+        return ConjunctiveQuery(head, body, equalities)
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse one conjunctive query from text."""
+    return _Parser(text).parse_query()
+
+
+def parse_queries(text: str) -> List[ConjunctiveQuery]:
+    """Parse several queries, one per non-blank, non-comment line."""
+    queries: List[ConjunctiveQuery] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if line:
+            queries.append(parse_query(line))
+    return queries
+
+
+def format_query(query: ConjunctiveQuery) -> str:
+    """Render a query back to parser syntax (round-trips with parse_query)."""
+
+    def fmt_term(term: Term) -> str:
+        if isinstance(term, Variable):
+            return term.name
+        value = term.value
+        if isinstance(value.token, int):
+            return f"{value.type_name}:{value.token}"
+        return f"{value.type_name}:'{value.token}'"
+
+    def fmt_atom(atom_obj: Atom) -> str:
+        return f"{atom_obj.relation}({', '.join(fmt_term(t) for t in atom_obj.terms)})"
+
+    parts = [fmt_atom(a) for a in query.body]
+    parts.extend(
+        f"{fmt_term(left)} = {fmt_term(right)}" for left, right in query.equalities
+    )
+    return f"{fmt_atom(query.head)} :- {', '.join(parts)}."

@@ -1,0 +1,166 @@
+"""The *receives* relation: attribute flow through a conjunctive query.
+
+Paper §2: for a view query defining a relation, a head attribute ``A``
+*receives* attribute ``B`` from relation ``R`` if ``A`` is assigned from a
+variable that occurs at — or is equated to a variable at — the location of
+``B`` in some occurrence of ``R`` in the body.  If ``A`` is assigned a
+constant (directly, or via an equality pinning its class), ``A`` receives
+that constant.
+
+An attribute can receive many attributes (through joins) and a constant at
+the same time.  Lemmas 3–5, 7 and 10–12 are all statements about this
+relation; :mod:`repro.core.lemmas` checks them using the analysis here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Set, Tuple
+
+from repro.cq.equality import EqualityStructure
+from repro.cq.syntax import ConjunctiveQuery, Constant, Term, Variable
+from repro.errors import TypecheckError
+from repro.relational.attribute import QualifiedAttribute
+from repro.relational.domain import Value
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class ReceiveAnalysis(NamedTuple):
+    """The receives relation of one view query.
+
+    ``attributes`` maps each head position to the set of qualified source
+    attributes it receives; ``constants`` maps head positions to the
+    constant they receive, when any.
+    """
+
+    attributes: Dict[int, FrozenSet[QualifiedAttribute]]
+    constants: Dict[int, Value]
+
+
+def analyze_view(
+    query: ConjunctiveQuery,
+    source_schema: DatabaseSchema,
+) -> ReceiveAnalysis:
+    """Compute the receives relation of ``query`` over ``source_schema``."""
+    paper = query.paper_form()
+    structure = EqualityStructure(paper)
+
+    # Where does each body variable sit?  (relation, column) per occurrence.
+    locations: Dict[Variable, List[Tuple[str, int]]] = {}
+    for body_atom in paper.body:
+        if not source_schema.has_relation(body_atom.relation):
+            raise TypecheckError(
+                f"body atom references unknown relation {body_atom.relation!r}"
+            )
+        for col, term in enumerate(body_atom.terms):
+            locations.setdefault(term, []).append((body_atom.relation, col))  # type: ignore[arg-type]
+
+    attributes: Dict[int, FrozenSet[QualifiedAttribute]] = {}
+    constants: Dict[int, Value] = {}
+    for position, term in enumerate(paper.head.terms):
+        received: Set[QualifiedAttribute] = set()
+        if isinstance(term, Constant):
+            constants[position] = term.value
+            attributes[position] = frozenset()
+            continue
+        pinned = structure.constant_of(term)
+        if pinned is not None:
+            constants[position] = pinned
+        for member in structure.uf.class_of(term):
+            if not isinstance(member, Variable):
+                continue
+            for relation_name, col in locations.get(member, ()):
+                rel = source_schema.relation(relation_name)
+                attr = rel.attributes[col]
+                received.add(
+                    QualifiedAttribute(relation_name, attr.name, attr.type_name)
+                )
+        attributes[position] = frozenset(received)
+    return ReceiveAnalysis(attributes, constants)
+
+
+class MappingReceives:
+    """The receives relation of a whole query mapping, attribute-to-attribute.
+
+    For a mapping α : i(S₁) → i(S₂) (one view per relation of S₂), records
+    for every qualified attribute ``B`` of S₂ the set of qualified
+    attributes of S₁ that ``B`` receives, plus any constant received.
+    Built by :func:`analyze_mapping`; the ``mappings`` subpackage re-exports
+    the construction on :class:`~repro.mappings.query_mapping.QueryMapping`.
+    """
+
+    def __init__(
+        self,
+        received: Dict[QualifiedAttribute, FrozenSet[QualifiedAttribute]],
+        constants: Dict[QualifiedAttribute, Value],
+    ) -> None:
+        self._received = dict(received)
+        self._constants = dict(constants)
+
+    def received_by(self, target: QualifiedAttribute) -> FrozenSet[QualifiedAttribute]:
+        """Source attributes received by the target attribute."""
+        return self._received.get(target, frozenset())
+
+    def receives(
+        self, target: QualifiedAttribute, source: QualifiedAttribute
+    ) -> bool:
+        """True iff ``target`` receives ``source``."""
+        return source in self._received.get(target, frozenset())
+
+    def constant_received(self, target: QualifiedAttribute) -> Optional[Value]:
+        """The constant received by ``target``, if any."""
+        return self._constants.get(target)
+
+    def targets(self) -> Tuple[QualifiedAttribute, ...]:
+        """All target attributes with a recorded entry."""
+        return tuple(sorted(self._received, key=repr))
+
+    def sources_received(self) -> FrozenSet[QualifiedAttribute]:
+        """The union of all received source attributes."""
+        result: Set[QualifiedAttribute] = set()
+        for sources in self._received.values():
+            result |= sources
+        return frozenset(result)
+
+    def receivers_of(self, source: QualifiedAttribute) -> FrozenSet[QualifiedAttribute]:
+        """All target attributes receiving ``source``."""
+        return frozenset(
+            target
+            for target, sources in self._received.items()
+            if source in sources
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [
+            f"{target!r} <- {sorted(map(repr, sources))}"
+            for target, sources in sorted(self._received.items(), key=repr)
+            if sources
+        ]
+        return "MappingReceives(" + "; ".join(lines) + ")"
+
+
+def analyze_views(
+    views: Dict[str, ConjunctiveQuery],
+    source_schema: DatabaseSchema,
+    target_schema: DatabaseSchema,
+) -> MappingReceives:
+    """Build the mapping-level receives relation from per-relation views.
+
+    ``views`` maps each target relation name to its defining query over the
+    source schema.
+    """
+    received: Dict[QualifiedAttribute, FrozenSet[QualifiedAttribute]] = {}
+    constants: Dict[QualifiedAttribute, Value] = {}
+    for target_rel in target_schema:
+        query = views.get(target_rel.name)
+        if query is None:
+            raise TypecheckError(
+                f"no view supplied for target relation {target_rel.name!r}"
+            )
+        analysis = analyze_view(query, source_schema)
+        for position, attr in enumerate(target_rel.attributes):
+            qualified = QualifiedAttribute(target_rel.name, attr.name, attr.type_name)
+            received[qualified] = analysis.attributes.get(position, frozenset())
+            constant = analysis.constants.get(position)
+            if constant is not None:
+                constants[qualified] = constant
+    return MappingReceives(received, constants)

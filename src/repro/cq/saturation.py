@@ -1,0 +1,236 @@
+"""Identity joins, ij-saturation, and product queries (paper §2, Lemmas 1–2).
+
+The paper classifies the conditions of a conjunctive query (in paper form,
+where every body position holds a distinct variable) as:
+
+* *constant selection* — an equality class pinned to a constant;
+* *column selection* — two positions of the **same body atom** equated;
+* *identity join* — the same attribute of two occurrences of the same
+  relation equated;
+* *non-identity join* — anything else (different attributes, or different
+  relations).
+
+A relation ``R`` is *ij-saturated* in a query when no occurrence of ``R``
+participates in a selection, every join involving ``R`` is an identity
+join, and **all** possible identity join conditions for ``R`` (every
+attribute, every pair of occurrences) are inferable from the equality list.
+A query is ij-saturated when all its body relations are.  A *product query*
+has no conditions at all and no repeated relations.
+
+This module implements the classification, the saturation closure, and the
+constructions of Lemma 1 (``to_product_query``) and Lemma 2
+(``lemma2_hat``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+
+from repro.cq.equality import EqualityStructure
+from repro.cq.syntax import Atom, ConjunctiveQuery, Constant, Term, Variable
+from repro.errors import QuerySyntaxError
+
+
+class ConditionKind(enum.Enum):
+    """Classification of one (inferred) equality condition."""
+
+    CONSTANT_SELECTION = "constant-selection"
+    COLUMN_SELECTION = "column-selection"
+    IDENTITY_JOIN = "identity-join"
+    NON_IDENTITY_JOIN = "non-identity-join"
+
+
+class Position(NamedTuple):
+    """A body position: which atom, which column."""
+
+    atom_index: int
+    column: int
+
+
+class ClassifiedCondition(NamedTuple):
+    """An inferred condition together with its classification."""
+
+    kind: ConditionKind
+    left: Position
+    right: Optional[Position]  # None for constant selections
+
+
+def _positions_of(query: ConjunctiveQuery) -> Dict[Variable, Position]:
+    """Map each body variable to its (unique, in paper form) position."""
+    paper = query.paper_form()
+    positions: Dict[Variable, Position] = {}
+    for i, body_atom in enumerate(paper.body):
+        for j, term in enumerate(body_atom.terms):
+            positions[term] = Position(i, j)  # type: ignore[index]
+    return positions
+
+
+def classify_conditions(query: ConjunctiveQuery) -> List[ClassifiedCondition]:
+    """Classify every condition inferable from the equality list.
+
+    Works on the paper form of ``query``.  For each equality class: one
+    constant selection per class pinned to a constant, and one classified
+    pair condition per unordered pair of member positions.
+    """
+    paper = query.paper_form()
+    structure = EqualityStructure(paper)
+    positions = _positions_of(paper)
+    conditions: List[ClassifiedCondition] = []
+    for cls in structure.classes():
+        variables = sorted(
+            (t for t in cls if isinstance(t, Variable) and t in positions),
+            key=lambda v: v.name,
+        )
+        pinned = any(isinstance(t, Constant) for t in cls)
+        if pinned:
+            for var in variables:
+                conditions.append(
+                    ClassifiedCondition(
+                        ConditionKind.CONSTANT_SELECTION, positions[var], None
+                    )
+                )
+        for i, a in enumerate(variables):
+            for b in variables[i + 1 :]:
+                pa, pb = positions[a], positions[b]
+                if pa.atom_index == pb.atom_index:
+                    kind = ConditionKind.COLUMN_SELECTION
+                elif (
+                    paper.body[pa.atom_index].relation
+                    == paper.body[pb.atom_index].relation
+                    and pa.column == pb.column
+                ):
+                    kind = ConditionKind.IDENTITY_JOIN
+                else:
+                    kind = ConditionKind.NON_IDENTITY_JOIN
+                conditions.append(ClassifiedCondition(kind, pa, pb))
+    return conditions
+
+
+def has_only_identity_joins(query: ConjunctiveQuery) -> bool:
+    """True iff the query has no selections and only identity joins.
+
+    This is Lemma 2's premise: "no selection conditions nor any join
+    conditions that are not identity joins".
+    """
+    return all(
+        c.kind is ConditionKind.IDENTITY_JOIN for c in classify_conditions(query)
+    )
+
+
+def is_ij_saturated(query: ConjunctiveQuery) -> bool:
+    """True iff every body relation of the query is ij-saturated."""
+    paper = query.paper_form()
+    if not has_only_identity_joins(paper):
+        return False
+    structure = EqualityStructure(paper)
+    occurrences: Dict[str, List[Atom]] = {}
+    for body_atom in paper.body:
+        occurrences.setdefault(body_atom.relation, []).append(body_atom)
+    for atoms in occurrences.values():
+        first = atoms[0]
+        for other in atoms[1:]:
+            for col in range(len(first.terms)):
+                if not structure.equivalent(first.terms[col], other.terms[col]):
+                    return False
+    return True
+
+
+def saturate(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Add all missing identity join conditions (the q → q̄ construction).
+
+    The result has the same body atoms as ``query`` with extra equalities
+    equating every attribute across all occurrences of each relation; by
+    construction ``saturate(q) ⊆ q``.  The input is converted to paper form
+    first.
+    """
+    paper = query.paper_form()
+    extra: List[Tuple[Term, Term]] = []
+    occurrences: Dict[str, List[Atom]] = {}
+    for body_atom in paper.body:
+        occurrences.setdefault(body_atom.relation, []).append(body_atom)
+    structure = EqualityStructure(paper)
+    for atoms in occurrences.values():
+        first = atoms[0]
+        for other in atoms[1:]:
+            for col in range(len(first.terms)):
+                if not structure.equivalent(first.terms[col], other.terms[col]):
+                    extra.append((first.terms[col], other.terms[col]))
+    if not extra:
+        return paper
+    return paper.with_extra_equalities(extra)
+
+
+def is_product_query(query: ConjunctiveQuery) -> bool:
+    """True iff the query is a product query (paper §2).
+
+    No selection or join conditions (the inferred condition set is empty),
+    every body relation occurs exactly once, and the query is in paper form
+    (distinct variables everywhere — repeated body variables would be
+    hidden conditions).
+    """
+    if not query.is_paper_form:
+        return False
+    if classify_conditions(query):
+        return False
+    names = query.body_relations()
+    return len(set(names)) == len(names)
+
+
+def to_product_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Lemma 1's construction: an equivalent product query for a saturated q.
+
+    Steps (following the proof): drop all (identity) join conditions, drop
+    duplicate occurrences of each relation, and rewire head variables whose
+    positions were dropped onto equality-class members that survive.
+    Raises :class:`QuerySyntaxError` when ``query`` is not ij-saturated —
+    the construction is only sound under saturation.
+    """
+    paper = query.paper_form()
+    if not is_ij_saturated(paper):
+        raise QuerySyntaxError(
+            "to_product_query requires an ij-saturated query; call saturate() "
+            "first (Lemma 2) or check is_ij_saturated()"
+        )
+    structure = EqualityStructure(paper)
+    kept: List[Atom] = []
+    seen: Set[str] = set()
+    for body_atom in paper.body:
+        if body_atom.relation not in seen:
+            seen.add(body_atom.relation)
+            kept.append(body_atom)
+    surviving = {t for a in kept for t in a.terms}
+
+    def rewire(term: Term) -> Term:
+        if isinstance(term, Constant):
+            return term
+        if term in surviving:
+            return term
+        for candidate in sorted(
+            structure.uf.class_of(term), key=lambda t: repr(t)
+        ):
+            if isinstance(candidate, Variable) and candidate in surviving:
+                return candidate
+        raise QuerySyntaxError(
+            f"head variable {term!r} has no surviving equality-class member; "
+            "query was not ij-saturated"
+        )
+
+    head = Atom(paper.head.relation, tuple(rewire(t) for t in paper.head.terms))
+    return ConjunctiveQuery(head, kept, ())
+
+
+def lemma2_hat(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Lemma 2's q̂: the product query ``to_product_query(saturate(q))``.
+
+    Requires the Lemma 2 premise — ``query`` has no selections and only
+    identity joins; the guarantees (q̂ ⊆ q, FD preservation, non-emptiness
+    preservation, same body relations) are validated empirically by the
+    test suite and experiment E2.
+    """
+    if not has_only_identity_joins(query):
+        raise QuerySyntaxError(
+            "lemma2_hat requires a query with no selections and only "
+            "identity joins (Lemma 2's premise)"
+        )
+    return to_product_query(saturate(query))

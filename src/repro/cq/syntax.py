@@ -1,0 +1,306 @@
+"""Conjunctive query syntax (paper §2).
+
+The paper fixes a restricted Datalog-style syntax for conjunctive relational
+algebra queries with equality selections::
+
+    V(A1, ..., An) :- R1(X¹…), ..., Rk(Xᵏ…), equality-list.
+
+with **distinct variables** in every body position, all selection and join
+conditions carried by a separate list of equality predicates (``X = Y`` or
+``X = a``), and head terms that are body variables or constants.
+
+:class:`ConjunctiveQuery` stores this shape directly.  A more permissive
+*general form* (repeated variables or constants in body positions) is
+accepted by the constructors and can be normalised to the paper form with
+:meth:`ConjunctiveQuery.paper_form`, which introduces fresh placeholder
+variables and explicit equalities — the two forms are semantically
+equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Sequence, Tuple, Union
+
+from repro.errors import QuerySyntaxError
+from repro.relational.domain import Value
+from repro.utils.fresh import FreshNames
+
+
+class Variable(NamedTuple):
+    """A query variable."""
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+class Constant(NamedTuple):
+    """A typed constant appearing in a query."""
+
+    value: Value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"'{self.value.type_name}:{self.value.token}'"
+
+
+Term = Union[Variable, Constant]
+Equality = Tuple[Term, Term]
+
+
+def is_variable(term: Term) -> bool:
+    """True iff ``term`` is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """True iff ``term`` is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+class Atom(NamedTuple):
+    """A relational atom ``R(t1, ..., tk)``."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """The variables among this atom's terms, in position order."""
+        return tuple(t for t in self.terms if isinstance(t, Variable))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.relation}({', '.join(map(repr, self.terms))})"
+
+
+def atom(relation: str, *terms: Term | str | Value) -> Atom:
+    """Convenience atom builder: strings become variables, Values constants."""
+    coerced: List[Term] = []
+    for t in terms:
+        if isinstance(t, (Variable, Constant)):
+            coerced.append(t)
+        elif isinstance(t, Value):
+            coerced.append(Constant(t))
+        elif isinstance(t, str):
+            coerced.append(Variable(t))
+        else:
+            raise QuerySyntaxError(f"cannot interpret {t!r} as a term")
+    return Atom(relation, tuple(coerced))
+
+
+def _coerce_equality(eq: Tuple[object, object]) -> Equality:
+    left, right = eq
+    if isinstance(left, str):
+        left = Variable(left)
+    if isinstance(right, str):
+        right = Variable(right)
+    if isinstance(left, Value):
+        left = Constant(left)
+    if isinstance(right, Value):
+        right = Constant(right)
+    if not isinstance(left, (Variable, Constant)) or not isinstance(
+        right, (Variable, Constant)
+    ):
+        raise QuerySyntaxError(f"cannot interpret equality {eq!r}")
+    # Normalise Var = Const to put the variable first.  Constant = Constant
+    # is allowed: with distinct values it denotes the unsatisfiable (always
+    # empty) query, which query composition needs to be able to express.
+    if isinstance(left, Constant) and isinstance(right, Variable):
+        left, right = right, left
+    return (left, right)
+
+
+class ConjunctiveQuery:
+    """An immutable conjunctive query with equality selections.
+
+    ``head`` is an :class:`Atom` whose relation name is the view name and
+    whose terms are the output columns (body variables or constants);
+    ``body`` is a non-empty sequence of atoms; ``equalities`` is the
+    equality list.  Every variable occurring in the head or in an equality
+    must occur in some body position (paper §2 requirement).
+    """
+
+    __slots__ = ("_head", "_body", "_equalities")
+
+    def __init__(
+        self,
+        head: Atom,
+        body: Sequence[Atom],
+        equalities: Iterable[Tuple[object, object]] = (),
+    ) -> None:
+        body = tuple(body)
+        if not body:
+            raise QuerySyntaxError("a conjunctive query needs a non-empty body")
+        eqs = tuple(_coerce_equality(e) for e in equalities)
+        body_vars = {t for a in body for t in a.terms if isinstance(t, Variable)}
+        for term in head.terms:
+            if isinstance(term, Variable) and term not in body_vars:
+                raise QuerySyntaxError(
+                    f"head variable {term!r} does not occur in the body"
+                )
+        for left, right in eqs:
+            for term in (left, right):
+                if isinstance(term, Variable) and term not in body_vars:
+                    raise QuerySyntaxError(
+                        f"equality variable {term!r} does not occur in the body"
+                    )
+        self._head = head
+        self._body = body
+        self._equalities = eqs
+
+    # ------------------------------------------------------------------ basic
+
+    @property
+    def head(self) -> Atom:
+        """The head atom."""
+        return self._head
+
+    @property
+    def body(self) -> Tuple[Atom, ...]:
+        """The body atoms."""
+        return self._body
+
+    @property
+    def equalities(self) -> Tuple[Equality, ...]:
+        """The equality list (variable-first normalised)."""
+        return self._equalities
+
+    @property
+    def view_name(self) -> str:
+        """The name of the defined view relation."""
+        return self._head.relation
+
+    @property
+    def arity(self) -> int:
+        """Arity of the head."""
+        return len(self._head.terms)
+
+    def body_relations(self) -> Tuple[str, ...]:
+        """Relation names occurring in the body (with repetitions)."""
+        return tuple(a.relation for a in self._body)
+
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables occurring anywhere in the query."""
+        result = {t for a in self._body for t in a.terms if isinstance(t, Variable)}
+        result.update(t for t in self._head.terms if isinstance(t, Variable))
+        for left, right in self._equalities:
+            for term in (left, right):
+                if isinstance(term, Variable):
+                    result.add(term)
+        return frozenset(result)
+
+    def constants(self) -> FrozenSet[Value]:
+        """All constant values mentioned by the query."""
+        result = {t.value for t in self._head.terms if isinstance(t, Constant)}
+        for a in self._body:
+            result.update(t.value for t in a.terms if isinstance(t, Constant))
+        for _, right in self._equalities:
+            if isinstance(right, Constant):
+                result.add(right.value)
+        return frozenset(result)
+
+    # -------------------------------------------------------------- paper form
+
+    @property
+    def is_paper_form(self) -> bool:
+        """True iff every body position holds a distinct variable."""
+        seen = set()
+        for a in self._body:
+            for term in a.terms:
+                if not isinstance(term, Variable) or term in seen:
+                    return False
+                seen.add(term)
+        return True
+
+    def paper_form(self) -> "ConjunctiveQuery":
+        """Normalise to the paper's restricted syntax.
+
+        Repeated body variables and body constants are replaced by fresh
+        placeholder variables with compensating equalities.  Head terms and
+        existing equalities are untouched (their variables still occur in
+        the body: the first occurrence of a repeated variable is kept).
+        """
+        if self.is_paper_form:
+            return self
+        fresh = FreshNames(prefix="_p", avoid=[v.name for v in self.variables()])
+        seen: set = set()
+        new_body: List[Atom] = []
+        new_eqs: List[Tuple[Term, Term]] = list(self._equalities)
+        for a in self._body:
+            new_terms: List[Term] = []
+            for term in a.terms:
+                if isinstance(term, Constant):
+                    placeholder = Variable(fresh.next())
+                    new_terms.append(placeholder)
+                    new_eqs.append((placeholder, term))
+                elif term in seen:
+                    placeholder = Variable(fresh.next())
+                    new_terms.append(placeholder)
+                    new_eqs.append((placeholder, term))
+                else:
+                    seen.add(term)
+                    new_terms.append(term)
+            new_body.append(Atom(a.relation, tuple(new_terms)))
+        return ConjunctiveQuery(self._head, new_body, new_eqs)
+
+    # ----------------------------------------------------------- construction
+
+    def rename_variables(self, mapping: Dict[Variable, Variable]) -> "ConjunctiveQuery":
+        """Apply a variable renaming (missing variables stay fixed)."""
+
+        def sub(term: Term) -> Term:
+            if isinstance(term, Variable):
+                return mapping.get(term, term)
+            return term
+
+        head = Atom(self._head.relation, tuple(sub(t) for t in self._head.terms))
+        body = [Atom(a.relation, tuple(sub(t) for t in a.terms)) for a in self._body]
+        eqs = [(sub(l), sub(r)) for l, r in self._equalities]
+        return ConjunctiveQuery(head, body, eqs)
+
+    def freshened(self, fresh: FreshNames) -> "ConjunctiveQuery":
+        """Rename every variable to a fresh one drawn from ``fresh``."""
+        mapping = {
+            v: Variable(fresh.next()) for v in sorted(self.variables())
+        }
+        return self.rename_variables(mapping)
+
+    def with_head(self, head: Atom) -> "ConjunctiveQuery":
+        """Return a copy with a replaced head."""
+        return ConjunctiveQuery(head, self._body, self._equalities)
+
+    def with_extra_equalities(
+        self, equalities: Iterable[Tuple[object, object]]
+    ) -> "ConjunctiveQuery":
+        """Return a copy with additional equality predicates appended."""
+        return ConjunctiveQuery(
+            self._head, self._body, tuple(self._equalities) + tuple(
+                _coerce_equality(e) for e in equalities
+            )
+        )
+
+    # -------------------------------------------------------------- equality
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConjunctiveQuery)
+            and other._head == self._head
+            and other._body == self._body
+            and other._equalities == self._equalities
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._head, self._body, self._equalities))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [repr(a) for a in self._body]
+        parts.extend(f"{l!r} = {r!r}" for l, r in self._equalities)
+        return f"{self._head!r} :- {', '.join(parts)}."
+
+
+def query(
+    head: Atom,
+    body: Sequence[Atom],
+    equalities: Iterable[Tuple[object, object]] = (),
+) -> ConjunctiveQuery:
+    """Convenience constructor mirroring :class:`ConjunctiveQuery`."""
+    return ConjunctiveQuery(head, body, equalities)

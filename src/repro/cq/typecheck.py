@@ -1,0 +1,142 @@
+"""Typing of conjunctive queries against a database schema.
+
+Attribute types are semantic objects (disjoint infinite sets), so a query is
+only meaningful when every variable is used at a single type, equalities
+relate terms of equal types, and constants belong to the type of the column
+they constrain.  The *type of the query* (paper §2) is the tuple of types of
+its head terms; a view is well-typed when that tuple matches the view
+relation's type signature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cq.equality import EqualityStructure
+from repro.cq.syntax import ConjunctiveQuery, Constant, Term, Variable
+from repro.errors import TypecheckError
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def infer_types(
+    query: ConjunctiveQuery, schema: DatabaseSchema
+) -> Dict[Variable, str]:
+    """Infer the type of every variable from its body occurrences.
+
+    Raises :class:`TypecheckError` for unknown relations, arity mismatches,
+    variables used at two types, ill-typed constants in body positions, or
+    ill-typed equalities.
+    """
+    types: Dict[Variable, str] = {}
+    for body_atom in query.body:
+        if not schema.has_relation(body_atom.relation):
+            raise TypecheckError(
+                f"body atom references unknown relation {body_atom.relation!r}"
+            )
+        rel = schema.relation(body_atom.relation)
+        if len(body_atom.terms) != rel.arity:
+            raise TypecheckError(
+                f"atom {body_atom!r} has {len(body_atom.terms)} terms; relation "
+                f"{rel.name!r} has arity {rel.arity}"
+            )
+        for term, attr in zip(body_atom.terms, rel.attributes):
+            if isinstance(term, Variable):
+                known = types.get(term)
+                if known is None:
+                    types[term] = attr.type_name
+                elif known != attr.type_name:
+                    raise TypecheckError(
+                        f"variable {term!r} used at types {known!r} and "
+                        f"{attr.type_name!r}"
+                    )
+            else:
+                if term.value.type_name != attr.type_name:
+                    raise TypecheckError(
+                        f"constant {term!r} in position of attribute "
+                        f"{attr.name!r} (type {attr.type_name!r})"
+                    )
+    _check_equalities(query, types)
+    return types
+
+
+def _term_type(term: Term, types: Dict[Variable, str]) -> str:
+    if isinstance(term, Constant):
+        return term.value.type_name
+    try:
+        return types[term]
+    except KeyError:
+        raise TypecheckError(f"variable {term!r} does not occur in the body") from None
+
+
+def _check_equalities(query: ConjunctiveQuery, types: Dict[Variable, str]) -> None:
+    for left, right in query.equalities:
+        lt = _term_type(left, types)
+        rt = _term_type(right, types)
+        if lt != rt:
+            raise TypecheckError(
+                f"equality {left!r} = {right!r} relates types {lt!r} and {rt!r}"
+            )
+
+
+def head_type(query: ConjunctiveQuery, schema: DatabaseSchema) -> Tuple[str, ...]:
+    """The type of the query: types of the head terms, left to right."""
+    types = infer_types(query, schema)
+    return tuple(_term_type(t, types) for t in query.head.terms)
+
+
+def typecheck_view(
+    query: ConjunctiveQuery,
+    schema: DatabaseSchema,
+    view_schema: RelationSchema,
+) -> Dict[Variable, str]:
+    """Check that ``query`` is a well-typed definition of ``view_schema``.
+
+    The head arity and type signature must match the view relation exactly.
+    Returns the inferred variable typing.
+    """
+    types = infer_types(query, schema)
+    head_sig = tuple(_term_type(t, types) for t in query.head.terms)
+    if len(head_sig) != view_schema.arity:
+        raise TypecheckError(
+            f"query head has arity {len(head_sig)}; view {view_schema.name!r} "
+            f"has arity {view_schema.arity}"
+        )
+    if head_sig != view_schema.type_signature:
+        raise TypecheckError(
+            f"query head type {head_sig} does not match view "
+            f"{view_schema.name!r} type {view_schema.type_signature}"
+        )
+    return types
+
+
+def is_well_typed(query: ConjunctiveQuery, schema: DatabaseSchema) -> bool:
+    """Boolean convenience wrapper around :func:`infer_types`."""
+    try:
+        infer_types(query, schema)
+    except TypecheckError:
+        return False
+    return True
+
+
+def class_types_consistent(query: ConjunctiveQuery, schema: DatabaseSchema) -> bool:
+    """True iff each equality class carries a single type.
+
+    Well-typed equalities already guarantee this; the function re-derives it
+    from the closure and exists as an independently testable invariant.
+    """
+    try:
+        types = infer_types(query, schema)
+    except TypecheckError:
+        return False
+    structure = EqualityStructure(query)
+    for cls in structure.classes():
+        class_types = set()
+        for term in cls:
+            if isinstance(term, Variable):
+                if term in types:
+                    class_types.add(types[term])
+            else:
+                class_types.add(term.value.type_name)
+        if len(class_types) > 1:
+            return False
+    return True

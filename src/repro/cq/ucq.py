@@ -1,0 +1,170 @@
+"""Unions of conjunctive queries (UCQs).
+
+The paper's mapping language is conjunctive queries with equality
+selections; unions are the natural next class (select–project–join–union)
+and the classical theory extends crisply:
+
+* a UCQ's answer is the union of its disjuncts' answers;
+* ``∪qᵢ ⊆ ∪pⱼ`` iff every satisfiable disjunct qᵢ is contained in *some*
+  pⱼ (Sagiv–Yannakakis), which reduces to per-pair Chandra–Merlin tests;
+* minimisation drops disjuncts contained in other disjuncts and minimises
+  the survivors.
+
+Containment of keyed-schema mappings under dependencies extends the same
+way through chased canonical databases.  The library includes UCQs as an
+extension (DESIGN.md §3.7): Theorem 13 itself is about CQ mappings, but a
+follow-up question the conclusion raises — which richer mapping languages
+preserve the result — needs the class to even be expressible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cq.canonical import canonical_database
+from repro.cq.chase import FDEgd
+from repro.cq.containment_deps import chased_canonical
+from repro.cq.evaluation import evaluate, synthesize_view_schema
+from repro.cq.homomorphism import _check_same_type, find_homomorphism
+from repro.cq.syntax import ConjunctiveQuery
+from repro.cq.typecheck import head_type
+from repro.errors import QuerySyntaxError, TypecheckError
+from repro.relational.dependencies import InclusionDependency
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class UnionQuery:
+    """A union of conjunctive queries with a common head type."""
+
+    __slots__ = ("_disjuncts",)
+
+    def __init__(self, disjuncts: Sequence[ConjunctiveQuery]) -> None:
+        disjuncts = tuple(disjuncts)
+        if not disjuncts:
+            raise QuerySyntaxError("a union query needs at least one disjunct")
+        arities = {len(q.head.terms) for q in disjuncts}
+        if len(arities) != 1:
+            raise QuerySyntaxError(
+                f"disjuncts have different arities: {sorted(arities)}"
+            )
+        names = {q.view_name for q in disjuncts}
+        if len(names) != 1:
+            raise QuerySyntaxError(
+                f"disjuncts define different views: {sorted(names)}"
+            )
+        self._disjuncts = disjuncts
+
+    @property
+    def disjuncts(self) -> Tuple[ConjunctiveQuery, ...]:
+        """The member conjunctive queries."""
+        return self._disjuncts
+
+    @property
+    def view_name(self) -> str:
+        """The name of the defined view."""
+        return self._disjuncts[0].view_name
+
+    def __len__(self) -> int:
+        return len(self._disjuncts)
+
+    def check_types(self, schema: DatabaseSchema) -> Tuple[str, ...]:
+        """All disjuncts must share one head type; returns it."""
+        types = {head_type(q, schema) for q in self._disjuncts}
+        if len(types) != 1:
+            raise TypecheckError(
+                f"disjuncts have different head types: {sorted(types)}"
+            )
+        return next(iter(types))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return " UNION ".join(repr(q) for q in self._disjuncts)
+
+
+def evaluate_union(
+    union: UnionQuery,
+    instance: DatabaseInstance,
+    view_schema: Optional[RelationSchema] = None,
+) -> RelationInstance:
+    """Evaluate a UCQ: the union of the disjuncts' answers."""
+    if view_schema is None:
+        view_schema = synthesize_view_schema(union.disjuncts[0], instance)
+    rows: set = set()
+    for disjunct in union.disjuncts:
+        rows |= evaluate(disjunct, instance, view_schema).rows
+    return RelationInstance(view_schema, rows)
+
+
+def cq_contained_in_union(
+    query: ConjunctiveQuery,
+    union: UnionQuery,
+    schema: DatabaseSchema,
+    egds: Sequence[FDEgd] = (),
+    inclusions: Sequence[InclusionDependency] = (),
+) -> bool:
+    """Decide ``q ⊆ ∪pⱼ`` (optionally under dependencies).
+
+    Sagiv–Yannakakis: a homomorphism from *some* disjunct into the
+    (chased) canonical database of ``q`` mapping head to head.
+    """
+    _check_same_type(query, union.disjuncts[0], schema)
+    if egds or inclusions:
+        target = chased_canonical(query, schema, egds, inclusions)
+    else:
+        target = canonical_database(query, schema)
+    if target is None:
+        return True
+    for disjunct in union.disjuncts:
+        if canonical_database(disjunct, schema) is None:
+            continue  # unsatisfiable disjunct contributes nothing
+        if find_homomorphism(disjunct, target) is not None:
+            return True
+    return False
+
+
+def union_contained_in(
+    left: UnionQuery,
+    right: UnionQuery,
+    schema: DatabaseSchema,
+    egds: Sequence[FDEgd] = (),
+    inclusions: Sequence[InclusionDependency] = (),
+) -> bool:
+    """Decide ``∪qᵢ ⊆ ∪pⱼ``: every disjunct contained in the union."""
+    return all(
+        cq_contained_in_union(q, right, schema, egds, inclusions)
+        for q in left.disjuncts
+    )
+
+
+def unions_equivalent(
+    left: UnionQuery,
+    right: UnionQuery,
+    schema: DatabaseSchema,
+    egds: Sequence[FDEgd] = (),
+    inclusions: Sequence[InclusionDependency] = (),
+) -> bool:
+    """Decide UCQ equivalence: containment both ways."""
+    return union_contained_in(
+        left, right, schema, egds, inclusions
+    ) and union_contained_in(right, left, schema, egds, inclusions)
+
+
+def minimize_union(union: UnionQuery, schema: DatabaseSchema) -> UnionQuery:
+    """Remove redundant disjuncts and minimise the survivors.
+
+    A disjunct is redundant when it is contained in the union of the
+    *other* disjuncts; the result is equivalent to the input and no
+    disjunct of it is redundant.  Survivors are core-minimised.
+    """
+    from repro.cq.minimize import minimize
+
+    survivors: List[ConjunctiveQuery] = list(union.disjuncts)
+    index = 0
+    while index < len(survivors) and len(survivors) > 1:
+        candidate = survivors[index]
+        others = survivors[:index] + survivors[index + 1 :]
+        if cq_contained_in_union(candidate, UnionQuery(others), schema):
+            survivors = others
+        else:
+            index += 1
+    return UnionQuery([minimize(q, schema) for q in survivors])

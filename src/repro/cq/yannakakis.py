@@ -1,0 +1,216 @@
+"""Yannakakis-style evaluation of α-acyclic conjunctive queries.
+
+For acyclic queries (:mod:`repro.cq.hypergraph`), Yannakakis' algorithm
+evaluates in time polynomial in input + output: build a join tree, run a
+full semi-join reducer (leaves→root, then root→leaves) to delete every
+dangling tuple, then join along the tree — no intermediate result is ever
+larger than necessary.
+
+This implementation follows that scheme over *per-atom* tuple sets (each
+body atom owns its filtered copy of its relation's rows, so repeated
+relations and constant selections are handled uniformly):
+
+1. rewrite to the equality-free general form (representative
+   substitution);
+2. build the join tree by GYO reduction with witness tracking
+   (:func:`join_tree`); cyclic queries return ``None`` and
+   :func:`evaluate_acyclic` falls back to the standard hash-join pipeline;
+3. semi-join reduce both directions, then join bottom-up and project.
+
+The answer always equals :func:`repro.cq.evaluation.evaluate` — the test
+suite checks the agreement differentially — the difference is the
+worst-case behaviour on dangling-heavy instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.cq.equality import substitute_representatives
+from repro.cq.evaluation import evaluate, synthesize_view_schema
+from repro.cq.syntax import Atom, ConjunctiveQuery, Constant, Variable
+from repro.relational.domain import Value
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.schema import RelationSchema
+
+
+class _AtomTable:
+    """One body atom's filtered rows, keyed by its variable list."""
+
+    __slots__ = ("variables", "rows")
+
+    def __init__(self, variables: Tuple[Variable, ...], rows: List[Tuple[Value, ...]]):
+        self.variables = variables
+        self.rows = rows
+
+    def semi_join(self, other: "_AtomTable") -> bool:
+        """Keep only rows with a join partner in ``other``; True if changed."""
+        shared = [v for v in self.variables if v in other.variables]
+        if not shared:
+            return False
+        my_positions = [self.variables.index(v) for v in shared]
+        other_positions = [other.variables.index(v) for v in shared]
+        keys = {
+            tuple(row[p] for p in other_positions) for row in other.rows
+        }
+        kept = [
+            row
+            for row in self.rows
+            if tuple(row[p] for p in my_positions) in keys
+        ]
+        changed = len(kept) != len(self.rows)
+        self.rows = kept
+        return changed
+
+    def join(self, other: "_AtomTable") -> "_AtomTable":
+        """Hash-join with ``other``; result columns = self ∪ (other \\ self)."""
+        shared = [v for v in self.variables if v in other.variables]
+        my_positions = [self.variables.index(v) for v in shared]
+        other_positions = [other.variables.index(v) for v in shared]
+        extra_positions = [
+            i for i, v in enumerate(other.variables) if v not in self.variables
+        ]
+        index: Dict[Tuple[Value, ...], List[Tuple[Value, ...]]] = {}
+        for row in other.rows:
+            key = tuple(row[p] for p in other_positions)
+            index.setdefault(key, []).append(
+                tuple(row[p] for p in extra_positions)
+            )
+        joined: List[Tuple[Value, ...]] = []
+        for row in self.rows:
+            key = tuple(row[p] for p in my_positions)
+            for extras in index.get(key, ()):
+                joined.append(row + extras)
+        variables = self.variables + tuple(
+            other.variables[p] for p in extra_positions
+        )
+        return _AtomTable(variables, joined)
+
+
+def _atom_tables(
+    body: Sequence[Atom], instance: DatabaseInstance
+) -> List[_AtomTable]:
+    tables: List[_AtomTable] = []
+    for atom in body:
+        const_positions: List[Tuple[int, Value]] = []
+        repeat_positions: List[Tuple[int, int]] = []
+        var_positions: List[int] = []
+        first: Dict[Variable, int] = {}
+        for i, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                const_positions.append((i, term.value))
+            elif term in first:
+                repeat_positions.append((i, first[term]))
+            else:
+                first[term] = i
+                var_positions.append(i)
+        rows = []
+        for row in instance.relation(atom.relation):
+            if any(row[i] != v for i, v in const_positions):
+                continue
+            if any(row[i] != row[j] for i, j in repeat_positions):
+                continue
+            rows.append(tuple(row[i] for i in var_positions))
+        variables = tuple(atom.terms[i] for i in var_positions)  # type: ignore[misc]
+        tables.append(_AtomTable(variables, rows))
+    return tables
+
+
+def join_tree(
+    variable_sets: Sequence[FrozenSet[Variable]],
+) -> Optional[List[Tuple[int, int]]]:
+    """A join tree over atom indices via GYO reduction with witnesses.
+
+    Returns parent links ``(child, parent)`` (the last surviving atom is
+    the root and has no link), or ``None`` when the hypergraph is cyclic.
+    Ears whose remaining vertices vanish entirely (disconnected components)
+    are attached to the last survivor so downstream joins still visit them.
+    """
+    remaining: Dict[int, Set[Variable]] = {
+        i: set(vs) for i, vs in enumerate(variable_sets)
+    }
+    links: List[Tuple[int, int]] = []
+    orphans: List[int] = []
+    while len(remaining) > 1:
+        ear_found = False
+        for i, edge in list(remaining.items()):
+            counts = {
+                v: sum(1 for j, other in remaining.items() if j != i and v in other)
+                for v in edge
+            }
+            non_exclusive = {v for v in edge if counts[v] > 0}
+            witness = None
+            for j, other in remaining.items():
+                if j != i and non_exclusive <= other:
+                    witness = j
+                    break
+            if witness is None and not non_exclusive:
+                # Fully disconnected ear (cross-product component).
+                orphans.append(i)
+                del remaining[i]
+                ear_found = True
+                break
+            if witness is not None:
+                links.append((i, witness))
+                del remaining[i]
+                ear_found = True
+                break
+        if not ear_found:
+            return None
+    root = next(iter(remaining))
+    for orphan in orphans:
+        links.append((orphan, root))
+    return links
+
+
+def evaluate_acyclic(
+    query: ConjunctiveQuery,
+    instance: DatabaseInstance,
+    view_schema: Optional[RelationSchema] = None,
+) -> RelationInstance:
+    """Evaluate via join tree + full reducer; falls back on cyclic queries.
+
+    Produces exactly the same answers as
+    :func:`repro.cq.evaluation.evaluate`.
+    """
+    if view_schema is None:
+        view_schema = synthesize_view_schema(query, instance)
+    rewritten, structure = substitute_representatives(query)
+    if structure.inconsistent:
+        return RelationInstance(view_schema)
+    tables = _atom_tables(rewritten.body, instance)
+    variable_sets = [frozenset(t.variables) for t in tables]
+    links = join_tree(variable_sets)
+    if links is None:
+        return evaluate(query, instance, view_schema)
+
+    # Full reducer: children were removed in ear order, so the recorded
+    # links run leaves-to-root; semi-join parents by children in that
+    # order, then children by parents in reverse.
+    for child, parent in links:
+        tables[parent].semi_join(tables[child])
+    for child, parent in reversed(links):
+        tables[child].semi_join(tables[parent])
+
+    # Join along the tree, folding children into their parents in ear
+    # (leaves-first) order; the root accumulates everything.
+    accumulated: Dict[int, _AtomTable] = {i: t for i, t in enumerate(tables)}
+    root = len(tables) - 1 if not links else links[-1][1]
+    for child, parent in links:
+        accumulated[parent] = accumulated[parent].join(accumulated[child])
+    final = accumulated[root]
+
+    head_values: List[Tuple[bool, object]] = []
+    for term in rewritten.head.terms:
+        if isinstance(term, Constant):
+            head_values.append((True, term.value))
+        else:
+            head_values.append((False, final.variables.index(term)))
+    rows = {
+        tuple(
+            payload if is_const else row[payload]  # type: ignore[index]
+            for is_const, payload in head_values
+        )
+        for row in final.rows
+    }
+    return RelationInstance(view_schema, rows)

@@ -1,0 +1,91 @@
+"""Query mappings between schemas: views, validity, dominance, κ machinery.
+
+Implements the paper's mapping-level notions: query mappings as families of
+conjunctive views, validity (key preservation), the β∘α = id round-trip
+check relative to key dependencies, dominance pairs, and the γ/δ/π_κ
+constructions behind Theorem 9.
+"""
+
+from repro.mappings.view import View
+from repro.mappings.query_mapping import QueryMapping, identity_mapping
+from repro.mappings.builders import (
+    isomorphism_pair,
+    padding_mapping,
+    projection_mapping,
+    renaming_mapping,
+)
+from repro.mappings.validity import (
+    RelationValidity,
+    ValidityReport,
+    check_view_key,
+    find_validity_counterexample,
+    is_valid,
+    validity_report,
+)
+from repro.mappings.identity import (
+    IdentityReport,
+    composes_to_identity,
+    find_identity_counterexample,
+    identity_report,
+    round_trip,
+)
+from repro.mappings.dominance import (
+    DominancePair,
+    DominanceVerdict,
+    verify_dominance,
+)
+from repro.mappings.exhaustive import (
+    count_fragment_instances,
+    enumerate_instances,
+    exhaustive_round_trip_counterexample,
+    exhaustive_validity_counterexample,
+)
+from repro.mappings.serialization import format_mapping, parse_mapping
+from repro.mappings.kappa import (
+    KappaConstruction,
+    delta_mapping,
+    gamma_mapping,
+    involved_in_condition,
+    kappa_construction,
+    kappa_schema,
+    lemma7_key_attribute,
+    pi_kappa_mapping,
+)
+
+__all__ = [
+    "DominancePair",
+    "DominanceVerdict",
+    "IdentityReport",
+    "KappaConstruction",
+    "QueryMapping",
+    "RelationValidity",
+    "ValidityReport",
+    "View",
+    "check_view_key",
+    "composes_to_identity",
+    "count_fragment_instances",
+    "delta_mapping",
+    "enumerate_instances",
+    "exhaustive_round_trip_counterexample",
+    "exhaustive_validity_counterexample",
+    "find_identity_counterexample",
+    "find_validity_counterexample",
+    "format_mapping",
+    "gamma_mapping",
+    "identity_mapping",
+    "identity_report",
+    "involved_in_condition",
+    "is_valid",
+    "isomorphism_pair",
+    "kappa_construction",
+    "kappa_schema",
+    "lemma7_key_attribute",
+    "padding_mapping",
+    "parse_mapping",
+    "pi_kappa_mapping",
+    "projection_mapping",
+    "renaming_mapping",
+    "round_trip",
+    "validity_report",
+    "verify_dominance",
+]

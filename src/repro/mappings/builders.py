@@ -1,0 +1,141 @@
+"""Convenience builders for common query mappings.
+
+Renaming/re-ordering mappings (the "trivial" equivalences of Theorem 13's
+easy direction), projection mappings, and padding mappings used by the κ
+construction and the transformation toolkit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.cq.syntax import Atom, ConjunctiveQuery, Constant, Variable
+from repro.errors import MappingError
+from repro.mappings.query_mapping import QueryMapping
+from repro.relational.domain import Domain, Value
+from repro.relational.isomorphism import SchemaIsomorphism
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def renaming_mapping(witness: SchemaIsomorphism) -> QueryMapping:
+    """The query mapping induced by a schema isomorphism (source → target).
+
+    Each target relation is defined by projecting the matched source
+    relation's columns in the matched order — pure renaming/re-ordering, no
+    joins, no selections.
+    """
+    queries: Dict[str, ConjunctiveQuery] = {}
+    for src_rel in witness.source:
+        tgt_rel = witness.target.relation(witness.relation_map[src_rel.name])
+        amap = witness.attribute_maps[src_rel.name]
+        variables = {
+            attr.name: Variable(f"X{i}") for i, attr in enumerate(src_rel.attributes)
+        }
+        body = Atom(
+            src_rel.name, tuple(variables[a.name] for a in src_rel.attributes)
+        )
+        inverse_amap = {target: source for source, target in amap.items()}
+        head = Atom(
+            tgt_rel.name,
+            tuple(variables[inverse_amap[a.name]] for a in tgt_rel.attributes),
+        )
+        queries[tgt_rel.name] = ConjunctiveQuery(head, [body])
+    return QueryMapping(witness.source, witness.target, queries)
+
+
+def isomorphism_pair(
+    witness: SchemaIsomorphism,
+) -> Tuple[QueryMapping, QueryMapping]:
+    """The dominance pair (α, β) induced by an isomorphism.
+
+    ``β ∘ α`` is the identity on instances by construction — the easy
+    direction of Theorem 13.
+    """
+    return renaming_mapping(witness), renaming_mapping(witness.inverse())
+
+
+def projection_mapping(
+    source: DatabaseSchema,
+    target: DatabaseSchema,
+    columns: Mapping[str, Tuple[str, Tuple[str, ...]]],
+) -> QueryMapping:
+    """Define each target relation as a projection of one source relation.
+
+    ``columns`` maps each target relation name to
+    ``(source_relation, source_attribute_names)`` giving, per target
+    column, the source attribute it projects.
+    """
+    queries: Dict[str, ConjunctiveQuery] = {}
+    for tgt_rel in target:
+        try:
+            src_name, attr_names = columns[tgt_rel.name]
+        except KeyError:
+            raise MappingError(
+                f"no projection specified for target relation {tgt_rel.name!r}"
+            ) from None
+        src_rel = source.relation(src_name)
+        if len(attr_names) != tgt_rel.arity:
+            raise MappingError(
+                f"projection for {tgt_rel.name!r} lists {len(attr_names)} "
+                f"columns, relation has arity {tgt_rel.arity}"
+            )
+        variables = {
+            attr.name: Variable(f"X{i}") for i, attr in enumerate(src_rel.attributes)
+        }
+        body = Atom(
+            src_rel.name, tuple(variables[a.name] for a in src_rel.attributes)
+        )
+        head = Atom(tgt_rel.name, tuple(variables[n] for n in attr_names))
+        queries[tgt_rel.name] = ConjunctiveQuery(head, [body])
+    return QueryMapping(source, target, queries)
+
+
+def padding_mapping(
+    source: DatabaseSchema,
+    target: DatabaseSchema,
+    copied: Mapping[str, Tuple[str, Mapping[str, str]]],
+    padding: Mapping[Tuple[str, str], Value],
+) -> QueryMapping:
+    """Define each target relation by copying source columns and padding.
+
+    ``copied`` maps a target relation to ``(source_relation,
+    {target_attr: source_attr})``; target attributes not listed are filled
+    with the constant given by ``padding[(target_relation, target_attr)]``.
+    This is the γ-mapping shape (κ(S) → S) generalised.
+    """
+    queries: Dict[str, ConjunctiveQuery] = {}
+    for tgt_rel in target:
+        try:
+            src_name, attr_map = copied[tgt_rel.name]
+        except KeyError:
+            raise MappingError(
+                f"no copy rule for target relation {tgt_rel.name!r}"
+            ) from None
+        src_rel = source.relation(src_name)
+        variables = {
+            attr.name: Variable(f"X{i}") for i, attr in enumerate(src_rel.attributes)
+        }
+        body = Atom(
+            src_rel.name, tuple(variables[a.name] for a in src_rel.attributes)
+        )
+        head_terms = []
+        for attr in tgt_rel.attributes:
+            if attr.name in attr_map:
+                head_terms.append(variables[attr_map[attr.name]])
+            else:
+                try:
+                    pad = padding[(tgt_rel.name, attr.name)]
+                except KeyError:
+                    raise MappingError(
+                        f"attribute {tgt_rel.name}.{attr.name} is neither "
+                        "copied nor padded"
+                    ) from None
+                if pad.type_name != attr.type_name:
+                    raise MappingError(
+                        f"padding constant {pad!r} has wrong type for "
+                        f"{tgt_rel.name}.{attr.name} ({attr.type_name})"
+                    )
+                head_terms.append(Constant(pad))
+        head = Atom(tgt_rel.name, tuple(head_terms))
+        queries[tgt_rel.name] = ConjunctiveQuery(head, [body])
+    return QueryMapping(source, target, queries)

@@ -1,0 +1,102 @@
+"""Exhaustive finite-fragment model checking of mapping properties.
+
+The chase-based checks (:mod:`repro.mappings.validity`,
+:mod:`repro.mappings.identity`) are exact over the *infinite* typed
+domains.  This module provides a third, fully independent verification
+path: enumerate **every** key-satisfying database instance over a finite
+domain fragment (each attribute type restricted to a few values, each
+relation to a few rows) and check the property pointwise.  On fragments
+this is sound and complete by construction, so the test suite uses it to
+cross-validate the chase machinery — three implementations (chase,
+gadgets, exhaustive enumeration) agreeing on the same verdicts is the
+strongest correctness evidence a reproduction can offer.
+
+The fragment sizes must stay tiny: a relation with tuple-space size t and
+row cap r contributes Σ_{i≤r} C(t, i) instances, multiplied across
+relations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Mapping, Optional
+
+from repro.mappings.query_mapping import QueryMapping
+from repro.relational.domain import Value
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.schema import DatabaseSchema
+
+
+def enumerate_relation_instances(
+    relation, type_sizes: Mapping[str, int], max_rows: int
+) -> Iterator[RelationInstance]:
+    """All key-satisfying instances of one relation over the fragment."""
+    domains = [
+        [Value(attr.type_name, token) for token in range(type_sizes[attr.type_name])]
+        for attr in relation.attributes
+    ]
+    tuple_space = list(itertools.product(*domains))
+    for size in range(0, max_rows + 1):
+        for subset in itertools.combinations(tuple_space, size):
+            candidate = RelationInstance(relation, subset)
+            if candidate.satisfies_key():
+                yield candidate
+
+
+def enumerate_instances(
+    schema: DatabaseSchema,
+    type_sizes: Mapping[str, int],
+    max_rows: int = 2,
+) -> Iterator[DatabaseInstance]:
+    """All key-satisfying instances of ``schema`` over the fragment."""
+    per_relation = [
+        list(enumerate_relation_instances(relation, type_sizes, max_rows))
+        for relation in schema
+    ]
+    for combination in itertools.product(*per_relation):
+        yield DatabaseInstance(
+            schema, {inst.schema.name: inst for inst in combination}
+        )
+
+
+def count_fragment_instances(
+    schema: DatabaseSchema,
+    type_sizes: Mapping[str, int],
+    max_rows: int = 2,
+) -> int:
+    """Number of instances :func:`enumerate_instances` will yield."""
+    total = 1
+    for relation in schema:
+        total *= sum(
+            1 for _ in enumerate_relation_instances(relation, type_sizes, max_rows)
+        )
+    return total
+
+
+def exhaustive_round_trip_counterexample(
+    alpha: QueryMapping,
+    beta: QueryMapping,
+    type_sizes: Mapping[str, int],
+    max_rows: int = 2,
+) -> Optional[DatabaseInstance]:
+    """The first fragment instance with β(α(d)) ≠ d, or ``None``.
+
+    ``None`` certifies β∘α = id on the whole fragment (complete there,
+    unlike the randomized falsifier).
+    """
+    for instance in enumerate_instances(alpha.source, type_sizes, max_rows):
+        if beta.apply(alpha.apply(instance)) != instance:
+            return instance
+    return None
+
+
+def exhaustive_validity_counterexample(
+    mapping: QueryMapping,
+    type_sizes: Mapping[str, int],
+    max_rows: int = 2,
+) -> Optional[DatabaseInstance]:
+    """The first fragment instance whose image violates a target key."""
+    for instance in enumerate_instances(mapping.source, type_sizes, max_rows):
+        if not mapping.apply(instance).satisfies_keys():
+            return instance
+    return None

@@ -1,0 +1,94 @@
+"""Deciding whether β∘α is the identity on key-satisfying instances.
+
+Dominance S₁ ⪯ S₂ by (α, β) requires β∘α to be the identity map on i(S₁) —
+for keyed schemas, on the *key-satisfying* instances of S₁.  Since
+conjunctive mappings compose to conjunctive mappings, β∘α is a family of
+CQs over S₁, and "equals the identity on all key-satisfying instances" is
+per-relation CQ equivalence with the identity query **relative to S₁'s key
+EGDs**, which the chase decides exactly
+(:mod:`repro.cq.containment_deps`).
+
+A randomized falsifier over concrete instances is provided as an
+independent cross-check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Optional
+
+from repro.cq.composition import identity_view
+from repro.cq.containment_deps import is_contained_under
+from repro.cq.chase import egds_of_schema
+from repro.errors import MappingError
+from repro.mappings.query_mapping import QueryMapping
+from repro.relational.generators import random_instance
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema
+
+
+class IdentityReport(NamedTuple):
+    """Per-relation verdicts for θ = β∘α against the identity mapping.
+
+    ``contains_identity[R]`` records id_R ⊆ θ_R (θ returns every original
+    tuple) and ``contained_in_identity[R]`` records θ_R ⊆ id_R (θ invents
+    nothing), both relative to the source key dependencies.
+    """
+
+    is_identity: bool
+    contains_identity: Dict[str, bool]
+    contained_in_identity: Dict[str, bool]
+
+
+def round_trip(alpha: QueryMapping, beta: QueryMapping) -> QueryMapping:
+    """The composition θ = β∘α : S₁ → S₁."""
+    if alpha.target != beta.source or alpha.source != beta.target:
+        raise MappingError(
+            "round_trip expects α : S₁ → S₂ and β : S₂ → S₁ over the same schemas"
+        )
+    return alpha.then(beta)
+
+
+def identity_report(
+    alpha: QueryMapping, beta: QueryMapping
+) -> IdentityReport:
+    """Exact verdict: is β∘α the identity on key-satisfying instances of S₁?"""
+    theta = round_trip(alpha, beta)
+    schema = alpha.source
+    egds = egds_of_schema(schema)
+    contains: Dict[str, bool] = {}
+    contained: Dict[str, bool] = {}
+    for relation in schema:
+        identity = identity_view(relation.name, relation.arity)
+        composed = theta.query(relation.name)
+        contains[relation.name] = is_contained_under(
+            identity, composed, schema, egds
+        )
+        contained[relation.name] = is_contained_under(
+            composed, identity, schema, egds
+        )
+    verdict = all(contains.values()) and all(contained.values())
+    return IdentityReport(verdict, contains, contained)
+
+
+def composes_to_identity(alpha: QueryMapping, beta: QueryMapping) -> bool:
+    """True iff β∘α = id on every key-satisfying instance of α's source."""
+    return identity_report(alpha, beta).is_identity
+
+
+def find_identity_counterexample(
+    alpha: QueryMapping,
+    beta: QueryMapping,
+    trials: int = 32,
+    seed: int = 0,
+    rows_per_relation: int = 4,
+) -> Optional[DatabaseInstance]:
+    """Randomized falsifier: a key-satisfying d with β(α(d)) ≠ d, if found."""
+    for trial in range(trials):
+        candidate = random_instance(
+            alpha.source, rows_per_relation=rows_per_relation, seed=seed + trial
+        )
+        if not candidate.satisfies_keys():
+            continue
+        if beta.apply(alpha.apply(candidate)) != candidate:
+            return candidate
+    return None

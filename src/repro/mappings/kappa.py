@@ -1,0 +1,257 @@
+"""The κ construction: reducing keyed dominance to unkeyed dominance.
+
+Paper machinery around Theorem 9.  For a keyed schema S, κ(S) is the
+unkeyed schema keeping only key attributes.  Given a dominance pair
+S₁ ⪯ S₂ by (α, β), the paper constructs query mappings
+
+* γ : i(κ(S₁)) → i(S₁) — pad every non-key attribute with the fixed
+  constant f(T) of its type (f is a choice function on attribute types);
+* δ : i(κ(S₂)) → i(S₂) — re-create the projected-out non-key values of S₂
+  accurately enough for β (the four-case definition driven by the receives
+  analysis of α and β, and by Lemma 7's guaranteed key attribute K′);
+
+and shows that α_κ = π_κ∘α∘γ and β_κ = π_κ∘β∘δ witness κ(S₁) ⪯ κ(S₂)
+(Theorem 9).  Everything here is executable: γ, δ, π_κ are ordinary
+:class:`~repro.mappings.query_mapping.QueryMapping` objects and α_κ, β_κ
+are their actual compositions by query unfolding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Optional
+
+from repro.cq.equality import EqualityStructure
+from repro.cq.receives import MappingReceives
+from repro.cq.syntax import Atom, ConjunctiveQuery, Constant, Term, Variable
+from repro.errors import MappingError, SchemaError
+from repro.mappings.query_mapping import QueryMapping
+from repro.relational.attribute import QualifiedAttribute
+from repro.relational.domain import Domain, Value
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def kappa_schema(schema: DatabaseSchema) -> DatabaseSchema:
+    """κ(S): drop all non-key attributes and all key dependencies."""
+    if not schema.is_keyed:
+        raise SchemaError("κ is defined for keyed schemas only")
+    return DatabaseSchema(tuple(r.key_projection() for r in schema))
+
+
+def pi_kappa_mapping(schema: DatabaseSchema) -> QueryMapping:
+    """π_κ as a query mapping S → κ(S): project each relation to its keys."""
+    kappa = kappa_schema(schema)
+    queries: Dict[str, ConjunctiveQuery] = {}
+    for relation in schema:
+        variables = tuple(Variable(f"X{i}") for i in range(relation.arity))
+        body = Atom(relation.name, variables)
+        head = Atom(
+            relation.name,
+            tuple(variables[p] for p in relation.key_positions()),
+        )
+        queries[relation.name] = ConjunctiveQuery(head, [body])
+    return QueryMapping(schema, kappa, queries)
+
+
+def gamma_mapping(schema: DatabaseSchema, domain: Domain) -> QueryMapping:
+    """γ : i(κ(S)) → i(S) — the paper's padding mapping.
+
+    For a relation R with n key and m non-key attributes::
+
+        R(K1, ..., Kn, c1, ..., cm) :- R'(K1, ..., Kn)
+
+    with each cᵢ = f(T) for the type T of its column (columns are laid out
+    in R's own attribute order, not necessarily keys-first).  Note
+    π_κ(γ(d_κ)) = d_κ for every instance d_κ of κ(S).
+    """
+    kappa = kappa_schema(schema)
+    queries: Dict[str, ConjunctiveQuery] = {}
+    for relation in schema:
+        key_attrs = relation.key_attributes()
+        variables = {
+            attr.name: Variable(f"K{i}") for i, attr in enumerate(key_attrs)
+        }
+        body = Atom(relation.name, tuple(variables[a.name] for a in key_attrs))
+        head_terms: list = []
+        for attr in relation.attributes:
+            if attr.name in variables:
+                head_terms.append(variables[attr.name])
+            else:
+                head_terms.append(Constant(domain.choice(attr.type_name)))
+        head = Atom(relation.name, tuple(head_terms))
+        queries[relation.name] = ConjunctiveQuery(head, [body])
+    return QueryMapping(kappa, schema, queries)
+
+
+def involved_in_condition(
+    mapping: QueryMapping, attribute: QualifiedAttribute
+) -> bool:
+    """Is ``attribute`` involved in a join or selection in ``mapping``'s bodies?
+
+    True when some body atom over the attribute's relation places, at the
+    attribute's column, a variable whose equality class is non-trivial
+    (equated to another variable — a join or column selection) or pinned to
+    a constant (a selection).
+    """
+    source = mapping.source
+    relation = source.relation(attribute.relation)
+    column = relation.position(attribute.attribute)
+    for view in mapping:
+        query = view.query.paper_form()
+        structure = EqualityStructure(query)
+        for body_atom in query.body:
+            if body_atom.relation != attribute.relation:
+                continue
+            term = body_atom.terms[column]
+            if structure.constant_of(term) is not None:
+                return True
+            if len(structure.uf.class_of(term)) > 1:
+                return True
+    return False
+
+
+def lemma7_key_attribute(
+    alpha: QueryMapping,
+    target_attribute: QualifiedAttribute,
+    source_key: QualifiedAttribute,
+) -> Optional[QualifiedAttribute]:
+    """Find Lemma 7's K′ for B = ``target_attribute`` receiving K = ``source_key``.
+
+    K′ is a key attribute of B's relation whose head term, in α's view for
+    that relation, lies in the same equality class as B's head term (hence
+    shares B's value in every α-image) and which receives K under α.
+    Returns ``None`` when no such attribute exists — for genuine dominance
+    pairs Lemma 7 guarantees existence, so ``None`` refutes the pair.
+    """
+    relation = alpha.target.relation(target_attribute.relation)
+    query = alpha.query(relation.name).paper_form()
+    structure = EqualityStructure(query)
+    receives = alpha.receives()
+    b_position = relation.position(target_attribute.attribute)
+    b_term = query.head.terms[b_position]
+    for key_position in relation.key_positions():
+        key_attr = relation.attributes[key_position]
+        qualified = QualifiedAttribute(relation.name, key_attr.name, key_attr.type_name)
+        if not receives.receives(qualified, source_key):
+            continue
+        k_term = query.head.terms[key_position]
+        if k_term == b_term or structure.equivalent(k_term, b_term):
+            return qualified
+    return None
+
+
+def delta_mapping(
+    alpha: QueryMapping,
+    beta: QueryMapping,
+    domain: Domain,
+) -> QueryMapping:
+    """δ : i(κ(S₂)) → i(S₂) — the paper's four-case reconstruction mapping.
+
+    For each relation R of S₂ the view is
+    ``R(K1..Kn, t1..tm) :- R'(K1..Kn)`` (laid out in R's attribute order)
+    where, for the non-key attribute B of type T at tᵢ:
+
+    1. if B receives a constant b under α, tᵢ = b;
+    2. else if B receives a non-key attribute of S₁ under α, tᵢ = f(T);
+    3. else if B receives a key attribute K of S₁ under α, and either K
+       receives B under β or B is involved in a join/selection condition in
+       β, tᵢ = the key variable of Lemma 7's K′;
+    4. otherwise tᵢ = f(T).
+    """
+    s1, s2 = alpha.source, alpha.target
+    if beta.source != s2 or beta.target != s1:
+        raise MappingError("delta_mapping expects α : S₁ → S₂ and β : S₂ → S₁")
+    kappa2 = kappa_schema(s2)
+    receives_alpha = alpha.receives()
+    receives_beta = beta.receives()
+    s1_key_attrs = set(s1.key_qualified_attributes())
+    s1_nonkey_attrs = set(s1.nonkey_qualified_attributes())
+
+    queries: Dict[str, ConjunctiveQuery] = {}
+    for relation in s2:
+        key_attrs = relation.key_attributes()
+        variables = {
+            attr.name: Variable(f"K{i}") for i, attr in enumerate(key_attrs)
+        }
+        body = Atom(relation.name, tuple(variables[a.name] for a in key_attrs))
+        head_terms: list = []
+        for attr in relation.attributes:
+            if attr.name in variables:
+                head_terms.append(variables[attr.name])
+                continue
+            qualified_b = QualifiedAttribute(relation.name, attr.name, attr.type_name)
+            received = receives_alpha.received_by(qualified_b)
+            constant = receives_alpha.constant_received(qualified_b)
+            if constant is not None:
+                # Case 1: B receives a constant under α.
+                head_terms.append(Constant(constant))
+            elif received & s1_nonkey_attrs:
+                # Case 2: B receives a non-key attribute of S₁.
+                head_terms.append(Constant(domain.choice(attr.type_name)))
+            else:
+                term: Term = Constant(domain.choice(attr.type_name))  # case 4
+                for source_key in sorted(received & s1_key_attrs, key=repr):
+                    received_back = receives_beta.receives(source_key, qualified_b)
+                    if received_back or involved_in_condition(beta, qualified_b):
+                        k_prime = lemma7_key_attribute(alpha, qualified_b, source_key)
+                        if k_prime is None:
+                            raise MappingError(
+                                f"Lemma 7 premise holds for {qualified_b!r} "
+                                f"receiving {source_key!r} but no key "
+                                "attribute K' exists — (α, β) is not a "
+                                "dominance pair"
+                            )
+                        term = variables[k_prime.attribute]  # case 3
+                        break
+                head_terms.append(term)
+        head = Atom(relation.name, tuple(head_terms))
+        queries[relation.name] = ConjunctiveQuery(head, [body])
+    return QueryMapping(kappa2, s2, queries)
+
+
+class KappaConstruction(NamedTuple):
+    """All pieces of the Theorem 9 construction, as executable mappings."""
+
+    alpha: QueryMapping
+    beta: QueryMapping
+    gamma: QueryMapping
+    delta: QueryMapping
+    pi_kappa_1: QueryMapping
+    pi_kappa_2: QueryMapping
+    alpha_kappa: QueryMapping
+    beta_kappa: QueryMapping
+
+    @property
+    def kappa_s1(self) -> DatabaseSchema:
+        """κ(S₁)."""
+        return self.alpha_kappa.source
+
+    @property
+    def kappa_s2(self) -> DatabaseSchema:
+        """κ(S₂)."""
+        return self.alpha_kappa.target
+
+
+def kappa_construction(
+    alpha: QueryMapping,
+    beta: QueryMapping,
+    domain: Optional[Domain] = None,
+) -> KappaConstruction:
+    """Build γ, δ, π_κ and the composed α_κ, β_κ for a candidate pair (α, β).
+
+    ``domain`` supplies the choice function f; by default a fresh
+    :class:`Domain` over the types occurring in either schema is used.
+    """
+    s1, s2 = alpha.source, alpha.target
+    if domain is None:
+        domain = Domain()
+        for type_name in set(s1.type_names()) | set(s2.type_names()):
+            domain.type(type_name)
+    gamma = gamma_mapping(s1, domain)
+    delta = delta_mapping(alpha, beta, domain)
+    pi1 = pi_kappa_mapping(s1)
+    pi2 = pi_kappa_mapping(s2)
+    alpha_kappa = gamma.then(alpha).then(pi2)
+    beta_kappa = delta.then(beta).then(pi1)
+    return KappaConstruction(
+        alpha, beta, gamma, delta, pi1, pi2, alpha_kappa, beta_kappa
+    )

@@ -1,0 +1,53 @@
+"""Text serialization of query mappings.
+
+A mapping file holds one view definition per line in the query parser's
+syntax; the head name identifies the target relation::
+
+    # α : S1 → S2
+    M(X, Y) :- A(X, Y).
+    N(Y) :- B(Y, Z).
+
+``format_mapping`` and ``parse_mapping`` round-trip, so mappings can be
+stored next to schema files, reviewed in diffs, and fed back to the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cq.parser import format_query, parse_queries
+from repro.cq.syntax import ConjunctiveQuery
+from repro.errors import MappingError
+from repro.mappings.query_mapping import QueryMapping
+from repro.relational.schema import DatabaseSchema
+
+
+def format_mapping(mapping: QueryMapping, header: str = "") -> str:
+    """Render a mapping as one view definition per line."""
+    lines: List[str] = []
+    if header:
+        lines.append(f"# {header}")
+    for view in mapping:
+        lines.append(format_query(view.query))
+    return "\n".join(lines) + "\n"
+
+
+def parse_mapping(
+    text: str,
+    source: DatabaseSchema,
+    target: DatabaseSchema,
+) -> QueryMapping:
+    """Parse a mapping file against its source and target schemas.
+
+    Every target relation needs exactly one defining view; duplicate or
+    missing definitions raise :class:`MappingError`, and each view is
+    typechecked by the :class:`QueryMapping` constructor.
+    """
+    queries: Dict[str, ConjunctiveQuery] = {}
+    for query in parse_queries(text):
+        if query.view_name in queries:
+            raise MappingError(
+                f"duplicate view definition for relation {query.view_name!r}"
+            )
+        queries[query.view_name] = query
+    return QueryMapping(source, target, queries)

@@ -1,0 +1,70 @@
+"""Relational model substrate: domains, schemas, instances, dependencies.
+
+This subpackage implements §2 of the paper verbatim: typed domains with
+disjoint attribute types, (keyed) relation schemes and database schemas,
+finite typed instances, the dependency classes the paper manipulates, FD
+theory, schema isomorphism ("identical up to renaming and re-ordering"),
+and the instance-construction gadgets its proofs use.
+"""
+
+from repro.relational.domain import AttributeType, Domain, Value, default_domain
+from repro.relational.attribute import Attribute, QualifiedAttribute
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.instance import DatabaseInstance, RelationInstance, Row
+from repro.relational.dependencies import (
+    FunctionalDependency,
+    InclusionDependency,
+    KeyDependency,
+    key_dependencies,
+)
+from repro.relational.isomorphism import (
+    SchemaIsomorphism,
+    canonical_form,
+    explain_difference,
+    find_isomorphism,
+    is_isomorphic,
+)
+from repro.relational.generators import (
+    attribute_specific_instance,
+    empty_instance,
+    g_swap,
+    random_instance,
+    single_tuple_instance,
+    two_key_values,
+)
+from repro.relational.catalog import format_schema, parse_schema, relation, schema
+from repro.relational.ddl import to_ddl
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "DatabaseInstance",
+    "DatabaseSchema",
+    "Domain",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "KeyDependency",
+    "QualifiedAttribute",
+    "RelationInstance",
+    "RelationSchema",
+    "Row",
+    "SchemaIsomorphism",
+    "Value",
+    "attribute_specific_instance",
+    "canonical_form",
+    "default_domain",
+    "empty_instance",
+    "explain_difference",
+    "find_isomorphism",
+    "format_schema",
+    "g_swap",
+    "is_isomorphic",
+    "key_dependencies",
+    "parse_schema",
+    "random_instance",
+    "relation",
+    "schema",
+    "single_tuple_instance",
+    "to_ddl",
+    "two_key_values",
+]

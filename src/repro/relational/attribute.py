@@ -1,0 +1,68 @@
+"""Attributes and qualified attributes.
+
+An *attribute* (paper §2) is a pair of a name and an attribute type.  Within
+a relation, attribute names are unique; across a schema the same name may
+recur, so schema-level reasoning (the *receives* relation, Lemmas 3-5, 7,
+10-12) uses :class:`QualifiedAttribute` — an attribute tagged with its
+relation's name.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.errors import SchemaError
+
+
+class Attribute(NamedTuple):
+    """A named, typed attribute of a relation scheme."""
+
+    name: str
+    type_name: str
+
+    def renamed(self, new_name: str) -> "Attribute":
+        """Return a copy of this attribute under a new name (same type)."""
+        return Attribute(new_name, self.type_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}:{self.type_name}"
+
+
+class QualifiedAttribute(NamedTuple):
+    """An attribute located within a specific relation of a schema.
+
+    This is the unit of the paper's attribute-flow analysis: statements like
+    "attribute A of S₁ is received by attribute B of S₂ under α" quantify
+    over qualified attributes.
+    """
+
+    relation: str
+    attribute: str
+    type_name: str
+
+    @property
+    def name(self) -> str:
+        """The unqualified attribute name."""
+        return self.attribute
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.relation}.{self.attribute}:{self.type_name}"
+
+
+def make_attribute(spec: "Attribute | tuple[str, str] | str", default_type: str | None = None) -> Attribute:
+    """Coerce a user-supplied attribute spec into an :class:`Attribute`.
+
+    Accepts an :class:`Attribute`, a ``(name, type_name)`` pair, or a bare
+    name combined with ``default_type``.
+    """
+    if isinstance(spec, Attribute):
+        return spec
+    if isinstance(spec, tuple) and len(spec) == 2:
+        return Attribute(spec[0], spec[1])
+    if isinstance(spec, str):
+        if default_type is None:
+            raise SchemaError(
+                f"attribute {spec!r} given without a type and no default type is set"
+            )
+        return Attribute(spec, default_type)
+    raise SchemaError(f"cannot interpret {spec!r} as an attribute")

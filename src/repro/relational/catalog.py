@@ -1,0 +1,144 @@
+"""Schema builder DSL and text parser.
+
+Two ways to define schemas concisely:
+
+* :func:`relation` / :func:`schema` — programmatic builders;
+* :func:`parse_schema` — a text format mirroring the paper's notation::
+
+      employee(ss*: SSN, eName: Name, salary: Money, depId: DeptId)
+      department(deptId*: DeptId, deptName: Name, mgr: SSN)
+      employee[depId] <= department[deptId]
+
+  Key attributes are starred; attribute types follow a colon (defaulting to
+  ``default_type`` when omitted); inclusion dependencies use ``<=`` for the
+  paper's ⊆.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.attribute import Attribute
+from repro.relational.dependencies import InclusionDependency
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+_RELATION_RE = re.compile(r"^\s*(\w+)\s*\(\s*(.*?)\s*\)\s*$")
+_ATTRIBUTE_RE = re.compile(r"^(\w+)(\*?)\s*(?::\s*(\w+))?$")
+_INCLUSION_RE = re.compile(
+    r"^\s*(\w+)\s*\[\s*([\w\s,]+?)\s*\]\s*<=\s*(\w+)\s*\[\s*([\w\s,]+?)\s*\]\s*$"
+)
+
+
+def relation(
+    name: str,
+    attributes: Sequence[Tuple[str, str] | Attribute | str],
+    key: Optional[Iterable[str]] = None,
+    default_type: str = "T",
+) -> RelationSchema:
+    """Build a relation scheme from lightweight attribute specs.
+
+    Attribute specs may be ``Attribute`` objects, ``(name, type)`` pairs, or
+    bare names (typed ``default_type``).  A name ending in ``*`` marks a key
+    attribute; the explicit ``key`` argument overrides stars.
+    """
+    attrs: List[Attribute] = []
+    starred: List[str] = []
+    for spec in attributes:
+        if isinstance(spec, Attribute):
+            attrs.append(spec)
+            continue
+        if isinstance(spec, tuple):
+            attr_name, type_name = spec
+        else:
+            attr_name, type_name = spec, default_type
+        if attr_name.endswith("*"):
+            attr_name = attr_name[:-1]
+            starred.append(attr_name)
+        attrs.append(Attribute(attr_name, type_name))
+    if key is None and starred:
+        key = starred
+    return RelationSchema(name, attrs, key)
+
+
+def schema(*relations: RelationSchema) -> DatabaseSchema:
+    """Build a database schema from relation schemes."""
+    return DatabaseSchema(relations)
+
+
+def _parse_relation_line(line: str, default_type: str) -> RelationSchema:
+    match = _RELATION_RE.match(line)
+    if not match:
+        raise SchemaError(f"cannot parse relation declaration: {line!r}")
+    name, body = match.groups()
+    if not body:
+        raise SchemaError(f"relation {name!r} declares no attributes")
+    attrs: List[Attribute] = []
+    key: List[str] = []
+    for part in (p.strip() for p in body.split(",")):
+        attr_match = _ATTRIBUTE_RE.match(part)
+        if not attr_match:
+            raise SchemaError(f"cannot parse attribute spec {part!r} in {line!r}")
+        attr_name, star, type_name = attr_match.groups()
+        attrs.append(Attribute(attr_name, type_name or default_type))
+        if star:
+            key.append(attr_name)
+    return RelationSchema(name, attrs, key or None)
+
+
+def parse_schema(
+    text: str, default_type: str = "T"
+) -> Tuple[DatabaseSchema, Tuple[InclusionDependency, ...]]:
+    """Parse a multi-line schema declaration.
+
+    Blank lines and ``#`` comments are skipped.  Returns the schema together
+    with any inclusion dependencies declared with ``<=``.  Inclusion
+    dependencies are validated against the parsed schema.
+    """
+    relations: List[RelationSchema] = []
+    inclusions: List[InclusionDependency] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        inc_match = _INCLUSION_RE.match(line)
+        if inc_match:
+            src, src_attrs, tgt, tgt_attrs = inc_match.groups()
+            inclusions.append(
+                InclusionDependency(
+                    src,
+                    [a.strip() for a in src_attrs.split(",")],
+                    tgt,
+                    [a.strip() for a in tgt_attrs.split(",")],
+                )
+            )
+            continue
+        relations.append(_parse_relation_line(line, default_type))
+    if not relations:
+        raise SchemaError("schema text declares no relations")
+    parsed = DatabaseSchema(relations)
+    for inclusion in inclusions:
+        inclusion.validate(parsed)
+    return parsed, tuple(inclusions)
+
+
+def format_schema(
+    schema_obj: DatabaseSchema,
+    inclusions: Iterable[InclusionDependency] = (),
+) -> str:
+    """Render a schema (and inclusion dependencies) back to parser syntax."""
+    lines: List[str] = []
+    for rel in schema_obj:
+        key = rel.key or frozenset()
+        parts = [
+            f"{a.name}{'*' if a.name in key else ''}: {a.type_name}"
+            for a in rel.attributes
+        ]
+        lines.append(f"{rel.name}({', '.join(parts)})")
+    for inc in inclusions:
+        lines.append(
+            f"{inc.source}[{', '.join(inc.source_attrs)}] <= "
+            f"{inc.target}[{', '.join(inc.target_attrs)}]"
+        )
+    return "\n".join(lines)

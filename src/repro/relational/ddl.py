@@ -1,0 +1,91 @@
+"""SQL DDL export of schemas and dependencies.
+
+Schemas defined in the paper's abstract notation render to standard
+``CREATE TABLE`` statements: attribute types become SQL domains (one
+``CREATE DOMAIN`` each, since the paper's types are opaque disjoint sets),
+keys become ``PRIMARY KEY`` constraints, and inclusion dependencies whose
+target side is the target's key become ``FOREIGN KEY`` constraints (other
+inclusion dependencies are emitted as comments — SQL has no general
+inclusion constraint).
+
+This is an export convenience for inspecting schemas in familiar syntax
+and for moving examples into a real database; nothing in the library
+depends on it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.relational.dependencies import InclusionDependency
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def _quote(identifier: str) -> str:
+    return f'"{identifier}"'
+
+
+def domain_ddl(schema: DatabaseSchema, base_type: str = "TEXT") -> List[str]:
+    """One ``CREATE DOMAIN`` per attribute type of the schema."""
+    return [
+        f"CREATE DOMAIN {_quote(name)} AS {base_type};"
+        for name in schema.type_names()
+    ]
+
+
+def relation_ddl(relation: RelationSchema) -> str:
+    """``CREATE TABLE`` for one relation, with its primary key."""
+    lines = [f"CREATE TABLE {_quote(relation.name)} ("]
+    column_lines = [
+        f"    {_quote(attr.name)} {_quote(attr.type_name)} NOT NULL"
+        for attr in relation.attributes
+    ]
+    if relation.is_keyed:
+        key_columns = ", ".join(
+            _quote(a.name) for a in relation.key_attributes()
+        )
+        column_lines.append(f"    PRIMARY KEY ({key_columns})")
+    lines.append(",\n".join(column_lines))
+    lines.append(");")
+    return "\n".join(lines)
+
+
+def _is_foreign_key(
+    schema: DatabaseSchema, inclusion: InclusionDependency
+) -> bool:
+    target = schema.relation(inclusion.target)
+    return target.key is not None and set(inclusion.target_attrs) == set(target.key)
+
+
+def inclusion_ddl(
+    schema: DatabaseSchema, inclusion: InclusionDependency
+) -> str:
+    """FK constraint when the inclusion targets a key; else a comment."""
+    if _is_foreign_key(schema, inclusion):
+        source_cols = ", ".join(_quote(a) for a in inclusion.source_attrs)
+        target_cols = ", ".join(_quote(a) for a in inclusion.target_attrs)
+        return (
+            f"ALTER TABLE {_quote(inclusion.source)} ADD CONSTRAINT "
+            f"{_quote(f'fk_{inclusion.source}_{inclusion.target}')} "
+            f"FOREIGN KEY ({source_cols}) REFERENCES "
+            f"{_quote(inclusion.target)} ({target_cols});"
+        )
+    return f"-- inclusion dependency (not expressible as FK): {inclusion!r}"
+
+
+def to_ddl(
+    schema: DatabaseSchema,
+    inclusions: Iterable[InclusionDependency] = (),
+    base_type: str = "TEXT",
+) -> str:
+    """Full DDL script: domains, tables, then constraints."""
+    statements: List[str] = []
+    statements.extend(domain_ddl(schema, base_type=base_type))
+    statements.append("")
+    for relation in schema:
+        statements.append(relation_ddl(relation))
+        statements.append("")
+    for inclusion in inclusions:
+        inclusion.validate(schema)
+        statements.append(inclusion_ddl(schema, inclusion))
+    return "\n".join(statements).rstrip() + "\n"

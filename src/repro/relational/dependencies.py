@@ -1,0 +1,267 @@
+"""Dependencies: functional, key, and inclusion dependencies.
+
+The paper's §2 conventions are followed exactly:
+
+* A functional dependency ``X → Y`` on a *schema* is a pair of sets of
+  (qualified) attributes.  If all attributes of ``X ∪ Y`` live in the same
+  relation, satisfaction is the usual FD condition on that relation's
+  instance; otherwise the dependency **fails for every instance** (this
+  slightly unusual convention is what makes Theorem 6's statement concise).
+* A key dependency designates a key for one relation; it is the FD
+  ``K → attrs(R)`` together with minimality of ``K`` among superkeys.
+* Inclusion dependencies ``R[A⃗] ⊆ S[B⃗]`` are not used by the paper's main
+  theorem (keyed schemas have *only* keys) but are required by the §1
+  motivating example and the transformation toolkit.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Sequence, Tuple
+
+from repro.errors import DependencyError
+from repro.relational.attribute import QualifiedAttribute
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class FunctionalDependency:
+    """A functional dependency ``X → Y`` over qualified attributes."""
+
+    __slots__ = ("_lhs", "_rhs")
+
+    def __init__(
+        self,
+        lhs: Iterable[QualifiedAttribute],
+        rhs: Iterable[QualifiedAttribute],
+    ) -> None:
+        self._lhs: FrozenSet[QualifiedAttribute] = frozenset(lhs)
+        self._rhs: FrozenSet[QualifiedAttribute] = frozenset(rhs)
+        if not self._rhs:
+            raise DependencyError("a functional dependency needs a non-empty right side")
+
+    @classmethod
+    def of_relation(
+        cls,
+        schema: RelationSchema,
+        lhs_names: Iterable[str],
+        rhs_names: Iterable[str],
+    ) -> "FunctionalDependency":
+        """Build an FD over a single relation from attribute names."""
+        return cls(
+            (schema.qualify(n) for n in lhs_names),
+            (schema.qualify(n) for n in rhs_names),
+        )
+
+    @property
+    def lhs(self) -> FrozenSet[QualifiedAttribute]:
+        """The determining attribute set X."""
+        return self._lhs
+
+    @property
+    def rhs(self) -> FrozenSet[QualifiedAttribute]:
+        """The determined attribute set Y."""
+        return self._rhs
+
+    def single_relation(self) -> str | None:
+        """The unique relation all attributes live in, or ``None``.
+
+        Per §2 a cross-relation FD fails for every instance, so callers use
+        this to detect the degenerate case.
+        """
+        relations = {a.relation for a in self._lhs | self._rhs}
+        if len(relations) == 1:
+            return next(iter(relations))
+        return None
+
+    def satisfied_by(self, instance: DatabaseInstance) -> bool:
+        """Check satisfaction per the paper's §2 definition.
+
+        A cross-relation FD fails for every instance.  Within one relation:
+        every pair of tuples that differs on some attribute of Y must also
+        differ on some attribute of X (equivalently: tuples agreeing on all
+        of X agree on all of Y).  An empty X means all tuples must agree on
+        Y.
+        """
+        relation_name = self.single_relation()
+        if relation_name is None:
+            return False
+        rel = instance.relation(relation_name)
+        schema = rel.schema
+        lhs_pos = [schema.position(a.attribute) for a in self._lhs]
+        rhs_pos = [schema.position(a.attribute) for a in self._rhs]
+        seen: dict = {}
+        for row in rel:
+            x_value = tuple(row[p] for p in lhs_pos)
+            y_value = tuple(row[p] for p in rhs_pos)
+            previous = seen.get(x_value)
+            if previous is None:
+                seen[x_value] = y_value
+            elif previous != y_value:
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionalDependency)
+            and other._lhs == self._lhs
+            and other._rhs == self._rhs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._lhs, self._rhs))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fmt = lambda s: "{" + ", ".join(sorted(f"{a.relation}.{a.attribute}" for a in s)) + "}"
+        return f"{fmt(self._lhs)} -> {fmt(self._rhs)}"
+
+
+class KeyDependency:
+    """The key dependency of one keyed relation."""
+
+    __slots__ = ("_relation", "_key")
+
+    def __init__(self, relation: str, key: Iterable[str]) -> None:
+        self._relation = relation
+        self._key: FrozenSet[str] = frozenset(key)
+        if not self._key:
+            raise DependencyError("a key must be non-empty")
+
+    @classmethod
+    def of_relation(cls, schema: RelationSchema) -> "KeyDependency":
+        """Extract the key dependency declared on ``schema``."""
+        if schema.key is None:
+            raise DependencyError(f"relation {schema.name!r} declares no key")
+        return cls(schema.name, schema.key)
+
+    @property
+    def relation(self) -> str:
+        """The relation this key constrains."""
+        return self._relation
+
+    @property
+    def key(self) -> FrozenSet[str]:
+        """The key attribute names."""
+        return self._key
+
+    def as_fd(self, schema: DatabaseSchema) -> FunctionalDependency:
+        """The key as the FD ``K → attrs(R)``."""
+        rel = schema.relation(self._relation)
+        return FunctionalDependency(
+            (rel.qualify(n) for n in self._key),
+            (QualifiedAttribute(rel.name, a.name, a.type_name) for a in rel.attributes),
+        )
+
+    def satisfied_by(self, instance: DatabaseInstance) -> bool:
+        """True iff key values are unique in the relation's instance."""
+        rel = instance.relation(self._relation)
+        schema = rel.schema
+        positions = [schema.position(n) for n in self._key]
+        seen = set()
+        for row in rel:
+            key_value = tuple(row[p] for p in positions)
+            if key_value in seen:
+                return False
+            seen.add(key_value)
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, KeyDependency)
+            and other._relation == self._relation
+            and other._key == self._key
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._relation, self._key))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"key({self._relation}: {', '.join(sorted(self._key))})"
+
+
+def key_dependencies(schema: DatabaseSchema) -> Tuple[KeyDependency, ...]:
+    """All key dependencies declared by a schema's relations."""
+    return tuple(
+        KeyDependency.of_relation(r) for r in schema if r.is_keyed
+    )
+
+
+class InclusionDependency:
+    """An inclusion dependency ``R[A1..An] ⊆ S[B1..Bn]``."""
+
+    __slots__ = ("_source", "_source_attrs", "_target", "_target_attrs")
+
+    def __init__(
+        self,
+        source: str,
+        source_attrs: Sequence[str],
+        target: str,
+        target_attrs: Sequence[str],
+    ) -> None:
+        if len(source_attrs) != len(target_attrs):
+            raise DependencyError(
+                "inclusion dependency sides must have equal length: "
+                f"{list(source_attrs)} vs {list(target_attrs)}"
+            )
+        if not source_attrs:
+            raise DependencyError("inclusion dependency must mention attributes")
+        self._source = source
+        self._source_attrs = tuple(source_attrs)
+        self._target = target
+        self._target_attrs = tuple(target_attrs)
+
+    @property
+    def source(self) -> str:
+        """The containing-side relation name (left of ⊆)."""
+        return self._source
+
+    @property
+    def source_attrs(self) -> Tuple[str, ...]:
+        """Attribute names projected on the left."""
+        return self._source_attrs
+
+    @property
+    def target(self) -> str:
+        """The contained-in relation name (right of ⊆)."""
+        return self._target
+
+    @property
+    def target_attrs(self) -> Tuple[str, ...]:
+        """Attribute names projected on the right."""
+        return self._target_attrs
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Check both sides exist and are type-compatible."""
+        src = schema.relation(self._source)
+        tgt = schema.relation(self._target)
+        for a, b in zip(self._source_attrs, self._target_attrs):
+            ta = src.attribute(a).type_name
+            tb = tgt.attribute(b).type_name
+            if ta != tb:
+                raise DependencyError(
+                    f"inclusion {self!r}: attribute {a!r} has type {ta!r} but "
+                    f"{b!r} has type {tb!r}"
+                )
+
+    def satisfied_by(self, instance: DatabaseInstance) -> bool:
+        """True iff π_A⃗(source) ⊆ π_B⃗(target) in ``instance``."""
+        left = instance.relation(self._source).project(self._source_attrs)
+        right = instance.relation(self._target).project(self._target_attrs)
+        return left <= right
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, InclusionDependency)
+            and other._source == self._source
+            and other._source_attrs == self._source_attrs
+            and other._target == self._target
+            and other._target_attrs == self._target_attrs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._source, self._source_attrs, self._target, self._target_attrs))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self._source}[{', '.join(self._source_attrs)}] ⊆ "
+            f"{self._target}[{', '.join(self._target_attrs)}]"
+        )

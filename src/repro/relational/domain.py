@@ -1,0 +1,159 @@
+"""Domains, attribute types, and typed values.
+
+The paper (§2) fixes a *domain*: a countably infinite set of atomic values,
+partitioned into disjoint, themselves countably infinite *attribute types*.
+We realise this symbolically:
+
+* a :class:`Value` is a pair ``(type_name, token)`` — disjointness of types
+  is therefore structural, and every type has as many values as there are
+  tokens (we use ints and strings);
+* an :class:`AttributeType` is a named handle that manufactures and
+  recognises values of its type;
+* a :class:`Domain` is a registry of attribute types, enforcing unique names
+  and providing the *choice function* ``f`` used by the paper's δ/γ
+  constructions (a fixed constant per type).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, NamedTuple, Tuple
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.utils.fresh import FreshValues
+
+
+class Value(NamedTuple):
+    """A typed atomic value: a token tagged with its attribute-type name.
+
+    Values of different types are never equal, matching the paper's
+    requirement that attribute types are disjoint subsets of the domain.
+    """
+
+    type_name: str
+    token: Hashable
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.type_name}:{self.token!r}"
+
+
+class AttributeType:
+    """A countably infinite attribute type.
+
+    Instances with the same name denote the same type; equality and hashing
+    are by name so that types can be freely re-created from parsed text.
+
+    >>> t = AttributeType("Str")
+    >>> t.value("alice")
+    Str:'alice'
+    """
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"attribute type name must be a non-empty string, got {name!r}")
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        """The type's unique name."""
+        return self._name
+
+    def value(self, token: Hashable) -> Value:
+        """Wrap ``token`` as a value of this type."""
+        return Value(self._name, token)
+
+    def contains(self, value: Value) -> bool:
+        """True iff ``value`` belongs to this type."""
+        return isinstance(value, Value) and value.type_name == self._name
+
+    def check(self, value: Value) -> Value:
+        """Return ``value`` if it belongs to this type, else raise."""
+        if not self.contains(value):
+            raise TypeMismatchError(f"value {value!r} is not of type {self._name}")
+        return value
+
+    def values(self, tokens: Iterable[Hashable]) -> Tuple[Value, ...]:
+        """Wrap many tokens at once."""
+        return tuple(self.value(t) for t in tokens)
+
+    def fresh_values(self, n: int, avoid: Iterable[Value] = ()) -> Tuple[Value, ...]:
+        """Return ``n`` values of this type distinct from everything in ``avoid``.
+
+        This is the proofs' recurring gadget: "let a be a value for attribute
+        A that is not among any constants in the queries in α or β".
+        Non-integer tokens in ``avoid`` cannot collide with the generated
+        integer tokens and are ignored.
+        """
+        used = {
+            v.token
+            for v in avoid
+            if isinstance(v, Value) and v.type_name == self._name and isinstance(v.token, int)
+        }
+        gen = FreshValues(avoid=used)
+        return tuple(self.value(tok) for tok in gen.take(n))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AttributeType) and other._name == self._name
+
+    def __hash__(self) -> int:
+        return hash(("AttributeType", self._name))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AttributeType({self._name!r})"
+
+
+class Domain:
+    """A registry of disjoint attribute types with a fixed choice function.
+
+    The paper's δ and γ mappings rely on "some fixed, arbitrary map f such
+    that f(T) ∈ T for each type T".  :meth:`choice` implements f
+    deterministically: ``f(T) = T.value("⊥")``.
+    """
+
+    CHOICE_TOKEN = "_f"
+
+    def __init__(self, types: Iterable[AttributeType] = ()) -> None:
+        self._types: Dict[str, AttributeType] = {}
+        for t in types:
+            self.add(t)
+
+    def add(self, attribute_type: AttributeType) -> AttributeType:
+        """Register ``attribute_type``; re-adding the same name is a no-op."""
+        existing = self._types.get(attribute_type.name)
+        if existing is not None:
+            return existing
+        self._types[attribute_type.name] = attribute_type
+        return attribute_type
+
+    def type(self, name: str) -> AttributeType:
+        """Look up (or lazily create and register) the type called ``name``."""
+        if name not in self._types:
+            self._types[name] = AttributeType(name)
+        return self._types[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self) -> Iterator[AttributeType]:
+        return iter(self._types.values())
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def choice(self, type_name: str) -> Value:
+        """The paper's choice function f: a fixed constant of the given type."""
+        return Value(type_name, self.CHOICE_TOKEN)
+
+    def check_value(self, value: Value) -> Value:
+        """Validate that ``value``'s type is registered in this domain."""
+        if value.type_name not in self._types:
+            raise TypeMismatchError(
+                f"value {value!r} has unknown attribute type {value.type_name!r}"
+            )
+        return value
+
+
+def default_domain(type_names: Iterable[str]) -> Domain:
+    """Convenience: build a :class:`Domain` from type names."""
+    return Domain(AttributeType(name) for name in type_names)

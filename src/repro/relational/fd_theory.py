@@ -1,0 +1,148 @@
+"""Classical FD theory over a single relation: closure, implication, covers.
+
+This is the substrate Theorem 6 reasoning rests on: given the FDs known to
+hold in a dominated schema, decide whether a transferred dependency is a
+consequence, find candidate keys, and minimise covers.  All functions work
+over plain attribute-name sets of one relation; schema-level FDs are lowered
+to this form by :mod:`repro.core.theorem6`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+AttrSet = FrozenSet[str]
+FD = Tuple[AttrSet, AttrSet]
+
+
+def fd(lhs: Iterable[str], rhs: Iterable[str]) -> FD:
+    """Build an FD pair from attribute-name iterables."""
+    return (frozenset(lhs), frozenset(rhs))
+
+
+def closure(attributes: Iterable[str], fds: Sequence[FD]) -> AttrSet:
+    """The attribute closure X⁺ of ``attributes`` under ``fds``.
+
+    Standard fixpoint: repeatedly add the right side of any FD whose left
+    side is contained in the closure so far.
+    """
+    closed: Set[str] = set(attributes)
+    changed = True
+    pending = list(fds)
+    while changed:
+        changed = False
+        remaining: List[FD] = []
+        for lhs, rhs in pending:
+            if lhs <= closed:
+                if not rhs <= closed:
+                    closed |= rhs
+                    changed = True
+            else:
+                remaining.append((lhs, rhs))
+        pending = remaining
+    return frozenset(closed)
+
+def implies(fds: Sequence[FD], candidate: FD) -> bool:
+    """True iff ``fds ⊨ candidate`` (by attribute closure)."""
+    lhs, rhs = candidate
+    return rhs <= closure(lhs, fds)
+
+
+def equivalent_covers(fds_a: Sequence[FD], fds_b: Sequence[FD]) -> bool:
+    """True iff the two FD sets imply each other."""
+    return all(implies(fds_a, f) for f in fds_b) and all(
+        implies(fds_b, f) for f in fds_a
+    )
+
+
+def is_superkey(attributes: Iterable[str], all_attributes: Iterable[str], fds: Sequence[FD]) -> bool:
+    """True iff ``attributes`` functionally determines the whole relation."""
+    return frozenset(all_attributes) <= closure(attributes, fds)
+
+
+def is_key(attributes: Iterable[str], all_attributes: Iterable[str], fds: Sequence[FD]) -> bool:
+    """True iff ``attributes`` is a *minimal* superkey."""
+    attrs = frozenset(attributes)
+    if not is_superkey(attrs, all_attributes, fds):
+        return False
+    return all(
+        not is_superkey(attrs - {a}, all_attributes, fds) for a in attrs
+    )
+
+
+def candidate_keys(all_attributes: Sequence[str], fds: Sequence[FD]) -> List[AttrSet]:
+    """Enumerate all candidate keys of a relation (smallest first).
+
+    Exponential in the attribute count by necessity; intended for the small
+    relations the paper's constructions produce.
+    """
+    universe = list(all_attributes)
+    keys: List[AttrSet] = []
+    for size in range(0, len(universe) + 1):
+        for combo in combinations(universe, size):
+            candidate = frozenset(combo)
+            if any(k <= candidate for k in keys):
+                continue
+            if is_superkey(candidate, universe, fds):
+                keys.append(candidate)
+    return keys
+
+
+def minimal_cover(fds: Sequence[FD]) -> List[FD]:
+    """Compute a minimal (canonical) cover of ``fds``.
+
+    Right sides are split to singletons, extraneous left-side attributes are
+    removed, then redundant FDs are dropped.  The result implies and is
+    implied by the input.
+    """
+    # 1. Singleton right sides.
+    split: List[FD] = []
+    for lhs, rhs in fds:
+        for attr in rhs:
+            split.append((frozenset(lhs), frozenset({attr})))
+    # 2. Remove extraneous LHS attributes.
+    reduced: List[FD] = []
+    for lhs, rhs in split:
+        lhs_set = set(lhs)
+        for attr in sorted(lhs):
+            trimmed = frozenset(lhs_set - {attr})
+            if rhs <= closure(trimmed, split):
+                lhs_set.discard(attr)
+        reduced.append((frozenset(lhs_set), rhs))
+    # 3. Remove redundant FDs.
+    result: List[FD] = list(dict.fromkeys(reduced))
+    i = 0
+    while i < len(result):
+        trial = result[:i] + result[i + 1 :]
+        if implies(trial, result[i]):
+            result = trial
+        else:
+            i += 1
+    return result
+
+
+def project_fds(fds: Sequence[FD], onto: Iterable[str]) -> List[FD]:
+    """Project an FD set onto an attribute subset (exponential, small inputs).
+
+    Returns FDs ``X → A`` with ``X ∪ {A} ⊆ onto`` implied by ``fds``, with
+    minimal left sides.
+    """
+    target = sorted(frozenset(onto))
+    projected: List[FD] = []
+    for size in range(0, len(target)):
+        for combo in combinations(target, size):
+            lhs = frozenset(combo)
+            if any(existing_lhs <= lhs for existing_lhs, _ in projected):
+                # A smaller LHS already determines everything this one could
+                # add nothing new about; still check per-attribute below.
+                pass
+            closed = closure(lhs, fds)
+            for attr in target:
+                if attr in closed and attr not in lhs:
+                    candidate = (lhs, frozenset({attr}))
+                    if not any(
+                        el <= lhs and attr in er for el, er in projected
+                    ):
+                        projected.append(candidate)
+    return minimal_cover(projected)

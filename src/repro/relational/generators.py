@@ -1,0 +1,171 @@
+"""Instance generators: the proofs' gadgets, plus random workloads.
+
+The paper's arguments repeatedly construct *attribute-specific* database
+instances (no value shared between distinct attributes) whose values avoid
+every constant mentioned by the query mappings under study, sometimes with
+exactly two values in one designated attribute (Lemma 7's ``k₁``/``k₂``
+gadget).  This module makes those constructions first-class, together with
+a seeded random generator of key-satisfying instances for property tests
+and benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import InstanceError
+from repro.relational.attribute import QualifiedAttribute
+from repro.relational.domain import Value
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.schema import DatabaseSchema
+from repro.utils.fresh import FreshValues
+
+
+def _fresh_pool(avoid: Iterable[Value]) -> FreshValues:
+    """A token generator avoiding the integer tokens of ``avoid`` values."""
+    return FreshValues(
+        avoid={v.token for v in avoid if isinstance(v.token, int)}
+    )
+
+
+def attribute_specific_instance(
+    schema: DatabaseSchema,
+    rows_per_relation: int = 1,
+    avoid: Iterable[Value] = (),
+    vary: Optional[QualifiedAttribute] = None,
+) -> DatabaseInstance:
+    """Build an attribute-specific instance with all relations non-empty.
+
+    Each qualified attribute draws from its own disjoint pool of fresh
+    values (never colliding with ``avoid``), so the result satisfies the
+    paper's *attribute-specific* condition and all key dependencies: rows
+    within a relation differ on every attribute.
+
+    If ``vary`` is given, that attribute's relation instead gets exactly two
+    rows that agree on every attribute *except* ``vary`` — Lemma 7's
+    instance, where "each attribute other than K has only a single value,
+    but there are exactly two values k₁ and k₂ stored for attribute K".
+    """
+    if rows_per_relation < 1:
+        raise InstanceError("rows_per_relation must be at least 1")
+    pool = _fresh_pool(avoid)
+    relations: Dict[str, RelationInstance] = {}
+    for rel in schema:
+        if vary is not None and rel.name == vary.relation:
+            if not rel.has_attribute(vary.attribute):
+                raise InstanceError(
+                    f"relation {rel.name!r} has no attribute {vary.attribute!r}"
+                )
+            base = [
+                Value(a.type_name, pool.next()) for a in rel.attributes
+            ]
+            vary_pos = rel.position(vary.attribute)
+            second = list(base)
+            second[vary_pos] = Value(rel.attributes[vary_pos].type_name, pool.next())
+            rows = [tuple(base), tuple(second)]
+        else:
+            rows = []
+            columns: List[List[Value]] = [
+                [Value(a.type_name, pool.next()) for _ in range(rows_per_relation)]
+                for a in rel.attributes
+            ]
+            for i in range(rows_per_relation):
+                rows.append(tuple(column[i] for column in columns))
+        relations[rel.name] = RelationInstance(rel, rows)
+    return DatabaseInstance(schema, relations)
+
+
+def two_key_values(
+    schema: DatabaseSchema,
+    attribute: QualifiedAttribute,
+    avoid: Iterable[Value] = (),
+) -> Tuple[DatabaseInstance, Value, Value]:
+    """Lemma 7's instance and its two designated values ``(d, k₁, k₂)``."""
+    instance = attribute_specific_instance(schema, avoid=avoid, vary=attribute)
+    column = sorted(
+        instance.column(attribute), key=lambda v: repr(v.token)
+    )
+    if len(column) != 2:
+        raise InstanceError(
+            f"expected exactly two values in varied attribute {attribute!r}"
+        )
+    return instance, column[0], column[1]
+
+
+def g_swap(instance: DatabaseInstance, k1: Value, k2: Value) -> DatabaseInstance:
+    """Apply the paper's function g: swap ``k₁ ↔ k₂``, fix everything else.
+
+    Lemma 7 defines g on the whole domain (g(k₁)=k₂, g(k₂)=k₁, identity
+    elsewhere) and applies it tuple-wise; we apply it to every value of
+    every relation of ``instance``.
+    """
+
+    def g(value: Value) -> Value:
+        if value == k1:
+            return k2
+        if value == k2:
+            return k1
+        return value
+
+    relations = {
+        rel.schema.name: rel.map_rows(lambda row: tuple(g(v) for v in row))
+        for rel in instance
+    }
+    return DatabaseInstance(instance.schema, relations)
+
+
+def random_instance(
+    schema: DatabaseSchema,
+    rows_per_relation: int | Dict[str, int] = 4,
+    seed: int = 0,
+    value_pool_size: int = 16,
+) -> DatabaseInstance:
+    """A seeded random instance satisfying all declared key dependencies.
+
+    Values are drawn per attribute type from a pool of ``value_pool_size``
+    tokens, so duplicates across attributes are likely (unlike the
+    attribute-specific generators) — good for exercising joins.  Key
+    uniqueness is enforced by rejection sampling over key-value
+    combinations; if a relation's key-type pools cannot host the requested
+    row count the row count is capped at the pool capacity.
+    """
+    rng = random.Random(seed)
+    relations: Dict[str, RelationInstance] = {}
+    for rel in schema:
+        wanted = (
+            rows_per_relation.get(rel.name, 4)
+            if isinstance(rows_per_relation, dict)
+            else rows_per_relation
+        )
+        key_positions = set(rel.key_positions())
+        capacity = value_pool_size ** max(len(key_positions), 1)
+        wanted = min(wanted, capacity if key_positions else wanted)
+        rows = set()
+        seen_keys = set()
+        attempts = 0
+        while len(rows) < wanted and attempts < wanted * 50 + 100:
+            attempts += 1
+            row = tuple(
+                Value(a.type_name, rng.randrange(value_pool_size))
+                for a in rel.attributes
+            )
+            key_value = tuple(row[p] for p in sorted(key_positions))
+            if key_positions and key_value in seen_keys:
+                continue
+            seen_keys.add(key_value)
+            rows.add(row)
+        relations[rel.name] = RelationInstance(rel, rows)
+    return DatabaseInstance(schema, relations)
+
+
+def empty_instance(schema: DatabaseSchema) -> DatabaseInstance:
+    """The all-empty instance of ``schema``."""
+    return DatabaseInstance(schema)
+
+
+def single_tuple_instance(
+    schema: DatabaseSchema, avoid: Iterable[Value] = ()
+) -> DatabaseInstance:
+    """One fresh, attribute-specific tuple in every relation."""
+    return attribute_specific_instance(schema, rows_per_relation=1, avoid=avoid)

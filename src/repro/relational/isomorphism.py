@@ -1,0 +1,218 @@
+"""Schema identity up to renaming and re-ordering (paper's ≅).
+
+Theorem 13 characterises conjunctive-query equivalence of keyed schemas as
+being *identical up to renaming and re-ordering of attributes and
+relations*.  Formally, ``S₁ ≅ S₂`` iff there is a bijection between their
+relations and, per matched relation pair, a bijection between their
+attributes that preserves attribute types and key membership.  (Attribute
+types are global semantic objects, so they are *not* renamed.)
+
+Two implementations are provided and cross-checked in the test suite:
+
+* :func:`canonical_form` — a hashable invariant that is complete for this
+  notion of isomorphism (within one relation, any same-type same-keyness
+  attributes are interchangeable, so a relation is determined by its
+  multisets of key/non-key attribute types);
+* :func:`find_isomorphism` — a witness-producing matcher, used both to
+  certify equivalence (Theorem 13's easy direction needs the actual maps)
+  and as the reference implementation for the canonical form.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.utils.itertools_ext import multiset
+
+RelationSignature = Tuple[object, object]
+
+
+def relation_signature(relation: RelationSchema) -> RelationSignature:
+    """The invariant of one relation under attribute renaming/re-ordering.
+
+    For a keyed relation: (multiset of key-attribute types, multiset of
+    non-key-attribute types).  For an unkeyed relation the first component
+    is the marker ``"unkeyed"`` so keyed and unkeyed relations never match.
+    """
+    if relation.is_keyed:
+        key_part = multiset(a.type_name for a in relation.key_attributes())
+        nonkey_part = multiset(a.type_name for a in relation.nonkey_attributes())
+        return (key_part, nonkey_part)
+    return ("unkeyed", multiset(a.type_name for a in relation.attributes))
+
+
+def canonical_form(schema: DatabaseSchema) -> Tuple[RelationSignature, ...]:
+    """A hashable canonical form: the sorted multiset of relation signatures."""
+    return tuple(sorted((relation_signature(r) for r in schema), key=repr))
+
+
+def is_isomorphic(s1: DatabaseSchema, s2: DatabaseSchema) -> bool:
+    """True iff the schemas are identical up to renaming and re-ordering."""
+    return canonical_form(s1) == canonical_form(s2)
+
+
+class SchemaIsomorphism:
+    """A witness that two schemas are identical up to renaming/re-ordering.
+
+    Holds a relation bijection and, per relation, an attribute bijection.
+    :meth:`verify` re-checks the witness from scratch;
+    :meth:`transport_instance` carries a database instance of the source
+    schema to the target schema along the witness.
+    """
+
+    def __init__(
+        self,
+        source: DatabaseSchema,
+        target: DatabaseSchema,
+        relation_map: Dict[str, str],
+        attribute_maps: Dict[str, Dict[str, str]],
+    ) -> None:
+        self.source = source
+        self.target = target
+        self.relation_map = dict(relation_map)
+        self.attribute_maps = {k: dict(v) for k, v in attribute_maps.items()}
+
+    def verify(self) -> bool:
+        """Re-check that this witness really is an isomorphism."""
+        if sorted(self.relation_map) != sorted(self.source.relation_names):
+            return False
+        if sorted(self.relation_map.values()) != sorted(self.target.relation_names):
+            return False
+        for src_name, tgt_name in self.relation_map.items():
+            src = self.source.relation(src_name)
+            tgt = self.target.relation(tgt_name)
+            amap = self.attribute_maps.get(src_name)
+            if amap is None:
+                return False
+            if sorted(amap) != sorted(a.name for a in src.attributes):
+                return False
+            if sorted(amap.values()) != sorted(a.name for a in tgt.attributes):
+                return False
+            if src.is_keyed != tgt.is_keyed:
+                return False
+            for src_attr in src.attributes:
+                tgt_attr = tgt.attribute(amap[src_attr.name])
+                if src_attr.type_name != tgt_attr.type_name:
+                    return False
+                if src.is_keyed and (
+                    (src_attr.name in src.key) != (tgt_attr.name in tgt.key)
+                ):
+                    return False
+        return True
+
+    def inverse(self) -> "SchemaIsomorphism":
+        """The inverse witness (target → source)."""
+        inv_rel = {v: k for k, v in self.relation_map.items()}
+        inv_attr = {
+            self.relation_map[src]: {v: k for k, v in amap.items()}
+            for src, amap in self.attribute_maps.items()
+        }
+        return SchemaIsomorphism(self.target, self.source, inv_rel, inv_attr)
+
+    def transport_instance(self, instance: DatabaseInstance) -> DatabaseInstance:
+        """Carry an instance of the source schema to the target schema."""
+        if instance.schema != self.source:
+            raise SchemaError("instance does not belong to the witness's source schema")
+        relations = {}
+        for src_rel in self.source:
+            tgt_rel = self.target.relation(self.relation_map[src_rel.name])
+            amap = self.attribute_maps[src_rel.name]
+            # target column j is filled from the source column mapped onto it
+            src_pos_for_tgt = [
+                src_rel.position(
+                    next(sa for sa, ta in amap.items() if ta == tgt_attr.name)
+                )
+                for tgt_attr in tgt_rel.attributes
+            ]
+            rows = (
+                tuple(row[p] for p in src_pos_for_tgt)
+                for row in instance.relation(src_rel.name)
+            )
+            relations[tgt_rel.name] = RelationInstance(tgt_rel, rows)
+        return DatabaseInstance(self.target, relations)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = ", ".join(f"{k}→{v}" for k, v in sorted(self.relation_map.items()))
+        return f"SchemaIsomorphism({pairs})"
+
+
+def _match_attributes(
+    src: RelationSchema, tgt: RelationSchema
+) -> Optional[Dict[str, str]]:
+    """Match attributes of two signature-equal relations by (type, keyness)."""
+    if src.arity != tgt.arity or src.is_keyed != tgt.is_keyed:
+        return None
+
+    def groups(rel: RelationSchema) -> Dict[Tuple[str, bool], List[str]]:
+        grouped: Dict[Tuple[str, bool], List[str]] = {}
+        key = rel.key or frozenset()
+        for attr in rel.attributes:
+            grouped.setdefault((attr.type_name, attr.name in key), []).append(attr.name)
+        return grouped
+
+    src_groups = groups(src)
+    tgt_groups = groups(tgt)
+    if {k: len(v) for k, v in src_groups.items()} != {
+        k: len(v) for k, v in tgt_groups.items()
+    }:
+        return None
+    mapping: Dict[str, str] = {}
+    for group_key, src_names in src_groups.items():
+        for sa, ta in zip(src_names, tgt_groups[group_key]):
+            mapping[sa] = ta
+    return mapping
+
+
+def find_isomorphism(
+    s1: DatabaseSchema, s2: DatabaseSchema
+) -> Optional[SchemaIsomorphism]:
+    """Find a witness isomorphism, or ``None`` if the schemas differ.
+
+    Relations are grouped by signature; within a signature class any
+    pairing works (attributes of equal type and keyness are
+    interchangeable), so matching is linear after grouping.
+    """
+    if len(s1) != len(s2):
+        return None
+    by_sig: Dict[RelationSignature, List[RelationSchema]] = {}
+    for rel in s2:
+        by_sig.setdefault(relation_signature(rel), []).append(rel)
+    relation_map: Dict[str, str] = {}
+    attribute_maps: Dict[str, Dict[str, str]] = {}
+    for rel in s1:
+        bucket = by_sig.get(relation_signature(rel))
+        if not bucket:
+            return None
+        partner = bucket.pop()
+        amap = _match_attributes(rel, partner)
+        if amap is None:
+            return None
+        relation_map[rel.name] = partner.name
+        attribute_maps[rel.name] = amap
+    witness = SchemaIsomorphism(s1, s2, relation_map, attribute_maps)
+    return witness
+
+
+def explain_difference(s1: DatabaseSchema, s2: DatabaseSchema) -> str:
+    """Human-readable reason why two schemas are not isomorphic.
+
+    Returns an empty string when they *are* isomorphic.
+    """
+    if is_isomorphic(s1, s2):
+        return ""
+    if len(s1) != len(s2):
+        return f"different relation counts: {len(s1)} vs {len(s2)}"
+    sig1 = Counter(relation_signature(r) for r in s1)
+    sig2 = Counter(relation_signature(r) for r in s2)
+    only1 = sig1 - sig2
+    only2 = sig2 - sig1
+    lines = []
+    for sig, count in only1.items():
+        lines.append(f"schema 1 has {count} relation(s) with signature {sig} missing in schema 2")
+    for sig, count in only2.items():
+        lines.append(f"schema 2 has {count} relation(s) with signature {sig} missing in schema 1")
+    return "; ".join(lines)

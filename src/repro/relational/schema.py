@@ -1,0 +1,323 @@
+"""Relation schemes and database schemas (paper §2).
+
+A *relation scheme* is a name plus an ordered list of attributes; a *keyed*
+relation scheme additionally designates a subset of its attributes as the
+primary key.  A *database schema* is a tuple of relation schemes; it is a
+*keyed schema* when every relation has a key and no other dependencies are
+declared, and an *unkeyed schema* when no relation does.
+
+These classes are immutable value objects: all schema transformations
+(renaming, re-ordering, key projection κ) build new instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.attribute import Attribute, QualifiedAttribute
+
+
+class RelationSchema:
+    """An immutable relation scheme ``R[A1, ..., Ak]`` with an optional key.
+
+    ``key`` is a frozenset of attribute *names*; ``None`` means the relation
+    carries no key dependency (an unkeyed relation).  An empty key is not
+    allowed — a key must be a non-empty set of attributes.
+    """
+
+    __slots__ = ("_name", "_attributes", "_key", "_positions")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[Attribute],
+        key: Optional[Iterable[str]] = None,
+    ) -> None:
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"relation {name!r} has duplicate attribute names: {names}")
+        self._name = name
+        self._attributes = attrs
+        self._positions: Dict[str, int] = {a.name: i for i, a in enumerate(attrs)}
+        if key is None:
+            self._key: Optional[frozenset] = None
+        else:
+            key_set = frozenset(key)
+            if not key_set:
+                raise SchemaError(f"relation {name!r}: a key must be non-empty")
+            missing = key_set - set(names)
+            if missing:
+                raise SchemaError(
+                    f"relation {name!r}: key attributes {sorted(missing)} not in scheme"
+                )
+            self._key = key_set
+
+    # ------------------------------------------------------------------ basic
+
+    @property
+    def name(self) -> str:
+        """The relation's name."""
+        return self._name
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        """The ordered attribute list."""
+        return self._attributes
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self._attributes)
+
+    @property
+    def key(self) -> Optional[frozenset]:
+        """The key attribute names, or ``None`` for an unkeyed relation."""
+        return self._key
+
+    @property
+    def is_keyed(self) -> bool:
+        """True iff a key is declared."""
+        return self._key is not None
+
+    @property
+    def type_signature(self) -> Tuple[str, ...]:
+        """The paper's *type of the relation*: the tuple of attribute types."""
+        return tuple(a.type_name for a in self._attributes)
+
+    # ------------------------------------------------------------- navigation
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name."""
+        try:
+            return self._attributes[self._positions[name]]
+        except KeyError:
+            raise SchemaError(f"relation {self._name!r} has no attribute {name!r}") from None
+
+    def has_attribute(self, name: str) -> bool:
+        """True iff this relation has an attribute called ``name``."""
+        return name in self._positions
+
+    def position(self, name: str) -> int:
+        """The 0-based column index of attribute ``name``."""
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise SchemaError(f"relation {self._name!r} has no attribute {name!r}") from None
+
+    def key_positions(self) -> Tuple[int, ...]:
+        """Column indices of the key attributes (in scheme order)."""
+        if self._key is None:
+            return ()
+        return tuple(i for i, a in enumerate(self._attributes) if a.name in self._key)
+
+    def nonkey_positions(self) -> Tuple[int, ...]:
+        """Column indices of the non-key attributes (in scheme order)."""
+        if self._key is None:
+            return tuple(range(self.arity))
+        return tuple(i for i, a in enumerate(self._attributes) if a.name not in self._key)
+
+    def key_attributes(self) -> Tuple[Attribute, ...]:
+        """The key attributes in scheme order."""
+        return tuple(self._attributes[i] for i in self.key_positions())
+
+    def nonkey_attributes(self) -> Tuple[Attribute, ...]:
+        """The non-key attributes in scheme order."""
+        return tuple(self._attributes[i] for i in self.nonkey_positions())
+
+    def qualified(self) -> Tuple[QualifiedAttribute, ...]:
+        """All attributes as :class:`QualifiedAttribute` objects."""
+        return tuple(
+            QualifiedAttribute(self._name, a.name, a.type_name) for a in self._attributes
+        )
+
+    def qualify(self, attribute_name: str) -> QualifiedAttribute:
+        """Qualify one attribute of this relation."""
+        attr = self.attribute(attribute_name)
+        return QualifiedAttribute(self._name, attr.name, attr.type_name)
+
+    # ---------------------------------------------------------- constructors
+
+    def renamed(self, new_name: str) -> "RelationSchema":
+        """Return a copy under a new relation name."""
+        return RelationSchema(new_name, self._attributes, self._key)
+
+    def with_attributes_renamed(self, mapping: Dict[str, str]) -> "RelationSchema":
+        """Return a copy with attributes renamed per ``mapping`` (partial ok)."""
+        new_attrs = [a.renamed(mapping.get(a.name, a.name)) for a in self._attributes]
+        new_key = (
+            None
+            if self._key is None
+            else frozenset(mapping.get(k, k) for k in self._key)
+        )
+        return RelationSchema(self._name, new_attrs, new_key)
+
+    def reordered(self, order: Sequence[str]) -> "RelationSchema":
+        """Return a copy with attributes re-ordered per the name list ``order``."""
+        if sorted(order) != sorted(self._positions):
+            raise SchemaError(
+                f"reorder list {list(order)} is not a permutation of "
+                f"{[a.name for a in self._attributes]}"
+            )
+        new_attrs = [self.attribute(name) for name in order]
+        return RelationSchema(self._name, new_attrs, self._key)
+
+    def unkeyed(self) -> "RelationSchema":
+        """Return a copy with the key dependency dropped."""
+        return RelationSchema(self._name, self._attributes, None)
+
+    def key_projection(self) -> "RelationSchema":
+        """The κ-image of this relation: key attributes only, no key declared.
+
+        Raises :class:`SchemaError` for unkeyed relations, which have no κ
+        image in the paper's construction.
+        """
+        if self._key is None:
+            raise SchemaError(f"relation {self._name!r} is unkeyed; κ is undefined")
+        return RelationSchema(self._name, self.key_attributes(), None)
+
+    # -------------------------------------------------------------- equality
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RelationSchema)
+            and other._name == self._name
+            and other._attributes == self._attributes
+            and other._key == self._key
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._attributes, self._key))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        for a in self._attributes:
+            star = "*" if self._key is not None and a.name in self._key else ""
+            parts.append(f"{a.name}{star}:{a.type_name}")
+        return f"{self._name}({', '.join(parts)})"
+
+
+class DatabaseSchema:
+    """An immutable tuple of relation schemes with unique names."""
+
+    __slots__ = ("_relations", "_by_name")
+
+    def __init__(self, relations: Sequence[RelationSchema]) -> None:
+        rels = tuple(relations)
+        if not rels:
+            raise SchemaError("a database schema must contain at least one relation")
+        names = [r.name for r in rels]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate relation names in schema: {names}")
+        self._relations = rels
+        self._by_name: Dict[str, RelationSchema] = {r.name: r for r in rels}
+
+    # ------------------------------------------------------------------ basic
+
+    @property
+    def relations(self) -> Tuple[RelationSchema, ...]:
+        """The relations, in declaration order."""
+        return self._relations
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        """Relation names in declaration order."""
+        return tuple(r.name for r in self._relations)
+
+    @property
+    def is_keyed(self) -> bool:
+        """True iff every relation declares a key (a *keyed schema*)."""
+        return all(r.is_keyed for r in self._relations)
+
+    @property
+    def is_unkeyed(self) -> bool:
+        """True iff no relation declares a key (an *unkeyed schema*)."""
+        return all(not r.is_keyed for r in self._relations)
+
+    def relation(self, name: str) -> RelationSchema:
+        """Look up a relation by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"schema has no relation named {name!r}") from None
+
+    def has_relation(self, name: str) -> bool:
+        """True iff the schema contains a relation called ``name``."""
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    # ------------------------------------------------------------- attributes
+
+    def qualified_attributes(self) -> Tuple[QualifiedAttribute, ...]:
+        """Every attribute of the schema, qualified with its relation."""
+        result: List[QualifiedAttribute] = []
+        for r in self._relations:
+            result.extend(r.qualified())
+        return tuple(result)
+
+    def key_qualified_attributes(self) -> Tuple[QualifiedAttribute, ...]:
+        """Qualified key attributes of all relations."""
+        result: List[QualifiedAttribute] = []
+        for r in self._relations:
+            result.extend(
+                QualifiedAttribute(r.name, a.name, a.type_name) for a in r.key_attributes()
+            )
+        return tuple(result)
+
+    def nonkey_qualified_attributes(self) -> Tuple[QualifiedAttribute, ...]:
+        """Qualified non-key attributes of all relations."""
+        result: List[QualifiedAttribute] = []
+        for r in self._relations:
+            result.extend(
+                QualifiedAttribute(r.name, a.name, a.type_name)
+                for a in r.nonkey_attributes()
+            )
+        return tuple(result)
+
+    def type_names(self) -> Tuple[str, ...]:
+        """All attribute-type names occurring in the schema, sorted."""
+        return tuple(sorted({a.type_name for r in self._relations for a in r.attributes}))
+
+    def type_count(self, type_name: str) -> int:
+        """Number of attribute occurrences of the given type in the schema."""
+        return sum(
+            1 for r in self._relations for a in r.attributes if a.type_name == type_name
+        )
+
+    # ---------------------------------------------------------- constructors
+
+    def with_relation_replaced(self, relation: RelationSchema) -> "DatabaseSchema":
+        """Return a copy in which the same-named relation is replaced."""
+        if relation.name not in self._by_name:
+            raise SchemaError(f"schema has no relation named {relation.name!r}")
+        return DatabaseSchema(
+            tuple(relation if r.name == relation.name else r for r in self._relations)
+        )
+
+    def unkeyed(self) -> "DatabaseSchema":
+        """Return the schema with all key dependencies dropped."""
+        return DatabaseSchema(tuple(r.unkeyed() for r in self._relations))
+
+    # -------------------------------------------------------------- equality
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DatabaseSchema) and other._relations == self._relations
+
+    def __hash__(self) -> int:
+        return hash(self._relations)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "DatabaseSchema[" + "; ".join(repr(r) for r in self._relations) + "]"

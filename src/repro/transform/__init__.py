@@ -1,0 +1,41 @@
+"""Schema transformations with equivalence witnesses.
+
+Renaming/re-ordering (the only keyed-schema equivalences, per Theorem 13),
+attribute migration along inclusion dependencies (the §1 example), and
+composable pipelines.
+"""
+
+from repro.transform.rename import (
+    TransformResult,
+    compose_witnesses,
+    rename_attribute,
+    rename_relation,
+    reorder_attributes,
+    reorder_relations,
+)
+from repro.transform.inclusion import (
+    AttributeMigration,
+    MigrationAudit,
+    MigrationResult,
+    MigrationSpec,
+)
+from repro.transform.pipeline import PipelineStep, TransformationPipeline
+from repro.transform.repair import RelationEdit, RepairPlan, repair_plan
+
+__all__ = [
+    "AttributeMigration",
+    "MigrationAudit",
+    "MigrationResult",
+    "MigrationSpec",
+    "PipelineStep",
+    "RelationEdit",
+    "RepairPlan",
+    "TransformResult",
+    "TransformationPipeline",
+    "repair_plan",
+    "compose_witnesses",
+    "rename_attribute",
+    "rename_relation",
+    "reorder_attributes",
+    "reorder_relations",
+]

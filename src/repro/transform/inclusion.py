@@ -1,0 +1,354 @@
+"""Attribute migration along inclusion dependencies (the paper's §1 example).
+
+With only primary keys, Theorem 13 forbids any non-trivial
+equivalence-preserving transformation.  The paper's introduction shows that
+adding referential integrity constraints changes the picture: when two
+relations' keys are mutually included (``R[k] ⊆ P[k']`` and
+``P[k'] ⊆ R[k]``), a non-key attribute can be migrated from one relation to
+the other — Schema 1 → Schema 1′, where ``yearsExp`` moves from
+``salespeople`` into ``employee``.
+
+:class:`AttributeMigration` implements the transformation generically and
+produces the witnessing conjunctive query mappings in both directions.  The
+audit verifies, via the chase with key EGDs **and** the inclusion TGDs,
+that both round trips are the identity on constraint-satisfying instances
+— and, as the paper stresses, that without the inclusion dependencies the
+two schemas are *not* equivalent (their key-only equivalence is refuted by
+Theorem 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.cq.chase import egds_of_schema
+from repro.cq.composition import identity_view
+from repro.cq.containment_deps import are_equivalent_under
+from repro.cq.syntax import Atom, ConjunctiveQuery, Variable
+from repro.core.equivalence import decide_equivalence
+from repro.errors import DependencyError, SchemaError
+from repro.mappings.query_mapping import QueryMapping
+from repro.relational.attribute import Attribute
+from repro.relational.dependencies import InclusionDependency
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+@dataclass(frozen=True)
+class MigrationSpec:
+    """What to migrate: attribute ``attribute`` moves ``source`` → ``target``.
+
+    ``source_key``/``target_key`` list the key attributes, aligned
+    position-wise, through which the two relations' tuples correspond (the
+    mutually-included keys).
+    """
+
+    source: str
+    target: str
+    attribute: str
+    source_key: Tuple[str, ...]
+    target_key: Tuple[str, ...]
+
+
+class MigrationResult(NamedTuple):
+    """The transformed schema with its witnessing mappings."""
+
+    schema: DatabaseSchema
+    inclusions: Tuple[InclusionDependency, ...]
+    alpha: QueryMapping  # old → new
+    beta: QueryMapping   # new → old
+
+
+class MigrationAudit(NamedTuple):
+    """Outcome of auditing a migration.
+
+    ``round_trip_old`` / ``round_trip_new`` are the exact chase-based
+    verdicts that β∘α (resp. α∘β) is the identity on constraint-satisfying
+    instances; ``equivalent_without_inclusions`` is the Theorem 13 verdict
+    on the two schemas with keys alone (expected ``False`` for a genuine
+    migration — that is the paper's point).
+    """
+
+    round_trip_old: bool
+    round_trip_new: bool
+    equivalent_without_inclusions: bool
+
+
+class AttributeMigration:
+    """Migrate a non-key attribute between key-correlated relations."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        inclusions: Sequence[InclusionDependency],
+        spec: MigrationSpec,
+    ) -> None:
+        self.schema = schema
+        self.inclusions = tuple(inclusions)
+        self.spec = spec
+        self._validate()
+
+    def _validate(self) -> None:
+        spec = self.spec
+        source = self.schema.relation(spec.source)
+        target = self.schema.relation(spec.target)
+        if not source.has_attribute(spec.attribute):
+            raise SchemaError(
+                f"relation {spec.source!r} has no attribute {spec.attribute!r}"
+            )
+        if source.key is not None and spec.attribute in source.key:
+            raise SchemaError("cannot migrate a key attribute")
+        if target.has_attribute(spec.attribute):
+            raise SchemaError(
+                f"relation {spec.target!r} already has attribute "
+                f"{spec.attribute!r}"
+            )
+        if len(spec.source_key) != len(spec.target_key):
+            raise SchemaError("source_key and target_key must align")
+        if source.key is None or set(spec.source_key) != set(source.key):
+            raise SchemaError(
+                f"source_key must be exactly the key of {spec.source!r}"
+            )
+        if target.key is None or set(spec.target_key) != set(target.key):
+            raise SchemaError(
+                f"target_key must be exactly the key of {spec.target!r}"
+            )
+        for inc in self.inclusions:
+            if spec.attribute in (
+                inc.source_attrs if inc.source == spec.source else ()
+            ) or spec.attribute in (
+                inc.target_attrs if inc.target == spec.source else ()
+            ):
+                raise DependencyError(
+                    f"attribute {spec.attribute!r} participates in inclusion "
+                    f"{inc!r}; it cannot be migrated"
+                )
+        if not self._keys_mutually_included():
+            raise DependencyError(
+                "migration requires mutually inclusive keys: "
+                f"{spec.source}[{', '.join(spec.source_key)}] ⊆/⊇ "
+                f"{spec.target}[{', '.join(spec.target_key)}] must both be declared"
+            )
+
+    def _keys_mutually_included(self) -> bool:
+        spec = self.spec
+
+        def declared(src: str, src_attrs: Tuple[str, ...], tgt: str, tgt_attrs: Tuple[str, ...]) -> bool:
+            return any(
+                inc.source == src
+                and inc.target == tgt
+                and tuple(inc.source_attrs) == src_attrs
+                and tuple(inc.target_attrs) == tgt_attrs
+                for inc in self.inclusions
+            )
+
+        return declared(
+            spec.source, spec.source_key, spec.target, spec.target_key
+        ) and declared(spec.target, spec.target_key, spec.source, spec.source_key)
+
+    # ---------------------------------------------------------------- apply
+
+    def apply(self) -> MigrationResult:
+        """Build the new schema and the witnessing mappings α and β."""
+        spec = self.spec
+        old = self.schema
+        source = old.relation(spec.source)
+        target = old.relation(spec.target)
+        migrated_attr = source.attribute(spec.attribute)
+
+        new_target = RelationSchema(
+            target.name, target.attributes + (migrated_attr,), target.key
+        )
+        new_source = RelationSchema(
+            source.name,
+            tuple(a for a in source.attributes if a.name != spec.attribute),
+            source.key,
+        )
+        new = DatabaseSchema(
+            tuple(
+                new_target if r.name == target.name
+                else new_source if r.name == source.name
+                else r
+                for r in old
+            )
+        )
+
+        alpha = QueryMapping(old, new, self._alpha_queries(old, new))
+        beta = QueryMapping(new, old, self._beta_queries(old, new))
+        return MigrationResult(new, self.inclusions, alpha, beta)
+
+    def _key_join_equalities(
+        self,
+        source_rel: RelationSchema,
+        source_vars: Dict[str, Variable],
+        target_rel: RelationSchema,
+        target_vars: Dict[str, Variable],
+    ) -> List[Tuple[Variable, Variable]]:
+        spec = self.spec
+        return [
+            (source_vars[sk], target_vars[tk])
+            for sk, tk in zip(spec.source_key, spec.target_key)
+        ]
+
+    def _alpha_queries(
+        self, old: DatabaseSchema, new: DatabaseSchema
+    ) -> Dict[str, ConjunctiveQuery]:
+        spec = self.spec
+        queries: Dict[str, ConjunctiveQuery] = {}
+        old_source = old.relation(spec.source)
+        old_target = old.relation(spec.target)
+        for relation in new:
+            if relation.name == spec.target:
+                # new target = old target ⋈_keys old source, exporting A.
+                target_vars = {
+                    a.name: Variable(f"t{i}")
+                    for i, a in enumerate(old_target.attributes)
+                }
+                source_vars = {
+                    a.name: Variable(f"s{i}")
+                    for i, a in enumerate(old_source.attributes)
+                }
+                body = [
+                    Atom(
+                        old_target.name,
+                        tuple(target_vars[a.name] for a in old_target.attributes),
+                    ),
+                    Atom(
+                        old_source.name,
+                        tuple(source_vars[a.name] for a in old_source.attributes),
+                    ),
+                ]
+                equalities = self._key_join_equalities(
+                    old_source, source_vars, old_target, target_vars
+                )
+                head_terms = [
+                    target_vars[a.name] for a in old_target.attributes
+                ] + [source_vars[spec.attribute]]
+                queries[relation.name] = ConjunctiveQuery(
+                    Atom(relation.name, tuple(head_terms)), body, equalities
+                )
+            elif relation.name == spec.source:
+                # new source = old source with A projected out.
+                source_vars = {
+                    a.name: Variable(f"s{i}")
+                    for i, a in enumerate(old_source.attributes)
+                }
+                body = [
+                    Atom(
+                        old_source.name,
+                        tuple(source_vars[a.name] for a in old_source.attributes),
+                    )
+                ]
+                head_terms = tuple(
+                    source_vars[a.name] for a in relation.attributes
+                )
+                queries[relation.name] = ConjunctiveQuery(
+                    Atom(relation.name, head_terms), body
+                )
+            else:
+                queries[relation.name] = identity_view(relation.name, relation.arity)
+        return queries
+
+    def _beta_queries(
+        self, old: DatabaseSchema, new: DatabaseSchema
+    ) -> Dict[str, ConjunctiveQuery]:
+        spec = self.spec
+        queries: Dict[str, ConjunctiveQuery] = {}
+        new_source = new.relation(spec.source)
+        new_target = new.relation(spec.target)
+        for relation in old:
+            if relation.name == spec.target:
+                # old target = new target with A projected out.
+                target_vars = {
+                    a.name: Variable(f"t{i}")
+                    for i, a in enumerate(new_target.attributes)
+                }
+                body = [
+                    Atom(
+                        new_target.name,
+                        tuple(target_vars[a.name] for a in new_target.attributes),
+                    )
+                ]
+                head_terms = tuple(
+                    target_vars[a.name] for a in relation.attributes
+                )
+                queries[relation.name] = ConjunctiveQuery(
+                    Atom(relation.name, head_terms), body
+                )
+            elif relation.name == spec.source:
+                # old source = new source ⋈_keys new target, recovering A.
+                source_vars = {
+                    a.name: Variable(f"s{i}")
+                    for i, a in enumerate(new_source.attributes)
+                }
+                target_vars = {
+                    a.name: Variable(f"t{i}")
+                    for i, a in enumerate(new_target.attributes)
+                }
+                body = [
+                    Atom(
+                        new_source.name,
+                        tuple(source_vars[a.name] for a in new_source.attributes),
+                    ),
+                    Atom(
+                        new_target.name,
+                        tuple(target_vars[a.name] for a in new_target.attributes),
+                    ),
+                ]
+                equalities = self._key_join_equalities(
+                    new_source, source_vars, new_target, target_vars
+                )
+                head_terms = tuple(
+                    target_vars[spec.attribute]
+                    if a.name == spec.attribute
+                    else source_vars[a.name]
+                    for a in relation.attributes
+                )
+                queries[relation.name] = ConjunctiveQuery(
+                    Atom(relation.name, head_terms), body, equalities
+                )
+            else:
+                queries[relation.name] = identity_view(relation.name, relation.arity)
+        return queries
+
+    # ---------------------------------------------------------------- audit
+
+    def audit(self, result: Optional[MigrationResult] = None) -> MigrationAudit:
+        """Exact audit of the migration's equivalence claims.
+
+        Both round trips are decided by CQ equivalence under the respective
+        schema's keys **and** inclusion dependencies (chase with EGDs +
+        TGDs); the keys-only comparison uses the Theorem 13 decision
+        procedure and is expected to report non-equivalence.
+        """
+        if result is None:
+            result = self.apply()
+        old, new = self.schema, result.schema
+        theta_old = result.alpha.then(result.beta)   # old → old
+        theta_new = result.beta.then(result.alpha)   # new → new
+        old_egds = egds_of_schema(old)
+        new_egds = egds_of_schema(new)
+
+        round_trip_old = all(
+            are_equivalent_under(
+                theta_old.query(r.name),
+                identity_view(r.name, r.arity),
+                old,
+                old_egds,
+                self.inclusions,
+            )
+            for r in old
+        )
+        round_trip_new = all(
+            are_equivalent_under(
+                theta_new.query(r.name),
+                identity_view(r.name, r.arity),
+                new,
+                new_egds,
+                result.inclusions,
+            )
+            for r in new
+        )
+        keys_only = decide_equivalence(old, new, build_certificate=False)
+        return MigrationAudit(round_trip_old, round_trip_new, keys_only.equivalent)

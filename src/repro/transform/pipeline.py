@@ -1,0 +1,96 @@
+"""Composable transformation pipelines with per-step certificates.
+
+A pipeline is a sequence of schema transformations, each carrying a pair of
+witnessing conjunctive query mappings.  The pipeline composes the witnesses
+(query unfolding) into end-to-end mappings and can audit every step — the
+shape a schema-integration workflow (paper §1) takes in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.errors import MappingError
+from repro.mappings.builders import isomorphism_pair
+from repro.mappings.query_mapping import QueryMapping
+from repro.relational.schema import DatabaseSchema
+from repro.transform.rename import TransformResult
+
+
+class PipelineStep(NamedTuple):
+    """One transformation step with its witnessing mappings."""
+
+    description: str
+    alpha: QueryMapping  # previous schema → next schema
+    beta: QueryMapping   # next schema → previous schema
+
+
+class TransformationPipeline:
+    """A chain of witnessed transformations from a base schema."""
+
+    def __init__(self, base: DatabaseSchema) -> None:
+        self._base = base
+        self._steps: List[PipelineStep] = []
+
+    @property
+    def base(self) -> DatabaseSchema:
+        """The schema the pipeline starts from."""
+        return self._base
+
+    @property
+    def current(self) -> DatabaseSchema:
+        """The schema after all steps so far."""
+        if not self._steps:
+            return self._base
+        return self._steps[-1].alpha.target
+
+    @property
+    def steps(self) -> Tuple[PipelineStep, ...]:
+        """All recorded steps."""
+        return tuple(self._steps)
+
+    def add_step(
+        self, description: str, alpha: QueryMapping, beta: QueryMapping
+    ) -> "TransformationPipeline":
+        """Record a transformation given its witnessing mappings."""
+        if alpha.source != self.current:
+            raise MappingError(
+                f"step {description!r}: α's source does not match the "
+                "pipeline's current schema"
+            )
+        if beta.source != alpha.target or beta.target != alpha.source:
+            raise MappingError(
+                f"step {description!r}: β must invert α's schemas"
+            )
+        self._steps.append(PipelineStep(description, alpha, beta))
+        return self
+
+    def add_renaming(
+        self, description: str, result: TransformResult
+    ) -> "TransformationPipeline":
+        """Record a renaming/re-ordering step from its isomorphism witness."""
+        alpha, beta = isomorphism_pair(result.witness)
+        return self.add_step(description, alpha, beta)
+
+    def forward_mapping(self) -> QueryMapping:
+        """The composed mapping base → current."""
+        if not self._steps:
+            raise MappingError("pipeline has no steps")
+        mapping = self._steps[0].alpha
+        for step in self._steps[1:]:
+            mapping = mapping.then(step.alpha)
+        return mapping
+
+    def backward_mapping(self) -> QueryMapping:
+        """The composed mapping current → base."""
+        if not self._steps:
+            raise MappingError("pipeline has no steps")
+        mapping = self._steps[-1].beta
+        for step in reversed(self._steps[:-1]):
+            mapping = mapping.then(step.beta)
+        return mapping
+
+    def round_trip(self, instance):
+        """backward(forward(d)) for a concrete base-schema instance."""
+        return self.backward_mapping().apply(self.forward_mapping().apply(instance))

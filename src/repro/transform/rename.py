@@ -1,0 +1,135 @@
+"""Renaming and re-ordering transformations.
+
+By Theorem 13 these are the *only* equivalence-preserving transformations
+available for schemas with primary keys alone.  Each transformation
+produces the transformed schema together with the isomorphism witness, so
+the induced equivalence certificate can be constructed and re-verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.isomorphism import SchemaIsomorphism
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+@dataclass(frozen=True)
+class TransformResult:
+    """A transformed schema plus the witness to the original."""
+
+    schema: DatabaseSchema
+    witness: SchemaIsomorphism  # original → transformed
+
+
+def _identity_attribute_maps(schema: DatabaseSchema) -> Dict[str, Dict[str, str]]:
+    return {
+        r.name: {a.name: a.name for a in r.attributes} for r in schema
+    }
+
+
+def rename_relation(
+    schema: DatabaseSchema, old_name: str, new_name: str
+) -> TransformResult:
+    """Rename one relation."""
+    if schema.has_relation(new_name):
+        raise SchemaError(f"schema already has a relation named {new_name!r}")
+    relation = schema.relation(old_name)
+    new_schema = DatabaseSchema(
+        tuple(
+            relation.renamed(new_name) if r.name == old_name else r
+            for r in schema
+        )
+    )
+    relation_map = {
+        r.name: (new_name if r.name == old_name else r.name) for r in schema
+    }
+    attribute_maps = _identity_attribute_maps(schema)
+    return TransformResult(
+        new_schema,
+        SchemaIsomorphism(schema, new_schema, relation_map, attribute_maps),
+    )
+
+
+def rename_attribute(
+    schema: DatabaseSchema, relation_name: str, old_name: str, new_name: str
+) -> TransformResult:
+    """Rename one attribute within one relation."""
+    relation = schema.relation(relation_name)
+    if not relation.has_attribute(old_name):
+        raise SchemaError(
+            f"relation {relation_name!r} has no attribute {old_name!r}"
+        )
+    if relation.has_attribute(new_name):
+        raise SchemaError(
+            f"relation {relation_name!r} already has an attribute {new_name!r}"
+        )
+    new_relation = relation.with_attributes_renamed({old_name: new_name})
+    new_schema = schema.with_relation_replaced(new_relation)
+    attribute_maps = _identity_attribute_maps(schema)
+    attribute_maps[relation_name][old_name] = new_name
+    relation_map = {r.name: r.name for r in schema}
+    return TransformResult(
+        new_schema,
+        SchemaIsomorphism(schema, new_schema, relation_map, attribute_maps),
+    )
+
+
+def reorder_attributes(
+    schema: DatabaseSchema, relation_name: str, order: Sequence[str]
+) -> TransformResult:
+    """Re-order one relation's attributes."""
+    relation = schema.relation(relation_name)
+    new_relation = relation.reordered(order)
+    new_schema = schema.with_relation_replaced(new_relation)
+    return TransformResult(
+        new_schema,
+        SchemaIsomorphism(
+            schema,
+            new_schema,
+            {r.name: r.name for r in schema},
+            _identity_attribute_maps(schema),
+        ),
+    )
+
+
+def reorder_relations(
+    schema: DatabaseSchema, order: Sequence[str]
+) -> TransformResult:
+    """Re-order the schema's relation list."""
+    if sorted(order) != sorted(schema.relation_names):
+        raise SchemaError(
+            f"order {list(order)} is not a permutation of "
+            f"{list(schema.relation_names)}"
+        )
+    new_schema = DatabaseSchema(tuple(schema.relation(name) for name in order))
+    return TransformResult(
+        new_schema,
+        SchemaIsomorphism(
+            schema,
+            new_schema,
+            {r.name: r.name for r in schema},
+            _identity_attribute_maps(schema),
+        ),
+    )
+
+
+def compose_witnesses(
+    first: SchemaIsomorphism, second: SchemaIsomorphism
+) -> SchemaIsomorphism:
+    """The witness of the composed transformation (first, then second)."""
+    if first.target != second.source:
+        raise SchemaError("witness composition mismatch")
+    relation_map = {
+        src: second.relation_map[tgt] for src, tgt in first.relation_map.items()
+    }
+    attribute_maps: Dict[str, Dict[str, str]] = {}
+    for src_rel, mid_rel in first.relation_map.items():
+        first_map = first.attribute_maps[src_rel]
+        second_map = second.attribute_maps[mid_rel]
+        attribute_maps[src_rel] = {
+            a: second_map[b] for a, b in first_map.items()
+        }
+    return SchemaIsomorphism(first.source, second.target, relation_map, attribute_maps)

@@ -1,0 +1,168 @@
+"""Schema repair: the minimal edits that would make two schemas equivalent.
+
+Theorem 13 makes inequivalence of keyed schemas a purely structural fact —
+the multisets of relation *shapes* (key-type multiset, non-key-type
+multiset) differ.  That makes "how far from equivalent?" a well-posed
+question: the minimum number of shape edits (add/drop a relation of some
+shape) turning one multiset into the other, and within matched relations,
+the attribute-level additions/removals.
+
+:func:`repair_plan` computes such an edit script from S₁ toward S₂.  The
+plan is advisory (applying structural edits to a real database loses or
+invents data); its value is diagnostic — e.g. in the paper's §1 scenario
+it reports precisely "move yearsExp from salespeople to employee", the
+edit the inclusion-dependency transformation then performs losslessly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, NamedTuple, Tuple
+
+from repro.relational.isomorphism import relation_signature
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class RelationEdit(NamedTuple):
+    """One relation-level edit in a repair plan."""
+
+    action: str  # "keep" | "modify" | "drop" | "add"
+    source_relation: str | None
+    target_relation: str | None
+    add_nonkeys: Tuple[str, ...]      # type names to add as non-keys
+    remove_nonkeys: Tuple[str, ...]   # type names to remove from non-keys
+
+    @property
+    def cost(self) -> int:
+        """Number of attribute-level changes (whole relations count fully)."""
+        return len(self.add_nonkeys) + len(self.remove_nonkeys)
+
+
+class RepairPlan(NamedTuple):
+    """An edit script from S₁ toward (an isomorph of) S₂."""
+
+    edits: Tuple[RelationEdit, ...]
+
+    @property
+    def cost(self) -> int:
+        """Total attribute-level edit count (adds + removals)."""
+        total = 0
+        for edit in self.edits:
+            total += edit.cost
+        return total
+
+    @property
+    def is_noop(self) -> bool:
+        """True iff the schemas are already equivalent."""
+        return all(edit.action == "keep" for edit in self.edits)
+
+    def render(self) -> str:
+        """Human-readable edit script."""
+        if self.is_noop:
+            return "schemas are already equivalent; nothing to do"
+        lines = []
+        for edit in self.edits:
+            if edit.action == "keep":
+                continue
+            if edit.action == "modify":
+                parts = []
+                if edit.add_nonkeys:
+                    parts.append(f"add non-key attribute(s) of type {list(edit.add_nonkeys)}")
+                if edit.remove_nonkeys:
+                    parts.append(
+                        f"remove non-key attribute(s) of type {list(edit.remove_nonkeys)}"
+                    )
+                lines.append(
+                    f"modify {edit.source_relation} (→ {edit.target_relation}): "
+                    + "; ".join(parts)
+                )
+            elif edit.action == "drop":
+                lines.append(f"drop relation {edit.source_relation}")
+            else:
+                lines.append(
+                    f"add a relation shaped like {edit.target_relation}"
+                )
+        return "\n".join(lines)
+
+
+def _key_signature(relation: RelationSchema):
+    return tuple(sorted(a.type_name for a in relation.key_attributes()))
+
+
+def _nonkey_counter(relation: RelationSchema) -> Counter:
+    return Counter(a.type_name for a in relation.nonkey_attributes())
+
+
+def repair_plan(s1: DatabaseSchema, s2: DatabaseSchema) -> RepairPlan:
+    """Compute an edit script from ``s1`` toward equivalence with ``s2``.
+
+    Relations are matched greedily within equal key signatures, pairing
+    each S₁ relation with the remaining S₂ relation whose non-key type
+    multiset is closest; unmatched relations become drop/add edits.
+    Greedy matching is a heuristic for the assignment problem, so the plan
+    is a (usually tight) upper bound on the true edit distance; exact
+    signature matches are always paired first, so a no-op plan is found
+    iff the schemas are equivalent.
+    """
+    available: List[RelationSchema] = list(s2.relations)
+    edits: List[RelationEdit] = []
+
+    def difference(a: Counter, b: Counter) -> int:
+        return sum(((a - b) + (b - a)).values())
+
+    # Pass 1: exact signature matches (cost-0 pairs).
+    remaining_s1: List[RelationSchema] = []
+    for rel1 in s1:
+        exact = next(
+            (
+                rel2
+                for rel2 in available
+                if relation_signature(rel1) == relation_signature(rel2)
+            ),
+            None,
+        )
+        if exact is not None:
+            available.remove(exact)
+            edits.append(RelationEdit("keep", rel1.name, exact.name, (), ()))
+        else:
+            remaining_s1.append(rel1)
+
+    # Pass 2: same key signature, differing non-keys — pick nearest.
+    still_unmatched: List[RelationSchema] = []
+    for rel1 in remaining_s1:
+        candidates = [
+            rel2 for rel2 in available if _key_signature(rel2) == _key_signature(rel1)
+        ]
+        if not candidates:
+            still_unmatched.append(rel1)
+            continue
+        nonkeys1 = _nonkey_counter(rel1)
+        best = min(candidates, key=lambda r: difference(nonkeys1, _nonkey_counter(r)))
+        available.remove(best)
+        nonkeys2 = _nonkey_counter(best)
+        add = tuple(sorted((nonkeys2 - nonkeys1).elements()))
+        remove = tuple(sorted((nonkeys1 - nonkeys2).elements()))
+        edits.append(RelationEdit("modify", rel1.name, best.name, add, remove))
+
+    # Pass 3: leftovers.
+    for rel1 in still_unmatched:
+        edits.append(
+            RelationEdit(
+                "drop",
+                rel1.name,
+                None,
+                (),
+                tuple(sorted(a.type_name for a in rel1.attributes)),
+            )
+        )
+    for rel2 in available:
+        edits.append(
+            RelationEdit(
+                "add",
+                None,
+                rel2.name,
+                tuple(sorted(a.type_name for a in rel2.attributes)),
+                (),
+            )
+        )
+    return RepairPlan(tuple(edits))

@@ -1,0 +1,24 @@
+"""Small generic utilities shared across the library."""
+
+from repro.utils.unionfind import UnionFind
+from repro.utils.fresh import FreshNames, FreshValues
+from repro.utils.itertools_ext import (
+    all_functions,
+    all_injections,
+    all_bijections,
+    bounded_product,
+    multiset,
+    powerset,
+)
+
+__all__ = [
+    "UnionFind",
+    "FreshNames",
+    "FreshValues",
+    "all_functions",
+    "all_injections",
+    "all_bijections",
+    "bounded_product",
+    "multiset",
+    "powerset",
+]

@@ -1,0 +1,95 @@
+"""Fresh-name and fresh-value generators.
+
+The paper's proofs repeatedly pick values "not among any constants in any of
+the queries" and variables not occurring elsewhere.  These generators make
+that idiom explicit and deterministic: each generator hands out an infinite
+stream of names/tokens guaranteed distinct from everything it was told to
+avoid and from everything it has handed out before.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Set
+
+
+class FreshNames:
+    """Deterministic generator of fresh string names.
+
+    >>> gen = FreshNames(prefix="X", avoid={"X0"})
+    >>> gen.next()
+    'X1'
+    >>> gen.next()
+    'X2'
+    """
+
+    __slots__ = ("_prefix", "_avoid", "_counter")
+
+    def __init__(self, prefix: str = "v", avoid: Iterable[str] = ()) -> None:
+        self._prefix = prefix
+        self._avoid: Set[str] = set(avoid)
+        self._counter = 0
+
+    def avoid(self, names: Iterable[str]) -> None:
+        """Add ``names`` to the set this generator must never produce."""
+        self._avoid.update(names)
+
+    def next(self) -> str:
+        """Return the next fresh name."""
+        while True:
+            candidate = f"{self._prefix}{self._counter}"
+            self._counter += 1
+            if candidate not in self._avoid:
+                self._avoid.add(candidate)
+                return candidate
+
+    def take(self, n: int) -> list:
+        """Return a list of ``n`` fresh names."""
+        return [self.next() for _ in range(n)]
+
+    def __iter__(self) -> Iterator[str]:
+        while True:
+            yield self.next()
+
+
+class FreshValues:
+    """Generator of fresh integer tokens for attribute-type domains.
+
+    Attribute types are countably infinite; we realise each type's domain as
+    the set of values ``AttributeType.value(token)`` over integer (or string)
+    tokens.  ``FreshValues`` hands out integer tokens never seen before,
+    which is exactly the proofs' "a value not among any constants in the
+    queries" gadget.
+    """
+
+    __slots__ = ("_avoid", "_counter")
+
+    def __init__(self, avoid: Iterable[int] = (), start: int = 0) -> None:
+        self._avoid: Set[int] = set(avoid)
+        self._counter = start
+
+    def avoid(self, tokens: Iterable[int]) -> None:
+        """Add ``tokens`` to the set this generator must never produce."""
+        self._avoid.update(tokens)
+
+    def next(self) -> int:
+        """Return the next fresh token."""
+        while True:
+            candidate = self._counter
+            self._counter += 1
+            if candidate not in self._avoid:
+                self._avoid.add(candidate)
+                return candidate
+
+    def take(self, n: int) -> list:
+        """Return a list of ``n`` fresh tokens."""
+        return [self.next() for _ in range(n)]
+
+    def __iter__(self) -> Iterator[int]:
+        while True:
+            yield self.next()
+
+
+def fresh_stream(prefix: str) -> Iterator[str]:
+    """An infinite stream ``prefix0, prefix1, ...`` (no avoidance)."""
+    return (f"{prefix}{i}" for i in itertools.count())

@@ -1,0 +1,121 @@
+"""Combinatorial helpers used by the exhaustive-search machinery.
+
+These are the enumeration primitives behind experiment E1 (bounded search for
+dominance mappings) and the isomorphism/witness machinery: all functions
+between finite sets, all injections, all bijections, bounded cartesian
+products with a global budget, powersets, and multisets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.errors import SearchBudgetExceeded
+
+A = TypeVar("A", bound=Hashable)
+B = TypeVar("B", bound=Hashable)
+
+
+def all_functions(domain: Sequence[A], codomain: Sequence[B]) -> Iterator[Dict[A, B]]:
+    """Enumerate every total function ``domain -> codomain`` as a dict.
+
+    The empty domain yields exactly one (empty) function; an empty codomain
+    with a non-empty domain yields nothing.
+    """
+    domain = list(domain)
+    if not domain:
+        yield {}
+        return
+    for image in itertools.product(codomain, repeat=len(domain)):
+        yield dict(zip(domain, image))
+
+
+def all_injections(domain: Sequence[A], codomain: Sequence[B]) -> Iterator[Dict[A, B]]:
+    """Enumerate every injective function ``domain -> codomain``."""
+    domain = list(domain)
+    if not domain:
+        yield {}
+        return
+    for image in itertools.permutations(codomain, len(domain)):
+        yield dict(zip(domain, image))
+
+
+def all_bijections(domain: Sequence[A], codomain: Sequence[B]) -> Iterator[Dict[A, B]]:
+    """Enumerate every bijection; empty if the sets differ in size."""
+    domain = list(domain)
+    codomain = list(codomain)
+    if len(domain) != len(codomain):
+        return
+    yield from all_injections(domain, codomain)
+
+
+def powerset(items: Sequence[A], min_size: int = 0, max_size: int | None = None) -> Iterator[Tuple[A, ...]]:
+    """Enumerate subsets of ``items`` as tuples, smallest first."""
+    items = list(items)
+    upper = len(items) if max_size is None else min(max_size, len(items))
+    for size in range(min_size, upper + 1):
+        yield from itertools.combinations(items, size)
+
+
+def multiset(items: Iterable[A]) -> Tuple[Tuple[A, int], ...]:
+    """Return a canonical, hashable multiset representation.
+
+    The result is a tuple of ``(element, count)`` pairs sorted by the
+    element's ``repr`` (elements of mixed types are common here, so we sort
+    on a stable string key rather than requiring mutual orderability).
+    """
+    counts = Counter(items)
+    return tuple(sorted(counts.items(), key=lambda pair: repr(pair[0])))
+
+
+def bounded_product(
+    factors: Sequence[Iterable[A]],
+    budget: int,
+) -> Iterator[Tuple[A, ...]]:
+    """Cartesian product that raises once more than ``budget`` tuples emerge.
+
+    Exhaustive mapping search multiplies several enumeration axes (body
+    atoms, head assignments, equality lists); this wrapper turns a silent
+    combinatorial explosion into an explicit :class:`SearchBudgetExceeded`.
+    """
+    emitted = 0
+    for combo in itertools.product(*[list(f) for f in factors]):
+        emitted += 1
+        if emitted > budget:
+            raise SearchBudgetExceeded(
+                f"bounded_product exceeded budget of {budget} combinations"
+            )
+        yield combo
+
+
+def distinct_pairs(items: Sequence[A]) -> Iterator[Tuple[A, A]]:
+    """Unordered distinct pairs of ``items``."""
+    yield from itertools.combinations(items, 2)
+
+
+def partitions(items: Sequence[A]) -> Iterator[List[List[A]]]:
+    """Enumerate all set partitions of ``items`` (Bell-number many).
+
+    Used to enumerate candidate equality-class structures over query
+    variables in the bounded mapping search.
+    """
+    items = list(items)
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in partitions(rest):
+        for i, block in enumerate(partition):
+            yield partition[:i] + [[first] + block] + partition[i + 1 :]
+        yield [[first]] + partition

@@ -1,0 +1,112 @@
+"""Union-find (disjoint-set) structure over arbitrary hashable elements.
+
+Used throughout the conjunctive-query machinery to compute the *equality
+classes* of variables induced by a query's equality list (reflexive,
+symmetric, transitive closure), and by the chase to merge labelled nulls.
+
+The implementation uses union-by-size with full path compression.  Elements
+are created lazily on first mention, so callers never need to pre-register
+the universe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Set, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind:
+    """Disjoint-set forest over hashable elements.
+
+    >>> uf = UnionFind()
+    >>> uf.union("x", "y")
+    True
+    >>> uf.find("x") == uf.find("y")
+    True
+    >>> uf.connected("x", "z")
+    False
+    """
+
+    __slots__ = ("_parent", "_size")
+
+    def __init__(self, elements: Iterable[T] = ()) -> None:
+        self._parent: Dict[T, T] = {}
+        self._size: Dict[T, int] = {}
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: T) -> None:
+        """Register ``element`` as a singleton class if not already present."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._size[element] = 1
+
+    def __contains__(self, element: T) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._parent)
+
+    def find(self, element: T) -> T:
+        """Return the canonical representative of ``element``'s class.
+
+        The element is registered if it was never seen before.
+        """
+        self.add(element)
+        root = element
+        parent = self._parent
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression.
+        while parent[element] != root:
+            parent[element], element = root, parent[element]
+        return root
+
+    def union(self, a: T, b: T) -> bool:
+        """Merge the classes of ``a`` and ``b``.
+
+        Returns ``True`` if the classes were distinct (a merge happened).
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return True
+
+    def connected(self, a: T, b: T) -> bool:
+        """True iff ``a`` and ``b`` are in the same class.
+
+        Unlike :meth:`find`, unseen elements are registered, so two fresh
+        elements are never connected (each becomes its own singleton).
+        """
+        return self.find(a) == self.find(b)
+
+    def classes(self) -> List[Set[T]]:
+        """Return all equivalence classes as a list of sets."""
+        grouped: Dict[T, Set[T]] = {}
+        for element in self._parent:
+            grouped.setdefault(self.find(element), set()).add(element)
+        return list(grouped.values())
+
+    def class_of(self, element: T) -> Set[T]:
+        """Return the full class containing ``element``."""
+        root = self.find(element)
+        return {e for e in self._parent if self.find(e) == root}
+
+    def copy(self) -> "UnionFind":
+        """Return an independent copy of this structure."""
+        clone = UnionFind()
+        clone._parent = dict(self._parent)
+        clone._size = dict(self._size)
+        return clone
+
+    def representative_map(self) -> Dict[T, T]:
+        """Return a dict mapping every element to its representative."""
+        return {element: self.find(element) for element in self._parent}

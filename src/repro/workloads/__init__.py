@@ -1,0 +1,55 @@
+"""Workload generators: schema universes, random queries, named scenarios."""
+
+from repro.workloads.schema_gen import (
+    count_keyed_schemas,
+    enumerate_keyed_schemas,
+    enumerate_relation_shapes,
+    random_keyed_schema,
+    schema_from_shapes,
+    shuffled_copy,
+)
+from repro.workloads.query_gen import (
+    chain_query,
+    cycle_query,
+    random_identity_join_query,
+    random_product_query,
+    random_query,
+    star_query,
+)
+from repro.workloads.scenarios import (
+    edge_schema,
+    integration_instance,
+    paper_migration_spec,
+    paper_schema_1,
+    paper_schema_1_prime,
+    paper_schema_2,
+    path_instance,
+    random_graph_instance,
+    star_join_instance,
+    wide_keyed_schema,
+)
+
+__all__ = [
+    "chain_query",
+    "count_keyed_schemas",
+    "cycle_query",
+    "edge_schema",
+    "enumerate_keyed_schemas",
+    "enumerate_relation_shapes",
+    "integration_instance",
+    "paper_migration_spec",
+    "paper_schema_1",
+    "paper_schema_1_prime",
+    "paper_schema_2",
+    "path_instance",
+    "random_graph_instance",
+    "random_identity_join_query",
+    "random_keyed_schema",
+    "random_product_query",
+    "random_query",
+    "schema_from_shapes",
+    "shuffled_copy",
+    "star_join_instance",
+    "star_query",
+    "wide_keyed_schema",
+]

@@ -1,0 +1,162 @@
+"""Random conjunctive-query generators.
+
+Seeded generators for the query classes the paper distinguishes:
+
+* general CQs (arbitrary same-typed equalities — joins and selections);
+* identity-join-only CQs (Lemma 2's premise class);
+* product queries (no conditions, distinct relations).
+
+Used by the property tests (differential evaluation, Lemma 1/2 validation)
+and the E2/E6 benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cq.syntax import Atom, ConjunctiveQuery, Variable
+from repro.errors import QuerySyntaxError
+from repro.relational.schema import DatabaseSchema
+
+
+def _fresh_body(
+    schema: DatabaseSchema, relation_names: Sequence[str]
+) -> Tuple[List[Atom], List[Variable], List[str], List[Tuple[str, int]]]:
+    """Body atoms with one fresh variable per position.
+
+    Returns (atoms, variables, per-position types, per-position
+    (relation, column) locations).
+    """
+    body: List[Atom] = []
+    variables: List[Variable] = []
+    types: List[str] = []
+    locations: List[Tuple[str, int]] = []
+    index = 0
+    for relation_name in relation_names:
+        relation = schema.relation(relation_name)
+        terms = []
+        for col, attr in enumerate(relation.attributes):
+            var = Variable(f"v{index}")
+            index += 1
+            terms.append(var)
+            variables.append(var)
+            types.append(attr.type_name)
+            locations.append((relation_name, col))
+        body.append(Atom(relation_name, tuple(terms)))
+    return body, variables, types, locations
+
+
+def random_query(
+    schema: DatabaseSchema,
+    seed: int,
+    max_atoms: int = 3,
+    head_arity: int = 2,
+    equality_probability: float = 0.3,
+    view_name: str = "Q",
+) -> ConjunctiveQuery:
+    """A random well-typed CQ with same-typed variable equalities."""
+    rng = random.Random(seed)
+    n_atoms = rng.randint(1, max_atoms)
+    relation_names = [
+        rng.choice(list(schema.relation_names)) for _ in range(n_atoms)
+    ]
+    body, variables, types, _ = _fresh_body(schema, relation_names)
+    equalities: List[Tuple[Variable, Variable]] = []
+    for i in range(len(variables)):
+        for j in range(i + 1, len(variables)):
+            if types[i] == types[j] and rng.random() < equality_probability:
+                equalities.append((variables[i], variables[j]))
+    head_vars = tuple(
+        rng.choice(variables) for _ in range(min(head_arity, len(variables)))
+    )
+    return ConjunctiveQuery(Atom(view_name, head_vars), body, equalities)
+
+
+def random_identity_join_query(
+    schema: DatabaseSchema,
+    seed: int,
+    max_atoms: int = 4,
+    head_arity: int = 2,
+    join_probability: float = 0.5,
+    view_name: str = "Q",
+) -> ConjunctiveQuery:
+    """A random CQ whose only conditions are identity joins (Lemma 2 class).
+
+    Equalities are only added between the *same column* of two occurrences
+    of the *same relation*, so the premise of Lemma 2 holds by
+    construction.
+    """
+    rng = random.Random(seed)
+    n_atoms = rng.randint(1, max_atoms)
+    relation_names = [
+        rng.choice(list(schema.relation_names)) for _ in range(n_atoms)
+    ]
+    body, variables, _, locations = _fresh_body(schema, relation_names)
+    equalities: List[Tuple[Variable, Variable]] = []
+    for i in range(len(variables)):
+        for j in range(i + 1, len(variables)):
+            (rel_i, col_i), (rel_j, col_j) = locations[i], locations[j]
+            if rel_i == rel_j and col_i == col_j and rng.random() < join_probability:
+                equalities.append((variables[i], variables[j]))
+    head_vars = tuple(
+        rng.choice(variables) for _ in range(min(head_arity, len(variables)))
+    )
+    return ConjunctiveQuery(Atom(view_name, head_vars), body, equalities)
+
+
+def random_product_query(
+    schema: DatabaseSchema,
+    seed: int,
+    max_relations: Optional[int] = None,
+    head_arity: int = 2,
+    view_name: str = "Q",
+) -> ConjunctiveQuery:
+    """A random product query: distinct relations, no conditions."""
+    rng = random.Random(seed)
+    names = list(schema.relation_names)
+    upper = len(names) if max_relations is None else min(max_relations, len(names))
+    chosen = rng.sample(names, rng.randint(1, upper))
+    body, variables, _, _ = _fresh_body(schema, chosen)
+    head_vars = tuple(
+        rng.choice(variables) for _ in range(min(head_arity, len(variables)))
+    )
+    return ConjunctiveQuery(Atom(view_name, head_vars), body)
+
+
+def chain_query(length: int, view_name: str = "Q") -> ConjunctiveQuery:
+    """The length-n chain over a binary relation E: E(x0,x1), ..., E(xn-1,xn).
+
+    The classic containment benchmark family (chain queries fold onto
+    shorter chains, so containment is non-trivial).
+    """
+    if length < 1:
+        raise QuerySyntaxError("chain length must be at least 1")
+    body = [
+        Atom("E", (Variable(f"x{i}"), Variable(f"x{i+1}")))
+        for i in range(length)
+    ]
+    head = Atom(view_name, (Variable("x0"), Variable(f"x{length}")))
+    return ConjunctiveQuery(head, body)
+
+
+def cycle_query(length: int, view_name: str = "Q") -> ConjunctiveQuery:
+    """The length-n cycle over E: boolean-style query exporting one node."""
+    if length < 1:
+        raise QuerySyntaxError("cycle length must be at least 1")
+    body = [
+        Atom("E", (Variable(f"x{i}"), Variable(f"x{(i+1) % length}")))
+        for i in range(length)
+    ]
+    head = Atom(view_name, (Variable("x0"),))
+    return ConjunctiveQuery(head, body)
+
+
+def star_query(rays: int, view_name: str = "Q") -> ConjunctiveQuery:
+    """A star: E(c, x1), ..., E(c, xn) with the centre exported."""
+    if rays < 1:
+        raise QuerySyntaxError("star needs at least one ray")
+    centre = Variable("c")
+    body = [Atom("E", (centre, Variable(f"x{i}"))) for i in range(rays)]
+    head = Atom(view_name, (centre,))
+    return ConjunctiveQuery(head, body)

@@ -1,0 +1,203 @@
+"""Named scenarios: the paper's §1 schemas and benchmark-scale workloads.
+
+``paper_schema_1`` / ``paper_schema_1_prime`` / ``paper_schema_2`` are the
+introduction's running example — employee/department/salespeople with key
+and referential-integrity constraints — used by the schema-integration
+example and experiment E9.  The remaining builders produce parametric
+schemas and instances for the scale benchmarks (E6/E7/E8/E10).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.relational.attribute import Attribute
+from repro.relational.catalog import parse_schema
+from repro.relational.dependencies import InclusionDependency
+from repro.relational.domain import Value
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.transform.inclusion import MigrationSpec
+
+SchemaWithInclusions = Tuple[DatabaseSchema, Tuple[InclusionDependency, ...]]
+
+
+def paper_schema_1() -> SchemaWithInclusions:
+    """Schema 1 of §1: yearsExp lives in a separate salespeople relation."""
+    return parse_schema(
+        """
+        employee(ss*: SSN, eName: Name, salary: Money, depId: DeptId)
+        department(deptId*: DeptId, deptName: Name, mgr: Name)
+        salespeople(ss*: SSN, yearsExp: Years)
+        employee[depId] <= department[deptId]
+        salespeople[ss] <= employee[ss]
+        employee[ss] <= salespeople[ss]
+        """
+    )
+
+
+def paper_schema_1_prime() -> SchemaWithInclusions:
+    """Schema 1′ of §1: yearsExp migrated into employee."""
+    return parse_schema(
+        """
+        employee(ss*: SSN, eName: Name, salary: Money, depId: DeptId, yearsExp: Years)
+        department(deptId*: DeptId, deptName: Name, mgr: Name)
+        salespeople(ss*: SSN)
+        employee[depId] <= department[deptId]
+        salespeople[ss] <= employee[ss]
+        employee[ss] <= salespeople[ss]
+        """
+    )
+
+
+def paper_schema_2() -> SchemaWithInclusions:
+    """Schema 2 of §1: the schema to integrate with."""
+    return parse_schema(
+        """
+        empl(ssn*: SSN, ename: Name, sal: Money, dep: DeptId, yrsExp: Years)
+        dept(departId*: DeptId, dName: Name, manager: Name)
+        empl[dep] <= dept[departId]
+        """
+    )
+
+
+def paper_migration_spec() -> MigrationSpec:
+    """The §1 transformation: move yearsExp from salespeople into employee."""
+    return MigrationSpec(
+        source="salespeople",
+        target="employee",
+        attribute="yearsExp",
+        source_key=("ss",),
+        target_key=("ss",),
+    )
+
+
+def integration_instance(seed: int = 0, employees: int = 8) -> DatabaseInstance:
+    """A Schema 1 instance satisfying all its keys and inclusions.
+
+    Every employee is a salesperson and references an existing department —
+    the constraint pattern the §1 example relies on.
+    """
+    schema, _ = paper_schema_1()
+    rng = random.Random(seed)
+    n_departments = max(1, employees // 3)
+    departments = []
+    for i in range(n_departments):
+        departments.append(
+            (
+                Value("DeptId", i),
+                Value("Name", f"dept{i}"),
+                Value("Name", f"mgr{i}"),
+            )
+        )
+    employee_rows = []
+    salespeople_rows = []
+    for i in range(employees):
+        ss = Value("SSN", i)
+        employee_rows.append(
+            (
+                ss,
+                Value("Name", f"emp{i}"),
+                Value("Money", rng.randint(30, 200) * 1000),
+                departments[rng.randrange(n_departments)][0],
+            )
+        )
+        salespeople_rows.append((ss, Value("Years", rng.randint(0, 30))))
+    return DatabaseInstance.from_rows(
+        schema,
+        {
+            "employee": employee_rows,
+            "department": departments,
+            "salespeople": salespeople_rows,
+        },
+    )
+
+
+def edge_schema() -> DatabaseSchema:
+    """An unkeyed binary relation E(src, dst) for graph-query benchmarks."""
+    return DatabaseSchema(
+        (
+            RelationSchema(
+                "E", (Attribute("src", "Node"), Attribute("dst", "Node")), None
+            ),
+        )
+    )
+
+
+def path_instance(length: int) -> DatabaseInstance:
+    """A simple path graph with ``length`` edges over :func:`edge_schema`."""
+    rows = [
+        (Value("Node", i), Value("Node", i + 1)) for i in range(length)
+    ]
+    return DatabaseInstance.from_rows(edge_schema(), {"E": rows})
+
+
+def random_graph_instance(
+    nodes: int, edges: int, seed: int = 0
+) -> DatabaseInstance:
+    """A random directed graph for evaluation benchmarks."""
+    rng = random.Random(seed)
+    rows = {
+        (Value("Node", rng.randrange(nodes)), Value("Node", rng.randrange(nodes)))
+        for _ in range(edges)
+    }
+    return DatabaseInstance.from_rows(edge_schema(), {"E": rows})
+
+
+def wide_keyed_schema(n_relations: int, arity: int = 4, types: int = 3) -> DatabaseSchema:
+    """A parametric keyed schema for the equivalence-scale benchmark (E8)."""
+    relations: List[RelationSchema] = []
+    for r in range(n_relations):
+        attributes = [
+            Attribute(f"c{i}", f"T{(r + i) % types}") for i in range(arity)
+        ]
+        relations.append(RelationSchema(f"R{r}", attributes, [attributes[0].name]))
+    return DatabaseSchema(relations)
+
+
+def star_join_instance(
+    fact_rows: int, dimensions: int = 3, dim_rows: int = 32, seed: int = 0
+) -> Tuple[DatabaseSchema, DatabaseInstance]:
+    """A star-join workload: one fact relation joined to ``dimensions`` keys.
+
+    Used by the E10 evaluation benchmark: the hash-join evaluator should
+    handle large fact tables where the naive evaluator is hopeless.
+    """
+    rng = random.Random(seed)
+    relations = [
+        RelationSchema(
+            "fact",
+            tuple(
+                [Attribute("id", "FactId")]
+                + [Attribute(f"d{i}", f"Dim{i}") for i in range(dimensions)]
+            ),
+            ["id"],
+        )
+    ]
+    for i in range(dimensions):
+        relations.append(
+            RelationSchema(
+                f"dim{i}",
+                (Attribute("id", f"Dim{i}"), Attribute("payload", "Payload")),
+                ["id"],
+            )
+        )
+    schema = DatabaseSchema(relations)
+    rows: Dict[str, list] = {"fact": []}
+    for r in range(fact_rows):
+        rows["fact"].append(
+            tuple(
+                [Value("FactId", r)]
+                + [
+                    Value(f"Dim{i}", rng.randrange(dim_rows))
+                    for i in range(dimensions)
+                ]
+            )
+        )
+    for i in range(dimensions):
+        rows[f"dim{i}"] = [
+            (Value(f"Dim{i}", j), Value("Payload", j * 7))
+            for j in range(dim_rows)
+        ]
+    return schema, DatabaseInstance.from_rows(schema, rows)

@@ -1,0 +1,147 @@
+"""Keyed-schema generators: exhaustive (up to isomorphism) and random.
+
+The E1 experiment enumerates *all* keyed schemas within size bounds;
+because Theorem 13's notion of identity quotients by renaming and
+re-ordering, it suffices to enumerate isomorphism classes, which are
+exactly multisets of relation *shapes* — a shape being a (key-type
+multiset, non-key-type multiset) pair.  The random generator drives the
+scale benchmarks (E8) and property tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.relational.attribute import Attribute
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+Shape = Tuple[Tuple[str, ...], Tuple[str, ...]]  # (key types, non-key types), sorted
+
+
+def enumerate_relation_shapes(
+    type_names: Sequence[str],
+    max_arity: int,
+    min_key: int = 1,
+) -> List[Shape]:
+    """All relation shapes with arity ≤ ``max_arity`` over the given types.
+
+    A shape's key part is non-empty (keyed schemas give every relation a
+    key); both parts are sorted type multisets, so shapes are canonical.
+    """
+    shapes: List[Shape] = []
+    for arity in range(1, max_arity + 1):
+        for key_size in range(min_key, arity + 1):
+            nonkey_size = arity - key_size
+            for key_types in itertools.combinations_with_replacement(
+                sorted(type_names), key_size
+            ):
+                for nonkey_types in itertools.combinations_with_replacement(
+                    sorted(type_names), nonkey_size
+                ):
+                    shapes.append((key_types, nonkey_types))
+    return shapes
+
+
+def schema_from_shapes(shapes: Sequence[Shape], name_prefix: str = "R") -> DatabaseSchema:
+    """Materialise a canonical schema from a multiset of shapes.
+
+    Relations are named ``R0, R1, ...`` and attributes ``k0.., a0..`` —
+    the concrete names are irrelevant up to isomorphism.
+    """
+    relations: List[RelationSchema] = []
+    for index, (key_types, nonkey_types) in enumerate(shapes):
+        attributes: List[Attribute] = []
+        key_names: List[str] = []
+        for i, type_name in enumerate(key_types):
+            name = f"k{i}"
+            attributes.append(Attribute(name, type_name))
+            key_names.append(name)
+        for i, type_name in enumerate(nonkey_types):
+            attributes.append(Attribute(f"a{i}", type_name))
+        relations.append(
+            RelationSchema(f"{name_prefix}{index}", attributes, key_names)
+        )
+    return DatabaseSchema(relations)
+
+
+def enumerate_keyed_schemas(
+    type_names: Sequence[str],
+    max_relations: int,
+    max_arity: int,
+    min_relations: int = 1,
+) -> Iterator[DatabaseSchema]:
+    """All keyed schemas within the bounds, one per isomorphism class.
+
+    Multisets of shapes are enumerated with
+    ``combinations_with_replacement`` over the canonical shape list, so no
+    two emitted schemas are isomorphic and every isomorphism class within
+    the bounds appears exactly once.
+    """
+    shapes = enumerate_relation_shapes(type_names, max_arity)
+    for n_relations in range(min_relations, max_relations + 1):
+        for combo in itertools.combinations_with_replacement(shapes, n_relations):
+            yield schema_from_shapes(combo)
+
+
+def count_keyed_schemas(
+    type_names: Sequence[str], max_relations: int, max_arity: int
+) -> int:
+    """Number of isomorphism classes within the bounds (cheap, closed-form)."""
+    n_shapes = len(enumerate_relation_shapes(type_names, max_arity))
+    total = 0
+    for n_relations in range(1, max_relations + 1):
+        # multichoose(n_shapes, n_relations)
+        from math import comb
+
+        total += comb(n_shapes + n_relations - 1, n_relations)
+    return total
+
+
+def random_keyed_schema(
+    seed: int,
+    type_names: Sequence[str],
+    n_relations: int,
+    max_arity: int = 4,
+    min_key: int = 1,
+) -> DatabaseSchema:
+    """A seeded random keyed schema for benchmarks and property tests."""
+    rng = random.Random(seed)
+    relations: List[RelationSchema] = []
+    for index in range(n_relations):
+        arity = rng.randint(1, max_arity)
+        key_size = rng.randint(min(min_key, arity), arity)
+        attributes: List[Attribute] = []
+        key_names: List[str] = []
+        for i in range(arity):
+            name = f"c{i}"
+            attributes.append(Attribute(name, rng.choice(list(type_names))))
+            if i < key_size:
+                key_names.append(name)
+        relations.append(RelationSchema(f"R{index}", attributes, key_names))
+    return DatabaseSchema(relations)
+
+
+def shuffled_copy(schema: DatabaseSchema, seed: int) -> DatabaseSchema:
+    """An isomorphic copy with renamed/re-ordered relations and attributes.
+
+    Useful for exercising the positive side of Theorem 13: the copy is
+    always equivalent to the original.
+    """
+    rng = random.Random(seed)
+    relations = list(schema.relations)
+    rng.shuffle(relations)
+    renamed: List[RelationSchema] = []
+    for index, relation in enumerate(relations):
+        attrs = list(relation.attributes)
+        rng.shuffle(attrs)
+        mapping = {a.name: f"x{i}" for i, a in enumerate(attrs)}
+        new_attrs = [Attribute(mapping[a.name], a.type_name) for a in attrs]
+        new_key = (
+            None
+            if relation.key is None
+            else frozenset(mapping[k] for k in relation.key)
+        )
+        renamed.append(RelationSchema(f"S{index}", new_attrs, new_key))
+    return DatabaseSchema(renamed)

@@ -1,0 +1,95 @@
+"""Shared fixtures: small schemas, instances, and mapping pairs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import (
+    Attribute,
+    DatabaseInstance,
+    RelationSchema,
+    Value,
+    parse_schema,
+    random_instance,
+    relation,
+    schema,
+)
+
+
+@pytest.fixture
+def single_relation_schema():
+    """R(a*: T, b: U) — one keyed binary relation."""
+    return schema(relation("R", [("a", "T"), ("b", "U")], key=["a"]))
+
+
+@pytest.fixture
+def two_relation_schema():
+    """R(a*: T, b: U); S(c*: U, d: T)."""
+    return schema(
+        relation("R", [("a", "T"), ("b", "U")], key=["a"]),
+        relation("S", [("c", "U"), ("d", "T")], key=["c"]),
+    )
+
+
+@pytest.fixture
+def edge_schema_unkeyed():
+    """E(src, dst) over a single node type, no key."""
+    return schema(relation("E", [("src", "Node"), ("dst", "Node")]))
+
+
+@pytest.fixture
+def employee_schemas():
+    """The §1 schemas: (schema 1, inclusions 1), (schema 2, inclusions 2)."""
+    from repro.workloads import paper_schema_1, paper_schema_2
+
+    return paper_schema_1(), paper_schema_2()
+
+
+@pytest.fixture
+def small_instance(single_relation_schema):
+    """Three tuples over R with one duplicated b value."""
+    t, u = "T", "U"
+    return DatabaseInstance.from_rows(
+        single_relation_schema,
+        {
+            "R": [
+                (Value(t, 1), Value(u, 10)),
+                (Value(t, 2), Value(u, 10)),
+                (Value(t, 3), Value(u, 30)),
+            ]
+        },
+    )
+
+
+@pytest.fixture
+def random_two_relation_instance(two_relation_schema):
+    """A seeded random key-satisfying instance of the two-relation schema."""
+    inst = random_instance(two_relation_schema, rows_per_relation=5, seed=7)
+    assert inst.satisfies_keys()
+    return inst
+
+
+@pytest.fixture
+def isomorphic_pair():
+    """Two keyed schemas that differ only by renaming and re-ordering."""
+    s1, _ = parse_schema(
+        """
+        emp(ss*: SSN, name: Name, dep: DeptId)
+        dept(id*: DeptId, dname: Name)
+        """
+    )
+    s2, _ = parse_schema(
+        """
+        department(nm: Name, did*: DeptId)
+        person(ename: Name, ssn*: SSN, d: DeptId)
+        """
+    )
+    return s1, s2
+
+
+@pytest.fixture
+def non_isomorphic_pair():
+    """Two keyed schemas with the same key signatures but different non-keys."""
+    s1, _ = parse_schema("R(k*: K, x: A, y: B)")
+    s2, _ = parse_schema("R(k*: K, x: A, y: A)")
+    return s1, s2

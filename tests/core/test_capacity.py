@@ -1,0 +1,105 @@
+"""Unit tests for information-capacity counting."""
+
+import itertools
+
+import pytest
+
+from repro.core.capacity import (
+    capacity_equal_on_range,
+    capacity_obstruction,
+    capacity_profile,
+    count_instances,
+    count_relation_instances,
+    uniform_sizes,
+)
+from repro.errors import SchemaError
+from repro.relational import Value, parse_schema, relation
+from repro.relational.instance import RelationInstance
+
+
+def brute_force_count(rel, type_size: int) -> int:
+    """Enumerate every instance of a small relation and count the valid ones."""
+    domains = [
+        [Value(a.type_name, i) for i in range(type_size)] for a in rel.attributes
+    ]
+    tuples = list(itertools.product(*domains))
+    count = 0
+    for r in range(len(tuples) + 1):
+        for subset in itertools.combinations(tuples, r):
+            if RelationInstance(rel, subset).satisfies_key():
+                count += 1
+    return count
+
+
+def test_keyed_unary_relation_count_closed_form():
+    rel = relation("R", [("k", "T")], key=["k"])
+    # (1 + 1)^K with N=1 (empty non-key space): 2^K subsets of key space.
+    assert count_relation_instances(rel, {"T": 3}) == 2 ** 3
+    assert count_relation_instances(rel, {"T": 3}) == brute_force_count(rel, 3)
+
+
+def test_keyed_binary_relation_count_matches_brute_force():
+    rel = relation("R", [("k", "T"), ("v", "U")], key=["k"])
+    for size in (1, 2):
+        expected = brute_force_count(rel, size)
+        assert count_relation_instances(rel, {"T": size, "U": size}) == expected
+
+
+def test_unkeyed_relation_count():
+    rel = relation("E", [("a", "T"), ("b", "T")])
+    assert count_relation_instances(rel, {"T": 2}) == 2 ** 4
+
+
+def test_composite_key_count():
+    rel = relation("R", [("k1", "T"), ("k2", "T"), ("v", "U")], key=["k1", "k2"])
+    # key space 2*2=4, non-key space 3: (1+3)^4.
+    assert count_relation_instances(rel, {"T": 2, "U": 3}) == 4 ** 4
+
+
+def test_schema_count_is_product():
+    s, _ = parse_schema("R(k*: T)\nS(j*: U)")
+    sizes = {"T": 2, "U": 3}
+    assert count_instances(s, sizes) == (2 ** 2) * (2 ** 3)
+
+
+def test_missing_type_size_raises():
+    s, _ = parse_schema("R(k*: T)")
+    with pytest.raises(SchemaError):
+        count_instances(s, {})
+
+
+def test_isomorphic_schemas_have_equal_profiles(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    assert capacity_equal_on_range(s1, s2, max_size=3)
+    assert capacity_obstruction(s1, s2, max_size=3) is None
+    assert capacity_obstruction(s2, s1, max_size=3) is None
+
+
+def test_obstruction_detects_strictly_larger_schema():
+    s1, _ = parse_schema("R(k*: T, v: U)")
+    s2, _ = parse_schema("R(k*: T)")
+    size = capacity_obstruction(s1, s2, max_size=3)
+    assert size is not None
+    # At the witnessing size, S1 really has more instances.
+    sizes = uniform_sizes(s1, size) | uniform_sizes(s2, size)
+    assert count_instances(s1, sizes) > count_instances(s2, sizes)
+
+
+def test_counting_is_necessary_not_sufficient():
+    """Equal counts do NOT imply equivalence: counting cannot replace
+    Theorem 13.  Two one-relation schemas with swapped key/non-key type
+    sizes coincide under uniform sizing but are not isomorphic."""
+    s1, _ = parse_schema("R(k*: T, v: U)")
+    s2, _ = parse_schema("R(k*: U, v: T)")
+    assert capacity_equal_on_range(s1, s2, max_size=4)
+    from repro.core import cq_equivalent
+
+    assert not cq_equivalent(s1, s2)
+
+
+def test_capacity_profile_monotone_in_size():
+    s, _ = parse_schema("R(k*: T, v: U)")
+    profile = capacity_profile(s, [1, 2, 3, 4])
+    counts = [count for _, count in profile]
+    assert counts == sorted(counts)
+    assert counts[0] < counts[-1]

@@ -1,0 +1,82 @@
+"""Unit tests for equivalence certificates and explanations."""
+
+import pytest
+
+from repro.core import decide_equivalence
+from repro.core.certificates import (
+    EquivalenceCertificate,
+    EquivalenceDecision,
+    FailureStep,
+    NonEquivalenceExplanation,
+)
+from repro.cq.parser import parse_query
+from repro.mappings import DominancePair, QueryMapping
+from repro.relational import parse_schema
+
+
+def test_certificate_explain_lists_relation_map(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    certificate = decide_equivalence(s1, s2).certificate
+    explanation = certificate.explain()
+    assert "equivalent" in explanation
+    for src in s1.relation_names:
+        assert src in explanation
+
+
+def test_certificate_verify_detects_tampering(isomorphic_pair):
+    """A certificate whose β was swapped for a lossy mapping fails verify."""
+    s1, s2 = isomorphic_pair
+    genuine = decide_equivalence(s1, s2).certificate
+    assert genuine.verify()
+
+    tampered_s1, _ = parse_schema("A(a1*: T, a2: U)")
+    tampered_s2, _ = parse_schema("M(m1*: T, m2: U)")
+    alpha = QueryMapping(
+        tampered_s1, tampered_s2, {"M": parse_query("M(X, Y) :- A(X, Y).")}
+    )
+    bad_beta = QueryMapping(
+        tampered_s2, tampered_s1, {"A": parse_query("A(X, U:0) :- M(X, Y).")}
+    )
+    good_beta = QueryMapping(
+        tampered_s2, tampered_s1, {"A": parse_query("A(X, Y) :- M(X, Y).")}
+    )
+    from repro.relational import find_isomorphism
+
+    witness = find_isomorphism(tampered_s1, tampered_s2)
+    tampered = EquivalenceCertificate(
+        tampered_s1,
+        tampered_s2,
+        witness,
+        DominancePair(alpha, bad_beta),  # broken forward round trip
+        DominancePair(good_beta, alpha),
+    )
+    assert not tampered.verify()
+
+
+def test_explanation_mentions_step_and_theorem(non_isomorphic_pair):
+    s1, s2 = non_isomorphic_pair
+    explanation = decide_equivalence(s1, s2).explanation
+    text = explanation.explain()
+    assert "Theorem 13" in text
+    assert explanation.step.value in text
+
+
+def test_decision_explain_dispatch():
+    undecided = EquivalenceDecision(False, None, None)
+    assert undecided.explain() == "undecided"
+
+
+def test_failure_step_values_are_descriptive():
+    for step in FailureStep:
+        assert step.value
+    assert "Hull" in FailureStep.KEY_SIGNATURES.value
+    assert "Lemma 3" in FailureStep.NONKEY_TYPE_COUNTS.value
+
+
+def test_explanation_is_frozen(non_isomorphic_pair):
+    s1, s2 = non_isomorphic_pair
+    explanation = NonEquivalenceExplanation(
+        s1, s2, FailureStep.RELATION_COUNT, "detail"
+    )
+    with pytest.raises(Exception):
+        explanation.detail = "other"  # type: ignore[misc]

@@ -1,0 +1,72 @@
+"""Unit tests for the gadget-based counterexample engine."""
+
+import pytest
+
+from repro.core.counterexample import (
+    find_key_violation,
+    find_round_trip_counterexample,
+    gadget_instances,
+    quick_reject,
+)
+from repro.cq.parser import parse_query
+from repro.mappings import QueryMapping, isomorphism_pair
+from repro.relational import find_isomorphism, parse_schema
+
+
+@pytest.fixture
+def genuine_pair(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    return isomorphism_pair(find_isomorphism(s1, s2))
+
+
+def test_gadget_instances_are_valid(two_relation_schema):
+    gadgets = list(gadget_instances(two_relation_schema))
+    assert len(gadgets) >= 5
+    for gadget in gadgets:
+        assert gadget.satisfies_keys()
+    # First gadget is the empty instance; some are non-empty everywhere.
+    assert gadgets[0].is_empty()
+    assert any(g.all_nonempty() for g in gadgets)
+
+
+def test_no_counterexample_for_genuine_pair(genuine_pair):
+    alpha, beta = genuine_pair
+    assert find_round_trip_counterexample(alpha, beta) is None
+    assert not quick_reject(alpha, beta)
+
+
+def test_counterexample_for_constant_padding():
+    s1, _ = parse_schema("A(a1*: T, a2: U)")
+    s2, _ = parse_schema("M(m1*: T, m2: U)")
+    alpha = QueryMapping(s1, s2, {"M": parse_query("M(X, U:0) :- A(X, Y).")})
+    beta = QueryMapping(s2, s1, {"A": parse_query("A(X, Y) :- M(X, Y).")})
+    found = find_round_trip_counterexample(alpha, beta)
+    assert found is not None
+    assert beta.apply(alpha.apply(found)) != found
+    assert quick_reject(alpha, beta)
+
+
+def test_counterexample_for_cross_join_beta():
+    s1, _ = parse_schema("A(a1*: T, a2: U)")
+    s2, _ = parse_schema("M(m1*: T, m2: U)")
+    alpha = QueryMapping(s1, s2, {"M": parse_query("M(X, Y) :- A(X, Y).")})
+    beta = QueryMapping(
+        s2, s1, {"A": parse_query("A(X, Y2) :- M(X, Y), M(X2, Y2).")}
+    )
+    # The 2-row attribute-specific gadget distinguishes this pair.
+    assert find_round_trip_counterexample(alpha, beta) is not None
+
+
+def test_key_violation_found():
+    s1, _ = parse_schema("A(a1*: T, a2: U)")
+    s2, _ = parse_schema("M(m1*: U, m2: T)")
+    bad = QueryMapping(s1, s2, {"M": parse_query("M(Y, X) :- A(X, Y).")})
+    found = find_key_violation(bad)
+    assert found is not None
+    assert found.satisfies_keys()
+    assert not bad.apply(found).satisfies_keys()
+
+
+def test_key_violation_absent_for_valid(genuine_pair):
+    alpha, _ = genuine_pair
+    assert find_key_violation(alpha) is None

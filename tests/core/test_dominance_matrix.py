@@ -1,0 +1,60 @@
+"""Unit tests for the dominance-preorder matrix over a schema universe."""
+
+import pytest
+
+from repro.core.search import dominance_matrix
+from repro.relational import is_isomorphic, parse_schema
+
+
+@pytest.fixture(scope="module")
+def universe():
+    """Three schemas with a known dominance structure:
+
+    tiny  = R(k*)            — one keyed unary relation
+    mid   = R(k*, a)         — adds a non-key attribute
+    other = R(k*: U)         — different key type, incomparable with tiny
+    """
+    tiny, _ = parse_schema("R(a*: T)")
+    mid, _ = parse_schema("P(x*: T, y: T)")
+    other, _ = parse_schema("Q0(z*: U)")
+    return [tiny, mid, other]
+
+
+@pytest.fixture(scope="module")
+def matrix(universe):
+    return dominance_matrix(universe, max_atoms=2)
+
+
+def test_matrix_reflexive(universe, matrix):
+    for i in range(len(universe)):
+        assert matrix[i][i]
+
+
+def test_matrix_transitive(universe, matrix):
+    n = len(universe)
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                if matrix[i][j] and matrix[j][k]:
+                    assert matrix[i][k]
+
+
+def test_smaller_dominated_by_larger(universe, matrix):
+    # tiny ⪯ mid (embed, project back) but not mid ⪯ tiny.
+    assert matrix[0][1]
+    assert not matrix[1][0]
+
+
+def test_incomparable_types(universe, matrix):
+    # tiny and other share no attribute types: no dominance either way.
+    assert not matrix[0][2]
+    assert not matrix[2][0]
+
+
+def test_mutual_dominance_iff_isomorphic(universe, matrix):
+    n = len(universe)
+    for i in range(n):
+        for j in range(n):
+            if matrix[i][j] and matrix[j][i]:
+                # Theorem 13: mutual dominance = equivalence = isomorphism.
+                assert is_isomorphic(universe[i], universe[j])

@@ -1,0 +1,106 @@
+"""Unit tests for the Theorem 13 decision procedure."""
+
+import pytest
+
+from repro.core import cq_equivalent, decide_equivalence, locate_failure
+from repro.core.certificates import FailureStep
+from repro.errors import SchemaError
+from repro.relational import parse_schema
+from repro.workloads import random_keyed_schema, shuffled_copy
+
+
+def test_isomorphic_schemas_equivalent_with_certificate(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    decision = decide_equivalence(s1, s2)
+    assert decision.equivalent
+    assert decision.certificate is not None
+    assert decision.certificate.verify()
+    assert decision.explanation is None
+    assert "equivalent" in decision.explain()
+
+
+def test_boolean_shortcut(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    assert cq_equivalent(s1, s2)
+    assert cq_equivalent(s1, s1)
+
+
+def test_skip_certificate_construction(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    decision = decide_equivalence(s1, s2, build_certificate=False)
+    assert decision.equivalent and decision.certificate is None
+
+
+def test_relation_count_failure():
+    s1, _ = parse_schema("R(a*: T)")
+    s2, _ = parse_schema("R(a*: T)\nS(b*: T)")
+    decision = decide_equivalence(s1, s2)
+    assert not decision.equivalent
+    assert decision.explanation.step is FailureStep.RELATION_COUNT
+
+
+def test_key_signature_failure():
+    s1, _ = parse_schema("R(a*: T, b: U)")
+    s2, _ = parse_schema("R(a*: U, b: T)")
+    decision = decide_equivalence(s1, s2)
+    assert not decision.equivalent
+    assert decision.explanation.step is FailureStep.KEY_SIGNATURES
+
+
+def test_composite_vs_simple_key_failure():
+    s1, _ = parse_schema("R(a*: T, b*: T)")
+    s2, _ = parse_schema("R(a*: T, b: T)")
+    decision = decide_equivalence(s1, s2)
+    assert not decision.equivalent
+    assert decision.explanation.step is FailureStep.KEY_SIGNATURES
+
+
+def test_nonkey_type_count_failure(non_isomorphic_pair):
+    s1, s2 = non_isomorphic_pair
+    decision = decide_equivalence(s1, s2)
+    assert not decision.equivalent
+    assert decision.explanation.step is FailureStep.NONKEY_TYPE_COUNTS
+
+
+def test_nonkey_placement_failure():
+    """Same key signatures, same global type counts, different placement.
+
+    Distinct key types pin each relation to its partner, and the non-key
+    attributes are swapped between them.
+    """
+    s1, _ = parse_schema("R(k*: K1, x: A)\nS(j*: K2, y: B)")
+    s2, _ = parse_schema("R(k*: K1, x: B)\nS(j*: K2, y: A)")
+    decision = decide_equivalence(s1, s2)
+    assert not decision.equivalent
+    assert decision.explanation.step is FailureStep.NONKEY_PLACEMENT
+
+
+def test_unkeyed_schema_rejected():
+    s1, _ = parse_schema("E(a: T, b: T)")
+    with pytest.raises(SchemaError):
+        decide_equivalence(s1, s1)
+
+
+def test_shuffled_copies_always_equivalent():
+    for seed in range(8):
+        original = random_keyed_schema(seed, ["A", "B", "C"], n_relations=3)
+        copy = shuffled_copy(original, seed=seed + 50)
+        assert cq_equivalent(original, copy)
+
+
+def test_locate_failure_precondition_order():
+    """locate_failure reports the *first* failing proof step."""
+    s1, _ = parse_schema("R(a*: T, x: U)")
+    s2, _ = parse_schema("R(a*: U, x: U)\nS(b*: T)")
+    explanation = locate_failure(s1, s2)
+    assert explanation.step is FailureStep.RELATION_COUNT
+
+
+def test_certificate_dominance_pairs_have_right_schemas(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    decision = decide_equivalence(s1, s2)
+    certificate = decision.certificate
+    assert certificate.forward.dominated == s1
+    assert certificate.forward.dominating == s2
+    assert certificate.backward.dominated == s2
+    assert certificate.backward.dominating == s1

@@ -1,0 +1,74 @@
+"""Unit tests for the unkeyed (Hull 1986) equivalence API."""
+
+import pytest
+
+from repro.core.hull import (
+    hull_dominance_pair,
+    hull_equivalent,
+    hull_witness,
+    search_unkeyed_dominance,
+)
+from repro.errors import SchemaError
+from repro.relational import parse_schema
+
+
+def unkeyed(text):
+    schema, _ = parse_schema(text)
+    return schema
+
+
+def test_renamed_unkeyed_schemas_equivalent():
+    s1 = unkeyed("E(src: N, dst: N)")
+    s2 = unkeyed("Edge(a: N, b: N)")
+    assert hull_equivalent(s1, s2)
+    witness = hull_witness(s1, s2)
+    assert witness is not None and witness.verify()
+
+
+def test_arity_difference_inequivalent():
+    s1 = unkeyed("E(src: N, dst: N)")
+    s2 = unkeyed("E(src: N, dst: N, w: N)")
+    assert not hull_equivalent(s1, s2)
+    assert hull_witness(s1, s2) is None
+    assert hull_dominance_pair(s1, s2) is None
+
+
+def test_keyed_schemas_rejected():
+    keyed, _ = parse_schema("R(a*: T)")
+    with pytest.raises(SchemaError):
+        hull_equivalent(keyed, keyed)
+
+
+def test_dominance_pair_verifies():
+    s1 = unkeyed("E(src: N, dst: N)")
+    s2 = unkeyed("Edge(a: N, b: N)")
+    pair = hull_dominance_pair(s1, s2)
+    assert pair is not None
+    assert pair.holds()
+
+
+def test_search_finds_witness_for_renaming():
+    s1 = unkeyed("E(src: N, dst: N)")
+    s2 = unkeyed("Edge(a: N, b: N)")
+    result = search_unkeyed_dominance(s1, s2, max_atoms=1)
+    assert result.found
+    assert result.pair.holds()
+
+
+def test_search_hull_negative_side():
+    """Hull's theorem, empirically: non-isomorphic unkeyed schemas admit no
+    equivalence witnesses within the bounds (both directions checked)."""
+    s1 = unkeyed("E(src: N, dst: N)")
+    s2 = unkeyed("P(x: N)")
+    forward = search_unkeyed_dominance(s1, s2, max_atoms=2)
+    assert not forward.found
+
+
+def test_unkeyed_mappings_need_no_validity_filter():
+    """Every enumerated unkeyed candidate pair reaches the exact check."""
+    s1 = unkeyed("P(x: N)")
+    s2 = unkeyed("Q0(y: N)")
+    result = search_unkeyed_dominance(s1, s2, max_atoms=1)
+    assert result.found
+    assert result.stats.pairs_gadget_rejected == 0
+    assert result.stats.exact_checks == result.stats.pairs_tried

@@ -1,0 +1,161 @@
+"""Unit tests for the executable lemma checks."""
+
+import pytest
+
+from repro.core.lemmas import (
+    check_all,
+    check_lemma1,
+    check_lemma2,
+    check_lemma3,
+    check_lemma4,
+    check_lemma5,
+    check_lemma7,
+    check_lemma8,
+    check_lemma10,
+    check_lemma11,
+    check_lemma12,
+    check_theorem9,
+)
+from repro.cq.parser import parse_query
+from repro.mappings import QueryMapping, isomorphism_pair, kappa_construction
+from repro.relational import (
+    find_isomorphism,
+    parse_schema,
+    random_instance,
+    relation,
+    schema,
+)
+
+
+@pytest.fixture
+def genuine_pair(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    return isomorphism_pair(find_isomorphism(s1, s2))
+
+
+@pytest.fixture
+def rr_schema():
+    return schema(
+        relation("R", [("a", "T"), ("b", "T")], key=["a"]),
+        relation("P", [("x", "T"), ("y", "T")], key=["x"]),
+    )
+
+
+def test_lemma1_on_paper_example(rr_schema):
+    q = parse_query(
+        "Q(X, Y) :- R(X, Y), R(A, B), R(C, D), X = A, X = C, Y = B, Y = D."
+    )
+    instances = [random_instance(rr_schema, rows_per_relation=5, seed=s) for s in range(3)]
+    check = check_lemma1(q, rr_schema, instances)
+    assert check.holds, check.detail
+    assert bool(check)
+
+
+def test_lemma1_premise_failure_reported(rr_schema):
+    q = parse_query("Q(X, Y) :- R(X, Y), R(A, B).")
+    check = check_lemma1(q, rr_schema, ())
+    assert not check.holds
+    assert "premise" in check.detail
+
+
+def test_lemma2_on_identity_join_query(rr_schema):
+    q = parse_query("Q(X, A) :- R(X, Y), R(A, B), P(C, D), X = A.")
+    instances = [random_instance(rr_schema, rows_per_relation=5, seed=s) for s in range(3)]
+    check = check_lemma2(q, rr_schema, instances)
+    assert check.holds, check.detail
+
+
+def test_lemma2_premise_failure(rr_schema):
+    q = parse_query("Q(X) :- R(X, Y), X = Y.")
+    assert not check_lemma2(q, rr_schema, ()).holds
+
+
+def test_lemmas_3_to_5_on_genuine_pair(genuine_pair):
+    alpha, beta = genuine_pair
+    assert check_lemma3(alpha, beta).holds
+    assert check_lemma4(alpha, beta).holds
+    assert check_lemma5(alpha, beta).holds
+
+
+def test_lemma3_violation_detected():
+    """α drops a₂ entirely: it is received by nothing, Lemma 3 fails."""
+    s1, _ = parse_schema("A(a1*: T, a2: U)")
+    s2, _ = parse_schema("M(m1*: T, m2: U)")
+    alpha = QueryMapping(s1, s2, {"M": parse_query("M(X, U:0) :- A(X, Y).")})
+    beta = QueryMapping(s2, s1, {"A": parse_query("A(X, Y) :- M(X, Y).")})
+    assert not check_lemma3(alpha, beta).holds
+
+
+def test_lemma4_violation_detected():
+    """β reads M.m2 into a2 but α never writes a2 into m2."""
+    s1, _ = parse_schema("A(a1*: T, a2: U)")
+    s2, _ = parse_schema("M(m1*: T, m2: U)")
+    alpha = QueryMapping(s1, s2, {"M": parse_query("M(X, U:0) :- A(X, Y).")})
+    beta = QueryMapping(s2, s1, {"A": parse_query("A(X, Y) :- M(X, Y).")})
+    assert not check_lemma4(alpha, beta).holds
+
+
+def test_lemma5_violation_detected():
+    """m2 receives a2 under α, but β reads m2 back *only* into a1."""
+    s1, _ = parse_schema("A(a1*: T, a2: T)")
+    s2, _ = parse_schema("M(m1*: T, m2: T)")
+    alpha = QueryMapping(s1, s2, {"M": parse_query("M(X, Y) :- A(X, Y).")})
+    beta = QueryMapping(s2, s1, {"A": parse_query("A(Y, X) :- M(X, Y).")})
+    assert not check_lemma5(alpha, beta).holds
+
+
+def test_lemma7_on_key_copying_pair():
+    """α copies the key into a non-key column; Lemma 7 must hold."""
+    s1, _ = parse_schema("A(k*: K, v: V)")
+    s2, _ = parse_schema("M(m*: K, c: K, v: V)")
+    alpha = QueryMapping(s1, s2, {"M": parse_query("M(X, X, Y) :- A(X, Y).")})
+    beta = QueryMapping(s2, s1, {"A": parse_query("A(C, Y) :- M(X, C, Y).")})
+    check = check_lemma7(alpha, beta)
+    assert check.holds, check.detail
+    assert "1 (B, K) pairs" in check.detail
+
+
+def test_lemma7_no_applicable_pairs(genuine_pair):
+    alpha, beta = genuine_pair
+    check = check_lemma7(alpha, beta)
+    assert check.holds
+
+
+def test_lemmas_10_to_12_on_genuine_pair(genuine_pair):
+    alpha, beta = genuine_pair
+    assert check_lemma10(alpha, beta).holds
+    assert check_lemma11(alpha, beta).holds
+    assert check_lemma12(alpha, beta).holds
+
+
+def test_lemma10_violation_detected():
+    """Two S₁ attributes both read the same S₂ attribute under β."""
+    s1, _ = parse_schema("A(a1*: T, a2: T)")
+    s2, _ = parse_schema("M(m1*: T, m2: T)")
+    alpha = QueryMapping(s1, s2, {"M": parse_query("M(X, Y) :- A(X, Y).")})
+    beta = QueryMapping(s2, s1, {"A": parse_query("A(X, X) :- M(X, Y).")})
+    assert not check_lemma10(alpha, beta).holds
+
+
+def test_lemma11_not_applicable_when_type_counts_differ():
+    s1, _ = parse_schema("A(a1*: T)")
+    s2, _ = parse_schema("M(m1*: T, m2: T)")
+    alpha = QueryMapping(s1, s2, {"M": parse_query("M(X, X) :- A(X).")})
+    beta = QueryMapping(s2, s1, {"A": parse_query("A(X) :- M(X, Y).")})
+    check = check_lemma11(alpha, beta)
+    assert check.holds and "not applicable" in check.detail
+
+
+def test_theorem9_and_lemma8_on_genuine_pair(genuine_pair):
+    alpha, beta = genuine_pair
+    assert check_theorem9(alpha, beta).holds
+    construction = kappa_construction(alpha, beta)
+    assert check_lemma8(construction).holds
+
+
+def test_check_all_passes_on_genuine_pair(genuine_pair):
+    alpha, beta = genuine_pair
+    checks = check_all(alpha, beta)
+    assert len(checks) == 9
+    failing = [c for c in checks if not c.holds]
+    assert not failing, failing

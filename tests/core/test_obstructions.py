@@ -1,0 +1,91 @@
+"""Unit tests for the lemma-based dominance obstructions."""
+
+import pytest
+
+from repro.core.obstructions import (
+    Obstruction,
+    dominance_obstructions,
+    dominance_possible,
+)
+from repro.core.search import search_dominance
+from repro.relational import parse_schema
+from repro.workloads import random_keyed_schema, shuffled_copy
+
+
+def kinds(obstructions):
+    return {o.kind for o in obstructions}
+
+
+def test_no_obstructions_between_isomorphic(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    assert dominance_obstructions(s1, s2) == []
+    assert dominance_possible(s1, s2)
+
+
+def test_type_presence_obstruction():
+    s1, _ = parse_schema("R(a*: T, b: Z)")
+    s2, _ = parse_schema("P(x*: T)")
+    obstructions = dominance_obstructions(s1, s2)
+    assert "type-presence" in kinds(obstructions)
+    assert any("Lemma 3" in o.basis for o in obstructions)
+
+
+def test_type_pigeonhole_obstruction():
+    s1, _ = parse_schema("R(a*: T, b: T, c: T)")
+    s2, _ = parse_schema("P(x*: T, y: T)")
+    obstructions = dominance_obstructions(s1, s2)
+    assert "type-pigeonhole" in kinds(obstructions)
+
+
+def test_key_pigeonhole_obstruction():
+    """Same total type counts, but S1 has more *key* attributes of type T."""
+    s1, _ = parse_schema("R(a*: T, b*: T)")
+    s2, _ = parse_schema("P(x*: T, y: T)")
+    obstructions = dominance_obstructions(s1, s2)
+    assert "key-pigeonhole" in kinds(obstructions)
+
+
+def test_capacity_obstruction_detected():
+    """Two unary keyed relations hold more data than one (same types)."""
+    s1, _ = parse_schema("R(a*: T)\nS(b*: T)")
+    s2, _ = parse_schema("P(x*: T, y: T)")
+    obstructions = dominance_obstructions(s1, s2)
+    assert obstructions  # capacity or pigeonhole must fire
+    # 2^n * 2^n = 4^n instances vs (1+n)^n: S1 wins for n ≥ 3.
+    assert "capacity" in kinds(obstructions) or "key-pigeonhole" in kinds(
+        obstructions
+    )
+
+
+def test_smaller_into_larger_has_no_obstruction():
+    s1, _ = parse_schema("R(a*: T)")
+    s2, _ = parse_schema("P(x*: T, y: T)")
+    assert dominance_possible(s1, s2)
+
+
+def test_obstructions_sound_against_search():
+    """Whenever an obstruction fires, exhaustive bounded search agrees."""
+    cases = [
+        ("R(a*: T, b: T, c: T)", "P(x*: T, y: T)"),
+        ("R(a*: T, b: Z)", "P(x*: T)"),
+        ("R(a*: T, b*: T)", "P(x*: T, y: T)"),
+    ]
+    for text1, text2 in cases:
+        s1, _ = parse_schema(text1)
+        s2, _ = parse_schema(text2)
+        assert dominance_obstructions(s1, s2)
+        result = search_dominance(s1, s2, max_atoms=2)
+        assert not result.found, (text1, text2)
+
+
+def test_obstructions_never_fire_on_shuffled_copies():
+    for seed in range(8):
+        s1 = random_keyed_schema(seed, ["A", "B"], n_relations=2, max_arity=3)
+        s2 = shuffled_copy(s1, seed=seed + 5)
+        assert dominance_possible(s1, s2)
+        assert dominance_possible(s2, s1)
+
+
+def test_obstruction_repr_mentions_basis():
+    o = Obstruction("type-presence", "Lemma 3", "details here")
+    assert "Lemma 3" in repr(o)

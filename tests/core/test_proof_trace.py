@@ -1,0 +1,63 @@
+"""Unit tests for Theorem 13 proof traces."""
+
+from repro.core.equivalence import decide_equivalence
+from repro.core.proof_trace import trace_theorem13
+from repro.relational import parse_schema
+from repro.workloads import random_keyed_schema, shuffled_copy
+
+
+def test_trace_all_steps_pass_for_equivalent(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    trace = trace_theorem13(s1, s2)
+    assert trace.conclusion
+    assert len(trace.steps) == 3
+    assert all(step.holds for step in trace.steps)
+    assert "EQUIVALENT" in trace.render()
+
+
+def test_trace_stops_at_key_step():
+    s1, _ = parse_schema("R(a*: T, b: U)")
+    s2, _ = parse_schema("R(a*: U, b: T)")
+    trace = trace_theorem13(s1, s2)
+    assert not trace.conclusion
+    assert len(trace.steps) == 1
+    assert trace.steps[0].name == "key correspondence"
+    assert "Hull" in trace.steps[0].basis
+
+
+def test_trace_stops_at_counting_step(non_isomorphic_pair):
+    s1, s2 = non_isomorphic_pair
+    trace = trace_theorem13(s1, s2)
+    assert not trace.conclusion
+    assert trace.steps[-1].name == "non-key type counts"
+    assert "Lemma 3" in trace.steps[-1].basis
+
+
+def test_trace_stops_at_placement_step():
+    s1, _ = parse_schema("R(k*: K1, x: A)\nS(j*: K2, y: B)")
+    s2, _ = parse_schema("R(k*: K1, x: B)\nS(j*: K2, y: A)")
+    trace = trace_theorem13(s1, s2)
+    assert not trace.conclusion
+    assert trace.steps[-1].name == "non-key placement"
+    assert "Lemmas 10-12" in trace.steps[-1].basis
+
+
+def test_trace_agrees_with_decision_procedure():
+    pairs = []
+    for seed in range(6):
+        base = random_keyed_schema(seed, ["A", "B"], n_relations=2, max_arity=3)
+        pairs.append((base, shuffled_copy(base, seed=seed + 9)))
+        other = random_keyed_schema(seed + 100, ["A", "B"], n_relations=2, max_arity=3)
+        pairs.append((base, other))
+    for s1, s2 in pairs:
+        trace = trace_theorem13(s1, s2)
+        decision = decide_equivalence(s1, s2, build_certificate=False)
+        assert trace.conclusion == decision.equivalent
+
+
+def test_render_mentions_failing_step():
+    s1, _ = parse_schema("R(a*: T, b: U)")
+    s2, _ = parse_schema("R(a*: U, b: T)")
+    rendered = trace_theorem13(s1, s2).render()
+    assert "✗" in rendered
+    assert "NOT equivalent" in rendered

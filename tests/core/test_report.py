@@ -1,0 +1,40 @@
+"""Unit tests for the reporting helpers."""
+
+import pytest
+
+from repro.core.lemmas import LemmaCheck
+from repro.core.report import Table, format_checks
+
+
+def test_table_renders_aligned():
+    table = Table(["name", "value"], title="Demo")
+    table.add_row("alpha", 1)
+    table.add_row("a-longer-name", 22)
+    rendered = table.render()
+    lines = rendered.splitlines()
+    assert lines[0] == "Demo"
+    assert "name" in lines[2]
+    # All data lines have equal length padding structure.
+    assert "alpha" in rendered and "a-longer-name" in rendered
+
+
+def test_table_rejects_wrong_cell_count():
+    table = Table(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row("only-one")
+
+
+def test_table_without_title():
+    table = Table(["x"])
+    table.add_row(3.5)
+    assert table.render().splitlines()[0].strip() == "x"
+
+
+def test_format_checks():
+    checks = [
+        LemmaCheck("lemma3", True, "fine"),
+        LemmaCheck("lemma4", False, "broken"),
+    ]
+    rendered = format_checks(checks, title="T")
+    assert "lemma3" in rendered and "yes" in rendered
+    assert "NO" in rendered and "broken" in rendered

@@ -1,0 +1,96 @@
+"""Unit tests for the bounded exhaustive search (experiment E1 machinery)."""
+
+import pytest
+
+from repro.core.search import (
+    enumerate_mappings,
+    enumerate_view_queries,
+    search_dominance,
+    search_equivalence,
+    theorem13_scan,
+)
+from repro.cq.typecheck import is_well_typed
+from repro.relational import is_isomorphic, parse_schema, relation, schema
+
+
+@pytest.fixture
+def tiny():
+    s, _ = parse_schema("R(a*: T, b: U)")
+    return s
+
+
+def test_enumerated_queries_are_well_typed(tiny):
+    view = relation("V", [("v1", "T"), ("v2", "U")], key=["v1"])
+    queries = list(enumerate_view_queries(tiny, view, max_atoms=2))
+    assert queries
+    for q in queries:
+        assert is_well_typed(q, tiny)
+        assert q.view_name == "V"
+        assert len(q.body) <= 2
+
+
+def test_enumeration_includes_the_projection(tiny):
+    """The canonical copy view must be among the candidates."""
+    view = relation("V", [("v1", "T"), ("v2", "U")], key=["v1"])
+    queries = list(enumerate_view_queries(tiny, view, max_atoms=1))
+    from repro.cq.parser import parse_query
+    from repro.cq.homomorphism import are_equivalent
+
+    target = parse_query("V(X, Y) :- R(X, Y).")
+    assert any(are_equivalent(q, target, tiny) for q in queries)
+
+
+def test_enumeration_cap(tiny):
+    view = relation("V", [("v1", "T")], key=["v1"])
+    capped = list(enumerate_view_queries(tiny, view, max_atoms=2, max_queries=3))
+    assert len(capped) == 3
+
+
+def test_enumeration_empty_when_untypeable(tiny):
+    """A view needing a type the source lacks has no candidates."""
+    view = relation("V", [("v1", "Z")], key=["v1"])
+    assert list(enumerate_view_queries(tiny, view, max_atoms=2)) == []
+
+
+def test_enumerate_mappings_cross_product(tiny):
+    target, _ = parse_schema("P(p*: T)\nQ0(q*: U)")
+    mappings = list(enumerate_mappings(tiny, target, max_atoms=1))
+    assert mappings
+    for mapping in mappings:
+        assert set(mapping.queries()) == {"P", "Q0"}
+
+
+def test_search_finds_witness_for_isomorphic():
+    s1, _ = parse_schema("R(a*: T, b: U)")
+    s2, _ = parse_schema("P(x*: T, y: U)")
+    result = search_dominance(s1, s2, max_atoms=1)
+    assert result.found
+    assert result.pair.holds()
+    assert result.stats.exact_checks >= 1
+
+
+def test_search_fails_for_incompatible_types():
+    s1, _ = parse_schema("R(a*: T, b: U)")
+    s2, _ = parse_schema("P(x*: T, y: T)")
+    result = search_equivalence(s1, s2, max_atoms=2)
+    assert not result.found
+
+
+def test_search_fails_for_lossy_target():
+    """S₂ has fewer attributes: nothing can encode S₁'s non-key column."""
+    s1, _ = parse_schema("R(a*: T, b: U)")
+    s2, _ = parse_schema("P(x*: T)")
+    result = search_equivalence(s1, s2, max_atoms=2)
+    assert not result.found
+
+
+def test_theorem13_scan_consistency():
+    schemas = [
+        parse_schema("R(a*: T)")[0],
+        parse_schema("P(x*: T)")[0],        # isomorphic to the first
+        parse_schema("R(a*: T, b: T)")[0],  # not isomorphic
+    ]
+    rows = theorem13_scan(schemas, max_atoms=1)
+    assert len(rows) == 6  # unordered pairs incl. self-pairs
+    assert all(row.consistent_with_theorem13 for row in rows)
+    assert any(row.isomorphic and row.index1 != row.index2 for row in rows)

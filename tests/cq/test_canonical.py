@@ -1,0 +1,99 @@
+"""Unit tests for canonical databases and labelled nulls."""
+
+from repro.cq.canonical import (
+    canonical_database,
+    instantiate_nulls,
+    is_null,
+    null_value,
+)
+from repro.cq.evaluation import evaluate
+from repro.cq.parser import parse_query
+from repro.relational import Value, relation, schema
+
+
+def make_schema():
+    return schema(
+        relation("R", [("a", "T"), ("b", "U")], key=["a"]),
+        relation("S", [("c", "U"), ("d", "T")], key=["c"]),
+    )
+
+
+def test_null_values_are_typed_and_detectable():
+    n = null_value("T", "x")
+    assert n.type_name == "T"
+    assert is_null(n)
+    assert not is_null(Value("T", 1))
+    assert not is_null(Value("T", (1, 2)))
+
+
+def test_canonical_database_one_row_per_atom():
+    s = make_schema()
+    q = parse_query("Q(X) :- R(X, Y), S(C, D).")
+    canonical = canonical_database(q, s)
+    assert canonical is not None
+    assert len(canonical.instance.relation("R")) == 1
+    assert len(canonical.instance.relation("S")) == 1
+
+
+def test_canonical_database_merges_equated_variables():
+    s = make_schema()
+    q = parse_query("Q(X) :- R(X, Y), S(C, D), Y = C.")
+    canonical = canonical_database(q, s)
+    r_row = next(iter(canonical.instance.relation("R")))
+    s_row = next(iter(canonical.instance.relation("S")))
+    assert r_row[1] == s_row[0]
+
+
+def test_canonical_database_keeps_constants():
+    s = make_schema()
+    q = parse_query("Q(X) :- R(X, Y), Y = U:5.")
+    canonical = canonical_database(q, s)
+    row = next(iter(canonical.instance.relation("R")))
+    assert row[1] == Value("U", 5)
+    assert is_null(row[0])
+
+
+def test_canonical_database_head_row():
+    s = make_schema()
+    q = parse_query("Q(U:5, X) :- R(X, Y).")
+    canonical = canonical_database(q, s)
+    assert canonical.head_row[0] == Value("U", 5)
+    assert is_null(canonical.head_row[1])
+
+
+def test_canonical_database_inconsistent_returns_none():
+    s = make_schema()
+    q = parse_query("Q(X) :- R(X, Y), Y = U:1, Y = U:2.")
+    assert canonical_database(q, s) is None
+
+
+def test_query_answers_own_canonical_database():
+    """The defining property: the head row is in q(canonical(q))."""
+    s = make_schema()
+    for text in [
+        "Q(X) :- R(X, Y), S(C, D), Y = C.",
+        "Q(X, D) :- R(X, Y), S(C, D).",
+        "Q(X) :- R(X, Y), Y = U:5.",
+    ]:
+        q = parse_query(text)
+        canonical = canonical_database(q, s)
+        answers = evaluate(q, canonical.instance)
+        assert canonical.head_row in answers.rows
+
+
+def test_instantiate_nulls_distinct_fresh_values():
+    s = make_schema()
+    q = parse_query("Q(X) :- R(X, Y), R(X2, Y2), S(C, D), Y = C.")
+    canonical = canonical_database(q, s)
+    concrete = instantiate_nulls(canonical.instance)
+    assert not any(is_null(v) for v in concrete.values())
+    # Distinct nulls map to distinct values: row counts are preserved.
+    assert concrete.total_rows() == canonical.instance.total_rows()
+
+
+def test_instantiate_nulls_preserves_constants():
+    s = make_schema()
+    q = parse_query("Q(X) :- R(X, Y), Y = U:5.")
+    canonical = canonical_database(q, s)
+    concrete = instantiate_nulls(canonical.instance)
+    assert Value("U", 5) in concrete.values()

@@ -1,0 +1,133 @@
+"""Unit tests for certain answers over incomplete databases."""
+
+import pytest
+
+from repro.cq.canonical import null_value
+from repro.cq.certain import certain_answers, possible_answers
+from repro.cq.chase import egds_of_schema
+from repro.cq.parser import parse_query
+from repro.relational import (
+    DatabaseInstance,
+    InclusionDependency,
+    Value,
+    relation,
+    schema,
+)
+
+
+@pytest.fixture
+def s():
+    return schema(
+        relation("R", [("k", "K"), ("v", "V")], key=["k"]),
+        relation("S", [("x", "K"), ("y", "V")], key=["x"]),
+    )
+
+
+def test_null_free_rows_are_certain(s):
+    table = DatabaseInstance.from_rows(
+        s,
+        {
+            "R": [
+                (Value("K", 1), Value("V", 10)),
+                (Value("K", 2), null_value("V", "n")),
+            ]
+        },
+    )
+    q = parse_query("Q(X, Y) :- R(X, Y).")
+    certain = certain_answers(q, table)
+    assert certain.rows == {(Value("K", 1), Value("V", 10))}
+
+
+def test_possible_includes_null_patterns(s):
+    table = DatabaseInstance.from_rows(
+        s, {"R": [(Value("K", 2), null_value("V", "n"))]}
+    )
+    q = parse_query("Q(X, Y) :- R(X, Y).")
+    possible = possible_answers(q, table)
+    assert len(possible) == 1
+    certain = certain_answers(q, table)
+    assert certain.is_empty()
+
+
+def test_egd_resolution_makes_answers_certain(s):
+    """The key EGD resolves the null to a constant, making the row certain."""
+    table = DatabaseInstance.from_rows(
+        s,
+        {
+            "R": [
+                (Value("K", 1), null_value("V", "n")),
+                (Value("K", 1), Value("V", 7)),
+            ]
+        },
+    )
+    q = parse_query("Q(X, Y) :- R(X, Y).")
+    certain = certain_answers(q, table, egds=egds_of_schema(s))
+    assert certain.rows == {(Value("K", 1), Value("V", 7))}
+
+
+def test_join_through_shared_null(s):
+    """A join matching on the SAME null is certain (the null denotes one
+    value in every completion)."""
+    shared = null_value("V", "shared")
+    table = DatabaseInstance.from_rows(
+        s,
+        {
+            "R": [(Value("K", 1), shared)],
+            "S": [(Value("K", 9), shared)],
+        },
+    )
+    q = parse_query("Q(X, X2) :- R(X, Y), S(X2, Y2), Y = Y2.")
+    certain = certain_answers(q, table)
+    assert certain.rows == {(Value("K", 1), Value("K", 9))}
+
+
+def test_join_through_distinct_nulls_not_certain(s):
+    table = DatabaseInstance.from_rows(
+        s,
+        {
+            "R": [(Value("K", 1), null_value("V", "a"))],
+            "S": [(Value("K", 9), null_value("V", "b"))],
+        },
+    )
+    q = parse_query("Q(X, X2) :- R(X, Y), S(X2, Y2), Y = Y2.")
+    certain = certain_answers(q, table)
+    assert certain.is_empty()
+
+
+def test_inconsistent_table_returns_none(s):
+    table = DatabaseInstance.from_rows(
+        s,
+        {
+            "R": [
+                (Value("K", 1), Value("V", 7)),
+                (Value("K", 1), Value("V", 8)),
+            ]
+        },
+    )
+    q = parse_query("Q(X) :- R(X, Y).")
+    assert certain_answers(q, table, egds=egds_of_schema(s)) is None
+    assert possible_answers(q, table, egds=egds_of_schema(s)) is None
+
+
+def test_tgd_completion_contributes_certain_joins(s):
+    """An inclusion dependency materialises the S-witness; the join on the
+    shared key column is then certain even though S's y is unknown."""
+    inc = InclusionDependency("R", ["k"], "S", ["x"])
+    table = DatabaseInstance.from_rows(
+        s, {"R": [(Value("K", 1), Value("V", 10))]}
+    )
+    q = parse_query("Q(X) :- R(X, Y), S(X2, Y2), X = X2.")
+    certain = certain_answers(
+        q, table, egds=egds_of_schema(s), inclusions=[inc]
+    )
+    assert certain.rows == {(Value("K", 1),)}
+
+
+def test_view_schema_respected(s):
+    view = relation("V", [("k", "K")])
+    table = DatabaseInstance.from_rows(
+        s, {"R": [(Value("K", 1), Value("V", 10))]}
+    )
+    q = parse_query("V(X) :- R(X, Y).")
+    certain = certain_answers(q, table, view_schema=view)
+    assert certain.schema is view

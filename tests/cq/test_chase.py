@@ -1,0 +1,215 @@
+"""Unit tests for the chase (EGDs and inclusion-dependency TGDs)."""
+
+import pytest
+
+from repro.cq.canonical import is_null, null_value
+from repro.cq.chase import (
+    FDEgd,
+    chase,
+    chase_egds,
+    egd_of_fd,
+    egd_of_key,
+    egds_of_schema,
+    satisfies_egds,
+    weakly_acyclic,
+)
+from repro.errors import ChaseError, ChaseFailure, DependencyError
+from repro.relational import (
+    DatabaseInstance,
+    FunctionalDependency,
+    InclusionDependency,
+    KeyDependency,
+    Value,
+    relation,
+    schema,
+)
+
+
+@pytest.fixture
+def s():
+    return schema(
+        relation("R", [("a", "T"), ("b", "U"), ("c", "U")], key=["a"]),
+        relation("S", [("x", "T"), ("y", "U")], key=["x"]),
+    )
+
+
+def r_row(a, b, c):
+    return (Value("T", a), Value("U", b), Value("U", c))
+
+
+def test_egd_of_key_positions(s):
+    egd = egd_of_key(s, KeyDependency("R", ["a"]))
+    assert egd == FDEgd("R", (0,), (1, 2))
+
+
+def test_egds_of_schema(s):
+    egds = egds_of_schema(s)
+    assert {e.relation for e in egds} == {"R", "S"}
+
+
+def test_egd_of_fd(s):
+    fd = FunctionalDependency.of_relation(s.relation("R"), ["b"], ["c"])
+    egd = egd_of_fd(s, fd)
+    assert egd == FDEgd("R", (1,), (2,))
+
+
+def test_egd_of_cross_relation_fd_rejected(s):
+    fd = FunctionalDependency(
+        [s.relation("R").qualify("a")], [s.relation("S").qualify("y")]
+    )
+    with pytest.raises(DependencyError):
+        egd_of_fd(s, fd)
+
+
+def test_chase_merges_nulls(s):
+    n1, n2 = null_value("U", "n1"), null_value("U", "n2")
+    inst = DatabaseInstance.from_rows(
+        s,
+        {"R": [(Value("T", 1), n1, n1), (Value("T", 1), n2, Value("U", 9))]},
+    )
+    result = chase_egds(inst, egds_of_schema(s))
+    assert len(result.instance.relation("R")) == 1
+    row = next(iter(result.instance.relation("R")))
+    # c merged with the constant 9, and b's nulls merged together with it.
+    assert row[2] == Value("U", 9)
+    assert result.rename(n1) == result.rename(n2)
+
+
+def test_chase_null_resolves_to_constant(s):
+    n = null_value("U", "n")
+    inst = DatabaseInstance.from_rows(
+        s, {"R": [r_row(1, 5, 7), (Value("T", 1), n, Value("U", 7))]}
+    )
+    result = chase_egds(inst, egds_of_schema(s))
+    assert result.rename(n) == Value("U", 5)
+    assert satisfies_egds(result.instance, egds_of_schema(s))
+
+
+def test_chase_failure_on_distinct_constants(s):
+    inst = DatabaseInstance.from_rows(
+        s, {"R": [r_row(1, 5, 7), r_row(1, 6, 7)]}
+    )
+    with pytest.raises(ChaseFailure):
+        chase_egds(inst, egds_of_schema(s))
+
+
+def test_chase_fixpoint_cascades(s):
+    # Equating b-nulls forces a second round through the FD b -> c.
+    fd_egd = FDEgd("R", (1,), (2,))
+    n1, n2, m1, m2 = (
+        null_value("U", "n1"),
+        null_value("U", "n2"),
+        null_value("U", "m1"),
+        null_value("U", "m2"),
+    )
+    inst = DatabaseInstance.from_rows(
+        s,
+        {
+            "R": [
+                (Value("T", 1), n1, m1),
+                (Value("T", 1), n2, m2),
+                (Value("T", 2), n2, Value("U", 42)),
+            ]
+        },
+    )
+    result = chase_egds(inst, list(egds_of_schema(s)) + [fd_egd])
+    assert result.rename(m1) == Value("U", 42)
+    assert result.rename(m2) == Value("U", 42)
+
+
+def test_chase_no_violations_is_identity(s):
+    inst = DatabaseInstance.from_rows(s, {"R": [r_row(1, 5, 7), r_row(2, 5, 7)]})
+    result = chase_egds(inst, egds_of_schema(s))
+    assert result.instance == inst
+    assert result.egd_rounds == 0
+
+
+def test_weak_acyclicity_accepts_paper_inclusions():
+    from repro.workloads import paper_schema_1
+
+    s1, incs = paper_schema_1()
+    assert weakly_acyclic(s1, incs)
+
+
+def test_weak_acyclicity_rejects_growing_cycle():
+    s2 = schema(relation("R", [("a", "T"), ("b", "T")], key=["a"]))
+    # R[b] ⊆ R[a]: each new b must appear as some a, generating fresh b's.
+    inc = InclusionDependency("R", ["b"], "R", ["a"])
+    assert not weakly_acyclic(s2, [inc])
+
+
+def test_chase_raises_on_non_weakly_acyclic():
+    s2 = schema(relation("R", [("a", "T"), ("b", "T")], key=["a"]))
+    inc = InclusionDependency("R", ["b"], "R", ["a"])
+    inst = DatabaseInstance.from_rows(
+        s2, {"R": [(Value("T", 1), Value("T", 2))]}
+    )
+    with pytest.raises(ChaseError):
+        chase(inst, inclusions=[inc])
+
+
+def test_chase_tgd_adds_witness_tuples(s):
+    inc = InclusionDependency("R", ["a"], "S", ["x"])
+    inst = DatabaseInstance.from_rows(s, {"R": [r_row(1, 5, 7)]})
+    result = chase(inst, egds=egds_of_schema(s), inclusions=[inc])
+    assert len(result.instance.relation("S")) == 1
+    srow = next(iter(result.instance.relation("S")))
+    assert srow[0] == Value("T", 1)
+    assert is_null(srow[1])
+    assert result.tgd_steps == 1
+
+
+def test_chase_tgd_respects_existing_witness(s):
+    inc = InclusionDependency("R", ["a"], "S", ["x"])
+    inst = DatabaseInstance.from_rows(
+        s,
+        {"R": [r_row(1, 5, 7)], "S": [(Value("T", 1), Value("U", 2))]},
+    )
+    result = chase(inst, egds=egds_of_schema(s), inclusions=[inc])
+    assert len(result.instance.relation("S")) == 1
+    assert result.tgd_steps == 0
+
+
+def test_chase_interleaves_egds_and_tgds(s):
+    inc = InclusionDependency("R", ["a"], "S", ["x"])
+    n = null_value("U", "n")
+    inst = DatabaseInstance.from_rows(
+        s,
+        {"R": [(Value("T", 1), n, Value("U", 7)), r_row(1, 5, 7)]},
+    )
+    result = chase(inst, egds=egds_of_schema(s), inclusions=[inc])
+    # EGD merged the R rows; TGD added the S witness.
+    assert len(result.instance.relation("R")) == 1
+    assert len(result.instance.relation("S")) == 1
+    assert satisfies_egds(result.instance, egds_of_schema(s))
+    assert inc.satisfied_by(result.instance)
+
+
+def test_naive_chase_agrees_with_indexed(s):
+    """Ablation baseline produces the same fixpoint as the indexed chase."""
+    from repro.cq.chase import chase_egds_naive
+
+    n1, n2 = null_value("U", "x1"), null_value("U", "x2")
+    inst = DatabaseInstance.from_rows(
+        s,
+        {
+            "R": [
+                (Value("T", 1), n1, Value("U", 9)),
+                (Value("T", 1), n2, Value("U", 9)),
+                (Value("T", 2), Value("U", 5), n1),
+            ]
+        },
+    )
+    indexed = chase_egds(inst, egds_of_schema(s))
+    naive = chase_egds_naive(inst, egds_of_schema(s))
+    assert indexed.instance == naive.instance
+
+
+def test_naive_chase_fails_identically(s):
+    from repro.cq.chase import chase_egds_naive
+
+    inst = DatabaseInstance.from_rows(
+        s, {"R": [r_row(1, 5, 7), r_row(1, 6, 7)]}
+    )
+    with pytest.raises(ChaseFailure):
+        chase_egds_naive(inst, egds_of_schema(s))

@@ -1,0 +1,158 @@
+"""Unit tests for query composition by unfolding."""
+
+import pytest
+
+from repro.cq.composition import compose_views, identity_view, unfold
+from repro.cq.equality import equality_structure
+from repro.cq.evaluation import evaluate
+from repro.cq.parser import parse_query
+from repro.errors import MappingError
+from repro.relational import (
+    DatabaseInstance,
+    RelationInstance,
+    Value,
+    random_instance,
+    relation,
+    schema,
+)
+
+
+@pytest.fixture
+def source():
+    return schema(
+        relation("A", [("a1", "T"), ("a2", "U")], key=["a1"]),
+        relation("B", [("b1", "U"), ("b2", "T")], key=["b1"]),
+    )
+
+
+@pytest.fixture
+def mid():
+    return schema(
+        relation("M", [("m1", "T"), ("m2", "U")], key=["m1"]),
+        relation("N", [("n1", "U")], key=["n1"]),
+    )
+
+
+@pytest.fixture
+def views(source):
+    """Views defining the mid schema over the source schema."""
+    return {
+        "M": parse_query("M(X, Y) :- A(X, Y)."),
+        "N": parse_query("N(Y) :- B(Y, Z)."),
+    }
+
+
+def apply_views(views, mid, instance):
+    from repro.cq.evaluation import evaluate
+
+    return DatabaseInstance(
+        mid,
+        {
+            name: evaluate(q, instance, mid.relation(name))
+            for name, q in views.items()
+        },
+    )
+
+
+def test_unfold_agrees_with_pointwise_composition(source, mid, views):
+    outer = parse_query("Q(X) :- M(X, Y), N(Y2), Y = Y2.")
+    composed = unfold(outer, views)
+    # Composed query references only source relations.
+    assert set(composed.body_relations()) <= {"A", "B"}
+    for seed in range(4):
+        d = random_instance(source, rows_per_relation=6, seed=seed)
+        direct = evaluate(composed, d)
+        via_mid = evaluate(outer, apply_views(views, mid, d))
+        assert direct.rows == via_mid.rows
+
+
+def test_unfold_missing_view_raises(views):
+    outer = parse_query("Q(X) :- Unknown(X).")
+    with pytest.raises(MappingError):
+        unfold(outer, views)
+
+
+def test_unfold_arity_mismatch_raises(views):
+    outer = parse_query("Q(X) :- M(X).")
+    with pytest.raises(MappingError):
+        unfold(outer, views)
+
+
+def test_unfold_with_view_constants(source, mid):
+    views = {
+        "M": parse_query("M(X, U:5) :- A(X, Y)."),
+        "N": parse_query("N(Y) :- B(Y, Z)."),
+    }
+    outer = parse_query("Q(X, Y) :- M(X, Y).")
+    composed = unfold(outer, views)
+    for seed in range(3):
+        d = random_instance(source, rows_per_relation=4, seed=seed)
+        assert (
+            evaluate(composed, d).rows
+            == evaluate(outer, apply_views(views, mid, d)).rows
+        )
+
+
+def test_unfold_constant_clash_is_unsatisfiable(source, mid):
+    """Equating two view columns that export different constants."""
+    views = {
+        "M": parse_query("M(X, U:5) :- A(X, Y)."),
+        "N": parse_query("N(U:6) :- B(Y, Z).").with_head(
+            parse_query("N(U:6) :- B(Y, Z).").head
+        ),
+    }
+    outer = parse_query("Q(Y) :- M(X, Y), N(Y2), Y = Y2.")
+    composed = unfold(outer, views)
+    structure = equality_structure(composed)
+    assert structure.inconsistent
+    for seed in range(2):
+        d = random_instance(source, rows_per_relation=4, seed=seed)
+        assert evaluate(composed, d).is_empty()
+
+
+def test_unfold_repeated_outer_atom(source, mid, views):
+    outer = parse_query("Q(X, X2) :- M(X, Y), M(X2, Y2), Y = Y2.")
+    composed = unfold(outer, views)
+    for seed in range(3):
+        d = random_instance(source, rows_per_relation=5, seed=seed)
+        assert (
+            evaluate(composed, d).rows
+            == evaluate(outer, apply_views(views, mid, d)).rows
+        )
+
+
+def test_unfold_head_constants_pass_through(source, mid, views):
+    outer = parse_query("Q(T:9, X) :- M(X, Y).")
+    composed = unfold(outer, views)
+    d = random_instance(source, rows_per_relation=4, seed=1)
+    assert (
+        evaluate(composed, d).rows
+        == evaluate(outer, apply_views(views, mid, d)).rows
+    )
+
+
+def test_compose_views_family(source, mid, views):
+    outer_views = {
+        "A2": parse_query("A2(X) :- M(X, Y), N(Y2), Y = Y2."),
+    }
+    composed = compose_views(outer_views, views)
+    assert set(composed) == {"A2"}
+    assert set(composed["A2"].body_relations()) <= {"A", "B"}
+
+
+def test_identity_view_shape():
+    q = identity_view("R", 3)
+    assert q.view_name == "R"
+    assert q.body_relations() == ("R",)
+    assert q.head.terms == q.body[0].terms
+
+
+def test_unfold_identity_is_identity(source, views, mid):
+    for name, view in views.items():
+        rel = mid.relation(name)
+        composed = unfold(identity_view(name, rel.arity), views)
+        d = random_instance(source, rows_per_relation=4, seed=2)
+        assert (
+            evaluate(composed, d).rows
+            == evaluate(view, d).rows
+        )

@@ -1,0 +1,93 @@
+"""Unit tests for CQ containment/equivalence under dependencies."""
+
+import pytest
+
+from repro.cq.containment_deps import (
+    are_equivalent_under,
+    are_equivalent_under_keys,
+    chased_canonical,
+    is_contained_under,
+    is_contained_under_keys,
+)
+from repro.cq.chase import egds_of_schema
+from repro.cq.homomorphism import are_equivalent, is_contained_in
+from repro.cq.parser import parse_query
+from repro.relational import InclusionDependency, relation, schema
+
+
+@pytest.fixture
+def s():
+    return schema(
+        relation("R", [("a", "T"), ("b", "U")], key=["a"]),
+        relation("S", [("x", "T"), ("y", "U")], key=["x"]),
+    )
+
+
+def test_key_makes_self_join_collapse(s):
+    """R(X,Y), R(X2,Y2) with X=X2: under the key, Y=Y2 is forced."""
+    joined = parse_query("Q(Y, Y2) :- R(X, Y), R(X2, Y2), X = X2.")
+    diagonal = parse_query("Q(Y, Y) :- R(X, Y).")
+    # Without keys the queries differ...
+    assert not are_equivalent(joined, diagonal, s)
+    # ...with keys they coincide.
+    assert are_equivalent_under_keys(joined, diagonal, s)
+
+
+def test_containment_under_keys_strictly_weaker(s):
+    pairs = parse_query("Q(Y, Y2) :- R(X, Y), R(X2, Y2), X = X2.")
+    diagonal = parse_query("Q(Y, Y) :- R(X, Y).")
+    # Plain containment: the key-sharing pair query is not contained in the
+    # diagonal (nothing forces Y = Y2 without the key)...
+    assert not is_contained_in(pairs, diagonal, s)
+    # ...but the key of R forces it.
+    assert is_contained_under_keys(pairs, diagonal, s)
+    assert are_equivalent_under_keys(pairs, diagonal, s)
+
+
+def test_plain_containment_implies_containment_under_deps(s):
+    q1 = parse_query("Q(X) :- R(X, Y), S(C, D), Y = D.")
+    q2 = parse_query("Q(X) :- R(X, Y).")
+    assert is_contained_in(q1, q2, s)
+    assert is_contained_under_keys(q1, q2, s)
+
+
+def test_unsatisfiable_under_deps_contained_in_everything(s):
+    # Two R-tuples forced to share a key but differ on b via constants.
+    q1 = parse_query(
+        "Q(X) :- R(X, Y), R(X2, Y2), X = X2, Y = U:1, Y2 = U:2."
+    )
+    q2 = parse_query("Q(X) :- R(X, Y), Y = U:99.")
+    assert chased_canonical(q1, s, egds_of_schema(s)) is None
+    assert is_contained_under_keys(q1, q2, s)
+    # Without the key it is satisfiable, so containment fails.
+    assert not is_contained_in(q1, q2, s)
+
+
+def test_inconsistent_q2_contains_nothing_satisfiable(s):
+    q1 = parse_query("Q(X) :- R(X, Y).")
+    bottom = parse_query("Q(X) :- R(X, Y), Y = U:1, Y = U:2.")
+    assert not is_contained_under_keys(q1, bottom, s)
+
+
+def test_containment_under_inclusions(s):
+    """R[a] ⊆ S[x] lets an S-atom be inferred from an R-atom."""
+    inc = InclusionDependency("R", ["a"], "S", ["x"])
+    q1 = parse_query("Q(X) :- R(X, Y).")
+    q2 = parse_query("Q(X) :- R(X, Y), S(X2, Y2), X = X2.")
+    egds = egds_of_schema(s)
+    assert not is_contained_in(q1, q2, s)
+    assert is_contained_under(q1, q2, s, egds, [inc])
+    assert are_equivalent_under(q1, q2, s, egds, [inc])
+
+
+def test_chased_canonical_renames_head(s):
+    q = parse_query("Q(Y, Y2) :- R(X, Y), R(X2, Y2), X = X2.")
+    chased = chased_canonical(q, s, egds_of_schema(s))
+    assert chased is not None
+    assert chased.head_row[0] == chased.head_row[1]
+
+
+def test_equivalence_under_no_deps_is_plain_equivalence(s):
+    q1 = parse_query("Q(X) :- R(X, Y).")
+    q2 = parse_query("Q(X) :- R(X, Y), R(A, B).")
+    assert are_equivalent_under(q1, q2, s, ()) == are_equivalent(q1, q2, s)

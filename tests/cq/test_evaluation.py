@@ -1,0 +1,144 @@
+"""Unit tests for query evaluation (hash-join and naive reference)."""
+
+import pytest
+
+from repro.cq.evaluation import evaluate, evaluate_naive, synthesize_view_schema
+from repro.cq.parser import parse_query
+from repro.relational import DatabaseInstance, Value, random_instance, relation, schema
+
+
+@pytest.fixture
+def s():
+    return schema(
+        relation("R", [("a", "T"), ("b", "U")], key=["a"]),
+        relation("S", [("c", "U"), ("d", "T")], key=["c"]),
+    )
+
+
+@pytest.fixture
+def inst(s):
+    return DatabaseInstance.from_rows(
+        s,
+        {
+            "R": [
+                (Value("T", 1), Value("U", 10)),
+                (Value("T", 2), Value("U", 20)),
+                (Value("T", 3), Value("U", 10)),
+            ],
+            "S": [
+                (Value("U", 10), Value("T", 7)),
+                (Value("U", 30), Value("T", 8)),
+            ],
+        },
+    )
+
+
+def both(q, inst):
+    a = evaluate(q, inst)
+    b = evaluate_naive(q, inst)
+    assert a.rows == b.rows
+    return a
+
+
+def test_projection(inst):
+    q = parse_query("Q(X) :- R(X, Y).")
+    result = both(q, inst)
+    assert result.rows == {
+        (Value("T", 1),),
+        (Value("T", 2),),
+        (Value("T", 3),),
+    }
+
+
+def test_join_via_equality(inst):
+    q = parse_query("Q(X, D) :- R(X, Y), S(C, D), Y = C.")
+    result = both(q, inst)
+    assert result.rows == {
+        (Value("T", 1), Value("T", 7)),
+        (Value("T", 3), Value("T", 7)),
+    }
+
+
+def test_constant_selection(inst):
+    q = parse_query("Q(X) :- R(X, Y), Y = U:10.")
+    result = both(q, inst)
+    assert result.rows == {(Value("T", 1),), (Value("T", 3),)}
+
+
+def test_constant_selection_no_match(inst):
+    q = parse_query("Q(X) :- R(X, Y), Y = U:99.")
+    assert both(q, inst).is_empty()
+
+
+def test_cross_product(inst):
+    q = parse_query("Q(X, C) :- R(X, Y), S(C, D).")
+    assert len(both(q, inst)) == 6
+
+
+def test_head_constant(inst):
+    q = parse_query("Q(U:5, X) :- R(X, Y).")
+    result = both(q, inst)
+    assert all(row[0] == Value("U", 5) for row in result)
+
+
+def test_duplicate_head_variable(inst):
+    q = parse_query("Q(X, X) :- R(X, Y).")
+    result = both(q, inst)
+    assert all(row[0] == row[1] for row in result)
+
+
+def test_self_join_identity(inst):
+    q = parse_query("Q(X, X2) :- R(X, Y), R(X2, Y2), Y = Y2.")
+    result = both(q, inst)
+    # b=10 shared between keys 1 and 3.
+    keys = {(row[0].token, row[1].token) for row in result}
+    assert keys == {(1, 1), (2, 2), (3, 3), (1, 3), (3, 1)}
+
+
+def test_inconsistent_equalities_yield_empty(inst):
+    q = parse_query("Q(X) :- R(X, Y), Y = U:1, Y = U:2.")
+    assert both(q, inst).is_empty()
+
+
+def test_empty_relation_yields_empty(s):
+    q = parse_query("Q(X) :- R(X, Y), S(C, D).")
+    empty = DatabaseInstance(s)
+    assert both(q, empty).is_empty()
+
+
+def test_result_uses_supplied_view_schema(inst, s):
+    view = relation("V", [("t", "T")])
+    q = parse_query("V(X) :- R(X, Y).")
+    result = evaluate(q, inst, view)
+    assert result.schema is view
+
+
+def test_synthesize_view_schema(s):
+    q = parse_query("Q(Y, X) :- R(X, Y).")
+    view = synthesize_view_schema(q, s)
+    assert view.type_signature == ("U", "T")
+    assert view.name == "Q"
+    assert view.key is None
+
+
+def test_agreement_on_random_instances(s):
+    queries = [
+        "Q(X, Y) :- R(X, Y).",
+        "Q(X, D) :- R(X, Y), S(C, D), Y = C.",
+        "Q(X, X2) :- R(X, Y), R(X2, Y2), Y = Y2.",
+        "Q(D) :- S(C, D), R(X, Y), C = Y, X = D.",
+    ]
+    for seed in range(4):
+        inst = random_instance(s, rows_per_relation=7, seed=seed)
+        for text in queries:
+            q = parse_query(text)
+            assert evaluate(q, inst).rows == evaluate_naive(q, inst).rows
+
+
+def test_intra_atom_repeat_after_rewrite(s):
+    # X = D inside the same atom via equalities forces a repeated variable
+    # in the rewritten general form.
+    q = parse_query("Q(C) :- S(C, D), S(C2, D2), C = C2, D = D2.")
+    for seed in range(3):
+        inst = random_instance(s, rows_per_relation=6, seed=seed)
+        assert evaluate(q, inst).rows == evaluate_naive(q, inst).rows

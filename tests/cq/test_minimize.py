@@ -1,0 +1,81 @@
+"""Unit tests for query minimisation (core computation)."""
+
+import pytest
+
+from repro.cq.homomorphism import are_equivalent
+from repro.cq.minimize import body_size, is_minimal, minimize
+from repro.cq.parser import parse_query
+from repro.relational import relation, schema
+from repro.workloads import edge_schema
+
+
+@pytest.fixture
+def s():
+    return schema(
+        relation("R", [("a", "T"), ("b", "U")], key=["a"]),
+        relation("S", [("c", "U"), ("d", "T")], key=["c"]),
+    )
+
+
+def test_redundant_atom_removed(s):
+    q = parse_query("Q(X) :- R(X, Y), R(A, B).")
+    minimized = minimize(q, s)
+    assert body_size(minimized) == 1
+    assert are_equivalent(q, minimized, s)
+
+
+def test_minimal_query_unchanged_in_size(s):
+    q = parse_query("Q(X, C) :- R(X, Y), S(C, D).")
+    assert body_size(minimize(q, s)) == 2
+    assert is_minimal(q, s)
+
+
+def test_join_atom_not_removed(s):
+    q = parse_query("Q(X) :- R(X, Y), S(C, D), Y = C.")
+    minimized = minimize(q, s)
+    assert body_size(minimized) == 2
+
+
+def test_folding_chain():
+    """E(x,y),E(y2,y3) with head x: second atom folds onto the first."""
+    s = edge_schema()
+    q = parse_query("Q(X) :- E(X, Y), E(A, B).")
+    minimized = minimize(q, s)
+    assert body_size(minimized) == 1
+
+
+def test_cycle_with_self_loop_folds():
+    s = edge_schema()
+    # 2-cycle plus a self-loop on the exported node folds to the loop.
+    q = parse_query(
+        "Q(X) :- E(X, X2), E(Y, Z), E(Z2, Y2), X = X2, Y = Y2, Z = Z2, X = Y."
+    )
+    minimized = minimize(q, s)
+    assert body_size(minimized) == 1
+    assert are_equivalent(q, minimized, s)
+
+
+def test_unsatisfiable_returned_unchanged(s):
+    q = parse_query("Q(X) :- R(X, Y), Y = U:1, Y = U:2.")
+    assert minimize(q, s) == q
+    assert not is_minimal(q, s)
+
+
+def test_head_variables_protected(s):
+    """An atom supplying a head variable can never be dropped."""
+    q = parse_query("Q(X, C) :- R(X, Y), S(C, D).")
+    minimized = minimize(q, s)
+    relations = set(minimized.body_relations())
+    assert relations == {"R", "S"}
+
+
+def test_minimize_is_idempotent(s):
+    q = parse_query("Q(X) :- R(X, Y), R(A, B), S(C, D).")
+    once = minimize(q, s)
+    assert minimize(once, s) == once
+
+
+def test_equalities_folded_before_minimisation(s):
+    q = parse_query("Q(X) :- R(X, Y), R(A, B), X = A, Y = B.")
+    minimized = minimize(q, s)
+    assert body_size(minimized) == 1

@@ -1,0 +1,101 @@
+"""Unit tests for the conjunctive query text parser."""
+
+import pytest
+
+from repro.cq.parser import format_query, parse_queries, parse_query
+from repro.cq.syntax import Constant, Variable
+from repro.errors import QuerySyntaxError
+from repro.relational.domain import Value
+
+
+def test_parse_simple_query():
+    q = parse_query("Q(X, Y) :- R(X, Z), S(Z, Y).")
+    assert q.view_name == "Q"
+    assert q.arity == 2
+    assert q.body_relations() == ("R", "S")
+    assert q.equalities == ()
+
+
+def test_parse_equalities():
+    q = parse_query("Q(X) :- R(X, Y), P(A, B), Y = A, B = X.")
+    assert len(q.equalities) == 2
+
+
+def test_parse_integer_constant():
+    q = parse_query("Q(X) :- R(X, Y), Y = Num:42.")
+    left, right = q.equalities[0]
+    assert right == Constant(Value("Num", 42))
+
+
+def test_parse_negative_integer_constant():
+    q = parse_query("Q(X) :- R(X, Y), Y = Num:-3.")
+    assert q.equalities[0][1] == Constant(Value("Num", -3))
+
+
+def test_parse_string_constant():
+    q = parse_query("Q(X) :- R(X, Y), Y = Str:'hello world'.")
+    assert q.equalities[0][1] == Constant(Value("Str", "hello world"))
+
+
+def test_parse_constant_in_head():
+    q = parse_query("Q(Str:'a', X) :- P(X, Y).")
+    assert q.head.terms[0] == Constant(Value("Str", "a"))
+
+
+def test_parse_constant_in_body_position():
+    q = parse_query("Q(X) :- R(X, Num:5).")
+    assert q.body[0].terms[1] == Constant(Value("Num", 5))
+
+
+def test_trailing_period_optional():
+    assert parse_query("Q(X) :- R(X, Y)") == parse_query("Q(X) :- R(X, Y).")
+
+
+def test_paper_example_identity_join():
+    # The paper's §2 example of an identity join.
+    q = parse_query("Q(X, Y, Z) :- R(X, Z), R(Y, T), Z = T.")
+    assert q.body_relations() == ("R", "R")
+    assert q.equalities == ((Variable("Z"), Variable("T")),)
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(QuerySyntaxError):
+        parse_query("Q(X) <- R(X)")
+    with pytest.raises(QuerySyntaxError):
+        parse_query("Q(X) :- R(X,)")
+    with pytest.raises(QuerySyntaxError):
+        parse_query("Q(X) :- R(X) extra")
+    with pytest.raises(QuerySyntaxError):
+        parse_query("Q(X) :-")
+
+
+def test_parse_rejects_unknown_character():
+    with pytest.raises(QuerySyntaxError):
+        parse_query("Q(X) :- R(X & Y)")
+
+
+def test_parse_rejects_head_only_variable():
+    with pytest.raises(QuerySyntaxError):
+        parse_query("Q(W) :- R(X, Y).")
+
+
+def test_parse_queries_multiline_with_comments():
+    queries = parse_queries(
+        """
+        # first
+        Q(X) :- R(X, Y).
+        P(Y) :- R(X, Y).
+        """
+    )
+    assert [q.view_name for q in queries] == ["Q", "P"]
+
+
+def test_format_round_trips():
+    texts = [
+        "Q(X, Y) :- R(X, Z), S(Z, Y), X = Y.",
+        "Q(X) :- R(X, Y), Y = Num:7.",
+        "Q(Str:'a', X) :- P(X, Y).",
+    ]
+    for text in texts:
+        q = parse_query(text)
+        assert parse_query(format_query(q)) == q

@@ -1,0 +1,96 @@
+"""Unit tests for the receives relation (paper §2 attribute flow)."""
+
+import pytest
+
+from repro.cq.parser import parse_query
+from repro.cq.receives import analyze_view, analyze_views
+from repro.errors import TypecheckError
+from repro.relational import QualifiedAttribute, Value, relation, schema
+
+
+@pytest.fixture
+def s():
+    return schema(
+        relation("P", [("p1", "T"), ("p2", "T")], key=["p1"]),
+        relation("Q0", [("q1", "T"), ("q2", "T")], key=["q1"]),
+    )
+
+
+def test_paper_receives_example(s):
+    """R(X,Y,Z) :- P(X,Y), Q(T,Z), Y = T: the second head attribute receives
+    P.p2 and Q.q1 (paper §2)."""
+    q = parse_query("R(X, Y, Z) :- P(X, Y), Q0(T, Z), Y = T.")
+    analysis = analyze_view(q, s)
+    assert analysis.attributes[1] == frozenset(
+        {
+            QualifiedAttribute("P", "p2", "T"),
+            QualifiedAttribute("Q0", "q1", "T"),
+        }
+    )
+    assert analysis.attributes[0] == frozenset({QualifiedAttribute("P", "p1", "T")})
+    assert analysis.attributes[2] == frozenset({QualifiedAttribute("Q0", "q2", "T")})
+
+
+def test_paper_constant_example(s):
+    """R(a,Y,X) :- P(X,Y): the first attribute receives the constant."""
+    q = parse_query("R(T:'a', Y, X) :- P(X, Y).")
+    analysis = analyze_view(q, s)
+    assert analysis.constants[0] == Value("T", "a")
+    assert analysis.attributes[0] == frozenset()
+
+
+def test_constant_via_equality_class(s):
+    q = parse_query("R(X) :- P(X, Y), X = T:7.")
+    analysis = analyze_view(q, s)
+    assert analysis.constants[0] == Value("T", 7)
+    # It still receives the attribute too.
+    assert QualifiedAttribute("P", "p1", "T") in analysis.attributes[0]
+
+
+def test_multiple_occurrences_of_same_relation(s):
+    q = parse_query("R(X) :- P(X, Y), P(A, B), X = A.")
+    analysis = analyze_view(q, s)
+    assert analysis.attributes[0] == frozenset({QualifiedAttribute("P", "p1", "T")})
+
+
+def test_receive_through_join_both_attributes(s):
+    q = parse_query("R(Y) :- P(X, Y), Q0(A, B), Y = B.")
+    analysis = analyze_view(q, s)
+    assert analysis.attributes[0] == frozenset(
+        {QualifiedAttribute("P", "p2", "T"), QualifiedAttribute("Q0", "q2", "T")}
+    )
+
+
+def test_unknown_relation_raises(s):
+    q = parse_query("R(X) :- Z(X).")
+    with pytest.raises(TypecheckError):
+        analyze_view(q, s)
+
+
+def test_mapping_receives(s):
+    target = schema(relation("V", [("v1", "T"), ("v2", "T")], key=["v1"]))
+    views = {"V": parse_query("V(X, Y) :- P(X, Y).")}
+    receives = analyze_views(views, s, target)
+    v1 = QualifiedAttribute("V", "v1", "T")
+    v2 = QualifiedAttribute("V", "v2", "T")
+    p1 = QualifiedAttribute("P", "p1", "T")
+    p2 = QualifiedAttribute("P", "p2", "T")
+    assert receives.receives(v1, p1)
+    assert receives.receives(v2, p2)
+    assert not receives.receives(v1, p2)
+    assert receives.receivers_of(p1) == frozenset({v1})
+    assert receives.sources_received() == frozenset({p1, p2})
+    assert receives.constant_received(v1) is None
+
+
+def test_mapping_receives_missing_view(s):
+    target = schema(relation("V", [("v1", "T")], key=["v1"]))
+    with pytest.raises(TypecheckError):
+        analyze_views({}, s, target)
+
+
+def test_targets_listing(s):
+    target = schema(relation("V", [("v1", "T")], key=["v1"]))
+    views = {"V": parse_query("V(X) :- P(X, Y).")}
+    receives = analyze_views(views, s, target)
+    assert receives.targets() == (QualifiedAttribute("V", "v1", "T"),)

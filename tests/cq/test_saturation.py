@@ -1,0 +1,167 @@
+"""Unit tests for identity joins, ij-saturation, and product queries.
+
+The examples are lifted directly from the paper's §2.
+"""
+
+import pytest
+
+from repro.cq.homomorphism import are_equivalent, is_contained_in
+from repro.cq.parser import parse_query
+from repro.cq.saturation import (
+    ConditionKind,
+    classify_conditions,
+    has_only_identity_joins,
+    is_ij_saturated,
+    is_product_query,
+    lemma2_hat,
+    saturate,
+    to_product_query,
+)
+from repro.errors import QuerySyntaxError
+from repro.relational import relation, schema
+
+
+@pytest.fixture
+def s():
+    return schema(
+        relation("R", [("a", "T"), ("b", "T")], key=["a"]),
+        relation("P", [("x", "T"), ("y", "T")], key=["x"]),
+        relation("Q3", [("u", "T"), ("v", "T"), ("w", "T")], key=["u"]),
+    )
+
+
+def kinds(q):
+    return {c.kind for c in classify_conditions(q)}
+
+
+def test_paper_identity_join_example():
+    """Q(X,Y,Z) :- R(X,Z), R(Y,T), Z = T — an identity join (paper §2)."""
+    q = parse_query("Q(X, Y, Z) :- R(X, Z), R(Y, T), Z = T.")
+    assert kinds(q) == {ConditionKind.IDENTITY_JOIN}
+    assert has_only_identity_joins(q)
+
+
+def test_paper_non_identity_self_join_example():
+    """Q(X,Y,Z) :- R(X,Y,Z), R(T,U,V), Y=T, Z=V — not an identity join."""
+    q = parse_query("Q(X, Y, Z) :- Q3(X, Y, Z), Q3(T, U, V), Y = T, Z = V.")
+    assert ConditionKind.NON_IDENTITY_JOIN in kinds(q)
+    assert not has_only_identity_joins(q)
+
+
+def test_column_selection_detected():
+    q = parse_query("Q(X) :- R(X, Y), X = Y.")
+    assert kinds(q) == {ConditionKind.COLUMN_SELECTION}
+
+
+def test_constant_selection_detected():
+    q = parse_query("Q(X) :- R(X, Y), Y = T:5.")
+    assert ConditionKind.CONSTANT_SELECTION in kinds(q)
+
+
+def test_join_between_different_relations_is_non_identity():
+    q = parse_query("Q(X) :- R(X, Y), P(A, B), Y = A.")
+    assert ConditionKind.NON_IDENTITY_JOIN in kinds(q)
+
+
+def test_paper_saturated_example():
+    """The paper's ij-saturated query with three occurrences of R."""
+    q = parse_query(
+        "Q(X, Y) :- R(X, Y), R(A, B), R(C, D), X = A, X = C, Y = B, Y = D."
+    )
+    assert is_ij_saturated(q)
+
+
+def test_paper_unsaturated_example():
+    """The paper's non-saturated variant: Y = D and B = D not inferable."""
+    q = parse_query(
+        "Q(X, Y) :- R(X, Y), R(A, B), R(C, D), X = A, X = C, A = C, Y = B."
+    )
+    assert not is_ij_saturated(q)
+
+
+def test_pure_cross_product_of_self_is_not_saturated():
+    """A cross product R × R is a degenerate identity join but not saturated."""
+    q = parse_query("Q(X, Y) :- R(X, Y), R(A, B).")
+    assert has_only_identity_joins(q)
+    assert not is_ij_saturated(q)
+
+
+def test_single_occurrence_is_saturated():
+    q = parse_query("Q(X, Y) :- R(X, Y).")
+    assert is_ij_saturated(q)
+
+
+def test_saturate_adds_missing_conditions():
+    """The paper's example: saturating adds Y=D inferred conditions."""
+    q = parse_query(
+        "Q(X, Y) :- R(X, Y), R(A, B), R(C, D), X = A, X = C, A = C, Y = B."
+    )
+    saturated = saturate(q)
+    assert is_ij_saturated(saturated)
+    assert len(saturated.body) == len(q.body)
+
+
+def test_saturate_is_contained_in_original(s):
+    q = parse_query("Q(X, Y) :- R(X, Y), R(A, B), X = A.")
+    saturated = saturate(q)
+    assert is_contained_in(saturated, q, s)
+
+
+def test_saturate_idempotent_on_saturated():
+    q = parse_query("Q(X, Y) :- R(X, Y).")
+    assert saturate(q) == q.paper_form()
+
+
+def test_product_query_detection():
+    assert is_product_query(parse_query("Q(X, Y) :- R(X, Y)."))
+    assert is_product_query(parse_query("Q(X, A) :- R(X, Y), P(A, B)."))
+    assert not is_product_query(parse_query("Q(X, Y) :- R(X, Y), R(A, B)."))
+    assert not is_product_query(parse_query("Q(X) :- R(X, Y), X = Y."))
+
+
+def test_to_product_query_requires_saturation():
+    q = parse_query("Q(X, Y) :- R(X, Y), R(A, B).")
+    with pytest.raises(QuerySyntaxError):
+        to_product_query(q)
+
+
+def test_to_product_query_lemma1(s):
+    """Lemma 1: the product query is equivalent and keeps the relations."""
+    q = parse_query(
+        "Q(X, Y) :- R(X, Y), R(A, B), R(C, D), X = A, X = C, Y = B, Y = D."
+    )
+    product = to_product_query(q)
+    assert is_product_query(product)
+    assert set(product.body_relations()) == {"R"}
+    assert are_equivalent(q, product, s)
+
+
+def test_to_product_query_rewires_head(s):
+    """Head variables from dropped occurrences are rewired to survivors."""
+    q = parse_query("Q(A, B) :- R(X, Y), R(A, B), X = A, Y = B.")
+    product = to_product_query(q)
+    body_vars = {t for a in product.body for t in a.terms}
+    assert all(t in body_vars for t in product.head.terms)
+    assert are_equivalent(q, product, s)
+
+
+def test_lemma2_hat_requires_premise():
+    q = parse_query("Q(X) :- R(X, Y), X = Y.")
+    with pytest.raises(QuerySyntaxError):
+        lemma2_hat(q)
+
+
+def test_lemma2_hat_contained_and_same_relations(s):
+    q = parse_query("Q(X, A) :- R(X, Y), R(A, B), P(C, D).")
+    hat = lemma2_hat(q)
+    assert is_product_query(hat)
+    assert set(hat.body_relations()) == {"R", "P"}
+    assert is_contained_in(hat, q, s)
+
+
+def test_mixed_relations_saturation(s):
+    q = parse_query("Q(X, C) :- R(X, Y), P(C, D), P(E, F), C = E, D = F.")
+    assert is_ij_saturated(q)
+    product = to_product_query(q)
+    assert sorted(product.body_relations()) == ["P", "R"]
+    assert are_equivalent(q, product, s)

@@ -1,0 +1,143 @@
+"""Unit tests for conjunctive query syntax and paper-form normalisation."""
+
+import pytest
+
+from repro.cq.syntax import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Variable,
+    atom,
+    is_constant,
+    is_variable,
+    query,
+)
+from repro.errors import QuerySyntaxError
+from repro.relational.domain import Value
+from repro.utils.fresh import FreshNames
+
+
+def test_atom_builder_coercions():
+    a = atom("R", "X", Value("T", 1), Variable("Y"))
+    assert a.relation == "R"
+    assert a.terms[0] == Variable("X")
+    assert a.terms[1] == Constant(Value("T", 1))
+    assert a.terms[2] == Variable("Y")
+
+
+def test_atom_builder_rejects_garbage():
+    with pytest.raises(QuerySyntaxError):
+        atom("R", 3.14)  # type: ignore[arg-type]
+
+
+def test_is_variable_is_constant():
+    assert is_variable(Variable("X")) and not is_variable(Constant(Value("T", 1)))
+    assert is_constant(Constant(Value("T", 1))) and not is_constant(Variable("X"))
+
+
+def test_query_requires_nonempty_body():
+    with pytest.raises(QuerySyntaxError):
+        ConjunctiveQuery(atom("V", "X"), [])
+
+
+def test_head_variables_must_occur_in_body():
+    with pytest.raises(QuerySyntaxError):
+        ConjunctiveQuery(atom("V", "Z"), [atom("R", "X", "Y")])
+
+
+def test_equality_variables_must_occur_in_body():
+    with pytest.raises(QuerySyntaxError):
+        ConjunctiveQuery(
+            atom("V", "X"), [atom("R", "X", "Y")], [("X", "Z")]
+        )
+
+
+def test_equality_coercion_variable_first():
+    q = ConjunctiveQuery(
+        atom("V", "X"), [atom("R", "X", "Y")], [(Value("T", 1), "Y")]
+    )
+    left, right = q.equalities[0]
+    assert left == Variable("Y") and right == Constant(Value("T", 1))
+
+
+def test_constant_constant_equality_allowed():
+    q = ConjunctiveQuery(
+        atom("V", "X"),
+        [atom("R", "X", "Y")],
+        [(Value("T", 1), Value("T", 2))],
+    )
+    assert len(q.equalities) == 1
+
+
+def test_variables_and_constants_collection():
+    q = ConjunctiveQuery(
+        atom("V", "X", Value("T", 5)),
+        [atom("R", "X", "Y")],
+        [("Y", Value("U", 7))],
+    )
+    assert q.variables() == frozenset({Variable("X"), Variable("Y")})
+    assert q.constants() == frozenset({Value("T", 5), Value("U", 7)})
+
+
+def test_body_relations_with_repetition():
+    q = query(atom("V", "X"), [atom("R", "X", "Y"), atom("R", "A", "B")])
+    assert q.body_relations() == ("R", "R")
+
+
+def test_paper_form_detection():
+    good = query(atom("V", "X"), [atom("R", "X", "Y")])
+    assert good.is_paper_form
+    repeated = query(atom("V", "X"), [atom("R", "X", "X")])
+    assert not repeated.is_paper_form
+    with_const = query(atom("V", "X"), [atom("R", "X", Value("U", 1))])
+    assert not with_const.is_paper_form
+
+
+def test_paper_form_normalisation_repeated_variable():
+    q = query(atom("V", "X"), [atom("R", "X", "X")])
+    paper = q.paper_form()
+    assert paper.is_paper_form
+    # The repeat became a fresh variable plus an equality.
+    assert len(paper.equalities) == 1
+    terms = paper.body[0].terms
+    assert terms[0] != terms[1]
+
+
+def test_paper_form_normalisation_constant():
+    q = query(atom("V", "X"), [atom("R", "X", Value("U", 9))])
+    paper = q.paper_form()
+    assert paper.is_paper_form
+    left, right = paper.equalities[0]
+    assert isinstance(right, Constant) and right.value == Value("U", 9)
+
+
+def test_paper_form_idempotent():
+    q = query(atom("V", "X"), [atom("R", "X", "X")])
+    paper = q.paper_form()
+    assert paper.paper_form() is paper
+
+
+def test_rename_variables():
+    q = query(atom("V", "X"), [atom("R", "X", "Y")], [("X", "Y")])
+    renamed = q.rename_variables({Variable("X"): Variable("Z")})
+    assert renamed.head.terms == (Variable("Z"),)
+    assert renamed.equalities[0][0] == Variable("Z")
+
+
+def test_freshened_disjoint_variables():
+    q = query(atom("V", "X"), [atom("R", "X", "Y")])
+    fresh = FreshNames(prefix="f")
+    renamed = q.freshened(fresh)
+    assert renamed.variables().isdisjoint(q.variables())
+
+
+def test_with_extra_equalities():
+    q = query(atom("V", "X"), [atom("R", "X", "Y")])
+    extended = q.with_extra_equalities([("X", "Y")])
+    assert len(extended.equalities) == 1
+
+
+def test_query_hash_and_equality():
+    q1 = query(atom("V", "X"), [atom("R", "X", "Y")])
+    q2 = query(atom("V", "X"), [atom("R", "X", "Y")])
+    assert q1 == q2 and hash(q1) == hash(q2)

@@ -1,0 +1,107 @@
+"""Unit tests for query typing against a schema."""
+
+import pytest
+
+from repro.cq.parser import parse_query
+from repro.cq.syntax import Variable
+from repro.cq.typecheck import (
+    class_types_consistent,
+    head_type,
+    infer_types,
+    is_well_typed,
+    typecheck_view,
+)
+from repro.errors import TypecheckError
+from repro.relational import relation, schema
+
+
+@pytest.fixture
+def s():
+    return schema(
+        relation("R", [("a", "T"), ("b", "U")], key=["a"]),
+        relation("S", [("c", "U"), ("d", "T")], key=["c"]),
+    )
+
+
+def test_infer_types_basic(s):
+    q = parse_query("Q(X, Y) :- R(X, Y).")
+    types = infer_types(q, s)
+    assert types == {Variable("X"): "T", Variable("Y"): "U"}
+
+
+def test_infer_types_through_join(s):
+    q = parse_query("Q(X) :- R(X, Y), S(C, D), Y = C.")
+    types = infer_types(q, s)
+    assert types[Variable("Y")] == "U" and types[Variable("C")] == "U"
+
+
+def test_unknown_relation_rejected(s):
+    with pytest.raises(TypecheckError):
+        infer_types(parse_query("Q(X) :- Z(X)."), s)
+
+
+def test_arity_mismatch_rejected(s):
+    with pytest.raises(TypecheckError):
+        infer_types(parse_query("Q(X) :- R(X)."), s)
+
+
+def test_variable_at_two_types_rejected(s):
+    with pytest.raises(TypecheckError):
+        infer_types(parse_query("Q(X) :- R(X, Y), S(X, D)."), s)
+
+
+def test_ill_typed_equality_rejected(s):
+    with pytest.raises(TypecheckError):
+        infer_types(parse_query("Q(X) :- R(X, Y), X = Y."), s)
+
+
+def test_ill_typed_constant_in_body_rejected(s):
+    with pytest.raises(TypecheckError):
+        infer_types(parse_query("Q(X) :- R(X, U:1), R(X2, T:1)."), s)
+
+
+def test_ill_typed_constant_equality_rejected(s):
+    with pytest.raises(TypecheckError):
+        infer_types(parse_query("Q(X) :- R(X, Y), Y = T:1."), s)
+
+
+def test_well_typed_constant_ok(s):
+    q = parse_query("Q(X) :- R(X, Y), Y = U:1.")
+    assert is_well_typed(q, s)
+
+
+def test_head_type(s):
+    q = parse_query("Q(Y, X) :- R(X, Y).")
+    assert head_type(q, s) == ("U", "T")
+
+
+def test_head_type_with_constant(s):
+    q = parse_query("Q(U:5, X) :- R(X, Y).")
+    assert head_type(q, s) == ("U", "T")
+
+
+def test_typecheck_view_accepts_matching(s):
+    view = relation("V", [("u", "U"), ("t", "T")])
+    q = parse_query("V(Y, X) :- R(X, Y).")
+    typecheck_view(q, s, view)
+
+
+def test_typecheck_view_rejects_wrong_signature(s):
+    view = relation("V", [("t", "T"), ("u", "U")])
+    q = parse_query("V(Y, X) :- R(X, Y).")
+    with pytest.raises(TypecheckError):
+        typecheck_view(q, s, view)
+
+
+def test_typecheck_view_rejects_wrong_arity(s):
+    view = relation("V", [("t", "T")])
+    q = parse_query("V(Y, X) :- R(X, Y).")
+    with pytest.raises(TypecheckError):
+        typecheck_view(q, s, view)
+
+
+def test_class_types_consistent(s):
+    ok = parse_query("Q(X) :- R(X, Y), S(C, D), Y = C.")
+    assert class_types_consistent(ok, s)
+    bad = parse_query("Q(X) :- R(X, Y), S(C, D), X = C.")
+    assert not class_types_consistent(bad, s)

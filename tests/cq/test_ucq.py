@@ -1,0 +1,124 @@
+"""Unit tests for unions of conjunctive queries."""
+
+import pytest
+
+from repro.cq.chase import egds_of_schema
+from repro.cq.parser import parse_query
+from repro.cq.ucq import (
+    UnionQuery,
+    cq_contained_in_union,
+    evaluate_union,
+    minimize_union,
+    union_contained_in,
+    unions_equivalent,
+)
+from repro.errors import QuerySyntaxError, TypecheckError
+from repro.relational import random_instance, relation, schema
+
+
+@pytest.fixture
+def s():
+    return schema(
+        relation("R", [("a", "T"), ("b", "U")], key=["a"]),
+        relation("S", [("c", "T"), ("d", "U")], key=["c"]),
+    )
+
+
+def u(*texts):
+    return UnionQuery([parse_query(t) for t in texts])
+
+
+def test_union_requires_disjuncts():
+    with pytest.raises(QuerySyntaxError):
+        UnionQuery([])
+
+
+def test_union_requires_matching_arity():
+    with pytest.raises(QuerySyntaxError):
+        u("Q(X) :- R(X, Y).", "Q(X, Y) :- R(X, Y).")
+
+
+def test_union_requires_matching_view_name():
+    with pytest.raises(QuerySyntaxError):
+        u("Q(X) :- R(X, Y).", "P(X) :- R(X, Y).")
+
+
+def test_check_types_rejects_mixed(s):
+    union = u("Q(X) :- R(X, Y).", "Q(Y) :- R(X, Y).")
+    with pytest.raises(TypecheckError):
+        union.check_types(s)
+
+
+def test_evaluation_is_union_of_answers(s):
+    union = u("Q(X) :- R(X, Y).", "Q(C) :- S(C, D).")
+    for seed in range(3):
+        d = random_instance(s, rows_per_relation=5, seed=seed)
+        answer = evaluate_union(union, d)
+        expected = d.relation("R").project(["a"]) | d.relation("S").project(["c"])
+        assert answer.rows == expected
+
+
+def test_cq_contained_in_union_needs_single_disjunct_hom(s):
+    """q ⊆ p1 ∪ p2 via p1 alone."""
+    q = parse_query("Q(X) :- R(X, Y), S(C, D), X = C.")
+    union = u("Q(X) :- R(X, Y).", "Q(C) :- S(C, D), R(X2, Y2), Y2 = D.")
+    assert cq_contained_in_union(q, union, s)
+
+
+def test_cq_not_contained_when_no_disjunct_matches(s):
+    q = parse_query("Q(X) :- R(X, Y).")
+    union = u(
+        "Q(X) :- R(X, Y), S(C, D), X = C.",
+        "Q(X2) :- R(X2, Y2), S(C2, D2), Y2 = D2.",
+    )
+    assert not cq_contained_in_union(q, union, s)
+
+
+def test_union_containment_per_disjunct(s):
+    small = u("Q(X) :- R(X, Y), S(C, D), X = C.")
+    big = u("Q(X) :- R(X, Y).", "Q(C) :- S(C, D).")
+    assert union_contained_in(small, big, s)
+    assert not union_contained_in(big, small, s)
+
+
+def test_union_equivalence_reordering(s):
+    left = u("Q(X) :- R(X, Y).", "Q(C) :- S(C, D).")
+    right = u("Q(C) :- S(C, D).", "Q(X) :- R(X, Y).")
+    assert unions_equivalent(left, right, s)
+
+
+def test_unsatisfiable_disjunct_ignored(s):
+    bottom = "Q(X) :- R(X, Y), Y = U:1, Y = U:2."
+    left = u("Q(X) :- R(X, Y).", bottom)
+    right = u("Q(X) :- R(X, Y).")
+    assert unions_equivalent(left, right, s)
+
+
+def test_containment_under_keys_through_union(s):
+    """The key of R collapses the pair query into the diagonal disjunct."""
+    pairs = parse_query("Q(Y, Y2) :- R(X, Y), R(X2, Y2), X = X2.")
+    union = u("Q(Y, Y) :- R(X, Y).", "Q(D, D2) :- S(C, D), S(C2, D2).")
+    assert not cq_contained_in_union(pairs, union, s)
+    assert cq_contained_in_union(pairs, union, s, egds=egds_of_schema(s))
+
+
+def test_minimize_union_drops_contained_disjunct(s):
+    union = u(
+        "Q(X) :- R(X, Y).",
+        "Q(X) :- R(X, Y), S(C, D), X = C.",  # contained in the first
+    )
+    minimized = minimize_union(union, s)
+    assert len(minimized) == 1
+    assert unions_equivalent(union, minimized, s)
+
+
+def test_minimize_union_minimises_survivors(s):
+    union = u("Q(X) :- R(X, Y), R(A, B).")
+    minimized = minimize_union(union, s)
+    assert len(minimized.disjuncts[0].body) == 1
+
+
+def test_minimize_union_keeps_incomparable_disjuncts(s):
+    union = u("Q(X) :- R(X, Y).", "Q(C) :- S(C, D).")
+    minimized = minimize_union(union, s)
+    assert len(minimized) == 2

@@ -1,0 +1,106 @@
+"""Integration: vertical partitioning — dominance without equivalence.
+
+Splitting ``R(k*, a, b)`` into ``R1(k*, a)`` and ``R2(k*, b)`` is the
+textbook vertical partitioning.  The paper's framework makes its status
+precise:
+
+* the single-relation schema IS dominated by the partitioned schema
+  (split with α, re-join on the key with β; β∘α = id *because of* the key
+  dependencies), but
+* the schemas are NOT equivalent (Theorem 13: different relation counts),
+  and the reverse dominance fails — a partitioned instance whose parts
+  have mismatched key sets cannot be encoded in the single relation by
+  conjunctive mappings (the bounded exhaustive search confirms no witness
+  exists within generous bounds).
+
+This is the positive counterpart to §1's moral: with keys alone, lossless
+decomposition is a one-way street; recovering an equivalence needs extra
+dependencies.
+"""
+
+import pytest
+
+from repro.core import decide_equivalence, search_dominance
+from repro.cq.parser import parse_query
+from repro.mappings import DominancePair, QueryMapping, verify_dominance
+from repro.relational import parse_schema, random_instance
+
+
+@pytest.fixture(scope="module")
+def schemas():
+    whole, _ = parse_schema("R(k*: K, a: A, b: B)")
+    parts, _ = parse_schema("R1(k*: K, a: A)\nR2(k2*: K, b: B)")
+    return whole, parts
+
+
+@pytest.fixture(scope="module")
+def split_pair(schemas):
+    whole, parts = schemas
+    alpha = QueryMapping(
+        whole,
+        parts,
+        {
+            "R1": parse_query("R1(X, Y) :- R(X, Y, Z)."),
+            "R2": parse_query("R2(X, Z) :- R(X, Y, Z)."),
+        },
+    )
+    beta = QueryMapping(
+        parts,
+        whole,
+        {
+            "R": parse_query("R(X, Y, Z) :- R1(X, Y), R2(X2, Z), X = X2."),
+        },
+    )
+    return DominancePair(alpha, beta)
+
+
+def test_split_pair_verifies_exactly(split_pair):
+    verdict = split_pair.verify()
+    assert verdict.holds, verdict.reason()
+
+
+def test_split_round_trips_concrete_instances(schemas, split_pair):
+    whole, _ = schemas
+    for seed in range(4):
+        d = random_instance(whole, rows_per_relation=6, seed=seed)
+        assert split_pair.round_trip(d) == d
+
+
+def test_rejoin_identity_depends_on_key(schemas):
+    """Re-joining works because k is a key: the same pair over the unkeyed
+    variants is NOT a dominance pair (the self-join invents combinations on
+    duplicate keys)."""
+    whole, parts = schemas
+    whole_unkeyed = whole.unkeyed()
+    parts_unkeyed = parts.unkeyed()
+    alpha = QueryMapping(
+        whole_unkeyed,
+        parts_unkeyed,
+        {
+            "R1": parse_query("R1(X, Y) :- R(X, Y, Z)."),
+            "R2": parse_query("R2(X, Z) :- R(X, Y, Z)."),
+        },
+    )
+    beta = QueryMapping(
+        parts_unkeyed,
+        whole_unkeyed,
+        {"R": parse_query("R(X, Y, Z) :- R1(X, Y), R2(X2, Z), X = X2.")},
+    )
+    verdict = verify_dominance(alpha, beta)
+    assert not verdict.round_trip_identity
+
+
+def test_not_equivalent_by_theorem13(schemas):
+    whole, parts = schemas
+    decision = decide_equivalence(whole, parts)
+    assert not decision.equivalent
+    assert "relation-count" in decision.explanation.step.value
+
+
+def test_reverse_dominance_exhaustively_refuted(schemas):
+    """No constant-free CQ mapping pair witnesses parts ⪯ whole within
+    2 body atoms per view — the partitioned schema genuinely holds more
+    information (independent key sets)."""
+    whole, parts = schemas
+    result = search_dominance(parts, whole, max_atoms=2)
+    assert not result.found

@@ -1,0 +1,89 @@
+"""Unit tests for the mapping builders (renaming, projection, padding)."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mappings import (
+    isomorphism_pair,
+    padding_mapping,
+    projection_mapping,
+    renaming_mapping,
+)
+from repro.relational import (
+    Value,
+    find_isomorphism,
+    parse_schema,
+    random_instance,
+)
+
+
+def test_renaming_mapping_transports_like_witness(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    witness = find_isomorphism(s1, s2)
+    mapping = renaming_mapping(witness)
+    for seed in range(3):
+        d = random_instance(s1, rows_per_relation=4, seed=seed)
+        assert mapping.apply(d) == witness.transport_instance(d)
+
+
+def test_isomorphism_pair_round_trips(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    alpha, beta = isomorphism_pair(find_isomorphism(s1, s2))
+    d = random_instance(s1, rows_per_relation=5, seed=11)
+    assert beta.apply(alpha.apply(d)) == d
+    e = random_instance(s2, rows_per_relation=5, seed=12)
+    assert alpha.apply(beta.apply(e)) == e
+
+
+def test_projection_mapping():
+    s1, _ = parse_schema("A(k*: K, v: V, w: W)")
+    s2, _ = parse_schema("P(p*: K, q: W)")
+    mapping = projection_mapping(s1, s2, {"P": ("A", ("k", "w"))})
+    d = random_instance(s1, rows_per_relation=4, seed=0)
+    image = mapping.apply(d)
+    assert image.relation("P").rows == d.relation("A").project(["k", "w"])
+
+
+def test_projection_mapping_missing_rule():
+    s1, _ = parse_schema("A(k*: K)")
+    s2, _ = parse_schema("P(p*: K)")
+    with pytest.raises(MappingError):
+        projection_mapping(s1, s2, {})
+
+
+def test_projection_mapping_arity_mismatch():
+    s1, _ = parse_schema("A(k*: K, v: V)")
+    s2, _ = parse_schema("P(p*: K, q: V)")
+    with pytest.raises(MappingError):
+        projection_mapping(s1, s2, {"P": ("A", ("k",))})
+
+
+def test_padding_mapping():
+    s1, _ = parse_schema("A(k*: K)")
+    s2, _ = parse_schema("P(p*: K, pad: V)")
+    mapping = padding_mapping(
+        s1,
+        s2,
+        {"P": ("A", {"p": "k"})},
+        {("P", "pad"): Value("V", "_f")},
+    )
+    d = random_instance(s1, rows_per_relation=3, seed=0)
+    image = mapping.apply(d)
+    pad_pos = s2.relation("P").position("pad")
+    assert all(row[pad_pos] == Value("V", "_f") for row in image.relation("P"))
+
+
+def test_padding_mapping_wrong_type_rejected():
+    s1, _ = parse_schema("A(k*: K)")
+    s2, _ = parse_schema("P(p*: K, pad: V)")
+    with pytest.raises(MappingError):
+        padding_mapping(
+            s1, s2, {"P": ("A", {"p": "k"})}, {("P", "pad"): Value("K", 0)}
+        )
+
+
+def test_padding_mapping_missing_pad_rejected():
+    s1, _ = parse_schema("A(k*: K)")
+    s2, _ = parse_schema("P(p*: K, pad: V)")
+    with pytest.raises(MappingError):
+        padding_mapping(s1, s2, {"P": ("A", {"p": "k"})}, {})

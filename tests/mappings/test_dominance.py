@@ -1,0 +1,76 @@
+"""Unit tests for dominance pairs and their verification."""
+
+import pytest
+
+from repro.cq.parser import parse_query
+from repro.errors import MappingError
+from repro.mappings import DominancePair, QueryMapping, verify_dominance
+from repro.relational import find_isomorphism, parse_schema, random_instance
+from repro.mappings import isomorphism_pair
+
+
+@pytest.fixture
+def pair(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    witness = find_isomorphism(s1, s2)
+    alpha, beta = isomorphism_pair(witness)
+    return DominancePair(alpha, beta)
+
+
+def test_isomorphism_pair_verifies(pair):
+    verdict = pair.verify()
+    assert verdict.holds
+    assert verdict.reason() == "dominance verified"
+    assert pair.holds()
+
+
+def test_schema_mismatch_rejected(pair):
+    with pytest.raises(MappingError):
+        DominancePair(pair.alpha, pair.alpha)
+
+
+def test_round_trip_pointwise(pair):
+    d = random_instance(pair.dominated, rows_per_relation=4, seed=3)
+    assert pair.round_trip(d) == d
+
+
+def test_falsify_finds_nothing_for_genuine_pair(pair):
+    assert pair.falsify(trials=8) is None
+
+
+def test_broken_pair_detected_and_explained():
+    s1, _ = parse_schema("A(a1*: T, a2: U)")
+    s2, _ = parse_schema("M(m1*: T, m2: U)")
+    alpha = QueryMapping(s1, s2, {"M": parse_query("M(X, Y) :- A(X, Y).")})
+    bad_beta = QueryMapping(
+        s2, s1, {"A": parse_query("A(X, Y2) :- M(X, Y), M(X2, Y2).")}
+    )
+    verdict = verify_dominance(alpha, bad_beta)
+    assert not verdict.holds
+    assert verdict.alpha_valid
+    assert not verdict.round_trip_identity
+    assert "identity" in verdict.reason()
+
+
+def test_invalid_alpha_detected():
+    s1, _ = parse_schema("A(a1*: T, a2: U)")
+    s2, _ = parse_schema("M(m1*: U, m2: T)")
+    alpha = QueryMapping(s1, s2, {"M": parse_query("M(Y, X) :- A(X, Y).")})
+    # α alone already fails validity; verify via the report.
+    from repro.mappings import validity_report
+
+    assert not validity_report(alpha).valid
+
+
+def test_falsify_finds_breaking_instance():
+    s1, _ = parse_schema("A(a1*: T, a2: U)")
+    s2, _ = parse_schema("M(m1*: T)")
+    alpha = QueryMapping(s1, s2, {"M": parse_query("M(X) :- A(X, Y).")})
+    # A lossy α with a constant-padding β cannot round-trip.
+    beta = QueryMapping(
+        s2, s1, {"A": parse_query("A(X, U:0) :- M(X).")}
+    )
+    pair = DominancePair(alpha, beta)
+    found = pair.falsify(trials=32)
+    assert found is not None
+    assert pair.round_trip(found) != found

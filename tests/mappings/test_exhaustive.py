@@ -1,0 +1,97 @@
+"""Unit tests for exhaustive finite-fragment model checking."""
+
+import pytest
+
+from repro.cq.parser import parse_query
+from repro.mappings import QueryMapping, isomorphism_pair
+from repro.mappings.exhaustive import (
+    count_fragment_instances,
+    enumerate_instances,
+    enumerate_relation_instances,
+    exhaustive_round_trip_counterexample,
+    exhaustive_validity_counterexample,
+)
+from repro.mappings.identity import composes_to_identity
+from repro.mappings.validity import is_valid
+from repro.relational import find_isomorphism, parse_schema, relation
+
+
+def test_enumerate_relation_instances_counts():
+    # R(k*: T) with |T| = 2, ≤ 2 rows: {} {0} {1} {0,1} = 4 instances.
+    rel = relation("R", [("k", "T")], key=["k"])
+    instances = list(enumerate_relation_instances(rel, {"T": 2}, max_rows=2))
+    assert len(instances) == 4
+
+
+def test_enumerate_relation_instances_respect_key():
+    # R(k*: T, v: T) with |T| = 2: tuple space 4; 2-subsets sharing a key
+    # value are filtered out.
+    rel = relation("R", [("k", "T"), ("v", "T")], key=["k"])
+    instances = list(enumerate_relation_instances(rel, {"T": 2}, max_rows=2))
+    assert all(inst.satisfies_key() for inst in instances)
+    # 1 empty + 4 singletons + C(4,2)=6 minus 2 same-key pairs = 4 pairs.
+    assert len(instances) == 1 + 4 + 4
+
+
+def test_enumerate_instances_product(two_relation_schema):
+    sizes = {"T": 1, "U": 1}
+    instances = list(
+        enumerate_instances(two_relation_schema, sizes, max_rows=1)
+    )
+    # Each relation: empty or the single possible tuple → 2 × 2.
+    assert len(instances) == 4
+    assert len(instances) == count_fragment_instances(
+        two_relation_schema, sizes, max_rows=1
+    )
+
+
+def test_round_trip_clean_on_isomorphism_pair(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    alpha, beta = isomorphism_pair(find_isomorphism(s1, s2))
+    sizes = {name: 2 for name in s1.type_names()}
+    assert (
+        exhaustive_round_trip_counterexample(alpha, beta, sizes, max_rows=1)
+        is None
+    )
+
+
+def test_round_trip_counterexample_agrees_with_chase():
+    """Three verification paths agree: exhaustive, chase, and the verdict."""
+    s1, _ = parse_schema("A(a1*: T, a2: U)")
+    s2, _ = parse_schema("M(m1*: T, m2: U)")
+    alpha = QueryMapping(s1, s2, {"M": parse_query("M(X, Y) :- A(X, Y).")})
+    bad_beta = QueryMapping(
+        s2, s1, {"A": parse_query("A(X, Y2) :- M(X, Y), M(X2, Y2).")}
+    )
+    sizes = {"T": 2, "U": 2}
+    found = exhaustive_round_trip_counterexample(alpha, bad_beta, sizes, max_rows=2)
+    assert found is not None
+    assert bad_beta.apply(alpha.apply(found)) != found
+    assert not composes_to_identity(alpha, bad_beta)
+
+    good_beta = QueryMapping(
+        s2, s1, {"A": parse_query("A(X, Y) :- M(X, Y).")}
+    )
+    assert (
+        exhaustive_round_trip_counterexample(alpha, good_beta, sizes, max_rows=2)
+        is None
+    )
+    assert composes_to_identity(alpha, good_beta)
+
+
+def test_validity_counterexample_agrees_with_chase():
+    s1, _ = parse_schema("A(a1*: T, a2: U)")
+    s2, _ = parse_schema("M(m1*: U, m2: T)")
+    bad = QueryMapping(s1, s2, {"M": parse_query("M(Y, X) :- A(X, Y).")})
+    sizes = {"T": 2, "U": 2}
+    found = exhaustive_validity_counterexample(bad, sizes, max_rows=2)
+    assert found is not None
+    assert found.satisfies_keys()
+    assert not bad.apply(found).satisfies_keys()
+    assert not is_valid(bad)
+
+    # The same view keyed on the T column instead is valid:
+    s2_good, _ = parse_schema("M(m1: U, m2*: T)")
+    good = QueryMapping(s1, s2_good, {"M": parse_query("M(Y, X) :- A(X, Y).")})
+    assert exhaustive_validity_counterexample(good, sizes, max_rows=2) is None
+    assert is_valid(good)

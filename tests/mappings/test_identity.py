@@ -1,0 +1,103 @@
+"""Unit tests for the exact β∘α = id check (relative to key dependencies)."""
+
+import pytest
+
+from repro.cq.parser import parse_query
+from repro.errors import MappingError
+from repro.mappings import (
+    QueryMapping,
+    composes_to_identity,
+    find_identity_counterexample,
+    identity_mapping,
+    identity_report,
+    round_trip,
+)
+from repro.relational import relation, schema
+
+
+@pytest.fixture
+def s1():
+    return schema(relation("A", [("a1", "T"), ("a2", "U")], key=["a1"]))
+
+
+@pytest.fixture
+def s2():
+    return schema(relation("M", [("m1", "T"), ("m2", "U")], key=["m1"]))
+
+
+def make_pair(s1, s2, alpha_text, beta_text):
+    alpha = QueryMapping(s1, s2, {"M": parse_query(alpha_text)})
+    beta = QueryMapping(s2, s1, {"A": parse_query(beta_text)})
+    return alpha, beta
+
+
+def test_renaming_pair_is_identity(s1, s2):
+    alpha, beta = make_pair(
+        s1, s2, "M(X, Y) :- A(X, Y).", "A(X, Y) :- M(X, Y)."
+    )
+    assert composes_to_identity(alpha, beta)
+
+
+def test_identity_on_identity_mapping(s1):
+    ident = identity_mapping(s1)
+    assert composes_to_identity(ident, ident)
+
+
+def test_lossy_pair_is_not_identity(s1, s2):
+    """β forgets the non-key column and refills it by self-join through M's
+    key column only — returns everything, not the original."""
+    alpha, beta = make_pair(
+        s1, s2, "M(X, Y) :- A(X, Y).", "A(X, Y2) :- M(X, Y), M(X2, Y2)."
+    )
+    report = identity_report(alpha, beta)
+    assert not report.is_identity
+    # It still contains the identity (the original tuples are returned)...
+    assert report.contains_identity["A"]
+    # ...but it invents cross-combinations.
+    assert not report.contained_in_identity["A"]
+
+
+def test_key_dependence_of_identity(s1, s2):
+    """A round trip that re-joins on the key is the identity only *because*
+    of the key dependency — the paper's notion of valid-instances identity."""
+    alpha, beta = make_pair(
+        s1,
+        s2,
+        "M(X, Y) :- A(X, Y).",
+        "A(X, Y2) :- M(X, Y), M(X2, Y2), X = X2.",
+    )
+    assert composes_to_identity(alpha, beta)
+
+
+def test_counterexample_search_finds_violation(s1, s2):
+    alpha, beta = make_pair(
+        s1, s2, "M(X, Y) :- A(X, Y).", "A(X, Y2) :- M(X, Y), M(X2, Y2)."
+    )
+    found = find_identity_counterexample(alpha, beta, trials=64)
+    assert found is not None
+    assert found.satisfies_keys()
+    assert beta.apply(alpha.apply(found)) != found
+
+
+def test_counterexample_absent_for_genuine_identity(s1, s2):
+    alpha, beta = make_pair(
+        s1, s2, "M(X, Y) :- A(X, Y).", "A(X, Y) :- M(X, Y)."
+    )
+    assert find_identity_counterexample(alpha, beta, trials=16) is None
+
+
+def test_round_trip_schema_checks(s1, s2):
+    alpha, beta = make_pair(
+        s1, s2, "M(X, Y) :- A(X, Y).", "A(X, Y) :- M(X, Y)."
+    )
+    theta = round_trip(alpha, beta)
+    assert theta.source == s1 and theta.target == s1
+    with pytest.raises(MappingError):
+        round_trip(alpha, alpha)
+
+
+def test_constant_padding_loses_information(s1, s2):
+    alpha, beta = make_pair(
+        s1, s2, "M(X, U:5) :- A(X, Y).", "A(X, Y) :- M(X, Y)."
+    )
+    assert not composes_to_identity(alpha, beta)

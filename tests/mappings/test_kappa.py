@@ -1,0 +1,189 @@
+"""Unit tests for the κ construction (γ, δ, π_κ, α_κ, β_κ)."""
+
+import pytest
+
+from repro.cq.parser import parse_query
+from repro.errors import SchemaError
+from repro.mappings import (
+    QueryMapping,
+    delta_mapping,
+    gamma_mapping,
+    identity_mapping,
+    involved_in_condition,
+    isomorphism_pair,
+    kappa_construction,
+    kappa_schema,
+    lemma7_key_attribute,
+    pi_kappa_mapping,
+)
+from repro.relational import (
+    Domain,
+    QualifiedAttribute,
+    find_isomorphism,
+    parse_schema,
+    random_instance,
+)
+
+
+@pytest.fixture
+def s1():
+    s, _ = parse_schema("A(k*: K, v: V)\nB(j*: J)")
+    return s
+
+
+@pytest.fixture
+def domain(s1):
+    d = Domain()
+    for t in ("K", "V", "J"):
+        d.type(t)
+    return d
+
+
+def test_kappa_schema_drops_nonkeys(s1):
+    kappa = kappa_schema(s1)
+    assert kappa.is_unkeyed
+    assert kappa.relation("A").arity == 1
+    assert kappa.relation("B").arity == 1
+    assert [a.name for a in kappa.relation("A").attributes] == ["k"]
+
+
+def test_kappa_schema_requires_keyed(s1):
+    with pytest.raises(SchemaError):
+        kappa_schema(s1.unkeyed())
+
+
+def test_pi_kappa_mapping_agrees_with_instance_projection(s1):
+    pi = pi_kappa_mapping(s1)
+    for seed in range(3):
+        d = random_instance(s1, rows_per_relation=4, seed=seed)
+        assert pi.apply(d) == d.key_projection()
+
+
+def test_gamma_pads_with_choice_constants(s1, domain):
+    gamma = gamma_mapping(s1, domain)
+    d_kappa = random_instance(kappa_schema(s1), rows_per_relation=3, seed=1)
+    padded = gamma.apply(d_kappa)
+    v_pos = padded.schema.relation("A").position("v")
+    for row in padded.relation("A"):
+        assert row[v_pos] == domain.choice("V")
+
+
+def test_pi_gamma_round_trip(s1, domain):
+    """π_κ(γ(d_κ)) = d_κ — stated right after γ's definition in the paper."""
+    gamma = gamma_mapping(s1, domain)
+    pi = pi_kappa_mapping(s1)
+    for seed in range(4):
+        d_kappa = random_instance(kappa_schema(s1), rows_per_relation=4, seed=seed)
+        assert pi.apply(gamma.apply(d_kappa)) == d_kappa
+
+
+def test_involved_in_condition(s1):
+    ident = identity_mapping(s1)
+    assert not involved_in_condition(ident, QualifiedAttribute("A", "v", "V"))
+    joined = QueryMapping(
+        s1,
+        s1,
+        {
+            "A": parse_query("A(X, Y) :- A(X, Y), A(X2, Y2), Y = Y2."),
+            "B": parse_query("B(X) :- B(X)."),
+        },
+    )
+    assert involved_in_condition(joined, QualifiedAttribute("A", "v", "V"))
+
+
+def test_involved_in_condition_constant_selection(s1):
+    selected = QueryMapping(
+        s1,
+        s1,
+        {
+            "A": parse_query("A(X, Y) :- A(X, Y), Y = V:1."),
+            "B": parse_query("B(X) :- B(X)."),
+        },
+    )
+    assert involved_in_condition(selected, QualifiedAttribute("A", "v", "V"))
+
+
+def test_lemma7_key_attribute_found():
+    """α copies the key into a non-key column of S₂: K' is that key."""
+    s1, _ = parse_schema("A(k*: K, v: V)")
+    s2, _ = parse_schema("M(m*: K, c: K, v: V)")
+    alpha = QueryMapping(s1, s2, {"M": parse_query("M(X, X, Y) :- A(X, Y).")})
+    k_prime = lemma7_key_attribute(
+        alpha,
+        QualifiedAttribute("M", "c", "K"),
+        QualifiedAttribute("A", "k", "K"),
+    )
+    assert k_prime == QualifiedAttribute("M", "m", "K")
+
+
+def test_lemma7_key_attribute_absent():
+    """α writes the key only into a non-key column: no K' exists."""
+    s1, _ = parse_schema("A(k*: K)")
+    s2, _ = parse_schema("M(m*: K, c: K)")
+    alpha = QueryMapping(
+        s1, s2, {"M": parse_query("M(X, Y) :- A(X), A(Y).")}
+    )
+    assert (
+        lemma7_key_attribute(
+            alpha,
+            QualifiedAttribute("M", "c", "K"),
+            QualifiedAttribute("A", "k", "K"),
+        )
+        is None
+    )
+
+
+def test_kappa_construction_for_isomorphism_pair(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    alpha, beta = isomorphism_pair(find_isomorphism(s1, s2))
+    construction = kappa_construction(alpha, beta)
+    assert construction.kappa_s1.is_unkeyed
+    assert construction.alpha_kappa.source == construction.kappa_s1
+    assert construction.alpha_kappa.target == construction.kappa_s2
+    assert construction.beta_kappa.source == construction.kappa_s2
+    assert construction.beta_kappa.target == construction.kappa_s1
+
+
+def test_kappa_round_trip_pointwise(isomorphic_pair):
+    """β_κ(α_κ(d_κ)) = d_κ pointwise — Theorem 9's conclusion, concretely."""
+    s1, s2 = isomorphic_pair
+    alpha, beta = isomorphism_pair(find_isomorphism(s1, s2))
+    construction = kappa_construction(alpha, beta)
+    for seed in range(4):
+        d_kappa = random_instance(
+            construction.kappa_s1, rows_per_relation=4, seed=seed
+        )
+        image = construction.alpha_kappa.apply(d_kappa)
+        assert construction.beta_kappa.apply(image) == d_kappa
+
+
+def test_delta_case1_constant():
+    """B receives a constant under α → δ writes that constant."""
+    s1, _ = parse_schema("A(k*: K)")
+    s2, _ = parse_schema("M(m*: K, c: V)")
+    alpha = QueryMapping(s1, s2, {"M": parse_query("M(X, V:9) :- A(X).")})
+    beta = QueryMapping(s2, s1, {"A": parse_query("A(X) :- M(X, Y).")})
+    domain = Domain()
+    for t in ("K", "V"):
+        domain.type(t)
+    delta = delta_mapping(alpha, beta, domain)
+    from repro.cq.syntax import Constant
+    from repro.relational import Value
+
+    head = delta.query("M").head
+    assert head.terms[1] == Constant(Value("V", 9))
+
+
+def test_delta_case3_key_variable():
+    """B receives a key attribute and is received back → δ uses K'."""
+    s1, _ = parse_schema("A(k*: K, v: V)")
+    s2, _ = parse_schema("M(m*: K, c: K, v: V)")
+    alpha = QueryMapping(s1, s2, {"M": parse_query("M(X, X, Y) :- A(X, Y).")})
+    beta = QueryMapping(s2, s1, {"A": parse_query("A(C, Y) :- M(X, C, Y).")})
+    domain = Domain()
+    for t in ("K", "V"):
+        domain.type(t)
+    delta = delta_mapping(alpha, beta, domain)
+    head = delta.query("M").head
+    # Position of c must hold the same variable as position of m.
+    assert head.terms[1] == head.terms[0]

@@ -1,0 +1,148 @@
+"""Unit tests for query mappings and their composition."""
+
+import pytest
+
+from repro.cq.parser import parse_query
+from repro.errors import MappingError
+from repro.mappings import QueryMapping, identity_mapping
+from repro.relational import Value, random_instance, relation, schema
+
+
+@pytest.fixture
+def s1():
+    return schema(
+        relation("A", [("a1", "T"), ("a2", "U")], key=["a1"]),
+        relation("B", [("b1", "U")], key=["b1"]),
+    )
+
+
+@pytest.fixture
+def s2():
+    return schema(
+        relation("M", [("m1", "T"), ("m2", "U")], key=["m1"]),
+        relation("N", [("n1", "U")], key=["n1"]),
+    )
+
+
+@pytest.fixture
+def alpha(s1, s2):
+    return QueryMapping(
+        s1,
+        s2,
+        {
+            "M": parse_query("M(X, Y) :- A(X, Y)."),
+            "N": parse_query("N(Y) :- B(Y)."),
+        },
+    )
+
+
+def test_mapping_requires_all_views(s1, s2):
+    with pytest.raises(MappingError):
+        QueryMapping(s1, s2, {"M": parse_query("M(X, Y) :- A(X, Y).")})
+
+
+def test_mapping_rejects_extra_views(s1, s2, alpha):
+    queries = alpha.queries()
+    queries["Z"] = parse_query("Z(X) :- B(X).")
+    with pytest.raises(MappingError):
+        QueryMapping(s1, s2, queries)
+
+
+def test_mapping_typechecks_views(s1, s2):
+    with pytest.raises(Exception):
+        QueryMapping(
+            s1,
+            s2,
+            {
+                "M": parse_query("M(Y, X) :- A(X, Y)."),  # wrong type order
+                "N": parse_query("N(Y) :- B(Y)."),
+            },
+        )
+
+
+def test_apply(alpha, s1):
+    d = random_instance(s1, rows_per_relation=5, seed=0)
+    image = alpha.apply(d)
+    assert image.schema == alpha.target
+    assert image.relation("M").rows == {
+        tuple(row) for row in d.relation("A").rows
+    }
+
+
+def test_apply_rejects_wrong_schema(alpha, s2):
+    foreign = random_instance(s2, rows_per_relation=2, seed=0)
+    with pytest.raises(MappingError):
+        alpha.apply(foreign)
+
+
+def test_callable_sugar(alpha, s1):
+    d = random_instance(s1, rows_per_relation=3, seed=1)
+    assert alpha(d) == alpha.apply(d)
+
+
+def test_view_lookup(alpha):
+    assert alpha.view("M").relation.name == "M"
+    assert alpha.query("N").view_name == "N"
+    with pytest.raises(MappingError):
+        alpha.view("Z")
+
+
+def test_composition_agrees_with_pointwise(alpha, s1, s2):
+    beta = QueryMapping(
+        s2,
+        s1,
+        {
+            "A": parse_query("A(X, Y) :- M(X, Y)."),
+            "B": parse_query("B(Y) :- N(Y)."),
+        },
+    )
+    theta = alpha.then(beta)
+    assert theta.source == s1 and theta.target == s1
+    for seed in range(4):
+        d = random_instance(s1, rows_per_relation=4, seed=seed)
+        assert theta.apply(d) == beta.apply(alpha.apply(d))
+
+
+def test_then_after_are_converses(alpha, s1, s2):
+    beta = QueryMapping(
+        s2,
+        s1,
+        {
+            "A": parse_query("A(X, Y) :- M(X, Y)."),
+            "B": parse_query("B(Y) :- N(Y)."),
+        },
+    )
+    assert alpha.then(beta).queries() == beta.after(alpha).queries()
+
+
+def test_composition_schema_mismatch_rejected(alpha):
+    with pytest.raises(MappingError):
+        alpha.then(alpha)
+
+
+def test_identity_mapping_is_pointwise_identity(s1):
+    ident = identity_mapping(s1)
+    for seed in range(3):
+        d = random_instance(s1, rows_per_relation=4, seed=seed)
+        assert ident.apply(d) == d
+
+
+def test_constants_collection(s1, s2):
+    mapping = QueryMapping(
+        s1,
+        s2,
+        {
+            "M": parse_query("M(X, U:7) :- A(X, Y)."),
+            "N": parse_query("N(Y) :- B(Y), Y = U:3."),
+        },
+    )
+    assert mapping.constants() == frozenset({Value("U", 7), Value("U", 3)})
+
+
+def test_receives_exposed(alpha):
+    receives = alpha.receives()
+    from repro.relational import QualifiedAttribute
+
+    assert receives.receives(
+        QualifiedAttribute("M", "m1", "T"), QualifiedAttribute("A", "a1", "T")
+    )

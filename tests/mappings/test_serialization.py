@@ -1,0 +1,71 @@
+"""Unit tests for mapping text serialization."""
+
+import pytest
+
+from repro.cq.parser import parse_query
+from repro.errors import MappingError
+from repro.mappings import QueryMapping
+from repro.mappings.serialization import format_mapping, parse_mapping
+from repro.relational import parse_schema, random_instance
+
+
+@pytest.fixture
+def schemas():
+    s1, _ = parse_schema("A(a1*: T, a2: U)\nB(b1*: U)")
+    s2, _ = parse_schema("M(m1*: T, m2: U)\nN(n1*: U)")
+    return s1, s2
+
+
+@pytest.fixture
+def mapping(schemas):
+    s1, s2 = schemas
+    return QueryMapping(
+        s1,
+        s2,
+        {
+            "M": parse_query("M(X, Y) :- A(X, Y)."),
+            "N": parse_query("N(Y) :- B(Y)."),
+        },
+    )
+
+
+def test_round_trip(schemas, mapping):
+    s1, s2 = schemas
+    text = format_mapping(mapping, header="α : S1 → S2")
+    parsed = parse_mapping(text, s1, s2)
+    assert parsed.queries() == mapping.queries()
+
+
+def test_round_trip_preserves_semantics(schemas, mapping):
+    s1, s2 = schemas
+    parsed = parse_mapping(format_mapping(mapping), s1, s2)
+    for seed in range(3):
+        d = random_instance(s1, rows_per_relation=4, seed=seed)
+        assert parsed.apply(d) == mapping.apply(d)
+
+
+def test_header_is_comment(mapping):
+    text = format_mapping(mapping, header="a comment")
+    assert text.startswith("# a comment\n")
+
+
+def test_parse_rejects_duplicates(schemas):
+    s1, s2 = schemas
+    text = "M(X, Y) :- A(X, Y).\nM(X, Y) :- A(X, Y).\nN(Y) :- B(Y).\n"
+    with pytest.raises(MappingError):
+        parse_mapping(text, s1, s2)
+
+
+def test_parse_rejects_missing_view(schemas):
+    s1, s2 = schemas
+    with pytest.raises(MappingError):
+        parse_mapping("M(X, Y) :- A(X, Y).\n", s1, s2)
+
+
+def test_parse_with_constants(schemas):
+    s1, s2 = schemas
+    text = "M(X, U:5) :- A(X, Y).\nN(Y) :- B(Y).\n"
+    parsed = parse_mapping(text, s1, s2)
+    from repro.relational import Value
+
+    assert Value("U", 5) in parsed.constants()

@@ -1,0 +1,35 @@
+"""Unit tests for typechecked views."""
+
+import pytest
+
+from repro.cq.parser import parse_query
+from repro.errors import TypecheckError
+from repro.mappings.view import View
+from repro.relational import Value, random_instance, relation, schema
+
+
+@pytest.fixture
+def s():
+    return schema(relation("R", [("a", "T"), ("b", "U")], key=["a"]))
+
+
+def test_view_typechecks_at_construction(s):
+    rel = relation("V", [("x", "U"), ("y", "T")])
+    view = View(s, rel, parse_query("V(Y, X) :- R(X, Y)."))
+    assert view.type_signature == ("U", "T")
+    assert view.relation is rel
+
+
+def test_view_rejects_type_mismatch(s):
+    rel = relation("V", [("x", "T"), ("y", "U")])
+    with pytest.raises(TypecheckError):
+        View(s, rel, parse_query("V(Y, X) :- R(X, Y)."))
+
+
+def test_view_answer_uses_view_schema(s):
+    rel = relation("V", [("x", "T")])
+    view = View(s, rel, parse_query("V(X) :- R(X, Y)."))
+    d = random_instance(s, rows_per_relation=4, seed=0)
+    answer = view.answer(d)
+    assert answer.schema is rel
+    assert answer.rows == d.relation("R").project(["a"])

@@ -1,0 +1,56 @@
+"""Property tests: algebra ↔ CQ conversions preserve semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cq.algebra import evaluate_algebra, from_cq, to_cq
+from repro.cq.evaluation import evaluate
+from repro.cq.homomorphism import are_equivalent
+from repro.errors import QuerySyntaxError
+from repro.relational import random_instance
+from repro.workloads import random_keyed_schema, random_query
+
+seeds = st.integers(0, 10_000)
+
+
+@settings(max_examples=50, deadline=None)
+@given(schema_seed=st.integers(0, 30), query_seed=seeds, data_seed=seeds)
+def test_from_cq_agrees_with_evaluator(schema_seed, query_seed, data_seed):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = random_query(schema, seed=query_seed, max_atoms=3)
+    try:
+        expr = from_cq(query)
+    except QuerySyntaxError:
+        return  # free head constants are inexpressible in the pure algebra
+    instance = random_instance(schema, rows_per_relation=4, seed=data_seed)
+    assert evaluate_algebra(expr, instance) == frozenset(
+        evaluate(query, instance).rows
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 30), query_seed=seeds)
+def test_cq_algebra_cq_round_trip_equivalent(schema_seed, query_seed):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = random_query(schema, seed=query_seed, max_atoms=2)
+    try:
+        expr = from_cq(query)
+    except QuerySyntaxError:
+        return
+    back = to_cq(expr, schema, view_name=query.view_name)
+    assert are_equivalent(query, back, schema)
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 30), query_seed=seeds, data_seed=seeds)
+def test_to_cq_evaluates_like_algebra(schema_seed, query_seed, data_seed):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = random_query(schema, seed=query_seed, max_atoms=2)
+    try:
+        expr = from_cq(query)
+    except QuerySyntaxError:
+        return
+    round_tripped = to_cq(expr, schema)
+    instance = random_instance(schema, rows_per_relation=4, seed=data_seed)
+    assert frozenset(evaluate(round_tripped, instance).rows) == evaluate_algebra(
+        expr, instance
+    )

@@ -1,0 +1,63 @@
+"""Property tests: capacity counting cross-validated by brute enumeration.
+
+The closed-form count ``(1+N)^K`` per keyed relation must equal the brute
+count produced by actually enumerating every key-satisfying instance over
+the fragment — an end-to-end check tying :mod:`repro.core.capacity` to
+:mod:`repro.mappings.exhaustive`.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.capacity import count_instances, count_relation_instances
+from repro.mappings.exhaustive import (
+    count_fragment_instances,
+    enumerate_relation_instances,
+)
+from repro.workloads import random_keyed_schema, shuffled_copy
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100), size=st.integers(1, 2))
+def test_closed_form_matches_enumeration(seed, size):
+    schema = random_keyed_schema(seed, ["A", "B"], n_relations=2, max_arity=2)
+    sizes = {name: size for name in schema.type_names()}
+    # With the row cap at the full tuple-space size, enumeration is total.
+    max_rows = max(size ** r.arity for r in schema)
+    assert count_fragment_instances(schema, sizes, max_rows=max_rows) == (
+        count_instances(schema, sizes)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100), size=st.integers(1, 2))
+def test_per_relation_closed_form(seed, size):
+    schema = random_keyed_schema(seed, ["A", "B"], n_relations=1, max_arity=3)
+    relation = schema.relations[0]
+    sizes = {name: size for name in schema.type_names()}
+    max_rows = size ** relation.arity
+    enumerated = sum(
+        1 for _ in enumerate_relation_instances(relation, sizes, max_rows)
+    )
+    assert enumerated == count_relation_instances(relation, sizes)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 200), shuffle_seed=st.integers(0, 200))
+def test_isomorphic_schemas_count_equal(seed, shuffle_seed):
+    schema = random_keyed_schema(seed, ["A", "B"], n_relations=2, max_arity=3)
+    copy = shuffled_copy(schema, seed=shuffle_seed)
+    for size in (1, 2, 3):
+        sizes = {name: size for name in schema.type_names()}
+        sizes_copy = {name: size for name in copy.type_names()}
+        assert count_instances(schema, sizes) == count_instances(copy, sizes_copy)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_counts_monotone_in_type_size(seed):
+    schema = random_keyed_schema(seed, ["A", "B"], n_relations=2, max_arity=3)
+    counts = [
+        count_instances(schema, {name: size for name in schema.type_names()})
+        for size in (1, 2, 3)
+    ]
+    assert counts[0] <= counts[1] <= counts[2]

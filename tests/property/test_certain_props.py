@@ -1,0 +1,100 @@
+"""Property tests: certain-answer semantics over randomised naive tables."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cq.canonical import is_null, null_value
+from repro.cq.certain import certain_answers, possible_answers
+from repro.cq.chase import egds_of_schema
+from repro.cq.evaluation import evaluate
+from repro.errors import ChaseFailure
+from repro.relational import DatabaseInstance, RelationInstance, Value
+from repro.workloads import random_keyed_schema, random_query
+
+seeds = st.integers(0, 10_000)
+
+
+def nullified(schema, data_seed, null_probability=0.3):
+    """A random instance with some values replaced by fresh labelled nulls."""
+    from repro.relational import random_instance
+
+    rng = random.Random(data_seed)
+    base = random_instance(schema, rows_per_relation=4, seed=data_seed)
+    counter = [0]
+
+    def poke(row):
+        out = []
+        for value in row:
+            if rng.random() < null_probability:
+                counter[0] += 1
+                out.append(null_value(value.type_name, f"n{counter[0]}"))
+            else:
+                out.append(value)
+        return tuple(out)
+
+    relations = {
+        rel.schema.name: rel.map_rows(poke) for rel in base
+    }
+    return DatabaseInstance(schema, relations)
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 30), query_seed=seeds, data_seed=seeds)
+def test_certain_subset_of_possible(schema_seed, query_seed, data_seed):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = random_query(schema, seed=query_seed, max_atoms=2)
+    table = nullified(schema, data_seed)
+    certain = certain_answers(query, table)
+    possible = possible_answers(query, table)
+    if certain is None:
+        assert possible is None
+        return
+    assert certain.rows <= possible.rows
+    assert not any(is_null(v) for row in certain.rows for v in row)
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 30), query_seed=seeds, data_seed=seeds)
+def test_certain_answers_hold_in_one_completion(schema_seed, query_seed, data_seed):
+    """Soundness spot-check: certain answers appear in the completion that
+    instantiates each null with a distinct fresh value."""
+    from repro.cq.canonical import instantiate_nulls
+
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = random_query(schema, seed=query_seed, max_atoms=2)
+    table = nullified(schema, data_seed)
+    certain = certain_answers(query, table)
+    if certain is None:
+        return
+    completion = instantiate_nulls(table)
+    answers = evaluate(query, completion)
+    assert certain.rows <= answers.rows
+
+
+@settings(max_examples=30, deadline=None)
+@given(schema_seed=st.integers(0, 30), query_seed=seeds, data_seed=seeds)
+def test_dependencies_only_grow_certainty(schema_seed, query_seed, data_seed):
+    """Chasing with key EGDs can only add certain answers (it resolves
+    nulls), never remove any — unless it reveals inconsistency."""
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = random_query(schema, seed=query_seed, max_atoms=2)
+    table = nullified(schema, data_seed)
+    plain = certain_answers(query, table)
+    with_keys = certain_answers(query, table, egds=egds_of_schema(schema))
+    if plain is None or with_keys is None:
+        return
+    assert plain.rows <= with_keys.rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 30), query_seed=seeds, data_seed=seeds)
+def test_null_free_tables_are_exact(schema_seed, query_seed, data_seed):
+    """On a complete table, certain = possible = plain evaluation."""
+    from repro.relational import random_instance
+
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = random_query(schema, seed=query_seed, max_atoms=2)
+    table = random_instance(schema, rows_per_relation=4, seed=data_seed)
+    certain = certain_answers(query, table)
+    assert certain.rows == evaluate(query, table).rows

@@ -1,0 +1,79 @@
+"""Property tests: chase soundness, idempotence, and containment-under-keys."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cq.canonical import canonical_database
+from repro.cq.chase import chase_egds, egds_of_schema, satisfies_egds
+from repro.cq.containment_deps import is_contained_under_keys
+from repro.cq.evaluation import evaluate
+from repro.cq.homomorphism import is_contained_in
+from repro.errors import ChaseFailure, TypecheckError
+from repro.relational import random_instance
+from repro.workloads import random_keyed_schema, random_query
+
+seeds = st.integers(0, 10_000)
+
+
+@settings(max_examples=50, deadline=None)
+@given(schema_seed=st.integers(0, 30), query_seed=seeds)
+def test_chase_reaches_fixpoint_and_is_idempotent(schema_seed, query_seed):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = random_query(schema, seed=query_seed, max_atoms=3)
+    canonical = canonical_database(query, schema)
+    if canonical is None:
+        return
+    egds = egds_of_schema(schema)
+    try:
+        result = chase_egds(canonical.instance, egds)
+    except ChaseFailure:
+        return
+    assert satisfies_egds(result.instance, egds)
+    again = chase_egds(result.instance, egds)
+    assert again.instance == result.instance
+    assert again.egd_rounds == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(schema_seed=st.integers(0, 30), query_seed=seeds)
+def test_chase_never_grows_egd_only(schema_seed, query_seed):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = random_query(schema, seed=query_seed, max_atoms=3)
+    canonical = canonical_database(query, schema)
+    if canonical is None:
+        return
+    try:
+        result = chase_egds(canonical.instance, egds_of_schema(schema))
+    except ChaseFailure:
+        return
+    assert result.instance.total_rows() <= canonical.instance.total_rows()
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 30), seed1=seeds, seed2=seeds)
+def test_plain_containment_implies_keyed_containment(schema_seed, seed1, seed2):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    q1 = random_query(schema, seed=seed1, max_atoms=2, head_arity=1)
+    q2 = random_query(schema, seed=seed2, max_atoms=2, head_arity=1)
+    try:
+        if is_contained_in(q1, q2, schema):
+            assert is_contained_under_keys(q1, q2, schema)
+    except TypecheckError:
+        return
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 30), seed1=seeds, seed2=seeds, data_seed=seeds)
+def test_keyed_containment_sound_on_valid_instances(
+    schema_seed, seed1, seed2, data_seed
+):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    q1 = random_query(schema, seed=seed1, max_atoms=2, head_arity=1)
+    q2 = random_query(schema, seed=seed2, max_atoms=2, head_arity=1)
+    try:
+        contained = is_contained_under_keys(q1, q2, schema)
+    except TypecheckError:
+        return
+    if contained:
+        instance = random_instance(schema, rows_per_relation=5, seed=data_seed)
+        assert instance.satisfies_keys()
+        assert evaluate(q1, instance).rows <= evaluate(q2, instance).rows

@@ -1,0 +1,88 @@
+"""Property tests: query-mapping composition vs. pointwise composition."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cq.syntax import Atom, ConjunctiveQuery, Variable
+from repro.mappings import QueryMapping, identity_mapping
+from repro.relational import random_instance
+from repro.workloads import random_keyed_schema
+from repro.workloads.query_gen import random_query
+
+seeds = st.integers(0, 10_000)
+
+
+def random_self_mapping(schema, seed):
+    """A random query mapping schema → schema (views may be lossy)."""
+    queries = {}
+    for i, relation in enumerate(schema):
+        query = random_query(
+            schema,
+            seed=seed + i * 101,
+            max_atoms=2,
+            head_arity=relation.arity,
+            view_name=relation.name,
+        )
+        # Force the head type to match the relation exactly: rebuild the
+        # head by picking, per attribute, a body variable of that type.
+        from repro.cq.typecheck import infer_types
+
+        types = infer_types(query, schema)
+        by_type = {}
+        for variable, type_name in types.items():
+            by_type.setdefault(type_name, variable)
+        if not all(a.type_name in by_type for a in relation.attributes):
+            return None
+        head = Atom(
+            relation.name,
+            tuple(by_type[a.type_name] for a in relation.attributes),
+        )
+        queries[relation.name] = ConjunctiveQuery(
+            head, query.body, query.equalities
+        )
+    return QueryMapping(schema, schema, queries)
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 30), m_seed=seeds, n_seed=seeds, d_seed=seeds)
+def test_composition_agrees_pointwise(schema_seed, m_seed, n_seed, d_seed):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    m = random_self_mapping(schema, m_seed)
+    n = random_self_mapping(schema, n_seed)
+    if m is None or n is None:
+        return
+    composed = m.then(n)
+    instance = random_instance(schema, rows_per_relation=4, seed=d_seed)
+    assert composed.apply(instance) == n.apply(m.apply(instance))
+
+
+@settings(max_examples=30, deadline=None)
+@given(schema_seed=st.integers(0, 30), m_seed=seeds, d_seed=seeds)
+def test_identity_is_composition_unit(schema_seed, m_seed, d_seed):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    m = random_self_mapping(schema, m_seed)
+    if m is None:
+        return
+    ident = identity_mapping(schema)
+    instance = random_instance(schema, rows_per_relation=4, seed=d_seed)
+    assert ident.then(m).apply(instance) == m.apply(instance)
+    assert m.then(ident).apply(instance) == m.apply(instance)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    schema_seed=st.integers(0, 30),
+    a_seed=seeds,
+    b_seed=seeds,
+    c_seed=seeds,
+    d_seed=seeds,
+)
+def test_composition_associative_pointwise(schema_seed, a_seed, b_seed, c_seed, d_seed):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    mappings = [random_self_mapping(schema, s) for s in (a_seed, b_seed, c_seed)]
+    if any(m is None for m in mappings):
+        return
+    a, b, c = mappings
+    instance = random_instance(schema, rows_per_relation=3, seed=d_seed)
+    left = a.then(b).then(c)
+    right = a.then(b.then(c))
+    assert left.apply(instance) == right.apply(instance)

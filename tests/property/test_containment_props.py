@@ -1,0 +1,90 @@
+"""Property tests: containment (Chandra–Merlin) against evaluation.
+
+Soundness of the containment decision is checked semantically: whenever the
+homomorphism test says q1 ⊆ q2, every random instance must confirm it; and
+whenever it says q1 ⊄ q2, the instantiated canonical database of q1 must be
+a concrete separating witness (that is the completeness argument made
+executable).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cq.canonical import canonical_database, instantiate_nulls
+from repro.cq.evaluation import evaluate
+from repro.cq.homomorphism import are_equivalent, is_contained_in
+from repro.cq.minimize import minimize
+from repro.errors import TypecheckError
+from repro.relational import random_instance
+from repro.workloads import random_keyed_schema, random_query
+
+seeds = st.integers(0, 10_000)
+
+
+def typed_pair(schema_seed, seed1, seed2):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    q1 = random_query(schema, seed=seed1, max_atoms=2, head_arity=2)
+    q2 = random_query(schema, seed=seed2, max_atoms=2, head_arity=2)
+    return schema, q1, q2
+
+
+@settings(max_examples=50, deadline=None)
+@given(schema_seed=st.integers(0, 30), seed1=seeds, seed2=seeds, data_seed=seeds)
+def test_containment_sound_on_random_instances(schema_seed, seed1, seed2, data_seed):
+    schema, q1, q2 = typed_pair(schema_seed, seed1, seed2)
+    try:
+        contained = is_contained_in(q1, q2, schema)
+    except TypecheckError:
+        return  # incomparable head types — nothing to check
+    if contained:
+        instance = random_instance(schema, rows_per_relation=5, seed=data_seed)
+        assert evaluate(q1, instance).rows <= evaluate(q2, instance).rows
+
+
+@settings(max_examples=50, deadline=None)
+@given(schema_seed=st.integers(0, 30), seed1=seeds, seed2=seeds)
+def test_non_containment_complete_via_canonical_witness(schema_seed, seed1, seed2):
+    schema, q1, q2 = typed_pair(schema_seed, seed1, seed2)
+    try:
+        contained = is_contained_in(q1, q2, schema)
+    except TypecheckError:
+        return
+    if not contained:
+        canonical = canonical_database(q1, schema)
+        assert canonical is not None  # unsatisfiable q1 would be contained
+        witness = instantiate_nulls(canonical.instance)
+        r1 = evaluate(q1, witness)
+        r2 = evaluate(q2, witness)
+        assert not r1.rows <= r2.rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 30), seed1=seeds)
+def test_containment_reflexive(schema_seed, seed1):
+    schema, q1, _ = typed_pair(schema_seed, seed1, seed1)
+    assert is_contained_in(q1, q1, schema)
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 30), seed1=seeds)
+def test_minimization_preserves_equivalence(schema_seed, seed1):
+    schema, q1, _ = typed_pair(schema_seed, seed1, seed1)
+    minimized = minimize(q1, schema)
+    assert are_equivalent(q1, minimized, schema)
+    assert len(minimized.body) <= len(q1.body)
+
+
+@settings(max_examples=30, deadline=None)
+@given(schema_seed=st.integers(0, 30), seed1=seeds, seed2=seeds, seed3=seeds)
+def test_containment_transitive(schema_seed, seed1, seed2, seed3):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    queries = [
+        random_query(schema, seed=s, max_atoms=2, head_arity=1)
+        for s in (seed1, seed2, seed3)
+    ]
+    try:
+        c12 = is_contained_in(queries[0], queries[1], schema)
+        c23 = is_contained_in(queries[1], queries[2], schema)
+        if c12 and c23:
+            assert is_contained_in(queries[0], queries[2], schema)
+    except TypecheckError:
+        return

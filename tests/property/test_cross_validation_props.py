@@ -1,0 +1,79 @@
+"""Property tests: the three verification paths agree.
+
+For random candidate mapping pairs over tiny schemas, the chase-based
+exact decision, the gadget refuter, and the exhaustive finite-fragment
+model checker must be mutually consistent:
+
+* exhaustive counterexample found  ⟹  chase says "not identity";
+* chase says "identity"            ⟹  no gadget or fragment counterexample;
+* gadget counterexample found      ⟹  chase says "not identity".
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.counterexample import find_round_trip_counterexample
+from repro.cq.syntax import Atom, ConjunctiveQuery, Variable
+from repro.mappings import QueryMapping
+from repro.mappings.exhaustive import exhaustive_round_trip_counterexample
+from repro.mappings.identity import composes_to_identity
+from repro.mappings.validity import is_valid
+from repro.relational import parse_schema
+
+S1, _ = parse_schema("A(a1*: T, a2: U)")
+S2, _ = parse_schema("M(m1*: T, m2: U)")
+SIZES = {"T": 2, "U": 2}
+
+
+def candidate_query(view: str, target, source, rng_choice: int) -> ConjunctiveQuery:
+    """One of a small family of hand-rolled candidate views, by index."""
+    source_name = source.relation_names[0]
+    a, b = Variable("A"), Variable("B")
+    c, d = Variable("C"), Variable("D")
+    one_atom = [Atom(source_name, (a, b))]
+    two_atoms = [Atom(source_name, (a, b)), Atom(source_name, (c, d))]
+    shapes = [
+        ConjunctiveQuery(Atom(view, (a, b)), one_atom),
+        ConjunctiveQuery(Atom(view, (a, b)), two_atoms),
+        ConjunctiveQuery(Atom(view, (a, d)), two_atoms),
+        ConjunctiveQuery(Atom(view, (a, d)), two_atoms, [(a, c)]),
+        ConjunctiveQuery(Atom(view, (a, b)), two_atoms, [(b, d)]),
+        ConjunctiveQuery(Atom(view, (c, b)), two_atoms, [(a, c)]),
+    ]
+    return shapes[rng_choice % len(shapes)]
+
+
+@settings(max_examples=36, deadline=None)
+@given(alpha_idx=st.integers(0, 5), beta_idx=st.integers(0, 5))
+def test_three_paths_agree(alpha_idx, beta_idx):
+    alpha = QueryMapping(S1, S2, {"M": candidate_query("M", S2, S1, alpha_idx)})
+    beta = QueryMapping(S2, S1, {"A": candidate_query("A", S1, S2, beta_idx)})
+    if not (is_valid(alpha) and is_valid(beta)):
+        return
+
+    exact = composes_to_identity(alpha, beta)
+    fragment = exhaustive_round_trip_counterexample(alpha, beta, SIZES, max_rows=2)
+    gadget = find_round_trip_counterexample(alpha, beta)
+
+    if exact:
+        assert fragment is None
+        assert gadget is None
+    if fragment is not None:
+        assert not exact
+        assert beta.apply(alpha.apply(fragment)) != fragment
+    if gadget is not None:
+        assert not exact
+
+
+@settings(max_examples=36, deadline=None)
+@given(alpha_idx=st.integers(0, 5))
+def test_validity_paths_agree(alpha_idx):
+    from repro.mappings.exhaustive import exhaustive_validity_counterexample
+
+    alpha = QueryMapping(S1, S2, {"M": candidate_query("M", S2, S1, alpha_idx)})
+    exact = is_valid(alpha)
+    fragment = exhaustive_validity_counterexample(alpha, SIZES, max_rows=2)
+    if exact:
+        assert fragment is None
+    if fragment is not None:
+        assert not exact
+        assert not alpha.apply(fragment).satisfies_keys()

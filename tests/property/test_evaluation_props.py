@@ -1,0 +1,51 @@
+"""Property tests: the hash-join evaluator agrees with the naive evaluator,
+and evaluation is monotone in the instance."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cq.evaluation import evaluate, evaluate_naive
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational import random_instance
+from repro.workloads import random_keyed_schema, random_query
+
+seeds = st.integers(0, 10_000)
+
+
+@settings(max_examples=60, deadline=None)
+@given(schema_seed=st.integers(0, 40), query_seed=seeds, data_seed=seeds)
+def test_evaluators_agree(schema_seed, query_seed, data_seed):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = random_query(schema, seed=query_seed, max_atoms=3)
+    instance = random_instance(schema, rows_per_relation=5, seed=data_seed)
+    assert evaluate(query, instance).rows == evaluate_naive(query, instance).rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 40), query_seed=seeds, data_seed=seeds)
+def test_evaluation_monotone(schema_seed, query_seed, data_seed):
+    """CQs are monotone: answers only grow when tuples are added."""
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = random_query(schema, seed=query_seed, max_atoms=2)
+    small = random_instance(schema, rows_per_relation=3, seed=data_seed)
+    # Superset instance: same seed prefix plus extra rows.
+    bigger_raw = random_instance(schema, rows_per_relation=6, seed=data_seed + 1)
+    union = DatabaseInstance(
+        schema,
+        {
+            rel.name: RelationInstance(
+                rel,
+                set(small.relation(rel.name).rows)
+                | set(bigger_raw.relation(rel.name).rows),
+            )
+            for rel in schema
+        },
+    )
+    assert evaluate(query, small).rows <= evaluate(query, union).rows
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 40), query_seed=seeds)
+def test_empty_instance_gives_empty_answer(schema_seed, query_seed):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = random_query(schema, seed=query_seed, max_atoms=2)
+    assert evaluate(query, DatabaseInstance(schema)).is_empty()

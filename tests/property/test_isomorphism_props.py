@@ -1,0 +1,56 @@
+"""Property tests: isomorphism invariants and Theorem 13 positive side."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import cq_equivalent, decide_equivalence
+from repro.relational import canonical_form, find_isomorphism, is_isomorphic
+from repro.workloads import random_keyed_schema, shuffled_copy
+
+seeds = st.integers(0, 10_000)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, shuffle_seed=seeds)
+def test_shuffled_copies_isomorphic_with_verified_witness(seed, shuffle_seed):
+    schema = random_keyed_schema(seed, ["A", "B", "C"], n_relations=3, max_arity=3)
+    copy = shuffled_copy(schema, seed=shuffle_seed)
+    witness = find_isomorphism(schema, copy)
+    assert witness is not None
+    assert witness.verify()
+    assert witness.inverse().verify()
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed1=st.integers(0, 200), seed2=st.integers(0, 200))
+def test_canonical_form_complete_for_witness_search(seed1, seed2):
+    s1 = random_keyed_schema(seed1, ["A", "B"], n_relations=2, max_arity=3)
+    s2 = random_keyed_schema(seed2, ["A", "B"], n_relations=2, max_arity=3)
+    assert (canonical_form(s1) == canonical_form(s2)) == (
+        find_isomorphism(s1, s2) is not None
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, shuffle_seed=seeds)
+def test_theorem13_positive_side(seed, shuffle_seed):
+    schema = random_keyed_schema(seed, ["A", "B"], n_relations=2, max_arity=3)
+    copy = shuffled_copy(schema, seed=shuffle_seed)
+    assert cq_equivalent(schema, copy)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100), shuffle_seed=seeds)
+def test_theorem13_certificates_verify(seed, shuffle_seed):
+    schema = random_keyed_schema(seed, ["A", "B"], n_relations=2, max_arity=2)
+    copy = shuffled_copy(schema, seed=shuffle_seed)
+    decision = decide_equivalence(schema, copy)
+    assert decision.equivalent
+    assert decision.certificate.verify()
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed1=st.integers(0, 200), seed2=st.integers(0, 200))
+def test_isomorphism_symmetric(seed1, seed2):
+    s1 = random_keyed_schema(seed1, ["A", "B"], n_relations=2, max_arity=3)
+    s2 = random_keyed_schema(seed2, ["A", "B"], n_relations=2, max_arity=3)
+    assert is_isomorphic(s1, s2) == is_isomorphic(s2, s1)

@@ -1,0 +1,68 @@
+"""Property tests: the κ construction on random isomorphism pairs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lemmas import check_lemma8, check_theorem9
+from repro.mappings import isomorphism_pair, kappa_construction, kappa_schema
+from repro.relational import find_isomorphism, random_instance
+from repro.workloads import random_keyed_schema, shuffled_copy
+
+seeds = st.integers(0, 10_000)
+
+
+def pair_for(seed, shuffle_seed):
+    s1 = random_keyed_schema(seed, ["A", "B"], n_relations=2, max_arity=3)
+    s2 = shuffled_copy(s1, seed=shuffle_seed)
+    return isomorphism_pair(find_isomorphism(s1, s2))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100), shuffle_seed=seeds)
+def test_theorem9_always_holds(seed, shuffle_seed):
+    alpha, beta = pair_for(seed, shuffle_seed)
+    assert check_theorem9(alpha, beta).holds
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100), shuffle_seed=seeds)
+def test_lemma8_always_holds(seed, shuffle_seed):
+    alpha, beta = pair_for(seed, shuffle_seed)
+    construction = kappa_construction(alpha, beta)
+    assert check_lemma8(construction, samples=2).holds
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100), shuffle_seed=seeds, data_seed=seeds)
+def test_gamma_pi_kappa_round_trip(seed, shuffle_seed, data_seed):
+    """π_κ(γ(d_κ)) = d_κ for every instance of κ(S1)."""
+    alpha, beta = pair_for(seed, shuffle_seed)
+    construction = kappa_construction(alpha, beta)
+    d_kappa = random_instance(
+        construction.kappa_s1, rows_per_relation=4, seed=data_seed
+    )
+    padded = construction.gamma.apply(d_kappa)
+    assert construction.pi_kappa_1.apply(padded) == d_kappa
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100), shuffle_seed=seeds, data_seed=seeds)
+def test_kappa_round_trip_pointwise(seed, shuffle_seed, data_seed):
+    alpha, beta = pair_for(seed, shuffle_seed)
+    construction = kappa_construction(alpha, beta)
+    d_kappa = random_instance(
+        construction.kappa_s1, rows_per_relation=3, seed=data_seed
+    )
+    image = construction.alpha_kappa.apply(d_kappa)
+    assert construction.beta_kappa.apply(image) == d_kappa
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_kappa_schema_shape(seed):
+    schema = random_keyed_schema(seed, ["A", "B"], n_relations=3, max_arity=3)
+    kappa = kappa_schema(schema)
+    assert kappa.is_unkeyed
+    assert len(kappa) == len(schema)
+    for original, projected in zip(schema, kappa):
+        assert projected.arity == len(original.key)
+        assert {a.name for a in projected.attributes} == set(original.key)

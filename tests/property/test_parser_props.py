@@ -1,0 +1,50 @@
+"""Property tests: text round-trips for schemas, queries, and mappings."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cq.parser import format_query, parse_query
+from repro.mappings import format_mapping, isomorphism_pair, parse_mapping
+from repro.relational import find_isomorphism, format_schema, parse_schema
+from repro.workloads import (
+    random_identity_join_query,
+    random_keyed_schema,
+    random_query,
+    shuffled_copy,
+)
+
+seeds = st.integers(0, 10_000)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 300))
+def test_schema_round_trip(seed):
+    schema = random_keyed_schema(seed, ["A", "B", "C"], n_relations=3, max_arity=4)
+    parsed, inclusions = parse_schema(format_schema(schema))
+    assert parsed == schema
+    assert inclusions == ()
+
+
+@settings(max_examples=60, deadline=None)
+@given(schema_seed=st.integers(0, 50), query_seed=seeds)
+def test_query_round_trip(schema_seed, query_seed):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = random_query(schema, seed=query_seed, max_atoms=3)
+    assert parse_query(format_query(query)) == query
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 50), query_seed=seeds)
+def test_identity_join_query_round_trip(schema_seed, query_seed):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = random_identity_join_query(schema, seed=query_seed, max_atoms=4)
+    assert parse_query(format_query(query)) == query
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100), shuffle_seed=seeds)
+def test_mapping_round_trip(seed, shuffle_seed):
+    s1 = random_keyed_schema(seed, ["A", "B"], n_relations=2, max_arity=3)
+    s2 = shuffled_copy(s1, seed=shuffle_seed)
+    alpha, _ = isomorphism_pair(find_isomorphism(s1, s2))
+    parsed = parse_mapping(format_mapping(alpha), s1, s2)
+    assert parsed.queries() == alpha.queries()

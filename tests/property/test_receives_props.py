@@ -1,0 +1,72 @@
+"""Property tests: the receives relation under renaming compositions.
+
+For renaming (isomorphism-induced) mappings the receives relation is the
+graph of the attribute bijection; composing two renamings composes the
+graphs.  These are exactly the cases Theorem 13's easy direction produces,
+so the properties pin down the analysis on its most important inputs.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mappings import isomorphism_pair, renaming_mapping
+from repro.relational import QualifiedAttribute, find_isomorphism
+from repro.workloads import random_keyed_schema, shuffled_copy
+
+seeds = st.integers(0, 10_000)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100), shuffle_seed=seeds)
+def test_renaming_receives_is_witness_graph(seed, shuffle_seed):
+    s1 = random_keyed_schema(seed, ["A", "B"], n_relations=2, max_arity=3)
+    s2 = shuffled_copy(s1, seed=shuffle_seed)
+    witness = find_isomorphism(s1, s2)
+    mapping = renaming_mapping(witness)
+    receives = mapping.receives()
+    for src_rel in s1:
+        tgt_name = witness.relation_map[src_rel.name]
+        amap = witness.attribute_maps[src_rel.name]
+        tgt_rel = s2.relation(tgt_name)
+        for attr in src_rel.attributes:
+            source = QualifiedAttribute(src_rel.name, attr.name, attr.type_name)
+            target = QualifiedAttribute(
+                tgt_name, amap[attr.name], attr.type_name
+            )
+            # The target receives exactly its matched source attribute.
+            assert receives.received_by(target) == frozenset({source})
+            assert receives.constant_received(target) is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100), shuffle1=seeds, shuffle2=seeds)
+def test_receives_composes_through_renamings(seed, shuffle1, shuffle2):
+    s1 = random_keyed_schema(seed, ["A", "B"], n_relations=2, max_arity=3)
+    s2 = shuffled_copy(s1, seed=shuffle1)
+    s3 = shuffled_copy(s1, seed=shuffle2)
+    w12 = find_isomorphism(s1, s2)
+    w23 = find_isomorphism(s2, s3)
+    first = renaming_mapping(w12)
+    second = renaming_mapping(w23)
+    composed = first.then(second)
+    receives = composed.receives()
+    r12 = first.receives()
+    r23 = second.receives()
+    for target in s3.qualified_attributes():
+        mids = r23.received_by(target)
+        expected = frozenset(
+            source for mid in mids for source in r12.received_by(mid)
+        )
+        assert receives.received_by(target) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100), shuffle_seed=seeds)
+def test_round_trip_receives_is_identity_graph(seed, shuffle_seed):
+    """β∘α of an isomorphism pair receives each attribute from itself."""
+    s1 = random_keyed_schema(seed, ["A", "B"], n_relations=2, max_arity=3)
+    s2 = shuffled_copy(s1, seed=shuffle_seed)
+    alpha, beta = isomorphism_pair(find_isomorphism(s1, s2))
+    theta = alpha.then(beta)
+    receives = theta.receives()
+    for attr in s1.qualified_attributes():
+        assert receives.received_by(attr) == frozenset({attr})

@@ -1,0 +1,78 @@
+"""Property tests: Lemmas 1 and 2 over random identity-join queries."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lemmas import check_lemma1, check_lemma2
+from repro.cq.evaluation import evaluate
+from repro.cq.homomorphism import are_equivalent, is_contained_in
+from repro.cq.saturation import (
+    is_ij_saturated,
+    is_product_query,
+    lemma2_hat,
+    saturate,
+    to_product_query,
+)
+from repro.relational import random_instance
+from repro.workloads import random_identity_join_query, random_keyed_schema
+
+seeds = st.integers(0, 10_000)
+
+
+@settings(max_examples=60, deadline=None)
+@given(schema_seed=st.integers(0, 30), query_seed=seeds)
+def test_saturate_produces_saturated_subquery(schema_seed, query_seed):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = random_identity_join_query(schema, seed=query_seed, max_atoms=3)
+    saturated = saturate(query)
+    assert is_ij_saturated(saturated)
+    assert is_contained_in(saturated, query, schema)
+
+
+@settings(max_examples=60, deadline=None)
+@given(schema_seed=st.integers(0, 30), query_seed=seeds)
+def test_lemma1_product_equivalence(schema_seed, query_seed):
+    """Lemma 1 as a property: saturate, productify, still equivalent."""
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = random_identity_join_query(schema, seed=query_seed, max_atoms=3)
+    saturated = saturate(query)
+    product = to_product_query(saturated)
+    assert is_product_query(product)
+    assert are_equivalent(saturated, product, schema)
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 30), query_seed=seeds, data_seed=seeds)
+def test_lemma2_all_conditions(schema_seed, query_seed, data_seed):
+    """Lemma 2 (a)-(d) as executable properties on random instances."""
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = random_identity_join_query(schema, seed=query_seed, max_atoms=3)
+    instances = [
+        random_instance(schema, rows_per_relation=4, seed=data_seed + i)
+        for i in range(2)
+    ]
+    check = check_lemma2(query, schema, instances)
+    assert check.holds, check.detail
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 30), query_seed=seeds, data_seed=seeds)
+def test_lemma2_nonemptiness_pointwise(schema_seed, query_seed, data_seed):
+    """Condition (c) directly: q(d) non-empty implies q̂(d) non-empty."""
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = random_identity_join_query(schema, seed=query_seed, max_atoms=3)
+    hat = lemma2_hat(query)
+    instance = random_instance(schema, rows_per_relation=5, seed=data_seed)
+    if not evaluate(query, instance).is_empty():
+        assert not evaluate(hat, instance).is_empty()
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 30), query_seed=seeds, data_seed=seeds)
+def test_lemma1_check_helper(schema_seed, query_seed, data_seed):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    query = saturate(
+        random_identity_join_query(schema, seed=query_seed, max_atoms=3)
+    )
+    instance = random_instance(schema, rows_per_relation=4, seed=data_seed)
+    check = check_lemma1(query, schema, [instance])
+    assert check.holds, check.detail

@@ -1,0 +1,91 @@
+"""Property tests: UCQ containment against evaluation semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cq.ucq import (
+    UnionQuery,
+    evaluate_union,
+    minimize_union,
+    union_contained_in,
+    unions_equivalent,
+)
+from repro.errors import TypecheckError
+from repro.relational import random_instance
+from repro.workloads import random_keyed_schema, random_query
+
+seeds = st.integers(0, 10_000)
+
+
+def make_union(schema, base_seed, disjuncts):
+    queries = []
+    for i in range(disjuncts):
+        queries.append(
+            random_query(schema, seed=base_seed + i * 97, max_atoms=2, head_arity=1)
+        )
+    return UnionQuery(queries)
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 30), seed1=seeds, seed2=seeds, data_seed=seeds)
+def test_union_containment_sound(schema_seed, seed1, seed2, data_seed):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    left = make_union(schema, seed1, 2)
+    right = make_union(schema, seed2, 2)
+    try:
+        left.check_types(schema)
+        right.check_types(schema)
+        contained = union_contained_in(left, right, schema)
+    except TypecheckError:
+        return
+    if contained:
+        instance = random_instance(schema, rows_per_relation=5, seed=data_seed)
+        assert (
+            evaluate_union(left, instance).rows
+            <= evaluate_union(right, instance).rows
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 30), seed1=seeds, data_seed=seeds)
+def test_union_evaluation_is_disjunct_union(schema_seed, seed1, data_seed):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    union = make_union(schema, seed1, 3)
+    try:
+        union.check_types(schema)
+    except TypecheckError:
+        return
+    from repro.cq.evaluation import evaluate, synthesize_view_schema
+
+    instance = random_instance(schema, rows_per_relation=4, seed=data_seed)
+    view = synthesize_view_schema(union.disjuncts[0], schema)
+    expected = set()
+    for disjunct in union.disjuncts:
+        expected |= evaluate(disjunct, instance, view).rows
+    assert evaluate_union(union, instance, view).rows == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(schema_seed=st.integers(0, 30), seed1=seeds)
+def test_minimize_union_preserves_equivalence(schema_seed, seed1):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    union = make_union(schema, seed1, 3)
+    try:
+        union.check_types(schema)
+    except TypecheckError:
+        return
+    minimized = minimize_union(union, schema)
+    assert len(minimized) <= len(union)
+    assert unions_equivalent(union, minimized, schema)
+
+
+@settings(max_examples=30, deadline=None)
+@given(schema_seed=st.integers(0, 30), seed1=seeds)
+def test_union_contains_each_disjunct(schema_seed, seed1):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    union = make_union(schema, seed1, 3)
+    try:
+        union.check_types(schema)
+    except TypecheckError:
+        return
+    for disjunct in union.disjuncts:
+        assert union_contained_in(UnionQuery([disjunct]), union, schema)

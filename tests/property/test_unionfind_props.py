@@ -1,0 +1,60 @@
+"""Property tests: union-find invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.utils.unionfind import UnionFind
+
+pairs = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=40
+)
+
+
+@given(pairs)
+def test_connected_is_equivalence_relation(union_pairs):
+    uf = UnionFind(range(21))
+    for a, b in union_pairs:
+        uf.union(a, b)
+    # Reflexive and symmetric by construction; check transitivity on a
+    # sample of triples via representatives.
+    reps = uf.representative_map()
+    for a, b in union_pairs:
+        assert reps[a] == reps[b]
+    for x in range(21):
+        assert uf.connected(x, x)
+
+
+@given(pairs)
+def test_classes_partition(union_pairs):
+    uf = UnionFind(range(21))
+    for a, b in union_pairs:
+        uf.union(a, b)
+    classes = uf.classes()
+    seen = set()
+    for cls in classes:
+        assert cls.isdisjoint(seen)
+        seen |= cls
+    assert seen == set(range(21))
+
+
+@given(pairs, pairs)
+def test_union_order_irrelevant(first, second):
+    uf1 = UnionFind(range(21))
+    for a, b in first + second:
+        uf1.union(a, b)
+    uf2 = UnionFind(range(21))
+    for a, b in second + first:
+        uf2.union(a, b)
+    canonical1 = sorted(sorted(c) for c in uf1.classes())
+    canonical2 = sorted(sorted(c) for c in uf2.classes())
+    assert canonical1 == canonical2
+
+
+@given(pairs)
+def test_copy_preserves_classes(union_pairs):
+    uf = UnionFind(range(21))
+    for a, b in union_pairs:
+        uf.union(a, b)
+    clone = uf.copy()
+    assert sorted(map(sorted, clone.classes())) == sorted(
+        map(sorted, uf.classes())
+    )

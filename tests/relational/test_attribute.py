@@ -1,0 +1,39 @@
+"""Unit tests for attributes and qualified attributes."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.attribute import Attribute, QualifiedAttribute, make_attribute
+
+
+def test_attribute_fields_and_rename():
+    attr = Attribute("name", "Str")
+    assert attr.name == "name" and attr.type_name == "Str"
+    renamed = attr.renamed("label")
+    assert renamed == Attribute("label", "Str")
+
+
+def test_qualified_attribute_fields():
+    q = QualifiedAttribute("R", "a", "T")
+    assert q.relation == "R"
+    assert q.name == "a"
+    assert q.type_name == "T"
+
+
+def test_qualified_attributes_hashable_and_distinct():
+    assert QualifiedAttribute("R", "a", "T") == QualifiedAttribute("R", "a", "T")
+    assert QualifiedAttribute("R", "a", "T") != QualifiedAttribute("S", "a", "T")
+    {QualifiedAttribute("R", "a", "T")}
+
+
+def test_make_attribute_coercions():
+    assert make_attribute(Attribute("a", "T")) == Attribute("a", "T")
+    assert make_attribute(("a", "T")) == Attribute("a", "T")
+    assert make_attribute("a", default_type="T") == Attribute("a", "T")
+
+
+def test_make_attribute_requires_type():
+    with pytest.raises(SchemaError):
+        make_attribute("a")
+    with pytest.raises(SchemaError):
+        make_attribute(42)  # type: ignore[arg-type]

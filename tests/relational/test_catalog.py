@@ -1,0 +1,114 @@
+"""Unit tests for the schema builder DSL and text parser."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.attribute import Attribute
+from repro.relational.catalog import format_schema, parse_schema, relation, schema
+
+
+def test_relation_builder_with_tuples():
+    rel = relation("R", [("a", "T"), ("b", "U")], key=["a"])
+    assert rel.key == frozenset({"a"})
+    assert rel.type_signature == ("T", "U")
+
+
+def test_relation_builder_star_key():
+    rel = relation("R", ["a*", "b"], default_type="X")
+    assert rel.key == frozenset({"a"})
+    assert rel.attribute("b").type_name == "X"
+
+
+def test_relation_builder_explicit_key_overrides_stars():
+    rel = relation("R", ["a*", "b"], key=["b"], default_type="X")
+    assert rel.key == frozenset({"b"})
+
+
+def test_relation_builder_attribute_objects():
+    rel = relation("R", [Attribute("a", "T")])
+    assert rel.key is None
+
+
+def test_parse_schema_basic():
+    s, incs = parse_schema(
+        """
+        # a comment
+        employee(ss*: SSN, name: Name)
+        dept(id*: DeptId)
+        """
+    )
+    assert s.relation_names == ("employee", "dept")
+    assert s.relation("employee").key == frozenset({"ss"})
+    assert incs == ()
+
+
+def test_parse_schema_default_type():
+    s, _ = parse_schema("R(a*, b)", default_type="D")
+    assert s.relation("R").attribute("b").type_name == "D"
+
+
+def test_parse_schema_inclusions():
+    s, incs = parse_schema(
+        """
+        R(a*: T, b: U)
+        S(x*: U)
+        R[b] <= S[x]
+        """
+    )
+    assert len(incs) == 1
+    assert incs[0].source == "R" and incs[0].target == "S"
+
+
+def test_parse_schema_multi_attribute_inclusion():
+    s, incs = parse_schema(
+        """
+        R(a*: T, b: U)
+        S(x*: T, y: U)
+        R[a, b] <= S[x, y]
+        """
+    )
+    assert incs[0].source_attrs == ("a", "b")
+
+
+def test_parse_schema_rejects_bad_inclusion_types():
+    with pytest.raises(Exception):
+        parse_schema(
+            """
+            R(a*: T)
+            S(x*: U)
+            R[a] <= S[x]
+            """
+        )
+
+
+def test_parse_schema_rejects_garbage():
+    with pytest.raises(SchemaError):
+        parse_schema("not a relation decl (")
+
+
+def test_parse_schema_rejects_empty():
+    with pytest.raises(SchemaError):
+        parse_schema("# only a comment")
+
+
+def test_parse_schema_rejects_no_attributes():
+    with pytest.raises(SchemaError):
+        parse_schema("R()")
+
+
+def test_format_round_trips():
+    text = """
+    employee(ss*: SSN, name: Name)
+    dept(id*: DeptId, mgr: SSN)
+    dept[mgr] <= employee[ss]
+    """
+    s, incs = parse_schema(text)
+    formatted = format_schema(s, incs)
+    s2, incs2 = parse_schema(formatted)
+    assert s == s2
+    assert incs == incs2
+
+
+def test_unkeyed_relations_parse():
+    s, _ = parse_schema("E(src: Node, dst: Node)")
+    assert not s.relation("E").is_keyed

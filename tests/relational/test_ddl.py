@@ -1,0 +1,63 @@
+"""Unit tests for SQL DDL export."""
+
+from repro.relational import parse_schema
+from repro.relational.ddl import domain_ddl, inclusion_ddl, relation_ddl, to_ddl
+from repro.workloads import paper_schema_1
+
+
+def test_domain_ddl_per_type():
+    s, _ = parse_schema("R(a*: T, b: U)")
+    statements = domain_ddl(s)
+    assert len(statements) == 2
+    assert any('"T"' in stmt for stmt in statements)
+    assert all(stmt.startswith("CREATE DOMAIN") for stmt in statements)
+
+
+def test_relation_ddl_with_primary_key():
+    s, _ = parse_schema("R(a*: T, b*: T, c: U)")
+    ddl = relation_ddl(s.relation("R"))
+    assert ddl.startswith('CREATE TABLE "R"')
+    assert "PRIMARY KEY" in ddl
+    assert '"a"' in ddl and '"b"' in ddl and '"c"' in ddl
+    assert "NOT NULL" in ddl
+
+
+def test_relation_ddl_unkeyed_no_pk():
+    s, _ = parse_schema("E(a: T, b: T)")
+    ddl = relation_ddl(s.relation("E"))
+    assert "PRIMARY KEY" not in ddl
+
+
+def test_inclusion_to_foreign_key():
+    s, incs = parse_schema(
+        """
+        R(a*: T, b: U)
+        S(x*: U)
+        R[b] <= S[x]
+        """
+    )
+    ddl = inclusion_ddl(s, incs[0])
+    assert ddl.startswith("ALTER TABLE")
+    assert "FOREIGN KEY" in ddl
+    assert 'REFERENCES "S"' in ddl
+
+
+def test_non_key_inclusion_becomes_comment():
+    s, incs = parse_schema(
+        """
+        R(a*: T, b: U)
+        S(x*: U, y: T)
+        R[a] <= S[y]
+        """
+    )
+    ddl = inclusion_ddl(s, incs[0])
+    assert ddl.startswith("--")
+
+
+def test_full_script_on_paper_schema():
+    schema1, inclusions = paper_schema_1()
+    script = to_ddl(schema1, inclusions)
+    assert script.count("CREATE TABLE") == 3
+    # All three §1 inclusions target keys, so all become FKs.
+    assert script.count("FOREIGN KEY") == 3
+    assert script.endswith("\n")

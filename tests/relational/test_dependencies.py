@@ -1,0 +1,127 @@
+"""Unit tests for FD, key, and inclusion dependencies (paper §2 semantics)."""
+
+import pytest
+
+from repro.errors import DependencyError
+from repro.relational.catalog import relation, schema
+from repro.relational.dependencies import (
+    FunctionalDependency,
+    InclusionDependency,
+    KeyDependency,
+    key_dependencies,
+)
+from repro.relational.domain import Value
+from repro.relational.instance import DatabaseInstance
+
+
+@pytest.fixture
+def s():
+    return schema(
+        relation("R", [("a", "T"), ("b", "U"), ("c", "U")], key=["a"]),
+        relation("S", [("x", "T"), ("y", "U")], key=["x"]),
+    )
+
+
+def instance(s, r_rows, s_rows=()):
+    return DatabaseInstance.from_rows(
+        s,
+        {
+            "R": [
+                (Value("T", a), Value("U", b), Value("U", c)) for a, b, c in r_rows
+            ],
+            "S": [(Value("T", x), Value("U", y)) for x, y in s_rows],
+        },
+    )
+
+
+def test_fd_satisfaction_within_relation(s):
+    fd = FunctionalDependency.of_relation(s.relation("R"), ["b"], ["c"])
+    good = instance(s, [(1, 10, 100), (2, 10, 100)])
+    assert fd.satisfied_by(good)
+    bad = instance(s, [(1, 10, 100), (2, 10, 200)])
+    assert not fd.satisfied_by(bad)
+
+
+def test_cross_relation_fd_fails_for_every_instance(s):
+    """Paper §2: a cross-relation FD fails for any instance."""
+    fd = FunctionalDependency(
+        [s.relation("R").qualify("a")], [s.relation("S").qualify("y")]
+    )
+    assert fd.single_relation() is None
+    assert not fd.satisfied_by(instance(s, []))  # even the empty instance
+
+
+def test_fd_empty_rhs_rejected(s):
+    with pytest.raises(DependencyError):
+        FunctionalDependency([s.relation("R").qualify("a")], [])
+
+
+def test_fd_empty_lhs_means_constant_column(s):
+    fd = FunctionalDependency([], [s.relation("R").qualify("b")])
+    assert fd.satisfied_by(instance(s, [(1, 10, 100), (2, 10, 200)]))
+    assert not fd.satisfied_by(instance(s, [(1, 10, 100), (2, 20, 200)]))
+
+
+def test_key_dependency_satisfaction(s):
+    key = KeyDependency.of_relation(s.relation("R"))
+    assert key.satisfied_by(instance(s, [(1, 10, 100), (2, 10, 100)]))
+    assert not key.satisfied_by(instance(s, [(1, 10, 100), (1, 20, 200)]))
+
+
+def test_key_dependency_as_fd(s):
+    key = KeyDependency("R", ["a"])
+    fd = key.as_fd(s)
+    assert {q.attribute for q in fd.lhs} == {"a"}
+    assert {q.attribute for q in fd.rhs} == {"a", "b", "c"}
+
+
+def test_key_dependency_requires_declared_key():
+    unkeyed = relation("R", [("a", "T")])
+    with pytest.raises(DependencyError):
+        KeyDependency.of_relation(unkeyed)
+
+
+def test_key_dependencies_of_schema(s):
+    keys = key_dependencies(s)
+    assert {k.relation for k in keys} == {"R", "S"}
+
+
+def test_inclusion_dependency_satisfaction(s):
+    inc = InclusionDependency("R", ["a"], "S", ["x"])
+    inc.validate(s)
+    ok = instance(s, [(1, 10, 100)], [(1, 50)])
+    assert inc.satisfied_by(ok)
+    bad = instance(s, [(1, 10, 100)], [(2, 50)])
+    assert not inc.satisfied_by(bad)
+
+
+def test_inclusion_dependency_type_mismatch(s):
+    inc = InclusionDependency("R", ["b"], "S", ["x"])  # U vs T
+    with pytest.raises(DependencyError):
+        inc.validate(s)
+
+
+def test_inclusion_dependency_arity_mismatch():
+    with pytest.raises(DependencyError):
+        InclusionDependency("R", ["a", "b"], "S", ["x"])
+
+
+def test_inclusion_dependency_empty_rejected():
+    with pytest.raises(DependencyError):
+        InclusionDependency("R", [], "S", [])
+
+
+def test_inclusion_multi_column(s):
+    inc = InclusionDependency("R", ["a", "b"], "R", ["a", "c"])
+    # row where (a, b) == some (a, c) projection
+    ok = instance(s, [(1, 10, 10)])
+    assert inc.satisfied_by(ok)
+    bad = instance(s, [(1, 10, 20)])
+    assert not inc.satisfied_by(bad)
+
+
+def test_dependency_equality_and_hash(s):
+    assert KeyDependency("R", ["a"]) == KeyDependency("R", ("a",))
+    assert hash(InclusionDependency("R", ["a"], "S", ["x"])) == hash(
+        InclusionDependency("R", ["a"], "S", ["x"])
+    )

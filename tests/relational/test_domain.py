@@ -1,0 +1,77 @@
+"""Unit tests for domains, attribute types, and typed values."""
+
+import pytest
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.relational.domain import AttributeType, Domain, Value, default_domain
+
+
+def test_values_of_different_types_are_distinct():
+    assert Value("A", 1) != Value("B", 1)
+
+
+def test_attribute_type_wraps_values():
+    t = AttributeType("Str")
+    v = t.value("alice")
+    assert v.type_name == "Str" and v.token == "alice"
+    assert t.contains(v)
+
+
+def test_attribute_type_check_rejects_wrong_type():
+    t = AttributeType("Str")
+    with pytest.raises(TypeMismatchError):
+        t.check(Value("Int", 5))
+
+
+def test_attribute_type_equality_by_name():
+    assert AttributeType("X") == AttributeType("X")
+    assert AttributeType("X") != AttributeType("Y")
+    assert hash(AttributeType("X")) == hash(AttributeType("X"))
+
+
+def test_attribute_type_rejects_empty_name():
+    with pytest.raises(SchemaError):
+        AttributeType("")
+
+
+def test_fresh_values_avoid_existing():
+    t = AttributeType("T")
+    existing = [t.value(0), t.value(1)]
+    fresh = t.fresh_values(3, avoid=existing)
+    assert len(fresh) == 3
+    assert set(fresh).isdisjoint(existing)
+    assert all(v.type_name == "T" for v in fresh)
+
+
+def test_fresh_values_ignore_other_types():
+    t = AttributeType("T")
+    fresh = t.fresh_values(1, avoid=[Value("U", 0)])
+    assert fresh[0] == t.value(0)
+
+
+def test_domain_registers_and_lazily_creates_types():
+    domain = Domain()
+    t = domain.type("New")
+    assert t.name == "New"
+    assert "New" in domain
+    assert domain.type("New") is t
+
+
+def test_domain_choice_function_is_fixed():
+    domain = Domain()
+    assert domain.choice("T") == domain.choice("T")
+    assert domain.choice("T").type_name == "T"
+    assert domain.choice("T") != domain.choice("U")
+
+
+def test_domain_check_value():
+    domain = default_domain(["A"])
+    domain.check_value(Value("A", 1))
+    with pytest.raises(TypeMismatchError):
+        domain.check_value(Value("B", 1))
+
+
+def test_default_domain_contents():
+    domain = default_domain(["A", "B"])
+    assert len(domain) == 2
+    assert {t.name for t in domain} == {"A", "B"}

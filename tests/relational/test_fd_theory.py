@@ -1,0 +1,84 @@
+"""Unit tests for classical FD theory (closure, keys, covers)."""
+
+from repro.relational.fd_theory import (
+    candidate_keys,
+    closure,
+    equivalent_covers,
+    fd,
+    implies,
+    is_key,
+    is_superkey,
+    minimal_cover,
+    project_fds,
+)
+
+
+def test_closure_fixpoint():
+    fds = [fd("A", "B"), fd("B", "C")]
+    assert closure({"A"}, fds) == frozenset({"A", "B", "C"})
+    assert closure({"B"}, fds) == frozenset({"B", "C"})
+    assert closure({"C"}, fds) == frozenset({"C"})
+
+
+def test_closure_with_composite_lhs():
+    fds = [fd("AB", "C")]
+    assert "C" not in closure({"A"}, fds)
+    assert "C" in closure({"A", "B"}, fds)
+
+
+def test_implies():
+    fds = [fd("A", "B"), fd("B", "C")]
+    assert implies(fds, fd("A", "C"))
+    assert not implies(fds, fd("C", "A"))
+
+
+def test_equivalent_covers():
+    fds1 = [fd("A", "B"), fd("B", "C")]
+    fds2 = [fd("A", "BC"), fd("B", "C")]
+    assert equivalent_covers(fds1, fds2)
+    assert not equivalent_covers(fds1, [fd("A", "B")])
+
+
+def test_superkey_and_key():
+    attrs = ["A", "B", "C"]
+    fds = [fd("A", "BC")]
+    assert is_superkey({"A"}, attrs, fds)
+    assert is_superkey({"A", "B"}, attrs, fds)
+    assert is_key({"A"}, attrs, fds)
+    assert not is_key({"A", "B"}, attrs, fds)
+
+
+def test_candidate_keys_simple():
+    attrs = ["A", "B", "C"]
+    fds = [fd("A", "B"), fd("B", "C")]
+    assert candidate_keys(attrs, fds) == [frozenset({"A"})]
+
+
+def test_candidate_keys_multiple():
+    # A -> B, B -> A: both A+C and B+C are keys.
+    attrs = ["A", "B", "C"]
+    fds = [fd("A", "B"), fd("B", "A"), fd("AC", "ABC"), fd("BC", "ABC")]
+    keys = candidate_keys(attrs, fds)
+    assert frozenset({"A", "C"}) in keys
+    assert frozenset({"B", "C"}) in keys
+
+
+def test_minimal_cover_removes_redundancy():
+    fds = [fd("A", "B"), fd("B", "C"), fd("A", "C")]  # A->C is redundant
+    cover = minimal_cover(fds)
+    assert equivalent_covers(cover, fds)
+    assert (frozenset({"A"}), frozenset({"C"})) not in cover
+
+
+def test_minimal_cover_trims_extraneous_lhs():
+    fds = [fd("A", "B"), fd("AB", "C")]  # B extraneous in AB->C? A->B so yes
+    cover = minimal_cover(fds)
+    assert equivalent_covers(cover, fds)
+    assert (frozenset({"A"}), frozenset({"C"})) in cover
+
+
+def test_project_fds():
+    fds = [fd("A", "B"), fd("B", "C")]
+    projected = project_fds(fds, ["A", "C"])
+    assert implies(projected, fd("A", "C"))
+    assert not implies(projected, fd("C", "A"))

@@ -1,0 +1,95 @@
+"""Unit tests for the proof-gadget and random instance generators."""
+
+import pytest
+
+from repro.errors import InstanceError
+from repro.relational import (
+    QualifiedAttribute,
+    Value,
+    attribute_specific_instance,
+    empty_instance,
+    g_swap,
+    random_instance,
+    single_tuple_instance,
+    two_key_values,
+)
+
+
+def test_attribute_specific_instance_is_attribute_specific(two_relation_schema):
+    inst = attribute_specific_instance(two_relation_schema, rows_per_relation=3)
+    assert inst.is_attribute_specific()
+    assert inst.satisfies_keys()
+    assert inst.all_nonempty()
+    for rel in inst:
+        assert len(rel) == 3
+
+
+def test_attribute_specific_instance_avoids_values(two_relation_schema):
+    avoid = [Value("T", i) for i in range(10)]
+    inst = attribute_specific_instance(two_relation_schema, avoid=avoid)
+    assert inst.values().isdisjoint(avoid)
+
+
+def test_attribute_specific_rejects_zero_rows(two_relation_schema):
+    with pytest.raises(InstanceError):
+        attribute_specific_instance(two_relation_schema, rows_per_relation=0)
+
+
+def test_vary_gives_two_rows_differing_only_there(two_relation_schema):
+    vary = QualifiedAttribute("R", "a", "T")
+    inst = attribute_specific_instance(two_relation_schema, vary=vary)
+    r = inst.relation("R")
+    assert len(r) == 2
+    rows = sorted(r.rows, key=repr)
+    pos = r.schema.position("a")
+    assert rows[0][pos] != rows[1][pos]
+    for i in range(r.schema.arity):
+        if i != pos:
+            assert rows[0][i] == rows[1][i]
+    # Other relations still single-row.
+    assert len(inst.relation("S")) == 1
+
+
+def test_two_key_values_returns_the_pair(two_relation_schema):
+    vary = QualifiedAttribute("R", "a", "T")
+    inst, k1, k2 = two_key_values(two_relation_schema, vary)
+    assert k1 != k2
+    assert inst.column(vary) == frozenset({k1, k2})
+
+
+def test_g_swap_swaps_and_fixes(two_relation_schema):
+    vary = QualifiedAttribute("R", "a", "T")
+    inst, k1, k2 = two_key_values(two_relation_schema, vary)
+    swapped = g_swap(inst, k1, k2)
+    # The varied column still holds {k1, k2}; everything else unchanged.
+    assert swapped.column(vary) == frozenset({k1, k2})
+    assert swapped.relation("S") == inst.relation("S")
+    # g is an involution.
+    assert g_swap(swapped, k1, k2) == inst
+
+
+def test_random_instance_satisfies_keys(two_relation_schema):
+    for seed in range(5):
+        inst = random_instance(two_relation_schema, rows_per_relation=8, seed=seed)
+        assert inst.satisfies_keys()
+
+
+def test_random_instance_is_deterministic(two_relation_schema):
+    a = random_instance(two_relation_schema, rows_per_relation=5, seed=42)
+    b = random_instance(two_relation_schema, rows_per_relation=5, seed=42)
+    assert a == b
+
+
+def test_random_instance_per_relation_sizes(two_relation_schema):
+    inst = random_instance(
+        two_relation_schema, rows_per_relation={"R": 2, "S": 6}, seed=1
+    )
+    assert len(inst.relation("R")) == 2
+    assert len(inst.relation("S")) == 6
+
+
+def test_empty_and_single_tuple(two_relation_schema):
+    assert empty_instance(two_relation_schema).is_empty()
+    single = single_tuple_instance(two_relation_schema)
+    assert all(len(r) == 1 for r in single)
+    assert single.is_attribute_specific()

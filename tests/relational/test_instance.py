@@ -1,0 +1,146 @@
+"""Unit tests for relation and database instances."""
+
+import pytest
+
+from repro.errors import InstanceError, TypeMismatchError
+from repro.relational.attribute import QualifiedAttribute
+from repro.relational.catalog import relation, schema
+from repro.relational.domain import Value
+from repro.relational.instance import DatabaseInstance, RelationInstance
+
+
+@pytest.fixture
+def rel():
+    return relation("R", [("a", "T"), ("b", "U")], key=["a"])
+
+
+def rows(*pairs):
+    return [(Value("T", a), Value("U", b)) for a, b in pairs]
+
+
+def test_relation_instance_holds_rows(rel):
+    inst = RelationInstance(rel, rows((1, 10), (2, 20)))
+    assert len(inst) == 2
+    assert (Value("T", 1), Value("U", 10)) in inst
+    assert not inst.is_empty()
+
+
+def test_relation_instance_rejects_wrong_arity(rel):
+    with pytest.raises(InstanceError):
+        RelationInstance(rel, [(Value("T", 1),)])
+
+
+def test_relation_instance_rejects_wrong_type(rel):
+    with pytest.raises(TypeMismatchError):
+        RelationInstance(rel, [(Value("U", 1), Value("U", 2))])
+
+
+def test_column_projection(rel):
+    inst = RelationInstance(rel, rows((1, 10), (2, 10)))
+    assert inst.column("b") == frozenset({Value("U", 10)})
+    assert inst.project(["b", "a"]) == frozenset(
+        {(Value("U", 10), Value("T", 1)), (Value("U", 10), Value("T", 2))}
+    )
+
+
+def test_satisfies_key(rel):
+    good = RelationInstance(rel, rows((1, 10), (2, 10)))
+    assert good.satisfies_key()
+    # Same key value, different non-key: violation.
+    bad = RelationInstance(rel, rows((1, 10), (1, 20)))
+    assert not bad.satisfies_key()
+
+
+def test_unkeyed_relation_always_satisfies_key():
+    unkeyed = relation("R", [("a", "T"), ("b", "U")])
+    inst = RelationInstance(unkeyed, rows((1, 10), (1, 20)))
+    assert inst.satisfies_key()
+
+
+def test_key_projection(rel):
+    inst = RelationInstance(rel, rows((1, 10), (2, 20)))
+    kappa = inst.key_projection()
+    assert kappa.schema.arity == 1
+    assert kappa.rows == frozenset({(Value("T", 1),), (Value("T", 2),)})
+
+
+def test_with_rows_and_map_rows(rel):
+    inst = RelationInstance(rel, rows((1, 10)))
+    extended = inst.with_rows(rows((2, 20)))
+    assert len(extended) == 2 and len(inst) == 1
+    doubled = inst.map_rows(
+        lambda row: (Value("T", row[0].token * 2), row[1])
+    )
+    assert (Value("T", 2), Value("U", 10)) in doubled
+
+
+def test_database_instance_fills_missing_relations(rel):
+    s = schema(rel, relation("S", [("c", "T")], key=["c"]))
+    inst = DatabaseInstance(s)
+    assert inst.relation("S").is_empty()
+    assert inst.is_empty()
+    assert not inst.all_nonempty()
+
+
+def test_database_instance_rejects_unknown_relation(rel):
+    s = schema(rel)
+    other = relation("X", [("a", "T")], key=["a"])
+    with pytest.raises(InstanceError):
+        DatabaseInstance(s, {"X": RelationInstance(other)})
+
+
+def test_database_instance_rejects_mismatched_schema(rel):
+    s = schema(rel)
+    wrong = relation("R", [("a", "T")], key=["a"])
+    with pytest.raises(InstanceError):
+        DatabaseInstance(s, {"R": RelationInstance(wrong)})
+
+
+def test_from_rows_and_total(rel):
+    s = schema(rel)
+    inst = DatabaseInstance.from_rows(s, {"R": rows((1, 10), (2, 20))})
+    assert inst.total_rows() == 2
+    assert inst.satisfies_keys()
+
+
+def test_with_relation_replaces(rel):
+    s = schema(rel)
+    inst = DatabaseInstance(s)
+    updated = inst.with_relation(RelationInstance(rel, rows((5, 50))))
+    assert updated.total_rows() == 1 and inst.total_rows() == 0
+
+
+def test_attribute_specific_detection(rel):
+    s = schema(rel, relation("S", [("c", "T")], key=["c"]))
+    shared = DatabaseInstance.from_rows(
+        s, {"R": rows((1, 10)), "S": [(Value("T", 1),)]}
+    )
+    assert not shared.is_attribute_specific()  # value 1 in R.a and S.c
+    disjoint = DatabaseInstance.from_rows(
+        s, {"R": rows((1, 10)), "S": [(Value("T", 2),)]}
+    )
+    assert disjoint.is_attribute_specific()
+
+
+def test_column_by_qualified_attribute(rel):
+    s = schema(rel)
+    inst = DatabaseInstance.from_rows(s, {"R": rows((1, 10))})
+    assert inst.column(QualifiedAttribute("R", "a", "T")) == frozenset(
+        {Value("T", 1)}
+    )
+
+
+def test_database_key_projection(rel):
+    s = schema(rel)
+    inst = DatabaseInstance.from_rows(s, {"R": rows((1, 10), (2, 20))})
+    kappa = inst.key_projection()
+    assert kappa.schema.relation("R").arity == 1
+    assert kappa.relation("R").rows == frozenset(
+        {(Value("T", 1),), (Value("T", 2),)}
+    )
+
+
+def test_values_union(rel):
+    s = schema(rel)
+    inst = DatabaseInstance.from_rows(s, {"R": rows((1, 10))})
+    assert inst.values() == frozenset({Value("T", 1), Value("U", 10)})

@@ -1,0 +1,113 @@
+"""Unit tests for schema isomorphism ("identical up to renaming/re-ordering")."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import (
+    Value,
+    canonical_form,
+    explain_difference,
+    find_isomorphism,
+    is_isomorphic,
+    parse_schema,
+    random_instance,
+    relation,
+    schema,
+)
+from repro.workloads import random_keyed_schema, shuffled_copy
+
+
+def test_identical_schemas_are_isomorphic(isomorphic_pair):
+    s1, _ = isomorphic_pair
+    assert is_isomorphic(s1, s1)
+
+
+def test_renamed_reordered_schemas_are_isomorphic(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    assert is_isomorphic(s1, s2)
+    witness = find_isomorphism(s1, s2)
+    assert witness is not None and witness.verify()
+
+
+def test_key_placement_matters():
+    s1, _ = parse_schema("R(a*: T, b: T)")
+    s2, _ = parse_schema("R(a*: T, b*: T)")
+    assert not is_isomorphic(s1, s2)
+
+
+def test_type_counts_matter(non_isomorphic_pair):
+    s1, s2 = non_isomorphic_pair
+    assert not is_isomorphic(s1, s2)
+    assert find_isomorphism(s1, s2) is None
+
+
+def test_relation_count_matters():
+    s1, _ = parse_schema("R(a*: T)")
+    s2, _ = parse_schema("R(a*: T)\nS(b*: T)")
+    assert not is_isomorphic(s1, s2)
+    assert "relation counts" in explain_difference(s1, s2)
+
+
+def test_keyed_vs_unkeyed_never_isomorphic():
+    keyed = schema(relation("R", [("a", "T")], key=["a"]))
+    unkeyed = schema(relation("R", [("a", "T")]))
+    assert not is_isomorphic(keyed, unkeyed)
+
+
+def test_canonical_form_agrees_with_witness_search():
+    for seed in range(15):
+        s1 = random_keyed_schema(seed, ["A", "B"], n_relations=2, max_arity=3)
+        s2 = random_keyed_schema(seed + 100, ["A", "B"], n_relations=2, max_arity=3)
+        assert (canonical_form(s1) == canonical_form(s2)) == (
+            find_isomorphism(s1, s2) is not None
+        )
+
+
+def test_shuffled_copy_is_isomorphic():
+    for seed in range(10):
+        original = random_keyed_schema(seed, ["A", "B", "C"], n_relations=3)
+        copy = shuffled_copy(original, seed=seed + 1)
+        witness = find_isomorphism(original, copy)
+        assert witness is not None and witness.verify()
+
+
+def test_witness_inverse_verifies(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    witness = find_isomorphism(s1, s2)
+    assert witness.inverse().verify()
+
+
+def test_transport_instance_preserves_keys(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    witness = find_isomorphism(s1, s2)
+    instance = random_instance(s1, rows_per_relation=4, seed=5)
+    transported = witness.transport_instance(instance)
+    assert transported.schema == s2
+    assert transported.total_rows() == instance.total_rows()
+    assert transported.satisfies_keys() == instance.satisfies_keys()
+
+
+def test_transport_rejects_foreign_instance(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    witness = find_isomorphism(s1, s2)
+    foreign = random_instance(s2, rows_per_relation=2, seed=0)
+    with pytest.raises(SchemaError):
+        witness.transport_instance(foreign)
+
+
+def test_transport_round_trip(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    witness = find_isomorphism(s1, s2)
+    instance = random_instance(s1, rows_per_relation=3, seed=9)
+    back = witness.inverse().transport_instance(witness.transport_instance(instance))
+    assert back == instance
+
+
+def test_explain_difference_empty_for_isomorphic(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    assert explain_difference(s1, s2) == ""
+
+
+def test_explain_difference_mentions_signatures(non_isomorphic_pair):
+    s1, s2 = non_isomorphic_pair
+    assert "signature" in explain_difference(s1, s2)

@@ -1,0 +1,146 @@
+"""Unit tests for relation schemes and database schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.attribute import Attribute, QualifiedAttribute
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def make_rel(key=("a",)):
+    return RelationSchema(
+        "R", [Attribute("a", "T"), Attribute("b", "U"), Attribute("c", "T")], key
+    )
+
+
+def test_basic_properties():
+    rel = make_rel()
+    assert rel.name == "R"
+    assert rel.arity == 3
+    assert rel.type_signature == ("T", "U", "T")
+    assert rel.is_keyed
+    assert rel.key == frozenset({"a"})
+
+
+def test_duplicate_attribute_names_rejected():
+    with pytest.raises(SchemaError):
+        RelationSchema("R", [Attribute("a", "T"), Attribute("a", "U")])
+
+
+def test_empty_attribute_list_rejected():
+    with pytest.raises(SchemaError):
+        RelationSchema("R", [])
+
+
+def test_key_must_be_subset():
+    with pytest.raises(SchemaError):
+        make_rel(key=("z",))
+
+
+def test_empty_key_rejected():
+    with pytest.raises(SchemaError):
+        make_rel(key=())
+
+
+def test_unkeyed_relation():
+    rel = RelationSchema("R", [Attribute("a", "T")], None)
+    assert not rel.is_keyed
+    assert rel.key_positions() == ()
+    assert rel.nonkey_positions() == (0,)
+
+
+def test_positions_and_lookup():
+    rel = make_rel(key=("a", "c"))
+    assert rel.position("b") == 1
+    assert rel.key_positions() == (0, 2)
+    assert rel.nonkey_positions() == (1,)
+    assert [a.name for a in rel.key_attributes()] == ["a", "c"]
+    assert [a.name for a in rel.nonkey_attributes()] == ["b"]
+    with pytest.raises(SchemaError):
+        rel.position("nope")
+
+
+def test_qualified_attributes():
+    rel = make_rel()
+    qualified = rel.qualified()
+    assert qualified[0] == QualifiedAttribute("R", "a", "T")
+    assert rel.qualify("b") == QualifiedAttribute("R", "b", "U")
+
+
+def test_renamed_and_reordered():
+    rel = make_rel()
+    renamed = rel.renamed("S")
+    assert renamed.name == "S" and renamed.attributes == rel.attributes
+    reordered = rel.reordered(["c", "a", "b"])
+    assert [a.name for a in reordered.attributes] == ["c", "a", "b"]
+    assert reordered.key == rel.key
+    with pytest.raises(SchemaError):
+        rel.reordered(["a", "b"])
+
+
+def test_with_attributes_renamed_updates_key():
+    rel = make_rel()
+    renamed = rel.with_attributes_renamed({"a": "id"})
+    assert renamed.key == frozenset({"id"})
+    assert renamed.attribute("id").type_name == "T"
+
+
+def test_key_projection():
+    rel = make_rel(key=("a", "c"))
+    kappa = rel.key_projection()
+    assert [a.name for a in kappa.attributes] == ["a", "c"]
+    assert kappa.key is None
+    unkeyed = rel.unkeyed()
+    with pytest.raises(SchemaError):
+        unkeyed.key_projection()
+
+
+def test_database_schema_basics():
+    s = DatabaseSchema([make_rel(), make_rel().renamed("S")])
+    assert len(s) == 2
+    assert s.relation_names == ("R", "S")
+    assert s.has_relation("R") and not s.has_relation("X")
+    assert "R" in s
+    with pytest.raises(SchemaError):
+        s.relation("X")
+
+
+def test_database_schema_duplicate_names_rejected():
+    with pytest.raises(SchemaError):
+        DatabaseSchema([make_rel(), make_rel()])
+
+
+def test_database_schema_empty_rejected():
+    with pytest.raises(SchemaError):
+        DatabaseSchema([])
+
+
+def test_keyed_unkeyed_flags():
+    keyed = DatabaseSchema([make_rel()])
+    assert keyed.is_keyed and not keyed.is_unkeyed
+    unkeyed = keyed.unkeyed()
+    assert unkeyed.is_unkeyed and not unkeyed.is_keyed
+
+
+def test_type_counts():
+    s = DatabaseSchema([make_rel()])
+    assert s.type_count("T") == 2
+    assert s.type_count("U") == 1
+    assert s.type_names() == ("T", "U")
+
+
+def test_qualified_attribute_partition():
+    s = DatabaseSchema([make_rel(key=("a",))])
+    keys = s.key_qualified_attributes()
+    nonkeys = s.nonkey_qualified_attributes()
+    assert {q.attribute for q in keys} == {"a"}
+    assert {q.attribute for q in nonkeys} == {"b", "c"}
+    assert set(keys) | set(nonkeys) == set(s.qualified_attributes())
+
+
+def test_with_relation_replaced():
+    s = DatabaseSchema([make_rel()])
+    replaced = s.with_relation_replaced(make_rel(key=("b",)))
+    assert replaced.relation("R").key == frozenset({"b"})
+    with pytest.raises(SchemaError):
+        s.with_relation_replaced(make_rel().renamed("Z"))

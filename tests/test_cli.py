@@ -1,0 +1,214 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SCHEMA_A = """
+emp(ss*: SSN, name: Name)
+"""
+SCHEMA_B = """
+person(id*: SSN, nm: Name)
+"""
+SCHEMA_C = """
+person(id*: SSN, nm: Name, extra: Name)
+"""
+SCHEMA_RS = """
+R(a*: T, b: U)
+S(c*: U, d: T)
+"""
+
+
+@pytest.fixture
+def schema_files(tmp_path):
+    paths = {}
+    for name, text in [
+        ("a", SCHEMA_A),
+        ("b", SCHEMA_B),
+        ("c", SCHEMA_C),
+        ("rs", SCHEMA_RS),
+    ]:
+        path = tmp_path / f"{name}.schema"
+        path.write_text(text)
+        paths[name] = str(path)
+    return paths
+
+
+def test_equiv_positive(schema_files, capsys):
+    code = main(["equiv", schema_files["a"], schema_files["b"], "--verify"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "equivalent" in out
+    assert "certificate re-verifies: True" in out
+
+
+def test_equiv_negative(schema_files, capsys):
+    code = main(["equiv", schema_files["a"], schema_files["c"]])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "NOT" in out
+
+
+def test_contains_inline_queries(schema_files, capsys):
+    code = main(
+        [
+            "contains",
+            schema_files["rs"],
+            "Q(X) :- R(X, Y), S(C, D), Y = C.",
+            "Q(X) :- R(X, Y).",
+        ]
+    )
+    assert code == 0
+    assert "True" in capsys.readouterr().out
+
+
+def test_contains_under_keys(schema_files, capsys):
+    code = main(
+        [
+            "contains",
+            schema_files["rs"],
+            "--keys",
+            "Q(Y, Y2) :- R(X, Y), R(X2, Y2), X = X2.",
+            "Q(Y, Y) :- R(X, Y).",
+        ]
+    )
+    assert code == 0
+
+
+def test_contains_query_file(schema_files, tmp_path, capsys):
+    qfile = tmp_path / "q1.cq"
+    qfile.write_text("Q(X) :- R(X, Y).\n")
+    code = main(
+        ["contains", schema_files["rs"], str(qfile), "Q(X) :- R(X, Y)."]
+    )
+    assert code == 0
+
+
+def test_minimize(schema_files, capsys):
+    code = main(
+        ["minimize", schema_files["rs"], "Q(X) :- R(X, Y), R(A, B)."]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.count("R(") == 1
+
+
+def test_kappa(schema_files, capsys):
+    code = main(["kappa", schema_files["rs"]])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "R(a: T)" in out
+    assert "S(c: U)" in out
+
+
+def test_ddl(schema_files, capsys):
+    code = main(["ddl", schema_files["rs"]])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "CREATE TABLE" in out and "PRIMARY KEY" in out
+
+
+def test_search_found(schema_files, capsys):
+    code = main(
+        ["search", schema_files["a"], schema_files["b"], "--max-atoms", "1"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "witness found" in out
+
+
+def test_search_one_way_dominance(schema_files, capsys):
+    """A schema IS dominated by a larger one — only equivalence fails."""
+    code = main(
+        ["search", schema_files["a"], schema_files["c"], "--max-atoms", "1"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "witness found" in out
+
+
+def test_search_not_found(schema_files, capsys):
+    """The reverse direction: the larger schema cannot be dominated by the
+    smaller one (Lemmas 3 + 10 make it impossible)."""
+    code = main(
+        ["search", schema_files["c"], schema_files["a"], "--max-atoms", "1"]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "no witness" in out
+
+
+def test_bad_input_exit_code_2(tmp_path, capsys):
+    empty = tmp_path / "empty.schema"
+    empty.write_text("")
+    code = main(["equiv", str(empty), str(empty)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "error:" in captured.err
+
+
+def test_missing_file_exit_code_2(capsys):
+    code = main(["kappa", "/nonexistent/path.schema"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_trace_command(schema_files, capsys):
+    code = main(["trace", schema_files["a"], schema_files["b"]])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Theorem 13 proof trace" in out
+    assert "EQUIVALENT" in out
+
+
+def test_trace_command_negative(schema_files, capsys):
+    code = main(["trace", schema_files["a"], schema_files["c"]])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "NOT equivalent" in out
+
+
+def test_repair_command(schema_files, capsys):
+    code = main(["repair", schema_files["a"], schema_files["c"]])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "total edit cost: 1" in out
+
+
+def test_repair_command_noop(schema_files, capsys):
+    code = main(["repair", schema_files["a"], schema_files["b"]])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "already equivalent" in out
+
+
+def test_search_writes_witness_file(schema_files, tmp_path, capsys):
+    out_file = tmp_path / "witness.map"
+    code = main(
+        [
+            "search",
+            schema_files["a"],
+            schema_files["b"],
+            "--max-atoms",
+            "1",
+            "--out",
+            str(out_file),
+        ]
+    )
+    assert code == 0
+    content = out_file.read_text()
+    assert ":-" in content and "#" in content
+
+
+def test_python_dash_m_entry_point(schema_files):
+    """`python -m repro` works as a subprocess (the __main__ shim)."""
+    import subprocess
+    import sys
+
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "equiv", schema_files["a"], schema_files["b"]],
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 0
+    assert "equivalent" in completed.stdout

@@ -1,0 +1,26 @@
+"""Run the doctests embedded in module docstrings.
+
+Several utility classes carry ``>>>`` examples; executing them here keeps
+the examples honest as the code evolves.
+"""
+
+import doctest
+
+import pytest
+
+import repro.relational.domain
+import repro.utils.fresh
+import repro.utils.unionfind
+
+MODULES = [
+    repro.utils.unionfind,
+    repro.utils.fresh,
+    repro.relational.domain,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

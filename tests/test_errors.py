@@ -1,0 +1,63 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ChaseError,
+    ChaseFailure,
+    DependencyError,
+    EvaluationError,
+    InstanceError,
+    MappingError,
+    QuerySyntaxError,
+    ReproError,
+    SchemaError,
+    SearchBudgetExceeded,
+    TypecheckError,
+    TypeMismatchError,
+)
+
+ALL_ERRORS = [
+    ChaseError,
+    ChaseFailure,
+    DependencyError,
+    EvaluationError,
+    InstanceError,
+    MappingError,
+    QuerySyntaxError,
+    SchemaError,
+    SearchBudgetExceeded,
+    TypecheckError,
+    TypeMismatchError,
+]
+
+
+def test_all_errors_derive_from_repro_error():
+    for error_class in ALL_ERRORS:
+        assert issubclass(error_class, ReproError)
+
+
+def test_type_mismatch_is_a_schema_error():
+    assert issubclass(TypeMismatchError, SchemaError)
+
+
+def test_catching_the_base_class():
+    with pytest.raises(ReproError):
+        raise QuerySyntaxError("boom")
+
+
+def test_library_raises_its_own_errors_only():
+    """Representative API misuses raise ReproError subclasses, never bare
+    ValueError/KeyError leaking implementation details."""
+    from repro.cq import parse_query
+    from repro.relational import parse_schema, relation
+
+    with pytest.raises(ReproError):
+        parse_schema("")
+    with pytest.raises(ReproError):
+        parse_query("nonsense((")
+    with pytest.raises(ReproError):
+        relation("R", [])
+    schema, _ = parse_schema("R(a*: T)")
+    with pytest.raises(ReproError):
+        schema.relation("missing")

@@ -1,0 +1,68 @@
+"""Unit tests for transformation pipelines."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.relational import parse_schema, random_instance
+from repro.transform import (
+    AttributeMigration,
+    TransformationPipeline,
+    rename_attribute,
+    rename_relation,
+)
+from repro.workloads import (
+    integration_instance,
+    paper_migration_spec,
+    paper_schema_1,
+)
+
+
+def test_empty_pipeline_current_is_base():
+    s, _ = parse_schema("R(a*: T)")
+    pipeline = TransformationPipeline(s)
+    assert pipeline.current == s
+    with pytest.raises(MappingError):
+        pipeline.forward_mapping()
+
+
+def test_renaming_steps_round_trip():
+    s, _ = parse_schema("R(a*: T, b: U)")
+    pipeline = TransformationPipeline(s)
+    step1 = rename_relation(s, "R", "Person")
+    pipeline.add_renaming("rename R to Person", step1)
+    step2 = rename_attribute(pipeline.current, "Person", "a", "id")
+    pipeline.add_renaming("rename a to id", step2)
+    assert pipeline.current.relation("Person").has_attribute("id")
+    for seed in range(3):
+        d = random_instance(s, rows_per_relation=4, seed=seed)
+        assert pipeline.round_trip(d) == d
+
+
+def test_mixed_pipeline_with_migration():
+    schema1, inclusions = paper_schema_1()
+    pipeline = TransformationPipeline(schema1)
+    migration = AttributeMigration(schema1, inclusions, paper_migration_spec())
+    result = migration.apply()
+    pipeline.add_step("migrate yearsExp", result.alpha, result.beta)
+    renamed = rename_relation(pipeline.current, "employee", "staff")
+    pipeline.add_renaming("rename employee", renamed)
+    assert pipeline.current.has_relation("staff")
+    d = integration_instance(seed=1, employees=6)
+    assert pipeline.round_trip(d) == d
+
+
+def test_add_step_schema_mismatch():
+    s, _ = parse_schema("R(a*: T)")
+    other, _ = parse_schema("P(x*: T)")
+    pipeline = TransformationPipeline(s)
+    renamed = rename_relation(other, "P", "Q0")
+    with pytest.raises(MappingError):
+        pipeline.add_renaming("bad", renamed)
+
+
+def test_steps_recorded():
+    s, _ = parse_schema("R(a*: T)")
+    pipeline = TransformationPipeline(s)
+    pipeline.add_renaming("step1", rename_relation(s, "R", "X"))
+    assert len(pipeline.steps) == 1
+    assert pipeline.steps[0].description == "step1"

@@ -1,0 +1,78 @@
+"""Unit tests for renaming/re-ordering transformations."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import is_isomorphic, parse_schema
+from repro.transform import (
+    compose_witnesses,
+    rename_attribute,
+    rename_relation,
+    reorder_attributes,
+    reorder_relations,
+)
+
+
+@pytest.fixture
+def s():
+    s, _ = parse_schema("R(a*: T, b: U)\nS(c*: U)")
+    return s
+
+
+def test_rename_relation(s):
+    result = rename_relation(s, "R", "Renamed")
+    assert result.schema.has_relation("Renamed")
+    assert not result.schema.has_relation("R")
+    assert result.witness.verify()
+    assert is_isomorphic(s, result.schema)
+
+
+def test_rename_relation_clash_rejected(s):
+    with pytest.raises(SchemaError):
+        rename_relation(s, "R", "S")
+
+
+def test_rename_attribute(s):
+    result = rename_attribute(s, "R", "a", "id")
+    rel = result.schema.relation("R")
+    assert rel.has_attribute("id") and not rel.has_attribute("a")
+    assert rel.key == frozenset({"id"})
+    assert result.witness.verify()
+
+
+def test_rename_attribute_clash_rejected(s):
+    with pytest.raises(SchemaError):
+        rename_attribute(s, "R", "a", "b")
+    with pytest.raises(SchemaError):
+        rename_attribute(s, "R", "zz", "b2")
+
+
+def test_reorder_attributes(s):
+    result = reorder_attributes(s, "R", ["b", "a"])
+    assert [a.name for a in result.schema.relation("R").attributes] == ["b", "a"]
+    assert result.witness.verify()
+
+
+def test_reorder_relations(s):
+    result = reorder_relations(s, ["S", "R"])
+    assert result.schema.relation_names == ("S", "R")
+    assert result.witness.verify()
+    with pytest.raises(SchemaError):
+        reorder_relations(s, ["S"])
+
+
+def test_compose_witnesses(s):
+    first = rename_relation(s, "R", "X1")
+    second = rename_attribute(first.schema, "X1", "a", "id")
+    composed = compose_witnesses(first.witness, second.witness)
+    assert composed.verify()
+    assert composed.source == s
+    assert composed.target == second.schema
+    assert composed.relation_map["R"] == "X1"
+    assert composed.attribute_maps["R"]["a"] == "id"
+
+
+def test_compose_witnesses_mismatch(s):
+    first = rename_relation(s, "R", "X1")
+    with pytest.raises(SchemaError):
+        compose_witnesses(first.witness, first.witness)

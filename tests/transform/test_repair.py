@@ -1,0 +1,67 @@
+"""Unit tests for schema repair plans."""
+
+from repro.core import cq_equivalent
+from repro.relational import parse_schema
+from repro.transform.repair import repair_plan
+from repro.workloads import paper_schema_1, paper_schema_1_prime
+
+
+def test_noop_plan_for_equivalent(isomorphic_pair):
+    s1, s2 = isomorphic_pair
+    plan = repair_plan(s1, s2)
+    assert plan.is_noop
+    assert plan.cost == 0
+    assert "already equivalent" in plan.render()
+
+
+def test_plan_reports_attribute_addition():
+    s1, _ = parse_schema("R(a*: T)")
+    s2, _ = parse_schema("P(x*: T, y: U)")
+    plan = repair_plan(s1, s2)
+    assert not plan.is_noop
+    assert plan.cost == 1
+    [edit] = [e for e in plan.edits if e.action == "modify"]
+    assert edit.add_nonkeys == ("U",)
+    assert "add non-key" in plan.render()
+
+
+def test_plan_reports_attribute_removal():
+    s1, _ = parse_schema("R(a*: T, b: U, c: U)")
+    s2, _ = parse_schema("P(x*: T, y: U)")
+    plan = repair_plan(s1, s2)
+    assert plan.cost == 1
+    [edit] = [e for e in plan.edits if e.action == "modify"]
+    assert edit.remove_nonkeys == ("U",)
+
+
+def test_plan_drop_and_add_relations():
+    s1, _ = parse_schema("R(a*: T)\nS(b*: U)")
+    s2, _ = parse_schema("R(a*: T)\nQ0(c*: V)")
+    plan = repair_plan(s1, s2)
+    actions = sorted(e.action for e in plan.edits)
+    assert actions == ["add", "drop", "keep"]
+    assert "drop relation S" in plan.render()
+
+
+def test_plan_on_paper_scenario_is_the_migration():
+    """The §1 repair plan is exactly: move yearsExp between the relations."""
+    s1, _ = paper_schema_1()
+    s1p, _ = paper_schema_1_prime()
+    plan = repair_plan(s1, s1p)
+    assert plan.cost == 2  # one removal + one addition of a Years attribute
+    modified = {e.source_relation: e for e in plan.edits if e.action == "modify"}
+    assert modified["employee"].add_nonkeys == ("Years",)
+    assert modified["salespeople"].remove_nonkeys == ("Years",)
+
+
+def test_zero_cost_plan_iff_equivalent():
+    cases = [
+        ("R(a*: T, b: U)", "P(x*: T, y: U)", True),
+        ("R(a*: T, b: U)", "P(x*: T, y: T)", False),
+        ("R(a*: T)", "P(x*: T, y: U)", False),
+    ]
+    for text1, text2, expected in cases:
+        s1, _ = parse_schema(text1)
+        s2, _ = parse_schema(text2)
+        plan = repair_plan(s1, s2)
+        assert plan.is_noop == expected == cq_equivalent(s1, s2)

@@ -1,0 +1,47 @@
+"""Unit tests for the fresh-name/value generators."""
+
+from repro.utils.fresh import FreshNames, FreshValues, fresh_stream
+
+
+def test_fresh_names_avoid_initial_set():
+    gen = FreshNames(prefix="X", avoid={"X0", "X1"})
+    assert gen.next() == "X2"
+
+
+def test_fresh_names_never_repeat():
+    gen = FreshNames(prefix="v")
+    produced = gen.take(100)
+    assert len(set(produced)) == 100
+
+
+def test_fresh_names_avoid_added_later():
+    gen = FreshNames(prefix="v")
+    gen.avoid(["v0", "v1", "v2"])
+    assert gen.next() == "v3"
+
+
+def test_fresh_names_iterator_protocol():
+    gen = FreshNames(prefix="n")
+    stream = iter(gen)
+    assert next(stream) == "n0"
+    assert next(stream) == "n1"
+
+
+def test_fresh_values_avoid():
+    gen = FreshValues(avoid={0, 1, 2})
+    assert gen.next() == 3
+
+
+def test_fresh_values_never_repeat():
+    gen = FreshValues()
+    assert len(set(gen.take(50))) == 50
+
+
+def test_fresh_values_start():
+    gen = FreshValues(start=10)
+    assert gen.next() == 10
+
+
+def test_fresh_stream_unbounded_prefixed():
+    stream = fresh_stream("p")
+    assert [next(stream) for _ in range(3)] == ["p0", "p1", "p2"]

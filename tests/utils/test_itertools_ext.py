@@ -1,0 +1,87 @@
+"""Unit tests for the combinatorial helpers."""
+
+import pytest
+
+from repro.errors import SearchBudgetExceeded
+from repro.utils.itertools_ext import (
+    all_bijections,
+    all_functions,
+    all_injections,
+    bounded_product,
+    distinct_pairs,
+    multiset,
+    partitions,
+    powerset,
+)
+
+
+def test_all_functions_counts():
+    functions = list(all_functions([1, 2], ["a", "b", "c"]))
+    assert len(functions) == 9  # 3^2
+
+
+def test_all_functions_empty_domain():
+    assert list(all_functions([], ["a"])) == [{}]
+
+
+def test_all_functions_empty_codomain():
+    assert list(all_functions([1], [])) == []
+
+
+def test_all_injections_counts():
+    injections = list(all_injections([1, 2], ["a", "b", "c"]))
+    assert len(injections) == 6  # 3 * 2
+    for injection in injections:
+        assert len(set(injection.values())) == 2
+
+
+def test_all_bijections_requires_equal_sizes():
+    assert list(all_bijections([1, 2], ["a"])) == []
+    assert len(list(all_bijections([1, 2], ["a", "b"]))) == 2
+
+
+def test_powerset_sizes():
+    subsets = list(powerset([1, 2, 3]))
+    assert len(subsets) == 8
+    assert () in subsets and (1, 2, 3) in subsets
+
+
+def test_powerset_bounded():
+    subsets = list(powerset([1, 2, 3], min_size=1, max_size=2))
+    assert all(1 <= len(s) <= 2 for s in subsets)
+    assert len(subsets) == 6
+
+
+def test_multiset_is_order_insensitive():
+    assert multiset([1, 2, 2]) == multiset([2, 1, 2])
+    assert multiset([1, 2]) != multiset([1, 2, 2])
+
+
+def test_multiset_is_hashable():
+    hash(multiset(["a", "b", "a"]))
+
+
+def test_bounded_product_within_budget():
+    combos = list(bounded_product([[1, 2], [3, 4]], budget=4))
+    assert len(combos) == 4
+
+
+def test_bounded_product_exceeds_budget():
+    with pytest.raises(SearchBudgetExceeded):
+        list(bounded_product([[1, 2], [3, 4]], budget=3))
+
+
+def test_distinct_pairs():
+    assert list(distinct_pairs([1, 2, 3])) == [(1, 2), (1, 3), (2, 3)]
+
+
+def test_partitions_bell_numbers():
+    # Bell numbers: B(0)=1, B(1)=1, B(2)=2, B(3)=5, B(4)=15.
+    for n, bell in [(0, 1), (1, 1), (2, 2), (3, 5), (4, 15)]:
+        assert len(list(partitions(list(range(n))))) == bell
+
+
+def test_partitions_cover_all_elements():
+    for partition in partitions([1, 2, 3]):
+        flat = sorted(x for block in partition for x in block)
+        assert flat == [1, 2, 3]

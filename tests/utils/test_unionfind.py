@@ -1,0 +1,84 @@
+"""Unit tests for the union-find structure."""
+
+import pytest
+
+from repro.utils.unionfind import UnionFind
+
+
+def test_singletons_are_their_own_representatives():
+    uf = UnionFind(["a", "b"])
+    assert uf.find("a") == "a"
+    assert uf.find("b") == "b"
+
+
+def test_union_merges_classes():
+    uf = UnionFind()
+    assert uf.union("a", "b") is True
+    assert uf.connected("a", "b")
+
+
+def test_union_same_class_returns_false():
+    uf = UnionFind()
+    uf.union("a", "b")
+    assert uf.union("b", "a") is False
+
+
+def test_transitivity():
+    uf = UnionFind()
+    uf.union("a", "b")
+    uf.union("b", "c")
+    assert uf.connected("a", "c")
+
+
+def test_unseen_elements_are_not_connected():
+    uf = UnionFind()
+    assert not uf.connected("x", "y")
+    # but both are now registered as singletons
+    assert "x" in uf and "y" in uf
+
+
+def test_classes_partition_the_universe():
+    uf = UnionFind()
+    uf.union(1, 2)
+    uf.union(3, 4)
+    uf.add(5)
+    classes = uf.classes()
+    assert sorted(sorted(c) for c in classes) == [[1, 2], [3, 4], [5]]
+
+
+def test_class_of():
+    uf = UnionFind()
+    uf.union("a", "b")
+    uf.union("b", "c")
+    assert uf.class_of("a") == {"a", "b", "c"}
+
+
+def test_copy_is_independent():
+    uf = UnionFind()
+    uf.union("a", "b")
+    clone = uf.copy()
+    clone.union("b", "c")
+    assert clone.connected("a", "c")
+    assert not uf.connected("a", "c")
+
+
+def test_representative_map_is_consistent():
+    uf = UnionFind()
+    uf.union("a", "b")
+    uf.union("c", "d")
+    reps = uf.representative_map()
+    assert reps["a"] == reps["b"]
+    assert reps["c"] == reps["d"]
+    assert reps["a"] != reps["c"]
+
+
+def test_len_and_iter():
+    uf = UnionFind(["a", "b", "c"])
+    assert len(uf) == 3
+    assert set(uf) == {"a", "b", "c"}
+
+
+def test_mixed_hashable_types():
+    uf = UnionFind()
+    uf.union(("tuple", 1), "string")
+    assert uf.connected(("tuple", 1), "string")

@@ -1,0 +1,75 @@
+"""Unit tests for the random query generators."""
+
+import pytest
+
+from repro.cq.saturation import has_only_identity_joins, is_product_query
+from repro.cq.typecheck import is_well_typed
+from repro.errors import QuerySyntaxError
+from repro.workloads import (
+    chain_query,
+    cycle_query,
+    edge_schema,
+    random_identity_join_query,
+    random_product_query,
+    random_query,
+    star_query,
+)
+from repro.workloads.schema_gen import random_keyed_schema
+
+
+@pytest.fixture
+def s():
+    return random_keyed_schema(3, ["A", "B"], n_relations=3, max_arity=3)
+
+
+def test_random_query_well_typed(s):
+    for seed in range(20):
+        q = random_query(s, seed=seed)
+        assert is_well_typed(q, s)
+
+
+def test_random_query_deterministic(s):
+    assert random_query(s, seed=7) == random_query(s, seed=7)
+
+
+def test_random_identity_join_query_satisfies_premise(s):
+    for seed in range(20):
+        q = random_identity_join_query(s, seed=seed)
+        assert is_well_typed(q, s)
+        assert has_only_identity_joins(q)
+
+
+def test_random_product_query_is_product(s):
+    for seed in range(20):
+        q = random_product_query(s, seed=seed)
+        assert is_well_typed(q, s)
+        assert is_product_query(q)
+
+
+def test_chain_query_shape():
+    q = chain_query(3)
+    assert len(q.body) == 3
+    assert q.arity == 2
+    assert is_well_typed(q, edge_schema())
+
+
+def test_chain_query_rejects_zero():
+    with pytest.raises(QuerySyntaxError):
+        chain_query(0)
+
+
+def test_cycle_query_shape():
+    q = cycle_query(4)
+    assert len(q.body) == 4
+    assert is_well_typed(q, edge_schema())
+    # Closed: last atom's dst is the first atom's src variable.
+    assert q.body[-1].terms[1] == q.body[0].terms[0]
+
+
+def test_star_query_shape():
+    q = star_query(5)
+    assert len(q.body) == 5
+    centre = q.head.terms[0]
+    assert all(a.terms[0] == centre for a in q.body)
+    with pytest.raises(QuerySyntaxError):
+        star_query(0)

@@ -1,0 +1,64 @@
+"""Unit tests for the named scenarios (paper §1 and benchmark workloads)."""
+
+from repro.relational import is_isomorphic
+from repro.workloads import (
+    edge_schema,
+    integration_instance,
+    paper_schema_1,
+    paper_schema_1_prime,
+    paper_schema_2,
+    path_instance,
+    random_graph_instance,
+    star_join_instance,
+    wide_keyed_schema,
+)
+
+
+def test_paper_schemas_parse():
+    s1, inc1 = paper_schema_1()
+    s1p, inc1p = paper_schema_1_prime()
+    s2, inc2 = paper_schema_2()
+    assert len(s1) == 3 and len(inc1) == 3
+    assert len(s1p) == 3 and len(inc1p) == 3
+    assert len(s2) == 2 and len(inc2) == 1
+    assert s1.is_keyed and s1p.is_keyed and s2.is_keyed
+
+
+def test_paper_schema_1_and_1_prime_not_isomorphic():
+    """The paper's point: keys alone cannot make these equivalent."""
+    s1, _ = paper_schema_1()
+    s1p, _ = paper_schema_1_prime()
+    assert not is_isomorphic(s1, s1p)
+
+
+def test_integration_instance_satisfies_all_constraints():
+    s1, inclusions = paper_schema_1()
+    for seed in range(3):
+        d = integration_instance(seed=seed, employees=9)
+        assert d.schema == s1
+        assert d.satisfies_keys()
+        for inclusion in inclusions:
+            assert inclusion.satisfied_by(d)
+
+
+def test_path_instance():
+    d = path_instance(5)
+    assert len(d.relation("E")) == 5
+
+
+def test_random_graph_instance_bounds():
+    d = random_graph_instance(nodes=10, edges=30, seed=1)
+    assert 0 < len(d.relation("E")) <= 30
+
+
+def test_wide_keyed_schema():
+    s = wide_keyed_schema(5, arity=3)
+    assert len(s) == 5 and s.is_keyed
+    assert all(r.arity == 3 for r in s)
+
+
+def test_star_join_instance():
+    schema, instance = star_join_instance(fact_rows=50, dimensions=2, dim_rows=8)
+    assert instance.satisfies_keys()
+    assert len(instance.relation("fact")) == 50
+    assert len(instance.relation("dim0")) == 8

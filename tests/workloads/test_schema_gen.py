@@ -1,0 +1,64 @@
+"""Unit tests for the schema enumerator and random generator."""
+
+from repro.relational import canonical_form, is_isomorphic
+from repro.workloads import (
+    count_keyed_schemas,
+    enumerate_keyed_schemas,
+    enumerate_relation_shapes,
+    random_keyed_schema,
+    schema_from_shapes,
+    shuffled_copy,
+)
+
+
+def test_shape_counts_one_type():
+    # One type, arity ≤ 2: shapes are (k), (kk), (k,n) → 3.
+    shapes = enumerate_relation_shapes(["T"], max_arity=2)
+    assert len(shapes) == 3
+
+
+def test_shape_counts_two_types_arity_one():
+    # Arity 1 keyed relations over 2 types: 2 shapes.
+    shapes = enumerate_relation_shapes(["A", "B"], max_arity=1)
+    assert len(shapes) == 2
+
+
+def test_schema_from_shapes_structure():
+    shapes = [(("T",), ("U", "U")), (("T", "T"), ())]
+    s = schema_from_shapes(shapes)
+    assert len(s) == 2
+    r0 = s.relation("R0")
+    assert r0.key == frozenset({"k0"})
+    assert [a.type_name for a in r0.nonkey_attributes()] == ["U", "U"]
+    r1 = s.relation("R1")
+    assert r1.key == frozenset({"k0", "k1"})
+
+
+def test_enumeration_yields_pairwise_non_isomorphic():
+    schemas = list(enumerate_keyed_schemas(["T", "U"], max_relations=1, max_arity=2))
+    forms = [canonical_form(s) for s in schemas]
+    assert len(forms) == len(set(forms))
+
+
+def test_enumeration_count_matches_closed_form():
+    schemas = list(enumerate_keyed_schemas(["T"], max_relations=2, max_arity=2))
+    assert len(schemas) == count_keyed_schemas(["T"], max_relations=2, max_arity=2)
+
+
+def test_enumeration_all_keyed():
+    for s in enumerate_keyed_schemas(["T", "U"], max_relations=2, max_arity=2):
+        assert s.is_keyed
+
+
+def test_random_schema_deterministic():
+    a = random_keyed_schema(5, ["A", "B"], n_relations=3)
+    b = random_keyed_schema(5, ["A", "B"], n_relations=3)
+    assert a == b
+    assert a.is_keyed and len(a) == 3
+
+
+def test_shuffled_copy_isomorphic_not_equal():
+    s = random_keyed_schema(1, ["A", "B"], n_relations=2, max_arity=3)
+    copy = shuffled_copy(s, seed=9)
+    assert is_isomorphic(s, copy)
+    assert copy.relation_names != s.relation_names
