@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Before/after performance harness for the indexing/memo/parallel layer.
+
+Runs the E1 (Theorem 13 scan), E6 (containment scale) and E7 (chase scale)
+workloads twice:
+
+* **baseline** — memo caches disabled and indexed matching disabled, which
+  reproduces the seed implementation (full-scan matcher, no reuse across
+  candidate pairs);
+* **optimized** — caches and indexes on, started cold (caches cleared).
+
+Each mode records wall time; the harness asserts that the two modes return
+*identical* verdicts (the same ``ScanRow`` outcomes, containment booleans
+and chase fixpoints), re-runs the E1 scan with ``n_workers=2`` to check
+the parallel path agrees as well, and writes everything to
+``BENCH_perf.json``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_perf.py [--smoke] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core import theorem13_scan
+from repro.cq import homomorphism
+from repro.cq.chase import chase_egds, egds_of_schema, satisfies_egds
+from repro.cq.homomorphism import is_contained_in
+from repro.cq.parser import parse_query
+from repro.utils import memo
+from repro.workloads import cycle_query, edge_schema, enumerate_keyed_schemas
+
+
+def _set_mode(optimized: bool) -> None:
+    """Switch the perf layer on or off and start from cold caches."""
+    memo.clear_all()
+    memo.set_enabled(optimized)
+    homomorphism.set_indexing(optimized)
+
+
+def _timed(fn, repeats: int):
+    """Best-of-``repeats`` wall time; caches are cleared before each run."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        memo.clear_all()
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def e1_workload(smoke: bool):
+    """The acceptance workload: 1 type, 1 relation, arity ≤ 2, ≤ 2 atoms."""
+    schemas = list(enumerate_keyed_schemas(["T"], max_relations=1, max_arity=2))
+    if smoke:
+        schemas = schemas[:2]
+    max_atoms = 2
+
+    def run():
+        return theorem13_scan(schemas, max_atoms=max_atoms)
+
+    def run_parallel():
+        return theorem13_scan(schemas, max_atoms=max_atoms, n_workers=2)
+
+    return run, run_parallel
+
+
+def e6_workload(smoke: bool):
+    schema = edge_schema()
+    loop = parse_query("Q(X) :- E(X, Y), X = Y.")
+    lengths = (4, 8) if smoke else (4, 8, 12, 16)
+
+    def run():
+        return [is_contained_in(loop, cycle_query(n), schema) for n in lengths]
+
+    return run, None
+
+
+def e7_workload(smoke: bool):
+    from repro.cq.canonical import null_value
+    from repro.relational import DatabaseInstance, Value, parse_schema
+
+    schema, _ = parse_schema("R(k*: K, a: A, b: B)")
+    egds = egds_of_schema(schema)
+    groups = 64 if smoke else 256
+    rows = []
+    for g in range(groups):
+        for i in range(4):
+            rows.append(
+                (
+                    Value("K", g),
+                    null_value("A", f"a{g}_{i}"),
+                    null_value("B", f"b{g}_{i}"),
+                )
+            )
+    instance = DatabaseInstance.from_rows(schema, {"R": rows})
+
+    def run():
+        result = chase_egds(instance, egds)
+        assert satisfies_egds(result.instance, egds)
+        return result.instance.total_rows()
+
+    return run, None
+
+
+WORKLOADS = {
+    "e1_theorem13_scan": e1_workload,
+    "e6_containment": e6_workload,
+    "e7_chase": e7_workload,
+}
+
+
+def bench_one(name: str, smoke: bool, repeats: int) -> dict:
+    build = WORKLOADS[name]
+    run, run_parallel = build(smoke)
+
+    _set_mode(optimized=False)
+    baseline_result, baseline_s = _timed(run, repeats)
+
+    _set_mode(optimized=True)
+    optimized_result, optimized_s = _timed(run, repeats)
+
+    record = {
+        "baseline_s": round(baseline_s, 4),
+        "optimized_s": round(optimized_s, 4),
+        "speedup": round(baseline_s / optimized_s, 2) if optimized_s else None,
+        "verdicts_equal": baseline_result == optimized_result,
+    }
+    if run_parallel is not None:
+        parallel_result, parallel_s = _timed(run_parallel, 1)
+        record["optimized_2workers_s"] = round(parallel_s, 4)
+        record["parallel_verdicts_equal"] = parallel_result == optimized_result
+    _set_mode(optimized=True)
+    return record
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="shrunken workloads for CI (fast; timings not representative)",
+    )
+    parser.add_argument("--out", default=None, help="output JSON path")
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="best-of-N timing repeats (default: 1 smoke, 2 full)",
+    )
+    args = parser.parse_args()
+    repeats = args.repeats or (1 if args.smoke else 2)
+
+    results = {}
+    for name in WORKLOADS:
+        print(f"benchmarking {name} ...", flush=True)
+        results[name] = bench_one(name, smoke=args.smoke, repeats=repeats)
+        print(f"  {results[name]}", flush=True)
+
+    report = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "mode": "smoke" if args.smoke else "full",
+        "repeats": repeats,
+        "workloads": results,
+    }
+    out = args.out
+    if out is None:
+        out = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+    Path(out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    failures = [
+        name for name, r in results.items()
+        if not r["verdicts_equal"] or not r.get("parallel_verdicts_equal", True)
+    ]
+    if failures:
+        print(f"VERDICT MISMATCH in: {failures}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

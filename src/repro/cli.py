@@ -57,6 +57,7 @@ def _cmd_equiv(args: argparse.Namespace) -> int:
 
 
 def _cmd_contains(args: argparse.Namespace) -> int:
+    _apply_perf_flags(args)
     schema, _ = _load_schema(args.schema)
     q1 = _load_query(args.query1)
     q2 = _load_query(args.query2)
@@ -110,15 +111,36 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     return 0 if plan.is_noop else 1
 
 
+def _apply_perf_flags(args: argparse.Namespace) -> None:
+    """Honour the cache/index A/B toggles shared by several commands."""
+    if getattr(args, "no_cache", False):
+        from repro.utils import memo
+
+        memo.set_enabled(False)
+    if getattr(args, "no_index", False):
+        from repro.cq.homomorphism import set_indexing
+
+        set_indexing(False)
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
+    _apply_perf_flags(args)
     s1, _ = _load_schema(args.schema1)
     s2, _ = _load_schema(args.schema2)
-    result = search_dominance(s1, s2, max_atoms=args.max_atoms)
+    result = search_dominance(
+        s1, s2, max_atoms=args.max_atoms, n_workers=args.workers
+    )
+    stats = result.stats
     print(
-        f"candidates: α={result.stats.alpha_candidates} "
-        f"β={result.stats.beta_candidates}, pairs tried={result.stats.pairs_tried}, "
-        f"gadget-rejected={result.stats.pairs_gadget_rejected}, "
-        f"exact checks={result.stats.exact_checks}"
+        f"candidates: α={stats.alpha_candidates} "
+        f"β={stats.beta_candidates}, pairs tried={stats.pairs_tried}, "
+        f"gadget-rejected={stats.pairs_gadget_rejected}, "
+        f"exact checks={stats.exact_checks}"
+    )
+    print(
+        f"perf: cache hits={stats.cache_hits}, cache misses={stats.cache_misses}, "
+        f"rows probed={stats.rows_probed}, backtracks={stats.backtracks}, "
+        f"wall time={stats.wall_time:.3f}s, workers={args.workers}"
     )
     if result.found:
         print("dominance witness found:")
@@ -161,6 +183,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("query1", help="query text or file path")
     p.add_argument("query2", help="query text or file path")
     p.add_argument("--keys", action="store_true", help="relative to key dependencies")
+    p.add_argument("--no-cache", action="store_true", help="disable memo caches")
+    p.add_argument(
+        "--no-index", action="store_true", help="disable indexed homomorphism matching"
+    )
     p.set_defaults(fn=_cmd_contains)
 
     p = sub.add_parser("minimize", help="minimise a conjunctive query")
@@ -191,6 +217,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("schema2")
     p.add_argument("--max-atoms", type=int, default=2)
     p.add_argument("--out", help="write witness mappings to this file")
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the candidate pair grid across N worker processes",
+    )
+    p.add_argument("--no-cache", action="store_true", help="disable memo caches")
+    p.add_argument(
+        "--no-index", action="store_true", help="disable indexed homomorphism matching"
+    )
     p.set_defaults(fn=_cmd_search)
 
     return parser

@@ -14,7 +14,7 @@ candidates before paying for the exact chase-based check.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from repro.mappings.query_mapping import QueryMapping
 from repro.relational.generators import (
@@ -25,6 +25,10 @@ from repro.relational.generators import (
 )
 from repro.relational.instance import DatabaseInstance
 from repro.relational.schema import DatabaseSchema
+from repro.utils import memo
+
+_GADGET_MEMO = memo.memo("gadget-instances", maxsize=1024)
+_KEY_VIOLATION_MEMO = memo.memo("key-violation", maxsize=8192)
 
 
 def gadget_instances(
@@ -39,7 +43,23 @@ def gadget_instances(
     2. one-tuple and two-tuple attribute-specific instances (fresh values);
     3. per key attribute, the Lemma 7 two-key-value instance and its g-swap;
     4. a few random key-satisfying instances.
+
+    The family is a pure function of its arguments and is memoized: a
+    dominance search re-derives the same gadgets for every candidate pair
+    over the same schema.
     """
+    key = (schema, frozenset(avoid), random_trials, seed)
+    yield from _GADGET_MEMO.get_or_compute(
+        key, lambda: tuple(_build_gadgets(schema, avoid, random_trials, seed))
+    )
+
+
+def _build_gadgets(
+    schema: DatabaseSchema,
+    avoid,
+    random_trials: int,
+    seed: int,
+) -> Iterator[DatabaseInstance]:
     yield DatabaseInstance(schema)
     yield attribute_specific_instance(schema, rows_per_relation=1, avoid=avoid)
     yield attribute_specific_instance(schema, rows_per_relation=2, avoid=avoid)
@@ -77,8 +97,21 @@ def find_key_violation(
     """A key-satisfying source instance whose image violates a target key.
 
     Pointwise/incomplete; the exact test is
-    :func:`repro.mappings.validity.validity_report`.
+    :func:`repro.mappings.validity.validity_report`.  Memoized per mapping:
+    ``quick_reject`` probes the same α against every candidate β (and vice
+    versa), and the verdict is pair-independent.
     """
+    key = (mapping, random_trials, seed)
+    return _KEY_VIOLATION_MEMO.get_or_compute(
+        key, lambda: _find_key_violation(mapping, random_trials, seed)
+    )
+
+
+def _find_key_violation(
+    mapping: QueryMapping,
+    random_trials: int,
+    seed: int,
+) -> Optional[DatabaseInstance]:
     avoid = mapping.constants()
     for instance in gadget_instances(
         mapping.source, avoid=avoid, random_trials=random_trials, seed=seed

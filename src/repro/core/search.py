@@ -25,9 +25,13 @@ Candidate pairs are bulk-rejected by the gadget refuter
 from __future__ import annotations
 
 import itertools
+import time
+from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.counterexample import quick_reject
+from repro.cq import homomorphism as _homomorphism
+from repro.cq import indexing as _indexing
 from repro.errors import MappingError
 from repro.mappings.dominance import DominancePair
 from repro.mappings.identity import composes_to_identity
@@ -36,6 +40,7 @@ from repro.mappings.validity import is_valid
 from repro.cq.syntax import Atom, ConjunctiveQuery, Variable
 from repro.relational.isomorphism import is_isomorphic
 from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.utils import memo as _memo
 from repro.utils.itertools_ext import partitions
 
 
@@ -136,13 +141,44 @@ def enumerate_mappings(
 
 
 class SearchStats(NamedTuple):
-    """Effort counters for one dominance search."""
+    """Effort counters for one dominance search.
+
+    The first five fields count candidates and pair-level work, as in the
+    original implementation.  The remaining fields surface the performance
+    layer: memo-cache hits/misses (:mod:`repro.utils.memo`), candidate rows
+    returned by index probes (:mod:`repro.cq.indexing`), matcher backtracks
+    (:mod:`repro.cq.homomorphism`), and wall-clock time in seconds.  In a
+    parallel search (``n_workers > 1``) the counters aggregate worker
+    deltas on top of the parent process's own.
+    """
 
     alpha_candidates: int
     beta_candidates: int
     pairs_tried: int
     pairs_gadget_rejected: int
     exact_checks: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    rows_probed: int = 0
+    backtracks: int = 0
+    wall_time: float = 0.0
+
+
+def _counter_snapshot() -> Tuple[int, int, int, int]:
+    """(cache hits, cache misses, rows probed, backtracks), process-wide."""
+    hits, misses = _memo.global_counters()
+    return (
+        hits,
+        misses,
+        _indexing.counters.rows_probed,
+        _homomorphism.counters.backtracks,
+    )
+
+
+def _counter_delta(
+    before: Tuple[int, int, int, int], after: Tuple[int, int, int, int]
+) -> Tuple[int, int, int, int]:
+    return tuple(b - a for a, b in zip(before, after))  # type: ignore[return-value]
 
 
 class DominanceSearchResult(NamedTuple):
@@ -157,12 +193,59 @@ class DominanceSearchResult(NamedTuple):
         return self.pair is not None
 
 
+class _ChunkResult(NamedTuple):
+    """One worker's scan of a contiguous slice of the α×β pair grid."""
+
+    witness_index: Optional[int]
+    pairs_tried: int
+    gadget_rejected: int
+    exact_checks: int
+    counter_delta: Tuple[int, int, int, int]
+
+
+def _scan_pair_chunk(payload) -> _ChunkResult:
+    """Scan pairs ``start..end`` (flat α-major indices) for a witness.
+
+    Top-level so :class:`ProcessPoolExecutor` can pickle it.  Stops at the
+    chunk's first witness: chunks are contiguous ascending slices, so the
+    minimum reported index across chunks equals the sequential
+    first-witness index, making N-worker results deterministic and
+    identical to the 1-worker scan.
+    """
+    alphas, betas, start, end = payload
+    before = _counter_snapshot()
+    pairs_tried = 0
+    gadget_rejected = 0
+    exact_checks = 0
+    witness: Optional[int] = None
+    n_betas = len(betas)
+    for flat in range(start, end):
+        alpha = alphas[flat // n_betas]
+        beta = betas[flat % n_betas]
+        pairs_tried += 1
+        if quick_reject(alpha, beta):
+            gadget_rejected += 1
+            continue
+        exact_checks += 1
+        if composes_to_identity(alpha, beta):
+            witness = flat
+            break
+    return _ChunkResult(
+        witness,
+        pairs_tried,
+        gadget_rejected,
+        exact_checks,
+        _counter_delta(before, _counter_snapshot()),
+    )
+
+
 def search_dominance(
     s1: DatabaseSchema,
     s2: DatabaseSchema,
     max_atoms: int = 2,
     per_relation_cap: Optional[int] = None,
     mapping_cap: Optional[int] = None,
+    n_workers: int = 1,
 ) -> DominanceSearchResult:
     """Bounded exhaustive search for a witness of S₁ ⪯ S₂.
 
@@ -175,11 +258,24 @@ def search_dominance(
     A sound lemma-based pre-filter (:mod:`repro.core.obstructions`) runs
     first: when a necessary condition for dominance is already violated,
     the search returns immediately with empty statistics.
+
+    ``n_workers > 1`` shards the α×β pair grid across a process pool.  The
+    returned witness is always the first one in α-major order, identical
+    to the sequential scan; only the effort counters may differ (parallel
+    chunks keep scanning where the sequential loop would have stopped).
     """
     from repro.core.obstructions import dominance_obstructions
 
+    start_time = time.perf_counter()
+    counters_before = _counter_snapshot()
     if dominance_obstructions(s1, s2):
-        return DominanceSearchResult(None, SearchStats(0, 0, 0, 0, 0))
+        return DominanceSearchResult(
+            None,
+            SearchStats(
+                0, 0, 0, 0, 0,
+                wall_time=time.perf_counter() - start_time,
+            ),
+        )
     alphas = [
         m
         for m in enumerate_mappings(
@@ -199,25 +295,73 @@ def search_dominance(
     pairs_tried = 0
     gadget_rejected = 0
     exact_checks = 0
-    for alpha in alphas:
-        for beta in betas:
-            pairs_tried += 1
-            if quick_reject(alpha, beta):
-                gadget_rejected += 1
-                continue
-            exact_checks += 1
-            if composes_to_identity(alpha, beta):
-                return DominanceSearchResult(
-                    DominancePair(alpha, beta),
-                    SearchStats(
-                        len(alphas), len(betas), pairs_tried,
-                        gadget_rejected, exact_checks,
-                    ),
+    extra_counters = (0, 0, 0, 0)
+    witness: Optional[DominancePair] = None
+    total_pairs = len(alphas) * len(betas)
+    if n_workers > 1 and total_pairs > 1:
+        chunks = _chunk_ranges(total_pairs, n_workers)
+        with ProcessPoolExecutor(max_workers=len(chunks)) as executor:
+            results = list(
+                executor.map(
+                    _scan_pair_chunk,
+                    [(alphas, betas, start, end) for start, end in chunks],
                 )
-    return DominanceSearchResult(
-        None,
-        SearchStats(len(alphas), len(betas), pairs_tried, gadget_rejected, exact_checks),
+            )
+        witness_indices = [r.witness_index for r in results if r.witness_index is not None]
+        if witness_indices:
+            flat = min(witness_indices)
+            witness = DominancePair(alphas[flat // len(betas)], betas[flat % len(betas)])
+        pairs_tried = sum(r.pairs_tried for r in results)
+        gadget_rejected = sum(r.gadget_rejected for r in results)
+        exact_checks = sum(r.exact_checks for r in results)
+        extra_counters = tuple(
+            sum(r.counter_delta[i] for r in results) for i in range(4)
+        )
+    else:
+        for alpha in alphas:
+            if witness is not None:
+                break
+            for beta in betas:
+                pairs_tried += 1
+                if quick_reject(alpha, beta):
+                    gadget_rejected += 1
+                    continue
+                exact_checks += 1
+                if composes_to_identity(alpha, beta):
+                    witness = DominancePair(alpha, beta)
+                    break
+    own_counters = _counter_delta(counters_before, _counter_snapshot())
+    hits, misses, rows_probed, backtracks = (
+        o + e for o, e in zip(own_counters, extra_counters)
     )
+    return DominanceSearchResult(
+        witness,
+        SearchStats(
+            len(alphas),
+            len(betas),
+            pairs_tried,
+            gadget_rejected,
+            exact_checks,
+            cache_hits=hits,
+            cache_misses=misses,
+            rows_probed=rows_probed,
+            backtracks=backtracks,
+            wall_time=time.perf_counter() - start_time,
+        ),
+    )
+
+
+def _chunk_ranges(total: int, n_workers: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into ≤ ``n_workers`` contiguous non-empty slices."""
+    n_chunks = max(1, min(n_workers, total))
+    base, remainder = divmod(total, n_chunks)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < remainder else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
 
 
 class EquivalenceSearchResult(NamedTuple):
@@ -240,6 +384,7 @@ def search_equivalence(
     max_atoms: int = 2,
     per_relation_cap: Optional[int] = None,
     mapping_cap: Optional[int] = None,
+    n_workers: int = 1,
 ) -> EquivalenceSearchResult:
     """Bounded search for equivalence witnesses in both directions.
 
@@ -248,12 +393,14 @@ def search_equivalence(
     forward = search_dominance(
         s1, s2, max_atoms=max_atoms,
         per_relation_cap=per_relation_cap, mapping_cap=mapping_cap,
+        n_workers=n_workers,
     )
     if not forward.found:
         return EquivalenceSearchResult(forward, None)
     backward = search_dominance(
         s2, s1, max_atoms=max_atoms,
         per_relation_cap=per_relation_cap, mapping_cap=mapping_cap,
+        n_workers=n_workers,
     )
     return EquivalenceSearchResult(forward, backward)
 
@@ -273,11 +420,22 @@ class ScanRow(NamedTuple):
         return self.isomorphic == self.equivalence_found
 
 
+def _dominance_cell(payload) -> Tuple[int, int, bool]:
+    """Worker: one (i, j) cell of the dominance matrix."""
+    i, j, s1, s2, max_atoms, per_relation_cap, mapping_cap = payload
+    found = search_dominance(
+        s1, s2, max_atoms=max_atoms,
+        per_relation_cap=per_relation_cap, mapping_cap=mapping_cap,
+    ).found
+    return (i, j, found)
+
+
 def dominance_matrix(
     schemas: Sequence[DatabaseSchema],
     max_atoms: int = 2,
     per_relation_cap: Optional[int] = None,
     mapping_cap: Optional[int] = None,
+    n_workers: int = 1,
 ) -> List[List[bool]]:
     """The dominance preorder over a schema universe, by bounded search.
 
@@ -288,11 +446,23 @@ def dominance_matrix(
     matrix is reflexive and transitive but not symmetric.  The tests check
     exactly those properties, plus consistency with the isomorphism
     diagonal.
+
+    ``n_workers > 1`` distributes cells across a process pool; each cell
+    is an independent search, so the matrix is identical either way.
     """
     n = len(schemas)
     matrix: List[List[bool]] = [[False] * n for _ in range(n)]
-    for i, s1 in enumerate(schemas):
-        for j, s2 in enumerate(schemas):
+    cells = [
+        (i, j, schemas[i], schemas[j], max_atoms, per_relation_cap, mapping_cap)
+        for i in range(n)
+        for j in range(n)
+    ]
+    if n_workers > 1 and len(cells) > 1:
+        with ProcessPoolExecutor(max_workers=min(n_workers, len(cells))) as executor:
+            for i, j, found in executor.map(_dominance_cell, cells):
+                matrix[i][j] = found
+    else:
+        for i, j, s1, s2, *_ in cells:
             matrix[i][j] = search_dominance(
                 s1,
                 s2,
@@ -303,25 +473,50 @@ def dominance_matrix(
     return matrix
 
 
+def _scan_cell(payload) -> Tuple[int, int, bool, bool]:
+    """Worker: one unordered pair of a Theorem 13 scan."""
+    i, j, s1, s2, max_atoms, per_relation_cap, mapping_cap = payload
+    result = search_equivalence(
+        s1, s2, max_atoms=max_atoms,
+        per_relation_cap=per_relation_cap, mapping_cap=mapping_cap,
+    )
+    return (i, j, is_isomorphic(s1, s2), result.found)
+
+
 def theorem13_scan(
     schemas: Sequence[DatabaseSchema],
     max_atoms: int = 2,
     per_relation_cap: Optional[int] = None,
     mapping_cap: Optional[int] = None,
+    n_workers: int = 1,
 ) -> List[ScanRow]:
     """Scan all unordered pairs of ``schemas`` for Theorem 13's prediction.
 
     For each pair, run the bounded equivalence search and compare against
     the isomorphism test.  Every row should satisfy
     ``consistent_with_theorem13``.
+
+    ``n_workers > 1`` distributes pairs across a process pool.  Rows come
+    back in the same (i, j)-sorted order with the same verdicts as the
+    sequential scan — each pair's search is self-contained.
     """
+    cells = [
+        (i, j, schemas[i], schemas[j], max_atoms, per_relation_cap, mapping_cap)
+        for i in range(len(schemas))
+        for j in range(i, len(schemas))
+    ]
+    if n_workers > 1 and len(cells) > 1:
+        with ProcessPoolExecutor(max_workers=min(n_workers, len(cells))) as executor:
+            results = list(executor.map(_scan_cell, cells))
+        return [
+            ScanRow(i, j, isomorphic, found)
+            for i, j, isomorphic, found in sorted(results)
+        ]
     rows: List[ScanRow] = []
-    for i, s1 in enumerate(schemas):
-        for j in range(i, len(schemas)):
-            s2 = schemas[j]
-            result = search_equivalence(
-                s1, s2, max_atoms=max_atoms,
-                per_relation_cap=per_relation_cap, mapping_cap=mapping_cap,
-            )
-            rows.append(ScanRow(i, j, is_isomorphic(s1, s2), result.found))
+    for i, j, s1, s2, *_ in cells:
+        result = search_equivalence(
+            s1, s2, max_atoms=max_atoms,
+            per_relation_cap=per_relation_cap, mapping_cap=mapping_cap,
+        )
+        rows.append(ScanRow(i, j, is_isomorphic(s1, s2), result.found))
     return rows

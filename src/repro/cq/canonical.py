@@ -24,6 +24,7 @@ from repro.errors import EvaluationError
 from repro.relational.domain import Value
 from repro.relational.instance import DatabaseInstance, RelationInstance, Row
 from repro.relational.schema import DatabaseSchema
+from repro.utils import memo
 
 NULL_MARKER = "¿null"
 
@@ -58,13 +59,26 @@ class CanonicalDatabase(NamedTuple):
     assignment: Dict[Variable, Value]
 
 
+_CANONICAL_MEMO = memo.memo("canonical-database", maxsize=8192)
+
+
 def canonical_database(
     query: ConjunctiveQuery, schema: DatabaseSchema
 ) -> Optional[CanonicalDatabase]:
     """Build the canonical database of ``query`` over ``schema``.
 
-    Returns ``None`` for queries with inconsistent equality lists.
+    Returns ``None`` for queries with inconsistent equality lists.  Results
+    are memoized on the (query, schema) pair — both are immutable value
+    objects, and callers never mutate the returned structure.
     """
+    return _CANONICAL_MEMO.get_or_compute(
+        (query, schema), lambda: _build_canonical_database(query, schema)
+    )
+
+
+def _build_canonical_database(
+    query: ConjunctiveQuery, schema: DatabaseSchema
+) -> Optional[CanonicalDatabase]:
     types = infer_types(query, schema)
     rewritten, structure = substitute_representatives(query)
     if structure.inconsistent:

@@ -36,6 +36,7 @@ from repro.relational.dependencies import (
 from repro.relational.domain import Value
 from repro.relational.instance import DatabaseInstance, RelationInstance, Row
 from repro.relational.schema import DatabaseSchema
+from repro.utils import memo
 
 
 class FDEgd(NamedTuple):
@@ -58,9 +59,19 @@ def egd_of_key(schema: DatabaseSchema, key: KeyDependency) -> FDEgd:
     return FDEgd(rel.name, lhs, rhs)
 
 
+_EGDS_MEMO = memo.memo("schema-egds", maxsize=2048)
+
+
 def egds_of_schema(schema: DatabaseSchema) -> Tuple[FDEgd, ...]:
-    """The EGDs of all key dependencies declared by ``schema``."""
-    return tuple(egd_of_key(schema, k) for k in key_dependencies(schema))
+    """The EGDs of all key dependencies declared by ``schema``.
+
+    Memoized per schema: every containment-under-keys call re-derives the
+    same EGD tuple for the same (immutable) schema.
+    """
+    return _EGDS_MEMO.get_or_compute(
+        schema,
+        lambda: tuple(egd_of_key(schema, k) for k in key_dependencies(schema)),
+    )
 
 
 def egd_of_fd(schema: DatabaseSchema, fd: FunctionalDependency) -> FDEgd:

@@ -28,6 +28,9 @@ from repro.cq.syntax import ConjunctiveQuery
 from repro.errors import ChaseFailure
 from repro.relational.dependencies import InclusionDependency
 from repro.relational.schema import DatabaseSchema
+from repro.utils import memo
+
+_CHASED_MEMO = memo.memo("chased-canonical", maxsize=8192)
 
 
 def chased_canonical(
@@ -39,8 +42,23 @@ def chased_canonical(
     """The canonical database of ``query`` chased with the dependencies.
 
     Returns ``None`` when the query is unsatisfiable relative to the
-    dependencies (inconsistent equalities, or a failing chase).
+    dependencies (inconsistent equalities, or a failing chase).  Memoized
+    on (query, schema, Σ): ``identity_report`` alone re-chases the same
+    identity-side canonical for every candidate pair of a dominance
+    search, and the memo collapses that to one chase per (relation, Σ).
     """
+    key = (query, schema, tuple(egds), tuple(inclusions))
+    return _CHASED_MEMO.get_or_compute(
+        key, lambda: _build_chased_canonical(query, schema, egds, inclusions)
+    )
+
+
+def _build_chased_canonical(
+    query: ConjunctiveQuery,
+    schema: DatabaseSchema,
+    egds: Sequence[FDEgd],
+    inclusions: Sequence[InclusionDependency],
+) -> Optional[CanonicalDatabase]:
     canonical = canonical_database(query, schema)
     if canonical is None:
         return None

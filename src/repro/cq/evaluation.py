@@ -26,8 +26,15 @@ from repro.relational.attribute import Attribute
 from repro.relational.domain import Value
 from repro.relational.instance import DatabaseInstance, RelationInstance, Row
 from repro.relational.schema import RelationSchema
+from repro.utils import memo
 
 Binding = Dict[Variable, Value]
+
+# Answers are memoized on (query, instance, view schema) — all immutable
+# value objects.  Instances above the row threshold bypass the cache:
+# hashing them is cheap relative to evaluation, but retaining them is not.
+_EVAL_MEMO = memo.memo("evaluate", maxsize=16384)
+_EVAL_CACHE_MAX_ROWS = 2048
 
 
 def synthesize_view_schema(
@@ -148,10 +155,25 @@ def evaluate(
     """Evaluate ``query`` over ``instance`` with hash joins.
 
     The query is first rewritten to an equality-free general form; an
-    inconsistent equality list yields the empty answer.
+    inconsistent equality list yields the empty answer.  Answers for small
+    instances are memoized — the dominance search's gadget refuter applies
+    the same views to the same gadget instances for every candidate pair.
     """
     if view_schema is None:
         view_schema = synthesize_view_schema(query, instance)
+    if instance.total_rows() <= _EVAL_CACHE_MAX_ROWS:
+        return _EVAL_MEMO.get_or_compute(
+            (query, instance, view_schema),
+            lambda: _evaluate(query, instance, view_schema),
+        )
+    return _evaluate(query, instance, view_schema)
+
+
+def _evaluate(
+    query: ConjunctiveQuery,
+    instance: DatabaseInstance,
+    view_schema: RelationSchema,
+) -> RelationInstance:
     rewritten, structure = substitute_representatives(query)
     if structure.inconsistent:
         return RelationInstance(view_schema)

@@ -2,9 +2,14 @@
 
 ``q ⊆ q'`` over all instances of a schema iff there is a homomorphism from
 ``q'`` into the canonical database of ``q`` mapping head to head.  The
-search is a backtracking matcher with a most-constrained-atom ordering; a
+search is a backtracking matcher with dynamic most-constrained-atom
+re-ordering at every depth; candidate rows for an atom are fetched through
+per-relation hash indexes on the atom's bound positions
+(:mod:`repro.cq.indexing`) instead of scanning the whole relation.  A
 deliberately naive variant (:func:`find_homomorphism_naive`) is kept for
-differential tests and the E6 ablation benchmark.
+differential tests and the E6 ablation benchmark, and ``use_index=False``
+reproduces the pre-index smart matcher (full scans, same ordering) for the
+same purpose.
 
 Typed semantics: variables only ever map to values of their own type
 because atoms only match rows of their own relation, and constants must map
@@ -15,11 +20,11 @@ paper only defines containment for queries of the same type — and raise
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cq.canonical import CanonicalDatabase, canonical_database
 from repro.cq.equality import substitute_representatives
+from repro.cq.indexing import candidate_rows
 from repro.cq.syntax import Atom, ConjunctiveQuery, Constant, Term, Variable
 from repro.cq.typecheck import head_type
 from repro.errors import TypecheckError
@@ -28,6 +33,42 @@ from repro.relational.instance import DatabaseInstance, Row
 from repro.relational.schema import DatabaseSchema
 
 Assignment = Dict[Variable, Value]
+
+_use_index_default: bool = True
+
+
+def set_indexing(enabled: bool) -> bool:
+    """Globally switch indexed matching on or off; returns the old setting.
+
+    With indexing off the matcher scans every row of the atom's relation,
+    reproducing the pre-index implementation — the A/B lever behind
+    ``--no-index`` style experiments and ``benchmarks/bench_perf.py``.
+    """
+    global _use_index_default
+    previous = _use_index_default
+    _use_index_default = bool(enabled)
+    return previous
+
+
+def indexing_enabled() -> bool:
+    """True iff indexed matching is the current default."""
+    return _use_index_default
+
+
+class MatchCounters:
+    """Mutable effort counters for the matcher (surfaced via SearchStats)."""
+
+    __slots__ = ("backtracks",)
+
+    def __init__(self) -> None:
+        self.backtracks = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.backtracks = 0
+
+
+counters = MatchCounters()
 
 
 def _check_same_type(
@@ -79,33 +120,66 @@ def _match_atom(
     return extended
 
 
+def _bound_positions(
+    body_atom: Atom, assignment: Assignment
+) -> List[Tuple[int, Value]]:
+    """(position, required value) pairs fixed by constants or the assignment."""
+    bound: List[Tuple[int, Value]] = []
+    for position, term in enumerate(body_atom.terms):
+        if isinstance(term, Constant):
+            bound.append((position, term.value))
+        else:
+            value = assignment.get(term)
+            if value is not None:
+                bound.append((position, value))
+    return bound
+
+
 def _search(
     atoms: List[Atom],
     target: DatabaseInstance,
     assignment: Assignment,
     smart_order: bool,
+    use_index: bool,
+    relation_sizes: Dict[str, int],
 ) -> Optional[Assignment]:
     if not atoms:
         return assignment
     if smart_order:
+        # Re-pick the most constrained atom at every depth: most bound
+        # positions first, smallest relation as the tie-break.  Relation
+        # sizes are hoisted into ``relation_sizes`` once per matcher call.
         def constrainedness(a: Atom) -> Tuple[int, int]:
             bound = sum(
                 1
                 for t in a.terms
                 if isinstance(t, Constant) or t in assignment
             )
-            return (bound, -len(target.relation(a.relation)))
+            return (bound, -relation_sizes[a.relation])
 
-        next_atom = max(atoms, key=constrainedness)
+        chosen = max(range(len(atoms)), key=lambda i: constrainedness(atoms[i]))
     else:
-        next_atom = atoms[0]
-    rest = [a for a in atoms if a is not next_atom]
-    for row in target.relation(next_atom.relation):
+        chosen = 0
+    next_atom = atoms[chosen]
+    # Remove exactly one occurrence (by position): the same Atom object may
+    # legitimately appear twice in a body.
+    rest = atoms[:chosen] + atoms[chosen + 1 :]
+    relation = target.relation(next_atom.relation)
+    if use_index:
+        rows: Sequence[Row] = candidate_rows(
+            relation, _bound_positions(next_atom, assignment)
+        )
+    else:
+        rows = relation  # full scan (ablation / naive path)
+    for row in rows:
         extended = _match_atom(next_atom, row, assignment)
         if extended is not None:
-            result = _search(rest, target, extended, smart_order)
+            result = _search(
+                rest, target, extended, smart_order, use_index, relation_sizes
+            )
             if result is not None:
                 return result
+    counters.backtracks += 1
     return None
 
 
@@ -113,27 +187,37 @@ def find_homomorphism(
     source: ConjunctiveQuery,
     target: CanonicalDatabase,
     smart_order: bool = True,
+    use_index: Optional[bool] = None,
 ) -> Optional[Assignment]:
     """Find a head-preserving homomorphism from ``source`` into ``target``.
 
     ``source`` is rewritten to its equality-free general form first; an
     inconsistent source admits no homomorphism (it denotes the empty query,
-    which is handled by the callers, not here).
+    which is handled by the callers, not here).  ``use_index=None`` follows
+    the global default (:func:`set_indexing`).
     """
+    if use_index is None:
+        use_index = _use_index_default
     rewritten, structure = substitute_representatives(source)
     if structure.inconsistent:
         return None
     seed = _seed_from_head(rewritten.head.terms, target.head_row)
     if seed is None:
         return None
-    return _search(list(rewritten.body), target.instance, seed, smart_order)
+    atoms = list(rewritten.body)
+    relation_sizes = {
+        a.relation: len(target.instance.relation(a.relation)) for a in atoms
+    }
+    return _search(
+        atoms, target.instance, seed, smart_order, use_index, relation_sizes
+    )
 
 
 def find_homomorphism_naive(
     source: ConjunctiveQuery, target: CanonicalDatabase
 ) -> Optional[Assignment]:
-    """Reference matcher: left-to-right atom order, no heuristics."""
-    return find_homomorphism(source, target, smart_order=False)
+    """Reference matcher: left-to-right atom order, full scans, no heuristics."""
+    return find_homomorphism(source, target, smart_order=False, use_index=False)
 
 
 def is_contained_in(

@@ -1,0 +1,94 @@
+"""Per-relation hash indexes for homomorphism matching.
+
+The backtracking matcher in :mod:`repro.cq.homomorphism` repeatedly asks
+"which rows of relation R agree with the current partial assignment on the
+atom's bound positions?".  Scanning every row answers that in O(|R|) per
+probe; this module answers it in O(1) expected by hashing the rows of a
+:class:`~repro.relational.instance.RelationInstance` on a tuple of column
+positions.
+
+Indexes are built lazily, at most once per (instance, position-set), and
+cached on the instance itself (instances are immutable, so a built index
+never goes stale; derived instances from ``with_rows``/``map_rows`` start
+with a fresh cache).  Module-level :class:`IndexCounters` record builds,
+probes and candidate rows returned so the search layer can surface them in
+``SearchStats``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.relational.domain import Value
+from repro.relational.instance import RelationInstance, Row
+
+IndexKey = Tuple[Value, ...]
+PositionIndex = Dict[IndexKey, Tuple[Row, ...]]
+
+
+class IndexCounters:
+    """Mutable effort counters for the indexing layer."""
+
+    __slots__ = ("index_builds", "probes", "rows_probed")
+
+    def __init__(self) -> None:
+        self.index_builds = 0
+        self.probes = 0
+        self.rows_probed = 0
+
+    def snapshot(self) -> Tuple[int, int, int]:
+        """The counters as an immutable (builds, probes, rows_probed) triple."""
+        return (self.index_builds, self.probes, self.rows_probed)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.index_builds = 0
+        self.probes = 0
+        self.rows_probed = 0
+
+
+counters = IndexCounters()
+
+
+def index_on(
+    relation: RelationInstance, positions: Tuple[int, ...]
+) -> PositionIndex:
+    """The hash index of ``relation`` on the given column positions.
+
+    Maps each observed tuple of values at ``positions`` to the rows
+    carrying it.  Built on first request and cached on the instance.
+    """
+    cache = relation._index_cache
+    if cache is None:
+        cache = relation._index_cache = {}
+    index = cache.get(positions)
+    if index is None:
+        buckets: Dict[IndexKey, List[Row]] = {}
+        for row in relation.rows:
+            buckets.setdefault(tuple(row[p] for p in positions), []).append(row)
+        index = {key: tuple(rows) for key, rows in buckets.items()}
+        cache[positions] = index
+        counters.index_builds += 1
+    return index
+
+
+def candidate_rows(
+    relation: RelationInstance,
+    bound: Sequence[Tuple[int, Value]],
+) -> Sequence[Row]:
+    """Rows of ``relation`` agreeing with ``bound`` (position, value) pairs.
+
+    With no bound positions every row is a candidate; otherwise the index
+    on the bound positions is probed.  The result is exactly the set of
+    rows a full scan filtered on ``bound`` would keep.
+    """
+    counters.probes += 1
+    if not bound:
+        rows: Sequence[Row] = tuple(relation.rows)
+        counters.rows_probed += len(rows)
+        return rows
+    positions = tuple(p for p, _ in bound)
+    key = tuple(v for _, v in bound)
+    matches = index_on(relation, positions).get(key, ())
+    counters.rows_probed += len(matches)
+    return matches

@@ -133,6 +133,32 @@ class QueryMapping:
         """The mapping's receives relation (paper §2 attribute flow)."""
         return analyze_views(self.queries(), self._source, self._target)
 
+    # -------------------------------------------------------------- equality
+
+    def cache_key(self) -> Tuple:
+        """A structural, hashable identity: (source, target, view queries).
+
+        Two mappings with equal schemas and equal defining queries are the
+        same mapping; the memo caches key on this.
+        """
+        return (
+            self._source,
+            self._target,
+            tuple(
+                (name, self._views[name].query)
+                for name in self._target.relation_names
+            ),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, QueryMapping)
+            and other.cache_key() == self.cache_key()
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         names = ", ".join(self._target.relation_names)
         return f"QueryMapping({names} over {', '.join(self._source.relation_names)})"

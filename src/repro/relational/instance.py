@@ -23,12 +23,18 @@ Row = Tuple[Value, ...]
 
 
 class RelationInstance:
-    """An immutable, typed set of tuples over a relation scheme."""
+    """An immutable, typed set of tuples over a relation scheme.
 
-    __slots__ = ("_schema", "_rows")
+    ``_index_cache`` holds lazily built hash indexes over the (immutable)
+    row set (:mod:`repro.cq.indexing`); it never participates in equality
+    or hashing.
+    """
+
+    __slots__ = ("_schema", "_rows", "_index_cache")
 
     def __init__(self, schema: RelationSchema, rows: Iterable[Row] = ()) -> None:
         self._schema = schema
+        self._index_cache = None
         checked: Set[Row] = set()
         arity = schema.arity
         signature = schema.type_signature
@@ -123,6 +129,14 @@ class RelationInstance:
         return frozenset(v for row in self._rows for v in row)
 
     # -------------------------------------------------------------- equality
+
+    def __getstate__(self):
+        # Indexes are derived data; rebuild lazily after unpickling.
+        return (self._schema, self._rows)
+
+    def __setstate__(self, state) -> None:
+        self._schema, self._rows = state
+        self._index_cache = None
 
     def __eq__(self, other: object) -> bool:
         return (

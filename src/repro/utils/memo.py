@@ -1,0 +1,152 @@
+"""Bounded, stats-carrying memoization caches.
+
+The hot paths of the dominance search recompute pure functions of
+immutable, hashable inputs — canonical databases, chased canonicals, key
+EGDs, gadget families, view answers — thousands of times per scan.  This
+module provides a small cache layer for them:
+
+* :class:`Memo` — a bounded LRU cache with hit/miss/eviction counters;
+* a process-wide named registry (:func:`memo`) so call sites share caches
+  and the CLI/benchmarks can inspect or clear all of them at once;
+* a global enable switch (:func:`set_enabled`) so experiments can A/B the
+  cached against the uncached implementation (``repro ... --no-cache``,
+  ``benchmarks/bench_perf.py``) — while disabled, every lookup bypasses
+  storage entirely and counts neither hits nor misses.
+
+Caches are per-process.  Worker processes forked by the parallel search
+inherit the parent's warm caches and keep their own counters from there.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+_MISSING = object()
+
+_enabled: bool = True
+
+
+def set_enabled(enabled: bool) -> bool:
+    """Globally enable or disable all memo caches; returns the old setting."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+def caches_enabled() -> bool:
+    """True iff the memo layer is currently active."""
+    return _enabled
+
+
+class CacheStats:
+    """Mutable hit/miss/eviction counters for one cache."""
+
+    __slots__ = ("hits", "misses", "evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (for reports and JSON)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CacheStats(hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+
+
+class Memo:
+    """A bounded LRU cache mapping hashable keys to computed values.
+
+    ``get_or_compute`` is the single access point: on a hit the stored
+    value is returned (and refreshed in LRU order), on a miss ``compute``
+    runs and its result — including ``None`` — is stored.  When the memo
+    layer is disabled the call degrades to ``compute()`` with no storage
+    and no counter updates.
+    """
+
+    __slots__ = ("name", "maxsize", "stats", "_data")
+
+    def __init__(self, name: str, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError(f"memo {name!r}: maxsize must be positive")
+        self.name = name
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing and storing on miss."""
+        if not _enabled:
+            return compute()
+        value = self._data.get(key, _MISSING)
+        if value is not _MISSING:
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            return value
+        self.stats.misses += 1
+        value = compute()
+        self._data[key] = value
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
+        return value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._data.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Memo({self.name!r}, {len(self._data)}/{self.maxsize}, {self.stats!r})"
+
+
+_registry: Dict[str, Memo] = {}
+
+
+def memo(name: str, maxsize: int = 4096) -> Memo:
+    """The process-wide cache registered under ``name`` (created on first use).
+
+    The ``maxsize`` of the first registration wins; later callers share the
+    same instance.
+    """
+    cache = _registry.get(name)
+    if cache is None:
+        cache = Memo(name, maxsize=maxsize)
+        _registry[name] = cache
+    return cache
+
+
+def all_stats() -> Dict[str, Dict[str, int]]:
+    """Per-cache counters for every registered cache."""
+    return {name: cache.stats.as_dict() for name, cache in sorted(_registry.items())}
+
+
+def global_counters() -> Tuple[int, int]:
+    """Total (hits, misses) summed over every registered cache."""
+    hits = sum(c.stats.hits for c in _registry.values())
+    misses = sum(c.stats.misses for c in _registry.values())
+    return hits, misses
+
+
+def clear_all() -> None:
+    """Empty every registered cache (counters are kept)."""
+    for cache in _registry.values():
+        cache.clear()
+
+
+def reset_counters() -> None:
+    """Zero every registered cache's counters (entries are kept)."""
+    for cache in _registry.values():
+        cache.stats.hits = 0
+        cache.stats.misses = 0
+        cache.stats.evictions = 0

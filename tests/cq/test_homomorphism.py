@@ -130,6 +130,87 @@ def test_containment_validated_by_evaluation(s):
         assert evaluate(q1, inst).rows <= evaluate(q2, inst).rows
 
 
+def test_duplicated_atom_object_removed_one_occurrence_at_a_time():
+    """Regression: ``_search`` once dropped *every* occurrence of the chosen
+    atom when the same ``Atom`` object appeared twice in the list (identity
+    based removal).  Both occurrences must be matched, one per depth."""
+    from repro.cq import indexing
+    from repro.cq.homomorphism import _search
+    from repro.cq.syntax import Atom, Variable
+    from repro.relational import DatabaseInstance, Value, relation, schema
+
+    s2 = schema(relation("E", [("a", "T"), ("b", "T")]))
+    instance = DatabaseInstance.from_rows(
+        s2, {"E": [(Value("T", 1), Value("T", 2))]}
+    )
+    shared = Atom("E", (Variable("X"), Variable("Y")))
+    atoms = [shared, shared]  # the SAME object twice
+    indexing.counters.reset()
+    result = _search(
+        atoms,
+        instance,
+        {},
+        smart_order=True,
+        use_index=True,
+        relation_sizes={"E": 1},
+    )
+    assert result == {Variable("X"): Value("T", 1), Variable("Y"): Value("T", 2)}
+    # One index probe per occurrence: the buggy removal did a single probe
+    # because the second occurrence vanished along with the first.
+    assert indexing.counters.probes == 2
+
+
+def test_duplicated_atom_object_without_index_or_ordering():
+    """Same regression on the naive path (no smart order, full scans)."""
+    from repro.cq.homomorphism import _search
+    from repro.cq.syntax import Atom, Variable
+    from repro.relational import DatabaseInstance, Value, relation, schema
+
+    s2 = schema(relation("E", [("a", "T"), ("b", "T")]))
+    instance = DatabaseInstance.from_rows(
+        s2,
+        {"E": [(Value("T", 1), Value("T", 2)), (Value("T", 2), Value("T", 3))]},
+    )
+    shared = Atom("E", (Variable("X"), Variable("Y")))
+    result = _search(
+        [shared, shared],
+        instance,
+        {Variable("X"): Value("T", 2)},
+        smart_order=False,
+        use_index=False,
+        relation_sizes={"E": 2},
+    )
+    assert result == {Variable("X"): Value("T", 2), Variable("Y"): Value("T", 3)}
+
+
+def test_indexed_and_unindexed_matchers_agree(s):
+    pairs = [
+        ("Q(X) :- R(X, Y), S(C, D), Y = C.", "Q(X) :- R(X, Y)."),
+        ("Q(X) :- R(X, Y).", "Q(X) :- R(X, Y), S(C, D), Y = C."),
+        ("Q(X) :- R(X, Y), Y = U:5.", "Q(X) :- R(X, Y)."),
+        ("Q(X) :- R(X, Y), S(C, D), Y = C.", "Q(X) :- R(X, Y), S(C, D)."),
+    ]
+    for t1, t2 in pairs:
+        q1, q2 = parse_query(t1), parse_query(t2)
+        canonical = canonical_database(q1, s)
+        indexed = find_homomorphism(q2, canonical, use_index=True)
+        scanned = find_homomorphism(q2, canonical, use_index=False)
+        assert (indexed is None) == (scanned is None)
+        if indexed is not None:
+            # Both are genuine homomorphisms: spot-check the indexed one by
+            # replaying it over the canonical rows.
+            from repro.cq.equality import substitute_representatives
+            from repro.cq.syntax import Constant
+
+            rewritten, _ = substitute_representatives(q2)
+            for atom in rewritten.body:
+                image = tuple(
+                    t.value if isinstance(t, Constant) else indexed[t]
+                    for t in atom.terms
+                )
+                assert image in canonical.instance.relation(atom.relation)
+
+
 def test_non_containment_has_concrete_witness(s):
     """If q1 ⊄ q2 the instantiated canonical database is a witness."""
     q1 = parse_query("Q(X) :- R(X, Y).")

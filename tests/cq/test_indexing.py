@@ -1,0 +1,88 @@
+"""Unit tests for the per-relation hash indexes (:mod:`repro.cq.indexing`)."""
+
+import pytest
+
+from repro.cq.indexing import candidate_rows, counters, index_on
+from repro.relational import DatabaseInstance, Value, relation, schema
+
+
+@pytest.fixture
+def edge_instance():
+    s = schema(relation("E", [("a", "T"), ("b", "T")]))
+    rows = [
+        (Value("T", 1), Value("T", 2)),
+        (Value("T", 1), Value("T", 3)),
+        (Value("T", 2), Value("T", 3)),
+        (Value("T", 3), Value("T", 3)),
+    ]
+    return DatabaseInstance.from_rows(s, {"E": rows}).relation("E")
+
+
+def _scan(rel, bound):
+    return {row for row in rel.rows if all(row[p] == v for p, v in bound)}
+
+
+def test_index_groups_rows_by_key(edge_instance):
+    index = index_on(edge_instance, (0,))
+    assert set(index[(Value("T", 1),)]) == _scan(edge_instance, [(0, Value("T", 1))])
+    assert len(index[(Value("T", 1),)]) == 2
+    assert len(index[(Value("T", 2),)]) == 1
+
+
+def test_candidate_rows_match_full_scan(edge_instance):
+    bounds = [
+        [],
+        [(0, Value("T", 1))],
+        [(1, Value("T", 3))],
+        [(0, Value("T", 3)), (1, Value("T", 3))],
+        [(0, Value("T", 9))],  # absent value: no candidates
+    ]
+    for bound in bounds:
+        assert set(candidate_rows(edge_instance, bound)) == _scan(
+            edge_instance, bound
+        )
+
+
+def test_index_built_once_per_position_set(edge_instance):
+    counters.reset()
+    index_on(edge_instance, (0,))
+    index_on(edge_instance, (0,))
+    assert counters.index_builds == 1
+    index_on(edge_instance, (0, 1))
+    assert counters.index_builds == 2
+    assert index_on(edge_instance, (0,)) is index_on(edge_instance, (0,))
+
+
+def test_counters_track_probe_effort(edge_instance):
+    counters.reset()
+    candidate_rows(edge_instance, [])
+    assert (counters.probes, counters.rows_probed) == (1, 4)
+    candidate_rows(edge_instance, [(0, Value("T", 1))])
+    assert (counters.probes, counters.rows_probed) == (2, 6)
+    candidate_rows(edge_instance, [(0, Value("T", 9))])
+    assert (counters.probes, counters.rows_probed) == (3, 6)
+    assert counters.snapshot() == (counters.index_builds, 3, 6)
+    counters.reset()
+    assert counters.snapshot() == (0, 0, 0)
+
+
+def test_derived_instances_start_with_fresh_cache(edge_instance):
+    """Indexes never leak onto instances derived from this one."""
+    index_on(edge_instance, (0,))
+    assert edge_instance._index_cache
+    schema_obj = edge_instance.schema
+    derived = type(edge_instance)(schema_obj, set(edge_instance.rows))
+    assert derived._index_cache is None
+
+
+def test_unpickled_instance_rebuilds_index():
+    import pickle
+
+    s = schema(relation("E", [("a", "T"), ("b", "T")]))
+    rel = DatabaseInstance.from_rows(
+        s, {"E": [(Value("T", 1), Value("T", 2))]}
+    ).relation("E")
+    index_on(rel, (0,))
+    clone = pickle.loads(pickle.dumps(rel))
+    assert clone._index_cache is None  # derived data is not shipped
+    assert set(candidate_rows(clone, [(0, Value("T", 1))])) == set(rel.rows)

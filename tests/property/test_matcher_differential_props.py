@@ -1,0 +1,61 @@
+"""Differential property tests for the performance layer.
+
+Three matchers must agree on every random input: the indexed
+most-constrained-first matcher (the default), the same matcher with full
+scans (``use_index=False``), and the deliberately naive reference
+(:func:`find_homomorphism_naive`).  Likewise the memoized containment
+decision must agree with the cache-bypassing one — the perf layer is an
+implementation detail, never a semantics change.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cq.canonical import canonical_database
+from repro.cq.homomorphism import (
+    find_homomorphism,
+    find_homomorphism_naive,
+    is_contained_in,
+)
+from repro.errors import TypecheckError
+from repro.utils import memo
+from repro.workloads import random_keyed_schema, random_query
+
+seeds = st.integers(0, 10_000)
+
+
+def typed_pair(schema_seed, seed1, seed2):
+    schema = random_keyed_schema(schema_seed, ["A", "B"], n_relations=2, max_arity=3)
+    q1 = random_query(schema, seed=seed1, max_atoms=3, head_arity=2)
+    q2 = random_query(schema, seed=seed2, max_atoms=2, head_arity=2)
+    return schema, q1, q2
+
+
+@settings(max_examples=60, deadline=None)
+@given(schema_seed=st.integers(0, 30), seed1=seeds, seed2=seeds)
+def test_indexed_scanning_and_naive_matchers_agree(schema_seed, seed1, seed2):
+    schema, q1, q2 = typed_pair(schema_seed, seed1, seed2)
+    canonical = canonical_database(q1, schema)
+    if canonical is None:
+        return  # unsatisfiable q1: nothing to match into
+    indexed = find_homomorphism(q2, canonical, use_index=True)
+    scanned = find_homomorphism(q2, canonical, use_index=False)
+    naive = find_homomorphism_naive(q2, canonical)
+    assert (indexed is None) == (scanned is None) == (naive is None)
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_seed=st.integers(0, 30), seed1=seeds, seed2=seeds)
+def test_cached_and_uncached_containment_agree(schema_seed, seed1, seed2):
+    schema, q1, q2 = typed_pair(schema_seed, seed1, seed2)
+    memo.clear_all()
+    try:
+        memo.set_enabled(True)
+        cached_cold = is_contained_in(q1, q2, schema)
+        cached_warm = is_contained_in(q1, q2, schema)
+        memo.set_enabled(False)
+        uncached = is_contained_in(q1, q2, schema)
+    except TypecheckError:
+        return  # incomparable head types — nothing to compare
+    finally:
+        memo.set_enabled(True)
+    assert cached_cold == cached_warm == uncached

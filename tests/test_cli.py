@@ -200,6 +200,77 @@ def test_search_writes_witness_file(schema_files, tmp_path, capsys):
     assert ":-" in content and "#" in content
 
 
+def test_search_prints_perf_line(schema_files, capsys):
+    code = main(
+        ["search", schema_files["a"], schema_files["b"], "--max-atoms", "1"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cache hits=" in out and "wall time=" in out
+
+
+def test_search_with_workers(schema_files, capsys):
+    code = main(
+        [
+            "search",
+            schema_files["a"],
+            schema_files["b"],
+            "--max-atoms",
+            "1",
+            "--workers",
+            "2",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "witness found" in out
+    assert "workers=2" in out
+
+
+def test_search_no_cache_no_index_same_verdict(schema_files, capsys):
+    from repro.cq.homomorphism import indexing_enabled, set_indexing
+    from repro.utils import memo
+
+    try:
+        code = main(
+            [
+                "search",
+                schema_files["a"],
+                schema_files["b"],
+                "--max-atoms",
+                "1",
+                "--no-cache",
+                "--no-index",
+            ]
+        )
+        assert code == 0
+        assert "witness found" in capsys.readouterr().out
+        assert not memo.caches_enabled()
+        assert not indexing_enabled()
+    finally:
+        memo.set_enabled(True)
+        set_indexing(True)
+
+
+def test_contains_no_cache_flag(schema_files, capsys):
+    from repro.utils import memo
+
+    try:
+        code = main(
+            [
+                "contains",
+                schema_files["rs"],
+                "--no-cache",
+                "Q(X) :- R(X, Y), S(C, D), Y = C.",
+                "Q(X) :- R(X, Y).",
+            ]
+        )
+        assert code == 0
+        assert "True" in capsys.readouterr().out
+    finally:
+        memo.set_enabled(True)
+
+
 def test_python_dash_m_entry_point(schema_files):
     """`python -m repro` works as a subprocess (the __main__ shim)."""
     import subprocess
