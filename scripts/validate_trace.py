@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Validate a JSONL trace file against the repro.obs event schema.
+
+Usage:  PYTHONPATH=src python scripts/validate_trace.py TRACE.jsonl [...]
+
+Checks every line with :func:`repro.obs.events.validate_line` and prints
+one diagnostic per violation (file, line number, message).  Exits 0 iff
+every line of every file is schema-valid, 1 on any violation, 2 on
+unreadable input.  CI runs this on the trace the smoke `theorem13` run
+emits, so a schema drift between emitter and checker fails the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.obs.events import validate_line
+
+
+def validate_file(path: Path) -> int:
+    """Print violations of one trace file; returns the violation count."""
+    violations = 0
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        for error in validate_line(line):
+            print(f"{path}:{number}: {error}")
+            violations += 1
+    if not lines:
+        print(f"{path}: empty trace (no events)")
+        violations += 1
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("traces", nargs="+", metavar="TRACE.jsonl")
+    args = parser.parse_args(argv)
+    total = 0
+    checked = 0
+    for name in args.traces:
+        path = Path(name)
+        try:
+            total += validate_file(path)
+        except OSError as exc:
+            print(f"{path}: cannot read: {exc}", file=sys.stderr)
+            return 2
+        checked += 1
+    if total:
+        print(f"{total} schema violation(s) across {checked} file(s)")
+        return 1
+    print(f"ok: {checked} trace file(s) schema-valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,13 @@ in the syntax of :mod:`repro.cq.parser`.
 * ``ddl SCHEMA`` — print SQL DDL for a schema file.
 * ``search A.schema B.schema [--max-atoms N]`` — bounded exhaustive search
   for a dominance witness A ⪯ B; prints the witness mapping if found.
+* ``theorem13 [--types T,U] [--max-relations N] [--max-arity N]`` — scan a
+  whole keyed-schema universe for Theorem 13's prediction (experiment E1).
+
+``search`` and ``theorem13`` share the observability flags
+(``docs/OBSERVABILITY.md``): ``--trace FILE.jsonl`` writes a structured
+span/counter/verdict event log, ``--metrics-json FILE`` dumps the metrics
+registry, and ``--profile`` prints a per-phase self/cumulative time table.
 """
 
 from __future__ import annotations
@@ -123,13 +130,94 @@ def _apply_perf_flags(args: argparse.Namespace) -> None:
         set_indexing(False)
 
 
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    """The observability flags shared by ``search`` and ``theorem13``."""
+    p.add_argument(
+        "--trace", metavar="FILE.jsonl",
+        help="write a structured JSONL event trace (spans, counters, verdicts)",
+    )
+    p.add_argument(
+        "--metrics-json", metavar="FILE",
+        help="write the final metrics registry as JSON",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="print a per-phase self/cumulative time table",
+    )
+
+
+def _obs_wanted(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "trace", None) or getattr(args, "profile", False)
+    )
+
+
+def _obs_begin(args: argparse.Namespace) -> None:
+    """Enable tracing for the run when any obs output was requested."""
+    from repro import obs
+
+    if _obs_wanted(args):
+        obs.set_enabled(True)
+        obs.start_trace()
+
+
+def _obs_end(args: argparse.Namespace, verdicts=()) -> None:
+    """Emit the requested trace / metrics / profile outputs."""
+    import json
+
+    from repro import obs
+
+    if getattr(args, "metrics_json", None):
+        payload = {
+            "v": obs.SCHEMA_VERSION,
+            "metrics": obs.registry().as_dict(),
+        }
+        Path(args.metrics_json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"metrics written to {args.metrics_json}")
+    if not _obs_wanted(args):
+        return
+    records = obs.drain()
+    if getattr(args, "trace", None):
+        lines = obs.write_trace(
+            args.trace, records, counters=obs.registry().snapshot(),
+            verdicts=list(verdicts),
+        )
+        print(f"trace written to {args.trace} ({lines} events)")
+    if getattr(args, "profile", False):
+        print(obs.render(records, title="per-phase timings (self/cumulative)"))
+    obs.set_enabled(False)
+
+
+def _perf_line(
+    cache_hits, cache_misses, cache_evictions, rows_probed, backtracks,
+    wall_time, workers,
+) -> str:
+    """The registry-rendered one-line perf summary.
+
+    Worker info only appears for genuinely parallel runs; evictions are
+    included so a thrashing cache is visible at a glance.
+    """
+    line = (
+        f"perf: cache hits={cache_hits}, cache misses={cache_misses}, "
+        f"cache evictions={cache_evictions}, rows probed={rows_probed}, "
+        f"backtracks={backtracks}, wall time={wall_time:.3f}s"
+    )
+    if workers > 1:
+        line += f", workers={workers}"
+    return line
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
+    from repro import obs
+
     _apply_perf_flags(args)
+    _obs_begin(args)
     s1, _ = _load_schema(args.schema1)
     s2, _ = _load_schema(args.schema2)
-    result = search_dominance(
-        s1, s2, max_atoms=args.max_atoms, n_workers=args.workers
-    )
+    with obs.span("search"):
+        result = search_dominance(
+            s1, s2, max_atoms=args.max_atoms, n_workers=args.workers
+        )
     stats = result.stats
     print(
         f"candidates: α={stats.alpha_candidates} "
@@ -138,10 +226,13 @@ def _cmd_search(args: argparse.Namespace) -> int:
         f"exact checks={stats.exact_checks}"
     )
     print(
-        f"perf: cache hits={stats.cache_hits}, cache misses={stats.cache_misses}, "
-        f"rows probed={stats.rows_probed}, backtracks={stats.backtracks}, "
-        f"wall time={stats.wall_time:.3f}s, workers={args.workers}"
+        _perf_line(
+            stats.cache_hits, stats.cache_misses, stats.cache_evictions,
+            stats.rows_probed, stats.backtracks, stats.wall_time,
+            args.workers,
+        )
     )
+    _obs_end(args, verdicts=[obs.events.verdict_event(found=result.found)])
     if result.found:
         print("dominance witness found:")
         for view in result.pair.alpha:
@@ -162,6 +253,70 @@ def _cmd_search(args: argparse.Namespace) -> int:
         "(exhaustive within bounds, constants excluded)"
     )
     return 1
+
+
+def _cmd_theorem13(args: argparse.Namespace) -> int:
+    import time
+
+    from repro import obs
+    from repro.core.search import theorem13_scan
+    from repro.workloads import enumerate_keyed_schemas
+
+    _apply_perf_flags(args)
+    _obs_begin(args)
+    types = [t.strip() for t in args.types.split(",") if t.strip()]
+    start = time.perf_counter()
+    before = obs.registry().snapshot()
+    with obs.span("theorem13"):
+        schemas = list(
+            enumerate_keyed_schemas(
+                types,
+                max_relations=args.max_relations,
+                max_arity=args.max_arity,
+            )
+        )
+        rows = theorem13_scan(
+            schemas, max_atoms=args.max_atoms, n_workers=args.workers
+        )
+    wall = time.perf_counter() - start
+    delta = obs.diff(before, obs.registry().snapshot())
+    print(
+        f"universe: {len(schemas)} schema(s) over types {{{', '.join(types)}}}, "
+        f"max arity {args.max_arity}, ≤{args.max_relations} relation(s); "
+        f"{len(rows)} unordered pair(s), ≤{args.max_atoms} body atoms per view"
+    )
+    for row in rows:
+        marker = "ok " if row.consistent_with_theorem13 else "XXX"
+        print(
+            f"  [{marker}] ({row.index1}, {row.index2}) "
+            f"isomorphic={row.isomorphic} witness={row.equivalence_found}"
+        )
+    consistent = all(row.consistent_with_theorem13 for row in rows)
+    hits, misses, evictions = obs.cache_totals(delta)
+    print(
+        _perf_line(
+            int(hits), int(misses), int(evictions),
+            int(delta.get("index.rows_probed", 0)),
+            int(delta.get("hom.backtracks", 0)),
+            wall, args.workers,
+        )
+    )
+    print(
+        "Theorem 13 prediction "
+        + ("HOLDS on every pair" if consistent else "VIOLATED — see rows above")
+    )
+    verdicts = [
+        obs.events.verdict_event(
+            found=row.equivalence_found,
+            i=row.index1,
+            j=row.index2,
+            isomorphic=row.isomorphic,
+            consistent=row.consistent_with_theorem13,
+        )
+        for row in rows
+    ]
+    _obs_end(args, verdicts=verdicts)
+    return 0 if consistent else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -225,7 +380,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-index", action="store_true", help="disable indexed homomorphism matching"
     )
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_search)
+
+    p = sub.add_parser(
+        "theorem13",
+        help="scan a keyed-schema universe for Theorem 13's prediction (E1)",
+    )
+    p.add_argument(
+        "--types", default="T",
+        help="comma-separated attribute type names of the universe (default: T)",
+    )
+    p.add_argument(
+        "--max-relations", type=int, default=1,
+        help="maximum relations per schema (default: 1)",
+    )
+    p.add_argument(
+        "--max-arity", type=int, default=2,
+        help="maximum relation arity (default: 2)",
+    )
+    p.add_argument("--max-atoms", type=int, default=2)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="distribute scan pairs across N worker processes",
+    )
+    p.add_argument("--no-cache", action="store_true", help="disable memo caches")
+    p.add_argument(
+        "--no-index", action="store_true", help="disable indexed homomorphism matching"
+    )
+    _add_obs_flags(p)
+    p.set_defaults(fn=_cmd_theorem13)
 
     return parser
 

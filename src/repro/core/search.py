@@ -30,17 +30,17 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.counterexample import quick_reject
-from repro.cq import homomorphism as _homomorphism
-from repro.cq import indexing as _indexing
 from repro.errors import MappingError
 from repro.mappings.dominance import DominancePair
 from repro.mappings.identity import composes_to_identity
 from repro.mappings.query_mapping import QueryMapping
 from repro.mappings.validity import is_valid
 from repro.cq.syntax import Atom, ConjunctiveQuery, Variable
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+from repro.obs.tracing import SpanRecord, span as _span
 from repro.relational.isomorphism import is_isomorphic
 from repro.relational.schema import DatabaseSchema, RelationSchema
-from repro.utils import memo as _memo
 from repro.utils.itertools_ext import partitions
 
 
@@ -144,12 +144,15 @@ class SearchStats(NamedTuple):
     """Effort counters for one dominance search.
 
     The first five fields count candidates and pair-level work, as in the
-    original implementation.  The remaining fields surface the performance
-    layer: memo-cache hits/misses (:mod:`repro.utils.memo`), candidate rows
-    returned by index probes (:mod:`repro.cq.indexing`), matcher backtracks
-    (:mod:`repro.cq.homomorphism`), and wall-clock time in seconds.  In a
-    parallel search (``n_workers > 1``) the counters aggregate worker
-    deltas on top of the parent process's own.
+    original implementation.  The remaining fields are a thin view over
+    the metrics registry (:mod:`repro.obs.metrics`): they are computed as
+    the registry's delta across the search — memo-cache hits, misses and
+    evictions (``cache.*``), candidate rows returned by index probes
+    (``index.rows_probed``), matcher backtracks (``hom.backtracks``) —
+    plus wall-clock time in seconds.  In a parallel search
+    (``n_workers > 1``) worker registries ship their deltas back to the
+    parent, which merges them before taking its own delta, so the
+    counters aggregate all processes exactly once.
     """
 
     alpha_candidates: int
@@ -162,23 +165,19 @@ class SearchStats(NamedTuple):
     rows_probed: int = 0
     backtracks: int = 0
     wall_time: float = 0.0
+    cache_evictions: int = 0
 
 
-def _counter_snapshot() -> Tuple[int, int, int, int]:
-    """(cache hits, cache misses, rows probed, backtracks), process-wide."""
-    hits, misses = _memo.global_counters()
-    return (
-        hits,
-        misses,
-        _indexing.counters.rows_probed,
-        _homomorphism.counters.backtracks,
-    )
-
-
-def _counter_delta(
-    before: Tuple[int, int, int, int], after: Tuple[int, int, int, int]
-) -> Tuple[int, int, int, int]:
-    return tuple(b - a for a, b in zip(before, after))  # type: ignore[return-value]
+def _stats_from_delta(delta: _metrics.Snapshot) -> Dict[str, int]:
+    """The registry-backed SearchStats fields from a metrics delta."""
+    hits, misses, evictions = _metrics.cache_totals(delta)
+    return {
+        "cache_hits": int(hits),
+        "cache_misses": int(misses),
+        "cache_evictions": int(evictions),
+        "rows_probed": int(delta.get("index.rows_probed", 0)),
+        "backtracks": int(delta.get("hom.backtracks", 0)),
+    }
 
 
 class DominanceSearchResult(NamedTuple):
@@ -194,13 +193,43 @@ class DominanceSearchResult(NamedTuple):
 
 
 class _ChunkResult(NamedTuple):
-    """One worker's scan of a contiguous slice of the α×β pair grid."""
+    """One worker's scan of a contiguous slice of the α×β pair grid.
+
+    ``metrics_delta`` is the worker registry's counter delta across the
+    chunk (a plain name → value dict); ``spans`` carries the worker's
+    finished span records when tracing was on.  Both are primitives-only,
+    so the whole result round-trips through pickle unchanged — the
+    property the parallel-aggregation tests pin down.
+    """
 
     witness_index: Optional[int]
     pairs_tried: int
     gadget_rejected: int
     exact_checks: int
-    counter_delta: Tuple[int, int, int, int]
+    metrics_delta: Dict[str, float]
+    spans: Tuple[SpanRecord, ...] = ()
+
+
+def _worker_obs_begin(proc: str, trace_on: bool) -> _metrics.Snapshot:
+    """Start worker-side observability; returns the pre-work snapshot.
+
+    Workers inherit the parent's counters (fork) or start blank (spawn);
+    either way the *delta* across the chunk is what ships back, so the
+    starting point cancels out.
+    """
+    if trace_on:
+        _tracing.set_enabled(True)
+        _tracing.start_trace(proc=proc)
+    return _metrics.registry().snapshot()
+
+
+def _worker_obs_end(
+    before: _metrics.Snapshot, trace_on: bool
+) -> Tuple[Dict[str, float], Tuple[SpanRecord, ...]]:
+    """Finish worker-side observability: (metrics delta, span records)."""
+    delta = _metrics.diff(before, _metrics.registry().snapshot())
+    spans = tuple(_tracing.drain()) if trace_on else ()
+    return delta, spans
 
 
 def _scan_pair_chunk(payload) -> _ChunkResult:
@@ -212,30 +241,28 @@ def _scan_pair_chunk(payload) -> _ChunkResult:
     first-witness index, making N-worker results deterministic and
     identical to the 1-worker scan.
     """
-    alphas, betas, start, end = payload
-    before = _counter_snapshot()
+    alphas, betas, start, end, chunk_id, trace_on = payload
+    before = _worker_obs_begin(f"w{chunk_id}", trace_on)
     pairs_tried = 0
     gadget_rejected = 0
     exact_checks = 0
     witness: Optional[int] = None
     n_betas = len(betas)
-    for flat in range(start, end):
-        alpha = alphas[flat // n_betas]
-        beta = betas[flat % n_betas]
-        pairs_tried += 1
-        if quick_reject(alpha, beta):
-            gadget_rejected += 1
-            continue
-        exact_checks += 1
-        if composes_to_identity(alpha, beta):
-            witness = flat
-            break
+    with _span("search.scan"):
+        for flat in range(start, end):
+            alpha = alphas[flat // n_betas]
+            beta = betas[flat % n_betas]
+            pairs_tried += 1
+            if quick_reject(alpha, beta):
+                gadget_rejected += 1
+                continue
+            exact_checks += 1
+            if composes_to_identity(alpha, beta):
+                witness = flat
+                break
+    delta, spans = _worker_obs_end(before, trace_on)
     return _ChunkResult(
-        witness,
-        pairs_tried,
-        gadget_rejected,
-        exact_checks,
-        _counter_delta(before, _counter_snapshot()),
+        witness, pairs_tried, gadget_rejected, exact_checks, delta, spans
     )
 
 
@@ -266,74 +293,94 @@ def search_dominance(
     """
     from repro.core.obstructions import dominance_obstructions
 
+    registry = _metrics.registry()
     start_time = time.perf_counter()
-    counters_before = _counter_snapshot()
-    if dominance_obstructions(s1, s2):
-        return DominanceSearchResult(
-            None,
-            SearchStats(
-                0, 0, 0, 0, 0,
-                wall_time=time.perf_counter() - start_time,
-            ),
-        )
-    alphas = [
-        m
-        for m in enumerate_mappings(
-            s1, s2, max_atoms=max_atoms,
-            per_relation_cap=per_relation_cap, total_cap=mapping_cap,
-        )
-        if is_valid(m)
-    ]
-    betas = [
-        m
-        for m in enumerate_mappings(
-            s2, s1, max_atoms=max_atoms,
-            per_relation_cap=per_relation_cap, total_cap=mapping_cap,
-        )
-        if is_valid(m)
-    ]
-    pairs_tried = 0
-    gadget_rejected = 0
-    exact_checks = 0
-    extra_counters = (0, 0, 0, 0)
-    witness: Optional[DominancePair] = None
-    total_pairs = len(alphas) * len(betas)
-    if n_workers > 1 and total_pairs > 1:
-        chunks = _chunk_ranges(total_pairs, n_workers)
-        with ProcessPoolExecutor(max_workers=len(chunks)) as executor:
-            results = list(
-                executor.map(
-                    _scan_pair_chunk,
-                    [(alphas, betas, start, end) for start, end in chunks],
-                )
+    counters_before = registry.snapshot()
+    with _span("search.dominance"):
+        if dominance_obstructions(s1, s2):
+            registry.counter("search.obstructed").inc()
+            return DominanceSearchResult(
+                None,
+                SearchStats(
+                    0, 0, 0, 0, 0,
+                    wall_time=time.perf_counter() - start_time,
+                ),
             )
-        witness_indices = [r.witness_index for r in results if r.witness_index is not None]
-        if witness_indices:
-            flat = min(witness_indices)
-            witness = DominancePair(alphas[flat // len(betas)], betas[flat % len(betas)])
-        pairs_tried = sum(r.pairs_tried for r in results)
-        gadget_rejected = sum(r.gadget_rejected for r in results)
-        exact_checks = sum(r.exact_checks for r in results)
-        extra_counters = tuple(
-            sum(r.counter_delta[i] for r in results) for i in range(4)
-        )
-    else:
-        for alpha in alphas:
-            if witness is not None:
-                break
-            for beta in betas:
-                pairs_tried += 1
-                if quick_reject(alpha, beta):
-                    gadget_rejected += 1
-                    continue
-                exact_checks += 1
-                if composes_to_identity(alpha, beta):
-                    witness = DominancePair(alpha, beta)
-                    break
-    own_counters = _counter_delta(counters_before, _counter_snapshot())
-    hits, misses, rows_probed, backtracks = (
-        o + e for o, e in zip(own_counters, extra_counters)
-    )
+        with _span("search.enumerate"):
+            alphas = [
+                m
+                for m in enumerate_mappings(
+                    s1, s2, max_atoms=max_atoms,
+                    per_relation_cap=per_relation_cap, total_cap=mapping_cap,
+                )
+                if is_valid(m)
+            ]
+            betas = [
+                m
+                for m in enumerate_mappings(
+                    s2, s1, max_atoms=max_atoms,
+                    per_relation_cap=per_relation_cap, total_cap=mapping_cap,
+                )
+                if is_valid(m)
+            ]
+        pairs_tried = 0
+        gadget_rejected = 0
+        exact_checks = 0
+        witness: Optional[DominancePair] = None
+        total_pairs = len(alphas) * len(betas)
+        if n_workers > 1 and total_pairs > 1:
+            trace_on = _tracing.tracing_enabled()
+            chunks = _chunk_ranges(total_pairs, n_workers)
+            with ProcessPoolExecutor(max_workers=len(chunks)) as executor:
+                results = list(
+                    executor.map(
+                        _scan_pair_chunk,
+                        [
+                            (alphas, betas, start, end, chunk_id, trace_on)
+                            for chunk_id, (start, end) in enumerate(chunks)
+                        ],
+                    )
+                )
+            witness_indices = [
+                r.witness_index for r in results if r.witness_index is not None
+            ]
+            if witness_indices:
+                flat = min(witness_indices)
+                witness = DominancePair(
+                    alphas[flat // len(betas)], betas[flat % len(betas)]
+                )
+            pairs_tried = sum(r.pairs_tried for r in results)
+            gadget_rejected = sum(r.gadget_rejected for r in results)
+            exact_checks = sum(r.exact_checks for r in results)
+            # Fold every worker's accounting back into the parent: merged
+            # counter deltas land *before* the final snapshot below, so
+            # the returned stats cover all processes exactly once.
+            for result in results:
+                registry.merge(result.metrics_delta)
+                if result.spans:
+                    _tracing.absorb(result.spans)
+        else:
+            with _span("search.scan"):
+                for alpha in alphas:
+                    if witness is not None:
+                        break
+                    for beta in betas:
+                        pairs_tried += 1
+                        if quick_reject(alpha, beta):
+                            gadget_rejected += 1
+                            continue
+                        exact_checks += 1
+                        if composes_to_identity(alpha, beta):
+                            witness = DominancePair(alpha, beta)
+                            break
+        registry.counter("search.alpha_candidates").inc(len(alphas))
+        registry.counter("search.beta_candidates").inc(len(betas))
+        registry.counter("search.pairs_tried").inc(pairs_tried)
+        registry.counter("search.gadget_rejected").inc(gadget_rejected)
+        registry.counter("search.exact_checks").inc(exact_checks)
+        if witness is not None:
+            registry.counter("search.witnesses").inc()
+    delta = _metrics.diff(counters_before, registry.snapshot())
     return DominanceSearchResult(
         witness,
         SearchStats(
@@ -342,11 +389,8 @@ def search_dominance(
             pairs_tried,
             gadget_rejected,
             exact_checks,
-            cache_hits=hits,
-            cache_misses=misses,
-            rows_probed=rows_probed,
-            backtracks=backtracks,
             wall_time=time.perf_counter() - start_time,
+            **_stats_from_delta(delta),
         ),
     )
 
@@ -420,14 +464,36 @@ class ScanRow(NamedTuple):
         return self.isomorphic == self.equivalence_found
 
 
-def _dominance_cell(payload) -> Tuple[int, int, bool]:
+class _CellResult(NamedTuple):
+    """One worker's matrix/scan cell plus its observability payload."""
+
+    i: int
+    j: int
+    isomorphic: bool
+    found: bool
+    metrics_delta: Dict[str, float]
+    spans: Tuple[SpanRecord, ...] = ()
+
+
+def _absorb_cell_obs(results: Sequence[_CellResult]) -> None:
+    """Merge worker cell deltas and spans into the parent's registries."""
+    registry = _metrics.registry()
+    for result in results:
+        registry.merge(result.metrics_delta)
+        if result.spans:
+            _tracing.absorb(result.spans)
+
+
+def _dominance_cell(payload) -> _CellResult:
     """Worker: one (i, j) cell of the dominance matrix."""
-    i, j, s1, s2, max_atoms, per_relation_cap, mapping_cap = payload
+    i, j, s1, s2, max_atoms, per_relation_cap, mapping_cap, trace_on = payload
+    before = _worker_obs_begin(f"w{i}_{j}", trace_on)
     found = search_dominance(
         s1, s2, max_atoms=max_atoms,
         per_relation_cap=per_relation_cap, mapping_cap=mapping_cap,
     ).found
-    return (i, j, found)
+    delta, spans = _worker_obs_end(before, trace_on)
+    return _CellResult(i, j, False, found, delta, spans)
 
 
 def dominance_matrix(
@@ -452,15 +518,21 @@ def dominance_matrix(
     """
     n = len(schemas)
     matrix: List[List[bool]] = [[False] * n for _ in range(n)]
+    trace_on = _tracing.tracing_enabled()
     cells = [
-        (i, j, schemas[i], schemas[j], max_atoms, per_relation_cap, mapping_cap)
+        (
+            i, j, schemas[i], schemas[j],
+            max_atoms, per_relation_cap, mapping_cap, trace_on,
+        )
         for i in range(n)
         for j in range(n)
     ]
     if n_workers > 1 and len(cells) > 1:
         with ProcessPoolExecutor(max_workers=min(n_workers, len(cells))) as executor:
-            for i, j, found in executor.map(_dominance_cell, cells):
-                matrix[i][j] = found
+            results = list(executor.map(_dominance_cell, cells))
+        _absorb_cell_obs(results)
+        for result in results:
+            matrix[result.i][result.j] = result.found
     else:
         for i, j, s1, s2, *_ in cells:
             matrix[i][j] = search_dominance(
@@ -473,14 +545,17 @@ def dominance_matrix(
     return matrix
 
 
-def _scan_cell(payload) -> Tuple[int, int, bool, bool]:
+def _scan_cell(payload) -> _CellResult:
     """Worker: one unordered pair of a Theorem 13 scan."""
-    i, j, s1, s2, max_atoms, per_relation_cap, mapping_cap = payload
+    i, j, s1, s2, max_atoms, per_relation_cap, mapping_cap, trace_on = payload
+    before = _worker_obs_begin(f"w{i}_{j}", trace_on)
     result = search_equivalence(
         s1, s2, max_atoms=max_atoms,
         per_relation_cap=per_relation_cap, mapping_cap=mapping_cap,
     )
-    return (i, j, is_isomorphic(s1, s2), result.found)
+    isomorphic = is_isomorphic(s1, s2)
+    delta, spans = _worker_obs_end(before, trace_on)
+    return _CellResult(i, j, isomorphic, result.found, delta, spans)
 
 
 def theorem13_scan(
@@ -500,23 +575,31 @@ def theorem13_scan(
     back in the same (i, j)-sorted order with the same verdicts as the
     sequential scan — each pair's search is self-contained.
     """
+    trace_on = _tracing.tracing_enabled()
     cells = [
-        (i, j, schemas[i], schemas[j], max_atoms, per_relation_cap, mapping_cap)
+        (
+            i, j, schemas[i], schemas[j],
+            max_atoms, per_relation_cap, mapping_cap, trace_on,
+        )
         for i in range(len(schemas))
         for j in range(i, len(schemas))
     ]
-    if n_workers > 1 and len(cells) > 1:
-        with ProcessPoolExecutor(max_workers=min(n_workers, len(cells))) as executor:
-            results = list(executor.map(_scan_cell, cells))
-        return [
-            ScanRow(i, j, isomorphic, found)
-            for i, j, isomorphic, found in sorted(results)
-        ]
-    rows: List[ScanRow] = []
-    for i, j, s1, s2, *_ in cells:
-        result = search_equivalence(
-            s1, s2, max_atoms=max_atoms,
-            per_relation_cap=per_relation_cap, mapping_cap=mapping_cap,
-        )
-        rows.append(ScanRow(i, j, is_isomorphic(s1, s2), result.found))
-    return rows
+    with _span("theorem13.scan"):
+        if n_workers > 1 and len(cells) > 1:
+            with ProcessPoolExecutor(
+                max_workers=min(n_workers, len(cells))
+            ) as executor:
+                results = list(executor.map(_scan_cell, cells))
+            _absorb_cell_obs(results)
+            return [
+                ScanRow(r.i, r.j, r.isomorphic, r.found)
+                for r in sorted(results, key=lambda r: (r.i, r.j))
+            ]
+        rows: List[ScanRow] = []
+        for i, j, s1, s2, *_ in cells:
+            result = search_equivalence(
+                s1, s2, max_atoms=max_atoms,
+                per_relation_cap=per_relation_cap, mapping_cap=mapping_cap,
+            )
+            rows.append(ScanRow(i, j, is_isomorphic(s1, s2), result.found))
+        return rows

@@ -21,6 +21,7 @@ from repro.cq.equality import substitute_representatives
 from repro.cq.syntax import Atom, ConjunctiveQuery, Constant, Term, Variable
 from repro.cq.typecheck import infer_types
 from repro.errors import EvaluationError
+from repro.obs.tracing import span as _span
 from repro.relational.domain import Value
 from repro.relational.instance import DatabaseInstance, RelationInstance, Row
 from repro.relational.schema import DatabaseSchema
@@ -77,6 +78,15 @@ def canonical_database(
 
 
 def _build_canonical_database(
+    query: ConjunctiveQuery, schema: DatabaseSchema
+) -> Optional[CanonicalDatabase]:
+    # The span wraps the build, not the memoized lookup, so the profile
+    # attributes only genuine construction work to this phase.
+    with _span("canonical.build"):
+        return _build_canonical_database_inner(query, schema)
+
+
+def _build_canonical_database_inner(
     query: ConjunctiveQuery, schema: DatabaseSchema
 ) -> Optional[CanonicalDatabase]:
     types = infer_types(query, schema)

@@ -33,10 +33,17 @@ from repro.relational.dependencies import (
     KeyDependency,
     key_dependencies,
 )
+from repro.obs import metrics as _metrics
+from repro.obs.tracing import span as _span
 from repro.relational.domain import Value
 from repro.relational.instance import DatabaseInstance, RelationInstance, Row
 from repro.relational.schema import DatabaseSchema
 from repro.utils import memo
+
+# Distribution of chase effort: observed once per chase call, so the
+# profile can say "chases are cheap but numerous" vs "few but deep".
+_EGD_ROUNDS = _metrics.registry().histogram("chase.egd_rounds")
+_TGD_STEPS = _metrics.registry().histogram("chase.tgd_steps")
 
 
 class FDEgd(NamedTuple):
@@ -186,18 +193,20 @@ def chase_egds(
     equated.  Always terminates: every round with violations strictly
     decreases the number of distinct values in the instance.
     """
-    renaming: Dict[Value, Value] = {v: v for v in instance.values()}
-    rounds = 0
-    current = instance
-    while True:
-        pairs = _egd_violations(current, egds)
-        if not pairs:
-            return ChaseResult(current, renaming, rounds, 0)
-        rounds += 1
-        substitution = _merge_classes(pairs)
-        current = _apply_substitution(current, substitution)
-        for original, target in renaming.items():
-            renaming[original] = substitution.get(target, target)
+    with _span("chase.egds"):
+        renaming: Dict[Value, Value] = {v: v for v in instance.values()}
+        rounds = 0
+        current = instance
+        while True:
+            pairs = _egd_violations(current, egds)
+            if not pairs:
+                _EGD_ROUNDS.observe(rounds)
+                return ChaseResult(current, renaming, rounds, 0)
+            rounds += 1
+            substitution = _merge_classes(pairs)
+            current = _apply_substitution(current, substitution)
+            for original, target in renaming.items():
+                renaming[original] = substitution.get(target, target)
 
 
 def _egd_violations_naive(
@@ -341,27 +350,29 @@ def chase(
             "not terminate (pass require_weak_acyclicity=False to force, "
             "bounded by max_steps)"
         )
-    renaming: Dict[Value, Value] = {v: v for v in instance.values()}
-    current = instance
-    egd_rounds = 0
-    tgd_steps = 0
-    fresh_counter = itertools.count()
-    for _ in range(max_steps):
-        egd_result = chase_egds(current, egds)
-        current = egd_result.instance
-        egd_rounds += egd_result.egd_rounds
-        for original, target in renaming.items():
-            renaming[original] = egd_result.renaming.get(target, target)
-        progressed = False
-        for inclusion in inclusions:
-            stepped = _tgd_step(current, inclusion, fresh_counter)
-            if stepped is not None:
-                current = stepped
-                tgd_steps += 1
-                progressed = True
-        if not progressed:
-            return ChaseResult(current, renaming, egd_rounds, tgd_steps)
-    raise ChaseError(f"chase did not terminate within {max_steps} steps")
+    with _span("chase.full"):
+        renaming: Dict[Value, Value] = {v: v for v in instance.values()}
+        current = instance
+        egd_rounds = 0
+        tgd_steps = 0
+        fresh_counter = itertools.count()
+        for _ in range(max_steps):
+            egd_result = chase_egds(current, egds)
+            current = egd_result.instance
+            egd_rounds += egd_result.egd_rounds
+            for original, target in renaming.items():
+                renaming[original] = egd_result.renaming.get(target, target)
+            progressed = False
+            for inclusion in inclusions:
+                stepped = _tgd_step(current, inclusion, fresh_counter)
+                if stepped is not None:
+                    current = stepped
+                    tgd_steps += 1
+                    progressed = True
+            if not progressed:
+                _TGD_STEPS.observe(tgd_steps)
+                return ChaseResult(current, renaming, egd_rounds, tgd_steps)
+        raise ChaseError(f"chase did not terminate within {max_steps} steps")
 
 
 def satisfies_egds(instance: DatabaseInstance, egds: Sequence[FDEgd]) -> bool:

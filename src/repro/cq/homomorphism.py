@@ -28,6 +28,8 @@ from repro.cq.indexing import candidate_rows
 from repro.cq.syntax import Atom, ConjunctiveQuery, Constant, Term, Variable
 from repro.cq.typecheck import head_type
 from repro.errors import TypecheckError
+from repro.obs import metrics as _metrics
+from repro.obs.tracing import span as _span
 from repro.relational.domain import Value
 from repro.relational.instance import DatabaseInstance, Row
 from repro.relational.schema import DatabaseSchema
@@ -56,16 +58,24 @@ def indexing_enabled() -> bool:
 
 
 class MatchCounters:
-    """Mutable effort counters for the matcher (surfaced via SearchStats)."""
+    """Effort counters for the matcher (surfaced via SearchStats).
 
-    __slots__ = ("backtracks",)
+    A view over the ``hom.*`` metrics of the process-wide registry
+    (:mod:`repro.obs.metrics`); the original attribute API is preserved.
+    """
+
+    __slots__ = ("_backtracks",)
 
     def __init__(self) -> None:
-        self.backtracks = 0
+        self._backtracks = _metrics.registry().counter("hom.backtracks")
+
+    @property
+    def backtracks(self) -> int:
+        return self._backtracks.value
 
     def reset(self) -> None:
         """Zero all counters."""
-        self.backtracks = 0
+        self._backtracks.value = 0
 
 
 counters = MatchCounters()
@@ -179,7 +189,7 @@ def _search(
             )
             if result is not None:
                 return result
-    counters.backtracks += 1
+    counters._backtracks.inc()
     return None
 
 
@@ -198,19 +208,20 @@ def find_homomorphism(
     """
     if use_index is None:
         use_index = _use_index_default
-    rewritten, structure = substitute_representatives(source)
-    if structure.inconsistent:
-        return None
-    seed = _seed_from_head(rewritten.head.terms, target.head_row)
-    if seed is None:
-        return None
-    atoms = list(rewritten.body)
-    relation_sizes = {
-        a.relation: len(target.instance.relation(a.relation)) for a in atoms
-    }
-    return _search(
-        atoms, target.instance, seed, smart_order, use_index, relation_sizes
-    )
+    with _span("hom.match"):
+        rewritten, structure = substitute_representatives(source)
+        if structure.inconsistent:
+            return None
+        seed = _seed_from_head(rewritten.head.terms, target.head_row)
+        if seed is None:
+            return None
+        atoms = list(rewritten.body)
+        relation_sizes = {
+            a.relation: len(target.instance.relation(a.relation)) for a in atoms
+        }
+        return _search(
+            atoms, target.instance, seed, smart_order, use_index, relation_sizes
+        )
 
 
 def find_homomorphism_naive(

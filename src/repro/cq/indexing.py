@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from repro.obs import metrics as _metrics
 from repro.relational.domain import Value
 from repro.relational.instance import RelationInstance, Row
 
@@ -27,14 +28,31 @@ PositionIndex = Dict[IndexKey, Tuple[Row, ...]]
 
 
 class IndexCounters:
-    """Mutable effort counters for the indexing layer."""
+    """Effort counters for the indexing layer.
 
-    __slots__ = ("index_builds", "probes", "rows_probed")
+    A view over the ``index.*`` metrics of the process-wide registry
+    (:mod:`repro.obs.metrics`); the original attribute API is preserved.
+    """
+
+    __slots__ = ("_builds", "_probes", "_rows_probed")
 
     def __init__(self) -> None:
-        self.index_builds = 0
-        self.probes = 0
-        self.rows_probed = 0
+        registry = _metrics.registry()
+        self._builds = registry.counter("index.builds")
+        self._probes = registry.counter("index.probes")
+        self._rows_probed = registry.counter("index.rows_probed")
+
+    @property
+    def index_builds(self) -> int:
+        return self._builds.value
+
+    @property
+    def probes(self) -> int:
+        return self._probes.value
+
+    @property
+    def rows_probed(self) -> int:
+        return self._rows_probed.value
 
     def snapshot(self) -> Tuple[int, int, int]:
         """The counters as an immutable (builds, probes, rows_probed) triple."""
@@ -42,9 +60,9 @@ class IndexCounters:
 
     def reset(self) -> None:
         """Zero all counters."""
-        self.index_builds = 0
-        self.probes = 0
-        self.rows_probed = 0
+        self._builds.value = 0
+        self._probes.value = 0
+        self._rows_probed.value = 0
 
 
 counters = IndexCounters()
@@ -68,7 +86,7 @@ def index_on(
             buckets.setdefault(tuple(row[p] for p in positions), []).append(row)
         index = {key: tuple(rows) for key, rows in buckets.items()}
         cache[positions] = index
-        counters.index_builds += 1
+        counters._builds.inc()
     return index
 
 
@@ -82,13 +100,13 @@ def candidate_rows(
     on the bound positions is probed.  The result is exactly the set of
     rows a full scan filtered on ``bound`` would keep.
     """
-    counters.probes += 1
+    counters._probes.inc()
     if not bound:
         rows: Sequence[Row] = tuple(relation.rows)
-        counters.rows_probed += len(rows)
+        counters._rows_probed.inc(len(rows))
         return rows
     positions = tuple(p for p, _ in bound)
     key = tuple(v for _, v in bound)
     matches = index_on(relation, positions).get(key, ())
-    counters.rows_probed += len(matches)
+    counters._rows_probed.inc(len(matches))
     return matches

@@ -18,6 +18,7 @@ from repro.mappings.identity import (
 )
 from repro.mappings.query_mapping import QueryMapping
 from repro.mappings.validity import is_valid, validity_report
+from repro.obs.tracing import span as _span
 from repro.relational.instance import DatabaseInstance
 
 
@@ -68,15 +69,16 @@ class DominancePair:
 
     def verify(self) -> DominanceVerdict:
         """Run all three exact checks."""
-        alpha_ok = is_valid(self.alpha)
-        beta_ok = is_valid(self.beta)
-        round_trip_ok = composes_to_identity(self.alpha, self.beta)
-        return DominanceVerdict(
-            alpha_ok and beta_ok and round_trip_ok,
-            alpha_ok,
-            beta_ok,
-            round_trip_ok,
-        )
+        with _span("dominance.verify"):
+            alpha_ok = is_valid(self.alpha)
+            beta_ok = is_valid(self.beta)
+            round_trip_ok = composes_to_identity(self.alpha, self.beta)
+            return DominanceVerdict(
+                alpha_ok and beta_ok and round_trip_ok,
+                alpha_ok,
+                beta_ok,
+                round_trip_ok,
+            )
 
     def holds(self) -> bool:
         """True iff the pair witnesses S₁ ⪯ S₂."""

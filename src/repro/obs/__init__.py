@@ -1,0 +1,84 @@
+"""Unified observability layer: tracing, metrics, structured event logs.
+
+Four small, dependency-free modules (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.tracing` — hierarchical spans with deterministic ids
+  and a global on/off switch that makes instrumentation free when off;
+* :mod:`repro.obs.metrics` — the process-wide registry of named
+  counters/gauges/histograms (the single source of truth that
+  :mod:`repro.utils.memo`, :mod:`repro.cq.indexing` and
+  :mod:`repro.cq.homomorphism` report into);
+* :mod:`repro.obs.events` — versioned JSONL event schema + emitter;
+* :mod:`repro.obs.summary` — fold a trace into a per-phase
+  self/cumulative time table.
+
+This package sits *below* the cq/core/mappings layers: it imports nothing
+from them, so any module may instrument itself without import cycles.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    cache_totals,
+    diff,
+    registry,
+    sum_matching,
+)
+from repro.obs.tracing import (
+    SpanRecord,
+    Tracer,
+    absorb,
+    current_span_id,
+    drain,
+    records,
+    set_enabled,
+    span,
+    start_trace,
+    traced,
+    tracer,
+    tracing_enabled,
+)
+from repro.obs.events import (
+    SCHEMA_VERSION,
+    read_trace,
+    trace_events,
+    validate_event,
+    validate_line,
+    write_trace,
+)
+from repro.obs.summary import PhaseRow, TraceSummary, fold, render
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseRow",
+    "SCHEMA_VERSION",
+    "SpanRecord",
+    "TraceSummary",
+    "Tracer",
+    "absorb",
+    "cache_totals",
+    "current_span_id",
+    "diff",
+    "drain",
+    "fold",
+    "read_trace",
+    "records",
+    "registry",
+    "render",
+    "set_enabled",
+    "span",
+    "start_trace",
+    "sum_matching",
+    "trace_events",
+    "traced",
+    "tracer",
+    "tracing_enabled",
+    "validate_event",
+    "validate_line",
+    "write_trace",
+]

@@ -1,0 +1,223 @@
+"""Structured JSONL event log with a versioned schema.
+
+A trace file is a sequence of JSON objects, one per line.  Every line
+carries ``"v"`` (the schema version, currently 1) and ``"type"``; the
+remaining fields depend on the type:
+
+``span_start``
+    ``{"v": 1, "type": "span_start", "id": "s0001", "name": "theorem13",
+    "parent": null, "t": 0.0001, "proc": ""}``
+
+``span_end``
+    ``{"v": 1, "type": "span_end", "id": "s0001", "name": "theorem13",
+    "t": 0.42, "dur": 0.4199, "proc": ""}``
+
+``counter``
+    ``{"v": 1, "type": "counter", "name": "cache.evaluate.hits",
+    "value": 1234}`` — final counter totals, emitted once per trace.
+
+``search_verdict``
+    ``{"v": 1, "type": "search_verdict", "found": true, "i": 0, "j": 1,
+    "isomorphic": true, "consistent": true}`` — one per scanned pair
+    (``i``/``j``/``isomorphic``/``consistent`` are optional: a plain
+    dominance search has no pair grid or isomorphism baseline).
+
+``t`` values are process-relative monotonic offsets (see
+:mod:`repro.obs.tracing`); ``proc`` distinguishes worker processes.
+The schema is defined as data (:data:`EVENT_TYPES`) so the checker
+(:func:`validate_event`, wrapped by ``scripts/validate_trace.py``) and the
+emitter can never drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.tracing import SpanRecord
+
+SCHEMA_VERSION = 1
+
+_NUMBER = (int, float)
+_STR_OR_NONE = (str, type(None))
+
+# type → (required field → allowed types), (optional field → allowed types)
+EVENT_TYPES: Dict[str, Tuple[Dict[str, tuple], Dict[str, tuple]]] = {
+    "span_start": (
+        {
+            "id": (str,),
+            "name": (str,),
+            "parent": _STR_OR_NONE,
+            "t": _NUMBER,
+            "proc": (str,),
+        },
+        {},
+    ),
+    "span_end": (
+        {
+            "id": (str,),
+            "name": (str,),
+            "t": _NUMBER,
+            "dur": _NUMBER,
+            "proc": (str,),
+        },
+        {},
+    ),
+    "counter": (
+        {"name": (str,), "value": _NUMBER},
+        {},
+    ),
+    "search_verdict": (
+        {"found": (bool,)},
+        {
+            "i": (int,),
+            "j": (int,),
+            "isomorphic": (bool,),
+            "consistent": (bool,),
+        },
+    ),
+}
+
+
+def span_events(record: SpanRecord) -> Tuple[dict, dict]:
+    """The (span_start, span_end) event pair of one finished span."""
+    start = {
+        "v": SCHEMA_VERSION,
+        "type": "span_start",
+        "id": record.span_id,
+        "name": record.name,
+        "parent": record.parent_id,
+        "t": record.start,
+        "proc": record.proc,
+    }
+    end = {
+        "v": SCHEMA_VERSION,
+        "type": "span_end",
+        "id": record.span_id,
+        "name": record.name,
+        "t": record.end,
+        "dur": record.duration,
+        "proc": record.proc,
+    }
+    return start, end
+
+
+def counter_event(name: str, value: Union[int, float]) -> dict:
+    """A ``counter`` event for one final metric total."""
+    return {"v": SCHEMA_VERSION, "type": "counter", "name": name, "value": value}
+
+
+def verdict_event(
+    found: bool,
+    i: Optional[int] = None,
+    j: Optional[int] = None,
+    isomorphic: Optional[bool] = None,
+    consistent: Optional[bool] = None,
+) -> dict:
+    """A ``search_verdict`` event; pair-grid fields are optional."""
+    event: dict = {"v": SCHEMA_VERSION, "type": "search_verdict", "found": found}
+    if i is not None:
+        event["i"] = i
+    if j is not None:
+        event["j"] = j
+    if isomorphic is not None:
+        event["isomorphic"] = isomorphic
+    if consistent is not None:
+        event["consistent"] = consistent
+    return event
+
+
+def _type_ok(value: object, types: tuple) -> bool:
+    """isinstance with the bool/int trap closed: a bool only matches bool."""
+    if isinstance(value, bool):
+        return bool in types
+    return isinstance(value, types)
+
+
+def _type_error(event_type: str, field: str, value: object, types: tuple) -> str:
+    names = [t.__name__ for t in types]
+    return (
+        f"{event_type}: field {field!r} has type "
+        f"{type(value).__name__}, expected one of {names}"
+    )
+
+
+def validate_event(obj: object) -> List[str]:
+    """All schema violations of one decoded event (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"event must be a JSON object, got {type(obj).__name__}"]
+    version = obj.get("v")
+    if version != SCHEMA_VERSION:
+        errors.append(f"unsupported schema version {version!r} (expected {SCHEMA_VERSION})")
+    event_type = obj.get("type")
+    if event_type not in EVENT_TYPES:
+        errors.append(f"unknown event type {event_type!r}")
+        return errors
+    required, optional = EVENT_TYPES[event_type]
+    for field, types in required.items():
+        if field not in obj:
+            errors.append(f"{event_type}: missing required field {field!r}")
+        elif not _type_ok(obj[field], types):
+            errors.append(_type_error(event_type, field, obj[field], types))
+    for field, value in obj.items():
+        if field in ("v", "type"):
+            continue
+        if field not in required and field not in optional:
+            errors.append(f"{event_type}: unexpected field {field!r}")
+        elif field in optional and not _type_ok(value, optional[field]):
+            errors.append(_type_error(event_type, field, value, optional[field]))
+    return errors
+
+
+def validate_line(line: str) -> List[str]:
+    """Schema violations of one raw JSONL line (decode errors included)."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return [f"not valid JSON: {exc}"]
+    return validate_event(obj)
+
+
+def trace_events(
+    records: Sequence[SpanRecord],
+    counters: Optional[Dict[str, Union[int, float]]] = None,
+    verdicts: Sequence[dict] = (),
+) -> List[dict]:
+    """Assemble a full trace: interleaved span events, verdicts, counters.
+
+    Span starts/ends are merged into one stream ordered by time within
+    each process (offsets from different processes are not comparable, so
+    ordering is (proc, t)).
+    """
+    timeline: List[Tuple[str, float, int, dict]] = []
+    for record in records:
+        start, end = span_events(record)
+        timeline.append((record.proc, record.start, 0, start))
+        timeline.append((record.proc, record.end, 1, end))
+    events = [event for *_, event in sorted(timeline, key=lambda e: e[:3])]
+    events.extend(verdicts)
+    for name, value in sorted((counters or {}).items()):
+        events.append(counter_event(name, value))
+    return events
+
+
+def write_trace(
+    path: Union[str, Path],
+    records: Sequence[SpanRecord],
+    counters: Optional[Dict[str, Union[int, float]]] = None,
+    verdicts: Sequence[dict] = (),
+) -> int:
+    """Write a schema-valid JSONL trace file; returns the line count."""
+    events = trace_events(records, counters, verdicts)
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+    return len(events)
+
+
+def read_trace(path: Union[str, Path]) -> List[dict]:
+    """Parse a JSONL trace file back into event dicts (no validation)."""
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    return [json.loads(line) for line in lines if line.strip()]

@@ -1,0 +1,110 @@
+"""Fold a trace into a per-phase self/cumulative time table.
+
+The fold is flamegraph-style aggregation by span *name*:
+
+* **cumulative** — total wall time spent inside spans of that name,
+  children included;
+* **self** — cumulative minus the time spent in child spans, i.e. the
+  time genuinely attributable to that phase's own code.
+
+Self times tile the trace exactly: summed over all phases they equal the
+total duration of the root spans (for a single-process trace with one
+root — the usual CLI run — that is the run's wall time, which is what the
+``--profile`` acceptance check asserts).  With worker processes in the
+trace, worker spans are separate roots, so the self-time total is *CPU*
+seconds across processes and may legitimately exceed wall time; the
+renderer labels it accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+from repro.obs.tracing import SpanRecord
+
+
+class PhaseRow(NamedTuple):
+    """Aggregated timings of all spans sharing one name."""
+
+    name: str
+    calls: int
+    self_s: float
+    cumulative_s: float
+
+
+class TraceSummary(NamedTuple):
+    """The folded trace: per-phase rows plus trace-wide totals."""
+
+    rows: List[PhaseRow]
+    total_self_s: float  # == summed root durations (CPU s across processes)
+    wall_s: float  # longest root span duration (single-process: the run)
+    processes: int
+
+
+def fold(records: Sequence[SpanRecord]) -> TraceSummary:
+    """Aggregate span records by name into self/cumulative phase rows.
+
+    Rows are sorted by descending self time.  A parent whose recorded
+    children overlap it entirely gets self time 0, never negative (guards
+    against merged worker clocks).
+    """
+    child_time: Dict[str, float] = {}
+    for record in records:
+        if record.parent_id is not None:
+            child_time[record.parent_id] = (
+                child_time.get(record.parent_id, 0.0) + record.duration
+            )
+    calls: Dict[str, int] = {}
+    self_s: Dict[str, float] = {}
+    cumulative_s: Dict[str, float] = {}
+    total_self = 0.0
+    wall = 0.0
+    processes = set()
+    for record in records:
+        processes.add(record.proc)
+        own = max(0.0, record.duration - child_time.get(record.span_id, 0.0))
+        calls[record.name] = calls.get(record.name, 0) + 1
+        self_s[record.name] = self_s.get(record.name, 0.0) + own
+        cumulative_s[record.name] = (
+            cumulative_s.get(record.name, 0.0) + record.duration
+        )
+        total_self += own
+        if record.parent_id is None:
+            wall = max(wall, record.duration)
+    rows = sorted(
+        (
+            PhaseRow(name, calls[name], self_s[name], cumulative_s[name])
+            for name in calls
+        ),
+        key=lambda row: (-row.self_s, row.name),
+    )
+    return TraceSummary(rows, total_self, wall, max(1, len(processes)))
+
+
+def render(
+    records: Sequence[SpanRecord], title: Optional[str] = None
+) -> str:
+    """Render the folded trace as a fixed-width text table."""
+    summary = fold(records)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'phase':<24} {'calls':>8} {'self s':>10} {'self %':>7} {'cum s':>10}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    total = summary.total_self_s
+    for row in summary.rows:
+        share = (100.0 * row.self_s / total) if total else 0.0
+        lines.append(
+            f"{row.name:<24} {row.calls:>8} {row.self_s:>10.4f} "
+            f"{share:>6.1f}% {row.cumulative_s:>10.4f}"
+        )
+    lines.append("-" * len(header))
+    if summary.processes > 1:
+        lines.append(
+            f"{'TOTAL (cpu)':<24} {'':>8} {total:>10.4f} {'100.0%':>7} "
+            f"(wall {summary.wall_s:.4f}s across {summary.processes} processes)"
+        )
+    else:
+        lines.append(f"{'TOTAL':<24} {'':>8} {total:>10.4f} {'100.0%':>7}")
+    return "\n".join(lines)

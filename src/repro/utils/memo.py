@@ -5,7 +5,8 @@ immutable, hashable inputs — canonical databases, chased canonicals, key
 EGDs, gadget families, view answers — thousands of times per scan.  This
 module provides a small cache layer for them:
 
-* :class:`Memo` — a bounded LRU cache with hit/miss/eviction counters;
+* :class:`Memo` — a bounded LRU cache with hit/miss/eviction counters
+  (kept as ``cache.<name>.*`` metrics in :mod:`repro.obs.metrics`);
 * a process-wide named registry (:func:`memo`) so call sites share caches
   and the CLI/benchmarks can inspect or clear all of them at once;
 * a global enable switch (:func:`set_enabled`) so experiments can A/B the
@@ -21,6 +22,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable, Tuple
+
+from repro.obs import metrics as _metrics
 
 _MISSING = object()
 
@@ -41,14 +44,48 @@ def caches_enabled() -> bool:
 
 
 class CacheStats:
-    """Mutable hit/miss/eviction counters for one cache."""
+    """Hit/miss/eviction counters for one cache.
 
-    __slots__ = ("hits", "misses", "evictions")
+    Since the observability layer landed these are *views* over the
+    process-wide metrics registry (:mod:`repro.obs.metrics`) — the cache
+    named ``foo`` owns the counters ``cache.foo.hits`` /
+    ``cache.foo.misses`` / ``cache.foo.evictions``, and this class keeps
+    the original attribute API (readable *and* assignable) on top of
+    them.  Two caches registered under the same name share counters, as
+    they always shared a :class:`Memo` through :func:`memo`.
+    """
 
-    def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+    __slots__ = ("_hits", "_misses", "_evictions")
+
+    def __init__(self, name: str) -> None:
+        registry = _metrics.registry()
+        self._hits = registry.counter(f"cache.{name}.hits")
+        self._misses = registry.counter(f"cache.{name}.misses")
+        self._evictions = registry.counter(f"cache.{name}.evictions")
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.value = value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.value = value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        self._evictions.value = value
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dict (for reports and JSON)."""
@@ -79,7 +116,7 @@ class Memo:
             raise ValueError(f"memo {name!r}: maxsize must be positive")
         self.name = name
         self.maxsize = maxsize
-        self.stats = CacheStats()
+        self.stats = CacheStats(name)
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
@@ -89,14 +126,14 @@ class Memo:
         value = self._data.get(key, _MISSING)
         if value is not _MISSING:
             self._data.move_to_end(key)
-            self.stats.hits += 1
+            self.stats._hits.inc()
             return value
-        self.stats.misses += 1
+        self.stats._misses.inc()
         value = compute()
         self._data[key] = value
         if len(self._data) > self.maxsize:
             self._data.popitem(last=False)
-            self.stats.evictions += 1
+            self.stats._evictions.inc()
         return value
 
     def __len__(self) -> int:
@@ -127,7 +164,11 @@ def memo(name: str, maxsize: int = 4096) -> Memo:
 
 
 def all_stats() -> Dict[str, Dict[str, int]]:
-    """Per-cache counters for every registered cache."""
+    """Per-cache counters for every registered cache.
+
+    A convenience view of the ``cache.*`` metrics; the registry
+    (:func:`repro.obs.metrics.registry`) is the source of truth.
+    """
     return {name: cache.stats.as_dict() for name, cache in sorted(_registry.items())}
 
 

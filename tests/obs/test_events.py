@@ -1,0 +1,140 @@
+"""Unit tests for the JSONL event schema (:mod:`repro.obs.events`)."""
+
+import json
+
+from repro.obs import events
+from repro.obs.events import (
+    SCHEMA_VERSION,
+    counter_event,
+    read_trace,
+    span_events,
+    trace_events,
+    validate_event,
+    validate_line,
+    verdict_event,
+    write_trace,
+)
+from repro.obs.tracing import SpanRecord
+
+
+def _record(span_id="s0001", parent=None, name="root", start=0.0, end=1.0, proc=""):
+    return SpanRecord(span_id, parent, name, start, end, proc)
+
+
+def test_span_events_are_schema_valid():
+    start, end = span_events(_record())
+    assert validate_event(start) == []
+    assert validate_event(end) == []
+    assert start["type"] == "span_start" and start["parent"] is None
+    assert end["type"] == "span_end" and end["dur"] == 1.0
+
+
+def test_counter_and_verdict_events_are_schema_valid():
+    assert validate_event(counter_event("cache.evaluate.hits", 12)) == []
+    assert validate_event(verdict_event(found=True)) == []
+    full = verdict_event(found=False, i=0, j=1, isomorphic=False, consistent=True)
+    assert validate_event(full) == []
+    assert full["i"] == 0 and full["consistent"] is True
+
+
+def test_validate_rejects_non_object():
+    assert validate_event([1, 2]) != []
+    assert validate_event("x") != []
+
+
+def test_validate_rejects_wrong_version():
+    event = counter_event("x", 1)
+    event["v"] = 99
+    assert any("version" in err for err in validate_event(event))
+
+
+def test_validate_rejects_unknown_type():
+    assert any(
+        "unknown event type" in err
+        for err in validate_event({"v": SCHEMA_VERSION, "type": "mystery"})
+    )
+
+
+def test_validate_rejects_missing_required_field():
+    event = counter_event("x", 1)
+    del event["value"]
+    assert any("missing required field 'value'" in err for err in validate_event(event))
+
+
+def test_validate_rejects_wrong_field_type():
+    event = counter_event("x", 1)
+    event["value"] = "not-a-number"
+    assert any("expected" in err for err in validate_event(event))
+
+
+def test_validate_closes_bool_int_trap():
+    # A bool is an int subclass; the schema must not accept True as a number.
+    event = counter_event("x", 1)
+    event["value"] = True
+    assert validate_event(event) != []
+    # And conversely 1 is not an acceptable "found".
+    verdict = verdict_event(found=True)
+    verdict["found"] = 1
+    assert validate_event(verdict) != []
+
+
+def test_validate_rejects_unexpected_field():
+    event = counter_event("x", 1)
+    event["surprise"] = 7
+    assert any("unexpected field" in err for err in validate_event(event))
+
+
+def test_validate_line_catches_bad_json():
+    assert any("not valid JSON" in err for err in validate_line("{nope"))
+    assert validate_line(json.dumps(counter_event("x", 1))) == []
+
+
+def test_trace_events_ordering():
+    records = [
+        _record("s0002", "s0001", "child", 0.1, 0.4),
+        _record("s0001", None, "root", 0.0, 1.0),
+        _record("w0:s0001", None, "work", 0.0, 0.3, proc="w0"),
+    ]
+    stream = trace_events(records, counters={"b": 2, "a": 1}, verdicts=[verdict_event(True)])
+    # Within each proc, events are time-ordered with starts before ends at ties.
+    parent_stream = [(e["type"], e["id"]) for e in stream if e.get("proc") == ""]
+    assert parent_stream == [
+        ("span_start", "s0001"),
+        ("span_start", "s0002"),
+        ("span_end", "s0002"),
+        ("span_end", "s0001"),
+    ]
+    # Verdicts come after spans, counters last and name-sorted.
+    assert stream[-3]["type"] == "search_verdict"
+    assert [e["name"] for e in stream[-2:]] == ["a", "b"]
+    assert all(validate_event(e) == [] for e in stream)
+
+
+def test_write_and_read_trace_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    records = [_record(), _record("s0002", "s0001", "child", 0.2, 0.8)]
+    count = write_trace(
+        path, records, counters={"search.pairs_tried": 4}, verdicts=[verdict_event(False)]
+    )
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == count == 2 * len(records) + 1 + 1
+    assert all(validate_line(line) == [] for line in lines)
+    parsed = read_trace(path)
+    assert parsed == trace_events(
+        records, counters={"search.pairs_tried": 4}, verdicts=[verdict_event(False)]
+    )
+
+
+def test_every_schema_type_has_an_emitter_example():
+    # Guard against the schema drifting from the emitters: every declared
+    # event type must be producible and valid.
+    start, end = span_events(_record())
+    by_type = {
+        "span_start": start,
+        "span_end": end,
+        "counter": counter_event("x", 0),
+        "search_verdict": verdict_event(found=True),
+    }
+    assert set(by_type) == set(events.EVENT_TYPES)
+    for event in by_type.values():
+        assert validate_event(event) == []

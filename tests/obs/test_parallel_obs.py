@@ -1,0 +1,143 @@
+"""Parallel counter/trace aggregation (ISSUE satellite).
+
+Two properties pin down the worker → parent observability channel:
+
+1. **Parity** — the deterministic search metrics of an ``n_workers=4``
+   scan equal the sequential scan's.  (Cache hit/miss counters are *not*
+   compared: workers inherit per-process forked caches, so the split of
+   hits vs misses legitimately differs; the scan verdicts and the
+   pair-grid counters may not.)
+2. **Pickle round-trip** — the worker-delta payloads (`_ChunkResult`,
+   `_CellResult`, `SpanRecord`) are primitives-only and survive pickle
+   unchanged, which is what lets ProcessPoolExecutor ship them.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.search import (
+    _CellResult,
+    _ChunkResult,
+    search_dominance,
+    theorem13_scan,
+)
+from repro.obs import metrics, tracing
+from repro.obs.tracing import SpanRecord
+from repro.relational import parse_schema
+from repro.utils import memo
+
+EMP = "emp(ss*: SSN, name: Name)"
+PERSON = "person(id*: SSN, nm: Name)"
+WIDE = "person(id*: SSN, nm: Name, extra: Name)"
+
+DETERMINISTIC = (
+    "search.alpha_candidates",
+    "search.beta_candidates",
+    "search.pairs_tried",
+    "search.gadget_rejected",
+    "search.exact_checks",
+    "search.witnesses",
+)
+
+
+def _schemas():
+    return [parse_schema(text)[0] for text in (EMP, PERSON, WIDE)]
+
+
+def _scan_delta(n_workers):
+    memo.clear_all()
+    before = metrics.registry().snapshot()
+    rows = theorem13_scan(_schemas(), max_atoms=1, n_workers=n_workers)
+    delta = metrics.diff(before, metrics.registry().snapshot())
+    return rows, delta
+
+
+def test_parallel_scan_metrics_match_sequential():
+    sequential_rows, sequential = _scan_delta(1)
+    parallel_rows, parallel = _scan_delta(4)
+    assert parallel_rows == sequential_rows
+    for name in DETERMINISTIC:
+        assert parallel.get(name, 0) == sequential.get(name, 0), name
+    # The parallel run did real work in workers and shipped it home:
+    assert sum(parallel.get(name, 0) for name in DETERMINISTIC) > 0
+
+
+def test_parallel_search_stats_cover_worker_processes():
+    memo.clear_all()
+    s1 = parse_schema(EMP)[0]
+    s2 = parse_schema(PERSON)[0]
+    sequential = search_dominance(s1, s2, max_atoms=1, n_workers=1)
+    memo.clear_all()
+    parallel = search_dominance(s1, s2, max_atoms=1, n_workers=2)
+    assert parallel.found == sequential.found
+    assert parallel.stats.pairs_tried == sequential.stats.pairs_tried
+    assert parallel.stats.exact_checks == sequential.stats.exact_checks
+    # Worker cache/match work is merged into the parent's stats: a cold
+    # parallel run must report the misses its workers paid.
+    assert parallel.stats.cache_misses > 0
+
+
+def test_parallel_trace_contains_worker_spans():
+    previous = tracing.set_enabled(True)
+    tracing.start_trace()
+    try:
+        theorem13_scan(_schemas(), max_atoms=1, n_workers=2)
+        records = tracing.records()
+    finally:
+        tracing.set_enabled(previous)
+        tracing.start_trace()
+    procs = {record.proc for record in records}
+    assert "" in procs  # the parent's own spans
+    worker_procs = {p for p in procs if p.startswith("w")}
+    assert worker_procs, f"no worker spans absorbed (procs: {sorted(procs)})"
+    # Worker span ids carry their process prefix and stay distinct.
+    worker_ids = [r.span_id for r in records if r.proc in worker_procs]
+    assert all(":" in span_id for span_id in worker_ids)
+    assert len(set(worker_ids)) == len(worker_ids)
+
+
+def test_chunk_result_pickle_round_trip():
+    result = _ChunkResult(
+        witness_index=17,
+        pairs_tried=40,
+        gadget_rejected=3,
+        exact_checks=5,
+        metrics_delta={"cache.evaluate.misses": 12, "hom.backtracks": 7.0},
+        spans=(
+            SpanRecord("w0_1:s0001", None, "search.scan", 0.0, 0.5, "w0_1"),
+            SpanRecord("w0_1:s0002", "w0_1:s0001", "hom.match", 0.1, 0.2, "w0_1"),
+        ),
+    )
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone == result
+    assert isinstance(clone.spans[0], SpanRecord)
+    assert clone.spans[1].parent_id == "w0_1:s0001"
+
+
+def test_cell_result_pickle_round_trip():
+    result = _CellResult(
+        i=1,
+        j=2,
+        isomorphic=False,
+        found=True,
+        metrics_delta={"search.pairs_tried": 9},
+        spans=(SpanRecord("w1_2:s0001", None, "search.dominance", 0.0, 0.1, "w1_2"),),
+    )
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone == result
+    tracing.tracer().absorb(clone.spans)  # absorbable after the round trip
+    drained = tracing.drain()
+    assert drained[-1].proc == "w1_2"
+
+
+def test_merged_delta_equals_worker_sum():
+    # The parent-side aggregation is plain dict merging: synthesising two
+    # worker deltas and merging them must add, not overwrite.
+    reg = metrics.MetricsRegistry()
+    reg.merge({"search.pairs_tried": 3, "cache.evaluate.misses": 2})
+    reg.merge({"search.pairs_tried": 4, "index.rows_probed": 10})
+    snap = reg.snapshot()
+    assert snap["search.pairs_tried"] == 7
+    assert snap["cache.evaluate.misses"] == 2
+    assert snap["index.rows_probed"] == 10

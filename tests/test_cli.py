@@ -271,6 +271,166 @@ def test_contains_no_cache_flag(schema_files, capsys):
         memo.set_enabled(True)
 
 
+def test_search_perf_line_shows_evictions_hides_workers(schema_files, capsys):
+    """Sequential runs include evictions but no workers= suffix."""
+    code = main(
+        ["search", schema_files["a"], schema_files["b"], "--max-atoms", "1"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cache evictions=" in out
+    assert "workers=" not in out
+
+
+def test_theorem13_holds(capsys):
+    code = main(["theorem13", "--max-arity", "2", "--max-atoms", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "universe:" in out
+    assert "[ok ]" in out
+    assert "Theorem 13 prediction HOLDS on every pair" in out
+    assert "perf: cache hits=" in out
+
+
+def test_theorem13_profile_table(capsys):
+    code = main(
+        ["theorem13", "--max-arity", "1", "--max-atoms", "1", "--profile"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "per-phase timings" in out
+    assert "theorem13" in out  # the root span appears as a phase row
+    assert "TOTAL" in out
+
+
+def test_theorem13_profile_self_times_sum_to_wall(capsys):
+    """Acceptance: phase self-times tile the root span's wall time."""
+    from repro import obs
+    from repro.obs import tracing
+
+    previous = tracing.set_enabled(True)
+    tracing.start_trace()
+    try:
+        code = main(["theorem13", "--max-arity", "1", "--max-atoms", "1"])
+        records = tracing.records()
+    finally:
+        tracing.set_enabled(previous)
+        tracing.start_trace()
+    assert code == 0
+    summary = obs.fold(records)
+    roots = [r for r in records if r.parent_id is None and r.proc == ""]
+    root_total = sum(r.duration for r in roots)
+    assert summary.total_self_s == pytest.approx(root_total, rel=1e-6)
+
+
+def test_theorem13_trace_is_schema_valid(tmp_path, capsys):
+    from repro.obs.events import validate_line
+
+    trace = tmp_path / "trace.jsonl"
+    code = main(
+        [
+            "theorem13",
+            "--max-arity",
+            "2",
+            "--max-atoms",
+            "1",
+            "--trace",
+            str(trace),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert f"trace written to {trace}" in out
+    lines = trace.read_text().splitlines()
+    assert lines
+    for line in lines:
+        assert validate_line(line) == [], line
+    import json
+
+    types = {json.loads(line)["type"] for line in lines}
+    assert types == {"span_start", "span_end", "counter", "search_verdict"}
+
+
+def test_theorem13_parallel_trace_has_worker_spans(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.jsonl"
+    code = main(
+        [
+            "theorem13",
+            "--max-arity",
+            "2",
+            "--max-atoms",
+            "1",
+            "--workers",
+            "2",
+            "--trace",
+            str(trace),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "workers=2" in out
+    procs = {
+        json.loads(line).get("proc")
+        for line in trace.read_text().splitlines()
+        if json.loads(line)["type"].startswith("span_")
+    }
+    assert "" in procs
+    assert any(p and p.startswith("w") for p in procs)
+
+
+def test_search_metrics_json(schema_files, tmp_path, capsys):
+    import json
+
+    metrics_file = tmp_path / "metrics.json"
+    code = main(
+        [
+            "search",
+            schema_files["a"],
+            schema_files["b"],
+            "--max-atoms",
+            "1",
+            "--metrics-json",
+            str(metrics_file),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert f"metrics written to {metrics_file}" in out
+    payload = json.loads(metrics_file.read_text())
+    assert payload["v"] == 1
+    assert any(name.startswith("cache.") for name in payload["metrics"])
+
+
+def test_search_trace_flag(schema_files, tmp_path, capsys):
+    from repro.obs.events import validate_line
+
+    trace = tmp_path / "search.jsonl"
+    code = main(
+        [
+            "search",
+            schema_files["a"],
+            schema_files["b"],
+            "--max-atoms",
+            "1",
+            "--trace",
+            str(trace),
+        ]
+    )
+    assert code == 0
+    lines = trace.read_text().splitlines()
+    assert all(validate_line(line) == [] for line in lines)
+    import json
+
+    names = {
+        json.loads(line)["name"]
+        for line in lines
+        if json.loads(line)["type"] == "span_start"
+    }
+    assert "search" in names and "search.dominance" in names
+
+
 def test_python_dash_m_entry_point(schema_files):
     """`python -m repro` works as a subprocess (the __main__ shim)."""
     import subprocess
