@@ -21,6 +21,14 @@ in the syntax of :mod:`repro.cq.parser`.
 (``docs/OBSERVABILITY.md``): ``--trace FILE.jsonl`` writes a structured
 span/counter/verdict event log, ``--metrics-json FILE`` dumps the metrics
 registry, and ``--profile`` prints a per-phase self/cumulative time table.
+
+They also share the resilience flags (``docs/RESILIENCE.md``):
+``--deadline``/``--pair-deadline`` bound the scan and each exact pair
+check (expired budgets yield explicit ``timeout``/``unknown`` verdicts
+and exit code 3, never a hang), ``--retries`` caps process-pool attempts
+per unit before in-process fallback, and ``--checkpoint FILE`` with
+``--resume`` journals completed units so an interrupted scan continues
+where it stopped.
 """
 
 from __future__ import annotations
@@ -146,6 +154,54 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
+    """The deadline/retry/checkpoint flags shared by ``search`` and ``theorem13``."""
+    p.add_argument(
+        "--deadline", type=float, metavar="SECONDS",
+        help="whole-scan wall-clock budget; on expiry remaining work is "
+        "reported as timeout verdicts (exit code 3) instead of hanging",
+    )
+    p.add_argument(
+        "--pair-deadline", type=float, metavar="SECONDS",
+        help="per-pair exact-check budget; timed-out pairs stay undecided",
+    )
+    p.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="process-pool attempts per unit before in-process fallback "
+        "(default: 3)",
+    )
+    p.add_argument(
+        "--checkpoint", metavar="FILE.jsonl",
+        help="journal completed units to this file as the scan progresses",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume from an existing --checkpoint journal (skip completed "
+        "units); safe when the file does not exist yet",
+    )
+
+
+def _retry_policy(args: argparse.Namespace):
+    from repro.resilience import RetryPolicy
+
+    if getattr(args, "retries", None) is None:
+        return None
+    return RetryPolicy(max_attempts=args.retries)
+
+
+def _open_checkpoint(args: argparse.Namespace, fingerprint: dict):
+    """Open the requested checkpoint journal, or None without --checkpoint."""
+    from repro.resilience import ScanCheckpoint
+
+    if not getattr(args, "checkpoint", None):
+        if getattr(args, "resume", False):
+            raise ReproError("--resume requires --checkpoint FILE")
+        return None
+    return ScanCheckpoint.open(
+        args.checkpoint, fingerprint, resume=args.resume
+    )
+
+
 def _obs_wanted(args: argparse.Namespace) -> bool:
     return bool(
         getattr(args, "trace", None) or getattr(args, "profile", False)
@@ -180,7 +236,7 @@ def _obs_end(args: argparse.Namespace, verdicts=()) -> None:
     if getattr(args, "trace", None):
         lines = obs.write_trace(
             args.trace, records, counters=obs.registry().snapshot(),
-            verdicts=list(verdicts),
+            verdicts=list(verdicts), incidents=obs.drain_incidents(),
         )
         print(f"trace written to {args.trace} ({lines} events)")
     if getattr(args, "profile", False):
@@ -209,16 +265,38 @@ def _perf_line(
 
 def _cmd_search(args: argparse.Namespace) -> int:
     from repro import obs
+    from repro.core.search import scan_fingerprint
 
     _apply_perf_flags(args)
     _obs_begin(args)
     s1, _ = _load_schema(args.schema1)
     s2, _ = _load_schema(args.schema2)
-    with obs.span("search"):
-        result = search_dominance(
-            s1, s2, max_atoms=args.max_atoms, n_workers=args.workers
-        )
+    # The chunk layout (and therefore the checkpoint keys) depends on the
+    # worker count, so the fingerprint pins it: resuming a search journal
+    # with a different --workers fails loudly instead of mixing chunks.
+    fingerprint = scan_fingerprint(
+        "search", [s1, s2], args.max_atoms, None, None, n_workers=args.workers
+    )
+    checkpoint = _open_checkpoint(args, fingerprint)
+    try:
+        with obs.span("search"):
+            result = search_dominance(
+                s1, s2, max_atoms=args.max_atoms, n_workers=args.workers,
+                deadline=args.deadline, pair_deadline=args.pair_deadline,
+                retry_policy=_retry_policy(args), checkpoint=checkpoint,
+            )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
     stats = result.stats
+    if result.found:
+        verdict = "ok"
+    elif not result.complete:
+        verdict = "timeout"
+    elif stats.pair_timeouts:
+        verdict = "unknown"
+    else:
+        verdict = "ok"
     print(
         f"candidates: α={stats.alpha_candidates} "
         f"β={stats.beta_candidates}, pairs tried={stats.pairs_tried}, "
@@ -232,7 +310,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
             args.workers,
         )
     )
-    _obs_end(args, verdicts=[obs.events.verdict_event(found=result.found)])
+    _obs_end(
+        args,
+        verdicts=[obs.events.verdict_event(found=result.found, verdict=verdict)],
+    )
     if result.found:
         print("dominance witness found:")
         for view in result.pair.alpha:
@@ -248,6 +329,14 @@ def _cmd_search(args: argparse.Namespace) -> int:
             )
             print(f"witness mappings written to {args.out}")
         return 0
+    if verdict != "ok":
+        reason = (
+            "whole-scan deadline expired"
+            if verdict == "timeout"
+            else f"{stats.pair_timeouts} pair check(s) hit --pair-deadline"
+        )
+        print(f"search inconclusive: {reason}; no witness found in the part that ran")
+        return 3
     print(
         f"no witness with ≤{args.max_atoms} body atoms per view "
         "(exhaustive within bounds, constants excluded)"
@@ -259,7 +348,7 @@ def _cmd_theorem13(args: argparse.Namespace) -> int:
     import time
 
     from repro import obs
-    from repro.core.search import theorem13_scan
+    from repro.core.search import scan_fingerprint, theorem13_scan
     from repro.workloads import enumerate_keyed_schemas
 
     _apply_perf_flags(args)
@@ -267,17 +356,40 @@ def _cmd_theorem13(args: argparse.Namespace) -> int:
     types = [t.strip() for t in args.types.split(",") if t.strip()]
     start = time.perf_counter()
     before = obs.registry().snapshot()
-    with obs.span("theorem13"):
-        schemas = list(
-            enumerate_keyed_schemas(
-                types,
-                max_relations=args.max_relations,
-                max_arity=args.max_arity,
+    schemas = list(
+        enumerate_keyed_schemas(
+            types,
+            max_relations=args.max_relations,
+            max_arity=args.max_arity,
+        )
+    )
+    # Cells are independent of the worker count, so --workers is *not*
+    # part of the fingerprint: a scan may resume with more (or fewer)
+    # workers than it started with.
+    fingerprint = scan_fingerprint(
+        "theorem13", schemas, args.max_atoms, None, None
+    )
+    checkpoint = _open_checkpoint(args, fingerprint)
+    try:
+        with obs.span("theorem13"):
+            rows = theorem13_scan(
+                schemas, max_atoms=args.max_atoms, n_workers=args.workers,
+                deadline=args.deadline, pair_deadline=args.pair_deadline,
+                retry_policy=_retry_policy(args), checkpoint=checkpoint,
             )
-        )
-        rows = theorem13_scan(
-            schemas, max_atoms=args.max_atoms, n_workers=args.workers
-        )
+    except KeyboardInterrupt:
+        # The pool is already shut down (resilient_map cancels what it
+        # can); report what completed before re-signalling the exit code.
+        done = len(checkpoint) if checkpoint is not None else 0
+        wall = time.perf_counter() - start
+        print(f"interrupted after {wall:.3f}s; {done} cell(s) journaled")
+        if checkpoint is not None:
+            checkpoint.close()
+            print(f"resume with: --checkpoint {args.checkpoint} --resume")
+        return 130
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
     wall = time.perf_counter() - start
     delta = obs.diff(before, obs.registry().snapshot())
     print(
@@ -285,13 +397,20 @@ def _cmd_theorem13(args: argparse.Namespace) -> int:
         f"max arity {args.max_arity}, ≤{args.max_relations} relation(s); "
         f"{len(rows)} unordered pair(s), ≤{args.max_atoms} body atoms per view"
     )
+    markers = {"timeout": "t/o", "unknown": "?? "}
     for row in rows:
-        marker = "ok " if row.consistent_with_theorem13 else "XXX"
+        if row.verdict != "ok":
+            marker = markers.get(row.verdict, "?? ")
+        elif row.consistent_with_theorem13:
+            marker = "ok "
+        else:
+            marker = "XXX"
         print(
             f"  [{marker}] ({row.index1}, {row.index2}) "
             f"isomorphic={row.isomorphic} witness={row.equivalence_found}"
         )
     consistent = all(row.consistent_with_theorem13 for row in rows)
+    decided = all(row.verdict == "ok" for row in rows)
     hits, misses, evictions = obs.cache_totals(delta)
     print(
         _perf_line(
@@ -301,10 +420,16 @@ def _cmd_theorem13(args: argparse.Namespace) -> int:
             wall, args.workers,
         )
     )
-    print(
-        "Theorem 13 prediction "
-        + ("HOLDS on every pair" if consistent else "VIOLATED — see rows above")
-    )
+    if not consistent:
+        print("Theorem 13 prediction VIOLATED — see rows above")
+    elif not decided:
+        undecided = sum(1 for row in rows if row.verdict != "ok")
+        print(
+            f"Theorem 13 prediction holds on every decided pair "
+            f"({undecided} pair(s) undecided within the deadline)"
+        )
+    else:
+        print("Theorem 13 prediction HOLDS on every pair")
     verdicts = [
         obs.events.verdict_event(
             found=row.equivalence_found,
@@ -312,11 +437,14 @@ def _cmd_theorem13(args: argparse.Namespace) -> int:
             j=row.index2,
             isomorphic=row.isomorphic,
             consistent=row.consistent_with_theorem13,
+            verdict=row.verdict,
         )
         for row in rows
     ]
     _obs_end(args, verdicts=verdicts)
-    return 0 if consistent else 1
+    if not consistent:
+        return 1
+    return 0 if decided else 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -381,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-index", action="store_true", help="disable indexed homomorphism matching"
     )
     _add_obs_flags(p)
+    _add_resilience_flags(p)
     p.set_defaults(fn=_cmd_search)
 
     p = sub.add_parser(
@@ -409,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-index", action="store_true", help="disable indexed homomorphism matching"
     )
     _add_obs_flags(p)
+    _add_resilience_flags(p)
     p.set_defaults(fn=_cmd_theorem13)
 
     return parser
@@ -418,7 +548,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code.
 
     Exit codes: 0 = positive verdict, 1 = negative verdict,
-    2 = input error (bad schema/query file).
+    2 = input error (bad schema/query file or checkpoint mismatch),
+    3 = inconclusive (a --deadline/--pair-deadline budget expired before
+    the scan could decide), 130 = interrupted.
     """
     parser = build_parser()
     args = parser.parse_args(argv)

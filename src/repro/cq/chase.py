@@ -38,6 +38,8 @@ from repro.obs.tracing import span as _span
 from repro.relational.domain import Value
 from repro.relational.instance import DatabaseInstance, RelationInstance, Row
 from repro.relational.schema import DatabaseSchema
+from repro.resilience import deadline as _deadline
+from repro.resilience import faults as _faults
 from repro.utils import memo
 
 # Distribution of chase effort: observed once per chase call, so the
@@ -198,6 +200,7 @@ def chase_egds(
         rounds = 0
         current = instance
         while True:
+            _deadline.poll()
             pairs = _egd_violations(current, egds)
             if not pairs:
                 _EGD_ROUNDS.observe(rounds)
@@ -341,6 +344,17 @@ def chase(
     neither applies.  With ``require_weak_acyclicity`` (default) a
     non-weakly-acyclic inclusion set raises :class:`ChaseError` up front;
     the ``max_steps`` cap backstops termination regardless.
+
+    ``max_steps`` counts *progressing* TGD rounds: a chase that fires
+    exactly ``max_steps`` rounds and then observes the fixpoint succeeds —
+    the cap only trips on the round *after* the budget is spent.  (The
+    original formulation raised on the observation round itself, rejecting
+    chases that did terminate within the cap.)
+
+    Rounds are cooperative cancellation points: an active deadline scope
+    (:mod:`repro.resilience.deadline`) aborts a runaway chase between
+    rounds, and :func:`repro.resilience.faults.fire` exposes the round
+    boundary as the ``"chase.round"`` fault-injection site.
     """
     if inclusions and require_weak_acyclicity and not weakly_acyclic(
         instance.schema, inclusions
@@ -355,8 +369,11 @@ def chase(
         current = instance
         egd_rounds = 0
         tgd_steps = 0
+        rounds = 0
         fresh_counter = itertools.count()
-        for _ in range(max_steps):
+        while True:
+            _deadline.poll()
+            _faults.fire("chase.round")
             egd_result = chase_egds(current, egds)
             current = egd_result.instance
             egd_rounds += egd_result.egd_rounds
@@ -372,7 +389,11 @@ def chase(
             if not progressed:
                 _TGD_STEPS.observe(tgd_steps)
                 return ChaseResult(current, renaming, egd_rounds, tgd_steps)
-        raise ChaseError(f"chase did not terminate within {max_steps} steps")
+            rounds += 1
+            if rounds > max_steps:
+                raise ChaseError(
+                    f"chase did not terminate within {max_steps} steps"
+                )
 
 
 def satisfies_egds(instance: DatabaseInstance, egds: Sequence[FDEgd]) -> bool:

@@ -33,6 +33,7 @@ from repro.obs.tracing import span as _span
 from repro.relational.domain import Value
 from repro.relational.instance import DatabaseInstance, Row
 from repro.relational.schema import DatabaseSchema
+from repro.resilience import deadline as _deadline
 
 Assignment = Dict[Variable, Value]
 
@@ -153,6 +154,10 @@ def _search(
     use_index: bool,
     relation_sizes: Dict[str, int],
 ) -> Optional[Assignment]:
+    # Cooperative cancellation: every search node is a poll point, so an
+    # exponential backtrack under an expired deadline aborts promptly
+    # instead of exhausting the subtree (free when no deadline is active).
+    _deadline.poll()
     if not atoms:
         return assignment
     if smart_order:

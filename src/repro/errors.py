@@ -70,3 +70,32 @@ class MappingError(ReproError):
 
 class SearchBudgetExceeded(ReproError):
     """An exhaustive search exceeded its configured budget."""
+
+
+class DeadlineExceeded(ReproError):
+    """A cooperative deadline expired (:mod:`repro.resilience.deadline`).
+
+    ``deadline`` identifies the expired :class:`~repro.resilience.deadline.Deadline`
+    so nested handlers can tell *whose* budget ran out and re-raise foreign
+    expirations instead of swallowing them.
+    """
+
+    def __init__(self, deadline=None, message: str = "") -> None:
+        self.deadline = deadline
+        if not message:
+            label = getattr(deadline, "label", "deadline")
+            budget = getattr(deadline, "budget", None)
+            message = (
+                f"{label} exceeded"
+                if budget is None
+                else f"{label} exceeded after {budget:g}s"
+            )
+        super().__init__(message)
+
+
+class CheckpointError(ReproError):
+    """A scan checkpoint file is unusable (corrupt, or from another scan)."""
+
+
+class InjectedFault(ReproError):
+    """A deterministic test fault fired (:mod:`repro.resilience.faults`)."""

@@ -42,7 +42,12 @@ from repro.obs.tracing import (
 )
 from repro.obs.events import (
     SCHEMA_VERSION,
+    drain_incidents,
+    fault_event,
     read_trace,
+    record_incident,
+    retry_event,
+    timeout_event,
     trace_events,
     validate_event,
     validate_line,
@@ -65,15 +70,20 @@ __all__ = [
     "current_span_id",
     "diff",
     "drain",
+    "drain_incidents",
+    "fault_event",
     "fold",
     "read_trace",
+    "record_incident",
     "records",
     "registry",
     "render",
+    "retry_event",
     "set_enabled",
     "span",
     "start_trace",
     "sum_matching",
+    "timeout_event",
     "trace_events",
     "traced",
     "tracer",

@@ -20,7 +20,32 @@ remaining fields depend on the type:
     ``{"v": 1, "type": "search_verdict", "found": true, "i": 0, "j": 1,
     "isomorphic": true, "consistent": true}`` — one per scanned pair
     (``i``/``j``/``isomorphic``/``consistent`` are optional: a plain
-    dominance search has no pair grid or isomorphism baseline).
+    dominance search has no pair grid or isomorphism baseline; the
+    optional ``verdict`` string distinguishes ``"ok"`` from ``"timeout"``
+    and ``"unknown"`` rows).
+
+``fault``
+    ``{"v": 1, "type": "fault", "site": "scan.cell", "action": "kill",
+    "key": "0,1", "attempt": 0}`` — a deterministic test fault fired
+    (:mod:`repro.resilience.faults`).
+
+``retry``
+    ``{"v": 1, "type": "retry", "index": 3, "attempt": 1, "kind":
+    "crash", "delay": 0.05}`` — the resilient pool re-queued a unit of
+    work after a worker crash (``kind="crash"``), a per-unit exception
+    (``"error"``), or routed it in-process (``"inline"``).
+
+``timeout``
+    ``{"v": 1, "type": "timeout", "scope": "pair", "i": 0, "j": 1}`` — a
+    cooperative deadline expired; ``scope`` names the budget that ran out
+    (``"pair"``, ``"cell"``, ``"scan"``, ``"search"``).
+
+``fault``/``retry``/``timeout`` are *incident* events: the resilience
+layer records them on a process-global buffer as they happen
+(:func:`record_incident`), and the CLI drains the buffer into the trace
+(:func:`drain_incidents`).  Incidents recorded inside a worker process
+that crashes die with it; the parent-side retry/timeout record is the
+durable one.
 
 ``t`` values are process-relative monotonic offsets (see
 :mod:`repro.obs.tracing`); ``proc`` distinguishes worker processes.
@@ -75,7 +100,20 @@ EVENT_TYPES: Dict[str, Tuple[Dict[str, tuple], Dict[str, tuple]]] = {
             "j": (int,),
             "isomorphic": (bool,),
             "consistent": (bool,),
+            "verdict": (str,),
         },
+    ),
+    "fault": (
+        {"site": (str,), "action": (str,)},
+        {"key": _STR_OR_NONE, "attempt": (int,), "proc": (str,)},
+    ),
+    "retry": (
+        {"index": (int,), "attempt": (int,), "kind": (str,)},
+        {"delay": _NUMBER, "error": (str,)},
+    ),
+    "timeout": (
+        {"scope": (str,)},
+        {"i": (int,), "j": (int,), "index": (int,), "seconds": _NUMBER},
     ),
 }
 
@@ -114,6 +152,7 @@ def verdict_event(
     j: Optional[int] = None,
     isomorphic: Optional[bool] = None,
     consistent: Optional[bool] = None,
+    verdict: Optional[str] = None,
 ) -> dict:
     """A ``search_verdict`` event; pair-grid fields are optional."""
     event: dict = {"v": SCHEMA_VERSION, "type": "search_verdict", "found": found}
@@ -125,7 +164,93 @@ def verdict_event(
         event["isomorphic"] = isomorphic
     if consistent is not None:
         event["consistent"] = consistent
+    if verdict is not None:
+        event["verdict"] = verdict
     return event
+
+
+def fault_event(
+    site: str,
+    action: str,
+    key: Optional[str] = None,
+    attempt: Optional[int] = None,
+    proc: str = "",
+) -> dict:
+    """A ``fault`` event: one deterministic injected fault fired."""
+    event: dict = {
+        "v": SCHEMA_VERSION,
+        "type": "fault",
+        "site": site,
+        "action": action,
+    }
+    if key is not None:
+        event["key"] = key
+    if attempt is not None:
+        event["attempt"] = attempt
+    if proc:
+        event["proc"] = proc
+    return event
+
+
+def retry_event(
+    index: int,
+    attempt: int,
+    kind: str,
+    delay: Optional[float] = None,
+    error: Optional[str] = None,
+) -> dict:
+    """A ``retry`` event: one unit of work re-queued or routed inline."""
+    event: dict = {
+        "v": SCHEMA_VERSION,
+        "type": "retry",
+        "index": index,
+        "attempt": attempt,
+        "kind": kind,
+    }
+    if delay is not None:
+        event["delay"] = delay
+    if error is not None:
+        event["error"] = error
+    return event
+
+
+def timeout_event(
+    scope: str,
+    i: Optional[int] = None,
+    j: Optional[int] = None,
+    index: Optional[int] = None,
+    seconds: Optional[float] = None,
+) -> dict:
+    """A ``timeout`` event: a cooperative deadline expired."""
+    event: dict = {"v": SCHEMA_VERSION, "type": "timeout", "scope": scope}
+    if i is not None:
+        event["i"] = i
+    if j is not None:
+        event["j"] = j
+    if index is not None:
+        event["index"] = index
+    if seconds is not None:
+        event["seconds"] = seconds
+    return event
+
+
+# Incident buffer: fault/retry/timeout events appended as they happen and
+# drained by the CLI into the written trace.  Process-local (each worker
+# has its own; only parent-side incidents reach the trace file) and
+# GIL-safe (append/swap of a plain list).
+_incidents: List[dict] = []
+
+
+def record_incident(event: dict) -> None:
+    """Append one incident event to the process-global buffer."""
+    _incidents.append(event)
+
+
+def drain_incidents() -> List[dict]:
+    """Return all buffered incidents and empty the buffer."""
+    global _incidents
+    drained, _incidents = _incidents, []
+    return drained
 
 
 def _type_ok(value: object, types: tuple) -> bool:
@@ -184,12 +309,13 @@ def trace_events(
     records: Sequence[SpanRecord],
     counters: Optional[Dict[str, Union[int, float]]] = None,
     verdicts: Sequence[dict] = (),
+    incidents: Sequence[dict] = (),
 ) -> List[dict]:
-    """Assemble a full trace: interleaved span events, verdicts, counters.
+    """Assemble a full trace: spans, incidents, verdicts, counters.
 
     Span starts/ends are merged into one stream ordered by time within
     each process (offsets from different processes are not comparable, so
-    ordering is (proc, t)).
+    ordering is (proc, t)); incidents keep their record order.
     """
     timeline: List[Tuple[str, float, int, dict]] = []
     for record in records:
@@ -197,6 +323,7 @@ def trace_events(
         timeline.append((record.proc, record.start, 0, start))
         timeline.append((record.proc, record.end, 1, end))
     events = [event for *_, event in sorted(timeline, key=lambda e: e[:3])]
+    events.extend(incidents)
     events.extend(verdicts)
     for name, value in sorted((counters or {}).items()):
         events.append(counter_event(name, value))
@@ -208,9 +335,10 @@ def write_trace(
     records: Sequence[SpanRecord],
     counters: Optional[Dict[str, Union[int, float]]] = None,
     verdicts: Sequence[dict] = (),
+    incidents: Sequence[dict] = (),
 ) -> int:
     """Write a schema-valid JSONL trace file; returns the line count."""
-    events = trace_events(records, counters, verdicts)
+    events = trace_events(records, counters, verdicts, incidents)
     with open(path, "w", encoding="utf-8") as handle:
         for event in events:
             handle.write(json.dumps(event, sort_keys=True) + "\n")

@@ -1,0 +1,170 @@
+"""JSONL checkpoint/resume for long scans.
+
+A checkpoint file is an append-only journal: a header line identifying
+the scan, then one line per *completed* unit of work (a theorem-13 cell,
+a search chunk).  Because lines are appended and flushed as each unit
+finishes, a killed scan — OOM, Ctrl-C, power loss — restarts from the
+last completed unit instead of from zero: :meth:`ScanCheckpoint.open`
+with ``resume=True`` replays the journal and the scan driver skips every
+key already present.
+
+Format (one JSON object per line)::
+
+    {"v": 1, "kind": "header", "fingerprint": {...scan configuration...}}
+    {"v": 1, "kind": "cell", "key": [0, 1], "data": {...unit outcome...}}
+
+The fingerprint is the scan's full configuration; resuming with a
+different configuration raises :class:`~repro.errors.CheckpointError`
+rather than silently mixing incompatible verdicts.  A truncated final
+line (the process died mid-write) is tolerated and dropped; corruption
+anywhere else is an error.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+from repro.errors import CheckpointError
+from repro.obs import metrics as _metrics
+
+CHECKPOINT_VERSION = 1
+
+Key = Tuple[int, ...]
+
+
+def _as_key(key: Union[int, Sequence[int]]) -> Key:
+    if isinstance(key, int):
+        return (key,)
+    return tuple(int(part) for part in key)
+
+
+class ScanCheckpoint:
+    """An open checkpoint journal: completed units in, completed units out."""
+
+    def __init__(
+        self, path: Union[str, Path], fingerprint: dict, done: Dict[Key, dict]
+    ) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._done = done
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, Path],
+        fingerprint: dict,
+        resume: bool = False,
+    ) -> "ScanCheckpoint":
+        """Start (or resume) a checkpoint at ``path``.
+
+        Without ``resume`` any existing file is truncated and a fresh
+        header written.  With ``resume`` an existing journal is replayed
+        (its fingerprint must equal ``fingerprint``); a missing file
+        degrades to a fresh start, so ``--resume`` is safe on first run.
+        """
+        path = Path(path)
+        if resume and path.exists():
+            done = cls._replay(path, fingerprint)
+            return cls(path, fingerprint, done)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "v": CHECKPOINT_VERSION,
+                        "kind": "header",
+                        "fingerprint": fingerprint,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        return cls(path, fingerprint, {})
+
+    @staticmethod
+    def _replay(path: Path, fingerprint: dict) -> Dict[Key, dict]:
+        lines = path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            raise CheckpointError(f"{path}: empty checkpoint (no header)")
+        records = []
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if number == len(lines):
+                    break  # torn final write: the unit never completed
+                raise CheckpointError(
+                    f"{path}:{number}: corrupt checkpoint line: {exc}"
+                ) from exc
+        if not records or records[0].get("kind") != "header":
+            raise CheckpointError(f"{path}: missing checkpoint header")
+        header = records[0]
+        if header.get("v") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"{path}: checkpoint version {header.get('v')!r} "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        if header.get("fingerprint") != fingerprint:
+            raise CheckpointError(
+                f"{path}: checkpoint belongs to a different scan configuration; "
+                "refusing to resume (delete the file or match the original flags)"
+            )
+        done: Dict[Key, dict] = {}
+        for record in records[1:]:
+            if record.get("kind") != "cell" or "key" not in record:
+                raise CheckpointError(
+                    f"{path}: unexpected checkpoint record {record!r}"
+                )
+            done[_as_key(record["key"])] = record.get("data", {})
+        _metrics.registry().counter("resilience.checkpoint.resumed").inc(len(done))
+        return done
+
+    def get(self, key: Union[int, Sequence[int]]) -> Optional[dict]:
+        """The recorded outcome of a completed unit, or None."""
+        return self._done.get(_as_key(key))
+
+    def done_keys(self) -> Iterable[Key]:
+        """All completed unit keys, in journal order."""
+        return tuple(self._done)
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    def record(self, key: Union[int, Sequence[int]], data: dict) -> None:
+        """Journal one completed unit (appended and flushed immediately)."""
+        normalised = _as_key(key)
+        if normalised in self._done:
+            return
+        self._done[normalised] = data
+        self._handle.write(
+            json.dumps(
+                {
+                    "v": CHECKPOINT_VERSION,
+                    "kind": "cell",
+                    "key": list(normalised),
+                    "data": data,
+                },
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        self._handle.flush()
+        _metrics.registry().counter("resilience.checkpoint.cells").inc()
+
+    def close(self) -> None:
+        """Close the journal handle (recorded units stay on disk)."""
+        self._handle.close()
+
+    def __enter__(self) -> "ScanCheckpoint":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScanCheckpoint({str(self.path)!r}, {len(self._done)} done)"

@@ -1,0 +1,134 @@
+"""Cooperative deadlines for long-running searches.
+
+Equivalence checking under dependencies is NP-hard in general, so a chase
+or matcher call can legitimately run for an unbounded-looking time.  The
+system must degrade gracefully instead of hanging: a :class:`Deadline` is
+a wall-clock budget, and hot loops (chase rounds, matcher nodes, pair
+scans) call :func:`poll` as a *cooperative cancellation point*.  When an
+active deadline has expired, :func:`poll` raises
+:class:`~repro.errors.DeadlineExceeded` carrying the expired deadline, and
+the layer that opened that budget converts the exception into a
+``timeout``/``unknown`` verdict (never a crash, never a hang).
+
+Scopes nest: a per-pair budget typically runs inside a whole-scan budget.
+:func:`poll` checks the *outermost* scopes first, so when both have
+expired the whole-scan handler wins — a scan that is out of time stops
+scanning instead of burning its last moments timing out pair after pair.
+
+Deadlines are process-local (``time.perf_counter`` based).  To ship a
+budget to a worker process, send ``deadline.remaining()`` and re-anchor
+with a fresh ``Deadline`` on the other side; the small skew this allows
+is the cost of not trusting wall clocks across processes.
+
+The disabled path is free in practice: with no active scope, :func:`poll`
+is one truthiness check on a module-level list.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.errors import DeadlineExceeded
+from repro.obs import metrics as _metrics
+
+
+class Deadline:
+    """A wall-clock budget of ``budget`` seconds, anchored at creation.
+
+    ``budget=None`` means unbounded: the deadline never expires but still
+    supports the full API, so call sites need no None-checks of their own.
+    """
+
+    __slots__ = ("budget", "label", "_expires_at")
+
+    def __init__(self, budget: Optional[float], label: str = "deadline") -> None:
+        if budget is not None and budget < 0:
+            raise ValueError(f"deadline budget must be >= 0, got {budget!r}")
+        self.budget = budget
+        self.label = label
+        self._expires_at = (
+            None if budget is None else time.perf_counter() + budget
+        )
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (clamped at 0.0); None when unbounded."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.perf_counter())
+
+    def expired(self) -> bool:
+        """True iff the budget has run out."""
+        return (
+            self._expires_at is not None
+            and time.perf_counter() >= self._expires_at
+        )
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceeded` (carrying self) when expired."""
+        if self.expired():
+            _metrics.registry().counter(
+                f"resilience.timeouts.{self.label}"
+            ).inc()
+            raise DeadlineExceeded(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deadline({self.budget!r}, label={self.label!r})"
+
+
+DeadlineLike = Union[None, float, int, Deadline]
+
+
+def as_deadline(value: DeadlineLike, label: str = "deadline") -> Optional[Deadline]:
+    """Coerce seconds / Deadline / None to an Optional[Deadline]."""
+    if value is None or isinstance(value, Deadline):
+        return value
+    return Deadline(float(value), label=label)
+
+
+# The active scopes of this process, outermost first.  The library's
+# parallelism is process-based and scopes are opened/closed on one thread
+# per search, so a plain list under the GIL suffices.
+_stack: List[Deadline] = []
+
+
+def active_deadlines() -> Tuple[Deadline, ...]:
+    """The currently open deadline scopes, outermost first."""
+    return tuple(_stack)
+
+
+def poll() -> None:
+    """Cooperative cancellation point for hot loops.
+
+    Raises :class:`DeadlineExceeded` for the outermost expired scope (a
+    dead whole-scan budget beats a dead per-pair budget).  With no scope
+    open this is a single truthiness check.
+    """
+    if not _stack:
+        return
+    for active in _stack:
+        active.check()
+
+
+@contextmanager
+def deadline_scope(
+    budget: DeadlineLike, label: str = "deadline"
+) -> Iterator[Optional[Deadline]]:
+    """Open a deadline scope around a block; yields the Deadline (or None).
+
+    Accepts seconds, an existing :class:`Deadline` (so nested calls can
+    share one budget), or None (no-op scope).  The scope only *arms*
+    :func:`poll`; catching the resulting :class:`DeadlineExceeded` — and
+    re-raising it when ``exc.deadline`` is not the yielded object — is the
+    caller's job.
+    """
+    active = as_deadline(budget, label=label)
+    if active is None:
+        yield None
+        return
+    _stack.append(active)
+    try:
+        yield active
+    finally:
+        _stack.remove(active)

@@ -1,0 +1,174 @@
+"""Crash-tolerant process-pool mapping with capped exponential backoff.
+
+``ProcessPoolExecutor`` fails catastrophically by design: one OOM-killed
+worker breaks the whole pool, every outstanding future raises
+``BrokenProcessPool``, and a naive ``executor.map`` caller loses all of
+its completed work.  :func:`resilient_map` is the replacement the search
+pipeline uses:
+
+* completed results are handed to ``on_result`` the moment they arrive,
+  so nothing already finished is ever lost to a later failure;
+* on a pool break, the pool is rebuilt and only the still-pending items
+  are resubmitted, after a capped exponential backoff, with their attempt
+  counters bumped (the attempt number reaches the worker via
+  ``make_payload(index, attempt)`` — which is also how deterministic
+  fault rules distinguish first tries from retries);
+* per-item exceptions (a worker *raised* rather than died) retry the same
+  way without poisoning the rest of the round;
+* an item out of pool attempts falls back to in-process execution via
+  ``inline_fn`` — slower, but immune to worker crashes;
+* ``KeyboardInterrupt`` shuts the pool down (cancelling what it can) and
+  propagates, leaving every already-delivered result delivered;
+* an expired ``deadline`` stops submitting and returns, reporting the
+  never-finished indices as ``incomplete``.
+
+Retries and crashes are counted (``resilience.retries``,
+``resilience.worker_crashes``, ``resilience.fallbacks``) and recorded as
+``retry`` incident events for the trace.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import time
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, NamedTuple, Optional, Tuple
+
+from repro.obs import events as _events
+from repro.obs import metrics as _metrics
+from repro.resilience.deadline import Deadline
+
+
+class RetryPolicy(NamedTuple):
+    """How hard to try before giving up on the process pool.
+
+    An item is submitted to a pool at most ``max_attempts`` times; after
+    that it runs in-process.  Between submission rounds the parent sleeps
+    ``min(max_delay, base_delay * 2**round)`` seconds.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+
+    def backoff(self, round_number: int) -> float:
+        """The pre-round sleep for retry round ``round_number`` (0-based)."""
+        return min(self.max_delay, self.base_delay * (2 ** round_number))
+
+
+class ResilientMapResult(NamedTuple):
+    """Outcome of :func:`resilient_map`.
+
+    ``results[i]`` is the worker result for item ``i`` (None when it
+    never finished); ``incomplete`` lists the indices abandoned because
+    the deadline expired — never because of crashes, which are retried to
+    inline completion.
+    """
+
+    results: List[Any]
+    incomplete: Tuple[int, ...]
+
+    @property
+    def complete(self) -> bool:
+        return not self.incomplete
+
+
+def resilient_map(
+    worker_fn: Callable[[Any], Any],
+    n_items: int,
+    make_payload: Callable[[int, int], Any],
+    *,
+    n_workers: int,
+    policy: Optional[RetryPolicy] = None,
+    mp_context=None,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+    deadline: Optional[Deadline] = None,
+    inline_fn: Optional[Callable[[Any], Any]] = None,
+) -> ResilientMapResult:
+    """Run ``worker_fn`` over ``n_items`` payloads in a recoverable pool.
+
+    ``worker_fn`` must be a top-level picklable callable; ``inline_fn``
+    (defaults to ``worker_fn``) runs in the parent for items that
+    exhausted their pool attempts, so it should skip worker-only setup
+    (observability re-initialisation, fault hooks).
+    """
+    policy = policy or RetryPolicy()
+    registry = _metrics.registry()
+    results: List[Any] = [None] * n_items
+    attempts = [0] * n_items
+    pending = set(range(n_items))
+    run_inline = inline_fn or worker_fn
+
+    def finish(index: int, value: Any) -> None:
+        results[index] = value
+        pending.discard(index)
+        if on_result is not None:
+            on_result(index, value)
+
+    round_number = 0
+    while pending:
+        if deadline is not None and deadline.expired():
+            break
+        # Items out of pool attempts run in-process right away: the pool
+        # has proven unable to finish them, and inline execution cannot
+        # be crashed away from under us.
+        for index in sorted(i for i in pending if attempts[i] >= policy.max_attempts):
+            registry.counter("resilience.fallbacks").inc()
+            _events.record_incident(
+                _events.retry_event(index, attempts[index], "inline")
+            )
+            finish(index, run_inline(make_payload(index, attempts[index])))
+        if not pending:
+            break
+        if round_number > 0:
+            time.sleep(policy.backoff(round_number - 1))
+        round_number += 1
+        executor = cf.ProcessPoolExecutor(
+            max_workers=min(n_workers, len(pending)) or 1,
+            mp_context=mp_context,
+        )
+        futures = {
+            executor.submit(worker_fn, make_payload(i, attempts[i])): i
+            for i in sorted(pending)
+        }
+        broken = False
+        timed_out = False
+        try:
+            timeout = deadline.remaining() if deadline is not None else None
+            for future in cf.as_completed(futures, timeout=timeout):
+                index = futures[future]
+                try:
+                    value = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    break
+                except Exception as exc:
+                    attempts[index] += 1
+                    registry.counter("resilience.retries").inc()
+                    _events.record_incident(
+                        _events.retry_event(
+                            index, attempts[index], "error", error=repr(exc)
+                        )
+                    )
+                else:
+                    finish(index, value)
+        except cf.TimeoutError:  # builtin TimeoutError alias only on 3.11+
+            timed_out = True
+        except KeyboardInterrupt:
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
+        finally:
+            # A broken pool's processes are already dead; don't wait on them.
+            executor.shutdown(wait=not (broken or timed_out), cancel_futures=True)
+        if broken:
+            registry.counter("resilience.worker_crashes").inc()
+            delay = policy.backoff(round_number - 1)
+            for index in sorted(pending):
+                attempts[index] += 1
+                registry.counter("resilience.retries").inc()
+                _events.record_incident(
+                    _events.retry_event(index, attempts[index], "crash", delay=delay)
+                )
+        if timed_out:
+            break
+    return ResilientMapResult(results, tuple(sorted(pending)))

@@ -14,12 +14,21 @@ module provides a small cache layer for them:
   ``benchmarks/bench_perf.py``) — while disabled, every lookup bypasses
   storage entirely and counts neither hits nor misses.
 
-Caches are per-process.  Worker processes forked by the parallel search
-inherit the parent's warm caches and keep their own counters from there.
+Toggling the switch *flushes* every live cache: entries stored under one
+regime are never served under the other, so an A/B run cannot leak warm
+state from the arm it is supposed to be measuring against.
+
+Caches are per-process.  Under the ``fork`` start method, worker
+processes of the parallel search inherit the parent's warm caches and
+keep their own counters from there; under ``spawn`` they start cold with
+default settings, which is why the search ships its toggles to workers
+explicitly (``_WorkerEnv`` in :mod:`repro.core.search`) instead of
+assuming inheritance.
 """
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable, Tuple
 
@@ -29,12 +38,28 @@ _MISSING = object()
 
 _enabled: bool = True
 
+# Every constructed Memo, registered or not, so the enable switch can
+# flush direct instances too.  Weak references: a test-local cache dies
+# with its test instead of accumulating here.
+_instances: "weakref.WeakSet[Memo]" = weakref.WeakSet()
+
 
 def set_enabled(enabled: bool) -> bool:
-    """Globally enable or disable all memo caches; returns the old setting."""
+    """Globally enable or disable all memo caches; returns the old setting.
+
+    A state *transition* (on→off or off→on) flushes every live cache:
+    whatever was stored under the previous regime is dropped (and counted
+    as evictions), so re-enabling never serves entries cached before the
+    bypass window.  Re-asserting the current state is a no-op — in
+    particular, forked workers re-applying an unchanged parent toggle keep
+    their inherited warm caches.
+    """
     global _enabled
     previous = _enabled
     _enabled = bool(enabled)
+    if _enabled != previous:
+        for cache in list(_instances):
+            cache.flush()
     return previous
 
 
@@ -109,7 +134,7 @@ class Memo:
     and no counter updates.
     """
 
-    __slots__ = ("name", "maxsize", "stats", "_data")
+    __slots__ = ("name", "maxsize", "stats", "_data", "__weakref__")
 
     def __init__(self, name: str, maxsize: int = 4096) -> None:
         if maxsize < 1:
@@ -118,6 +143,7 @@ class Memo:
         self.maxsize = maxsize
         self.stats = CacheStats(name)
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        _instances.add(self)
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing and storing on miss."""
@@ -143,6 +169,34 @@ class Memo:
         """Drop all entries (counters are kept)."""
         self._data.clear()
 
+    def flush(self) -> None:
+        """Drop all entries, *counting* each as an eviction.
+
+        Unlike :meth:`clear` (an accounting-neutral reset used between
+        experiments), a flush is capacity/consistency pressure and shows
+        up in ``cache.<name>.evictions``.
+        """
+        dropped = len(self._data)
+        self._data.clear()
+        if dropped:
+            self.stats._evictions.inc(dropped)
+
+    def resize(self, maxsize: int) -> None:
+        """Change the size bound; shrinking evicts LRU overflow immediately.
+
+        Previously a re-registration with a smaller ``maxsize`` only
+        updated the bound lazily (the live dict kept its oversized
+        contents until the next insert), so "smaller cache" experiments
+        silently measured the big cache.  Overflow is now evicted — and
+        counted — at resize time.
+        """
+        if maxsize < 1:
+            raise ValueError(f"memo {self.name!r}: maxsize must be positive")
+        self.maxsize = maxsize
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.stats._evictions.inc()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Memo({self.name!r}, {len(self._data)}/{self.maxsize}, {self.stats!r})"
 
@@ -153,13 +207,18 @@ _registry: Dict[str, Memo] = {}
 def memo(name: str, maxsize: int = 4096) -> Memo:
     """The process-wide cache registered under ``name`` (created on first use).
 
-    The ``maxsize`` of the first registration wins; later callers share the
-    same instance.
+    Later registrations share the first instance.  The effective bound is
+    the *smallest* ever requested: a larger ``maxsize`` never grows an
+    existing cache, while a smaller one shrinks it immediately (evicting
+    and counting LRU overflow) so capped-cache experiments see the cap
+    they asked for.
     """
     cache = _registry.get(name)
     if cache is None:
         cache = Memo(name, maxsize=maxsize)
         _registry[name] = cache
+    elif maxsize < cache.maxsize:
+        cache.resize(maxsize)
     return cache
 
 

@@ -78,3 +78,39 @@ def test_stats_surface_perf_counters():
     # The exact checks exercise the matcher and the memo layer.
     assert result.stats.cache_misses > 0
     assert result.stats.rows_probed >= 0
+
+
+def test_chunk_ranges_of_empty_grid_is_empty():
+    # Regression: a zero-pair grid used to produce the degenerate chunk
+    # [(0, 0)], which downstream became ProcessPoolExecutor(max_workers=0).
+    for n_workers in (1, 2, 8):
+        assert _chunk_ranges(0, n_workers) == []
+    assert _chunk_ranges(-3, 2) == []
+
+
+def test_chunk_ranges_with_more_workers_than_pairs():
+    assert _chunk_ranges(1, 8) == [(0, 1)]
+    assert _chunk_ranges(3, 8) == [(0, 1), (1, 2), (2, 3)]
+
+
+def test_parallel_search_on_empty_candidate_grid():
+    # max_atoms=0 admits no view queries at all: both candidate sets are
+    # empty, and the parallel path must degrade gracefully rather than
+    # spin up a pool over zero chunks.
+    s1, s2 = _schema(EMP), _schema(PERSON)
+    result = search_dominance(s1, s2, max_atoms=0, n_workers=4)
+    assert not result.found
+    assert result.complete
+    assert result.stats.alpha_candidates == 0
+    assert result.stats.beta_candidates == 0
+    assert result.stats.pairs_tried == 0
+
+
+def test_more_workers_than_chunks_matches_sequential():
+    s1, s2 = _schema(EMP), _schema(PERSON)
+    sequential = search_dominance(s1, s2, max_atoms=1, n_workers=1)
+    oversubscribed = search_dominance(s1, s2, max_atoms=1, n_workers=50)
+    assert oversubscribed.found == sequential.found
+    if sequential.found:
+        assert oversubscribed.pair.alpha == sequential.pair.alpha
+        assert oversubscribed.pair.beta == sequential.pair.beta

@@ -213,3 +213,34 @@ def test_naive_chase_fails_identically(s):
     )
     with pytest.raises(ChaseFailure):
         chase_egds_naive(inst, egds_of_schema(s))
+
+
+def test_chase_succeeds_when_fixpoint_lands_exactly_on_the_cap(s):
+    # Regression: ``max_steps`` counts *progressing* rounds.  This chase
+    # needs exactly one TGD round; the old cap raised on the follow-up
+    # round that merely observed the fixpoint, rejecting a chase that had
+    # terminated within budget.
+    inc = InclusionDependency("R", ["a"], "S", ["x"])
+    inst = DatabaseInstance.from_rows(s, {"R": [r_row(1, 5, 7)]})
+    result = chase(inst, inclusions=[inc], max_steps=1)
+    assert result.tgd_steps == 1
+    assert inc.satisfied_by(result.instance)
+
+
+def test_chase_cap_still_trips_one_round_short():
+    three = schema(
+        relation("R", [("a", "T")], key=["a"]),
+        relation("S", [("x", "T")], key=["x"]),
+        relation("W", [("t", "T")], key=["t"]),
+    )
+    # Listed so the S -> W hop cannot fire until the round after R -> S
+    # populates S: the chase needs exactly two progressing rounds.
+    chain = [
+        InclusionDependency("S", ["x"], "W", ["t"]),
+        InclusionDependency("R", ["a"], "S", ["x"]),
+    ]
+    inst = DatabaseInstance.from_rows(three, {"R": [(Value("T", 1),)]})
+    result = chase(inst, inclusions=chain, max_steps=2)
+    assert result.tgd_steps == 2
+    with pytest.raises(ChaseError, match="did not terminate"):
+        chase(inst, inclusions=chain, max_steps=1)

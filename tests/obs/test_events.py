@@ -134,6 +134,9 @@ def test_every_schema_type_has_an_emitter_example():
         "span_end": end,
         "counter": counter_event("x", 0),
         "search_verdict": verdict_event(found=True),
+        "fault": events.fault_event("scan.cell", "kill", key="0,1", attempt=0),
+        "retry": events.retry_event(3, 1, "crash", delay=0.05),
+        "timeout": events.timeout_event("pair", i=0, j=1, seconds=0.5),
     }
     assert set(by_type) == set(events.EVENT_TYPES)
     for event in by_type.values():

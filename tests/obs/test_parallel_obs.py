@@ -12,6 +12,7 @@ Two properties pin down the worker → parent observability channel:
    unchanged, which is what lets ProcessPoolExecutor ship them.
 """
 
+import multiprocessing
 import pickle
 
 import pytest
@@ -45,17 +46,30 @@ def _schemas():
     return [parse_schema(text)[0] for text in (EMP, PERSON, WIDE)]
 
 
-def _scan_delta(n_workers):
+# Observability must survive both start methods: ``fork`` workers inherit
+# the parent's toggles and warm caches, ``spawn`` workers start from a
+# blank interpreter and rely entirely on ``_WorkerEnv`` re-applying them.
+START_METHODS = pytest.mark.parametrize(
+    "mp_context",
+    [None, multiprocessing.get_context("spawn")],
+    ids=["fork", "spawn"],
+)
+
+
+def _scan_delta(n_workers, mp_context=None):
     memo.clear_all()
     before = metrics.registry().snapshot()
-    rows = theorem13_scan(_schemas(), max_atoms=1, n_workers=n_workers)
+    rows = theorem13_scan(
+        _schemas(), max_atoms=1, n_workers=n_workers, mp_context=mp_context
+    )
     delta = metrics.diff(before, metrics.registry().snapshot())
     return rows, delta
 
 
-def test_parallel_scan_metrics_match_sequential():
+@START_METHODS
+def test_parallel_scan_metrics_match_sequential(mp_context):
     sequential_rows, sequential = _scan_delta(1)
-    parallel_rows, parallel = _scan_delta(4)
+    parallel_rows, parallel = _scan_delta(4, mp_context)
     assert parallel_rows == sequential_rows
     for name in DETERMINISTIC:
         assert parallel.get(name, 0) == sequential.get(name, 0), name
@@ -63,13 +77,16 @@ def test_parallel_scan_metrics_match_sequential():
     assert sum(parallel.get(name, 0) for name in DETERMINISTIC) > 0
 
 
-def test_parallel_search_stats_cover_worker_processes():
+@START_METHODS
+def test_parallel_search_stats_cover_worker_processes(mp_context):
     memo.clear_all()
     s1 = parse_schema(EMP)[0]
     s2 = parse_schema(PERSON)[0]
     sequential = search_dominance(s1, s2, max_atoms=1, n_workers=1)
     memo.clear_all()
-    parallel = search_dominance(s1, s2, max_atoms=1, n_workers=2)
+    parallel = search_dominance(
+        s1, s2, max_atoms=1, n_workers=2, mp_context=mp_context
+    )
     assert parallel.found == sequential.found
     assert parallel.stats.pairs_tried == sequential.stats.pairs_tried
     assert parallel.stats.exact_checks == sequential.stats.exact_checks
@@ -78,11 +95,12 @@ def test_parallel_search_stats_cover_worker_processes():
     assert parallel.stats.cache_misses > 0
 
 
-def test_parallel_trace_contains_worker_spans():
+@START_METHODS
+def test_parallel_trace_contains_worker_spans(mp_context):
     previous = tracing.set_enabled(True)
     tracing.start_trace()
     try:
-        theorem13_scan(_schemas(), max_atoms=1, n_workers=2)
+        theorem13_scan(_schemas(), max_atoms=1, n_workers=2, mp_context=mp_context)
         records = tracing.records()
     finally:
         tracing.set_enabled(previous)

@@ -1,0 +1,26 @@
+"""Shared hygiene for the resilience suite.
+
+Fault plans ride on a process-global *and* an environment variable, and
+deadline scopes live on a module-global stack — a test that leaks either
+would corrupt every test after it.  The autouse fixture guarantees both
+are clean on the way in and on the way out.
+"""
+
+import pytest
+
+from repro.obs import events
+from repro.resilience import deadline as deadline_mod
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_resilience_state():
+    faults.clear()
+    events.drain_incidents()
+    assert deadline_mod.active_deadlines() == ()
+    yield
+    faults.clear()
+    # Incidents are process-global; leaking them would pollute the next
+    # trace-writing test's event stream.
+    events.drain_incidents()
+    assert deadline_mod.active_deadlines() == ()

@@ -1,0 +1,118 @@
+"""Unit tests for JSONL checkpoints (:mod:`repro.resilience.checkpoint`)."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.resilience import CHECKPOINT_VERSION, ScanCheckpoint
+
+FP = {"kind": "test", "max_atoms": 1}
+
+
+def test_fresh_checkpoint_writes_header(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    with ScanCheckpoint.open(path, FP) as ck:
+        assert len(ck) == 0
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    assert header == {"v": CHECKPOINT_VERSION, "kind": "header", "fingerprint": FP}
+
+
+def test_record_get_and_replay(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    with ScanCheckpoint.open(path, FP) as ck:
+        ck.record((0, 1), {"found": True})
+        ck.record(7, {"found": False})
+        assert ck.get((0, 1)) == {"found": True}
+        assert ck.get(7) == {"found": False}  # int keys normalise to (7,)
+        assert ck.get((9, 9)) is None
+        assert len(ck) == 2
+    with ScanCheckpoint.open(path, FP, resume=True) as resumed:
+        assert len(resumed) == 2
+        assert resumed.get((0, 1)) == {"found": True}
+        assert tuple(resumed.done_keys()) == ((0, 1), (7,))
+
+
+def test_duplicate_record_is_idempotent(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    with ScanCheckpoint.open(path, FP) as ck:
+        ck.record((0,), {"x": 1})
+        ck.record((0,), {"x": 999})  # ignored: the unit already completed
+        assert ck.get(0) == {"x": 1}
+    assert len(path.read_text().splitlines()) == 2  # header + one cell
+
+
+def test_open_without_resume_truncates(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    with ScanCheckpoint.open(path, FP) as ck:
+        ck.record((0,), {"x": 1})
+    with ScanCheckpoint.open(path, FP) as fresh:
+        assert len(fresh) == 0
+    assert len(path.read_text().splitlines()) == 1  # header only
+
+
+def test_resume_missing_file_starts_fresh(tmp_path):
+    path = tmp_path / "absent.jsonl"
+    with ScanCheckpoint.open(path, FP, resume=True) as ck:
+        assert len(ck) == 0
+    assert path.exists()
+
+
+def test_fingerprint_mismatch_refuses_resume(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    ScanCheckpoint.open(path, FP).close()
+    with pytest.raises(CheckpointError, match="different scan configuration"):
+        ScanCheckpoint.open(path, {"kind": "test", "max_atoms": 2}, resume=True)
+
+
+def test_torn_final_line_is_dropped(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    with ScanCheckpoint.open(path, FP) as ck:
+        ck.record((0,), {"x": 1})
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write('{"v": 1, "kind": "cell", "key": [1], "da')  # killed mid-write
+    with ScanCheckpoint.open(path, FP, resume=True) as resumed:
+        assert len(resumed) == 1
+        assert resumed.get((1,)) is None
+
+
+def test_corruption_before_the_end_is_an_error(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    with ScanCheckpoint.open(path, FP) as ck:
+        ck.record((0,), {"x": 1})
+    text = path.read_text().splitlines()
+    text[1] = "not json at all"
+    path.write_text("\n".join(text + ['{"v": 1, "kind": "cell", "key": [2], "data": {}}']) + "\n")
+    with pytest.raises(CheckpointError, match="corrupt"):
+        ScanCheckpoint.open(path, FP, resume=True)
+
+
+def test_missing_header_is_an_error(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    path.write_text('{"v": 1, "kind": "cell", "key": [0], "data": {}}\n')
+    with pytest.raises(CheckpointError, match="header"):
+        ScanCheckpoint.open(path, FP, resume=True)
+
+
+def test_version_mismatch_is_an_error(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    path.write_text(
+        json.dumps({"v": 999, "kind": "header", "fingerprint": FP}) + "\n"
+    )
+    with pytest.raises(CheckpointError, match="version"):
+        ScanCheckpoint.open(path, FP, resume=True)
+
+
+def test_records_are_flushed_as_written(tmp_path):
+    # The journal must be durable per unit: a reader sees a completed cell
+    # before the checkpoint is closed (this is what crash recovery relies on).
+    path = tmp_path / "ck.jsonl"
+    ck = ScanCheckpoint.open(path, FP)
+    try:
+        ck.record((3, 4), {"found": True})
+        on_disk = path.read_text().splitlines()
+        assert len(on_disk) == 2
+        assert json.loads(on_disk[1])["key"] == [3, 4]
+    finally:
+        ck.close()

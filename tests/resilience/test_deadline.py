@@ -1,0 +1,119 @@
+"""Unit tests for cooperative deadlines (:mod:`repro.resilience.deadline`)."""
+
+import pytest
+
+from repro.errors import DeadlineExceeded
+from repro.resilience import (
+    Deadline,
+    active_deadlines,
+    as_deadline,
+    deadline_scope,
+    poll,
+)
+
+
+def test_unbounded_deadline_never_expires():
+    dl = Deadline(None)
+    assert dl.remaining() is None
+    assert not dl.expired()
+    dl.check()  # no-op
+
+
+def test_zero_budget_expires_immediately():
+    dl = Deadline(0.0, label="pair")
+    assert dl.expired()
+    assert dl.remaining() == 0.0
+    with pytest.raises(DeadlineExceeded) as excinfo:
+        dl.check()
+    assert excinfo.value.deadline is dl
+    assert "pair" in str(excinfo.value)
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        Deadline(-1.0)
+
+
+def test_as_deadline_coercions():
+    assert as_deadline(None) is None
+    dl = Deadline(5.0)
+    assert as_deadline(dl) is dl  # existing deadlines pass through (shared budgets)
+    coerced = as_deadline(2, label="scan")
+    assert isinstance(coerced, Deadline)
+    assert coerced.budget == 2.0
+    assert coerced.label == "scan"
+
+
+def test_poll_without_scope_is_a_no_op():
+    assert active_deadlines() == ()
+    poll()  # must not raise
+
+
+def test_scope_arms_poll_and_cleans_up():
+    with deadline_scope(0.0, label="scan") as dl:
+        assert active_deadlines() == (dl,)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            poll()
+        assert excinfo.value.deadline is dl
+    assert active_deadlines() == ()
+
+
+def test_scope_cleans_up_on_exception():
+    with pytest.raises(RuntimeError):
+        with deadline_scope(10.0):
+            raise RuntimeError("boom")
+    assert active_deadlines() == ()
+
+
+def test_none_scope_is_transparent():
+    with deadline_scope(None) as dl:
+        assert dl is None
+        assert active_deadlines() == ()
+        poll()
+
+
+def test_outermost_expired_scope_wins():
+    # A dead whole-scan budget beats a dead per-pair budget: the scan
+    # handler must see its own deadline even when the inner one also
+    # expired, so the scan stops instead of timing out pair after pair.
+    with deadline_scope(0.0, label="scan") as outer:
+        with deadline_scope(0.0, label="pair") as inner:
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                poll()
+            assert excinfo.value.deadline is outer
+            assert excinfo.value.deadline is not inner
+
+
+def test_inner_expiry_with_live_outer():
+    with deadline_scope(60.0, label="scan"):
+        with deadline_scope(0.0, label="pair") as inner:
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                poll()
+            assert excinfo.value.deadline is inner
+
+
+def test_check_counts_timeouts_by_label():
+    from repro.obs import metrics
+
+    registry = metrics.registry()
+    before = registry.snapshot().get("resilience.timeouts.t-label", 0)
+    dl = Deadline(0.0, label="t-label")
+    for _ in range(2):
+        with pytest.raises(DeadlineExceeded):
+            dl.check()
+    after = registry.snapshot()["resilience.timeouts.t-label"]
+    assert after == before + 2
+
+
+def test_reentering_a_shared_deadline_is_safe():
+    # search_dominance re-opens the scan deadline it inherited when the
+    # in-process fallback runs a chunk; the double push must not wedge
+    # the stack.
+    dl = Deadline(30.0, label="scan")
+    with deadline_scope(dl) as outer:
+        assert outer is dl
+        with deadline_scope(dl) as again:
+            assert again is dl
+            assert active_deadlines() == (dl, dl)
+        assert active_deadlines() == (dl,)
+    assert active_deadlines() == ()

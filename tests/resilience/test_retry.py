@@ -1,0 +1,130 @@
+"""Unit tests for crash-tolerant mapping (:mod:`repro.resilience.retry`).
+
+Worker callables live at module level so they pickle into the pool; every
+payload is ``(index, attempt)`` so a worker can behave differently on a
+retry — the same mechanism the deterministic fault rules rely on.
+"""
+
+import os
+
+import pytest
+
+from repro.obs import metrics
+from repro.resilience import RetryPolicy, resilient_map
+
+FAST = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05)
+
+
+def _payload(index, attempt):
+    return (index, attempt)
+
+
+def _double(payload):
+    index, _attempt = payload
+    return index * 2
+
+
+def _flaky(payload):
+    index, attempt = payload
+    if attempt == 0:
+        raise RuntimeError(f"flaky first try for item {index}")
+    return index
+
+
+def _die_first(payload):
+    index, attempt = payload
+    if index == 0 and attempt == 0:
+        os._exit(86)  # simulated OOM kill: breaks the whole pool
+    return index + 100
+
+
+def _always_raises(payload):
+    raise RuntimeError("this worker never succeeds in a pool")
+
+
+def _inline_ok(payload):
+    index, _attempt = payload
+    return ("inline", index)
+
+
+def _counter(name):
+    return metrics.registry().snapshot().get(name, 0)
+
+
+def test_happy_path_maps_all_items():
+    result = resilient_map(_double, 4, _payload, n_workers=2, policy=FAST)
+    assert result.results == [0, 2, 4, 6]
+    assert result.incomplete == ()
+    assert result.complete
+
+
+def test_zero_items_is_trivially_complete():
+    result = resilient_map(_double, 0, _payload, n_workers=2, policy=FAST)
+    assert result.results == []
+    assert result.complete
+
+
+def test_per_item_exception_retries_with_bumped_attempt():
+    retries_before = _counter("resilience.retries")
+    result = resilient_map(_flaky, 3, _payload, n_workers=2, policy=FAST)
+    assert result.results == [0, 1, 2]
+    assert result.complete
+    assert _counter("resilience.retries") >= retries_before + 3
+
+
+def test_broken_pool_is_rebuilt_and_pending_items_resubmitted():
+    crashes_before = _counter("resilience.worker_crashes")
+    result = resilient_map(_die_first, 3, _payload, n_workers=2, policy=FAST)
+    assert result.complete
+    assert result.results == [100, 101, 102]
+    assert _counter("resilience.worker_crashes") > crashes_before
+
+
+def test_inline_fallback_after_pool_attempts_exhausted():
+    fallbacks_before = _counter("resilience.fallbacks")
+    result = resilient_map(
+        _always_raises,
+        2,
+        _payload,
+        n_workers=2,
+        policy=RetryPolicy(max_attempts=1, base_delay=0.01, max_delay=0.02),
+        inline_fn=_inline_ok,
+    )
+    assert result.complete
+    assert result.results == [("inline", 0), ("inline", 1)]
+    assert _counter("resilience.fallbacks") == fallbacks_before + 2
+
+
+def test_expired_deadline_reports_incomplete_indices():
+    from repro.resilience import Deadline
+
+    result = resilient_map(
+        _double, 3, _payload, n_workers=2, policy=FAST, deadline=Deadline(0.0)
+    )
+    assert result.results == [None, None, None]
+    assert result.incomplete == (0, 1, 2)
+    assert not result.complete
+
+
+def test_on_result_sees_each_item_exactly_once():
+    seen = {}
+
+    def on_result(index, value):
+        assert index not in seen
+        seen[index] = value
+
+    result = resilient_map(
+        _flaky, 3, _payload, n_workers=2, policy=FAST, on_result=on_result
+    )
+    assert result.complete
+    assert seen == {0: 0, 1: 1, 2: 2}
+
+
+def test_keyboard_interrupt_propagates():
+    def on_result(index, value):
+        raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        resilient_map(
+            _double, 2, _payload, n_workers=2, policy=FAST, on_result=on_result
+        )

@@ -1,0 +1,194 @@
+"""Acceptance tests: the search pipeline under injected faults.
+
+These are the ISSUE's acceptance criteria, end to end:
+
+* a fault plan killing one worker per first attempt still terminates
+  ``theorem13_scan`` with verdicts identical to the fault-free run;
+* a deadline-capped run returns partial results with explicit timeout
+  verdicts instead of hanging;
+* a ``KeyboardInterrupt`` mid-scan leaves a usable checkpoint, and
+  ``--resume`` reproduces the uninterrupted report byte-for-byte
+  (excluding perf lines).
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+from repro.core.search import scan_fingerprint, search_dominance, theorem13_scan
+from repro.obs import metrics
+from repro.relational import parse_schema
+from repro.resilience import (
+    FaultPlan,
+    RetryPolicy,
+    ScanCheckpoint,
+    faults,
+    install,
+    rule,
+)
+from repro.utils import memo
+
+EMP = "emp(ss*: SSN, name: Name)"
+PERSON = "person(id*: SSN, nm: Name)"
+WIDE = "person(id*: SSN, nm: Name, extra: Name)"
+
+FAST = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05)
+
+
+def _schema(text):
+    return parse_schema(text)[0]
+
+
+def _schemas():
+    return [_schema(EMP), _schema(PERSON), _schema(WIDE)]
+
+
+def _counter(name):
+    return metrics.registry().snapshot().get(name, 0)
+
+
+def test_worker_kill_per_round_reproduces_fault_free_verdicts():
+    # Acceptance criterion 1: every first-attempt cell is OOM-killed
+    # (attempts=(0,) spares the retries), yet the scan terminates with
+    # the same rows as a clean run.
+    schemas = _schemas()
+    baseline = theorem13_scan(schemas, max_atoms=1, n_workers=2)
+    crashes_before = _counter("resilience.worker_crashes")
+    install([rule("scan.cell", "kill", attempts=[0])])
+    faulted = theorem13_scan(
+        schemas, max_atoms=1, n_workers=2, retry_policy=FAST
+    )
+    assert faulted == baseline
+    assert all(row.consistent_with_theorem13 for row in faulted)
+    assert _counter("resilience.worker_crashes") > crashes_before
+
+
+def test_deadline_expires_mid_chase():
+    # A chase round that sleeps past the whole-search budget must be
+    # caught by the cooperative poll inside the chase loop, not hang:
+    # the result comes back explicitly incomplete.
+    memo.clear_all()  # cold caches so the chase actually runs
+    install([rule("chase.round", "delay", delay=0.05, max_fires=2)])
+    result = search_dominance(
+        _schema(EMP), _schema(PERSON), max_atoms=1, deadline=0.04
+    )
+    assert not result.complete
+    assert not result.found
+
+
+def test_pair_deadline_times_out_individual_pairs():
+    # A per-pair budget converts a slow pair check into a counted
+    # timeout; the scan itself still runs to completion.
+    memo.clear_all()
+    install([rule("chase.round", "delay", delay=0.05, max_fires=3)])
+    result = search_dominance(
+        _schema(EMP), _schema(PERSON), max_atoms=1, pair_deadline=0.01
+    )
+    assert result.complete
+    assert result.stats.pair_timeouts > 0
+
+
+def test_sequential_deadline_zero_yields_explicit_timeout_rows():
+    schemas = _schemas()
+    rows = theorem13_scan(schemas, max_atoms=1, deadline=0.0)
+    assert len(rows) == 6
+    assert all(row.verdict == "timeout" for row in rows)
+    # Undecided rows are vacuously consistent: no claim, no violation.
+    assert all(row.consistent_with_theorem13 for row in rows)
+
+
+def test_interrupt_leaves_checkpoint_and_resume_matches(tmp_path):
+    # Acceptance criterion 3 (API level): Ctrl-C after the first settled
+    # cell leaves a journal with that cell; resuming from it completes
+    # the scan with verdicts identical to an uninterrupted run.
+    schemas = _schemas()
+    baseline = theorem13_scan(schemas, max_atoms=1, n_workers=2)
+    path = tmp_path / "scan.jsonl"
+    fingerprint = scan_fingerprint("theorem13", schemas, 1, None, None)
+
+    install([rule("scan.cell.done", "interrupt", max_fires=1)])
+    checkpoint = ScanCheckpoint.open(path, fingerprint)
+    try:
+        with pytest.raises(KeyboardInterrupt):
+            theorem13_scan(
+                schemas, max_atoms=1, n_workers=2,
+                retry_policy=FAST, checkpoint=checkpoint,
+            )
+        done = len(checkpoint)
+        assert done >= 1
+    finally:
+        checkpoint.close()
+    faults.clear()
+
+    with ScanCheckpoint.open(path, fingerprint, resume=True) as resumed:
+        assert len(resumed) == done
+        rows = theorem13_scan(
+            schemas, max_atoms=1, n_workers=2, checkpoint=resumed
+        )
+    assert rows == baseline
+
+
+def _run_cli(args, tmp_path, extra_env=None):
+    env = dict(os.environ)
+    env.pop(faults.ENV_VAR, None)
+    src_dir = str(pathlib.Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [src_dir, env.get("PYTHONPATH")])
+    )
+    if extra_env:
+        env.update(extra_env)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, cwd=tmp_path, timeout=300,
+    )
+
+
+def _report_lines(stdout):
+    # Perf lines carry wall-clock times; everything else must match.
+    return [line for line in stdout.splitlines() if not line.startswith("perf:")]
+
+
+def test_cli_resume_reproduces_uninterrupted_report(tmp_path):
+    # Acceptance criterion 3 (CLI level), byte-for-byte minus perf lines.
+    scan_args = [
+        "theorem13", "--types", "T", "--max-relations", "1",
+        "--max-arity", "2", "--max-atoms", "1", "--workers", "2",
+    ]
+    clean = _run_cli(scan_args, tmp_path)
+    assert clean.returncode == 0, clean.stderr
+
+    plan = FaultPlan(
+        [rule("scan.cell.done", "interrupt", max_fires=1)], install_pid=0
+    )
+    interrupted = _run_cli(
+        scan_args + ["--checkpoint", "scan.jsonl"],
+        tmp_path,
+        extra_env={faults.ENV_VAR: plan.as_json()},
+    )
+    assert interrupted.returncode == 130, interrupted.stdout + interrupted.stderr
+    assert "cell(s) journaled" in interrupted.stdout
+    assert "--resume" in interrupted.stdout
+
+    resumed = _run_cli(
+        scan_args + ["--checkpoint", "scan.jsonl", "--resume"], tmp_path
+    )
+    assert resumed.returncode == 0, resumed.stdout + resumed.stderr
+    assert _report_lines(resumed.stdout) == _report_lines(clean.stdout)
+
+
+def test_cli_checkpoint_mismatch_is_an_input_error(tmp_path):
+    base = [
+        "theorem13", "--types", "T", "--max-relations", "1",
+        "--max-arity", "2", "--workers", "2", "--checkpoint", "scan.jsonl",
+    ]
+    first = _run_cli(base + ["--max-atoms", "1"], tmp_path)
+    assert first.returncode == 0, first.stderr
+    # Same journal, different scan configuration: refuse to resume.
+    mismatched = _run_cli(base + ["--max-atoms", "2", "--resume"], tmp_path)
+    assert mismatched.returncode == 2
+    assert "different scan configuration" in mismatched.stderr

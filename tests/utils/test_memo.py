@@ -96,3 +96,71 @@ def test_registry_stats_and_clear():
     assert cache.stats.misses >= 1
     memo.reset_counters()
     assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+
+def test_toggle_transition_flushes_live_caches():
+    # Regression: entries cached while enabled used to survive a disable/
+    # re-enable cycle, so an A/B run's "cached" arm could serve state from
+    # before the bypass window.
+    cache = memo.Memo("t-flush-toggle")
+    cache.get_or_compute("k", lambda: 1)
+    assert len(cache) == 1
+    memo.set_enabled(False)
+    assert len(cache) == 0
+    assert cache.stats.evictions == 1
+    memo.set_enabled(True)
+    calls = []
+    assert cache.get_or_compute("k", lambda: calls.append(1) or 2) == 2
+    assert calls  # recomputed, not served stale
+
+
+def test_reasserting_current_state_keeps_warm_entries():
+    # Forked workers re-apply the parent's (unchanged) toggle; that must
+    # not cost them their inherited warm caches.
+    cache = memo.Memo("t-flush-noop")
+    cache.get_or_compute("k", lambda: 1)
+    memo.set_enabled(True)
+    assert len(cache) == 1
+    assert cache.stats.evictions == 0
+
+
+def test_flush_counts_evictions_clear_does_not():
+    cache = memo.Memo("t-flush-vs-clear")
+    cache.get_or_compute("a", lambda: 1)
+    cache.get_or_compute("b", lambda: 2)
+    cache.clear()
+    assert len(cache) == 0 and cache.stats.evictions == 0
+    cache.get_or_compute("a", lambda: 1)
+    cache.flush()
+    assert len(cache) == 0 and cache.stats.evictions == 1
+
+
+def test_resize_evicts_lru_overflow_immediately():
+    cache = memo.Memo("t-resize", maxsize=4)
+    for key in "abcd":
+        cache.get_or_compute(key, lambda: key)
+    cache.get_or_compute("a", lambda: None)  # refresh: b is now oldest
+    cache.resize(2)
+    assert len(cache) == 2
+    assert cache.stats.evictions == 2
+    calls = []
+    assert cache.get_or_compute("a", lambda: calls.append(1)) == "a"
+    assert cache.get_or_compute("d", lambda: calls.append(1)) == "d"
+    assert calls == []  # the two most-recent entries survived
+    with pytest.raises(ValueError):
+        cache.resize(0)
+
+
+def test_reregistration_with_smaller_maxsize_shrinks():
+    # Regression: memo("name", maxsize=small) on an existing bigger cache
+    # used to be ignored, so capped-cache experiments measured the
+    # uncapped cache.
+    first = memo.memo("t-shrink", maxsize=8)
+    for key in range(8):
+        first.get_or_compute(key, lambda: key)
+    second = memo.memo("t-shrink", maxsize=3)
+    assert second is first
+    assert first.maxsize == 3
+    assert len(first) == 3
+    # A larger request still never grows the cache.
+    assert memo.memo("t-shrink", maxsize=100).maxsize == 3
