@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Continuous-benchmark regression gate over ``BENCH_history.jsonl``.
+
+Reads the report ``benchmarks/bench_perf.py`` just wrote, reduces each
+workload to its **optimized/baseline wall-time ratio** — both modes run
+in the same process moments apart, so the quotient cancels machine-speed
+drift and is comparable across sessions and containers, unlike raw
+seconds — and gates it against recent history:
+
+1. Load prior entries of the *same mode* (``smoke``/``full``; their
+   timings are not comparable to each other) from the history file.
+2. For each workload, compare the current ratio to the **median of the
+   last ``--window`` entries** (median, not mean: one noisy historical
+   run must not move the gate).
+3. If any current ratio exceeds ``median × --threshold``, report the
+   regression and exit **1 without appending** — a regressed run never
+   pollutes the history it is judged against.
+4. Otherwise append the new entry and exit 0.
+
+With fewer than ``--min-history`` comparable prior entries the gate is
+non-blocking: the entry is appended and the run passes, so the first CI
+run on a fresh branch (or after switching modes) cannot fail.  Exit 2
+means the inputs were unusable (missing/corrupt report).
+
+Run:  python scripts/bench_history.py [--bench BENCH_perf.json]
+          [--history BENCH_history.jsonl] [--threshold 1.5]
+          [--window 5] [--min-history 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+#: Current ratio may be at most ``threshold`` times the recent median.
+DEFAULT_THRESHOLD = 1.5
+#: The median is taken over at most this many recent same-mode entries.
+DEFAULT_WINDOW = 5
+#: Fewer comparable prior entries than this → non-blocking pass.
+DEFAULT_MIN_HISTORY = 1
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_report(path: Path) -> dict:
+    """Parse a ``BENCH_perf.json`` report; raises ValueError when unusable."""
+    try:
+        report = json.loads(path.read_text())
+    except OSError as exc:
+        raise ValueError(f"cannot read bench report {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"bench report {path} is not valid JSON: {exc}")
+    if "workloads" not in report or "mode" not in report:
+        raise ValueError(f"bench report {path} lacks workloads/mode fields")
+    return report
+
+
+def entry_from_report(report: dict) -> dict:
+    """Reduce a bench report to one history entry (ratios per workload)."""
+    ratios = {}
+    optimized = {}
+    baseline = {}
+    for name, record in report["workloads"].items():
+        base = record.get("baseline_s")
+        opt = record.get("optimized_s")
+        if not base or opt is None:
+            continue
+        ratios[name] = round(opt / base, 6)
+        optimized[name] = opt
+        baseline[name] = base
+    if not ratios:
+        raise ValueError("bench report has no timed workloads")
+    return {
+        "timestamp": report.get("timestamp"),
+        "mode": report["mode"],
+        "python": report.get("python"),
+        "machine": report.get("machine"),
+        "ratios": ratios,
+        "optimized_s": optimized,
+        "baseline_s": baseline,
+    }
+
+
+def load_history(path: Path) -> list:
+    """All prior entries; malformed lines are reported and skipped."""
+    if not path.exists():
+        return []
+    entries = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            print(f"warning: {path}:{lineno}: skipping malformed line")
+            continue
+        if isinstance(entry, dict) and isinstance(entry.get("ratios"), dict):
+            entries.append(entry)
+        else:
+            print(f"warning: {path}:{lineno}: skipping non-entry line")
+    return entries
+
+
+def check_regressions(
+    entry: dict,
+    history: list,
+    threshold: float = DEFAULT_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+    min_history: int = DEFAULT_MIN_HISTORY,
+) -> tuple:
+    """(regressions, comparable_count) for ``entry`` against ``history``.
+
+    Each regression is a dict naming the workload, the current and median
+    ratios, and the limit that was exceeded.  An empty list with a
+    comparable count below ``min_history`` is the non-blocking case.
+    """
+    comparable = [e for e in history if e.get("mode") == entry["mode"]]
+    if len(comparable) < min_history:
+        return [], len(comparable)
+    recent = comparable[-window:]
+    regressions = []
+    for name, ratio in sorted(entry["ratios"].items()):
+        prior = [
+            e["ratios"][name] for e in recent
+            if isinstance(e["ratios"].get(name), (int, float))
+        ]
+        if not prior:
+            continue  # workload is new; nothing to gate against yet
+        median = statistics.median(prior)
+        limit = median * threshold
+        if ratio > limit:
+            regressions.append({
+                "workload": name,
+                "ratio": ratio,
+                "median": round(median, 6),
+                "limit": round(limit, 6),
+                "window": len(prior),
+            })
+    return regressions, len(comparable)
+
+
+def append_entry(path: Path, entry: dict) -> None:
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench", default=str(_REPO_ROOT / "BENCH_perf.json"),
+        help="bench report to gate (default: repo BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--history", default=str(_REPO_ROOT / "BENCH_history.jsonl"),
+        help="JSONL history to gate against and append to",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="fail when ratio exceeds median × THRESHOLD (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW,
+        help="median over the last N same-mode entries (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-history", type=int, default=DEFAULT_MIN_HISTORY,
+        help="non-blocking pass below N comparable entries (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="gate without appending to the history file",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        report = load_report(Path(args.bench))
+        entry = entry_from_report(report)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    history_path = Path(args.history)
+    history = load_history(history_path)
+    regressions, comparable = check_regressions(
+        entry, history,
+        threshold=args.threshold, window=args.window,
+        min_history=args.min_history,
+    )
+
+    for name, ratio in sorted(entry["ratios"].items()):
+        print(f"{entry['mode']}/{name}: optimized/baseline ratio = {ratio}")
+
+    if regressions:
+        for reg in regressions:
+            print(
+                f"REGRESSION {entry['mode']}/{reg['workload']}: "
+                f"ratio {reg['ratio']} > {reg['limit']} "
+                f"(median {reg['median']} of last {reg['window']} "
+                f"× threshold {args.threshold})"
+            )
+        print("history NOT updated (regressed runs are never appended)")
+        return 1
+
+    if comparable < args.min_history:
+        print(
+            f"only {comparable} comparable '{entry['mode']}' entr"
+            f"{'y' if comparable == 1 else 'ies'} in history "
+            f"(< {args.min_history}): gate is non-blocking on this run"
+        )
+    else:
+        print(f"no regression against {min(comparable, args.window)} recent entr"
+              f"{'y' if min(comparable, args.window) == 1 else 'ies'}")
+    if args.dry_run:
+        print("dry run: history not updated")
+    else:
+        append_entry(history_path, entry)
+        print(f"appended to {history_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,58 +1,157 @@
 #!/usr/bin/env python3
 """Validate a JSONL trace file against the repro.obs event schema.
 
-Usage:  PYTHONPATH=src python scripts/validate_trace.py TRACE.jsonl [...]
+Usage:  PYTHONPATH=src python scripts/validate_trace.py [--lenient] TRACE.jsonl [...]
 
-Checks every line with :func:`repro.obs.events.validate_line` and prints
-one diagnostic per violation (file, line number, message).  Exits 0 iff
-every line of every file is schema-valid, 1 on any violation, 2 on
-unreadable input.  CI runs this on the trace the smoke `theorem13` run
-emits, so a schema drift between emitter and checker fails the build.
+Two layers of checking, both reported with ``file:line:`` prefixes:
+
+* **Schema** — every line must satisfy
+  :func:`repro.obs.events.validate_line_report`.  With ``--lenient``,
+  unknown *optional* fields on known event types demote to warnings
+  (printed, but not failures), so a checker built against schema v1 can
+  ride along with a forward-compatible v1.x emitter.
+* **Structure** — span events must nest: every ``span_end`` closes the
+  most recent unmatched ``span_start`` with the same ``(proc, id)``
+  (the most-recent rule keeps stitched/resumed traces valid, where each
+  journal segment restarts span ids); a ``span_start`` naming a
+  ``parent`` requires that parent to be open in the same process at
+  that point (parent-before-child ordering); starts left unmatched at
+  end of file are truncation violations.
+
+Each file then gets a one-line summary with its per-type event census,
+e.g. ``trace.jsonl: 42 event(s): counter=20 span_end=9 span_start=9
+search_verdict=4``.  Exits 0 iff every file is valid, 1 on any
+violation, 2 on unreadable input.  CI runs this on the trace the smoke
+``theorem13`` run emits, so a drift between emitter and checker — or a
+tracer bug that breaks span nesting — fails the build.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from repro.obs.events import validate_line
+from repro.obs.events import validate_line_report
 
 
-def validate_file(path: Path) -> int:
+class _FileChecker:
+    """Schema + structural validation of one trace file."""
+
+    def __init__(self, path: Path, lenient: bool = False) -> None:
+        self.path = path
+        self.lenient = lenient
+        self.violations = 0
+        self.warnings = 0
+        self.census: dict = {}
+        # (proc, id) → stack of line numbers of unmatched span_starts.
+        self._open: dict = {}
+
+    def _report(self, number: int, message: str, warning: bool = False) -> None:
+        kind = "warning: " if warning else ""
+        print(f"{self.path}:{number}: {kind}{message}")
+        if warning:
+            self.warnings += 1
+        else:
+            self.violations += 1
+
+    def _check_structure(self, number: int, event: dict) -> None:
+        """Span pairing and parent-before-child ordering."""
+        event_type = event.get("type")
+        span_id = event.get("id")
+        if not isinstance(span_id, str):
+            return  # the schema layer already flagged this line
+        proc = event.get("proc", "")
+        if event_type == "span_start":
+            parent = event.get("parent")
+            if isinstance(parent, str) and not self._open.get((proc, parent)):
+                self._report(
+                    number,
+                    f"span_start {span_id!r} names parent {parent!r} "
+                    "which is not open here (parent must start first)",
+                )
+            self._open.setdefault((proc, span_id), []).append(number)
+        elif event_type == "span_end":
+            stack = self._open.get((proc, span_id))
+            if not stack:
+                self._report(
+                    number,
+                    f"span_end {span_id!r} has no matching span_start "
+                    f"(proc {proc!r})",
+                )
+            else:
+                stack.pop()
+
+    def check(self) -> None:
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        events = 0
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            events += 1
+            errors, warnings = validate_line_report(line, lenient=self.lenient)
+            for error in errors:
+                self._report(number, error)
+            for warning in warnings:
+                self._report(number, warning, warning=True)
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # already reported by the schema layer
+            if isinstance(event, dict):
+                kind = event.get("type")
+                if isinstance(kind, str):
+                    self.census[kind] = self.census.get(kind, 0) + 1
+                self._check_structure(number, event)
+        for (proc, span_id), stack in sorted(self._open.items()):
+            for number in stack:
+                self._report(
+                    number,
+                    f"span_start {span_id!r} (proc {proc!r}) never ends "
+                    "(truncated trace?)",
+                )
+        if not events:
+            print(f"{self.path}: empty trace (no events)")
+            self.violations += 1
+            return
+        census = " ".join(
+            f"{kind}={count}" for kind, count in sorted(self.census.items())
+        )
+        status = "FAIL" if self.violations else "ok"
+        suffix = f", {self.warnings} warning(s)" if self.warnings else ""
+        print(f"{self.path}: {status}: {events} event(s): {census}{suffix}")
+
+
+def validate_file(path: Path, lenient: bool = False) -> int:
     """Print violations of one trace file; returns the violation count."""
-    violations = 0
-    lines = path.read_text(encoding="utf-8").splitlines()
-    for number, line in enumerate(lines, start=1):
-        if not line.strip():
-            continue
-        for error in validate_line(line):
-            print(f"{path}:{number}: {error}")
-            violations += 1
-    if not lines:
-        print(f"{path}: empty trace (no events)")
-        violations += 1
-    return violations
+    checker = _FileChecker(path, lenient=lenient)
+    checker.check()
+    return checker.violations
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("traces", nargs="+", metavar="TRACE.jsonl")
+    parser.add_argument(
+        "--lenient", action="store_true",
+        help="unknown optional fields on known event types warn, not fail",
+    )
     args = parser.parse_args(argv)
     total = 0
     checked = 0
     for name in args.traces:
         path = Path(name)
         try:
-            total += validate_file(path)
+            total += validate_file(path, lenient=args.lenient)
         except OSError as exc:
             print(f"{path}: cannot read: {exc}", file=sys.stderr)
             return 2
         checked += 1
     if total:
-        print(f"{total} schema violation(s) across {checked} file(s)")
+        print(f"{total} violation(s) across {checked} file(s)")
         return 1
-    print(f"ok: {checked} trace file(s) schema-valid")
+    print(f"ok: {checked} trace file(s) valid")
     return 0
 
 

@@ -20,7 +20,13 @@ in the syntax of :mod:`repro.cq.parser`.
 ``search`` and ``theorem13`` share the observability flags
 (``docs/OBSERVABILITY.md``): ``--trace FILE.jsonl`` writes a structured
 span/counter/verdict event log, ``--metrics-json FILE`` dumps the metrics
-registry, and ``--profile`` prints a per-phase self/cumulative time table.
+registry (plus incident and pair-timeout censuses), and ``--profile``
+prints a per-phase self/cumulative time table.  The consumption half
+adds ``--profile-hz HZ`` (sampling profiler attributing ticks to open
+spans, merged across workers), ``--export-chrome-trace FILE.json``
+(Perfetto-loadable), ``--prometheus-out FILE.prom`` (text exposition),
+``--html-report FILE.html`` (self-contained dashboard), and
+``--progress`` (live rate/ETA/worker-census line on stderr).
 
 They also share the resilience flags (``docs/RESILIENCE.md``):
 ``--deadline``/``--pair-deadline`` bound the scan and each exact pair
@@ -152,6 +158,31 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
         "--profile", action="store_true",
         help="print a per-phase self/cumulative time table",
     )
+    p.add_argument(
+        "--profile-hz", type=float, default=None, metavar="HZ",
+        help="run the sampling profiler at HZ samples/s and attribute "
+        "ticks to the open span stack (merged across workers)",
+    )
+    p.add_argument(
+        "--html-report", metavar="FILE.html",
+        help="write a self-contained HTML dashboard (flamegraph, "
+        "pair-grid heatmap, cache tiles, incident timeline)",
+    )
+    p.add_argument(
+        "--export-chrome-trace", metavar="FILE.json",
+        help="write the span tree as a Chrome trace-event file "
+        "(load in Perfetto / chrome://tracing)",
+    )
+    p.add_argument(
+        "--prometheus-out", metavar="FILE.prom",
+        help="write the final metrics registry in Prometheus text "
+        "exposition format",
+    )
+    p.add_argument(
+        "--progress", action="store_true",
+        help="render a live progress line (rate, ETA, worker census) "
+        "on stderr while the scan runs",
+    )
 
 
 def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
@@ -204,44 +235,116 @@ def _open_checkpoint(args: argparse.Namespace, fingerprint: dict):
 
 def _obs_wanted(args: argparse.Namespace) -> bool:
     return bool(
-        getattr(args, "trace", None) or getattr(args, "profile", False)
+        getattr(args, "trace", None)
+        or getattr(args, "profile", False)
+        or getattr(args, "profile_hz", None)
+        or getattr(args, "html_report", None)
+        or getattr(args, "export_chrome_trace", None)
     )
 
 
 def _obs_begin(args: argparse.Namespace) -> None:
-    """Enable tracing for the run when any obs output was requested."""
+    """Enable tracing (and the sampler) when any obs output was requested."""
     from repro import obs
 
+    # Baseline for counters that must be reported per-run, not
+    # process-lifetime (in-process callers like the tests reuse the
+    # global registry across commands).
+    args._pair_timeouts_before = int(
+        obs.registry().snapshot().get("resilience.timeouts.pair", 0)
+    )
     if _obs_wanted(args):
         obs.set_enabled(True)
         obs.start_trace()
+    if getattr(args, "profile_hz", None):
+        obs.start_profiling(args.profile_hz)
+
+
+def _incident_census(incidents) -> dict:
+    """Per-type incident counts plus the total, for --metrics-json."""
+    by_type: dict = {}
+    for event in incidents:
+        kind = event.get("type", "unknown")
+        by_type[kind] = by_type.get(kind, 0) + 1
+    return {"total": len(incidents), "by_type": by_type}
 
 
 def _obs_end(args: argparse.Namespace, verdicts=()) -> None:
-    """Emit the requested trace / metrics / profile outputs."""
+    """Emit the requested trace / metrics / profile / dashboard outputs."""
     import json
 
     from repro import obs
 
+    if getattr(args, "profile_hz", None):
+        obs.stop_profiling()
+    # Incidents are drained exactly once and shared by every consumer
+    # below (event trace, metrics JSON, HTML dashboard).
+    incidents = obs.drain_incidents()
     if getattr(args, "metrics_json", None):
+        snapshot = obs.registry().snapshot()
         payload = {
             "v": obs.SCHEMA_VERSION,
             "metrics": obs.registry().as_dict(),
+            "incidents": _incident_census(incidents),
+            "pair_timeouts": (
+                int(snapshot.get("resilience.timeouts.pair", 0))
+                - getattr(args, "_pair_timeouts_before", 0)
+            ),
         }
         Path(args.metrics_json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"metrics written to {args.metrics_json}")
+    if getattr(args, "prometheus_out", None):
+        lines = obs.write_prometheus(
+            args.prometheus_out,
+            counters=obs.registry().snapshot(),
+            gauges=obs.registry().gauges(),
+        )
+        print(
+            f"prometheus metrics written to {args.prometheus_out} "
+            f"({lines} metrics)"
+        )
     if not _obs_wanted(args):
         return
     records = obs.drain()
+    samples = obs.drain_samples()
+    verdicts = list(verdicts)
     if getattr(args, "trace", None):
         lines = obs.write_trace(
             args.trace, records, counters=obs.registry().snapshot(),
-            verdicts=list(verdicts), incidents=obs.drain_incidents(),
+            verdicts=verdicts, incidents=incidents,
         )
         print(f"trace written to {args.trace} ({lines} events)")
+    if getattr(args, "export_chrome_trace", None):
+        events = obs.write_chrome_trace(
+            args.export_chrome_trace, records,
+            counters=obs.registry().snapshot(),
+            verdicts=verdicts, incidents=incidents, samples=samples,
+        )
+        print(
+            f"chrome trace written to {args.export_chrome_trace} "
+            f"({events} events)"
+        )
+    if getattr(args, "html_report", None):
+        size = obs.write_dashboard(
+            args.html_report, records, metrics=obs.registry().as_dict(),
+            verdicts=verdicts, incidents=incidents, samples=samples,
+        )
+        print(f"html report written to {args.html_report} ({size} bytes)")
     if getattr(args, "profile", False):
         print(obs.render(records, title="per-phase timings (self/cumulative)"))
+    if getattr(args, "profile_hz", None) and samples:
+        total = sum(samples.values())
+        print(f"profiler: {total} sample(s) at {args.profile_hz:g} Hz")
     obs.set_enabled(False)
+
+
+def _progress_reporter(args: argparse.Namespace, label: str):
+    """The live ``--progress`` reporter, or None when not requested."""
+    from repro import obs
+
+    if not getattr(args, "progress", False):
+        return None
+    return obs.ProgressReporter(label=label)
 
 
 def _perf_line(
@@ -278,14 +381,18 @@ def _cmd_search(args: argparse.Namespace) -> int:
         "search", [s1, s2], args.max_atoms, None, None, n_workers=args.workers
     )
     checkpoint = _open_checkpoint(args, fingerprint)
+    reporter = _progress_reporter(args, "search")
     try:
         with obs.span("search"):
             result = search_dominance(
                 s1, s2, max_atoms=args.max_atoms, n_workers=args.workers,
                 deadline=args.deadline, pair_deadline=args.pair_deadline,
                 retry_policy=_retry_policy(args), checkpoint=checkpoint,
+                on_progress=None if reporter is None else reporter.update,
             )
     finally:
+        if reporter is not None:
+            reporter.finish()
         if checkpoint is not None:
             checkpoint.close()
     stats = result.stats
@@ -370,12 +477,14 @@ def _cmd_theorem13(args: argparse.Namespace) -> int:
         "theorem13", schemas, args.max_atoms, None, None
     )
     checkpoint = _open_checkpoint(args, fingerprint)
+    reporter = _progress_reporter(args, "scan")
     try:
         with obs.span("theorem13"):
             rows = theorem13_scan(
                 schemas, max_atoms=args.max_atoms, n_workers=args.workers,
                 deadline=args.deadline, pair_deadline=args.pair_deadline,
                 retry_policy=_retry_policy(args), checkpoint=checkpoint,
+                on_progress=None if reporter is None else reporter.update,
             )
     except KeyboardInterrupt:
         # The pool is already shut down (resilient_map cancels what it
@@ -388,6 +497,8 @@ def _cmd_theorem13(args: argparse.Namespace) -> int:
             print(f"resume with: --checkpoint {args.checkpoint} --resume")
         return 130
     finally:
+        if reporter is not None:
+            reporter.finish()
         if checkpoint is not None:
             checkpoint.close()
     wall = time.perf_counter() - start
@@ -441,6 +552,9 @@ def _cmd_theorem13(args: argparse.Namespace) -> int:
         )
         for row in rows
     ]
+    # The same string the HTML dashboard embeds, so report and dashboard
+    # can be diffed byte-for-byte.
+    print(obs.verdict_summary_line(verdicts))
     _obs_end(args, verdicts=verdicts)
     if not consistent:
         return 1

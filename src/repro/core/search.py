@@ -35,7 +35,16 @@ from __future__ import annotations
 
 import itertools
 import time
-from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.counterexample import quick_reject
 from repro.errors import DeadlineExceeded, MappingError
@@ -47,6 +56,7 @@ from repro.cq.homomorphism import indexing_enabled, set_indexing
 from repro.cq.syntax import Atom, ConjunctiveQuery, Variable
 from repro.obs import events as _events
 from repro.obs import metrics as _metrics
+from repro.obs import profiler as _profiler
 from repro.obs import tracing as _tracing
 from repro.obs.tracing import SpanRecord, span as _span
 from repro.relational.isomorphism import is_isomorphic
@@ -229,7 +239,9 @@ class _WorkerEnv(NamedTuple):
     round of this payload (deterministic fault rules key on it);
     ``budget`` is the *remaining* whole-scan seconds at submission time
     (re-anchored in the worker — perf_counter values don't cross process
-    boundaries); ``pair_budget`` is the per-pair deadline in seconds.
+    boundaries); ``pair_budget`` is the per-pair deadline in seconds;
+    ``profile_hz`` is the parent's sampling-profiler rate (None = not
+    profiling), so a profiled run samples its workers too.
     """
 
     proc: str
@@ -239,6 +251,7 @@ class _WorkerEnv(NamedTuple):
     attempt: int = 0
     budget: Optional[float] = None
     pair_budget: Optional[float] = None
+    profile_hz: Optional[float] = None
 
 
 def _worker_env(
@@ -256,6 +269,7 @@ def _worker_env(
         attempt,
         None if scan_deadline is None else scan_deadline.remaining(),
         pair_budget,
+        _profiler.profiling_hz(),
     )
 
 
@@ -264,11 +278,13 @@ class _ChunkResult(NamedTuple):
 
     ``metrics_delta`` is the worker registry's counter delta across the
     chunk (a plain name → value dict); ``spans`` carries the worker's
-    finished span records when tracing was on.  Both are primitives-only,
-    so the whole result round-trips through pickle unchanged — the
-    property the parallel-aggregation tests pin down.  ``timed_out``
-    marks a chunk the whole-scan deadline cut short (its counters cover
-    only the pairs actually scanned).
+    finished span records when tracing was on; ``samples`` the worker's
+    profiler sample table (worker-prefixed ``span_id → ticks``) when the
+    run was profiled.  All are primitives-only, so the whole result
+    round-trips through pickle unchanged — the property the
+    parallel-aggregation tests pin down.  ``timed_out`` marks a chunk the
+    whole-scan deadline cut short (its counters cover only the pairs
+    actually scanned).
     """
 
     witness_index: Optional[int]
@@ -279,6 +295,7 @@ class _ChunkResult(NamedTuple):
     spans: Tuple[SpanRecord, ...] = ()
     pair_timeouts: int = 0
     timed_out: bool = False
+    samples: Optional[Dict[str, int]] = None
 
 
 def _worker_obs_begin(env: _WorkerEnv) -> _metrics.Snapshot:
@@ -294,16 +311,31 @@ def _worker_obs_begin(env: _WorkerEnv) -> _metrics.Snapshot:
     if env.trace_on:
         _tracing.set_enabled(True)
         _tracing.start_trace(proc=env.proc)
+    if env.profile_hz:
+        # Fork-started workers inherit the parent's sample table; discard
+        # it so the shipped delta covers this worker's ticks only (the
+        # parent keeps its own copy — absorbing an inherited table would
+        # double-count it).
+        _profiler.stop_profiling()
+        _profiler.drain_samples()
+        _profiler.start_profiling(env.profile_hz)
     return _metrics.registry().snapshot()
 
 
 def _worker_obs_end(
     before: _metrics.Snapshot, trace_on: bool
-) -> Tuple[Dict[str, float], Tuple[SpanRecord, ...]]:
-    """Finish worker-side observability: (metrics delta, span records)."""
+) -> Tuple[Dict[str, float], Tuple[SpanRecord, ...], Optional[Dict[str, int]]]:
+    """Finish worker-side observability: (metrics delta, spans, samples).
+
+    Stopping the profiler is unconditional (a no-op when it never
+    started), so a retried payload whose first attempt crashed mid-chunk
+    cannot leak a sampler thread into the next attempt.
+    """
     delta = _metrics.diff(before, _metrics.registry().snapshot())
     spans = tuple(_tracing.drain()) if trace_on else ()
-    return delta, spans
+    _profiler.stop_profiling()
+    samples = _profiler.drain_samples() or None
+    return delta, spans, samples
 
 
 def _checked_pair(
@@ -399,8 +431,8 @@ def _scan_pair_chunk(payload) -> _ChunkResult:
     _faults.fire("search.chunk", key=chunk_id, attempt=env.attempt)
     scan_dl = None if env.budget is None else Deadline(env.budget, label="scan")
     core = _chunk_scan_core(alphas, betas, startpos, end, scan_dl, env.pair_budget)
-    delta, spans = _worker_obs_end(before, env.trace_on)
-    return core._replace(metrics_delta=delta, spans=spans)
+    delta, spans, samples = _worker_obs_end(before, env.trace_on)
+    return core._replace(metrics_delta=delta, spans=spans, samples=samples)
 
 
 def _run_chunked_scan(
@@ -414,13 +446,16 @@ def _run_chunked_scan(
     mp_context,
     checkpoint: Optional[_checkpoint.ScanCheckpoint],
     checkpoint_key: Tuple[int, ...],
+    on_progress: Optional[Callable[[int, int, str], None]] = None,
 ) -> Tuple[Optional[int], int, int, int, int, bool]:
     """Drive the chunked (pool-backed, recoverable) pair-grid scan.
 
     Returns ``(witness_flat_index, pairs_tried, gadget_rejected,
     exact_checks, pair_timeouts, complete)``.  Chunks already present in
     the checkpoint are not re-run; newly completed (non-timed-out) chunks
-    are journaled as they arrive.
+    are journaled as they arrive.  ``on_progress`` (when given) is called
+    as ``(done_chunks, total_chunks, proc_label)`` — once up front with
+    the checkpoint-replayed count, then per settled chunk.
     """
     registry = _metrics.registry()
     results: Dict[int, _ChunkResult] = {}
@@ -443,6 +478,8 @@ def _run_chunked_scan(
             )
         else:
             pending.append(chunk_id)
+    if on_progress is not None:
+        on_progress(len(results), len(chunks), "")
 
     def make_payload(index: int, attempt: int):
         chunk_id = pending[index]
@@ -456,6 +493,10 @@ def _run_chunked_scan(
         registry.merge(result.metrics_delta)
         if result.spans:
             _tracing.absorb(result.spans)
+        if result.samples:
+            _profiler.absorb_samples(result.samples)
+        if on_progress is not None:
+            on_progress(len(results), len(chunks), f"w{chunk_id}")
         if checkpoint is not None and not result.timed_out:
             checkpoint.record(
                 checkpoint_key + (chunk_id,),
@@ -515,6 +556,7 @@ def search_dominance(
     mp_context=None,
     checkpoint: Optional[_checkpoint.ScanCheckpoint] = None,
     checkpoint_key: Tuple[int, ...] = (),
+    on_progress: Optional[Callable[[int, int, str], None]] = None,
 ) -> DominanceSearchResult:
     """Bounded exhaustive search for a witness of S₁ ⪯ S₂.
 
@@ -542,6 +584,10 @@ def search_dominance(
     pairs are counted in ``stats.pair_timeouts`` and left undecided.
     ``checkpoint`` (with ``checkpoint_key`` as a namespacing prefix)
     journals completed chunks for resume.
+
+    ``on_progress`` (when given) receives ``(done, total, proc_label)``
+    updates — per chunk on the chunked path, per pair on the sequential
+    one — sized for :class:`repro.obs.progress.ProgressReporter.update`.
     """
     from repro.core.obstructions import dominance_obstructions
 
@@ -599,9 +645,12 @@ def search_dominance(
                 ) = _run_chunked_scan(
                     alphas, betas, chunks, n_workers, scan_dl, pair_deadline,
                     retry_policy, mp_context, checkpoint, checkpoint_key,
+                    on_progress,
                 )
             elif total_pairs > 0:
                 with _span("search.scan"):
+                    if on_progress is not None:
+                        on_progress(0, total_pairs, "")
                     for flat in range(total_pairs):
                         _deadline.poll()
                         alpha = alphas[flat // len(betas)]
@@ -609,14 +658,16 @@ def search_dominance(
                         pairs_tried += 1
                         if quick_reject(alpha, beta):
                             gadget_rejected += 1
-                            continue
-                        exact_checks += 1
-                        hit, timed = _checked_pair(alpha, beta, pair_deadline)
-                        if timed:
-                            pair_timeouts += 1
-                            continue
-                        if hit:
-                            witness_flat = flat
+                        else:
+                            exact_checks += 1
+                            hit, timed = _checked_pair(alpha, beta, pair_deadline)
+                            if timed:
+                                pair_timeouts += 1
+                            elif hit:
+                                witness_flat = flat
+                        if on_progress is not None:
+                            on_progress(flat + 1, total_pairs, "")
+                        if witness_flat is not None:
                             break
         except DeadlineExceeded as exc:
             if scope is None or exc.deadline is not scope:
@@ -779,15 +830,18 @@ class _CellResult(NamedTuple):
     metrics_delta: Dict[str, float]
     spans: Tuple[SpanRecord, ...] = ()
     verdict: str = "ok"
+    samples: Optional[Dict[str, int]] = None
 
 
 def _absorb_cell_obs(results: Sequence[_CellResult]) -> None:
-    """Merge worker cell deltas and spans into the parent's registries."""
+    """Merge worker cell deltas, spans and samples into the parent's state."""
     registry = _metrics.registry()
     for result in results:
         registry.merge(result.metrics_delta)
         if result.spans:
             _tracing.absorb(result.spans)
+        if result.samples:
+            _profiler.absorb_samples(result.samples)
 
 
 def _equiv_cell_core(
@@ -824,8 +878,8 @@ def _dominance_cell(payload) -> _CellResult:
         s1, s2, max_atoms=max_atoms,
         per_relation_cap=per_relation_cap, mapping_cap=mapping_cap,
     ).found
-    delta, spans = _worker_obs_end(before, env.trace_on)
-    return _CellResult(i, j, False, found, delta, spans)
+    delta, spans, samples = _worker_obs_end(before, env.trace_on)
+    return _CellResult(i, j, False, found, delta, spans, samples=samples)
 
 
 def dominance_matrix(
@@ -868,6 +922,8 @@ def dominance_matrix(
             registry.merge(result.metrics_delta)
             if result.spans:
                 _tracing.absorb(result.spans)
+            if result.samples:
+                _profiler.absorb_samples(result.samples)
             matrix[result.i][result.j] = result.found
 
         def inline_cell(payload) -> _CellResult:
@@ -909,8 +965,8 @@ def _scan_cell(payload) -> _CellResult:
     isomorphic, found, verdict = _equiv_cell_core(
         s1, s2, max_atoms, per_relation_cap, mapping_cap, cell_dl, env.pair_budget
     )
-    delta, spans = _worker_obs_end(before, env.trace_on)
-    return _CellResult(i, j, isomorphic, found, delta, spans, verdict)
+    delta, spans, samples = _worker_obs_end(before, env.trace_on)
+    return _CellResult(i, j, isomorphic, found, delta, spans, verdict, samples)
 
 
 def scan_fingerprint(
@@ -949,6 +1005,7 @@ def theorem13_scan(
     retry_policy: Optional[RetryPolicy] = None,
     mp_context=None,
     checkpoint: Optional[_checkpoint.ScanCheckpoint] = None,
+    on_progress: Optional[Callable[[int, int, str], None]] = None,
 ) -> List[ScanRow]:
     """Scan all unordered pairs of ``schemas`` for Theorem 13's prediction.
 
@@ -983,12 +1040,25 @@ def theorem13_scan(
         else:
             pending.append(key)
 
-    def settle(key: Tuple[int, int], isomorphic: bool, found: bool, verdict: str) -> None:
+    def settle(
+        key: Tuple[int, int],
+        isomorphic: bool,
+        found: bool,
+        verdict: str,
+        proc: str = "",
+    ) -> None:
         rows_by_key[key] = ScanRow(key[0], key[1], isomorphic, found, verdict)
         if checkpoint is not None and verdict == "ok":
             checkpoint.record(
                 key, {"isomorphic": isomorphic, "found": found, "verdict": verdict}
             )
+        if on_progress is not None:
+            on_progress(len(rows_by_key), len(keys), proc)
+
+    if on_progress is not None:
+        # The first report carries the checkpoint-replayed count so a
+        # progress sink can separate resumed cells from fresh throughput.
+        on_progress(len(rows_by_key), len(keys), "")
 
     with _span("theorem13.scan"):
         if n_workers > 1 and len(pending) > 1:
@@ -1002,8 +1072,11 @@ def theorem13_scan(
                 registry.merge(result.metrics_delta)
                 if result.spans:
                     _tracing.absorb(result.spans)
+                if result.samples:
+                    _profiler.absorb_samples(result.samples)
                 settle((result.i, result.j), result.isomorphic,
-                       result.found, result.verdict)
+                       result.found, result.verdict,
+                       proc=f"w{result.i}_{result.j}")
                 # Parent-side hook: lets the fault-injection tests raise a
                 # KeyboardInterrupt between completed cells.
                 _faults.fire("scan.cell.done", key=f"{result.i},{result.j}")

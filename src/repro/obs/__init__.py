@@ -1,6 +1,6 @@
-"""Unified observability layer: tracing, metrics, structured event logs.
+"""Unified observability layer: tracing, metrics, events, and consumers.
 
-Four small, dependency-free modules (see ``docs/OBSERVABILITY.md``):
+The *production* half collects (see ``docs/OBSERVABILITY.md``):
 
 * :mod:`repro.obs.tracing` — hierarchical spans with deterministic ids
   and a global on/off switch that makes instrumentation free when off;
@@ -9,8 +9,19 @@ Four small, dependency-free modules (see ``docs/OBSERVABILITY.md``):
   :mod:`repro.utils.memo`, :mod:`repro.cq.indexing` and
   :mod:`repro.cq.homomorphism` report into);
 * :mod:`repro.obs.events` — versioned JSONL event schema + emitter;
+* :mod:`repro.obs.profiler` — sampling profiler attributing ticks to the
+  open span stack, sample tables merging across processes like metrics.
+
+The *consumption* half renders what was collected:
+
 * :mod:`repro.obs.summary` — fold a trace into a per-phase
-  self/cumulative time table.
+  self/cumulative time table;
+* :mod:`repro.obs.export` — lossless Chrome trace-event (Perfetto) and
+  Prometheus text exposition converters;
+* :mod:`repro.obs.dashboard` — a dependency-free self-contained HTML
+  report (flamegraph, pair-grid heatmap, tiles, incident timeline);
+* :mod:`repro.obs.progress` — a live terminal progress line (rate, ETA,
+  worker census) fed by the scan drivers' ``on_progress`` callbacks.
 
 This package sits *below* the cq/core/mappings layers: it imports nothing
 from them, so any module may instrument itself without import cycles.
@@ -47,13 +58,39 @@ from repro.obs.events import (
     read_trace,
     record_incident,
     retry_event,
+    spans_from_events,
     timeout_event,
     trace_events,
     validate_event,
+    validate_event_report,
     validate_line,
+    validate_line_report,
     write_trace,
 )
 from repro.obs.summary import PhaseRow, TraceSummary, fold, render
+from repro.obs.profiler import (
+    SamplingProfiler,
+    absorb_samples,
+    drain_samples,
+    profiling_hz,
+    samples_by_name,
+    start_profiling,
+    stop_profiling,
+)
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    spans_from_chrome,
+    write_chrome_trace,
+    write_prometheus,
+)
+from repro.obs.dashboard import (
+    render_dashboard,
+    verdict_counts,
+    verdict_summary_line,
+    write_dashboard,
+)
+from repro.obs.progress import ProgressReporter
 
 __all__ = [
     "Counter",
@@ -61,27 +98,40 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "PhaseRow",
+    "ProgressReporter",
     "SCHEMA_VERSION",
+    "SamplingProfiler",
     "SpanRecord",
     "TraceSummary",
     "Tracer",
     "absorb",
+    "absorb_samples",
     "cache_totals",
+    "chrome_trace",
     "current_span_id",
     "diff",
     "drain",
     "drain_incidents",
+    "drain_samples",
     "fault_event",
     "fold",
+    "profiling_hz",
+    "prometheus_text",
     "read_trace",
     "record_incident",
     "records",
     "registry",
     "render",
+    "render_dashboard",
     "retry_event",
+    "samples_by_name",
     "set_enabled",
     "span",
+    "spans_from_chrome",
+    "spans_from_events",
+    "start_profiling",
     "start_trace",
+    "stop_profiling",
     "sum_matching",
     "timeout_event",
     "trace_events",
@@ -89,6 +139,13 @@ __all__ = [
     "tracer",
     "tracing_enabled",
     "validate_event",
+    "validate_event_report",
     "validate_line",
+    "validate_line_report",
+    "verdict_counts",
+    "verdict_summary_line",
+    "write_chrome_trace",
+    "write_dashboard",
+    "write_prometheus",
     "write_trace",
 ]

@@ -1,0 +1,342 @@
+"""Self-contained HTML report for one run: flamegraph, grid, tiles, timeline.
+
+:func:`render_dashboard` turns the observability layer's in-memory data —
+span records, the metrics snapshot, verdict events, incident events and
+profiler samples — into a single dependency-free HTML string (inline CSS,
+no JavaScript, no external assets), so the file opens anywhere, attaches
+to CI runs as an artifact, and survives archiving byte-for-byte.
+
+Sections, in order:
+
+* **tiles** — headline health numbers: wall time, span/process counts,
+  cache hit rate and evictions, rows probed, matcher backtracks,
+  incident count, profiler coverage;
+* **pair grid** — the Theorem-13 scan as a heatmap, one cell per
+  unordered schema pair, colored by verdict (``ok``/``timeout``/
+  ``unknown``) and Theorem-13 consistency, with the exact verdict-count
+  line the CLI prints (:func:`verdict_summary_line`) above it — the
+  acceptance check asserts the two match byte-for-byte;
+* **flamegraph** — the span tree per process, spans positioned by start
+  offset and width by duration, profiler self-samples in the tooltip;
+* **incident timeline** — fault/retry/timeout events in record order;
+* **counters** — the full metrics snapshot, collapsed by default.
+
+Everything is computed from the same inputs the JSONL trace is written
+from, so the dashboard never disagrees with the trace.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.obs import metrics as _metrics
+from repro.obs import profiler as _profiler
+from repro.obs.summary import fold
+from repro.obs.tracing import SpanRecord
+
+Number = Union[int, float]
+
+#: Verdict strings in display order; every summary line names all three.
+VERDICTS = ("ok", "timeout", "unknown")
+
+_PALETTE = (
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759",
+    "#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+)
+
+_CSS = """
+body { font: 13px/1.45 system-ui, sans-serif; margin: 1.2em auto; max-width: 1100px;
+       color: #1a1a2e; background: #fafafa; padding: 0 1em; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.6em; }
+.tiles { display: flex; flex-wrap: wrap; gap: 8px; }
+.tile { background: #fff; border: 1px solid #ddd; border-radius: 6px;
+        padding: 8px 14px; min-width: 110px; }
+.tile .v { font-size: 1.25em; font-weight: 600; display: block; }
+.tile .k { color: #667; font-size: 0.85em; }
+pre.summary { background: #fff; border: 1px solid #ddd; border-radius: 6px;
+              padding: 6px 10px; display: inline-block; }
+table.grid { border-collapse: collapse; }
+table.grid td, table.grid th { border: 1px solid #ccc; width: 26px; height: 22px;
+                               text-align: center; font-size: 0.78em; }
+td.ok      { background: #b6e3b6; }
+td.viol    { background: #e88; font-weight: 700; }
+td.timeout { background: #ffd27f; }
+td.unknown { background: #d5d5d5; }
+td.blank   { background: #f4f4f4; border-color: #eee; }
+.proc { margin: 0.6em 0 1.1em; }
+.proc .label { color: #667; font-size: 0.85em; margin-bottom: 2px; }
+.flame { position: relative; background: #fff; border: 1px solid #ddd;
+         border-radius: 4px; overflow: hidden; }
+.flame .span { position: absolute; height: 16px; border-radius: 2px;
+               font-size: 0.72em; line-height: 16px; color: #fff;
+               overflow: hidden; white-space: nowrap; padding: 0 3px;
+               box-sizing: border-box; }
+table.list { border-collapse: collapse; width: 100%; background: #fff; }
+table.list td, table.list th { border: 1px solid #ddd; padding: 3px 8px;
+                               text-align: left; font-size: 0.88em; }
+details > summary { cursor: pointer; color: #345; }
+footer { margin-top: 2em; color: #889; font-size: 0.8em; }
+"""
+
+
+def verdict_counts(verdicts: Sequence[Mapping]) -> Dict[str, int]:
+    """Count ``search_verdict`` events per verdict string (missing = ok)."""
+    counts = {verdict: 0 for verdict in VERDICTS}
+    for event in verdicts:
+        verdict = event.get("verdict", "ok")
+        counts[verdict] = counts.get(verdict, 0) + 1
+    return counts
+
+
+def verdict_summary_line(verdicts: Sequence[Mapping]) -> str:
+    """The one-line verdict census both the CLI and the dashboard print.
+
+    The CLI report and the HTML embed this exact string, so the two can
+    be compared byte-for-byte.
+
+    >>> verdict_summary_line([{"found": False}, {"found": False, "verdict": "timeout"}])
+    'verdicts: ok=1 timeout=1 unknown=0'
+    """
+    counts = verdict_counts(verdicts)
+    return "verdicts: " + " ".join(
+        f"{verdict}={counts.get(verdict, 0)}" for verdict in VERDICTS
+    )
+
+
+def _color(name: str) -> str:
+    return _PALETTE[sum(name.encode()) % len(_PALETTE)]
+
+
+def _fmt(value: Number) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _tile(value: str, key: str) -> str:
+    return (
+        f'<div class="tile"><span class="v">{html.escape(value)}</span>'
+        f'<span class="k">{html.escape(key)}</span></div>'
+    )
+
+
+def _tiles_section(
+    records: Sequence[SpanRecord],
+    snapshot: Mapping[str, Number],
+    incidents: Sequence[Mapping],
+    samples: Mapping[str, int],
+) -> str:
+    summary = fold(records)
+    hits, misses, evictions = _metrics.cache_totals(snapshot)
+    looked_up = hits + misses
+    hit_rate = f"{100.0 * hits / looked_up:.1f}%" if looked_up else "n/a"
+    total_ticks = sum(samples.values())
+    idle_ticks = samples.get(_profiler.IDLE, 0)
+    coverage = (
+        f"{100.0 * (total_ticks - idle_ticks) / total_ticks:.1f}%"
+        if total_ticks
+        else "n/a"
+    )
+    tiles = [
+        _tile(f"{summary.wall_s:.3f}s", "wall time"),
+        _tile(str(len(records)), "spans"),
+        _tile(str(summary.processes), "processes"),
+        _tile(hit_rate, "cache hit rate"),
+        _tile(_fmt(evictions), "cache evictions"),
+        _tile(_fmt(snapshot.get("index.rows_probed", 0)), "rows probed"),
+        _tile(_fmt(snapshot.get("hom.backtracks", 0)), "backtracks"),
+        _tile(_fmt(snapshot.get("search.pairs_tried", 0)), "pairs tried"),
+        _tile(str(len(incidents)), "incidents"),
+    ]
+    if total_ticks:
+        tiles.append(_tile(f"{total_ticks} ({coverage})", "samples (attributed)"))
+    return '<div class="tiles">' + "".join(tiles) + "</div>"
+
+
+def _grid_cell(event: Optional[Mapping]) -> str:
+    if event is None:
+        return '<td class="blank"></td>'
+    verdict = event.get("verdict", "ok")
+    if verdict == "timeout":
+        css, text = "timeout", "t/o"
+    elif verdict == "unknown":
+        css, text = "unknown", "??"
+    elif event.get("consistent", True):
+        css, text = "ok", "&#10003;"
+    else:
+        css, text = "viol", "&#10007;"
+    tooltip = html.escape(
+        f"({event.get('i')}, {event.get('j')}) verdict={verdict} "
+        f"found={event.get('found')} isomorphic={event.get('isomorphic')}"
+    )
+    return f'<td class="{css}" title="{tooltip}">{text}</td>'
+
+
+def _grid_section(verdicts: Sequence[Mapping]) -> str:
+    line = html.escape(verdict_summary_line(verdicts))
+    parts = [f'<pre class="summary" id="verdict-summary">{line}</pre>']
+    cells = {
+        (event["i"], event["j"]): event
+        for event in verdicts
+        if event.get("i") is not None and event.get("j") is not None
+    }
+    if cells:
+        n = 1 + max(max(i, j) for i, j in cells)
+        rows = ['<table class="grid"><tr><th></th>'
+                + "".join(f"<th>{j}</th>" for j in range(n)) + "</tr>"]
+        for i in range(n):
+            row = [f"<tr><th>{i}</th>"]
+            for j in range(n):
+                row.append(_grid_cell(cells.get((i, j), cells.get((j, i)))))
+            row.append("</tr>")
+            rows.append("".join(row))
+        rows.append("</table>")
+        parts.append("".join(rows))
+    return "\n".join(parts)
+
+
+def _flame_spans(
+    records: Sequence[SpanRecord], samples: Mapping[str, int]
+) -> Tuple[str, int]:
+    """Absolutely-positioned span divs for one process; returns (html, depth)."""
+    by_parent: Dict[Optional[str], List[SpanRecord]] = {}
+    for record in records:
+        by_parent.setdefault(record.parent_id, []).append(record)
+    ids = {record.span_id for record in records}
+    # Roots: no parent, or a parent outside this process's record set
+    # (possible in stitched traces).
+    roots = [
+        record
+        for record in records
+        if record.parent_id is None or record.parent_id not in ids
+    ]
+    t0 = min((record.start for record in roots), default=0.0)
+    t1 = max((record.end for record in roots), default=1.0)
+    extent = max(t1 - t0, 1e-9)
+    divs: List[str] = []
+    max_depth = 0
+
+    def emit(record: SpanRecord, depth: int) -> None:
+        nonlocal max_depth
+        max_depth = max(max_depth, depth)
+        left = 100.0 * (record.start - t0) / extent
+        width = max(100.0 * record.duration / extent, 0.05)
+        ticks = samples.get(record.span_id, 0)
+        tip = f"{record.name} [{record.span_id}] {record.duration * 1e3:.3f}ms"
+        if ticks:
+            tip += f", self_samples={ticks}"
+        divs.append(
+            f'<div class="span" style="left:{left:.3f}%;width:{width:.3f}%;'
+            f"top:{depth * 18}px;background:{_color(record.name)}\" "
+            f'title="{html.escape(tip)}">{html.escape(record.name)}</div>'
+        )
+        for child in sorted(
+            by_parent.get(record.span_id, ()), key=lambda r: r.start
+        ):
+            emit(child, depth + 1)
+
+    for root in sorted(roots, key=lambda r: r.start):
+        emit(root, 0)
+    return "".join(divs), max_depth
+
+
+def _flame_section(
+    records: Sequence[SpanRecord], samples: Mapping[str, int]
+) -> str:
+    by_proc: Dict[str, List[SpanRecord]] = {}
+    for record in records:
+        by_proc.setdefault(record.proc, []).append(record)
+    parts: List[str] = []
+    for proc in sorted(by_proc):
+        divs, depth = _flame_spans(by_proc[proc], samples)
+        label = proc if proc else "main"
+        parts.append(
+            f'<div class="proc"><div class="label">{html.escape(label)}</div>'
+            f'<div class="flame" style="height:{(depth + 1) * 18}px">{divs}</div>'
+            "</div>"
+        )
+    return "\n".join(parts) if parts else "<p>no spans recorded</p>"
+
+
+def _incident_section(incidents: Sequence[Mapping]) -> str:
+    if not incidents:
+        return "<p>no incidents</p>"
+    rows = ["<table class=\"list\"><tr><th>#</th><th>type</th><th>details</th></tr>"]
+    for number, event in enumerate(incidents, start=1):
+        details = " ".join(
+            f"{key}={event[key]}"
+            for key in sorted(event)
+            if key not in ("v", "type")
+        )
+        rows.append(
+            f"<tr><td>{number}</td><td>{html.escape(str(event.get('type')))}</td>"
+            f"<td>{html.escape(details)}</td></tr>"
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _counters_section(snapshot: Mapping[str, Number]) -> str:
+    rows = ["<table class=\"list\"><tr><th>metric</th><th>value</th></tr>"]
+    for name in sorted(snapshot):
+        rows.append(
+            f"<tr><td>{html.escape(name)}</td><td>{_fmt(snapshot[name])}</td></tr>"
+        )
+    rows.append("</table>")
+    return (
+        "<details><summary>full metrics snapshot "
+        f"({len(snapshot)} counters)</summary>{''.join(rows)}</details>"
+    )
+
+
+def render_dashboard(
+    records: Sequence[SpanRecord],
+    metrics: Optional[Mapping[str, Number]] = None,
+    verdicts: Sequence[Mapping] = (),
+    incidents: Sequence[Mapping] = (),
+    samples: Optional[Mapping[str, int]] = None,
+    title: str = "repro run",
+) -> str:
+    """Render the full self-contained HTML report as a string."""
+    snapshot = dict(metrics or {})
+    samples = dict(samples or {})
+    sections = [
+        f"<h1>{html.escape(title)}</h1>",
+        _tiles_section(records, snapshot, incidents, samples),
+        "<h2>pair grid</h2>",
+        _grid_section(verdicts),
+        "<h2>flamegraph</h2>",
+        _flame_section(records, samples),
+        "<h2>incident timeline</h2>",
+        _incident_section(incidents),
+        "<h2>metrics</h2>",
+        _counters_section(snapshot),
+        "<footer>generated by repro.obs.dashboard — self-contained, no "
+        "external assets</footer>",
+    ]
+    body = "\n".join(sections)
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_CSS}</style></head>\n<body>\n{body}\n</body></html>\n"
+    )
+
+
+def write_dashboard(
+    path: Union[str, Path],
+    records: Sequence[SpanRecord],
+    metrics: Optional[Mapping[str, Number]] = None,
+    verdicts: Sequence[Mapping] = (),
+    incidents: Sequence[Mapping] = (),
+    samples: Optional[Mapping[str, int]] = None,
+    title: str = "repro run",
+) -> int:
+    """Write the HTML report; returns the byte length written."""
+    text = render_dashboard(
+        records, metrics, verdicts, incidents, samples, title=title
+    )
+    data = text.encode("utf-8")
+    Path(path).write_bytes(data)
+    return len(data)

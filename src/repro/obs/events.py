@@ -268,18 +268,30 @@ def _type_error(event_type: str, field: str, value: object, types: tuple) -> str
     )
 
 
-def validate_event(obj: object) -> List[str]:
-    """All schema violations of one decoded event (empty list = valid)."""
+def validate_event_report(
+    obj: object, *, lenient: bool = False
+) -> Tuple[List[str], List[str]]:
+    """Schema check of one decoded event: ``(errors, warnings)``.
+
+    In strict mode (the default) every violation is an error and the
+    warning list is always empty.  In *lenient* (forward-compatibility)
+    mode, a field that is neither required nor optional on a *known*
+    event type is reported as a warning instead of an error: a schema-v1
+    consumer then survives an additive producer — a newer emitter that
+    attached extra optional fields — while still rejecting missing or
+    mistyped required fields, unknown event types and version drift.
+    """
     errors: List[str] = []
+    warnings: List[str] = []
     if not isinstance(obj, dict):
-        return [f"event must be a JSON object, got {type(obj).__name__}"]
+        return [f"event must be a JSON object, got {type(obj).__name__}"], []
     version = obj.get("v")
     if version != SCHEMA_VERSION:
         errors.append(f"unsupported schema version {version!r} (expected {SCHEMA_VERSION})")
     event_type = obj.get("type")
     if event_type not in EVENT_TYPES:
         errors.append(f"unknown event type {event_type!r}")
-        return errors
+        return errors, warnings
     required, optional = EVENT_TYPES[event_type]
     for field, types in required.items():
         if field not in obj:
@@ -290,19 +302,37 @@ def validate_event(obj: object) -> List[str]:
         if field in ("v", "type"):
             continue
         if field not in required and field not in optional:
-            errors.append(f"{event_type}: unexpected field {field!r}")
+            message = f"{event_type}: unexpected field {field!r}"
+            if lenient:
+                warnings.append(message + " (tolerated: lenient mode)")
+            else:
+                errors.append(message)
         elif field in optional and not _type_ok(value, optional[field]):
             errors.append(_type_error(event_type, field, value, optional[field]))
+    return errors, warnings
+
+
+def validate_event(obj: object, *, lenient: bool = False) -> List[str]:
+    """All schema violations of one decoded event (empty list = valid)."""
+    errors, _warnings = validate_event_report(obj, lenient=lenient)
     return errors
 
 
-def validate_line(line: str) -> List[str]:
-    """Schema violations of one raw JSONL line (decode errors included)."""
+def validate_line_report(
+    line: str, *, lenient: bool = False
+) -> Tuple[List[str], List[str]]:
+    """``(errors, warnings)`` of one raw JSONL line (decode errors included)."""
     try:
         obj = json.loads(line)
     except json.JSONDecodeError as exc:
-        return [f"not valid JSON: {exc}"]
-    return validate_event(obj)
+        return [f"not valid JSON: {exc}"], []
+    return validate_event_report(obj, lenient=lenient)
+
+
+def validate_line(line: str, *, lenient: bool = False) -> List[str]:
+    """Schema violations of one raw JSONL line (decode errors included)."""
+    errors, _warnings = validate_line_report(line, lenient=lenient)
+    return errors
 
 
 def trace_events(
@@ -349,3 +379,60 @@ def read_trace(path: Union[str, Path]) -> List[dict]:
     """Parse a JSONL trace file back into event dicts (no validation)."""
     lines = Path(path).read_text(encoding="utf-8").splitlines()
     return [json.loads(line) for line in lines if line.strip()]
+
+
+def spans_from_events(events: Sequence[dict]) -> List[SpanRecord]:
+    """Reconstruct :class:`SpanRecord` tuples from span start/end events.
+
+    The inverse of :func:`span_events` over a whole event stream:
+    non-span events pass through untouched, and each ``span_end`` closes
+    the *most recent* unmatched ``span_start`` with the same id.  The
+    most-recent rule matters for *stitched* traces — a resumed scan's
+    trace concatenated from two journal segments repeats span ids
+    (each segment restarts at ``s0001``), and last-match pairing keeps
+    every segment's spans intact instead of crossing segment boundaries.
+    A repeated id gets a disambiguating suffix (``s0001#2``, counted per
+    process) and parent references resolve to the *open* span with that
+    id, so downstream consumers that key on span ids — the fold's
+    child-time accounting, the dashboard flamegraph, sample attribution —
+    see every segment's spans as distinct.  A single-segment trace round-
+    trips with its ids untouched.  Unmatched starts (a segment truncated
+    mid-span) and orphan ends are dropped.  Records are returned in
+    completion (``span_end``) order, matching a live tracer's record
+    order.
+    """
+    open_spans: Dict[Tuple[str, str], List[dict]] = {}
+    uses: Dict[Tuple[str, str], int] = {}
+    records: List[SpanRecord] = []
+    for event in events:
+        event_type = event.get("type")
+        if event_type == "span_start":
+            key = (event.get("proc", ""), event["id"])
+            uses[key] = uses.get(key, 0) + 1
+            unique = (
+                event["id"] if uses[key] == 1 else f"{event['id']}#{uses[key]}"
+            )
+            parent = event.get("parent")
+            if isinstance(parent, str):
+                parent_stack = open_spans.get((event.get("proc", ""), parent))
+                if parent_stack:
+                    parent = parent_stack[-1]["unique_id"]
+            open_spans.setdefault(key, []).append(
+                dict(event, unique_id=unique, resolved_parent=parent)
+            )
+        elif event_type == "span_end":
+            stack = open_spans.get((event.get("proc", ""), event["id"]))
+            if not stack:
+                continue
+            start = stack.pop()
+            records.append(
+                SpanRecord(
+                    start["unique_id"],
+                    start.get("resolved_parent"),
+                    event.get("name", start.get("name", "")),
+                    start["t"],
+                    event["t"],
+                    event.get("proc", ""),
+                )
+            )
+    return records

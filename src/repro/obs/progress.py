@@ -1,0 +1,148 @@
+"""Live terminal progress for long scans: rate, ETA, worker utilization.
+
+A :class:`ProgressReporter` is a sink for ``(done, total)`` updates from
+a scan driver (:mod:`repro.core.search` invokes its ``on_progress``
+callback as units settle — pair-grid chunks for a dominance search,
+cells for a Theorem-13 scan).  It renders a single self-overwriting
+status line (carriage return, no scrollback spam)::
+
+    scan 7/45 15.6% | 3.2/s | eta 11.9s | resumed 2 | w0:3 w1:2
+
+Properties:
+
+* **Resume-resilient.**  The first reported ``done`` value is the
+  baseline (e.g. cells replayed from a checkpoint journal): rate and ETA
+  are computed over units completed *this* run only, so a resumed scan
+  shows its true throughput instead of an inflated rate, and the
+  ``resumed N`` field makes the replayed portion explicit.
+* **Rate-limited.**  At most one line per ``min_interval`` seconds
+  (final updates always render), so tight loops do not flood a slow
+  terminal.
+* **Deterministic under test.**  The clock is injectable and rendering
+  is a pure function of reported state.
+
+Per-unit process labels (the ``proc`` argument) accumulate into a
+per-worker completion census, shown while it stays legible (at most
+:data:`MAX_WORKER_FIELDS` distinct labels) — with chunked scans, where
+each chunk is one worker's share, this is per-worker utilization.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, Optional, TextIO
+
+#: Most distinct worker labels rendered before the census is elided.
+MAX_WORKER_FIELDS = 8
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+class ProgressReporter:
+    """Renders scan progress as a single live status line.
+
+    ``update(done, total, proc)`` is shaped to match the scan drivers'
+    ``on_progress`` callback, so a reporter can be passed as
+    ``on_progress=reporter.update``.
+    """
+
+    def __init__(
+        self,
+        label: str = "scan",
+        stream: Optional[TextIO] = None,
+        min_interval: float = 0.1,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._clock = clock
+        self._start: Optional[float] = None
+        self._baseline: Optional[int] = None
+        self.done = 0
+        self.total = 0
+        self.per_proc: Dict[str, int] = {}
+        self._last_emit: Optional[float] = None
+        self._last_line_width = 0
+        self.updates = 0
+
+    def update(self, done: int, total: int, proc: str = "") -> None:
+        """Report absolute progress; renders unless rate-limited."""
+        now = self._clock()
+        if self._start is None:
+            # The scan drivers report once up front with the units already
+            # replayed from a checkpoint; that first value is the baseline.
+            self._start = now
+            self._baseline = done
+        self.done = done
+        self.total = total
+        self.updates += 1
+        if proc:
+            self.per_proc[proc] = self.per_proc.get(proc, 0) + 1
+        final = total > 0 and done >= total
+        if (
+            not final
+            and self._last_emit is not None
+            and now - self._last_emit < self.min_interval
+        ):
+            return
+        self._last_emit = now
+        self._emit(self.render(now))
+
+    def rate(self, now: Optional[float] = None) -> Optional[float]:
+        """Units per second completed this run (None before any progress)."""
+        if self._start is None or self._baseline is None:
+            return None
+        elapsed = (now if now is not None else self._clock()) - self._start
+        fresh = self.done - self._baseline
+        if elapsed <= 0 or fresh <= 0:
+            return None
+        return fresh / elapsed
+
+    def eta(self, now: Optional[float] = None) -> Optional[float]:
+        """Estimated seconds to completion (None while rate is unknown)."""
+        rate = self.rate(now)
+        if rate is None:
+            return None
+        return max(0, self.total - self.done) / rate
+
+    def render(self, now: Optional[float] = None) -> str:
+        """The current status line (no trailing newline)."""
+        parts = [f"{self.label} {self.done}/{self.total}"]
+        if self.total:
+            parts[0] += f" {100.0 * self.done / self.total:.1f}%"
+        rate = self.rate(now)
+        if rate is not None:
+            parts.append(f"{rate:.1f}/s")
+        eta = self.eta(now)
+        if eta is not None and self.done < self.total:
+            parts.append(f"eta {_format_eta(eta)}")
+        if self._baseline:
+            parts.append(f"resumed {self._baseline}")
+        if self.per_proc and len(self.per_proc) <= MAX_WORKER_FIELDS:
+            census = " ".join(
+                f"{proc}:{count}" for proc, count in sorted(self.per_proc.items())
+            )
+            parts.append(census)
+        return " | ".join(parts)
+
+    def _emit(self, line: str) -> None:
+        # Pad with spaces so a shorter line fully overwrites a longer one.
+        padding = " " * max(0, self._last_line_width - len(line))
+        self._last_line_width = len(line)
+        self.stream.write("\r" + line + padding)
+        self.stream.flush()
+
+    def finish(self) -> None:
+        """Render the final state and terminate the live line."""
+        if self._start is not None:
+            self._emit(self.render())
+            self.stream.write("\n")
+            self.stream.flush()

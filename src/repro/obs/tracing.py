@@ -105,11 +105,14 @@ class Tracer:
             self._next = 1
             self._epoch = time.perf_counter()
             self._local = threading.local()
+            self._open_stacks: Dict[int, List[Tuple[str, str, float]]] = {}
 
     def _stack(self) -> List[Tuple[str, str, float]]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+            with self._lock:
+                self._open_stacks[threading.get_ident()] = stack
         return stack
 
     def _new_id(self) -> str:
@@ -142,6 +145,26 @@ class Tracer:
         """The id of this thread's innermost open span, if any."""
         stack = self._stack()
         return stack[-1][0] if stack else None
+
+    def open_leaves(self) -> List[Tuple[str, str]]:
+        """The innermost open ``(span_id, name)`` of every thread.
+
+        This is the sampling profiler's view (:mod:`repro.obs.profiler`):
+        a sampler thread calls it at each tick and attributes the tick to
+        the spans it returns.  Reading a stack another thread is pushing
+        to is GIL-safe (list append/pop are atomic); a pop racing the
+        read at worst loses that single sample.
+        """
+        with self._lock:
+            stacks = list(self._open_stacks.values())
+        leaves: List[Tuple[str, str]] = []
+        for stack in stacks:
+            try:
+                span_id, name, _start = stack[-1]
+            except IndexError:
+                continue
+            leaves.append((span_id, name))
+        return leaves
 
     def records(self) -> List[SpanRecord]:
         """All finished spans so far, in completion order."""

@@ -1,0 +1,97 @@
+"""Unit tests for the HTML report (:mod:`repro.obs.dashboard`)."""
+
+from repro.obs.dashboard import (
+    render_dashboard,
+    verdict_counts,
+    verdict_summary_line,
+    write_dashboard,
+)
+from repro.obs.events import retry_event, timeout_event, verdict_event
+from repro.obs.tracing import SpanRecord
+
+
+def _record(span_id="s0001", parent=None, name="root", start=0.0, end=1.0, proc=""):
+    return SpanRecord(span_id, parent, name, start, end, proc)
+
+
+RECORDS = [
+    _record("s0001", None, "scan", 0.0, 1.0),
+    _record("s0002", "s0001", "pair", 0.2, 0.6),
+    _record("w0:s0001", None, "chunk", 0.0, 0.5, proc="w0"),
+]
+VERDICTS = [
+    verdict_event(found=True, i=0, j=0, isomorphic=True, consistent=True),
+    verdict_event(found=False, i=0, j=1, isomorphic=False, consistent=True,
+                  verdict="timeout"),
+    verdict_event(found=False, i=1, j=1, isomorphic=False, consistent=True,
+                  verdict="unknown"),
+]
+
+
+def test_verdict_counts_default_ok():
+    counts = verdict_counts(VERDICTS)
+    assert counts == {"ok": 1, "timeout": 1, "unknown": 1}
+    assert verdict_counts([]) == {"ok": 0, "timeout": 0, "unknown": 0}
+
+
+def test_verdict_summary_line_format():
+    assert verdict_summary_line(VERDICTS) == "verdicts: ok=1 timeout=1 unknown=1"
+    assert verdict_summary_line([]) == "verdicts: ok=0 timeout=0 unknown=0"
+
+
+def test_dashboard_is_self_contained_html():
+    text = render_dashboard(RECORDS, verdicts=VERDICTS, title="t13 run")
+    assert text.startswith("<!DOCTYPE html>")
+    assert "<title>t13 run</title>" in text
+    # No external assets: self-contained means no src/href references out.
+    assert "http://" not in text and "https://" not in text
+    assert "<script" not in text
+
+
+def test_dashboard_embeds_exact_verdict_summary_line():
+    text = render_dashboard(RECORDS, verdicts=VERDICTS)
+    assert verdict_summary_line(VERDICTS) in text
+    assert 'id="verdict-summary"' in text
+
+
+def test_pair_grid_colors_by_verdict():
+    text = render_dashboard(RECORDS, verdicts=VERDICTS)
+    assert 'class="ok"' in text
+    assert 'class="timeout"' in text
+    assert 'class="unknown"' in text
+    # Symmetric closure: cell (1, 0) falls back to the (0, 1) event.
+    assert text.count('class="timeout"') == 2
+
+
+def test_pair_grid_marks_theorem13_violations():
+    violation = [verdict_event(found=True, i=0, j=1, isomorphic=False,
+                               consistent=False)]
+    assert 'class="viol"' in render_dashboard([], verdicts=violation)
+
+
+def test_flamegraph_has_one_lane_per_process_and_sample_tooltips():
+    text = render_dashboard(RECORDS, samples={"s0002": 9})
+    assert '<div class="label">main</div>' in text
+    assert '<div class="label">w0</div>' in text
+    assert "self_samples=9" in text
+
+
+def test_incident_timeline_lists_events_in_order():
+    incidents = [retry_event(3, 1, "crash"), timeout_event("pair", i=0, j=1)]
+    text = render_dashboard([], incidents=incidents)
+    assert text.index(">retry<") < text.index(">timeout<")
+    assert "no incidents" not in text
+    assert "no incidents" in render_dashboard([])
+
+
+def test_metrics_snapshot_collapsed_by_default():
+    text = render_dashboard([], metrics={"cache.evaluate.hits": 5})
+    assert "<details>" in text
+    assert "cache.evaluate.hits" in text
+
+
+def test_write_dashboard_returns_byte_length(tmp_path):
+    path = tmp_path / "report.html"
+    size = write_dashboard(path, RECORDS, verdicts=VERDICTS)
+    assert size == len(path.read_bytes())
+    assert size > 0

@@ -141,3 +141,75 @@ def test_every_schema_type_has_an_emitter_example():
     assert set(by_type) == set(events.EVENT_TYPES)
     for event in by_type.values():
         assert validate_event(event) == []
+
+
+def test_lenient_demotes_unknown_optional_field_to_warning():
+    event = counter_event("x", 1)
+    event["surprise"] = 7
+    # Strict: an error.  Lenient: a warning, not an error.
+    assert validate_event(event) != []
+    assert events.validate_event(event, lenient=True) == []
+    errors, warnings = events.validate_event_report(event, lenient=True)
+    assert errors == []
+    assert any("surprise" in w for w in warnings)
+
+
+def test_lenient_still_rejects_real_violations():
+    event = counter_event("x", 1)
+    del event["value"]
+    event["extra"] = "fine"
+    errors, warnings = events.validate_event_report(event, lenient=True)
+    assert any("missing required field 'value'" in e for e in errors)
+    assert any("extra" in w for w in warnings)
+    # Unknown types and bad field types stay errors even in lenient mode.
+    assert events.validate_event(
+        {"v": SCHEMA_VERSION, "type": "mystery"}, lenient=True
+    ) != []
+    bad = counter_event("x", 1)
+    bad["value"] = "nan"
+    assert events.validate_event(bad, lenient=True) != []
+
+
+def test_validate_line_lenient_path():
+    event = counter_event("x", 1)
+    event["annotation"] = "v1.1 emitter"
+    line = json.dumps(event)
+    assert events.validate_line(line) != []
+    assert events.validate_line(line, lenient=True) == []
+    errors, warnings = events.validate_line_report(line, lenient=True)
+    assert errors == [] and warnings != []
+
+
+def test_spans_from_events_round_trips_a_trace():
+    records = [
+        _record("s0002", "s0001", "child", 0.2, 0.8),
+        _record("s0001", None, "root", 0.0, 1.0),
+        _record("w0:s0001", None, "work", 0.0, 0.3, proc="w0"),
+    ]
+    recovered = events.spans_from_events(trace_events(records))
+    # Completion (span_end) order within each proc; same record contents.
+    assert sorted(recovered) == sorted(records)
+
+
+def test_spans_from_events_stitched_segments_repeat_ids():
+    # A resumed scan's trace: two journal segments concatenated, each
+    # restarting span ids at s0001.
+    segment1 = trace_events([_record("s0001", None, "scan", 0.0, 1.0)])
+    segment2 = trace_events([_record("s0001", None, "scan", 0.0, 2.0)])
+    recovered = events.spans_from_events(segment1 + segment2)
+    assert len(recovered) == 2
+    assert [r.end for r in recovered] == [1.0, 2.0]
+    # The repeated id is disambiguated so consumers keying on span ids
+    # (fold, flamegraph, sample attribution) see two distinct spans.
+    assert [r.span_id for r in recovered] == ["s0001", "s0001#2"]
+
+
+def test_spans_from_events_drops_unmatched_and_orphans():
+    stream = [
+        {"v": SCHEMA_VERSION, "type": "span_start", "id": "s0001",
+         "name": "truncated", "parent": None, "t": 0.0, "proc": ""},
+        {"v": SCHEMA_VERSION, "type": "span_end", "id": "zzz",
+         "name": "orphan", "t": 1.0, "dur": 1.0, "proc": ""},
+        counter_event("x", 1),
+    ]
+    assert events.spans_from_events(stream) == []

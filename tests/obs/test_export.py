@@ -1,0 +1,113 @@
+"""Unit tests for the Chrome/Prometheus exporters (:mod:`repro.obs.export`)."""
+
+import json
+
+from repro.obs.events import timeout_event, verdict_event
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    prometheus_name,
+    prometheus_text,
+    spans_from_chrome,
+    write_chrome_trace,
+    write_prometheus,
+)
+from repro.obs.tracing import SpanRecord
+
+
+def _record(span_id="s0001", parent=None, name="root", start=0.0, end=1.0, proc=""):
+    return SpanRecord(span_id, parent, name, start, end, proc)
+
+
+RECORDS = [
+    _record("s0001", None, "scan", 0.0, 1.0),
+    _record("s0002", "s0001", "pair", 0.25, 0.5),
+    _record("w0:s0001", None, "chunk", 0.0, 0.75, proc="w0"),
+]
+
+
+def test_span_events_are_complete_events_in_microseconds():
+    events = chrome_trace_events(RECORDS)
+    spans = [e for e in events if e.get("cat") == "span"]
+    assert all(e["ph"] == "X" for e in spans)
+    pair = next(e for e in spans if e["name"] == "pair")
+    assert pair["ts"] == 250000.0 and pair["dur"] == 250000.0
+    assert pair["args"] == {"id": "s0002", "parent": "s0001"}
+
+
+def test_processes_become_named_swimlanes():
+    events = chrome_trace_events(RECORDS)
+    meta = {
+        e["pid"]: e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert meta == {0: "main", 1: "w0"}
+    chunk = next(e for e in events if e.get("name") == "chunk")
+    assert chunk["pid"] == 1
+
+
+def test_samples_ride_in_span_args():
+    events = chrome_trace_events(RECORDS, samples={"s0002": 7, "stray": 3})
+    pair = next(e for e in events if e.get("name") == "pair")
+    assert pair["args"]["self_samples"] == 7
+    scan = next(e for e in events if e.get("name") == "scan")
+    assert "self_samples" not in scan["args"]
+
+
+def test_incidents_and_verdicts_become_instants_counters_ride_along():
+    events = chrome_trace_events(
+        RECORDS,
+        counters={"cache.hits": 12},
+        verdicts=[verdict_event(found=True)],
+        incidents=[timeout_event("pair", i=0, j=1)],
+    )
+    instants = [e for e in events if e["ph"] == "i"]
+    assert [e["cat"] for e in instants] == ["incident", "verdict"]
+    assert instants[0]["args"]["type"] == "timeout"
+    # Instants are spread out past the trace end, not stacked.
+    assert instants[0]["ts"] < instants[1]["ts"]
+    counter = next(e for e in events if e["ph"] == "C")
+    assert counter["name"] == "cache.hits" and counter["args"]["value"] == 12
+
+
+def test_round_trip_is_lossless():
+    trace = chrome_trace(RECORDS, samples={"s0001": 2})
+    assert spans_from_chrome(trace) == sorted(
+        RECORDS, key=lambda r: (0 if r.proc == "" else 1, r.start, r.end)
+    )
+
+
+def test_write_chrome_trace_is_valid_json(tmp_path):
+    path = tmp_path / "out.trace.json"
+    count = write_chrome_trace(path, RECORDS, verdicts=[verdict_event(found=False)])
+    trace = json.loads(path.read_text())
+    assert len(trace["traceEvents"]) == count
+    assert trace["displayTimeUnit"] == "ms"
+    assert spans_from_chrome(trace) == spans_from_chrome(chrome_trace(RECORDS))
+
+
+def test_prometheus_name_sanitizes():
+    assert prometheus_name("cache.evaluate.hits") == "repro_cache_evaluate_hits"
+    assert prometheus_name("0weird-name") == "repro__0weird_name"
+
+
+def test_prometheus_text_exposition_format():
+    text = prometheus_text(
+        {"cache.hits": 3, "cache.misses": 1}, gauges={"pool.size": 2.5}
+    )
+    lines = text.splitlines()
+    # HELP/TYPE/value triples, name-sorted, counters before gauges.
+    assert lines[0] == "# HELP repro_cache_hits repro metric `cache.hits`"
+    assert lines[1] == "# TYPE repro_cache_hits counter"
+    assert lines[2] == "repro_cache_hits 3"
+    assert "# TYPE repro_pool_size gauge" in lines
+    assert text.endswith("\n")
+    assert prometheus_text({}) == ""
+
+
+def test_write_prometheus_counts_metrics(tmp_path):
+    path = tmp_path / "metrics.prom"
+    count = write_prometheus(path, {"a.b": 1}, gauges={"c.d": 2})
+    assert count == 2
+    assert path.read_text().count("# TYPE") == 2

@@ -1,0 +1,104 @@
+"""Unit tests for the sampling profiler (:mod:`repro.obs.profiler`)."""
+
+import pytest
+
+from repro.obs import profiler, tracing
+from repro.obs.profiler import (
+    IDLE,
+    SamplingProfiler,
+    absorb_samples,
+    attach_samples,
+    drain_samples,
+    profiling_hz,
+    samples_by_name,
+    start_profiling,
+    stop_profiling,
+)
+from repro.obs.tracing import SpanRecord
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    tracing.set_enabled(True)
+    tracing.start_trace()
+    profiler.drain_samples()
+    yield
+    profiler.stop_profiling()
+    profiler.drain_samples()
+    tracing.set_enabled(False)
+
+
+def test_rejects_non_positive_rate():
+    with pytest.raises(ValueError):
+        SamplingProfiler(hz=0)
+    with pytest.raises(ValueError):
+        SamplingProfiler(hz=-5)
+
+
+def test_sample_once_attributes_to_innermost_open_span():
+    sampler = SamplingProfiler(hz=1000)
+    with tracing.span("outer"):
+        with tracing.span("inner"):
+            sampler.sample_once()
+    table = sampler.stop()
+    assert sampler.ticks == 1
+    # Only the innermost span is charged (self attribution).
+    assert list(table.values()) == [1]
+    (span_id,) = table
+    assert span_id != IDLE
+
+
+def test_sample_once_idle_without_open_spans():
+    sampler = SamplingProfiler(hz=1000)
+    sampler.sample_once()
+    assert sampler.stop() == {IDLE: 1}
+
+
+def test_thread_samples_a_long_span():
+    sampler = SamplingProfiler(hz=500).start()
+    assert sampler.running
+    import time
+
+    with tracing.span("busy"):
+        time.sleep(0.05)
+    table = sampler.stop()
+    assert not sampler.running
+    assert sampler.ticks >= 1
+    assert sum(table.values()) == sampler.ticks
+
+
+def test_module_level_lifecycle_and_hz():
+    assert profiling_hz() is None
+    start_profiling(250)
+    assert profiling_hz() == 250.0
+    collected = stop_profiling()
+    assert profiling_hz() is None
+    # Stopped samples joined the global table.
+    total = sum(drain_samples().values())
+    assert total == sum(collected.values())
+    assert stop_profiling() == {}  # idempotent
+
+
+def test_absorb_adds_like_metric_deltas():
+    absorb_samples({"s0001": 2, "w0:s0001": 3})
+    absorb_samples({"s0001": 1, "zero": 0})
+    table = drain_samples()
+    assert table == {"s0001": 3, "w0:s0001": 3}
+    assert drain_samples() == {}
+
+
+def test_attach_samples_preserves_stray_ticks_as_idle():
+    records = [SpanRecord("s0001", None, "root", 0.0, 1.0, "")]
+    attached = attach_samples(records, {"s0001": 4, "gone": 2, IDLE: 1})
+    assert attached == {"s0001": 4, IDLE: 3}
+    # Totals reconcile: nothing is silently dropped.
+    assert sum(attached.values()) == 7
+
+
+def test_samples_by_name_aggregates_phases():
+    records = [
+        SpanRecord("s0001", None, "scan", 0.0, 1.0, ""),
+        SpanRecord("w0:s0001", None, "scan", 0.0, 1.0, "w0"),
+    ]
+    by_name = samples_by_name(records, {"s0001": 2, "w0:s0001": 3, "x": 1})
+    assert by_name == {"scan": 5, IDLE: 1}

@@ -1,0 +1,100 @@
+"""Unit tests for the live progress line (:mod:`repro.obs.progress`)."""
+
+import io
+
+from repro.obs.progress import MAX_WORKER_FIELDS, ProgressReporter
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _reporter(min_interval=0.0):
+    clock = _Clock()
+    stream = io.StringIO()
+    reporter = ProgressReporter(
+        label="scan", stream=stream, min_interval=min_interval, clock=clock
+    )
+    return reporter, clock, stream
+
+
+def test_update_shape_matches_on_progress_callback():
+    reporter, clock, _ = _reporter()
+    # (done, total, proc) — the exact signature the scan drivers call.
+    reporter.update(0, 10, "")
+    clock.now = 1.0
+    reporter.update(4, 10, "w0")
+    assert reporter.done == 4 and reporter.total == 10
+    assert reporter.rate() == 4.0
+    assert reporter.eta() == 1.5
+
+
+def test_first_report_is_resume_baseline():
+    reporter, clock, _ = _reporter()
+    # A resumed scan reports the checkpoint-replayed count up front.
+    reporter.update(6, 10, "")
+    clock.now = 2.0
+    reporter.update(8, 10, "")
+    # Rate covers only this run's 2 fresh units, not the 6 replayed ones.
+    assert reporter.rate() == 1.0
+    assert "resumed 6" in reporter.render()
+
+
+def test_fully_resumed_scan_renders_without_rate():
+    reporter, _, stream = _reporter()
+    reporter.update(3, 3, "")
+    reporter.finish()
+    line = stream.getvalue()
+    assert "scan 3/3 100.0%" in line
+    assert "resumed 3" in line
+    assert "/s" not in line  # no fresh units → no rate claim
+
+
+def test_rate_limiting_skips_intermediate_renders():
+    reporter, clock, stream = _reporter(min_interval=10.0)
+    reporter.update(0, 5, "")
+    clock.now = 0.1
+    reporter.update(1, 5, "")  # suppressed: within min_interval
+    assert stream.getvalue().count("\r") == 1
+    clock.now = 0.2
+    reporter.update(5, 5, "")  # final update always renders
+    assert stream.getvalue().count("\r") == 2
+    assert reporter.updates == 3
+
+
+def test_worker_census_rendered_and_elided():
+    reporter, _, _ = _reporter()
+    reporter.update(0, 100, "")
+    for i in range(MAX_WORKER_FIELDS):
+        reporter.update(i + 1, 100, f"w{i}")
+    line = reporter.render()
+    assert "w0:1" in line and f"w{MAX_WORKER_FIELDS - 1}:1" in line
+    # One label past the limit elides the census entirely.
+    reporter.update(MAX_WORKER_FIELDS + 1, 100, "wX")
+    assert "w0:1" not in reporter.render()
+
+
+def test_shorter_line_overwrites_longer_one():
+    reporter, _, stream = _reporter()
+    reporter._emit("a long status line")
+    reporter._emit("short")
+    last = stream.getvalue().rsplit("\r", 1)[1]
+    # Padding spaces blank out the previous, longer line.
+    assert last == "short" + " " * (len("a long status line") - len("short"))
+
+
+def test_finish_terminates_the_line():
+    reporter, _, stream = _reporter()
+    reporter.update(1, 1, "")
+    reporter.finish()
+    assert stream.getvalue().endswith("\n")
+
+
+def test_finish_without_updates_is_silent():
+    reporter, _, stream = _reporter()
+    reporter.finish()
+    assert stream.getvalue() == ""

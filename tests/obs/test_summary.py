@@ -103,3 +103,63 @@ def test_render_multi_process_labels_cpu_total():
     text = render(records)
     assert "TOTAL (cpu)" in text
     assert "across 2 processes" in text
+
+
+def test_fold_of_incident_interleaved_trace():
+    # A full event stream — spans interleaved with fault/retry/timeout
+    # incidents — folds identically to the bare span records: incidents
+    # pass through spans_from_events untouched and fold ignores them.
+    from repro.obs.events import (
+        fault_event,
+        retry_event,
+        spans_from_events,
+        timeout_event,
+        trace_events,
+    )
+
+    records = [
+        _record("s0002", "s0001", "pair", 1.0, 3.0),
+        _record("s0001", None, "scan", 0.0, 4.0),
+    ]
+    incidents = [
+        fault_event("scan.cell", "kill", key="0,1", attempt=0),
+        retry_event(1, 2, "crash", delay=0.01),
+        timeout_event("pair", i=0, j=1, seconds=0.5),
+    ]
+    stream = trace_events(records, counters={"x": 1}, incidents=incidents)
+    summary = fold(spans_from_events(stream))
+    assert summary == fold(records)
+    assert summary.wall_s == pytest.approx(4.0)
+    by_name = {row.name: row for row in summary.rows}
+    assert by_name["scan"].self_s == pytest.approx(2.0)
+    assert by_name["pair"].self_s == pytest.approx(2.0)
+
+
+def test_fold_of_stitched_resumed_scan_trace():
+    # A resumed scan: segment 1 ends mid-run (timeout incident recorded),
+    # segment 2 restarts span ids at s0001.  Stitching the journals and
+    # folding must aggregate both segments' phases instead of crossing
+    # segment boundaries or dropping the repeated ids.
+    from repro.obs.events import spans_from_events, timeout_event, trace_events
+
+    segment1 = trace_events(
+        [
+            _record("s0002", "s0001", "pair", 0.5, 1.5),
+            _record("s0001", None, "scan", 0.0, 2.0),
+        ],
+        incidents=[timeout_event("scan", seconds=2.0)],
+    )
+    segment2 = trace_events(
+        [
+            _record("s0002", "s0001", "pair", 0.25, 0.75),
+            _record("s0001", None, "scan", 0.0, 1.0),
+        ],
+    )
+    summary = fold(spans_from_events(segment1 + segment2))
+    scan = next(row for row in summary.rows if row.name == "scan")
+    pair = next(row for row in summary.rows if row.name == "pair")
+    assert scan.calls == 2 and pair.calls == 2
+    assert pair.cumulative_s == pytest.approx(1.5)
+    assert scan.self_s == pytest.approx(1.5)
+    # Self times still tile: each segment's root covers its own children.
+    assert summary.total_self_s == pytest.approx(3.0)

@@ -1,0 +1,33 @@
+"""Loader for the repo's ``scripts/`` (not a package; imported by path)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS_DIR = Path(__file__).resolve().parent.parent.parent / "scripts"
+
+
+def load_script(name: str):
+    """Import ``scripts/<name>.py`` as a module (cached per session)."""
+    qualified = f"_repro_scripts_{name}"
+    if qualified in sys.modules:
+        return sys.modules[qualified]
+    spec = importlib.util.spec_from_file_location(
+        qualified, SCRIPTS_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[qualified] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="session")
+def validate_trace():
+    return load_script("validate_trace")
+
+
+@pytest.fixture(scope="session")
+def bench_history():
+    return load_script("bench_history")

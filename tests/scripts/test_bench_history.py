@@ -1,0 +1,158 @@
+"""Tests for the continuous-benchmark gate (``scripts/bench_history.py``)."""
+
+import json
+
+import pytest
+
+
+def _report(e1_optimized=0.5, e1_baseline=5.0, mode="full", **extra_workloads):
+    workloads = {
+        "e1_theorem13_scan": {
+            "baseline_s": e1_baseline,
+            "optimized_s": e1_optimized,
+            "verdicts_equal": True,
+        }
+    }
+    workloads.update(extra_workloads)
+    return {
+        "timestamp": "2026-08-06T00:00:00",
+        "python": "3.x",
+        "machine": "test",
+        "mode": mode,
+        "workloads": workloads,
+    }
+
+
+@pytest.fixture
+def paths(tmp_path):
+    bench = tmp_path / "BENCH_perf.json"
+    history = tmp_path / "BENCH_history.jsonl"
+    return bench, history
+
+
+def _run(bench_history, bench, history, report, *extra):
+    bench.write_text(json.dumps(report))
+    return bench_history.main(
+        ["--bench", str(bench), "--history", str(history), *extra]
+    )
+
+
+def test_first_run_is_non_blocking_and_appends(bench_history, paths, capsys):
+    bench, history = paths
+    assert _run(bench_history, bench, history, _report()) == 0
+    out = capsys.readouterr().out
+    assert "non-blocking" in out
+    entries = [json.loads(l) for l in history.read_text().splitlines()]
+    assert len(entries) == 1
+    assert entries[0]["ratios"]["e1_theorem13_scan"] == pytest.approx(0.1)
+    assert entries[0]["mode"] == "full"
+
+
+def test_unchanged_rerun_passes_and_appends(bench_history, paths):
+    bench, history = paths
+    assert _run(bench_history, bench, history, _report()) == 0
+    assert _run(bench_history, bench, history, _report()) == 0
+    assert len(history.read_text().splitlines()) == 2
+
+
+def test_2x_slowdown_is_flagged_without_appending(bench_history, paths, capsys):
+    bench, history = paths
+    assert _run(bench_history, bench, history, _report(e1_optimized=0.5)) == 0
+    capsys.readouterr()
+    # Injected 2× slowdown: ratio doubles, exceeding median × 1.5.
+    assert _run(bench_history, bench, history, _report(e1_optimized=1.0)) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION full/e1_theorem13_scan" in out
+    assert "history NOT updated" in out
+    assert len(history.read_text().splitlines()) == 1
+
+
+def test_machine_drift_cancels_in_the_ratio(bench_history, paths):
+    bench, history = paths
+    assert _run(bench_history, bench, history, _report(0.5, 5.0)) == 0
+    # A 3× slower machine scales both modes; the gate must not fire.
+    assert _run(bench_history, bench, history, _report(1.5, 15.0)) == 0
+
+
+def test_median_is_robust_to_one_noisy_entry(bench_history, paths):
+    bench, history = paths
+    for optimized in (0.5, 0.5, 2.0, 0.5, 0.5):  # one outlier
+        _run(bench_history, bench, history, _report(e1_optimized=optimized))
+    # Median of the window is 0.1; a matching run passes despite the spike.
+    assert _run(bench_history, bench, history, _report(e1_optimized=0.5)) == 0
+
+
+def test_modes_are_gated_separately(bench_history, paths, capsys):
+    bench, history = paths
+    assert _run(bench_history, bench, history, _report(mode="full")) == 0
+    capsys.readouterr()
+    # First smoke entry: no comparable history → non-blocking even though
+    # a (non-comparable) full entry exists.
+    code = _run(
+        bench_history, bench, history,
+        _report(e1_optimized=5.0, e1_baseline=5.0, mode="smoke"),
+    )
+    assert code == 0
+    assert "non-blocking" in capsys.readouterr().out
+
+
+def test_new_workload_has_nothing_to_gate_against(bench_history, paths):
+    bench, history = paths
+    assert _run(bench_history, bench, history, _report()) == 0
+    report = _report(
+        e2_new={"baseline_s": 1.0, "optimized_s": 99.0, "verdicts_equal": True}
+    )
+    assert _run(bench_history, bench, history, report) == 0
+
+
+def test_dry_run_does_not_append(bench_history, paths):
+    bench, history = paths
+    assert _run(bench_history, bench, history, _report(), "--dry-run") == 0
+    assert not history.exists()
+
+
+def test_threshold_flag_tightens_the_gate(bench_history, paths):
+    bench, history = paths
+    assert _run(bench_history, bench, history, _report(e1_optimized=0.5)) == 0
+    assert _run(
+        bench_history, bench, history, _report(e1_optimized=0.6),
+        "--threshold", "1.1",
+    ) == 1
+
+
+def test_malformed_history_lines_are_skipped(bench_history, paths, capsys):
+    bench, history = paths
+    history.write_text("{not json\n" + json.dumps({"mode": "full"}) + "\n")
+    assert _run(bench_history, bench, history, _report()) == 0
+    out = capsys.readouterr().out
+    assert out.count("skipping") == 2
+
+
+def test_unusable_report_exits_2(bench_history, paths, capsys):
+    bench, history = paths
+    assert bench_history.main(
+        ["--bench", str(bench), "--history", str(history)]
+    ) == 2
+    capsys.readouterr()
+    bench.write_text("{}")
+    assert bench_history.main(
+        ["--bench", str(bench), "--history", str(history)]
+    ) == 2
+
+
+def test_repo_seed_history_matches_bench_report(bench_history):
+    # The committed history's latest full entry must be derivable from the
+    # committed BENCH_perf.json, so the gate's baseline is reproducible.
+    from pathlib import Path
+
+    root = Path(bench_history.__file__).resolve().parent.parent
+    report = json.loads((root / "BENCH_perf.json").read_text())
+    entries = [
+        json.loads(line)
+        for line in (root / "BENCH_history.jsonl").read_text().splitlines()
+        if line.strip()
+    ]
+    assert entries, "seed history must not be empty"
+    latest_full = [e for e in entries if e["mode"] == "full"][-1]
+    derived = bench_history.entry_from_report(report)
+    assert latest_full["ratios"] == derived["ratios"]

@@ -1,0 +1,119 @@
+"""Tests for the hardened trace checker (``scripts/validate_trace.py``)."""
+
+import json
+
+from repro.obs.events import counter_event, span_events, write_trace
+from repro.obs.tracing import SpanRecord
+
+
+def _span(span_id="s0001", parent=None, name="root", start=0.0, end=1.0, proc=""):
+    return SpanRecord(span_id, parent, name, start, end, proc)
+
+
+def _write(tmp_path, events, name="trace.jsonl"):
+    path = tmp_path / name
+    path.write_text("\n".join(json.dumps(e) for e in events) + "\n")
+    return path
+
+
+def test_valid_trace_passes_with_census(tmp_path, capsys, validate_trace):
+    path = tmp_path / "ok.jsonl"
+    write_trace(path, [_span(), _span("s0002", "s0001", "child", 0.2, 0.8)],
+                counters={"cache.hits": 1})
+    assert validate_trace.main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "ok: 5 event(s)" in out
+    assert "counter=1" in out and "span_start=2" in out and "span_end=2" in out
+
+
+def test_schema_violation_is_line_numbered(tmp_path, capsys, validate_trace):
+    bad = counter_event("x", 1)
+    del bad["value"]
+    path = _write(tmp_path, [counter_event("ok", 1), bad])
+    assert validate_trace.main([str(path)]) == 1
+    out = capsys.readouterr().out
+    assert f"{path}:2:" in out
+    assert "FAIL" in out
+
+
+def test_orphan_span_end_is_a_violation(tmp_path, capsys, validate_trace):
+    _, end = span_events(_span())
+    path = _write(tmp_path, [end])
+    assert validate_trace.main([str(path)]) == 1
+    assert "no matching span_start" in capsys.readouterr().out
+
+
+def test_unmatched_span_start_is_a_violation(tmp_path, capsys, validate_trace):
+    start, _ = span_events(_span())
+    path = _write(tmp_path, [start])
+    assert validate_trace.main([str(path)]) == 1
+    assert "never ends" in capsys.readouterr().out
+
+
+def test_child_before_parent_is_a_violation(tmp_path, capsys, validate_trace):
+    parent_start, parent_end = span_events(_span("s0001", None, "root", 0.0, 1.0))
+    child_start, child_end = span_events(
+        _span("s0002", "s0001", "child", 0.2, 0.8)
+    )
+    # Child starts before its parent: ordering violation.
+    path = _write(
+        tmp_path, [child_start, parent_start, child_end, parent_end]
+    )
+    assert validate_trace.main([str(path)]) == 1
+    assert "parent must start first" in capsys.readouterr().out
+
+
+def test_stitched_trace_with_repeated_ids_is_valid(tmp_path, validate_trace):
+    # Two complete journal segments concatenated: ids repeat, nesting holds.
+    events = []
+    for _segment in range(2):
+        start, end = span_events(_span())
+        events += [start, end]
+    path = _write(tmp_path, events)
+    assert validate_trace.main([str(path)]) == 0
+
+
+def test_workers_pair_independently_per_proc(tmp_path, validate_trace):
+    main_start, main_end = span_events(_span("s0001", None, "scan", 0.0, 1.0))
+    w_start, w_end = span_events(
+        _span("w0:s0001", None, "chunk", 0.0, 0.5, proc="w0")
+    )
+    path = _write(tmp_path, [main_start, w_start, w_end, main_end])
+    assert validate_trace.main([str(path)]) == 0
+
+
+def test_lenient_flag_demotes_unknown_fields(tmp_path, capsys, validate_trace):
+    event = counter_event("x", 1)
+    event["annotation"] = "from a v1.1 emitter"
+    path = _write(tmp_path, [event])
+    # Strict: fail.  Lenient: pass with a printed warning.
+    assert validate_trace.main([str(path)]) == 1
+    capsys.readouterr()
+    assert validate_trace.main(["--lenient", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "warning:" in out and "annotation" in out
+    assert "1 warning(s)" in out
+
+
+def test_empty_trace_fails(tmp_path, capsys, validate_trace):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert validate_trace.main([str(path)]) == 1
+    assert "empty trace" in capsys.readouterr().out
+
+
+def test_unreadable_file_exits_2(tmp_path, validate_trace):
+    assert validate_trace.main([str(tmp_path / "missing.jsonl")]) == 2
+
+
+def test_real_cli_trace_validates(tmp_path, validate_trace):
+    from repro.cli import main as cli_main
+
+    trace = tmp_path / "t13.jsonl"
+    assert cli_main(
+        ["theorem13", "--max-arity", "1", "--max-atoms", "1",
+         "--trace", str(trace)]
+    ) == 0
+    assert validate_trace.main([str(trace)]) == 0
+    # Invariant under event-schema strictness too.
+    assert validate_trace.main(["--lenient", str(trace)]) == 0

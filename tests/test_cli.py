@@ -443,3 +443,125 @@ def test_python_dash_m_entry_point(schema_files):
     )
     assert completed.returncode == 0
     assert "equivalent" in completed.stdout
+
+
+def test_theorem13_prints_verdict_summary_line(capsys):
+    code = main(["theorem13", "--max-arity", "1", "--max-atoms", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "verdicts: ok=1 timeout=0 unknown=0" in out
+
+
+def test_theorem13_html_report_byte_matches_cli_verdict_line(tmp_path, capsys):
+    report = tmp_path / "out.html"
+    code = main(
+        ["theorem13", "--max-arity", "2", "--max-atoms", "1",
+         "--html-report", str(report)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert f"html report written to {report}" in out
+    cli_line = next(
+        line for line in out.splitlines() if line.startswith("verdicts: ")
+    )
+    html = report.read_text()
+    # The acceptance contract: the dashboard embeds the CLI's verdict
+    # census byte-for-byte.
+    assert cli_line in html
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<script" not in html
+
+
+def test_theorem13_chrome_trace_is_loadable_and_lossless(tmp_path, capsys):
+    import json
+
+    from repro.obs.export import spans_from_chrome
+
+    trace_path = tmp_path / "out.trace.json"
+    code = main(
+        ["theorem13", "--max-arity", "1", "--max-atoms", "1",
+         "--export-chrome-trace", str(trace_path)]
+    )
+    assert code == 0
+    assert f"chrome trace written to {trace_path}" in capsys.readouterr().out
+    trace = json.loads(trace_path.read_text())
+    assert trace["displayTimeUnit"] == "ms"
+    spans = spans_from_chrome(trace)
+    assert {record.name for record in spans} >= {"theorem13", "theorem13.scan"}
+    phases = {e["ph"] for e in trace["traceEvents"]}
+    assert "X" in phases and "M" in phases
+
+
+def test_theorem13_profile_hz_reports_samples(tmp_path, capsys):
+    code = main(
+        ["theorem13", "--max-arity", "2", "--max-atoms", "1",
+         "--profile-hz", "997"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "profiler:" in out and "at 997 Hz" in out
+
+
+def test_theorem13_prometheus_out(tmp_path, capsys):
+    prom = tmp_path / "metrics.prom"
+    code = main(
+        ["theorem13", "--max-arity", "1", "--max-atoms", "1",
+         "--prometheus-out", str(prom)]
+    )
+    assert code == 0
+    assert f"prometheus metrics written to {prom}" in capsys.readouterr().out
+    text = prom.read_text()
+    assert "# TYPE repro_" in text
+    # Lossless: the dotted original name rides in the HELP line.
+    assert "repro metric `" in text
+
+
+def test_theorem13_progress_line_on_stderr(capsys):
+    code = main(
+        ["theorem13", "--max-arity", "2", "--max-atoms", "1", "--progress"]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "scan 6/6 100.0%" in captured.err
+    assert "scan" not in captured.out.splitlines()[0]
+
+
+def test_metrics_json_includes_incidents_and_pair_timeouts(schema_files, tmp_path, capsys):
+    import json
+
+    metrics_file = tmp_path / "metrics.json"
+    code = main(
+        [
+            "search",
+            schema_files["a"],
+            schema_files["b"],
+            "--max-atoms",
+            "1",
+            "--metrics-json",
+            str(metrics_file),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(metrics_file.read_text())
+    # The enriched shape: schema version, metrics, incident census,
+    # pair-timeout total — regression-pinned here.
+    assert set(payload) == {"v", "metrics", "incidents", "pair_timeouts"}
+    assert payload["incidents"] == {"total": 0, "by_type": {}}
+    assert payload["pair_timeouts"] == 0
+    assert any(name.startswith("cache.") for name in payload["metrics"])
+
+
+def test_metrics_json_counts_pair_timeouts(tmp_path, capsys):
+    import json
+
+    metrics_file = tmp_path / "metrics.json"
+    code = main(
+        ["theorem13", "--max-arity", "2", "--max-atoms", "2",
+         "--pair-deadline", "0.0000001",
+         "--metrics-json", str(metrics_file)]
+    )
+    out = capsys.readouterr().out
+    assert code == 3  # undecided pairs → inconclusive exit
+    payload = json.loads(metrics_file.read_text())
+    assert payload["pair_timeouts"] > 0
+    assert "unknown" in out
