@@ -31,6 +31,20 @@ Two observability hooks ride along (PR 3):
   ``PROFILER_OVERHEAD_TOLERANCE`` (5%) over the traced-but-unsampled
   time.  Full mode only; a violation fails the run.
 
+The backend subsystem (PR 6) adds three more checks:
+
+* **backend sweep** — the optimized E1 scan is re-timed once per
+  registered evaluation backend (``naive``/``indexed``/``bitset``/
+  ``auto``); every sweep entry must reproduce the reference verdicts
+  (``backends.<name>.verdicts_equal``), and any mismatch fails the run.
+* **evaluate-phase floor** — ``evaluate_self_s`` (summed self-time of
+  the ``evaluate.<backend>`` span family) must be at least
+  ``EVALUATE_SPEEDUP_FLOOR`` (2×) faster than the previous report's
+  (``pr5_evaluate_self_s``, carried forward).  Full mode only.
+* **E6 speedup floor** — the e6_containment speedup must be ≥ 1.0
+  (the small-relation scan fast path; best-of extra repeats keeps the
+  ~3 ms runs out of noise).  Full mode only.
+
 For cross-session regression tracking, feed the resulting
 ``BENCH_perf.json`` to ``scripts/bench_history.py``, which appends to
 ``BENCH_history.jsonl`` and fails on a statistically significant
@@ -49,6 +63,7 @@ from pathlib import Path
 
 from repro import obs
 from repro.core import theorem13_scan
+from repro.cq import backends as _backends
 from repro.cq import homomorphism
 from repro.cq.chase import chase_egds, egds_of_schema, satisfies_egds
 from repro.cq.homomorphism import is_contained_in
@@ -65,6 +80,14 @@ OBS_OVERHEAD_TOLERANCE = 0.05
 # is needed: both runs execute back to back on the same machine.
 PROFILER_OVERHEAD_TOLERANCE = 0.05
 PROFILE_HZ = 97.0
+
+# Every registered evaluation backend is timed on the E1 scan and must
+# reproduce the reference verdicts exactly.
+BACKEND_SWEEP = ("naive", "indexed", "bitset", "auto")
+
+# The E6 containment runs are ~3 ms each; best-of this many extra
+# repeats keeps the speedup assertion out of scheduler-noise territory.
+E6_REPEAT_BOOST = 5
 
 
 def _set_mode(optimized: bool) -> None:
@@ -180,6 +203,41 @@ def _phase_profile(run, repeats: int = 1) -> dict:
     }
 
 
+def _evaluate_self_s(phases: dict) -> float:
+    """Total self-time of the evaluate phase across all backends.
+
+    The dispatcher names its spans ``evaluate.<backend>`` (the plain
+    ``evaluate`` name covers pre-backend reports), so the E1 "evaluate
+    phase" is the sum over that family.
+    """
+    return sum(
+        row["self_s"]
+        for name, row in phases.items()
+        if name == "evaluate" or name.startswith("evaluate.")
+    )
+
+
+def _backend_sweep(run, reference_result, repeats: int) -> dict:
+    """Time the workload once per backend; all must match the reference.
+
+    Runs with caches/indexes on (the production configuration) so the
+    sweep isolates the backend choice itself.
+    """
+    results = {}
+    previous = _backends.set_default_backend("auto")
+    try:
+        for name in BACKEND_SWEEP:
+            _backends.set_default_backend(name)
+            result, elapsed = _timed(run, repeats)
+            results[name] = {
+                "optimized_s": round(elapsed, 4),
+                "verdicts_equal": result == reference_result,
+            }
+    finally:
+        _backends.set_default_backend(previous)
+    return results
+
+
 def _profiler_overhead(run, repeats: int, traced_s: float) -> dict:
     """Best-of-``repeats`` run with the sampler on; overhead vs traced run.
 
@@ -219,6 +277,8 @@ def _profiler_overhead(run, repeats: int, traced_s: float) -> dict:
 def bench_one(name: str, smoke: bool, repeats: int, profile: bool = False) -> dict:
     build = WORKLOADS[name]
     run, run_parallel = build(smoke)
+    if name == "e6_containment":
+        repeats = max(repeats * E6_REPEAT_BOOST, E6_REPEAT_BOOST)
 
     _set_mode(optimized=False)
     baseline_result, baseline_s = _timed(run, repeats)
@@ -237,7 +297,11 @@ def bench_one(name: str, smoke: bool, repeats: int, profile: bool = False) -> di
         record["optimized_2workers_s"] = round(parallel_s, 4)
         record["parallel_verdicts_equal"] = parallel_result == optimized_result
     if profile:
+        record["backends"] = _backend_sweep(run, optimized_result, repeats)
         record.update(_phase_profile(run, repeats))
+        record["evaluate_self_s"] = round(
+            _evaluate_self_s(record["phases"]), 4
+        )
         record["profiler_overhead"] = _profiler_overhead(
             run, repeats, record["optimized_traced_s"]
         )
@@ -263,6 +327,50 @@ def _prior_e1_times(out_path: Path) -> tuple:
         float(optimized) if optimized is not None else None,
         float(baseline) if baseline is not None else None,
     )
+
+
+def _prior_evaluate_self_s(out_path: Path):
+    """The E1 evaluate-phase self-time of the previous report, if any.
+
+    ``pr5_evaluate_self_s`` is carried forward once recorded; the first
+    post-backend run falls back to the flat ``evaluate`` phase row the
+    pre-backend harness wrote.
+    """
+    try:
+        prior = json.loads(out_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    e1 = prior.get("workloads", {}).get("e1_theorem13_scan", {})
+    carried = e1.get("pr5_evaluate_self_s")
+    if carried is not None:
+        return float(carried)
+    phases = e1.get("phases", {})
+    if phases:
+        total = _evaluate_self_s(phases)
+        if total:
+            return total
+    return None
+
+
+# The backend-dispatched evaluate phase must be at least this much
+# faster than the pre-backend evaluate phase (ISSUE acceptance: ≥ 2×).
+EVALUATE_SPEEDUP_FLOOR = 2.0
+
+
+def _evaluate_guard(e1: dict, prior_self_s) -> bool:
+    """Record the evaluate-phase speedup vs the prior report; True = ok."""
+    if prior_self_s is None:
+        e1["evaluate_speedup"] = {"skipped": "no prior evaluate self-time"}
+        return True
+    current = e1.get("evaluate_self_s") or 0.0
+    speedup = (prior_self_s / current) if current else float("inf")
+    e1["pr5_evaluate_self_s"] = round(prior_self_s, 4)
+    e1["evaluate_speedup"] = {
+        "vs_prior": round(speedup, 2),
+        "floor": EVALUATE_SPEEDUP_FLOOR,
+        "within_floor": speedup >= EVALUATE_SPEEDUP_FLOOR,
+    }
+    return speedup >= EVALUATE_SPEEDUP_FLOOR
 
 
 def _overhead_guard(e1: dict, pr1_optimized_s, pr1_seed_baseline_s) -> bool:
@@ -317,6 +425,7 @@ def main() -> int:
         out = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
     out = Path(out)
     pr1_optimized_s, pr1_seed_baseline_s = _prior_e1_times(out)
+    prior_evaluate_self_s = _prior_evaluate_self_s(out)
 
     results = {}
     for name in WORKLOADS:
@@ -328,9 +437,13 @@ def main() -> int:
         print(f"  {results[name]}", flush=True)
 
     overhead_ok = True
+    evaluate_ok = True
     if not args.smoke:
         overhead_ok = _overhead_guard(
             results["e1_theorem13_scan"], pr1_optimized_s, pr1_seed_baseline_s
+        )
+        evaluate_ok = _evaluate_guard(
+            results["e1_theorem13_scan"], prior_evaluate_self_s
         )
 
     report = {
@@ -351,9 +464,25 @@ def main() -> int:
     if failures:
         print(f"VERDICT MISMATCH in: {failures}")
         return 1
+    backend_mismatch = [
+        name
+        for name, r in results["e1_theorem13_scan"].get("backends", {}).items()
+        if not r["verdicts_equal"]
+    ]
+    if backend_mismatch:
+        print(f"BACKEND VERDICT MISMATCH in: {backend_mismatch}")
+        return 1
+    e6_speedup = results["e6_containment"]["speedup"]
+    if not args.smoke and (e6_speedup is None or e6_speedup < 1.0):
+        print(f"E6 SPEEDUP below 1.0: {e6_speedup}")
+        return 1
     if not overhead_ok:
         overhead = results["e1_theorem13_scan"]["obs_overhead"]
         print(f"OBSERVABILITY OVERHEAD above tolerance: {overhead}")
+        return 1
+    if not evaluate_ok:
+        speedup = results["e1_theorem13_scan"]["evaluate_speedup"]
+        print(f"EVALUATE PHASE SPEEDUP below floor: {speedup}")
         return 1
     sampler = results["e1_theorem13_scan"].get("profiler_overhead", {})
     if not args.smoke and not sampler.get("within_tolerance", True):

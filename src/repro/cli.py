@@ -17,6 +17,11 @@ in the syntax of :mod:`repro.cq.parser`.
 * ``theorem13 [--types T,U] [--max-relations N] [--max-arity N]`` — scan a
   whole keyed-schema universe for Theorem 13's prediction (experiment E1).
 
+``contains``, ``search`` and ``theorem13`` take ``--backend NAME`` to pin
+the conjunctive-query evaluation backend (``auto``/``naive``/``indexed``/
+``bitset``, see docs/PERFORMANCE.md); ``$REPRO_BACKEND`` sets the same
+default from the environment.
+
 ``search`` and ``theorem13`` share the observability flags
 (``docs/OBSERVABILITY.md``): ``--trace FILE.jsonl`` writes a structured
 span/counter/verdict event log, ``--metrics-json FILE`` dumps the metrics
@@ -133,7 +138,7 @@ def _cmd_repair(args: argparse.Namespace) -> int:
 
 
 def _apply_perf_flags(args: argparse.Namespace) -> None:
-    """Honour the cache/index A/B toggles shared by several commands."""
+    """Honour the cache/index/backend toggles shared by several commands."""
     if getattr(args, "no_cache", False):
         from repro.utils import memo
 
@@ -142,6 +147,21 @@ def _apply_perf_flags(args: argparse.Namespace) -> None:
         from repro.cq.homomorphism import set_indexing
 
         set_indexing(False)
+    if getattr(args, "backend", None):
+        from repro.cq import backends
+
+        backends.set_default_backend(args.backend)
+
+
+def _add_backend_flag(p: argparse.ArgumentParser) -> None:
+    """The evaluation-backend selector shared by several commands."""
+    p.add_argument(
+        "--backend", choices=("auto", "naive", "indexed", "bitset"),
+        default=None, metavar="NAME",
+        help="evaluation backend: auto (Yannakakis-over-bitsets for "
+        "acyclic queries, indexed joins otherwise), naive, indexed, or "
+        "bitset; overrides $REPRO_BACKEND (default: auto)",
+    )
 
 
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
@@ -269,6 +289,42 @@ def _incident_census(incidents) -> dict:
     return {"total": len(incidents), "by_type": by_type}
 
 
+def _hypergraph_census(snapshot) -> dict:
+    """Hypergraph-statistics summary for --metrics-json.
+
+    Derived from the plan-compiler counters/histograms
+    (``hypergraph.*``, see docs/OBSERVABILITY.md): how many query plans
+    were compiled, what fraction were α-acyclic, mean body atom count,
+    and mean join-tree depth over the acyclic plans.
+    """
+
+    def mean(prefix: str) -> float:
+        count = snapshot.get(f"{prefix}.count", 0)
+        return (snapshot.get(f"{prefix}.total", 0) / count) if count else 0.0
+
+    compiled = int(snapshot.get("hypergraph.plans.compiled", 0))
+    acyclic = int(snapshot.get("hypergraph.plans.acyclic", 0))
+    return {
+        "plans_compiled": compiled,
+        "plans_acyclic": acyclic,
+        "acyclic_fraction": (acyclic / compiled) if compiled else 0.0,
+        "mean_atoms": mean("hypergraph.atoms"),
+        "mean_join_tree_depth": mean("hypergraph.join_tree_depth"),
+        "routed_acyclic": int(snapshot.get("hypergraph.route.acyclic", 0)),
+        "routed_cyclic": int(snapshot.get("hypergraph.route.cyclic", 0)),
+    }
+
+
+def _backend_census(snapshot) -> dict:
+    """Per-backend evaluate dispatch counts for --metrics-json."""
+    prefix = "backend.dispatch."
+    return {
+        name[len(prefix):]: int(value)
+        for name, value in sorted(snapshot.items())
+        if name.startswith(prefix)
+    }
+
+
 def _obs_end(args: argparse.Namespace, verdicts=()) -> None:
     """Emit the requested trace / metrics / profile / dashboard outputs."""
     import json
@@ -290,6 +346,8 @@ def _obs_end(args: argparse.Namespace, verdicts=()) -> None:
                 int(snapshot.get("resilience.timeouts.pair", 0))
                 - getattr(args, "_pair_timeouts_before", 0)
             ),
+            "hypergraph": _hypergraph_census(snapshot),
+            "backends": _backend_census(snapshot),
         }
         Path(args.metrics_json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"metrics written to {args.metrics_json}")
@@ -584,6 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-index", action="store_true", help="disable indexed homomorphism matching"
     )
+    _add_backend_flag(p)
     p.set_defaults(fn=_cmd_contains)
 
     p = sub.add_parser("minimize", help="minimise a conjunctive query")
@@ -622,6 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-index", action="store_true", help="disable indexed homomorphism matching"
     )
+    _add_backend_flag(p)
     _add_obs_flags(p)
     _add_resilience_flags(p)
     p.set_defaults(fn=_cmd_search)
@@ -651,6 +711,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-index", action="store_true", help="disable indexed homomorphism matching"
     )
+    _add_backend_flag(p)
     _add_obs_flags(p)
     _add_resilience_flags(p)
     p.set_defaults(fn=_cmd_theorem13)

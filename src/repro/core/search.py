@@ -47,6 +47,7 @@ from typing import (
 )
 
 from repro.core.counterexample import quick_reject
+from repro.cq import backends as _backends
 from repro.errors import DeadlineExceeded, MappingError
 from repro.mappings.dominance import DominancePair
 from repro.mappings.identity import composes_to_identity
@@ -252,6 +253,7 @@ class _WorkerEnv(NamedTuple):
     budget: Optional[float] = None
     pair_budget: Optional[float] = None
     profile_hz: Optional[float] = None
+    backend: str = "auto"
 
 
 def _worker_env(
@@ -270,6 +272,7 @@ def _worker_env(
         None if scan_deadline is None else scan_deadline.remaining(),
         pair_budget,
         _profiler.profiling_hz(),
+        _backends.default_backend_name(),
     )
 
 
@@ -308,6 +311,7 @@ def _worker_obs_begin(env: _WorkerEnv) -> _metrics.Snapshot:
     """
     memo.set_enabled(env.cache_on)
     set_indexing(env.index_on)
+    _backends.set_default_backend(env.backend)
     if env.trace_on:
         _tracing.set_enabled(True)
         _tracing.start_trace(proc=env.proc)

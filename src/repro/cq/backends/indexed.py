@@ -1,0 +1,90 @@
+"""The pipelined hash-join backend (the historical production path).
+
+This is the evaluator that used to live inline in
+:mod:`repro.cq.evaluation`, extracted behind the :class:`Backend`
+protocol and sped up by the shared plan cache: atom ordering, position
+classification and head-slot mapping now come precompiled from
+:func:`repro.cq.backends.plan.compile_plan`, so a call only touches
+rows — filter each atom's relation once, index it on the step's bound
+positions, and probe with the surviving binding tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cq.backends.base import Backend
+from repro.cq.backends.plan import JoinStep, compile_plan
+from repro.cq.syntax import ConjunctiveQuery
+from repro.relational.domain import Value
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.schema import RelationSchema
+
+
+def _join_step(
+    bindings: List[Tuple[Value, ...]],
+    step: JoinStep,
+    instance: DatabaseInstance,
+) -> List[Tuple[Value, ...]]:
+    """Hash-join one precompiled step into the binding relation."""
+    relation = instance.relation(step.relation)
+    index: Dict[Tuple[Value, ...], List[Tuple[Value, ...]]] = {}
+    const_positions = step.const_positions
+    repeat_positions = step.repeat_positions
+    bound_positions = step.bound_positions
+    free_positions = step.free_positions
+    for row in relation:
+        if any(row[i] != value for i, value in const_positions):
+            continue
+        if any(row[i] != row[j] for i, j in repeat_positions):
+            continue
+        key = tuple(row[i] for i, _ in bound_positions)
+        extras = tuple(row[i] for i in free_positions)
+        index.setdefault(key, []).append(extras)
+
+    slots = [slot for _, slot in bound_positions]
+    result: List[Tuple[Value, ...]] = []
+    append = result.append
+    for binding in bindings:
+        key = tuple(binding[slot] for slot in slots)
+        for extras in index.get(key, ()):
+            append(binding + extras)
+    return result
+
+
+class IndexedBackend(Backend):
+    """Greedy-ordered hash joins over flat binding tuples."""
+
+    name = "indexed"
+
+    def evaluate(
+        self,
+        query: ConjunctiveQuery,
+        instance: DatabaseInstance,
+        view_schema: RelationSchema,
+    ) -> RelationInstance:
+        plan = compile_plan(query)
+        if plan.inconsistent:
+            return RelationInstance(view_schema)
+        bindings: List[Tuple[Value, ...]] = [()]
+        for step in plan.steps:
+            bindings = _join_step(bindings, step, instance)
+            if not bindings:
+                return RelationInstance(view_schema)
+        head_slots = plan.head_slots
+        rows = {
+            tuple(
+                payload if is_const else binding[payload]  # type: ignore[index]
+                for is_const, payload in head_slots
+            )
+            for binding in bindings
+        }
+        return RelationInstance(view_schema, rows)
+
+    def cost_estimate(
+        self, query: ConjunctiveQuery, instance: DatabaseInstance
+    ) -> float:
+        # One filtered pass per atom plus index probes ~ linear in input.
+        return float(
+            sum(len(instance.relation(a.relation)) for a in query.body) or 1
+        )

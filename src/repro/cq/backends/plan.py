@@ -1,0 +1,235 @@
+"""Compiled query plans shared by the evaluation backends.
+
+Every backend starts from the same per-query analysis: rewrite to the
+equality-free general form, classify each atom position (constant /
+repeat / first variable occurrence), pick a greedy join order, map head
+terms to binding slots, and — for the acyclic router and the bitset
+backend — build a GYO join tree.  None of that depends on the instance,
+yet the old evaluator re-derived all of it on every call.  This module
+compiles it once per query into an immutable :class:`EvalPlan` held in a
+bounded memo, so the per-call work of a backend is reduced to touching
+actual rows.
+
+Plan compilation also feeds the hypergraph statistics surfaced by
+``--metrics-json`` and the dashboard: each compiled plan observes its
+atom count and join-tree depth into the process-wide metrics registry
+(``hypergraph.*``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.cq.equality import substitute_representatives
+from repro.cq.hypergraph import join_tree, join_tree_depth
+from repro.cq.syntax import Atom, ConjunctiveQuery, Constant, Variable
+from repro.errors import EvaluationError
+from repro.obs import metrics as _metrics
+from repro.relational.domain import Value
+from repro.utils import memo
+
+_PLAN_MEMO = memo.memo("eval-plan", maxsize=8192)
+
+_registry = _metrics.registry()
+_plans_compiled = _registry.counter("hypergraph.plans.compiled")
+_plans_acyclic = _registry.counter("hypergraph.plans.acyclic")
+_atoms_hist = _registry.histogram("hypergraph.atoms")
+_depth_hist = _registry.histogram("hypergraph.join_tree_depth")
+
+
+class AtomPlan(NamedTuple):
+    """One rewritten body atom, positions pre-classified (body order)."""
+
+    relation: str
+    const_positions: Tuple[Tuple[int, Value], ...]
+    repeat_positions: Tuple[Tuple[int, int], ...]
+    var_positions: Tuple[int, ...]
+    variables: Tuple[Variable, ...]
+
+
+class JoinStep(NamedTuple):
+    """One hash-join step of the pipelined (greedy-order) plan.
+
+    ``bound_positions`` pairs a row position with the binding-tuple slot
+    it must agree with; ``free_positions`` are appended to the binding in
+    order, extending the slot map exactly as compilation predicted.
+    """
+
+    relation: str
+    const_positions: Tuple[Tuple[int, Value], ...]
+    bound_positions: Tuple[Tuple[int, int], ...]
+    repeat_positions: Tuple[Tuple[int, int], ...]
+    free_positions: Tuple[int, ...]
+
+
+class EvalPlan(NamedTuple):
+    """Everything instance-independent about evaluating one query.
+
+    ``head_slots`` maps each head term to a constant or a binding slot of
+    the pipelined plan; ``slot_variables`` inverts the slot map (slot →
+    variable) for backends whose join phase orders columns differently.
+    """
+
+    inconsistent: bool
+    atoms: Tuple[AtomPlan, ...]
+    order: Tuple[int, ...]
+    steps: Tuple[JoinStep, ...]
+    head_slots: Tuple[Tuple[bool, object], ...]
+    slot_variables: Tuple[Variable, ...]
+    links: Optional[Tuple[Tuple[int, int], ...]]
+    depth: int
+
+    @property
+    def acyclic(self) -> bool:
+        """True iff a join tree exists (consistent α-acyclic body)."""
+        return self.links is not None
+
+
+def order_atom_indices(body: Sequence[Atom]) -> List[int]:
+    """Greedy join order as indices into ``body``.
+
+    Start small, prefer atoms sharing already-bound variables — the same
+    heuristic the pre-backend evaluator used, kept bit-for-bit so plans
+    reproduce its join order exactly.
+    """
+    remaining = list(range(len(body)))
+    ordered: List[int] = []
+    bound: set = set()
+    while remaining:
+
+        def score(i: int) -> Tuple[int, int]:
+            a = body[i]
+            shared = sum(
+                1 for t in a.terms if isinstance(t, Variable) and t in bound
+            )
+            constants = sum(1 for t in a.terms if isinstance(t, Constant))
+            return (shared + constants, -len(a.terms))
+
+        best = max(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(
+            t for t in body[best].terms if isinstance(t, Variable)
+        )
+    return ordered
+
+
+def order_atoms(body: Sequence[Atom]) -> List[Atom]:
+    """Greedy join order over the atoms themselves (legacy interface)."""
+    return [body[i] for i in order_atom_indices(body)]
+
+
+def _atom_plan(atom: Atom) -> AtomPlan:
+    const_positions: List[Tuple[int, Value]] = []
+    repeat_positions: List[Tuple[int, int]] = []
+    var_positions: List[int] = []
+    first: Dict[Variable, int] = {}
+    for i, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            const_positions.append((i, term.value))
+        elif term in first:
+            repeat_positions.append((i, first[term]))
+        else:
+            first[term] = i
+            var_positions.append(i)
+    return AtomPlan(
+        relation=atom.relation,
+        const_positions=tuple(const_positions),
+        repeat_positions=tuple(repeat_positions),
+        var_positions=tuple(var_positions),
+        variables=tuple(atom.terms[i] for i in var_positions),  # type: ignore[misc]
+    )
+
+
+def compile_plan(query: ConjunctiveQuery) -> EvalPlan:
+    """The compiled plan for ``query`` (memoized per query)."""
+    return _PLAN_MEMO.get_or_compute(query, lambda: _compile(query))
+
+
+def _compile(query: ConjunctiveQuery) -> EvalPlan:
+    rewritten, structure = substitute_representatives(query)
+    if structure.inconsistent:
+        return EvalPlan(
+            inconsistent=True,
+            atoms=(),
+            order=(),
+            steps=(),
+            head_slots=(),
+            slot_variables=(),
+            links=None,
+            depth=-1,
+        )
+    body = rewritten.body
+    atoms = tuple(_atom_plan(a) for a in body)
+    order = tuple(order_atom_indices(body))
+
+    # Pipelined plan: simulate the join to fix each variable's binding
+    # slot, so the per-call loop never inspects terms again.
+    var_index: Dict[Variable, int] = {}
+    steps: List[JoinStep] = []
+    for i in order:
+        atom = body[i]
+        const_positions: List[Tuple[int, Value]] = []
+        bound_positions: List[Tuple[int, int]] = []
+        repeat_positions: List[Tuple[int, int]] = []
+        free_positions: List[int] = []
+        first_free: Dict[Variable, int] = {}
+        for pos, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                const_positions.append((pos, term.value))
+            elif term in var_index:
+                bound_positions.append((pos, var_index[term]))
+            elif term in first_free:
+                repeat_positions.append((pos, first_free[term]))
+            else:
+                first_free[term] = pos
+                free_positions.append(pos)
+        steps.append(
+            JoinStep(
+                relation=atom.relation,
+                const_positions=tuple(const_positions),
+                bound_positions=tuple(bound_positions),
+                repeat_positions=tuple(repeat_positions),
+                free_positions=tuple(free_positions),
+            )
+        )
+        next_slot = len(var_index)
+        for pos in free_positions:
+            var_index[atom.terms[pos]] = next_slot  # type: ignore[index]
+            next_slot += 1
+
+    head_slots: List[Tuple[bool, object]] = []
+    for term in rewritten.head.terms:
+        if isinstance(term, Constant):
+            head_slots.append((True, term.value))
+        else:
+            try:
+                head_slots.append((False, var_index[term]))
+            except KeyError:
+                raise EvaluationError(
+                    f"head variable {term!r} unbound after body evaluation"
+                ) from None
+
+    links = join_tree([frozenset(ap.variables) for ap in atoms])
+    depth = join_tree_depth(links, len(atoms))
+
+    _plans_compiled.inc()
+    _atoms_hist.observe(len(atoms))
+    if links is not None:
+        _plans_acyclic.inc()
+        _depth_hist.observe(depth)
+
+    slot_variables: List[Variable] = [None] * len(var_index)  # type: ignore[list-item]
+    for var, slot in var_index.items():
+        slot_variables[slot] = var
+
+    return EvalPlan(
+        inconsistent=False,
+        atoms=atoms,
+        order=order,
+        steps=tuple(steps),
+        head_slots=tuple(head_slots),
+        slot_variables=tuple(slot_variables),
+        links=None if links is None else tuple(links),
+        depth=depth,
+    )

@@ -1,0 +1,65 @@
+"""The ``auto`` backend: structural routing on α-acyclicity.
+
+The paper's decision procedures evaluate the *same* few queries over
+thousands of tiny instances; which evaluator wins is a property of the
+query's hypergraph, not of any one instance.  The router therefore makes
+a per-query decision — compiled once into the shared plan cache — and
+re-dispatches:
+
+* a join tree exists (the consistent, α-acyclic case, which is also how
+  :func:`repro.cq.hypergraph.is_alpha_acyclic` decides acyclicity, both
+  being GYO reductions of the same hypergraph) → Yannakakis-over-bitsets
+  (:class:`repro.cq.backends.bitset.BitsetBackend` follows the join
+  tree);
+* cyclic (or inconsistent) → the pipelined hash-join backend.
+
+Routing outcomes are counted (``hypergraph.route.acyclic`` /
+``hypergraph.route.cyclic``) so scan reports can show what fraction of
+dispatches took the fast acyclic path.
+"""
+
+from __future__ import annotations
+
+from repro.cq.backends.base import Backend
+from repro.cq.backends.plan import compile_plan
+from repro.cq.syntax import ConjunctiveQuery
+from repro.obs import metrics as _metrics
+from repro.relational.instance import DatabaseInstance, RelationInstance
+from repro.relational.schema import RelationSchema
+
+_registry = _metrics.registry()
+_route_acyclic = _registry.counter("hypergraph.route.acyclic")
+_route_cyclic = _registry.counter("hypergraph.route.cyclic")
+
+
+class RouterBackend(Backend):
+    """Dispatch acyclic queries to the bitset Yannakakis path."""
+
+    name = "auto"
+
+    def __init__(self, acyclic: Backend, fallback: Backend) -> None:
+        self._acyclic = acyclic
+        self._fallback = fallback
+
+    def select(
+        self, query: ConjunctiveQuery, instance: DatabaseInstance
+    ) -> Backend:
+        plan = compile_plan(query)
+        if plan.acyclic and self._acyclic.supports(query):
+            _route_acyclic.inc()
+            return self._acyclic
+        _route_cyclic.inc()
+        return self._fallback
+
+    def evaluate(
+        self,
+        query: ConjunctiveQuery,
+        instance: DatabaseInstance,
+        view_schema: RelationSchema,
+    ) -> RelationInstance:
+        return self.select(query, instance).evaluate(query, instance, view_schema)
+
+    def cost_estimate(
+        self, query: ConjunctiveQuery, instance: DatabaseInstance
+    ) -> float:
+        return self.select(query, instance).cost_estimate(query, instance)

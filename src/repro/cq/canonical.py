@@ -89,10 +89,12 @@ def _build_canonical_database(
 def _build_canonical_database_inner(
     query: ConjunctiveQuery, schema: DatabaseSchema
 ) -> Optional[CanonicalDatabase]:
-    types = infer_types(query, schema)
+    # The rewrite comes from the shared equality memo; checking
+    # consistency first skips type inference for unsatisfiable queries.
     rewritten, structure = substitute_representatives(query)
     if structure.inconsistent:
         return None
+    types = infer_types(query, schema)
 
     def freeze(term: Term) -> Value:
         if isinstance(term, Constant):

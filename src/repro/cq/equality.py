@@ -24,7 +24,16 @@ from repro.cq.syntax import (
     Variable,
 )
 from repro.relational.domain import Value
+from repro.utils import memo
 from repro.utils.unionfind import UnionFind
+
+# Equality closures and general-form rewrites are pure functions of an
+# immutable query, recomputed for the same handful of queries thousands of
+# times per scan (evaluation, saturation, hypergraph analysis, plan
+# compilation all start from them).  Both caches share the keys' hashes
+# with the evaluate/canonical memos, so a warm scan pays one query hash.
+_STRUCTURE_MEMO = memo.memo("equality-structure", maxsize=8192)
+_SUBST_MEMO = memo.memo("equality-subst", maxsize=8192)
 
 
 class EqualityStructure:
@@ -105,14 +114,18 @@ class EqualityStructure:
 
 
 def equality_structure(query: ConjunctiveQuery) -> EqualityStructure:
-    """Compute the equality-class structure of ``query``."""
-    return EqualityStructure(query)
+    """The equality-class structure of ``query`` (memoized per query).
+
+    The returned structure is shared between callers; it must be treated
+    as read-only — in particular, never ``union`` through ``.uf``.
+    """
+    return _STRUCTURE_MEMO.get_or_compute(query, lambda: EqualityStructure(query))
 
 
 def substitute_representatives(
     query: ConjunctiveQuery,
 ) -> Tuple[ConjunctiveQuery, EqualityStructure]:
-    """Rewrite ``query`` into an equality-free general form.
+    """Rewrite ``query`` into an equality-free general form (memoized).
 
     Every term is replaced by its resolved canonical form and the equality
     list is dropped; the result is semantically identical (for consistent
@@ -122,7 +135,15 @@ def substitute_representatives(
     form does *not* preserve semantics and should be treated as the empty
     query).
     """
-    structure = EqualityStructure(query)
+    return _SUBST_MEMO.get_or_compute(
+        query, lambda: _substitute_representatives(query)
+    )
+
+
+def _substitute_representatives(
+    query: ConjunctiveQuery,
+) -> Tuple[ConjunctiveQuery, EqualityStructure]:
+    structure = equality_structure(query)
 
     def sub(term: Term) -> Term:
         return structure.resolve(term)
@@ -141,7 +162,7 @@ def induced_equalities(query: ConjunctiveQuery) -> FrozenSet[Tuple[Term, Term]]:
     the set of predicates "V₁ = V₂ can be inferred" that the ij-saturation
     definitions quantify over.
     """
-    structure = EqualityStructure(query)
+    structure = equality_structure(query)
     pairs: Set[Tuple[Term, Term]] = set()
     for cls in structure.variable_classes():
         members = sorted(cls, key=lambda v: v.name)

@@ -1,230 +1,102 @@
-"""Evaluation of conjunctive queries over database instances.
+"""Evaluation of conjunctive queries: the backend dispatcher.
 
-Two evaluators are provided:
+The actual evaluators live in :mod:`repro.cq.backends` — ``naive``
+(reference enumerator), ``indexed`` (pipelined hash joins), ``bitset``
+(semijoin reduction over integer bitmasks) and ``auto`` (the router:
+α-acyclic queries take the Yannakakis-over-bitsets path, everything else
+the hash joins).  This module is the single entry point that:
 
-* :func:`evaluate` — the production path: equality classes are folded into
-  the body (representative substitution), atoms are ordered greedily to
-  maximise bound variables, and each atom is joined via a hash index built
-  on its bound positions;
-* :func:`evaluate_naive` — a direct transcription of the semantics (all
-  combinations of body tuples, filtered by the equality list), kept as the
-  reference implementation for differential testing.
+* resolves the view scheme and the backend (explicit argument, else the
+  process default — CLI ``--backend`` / ``REPRO_BACKEND`` / ``auto``);
+* memoizes answers per ``(query, instance, view schema, backend)`` —
+  the dominance search's gadget refuter applies the same views to the
+  same tiny instances for every candidate pair, and the backend name in
+  the key keeps differential runs honest;
+* attributes the real work to per-backend ``evaluate.<name>`` spans and
+  counts dispatches (``backend.dispatch.<name>``), so profiles and the
+  dashboard show where each backend's time goes.
 
-Both return a :class:`RelationInstance` over the supplied view scheme (or a
-synthesised one).
+:func:`evaluate_naive` remains exported as the reference oracle for
+differential tests.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Optional
 
-from repro.cq.equality import substitute_representatives
-from repro.cq.syntax import Atom, ConjunctiveQuery, Constant, Term, Variable
-from repro.cq.typecheck import infer_types, _term_type
-from repro.errors import EvaluationError
+from repro.cq import backends as _backends
+from repro.cq.backends.base import synthesize_view_schema
+from repro.cq.backends.plan import order_atoms as _order_atoms  # noqa: F401 - legacy API
+from repro.cq.syntax import ConjunctiveQuery
+from repro.obs import metrics as _metrics
 from repro.obs.tracing import span as _span
-from repro.relational.attribute import Attribute
-from repro.relational.domain import Value
-from repro.relational.instance import DatabaseInstance, RelationInstance, Row
+from repro.relational.instance import DatabaseInstance, RelationInstance
 from repro.relational.schema import RelationSchema
 from repro.utils import memo
 
-Binding = Dict[Variable, Value]
+__all__ = [
+    "evaluate",
+    "evaluate_naive",
+    "synthesize_view_schema",
+]
 
-# Answers are memoized on (query, instance, view schema) — all immutable
-# value objects.  Instances above the row threshold bypass the cache:
-# hashing them is cheap relative to evaluation, but retaining them is not.
+# Answers are memoized on (query, instance, view schema, backend name)
+# — all immutable value objects.  Instances above the row ceiling bypass
+# the cache (retaining them is too expensive).  The key carries the
+# *requested* backend name, not the routed one: routing is deterministic
+# per query, so the requested name already determines the answer's
+# producer, and a memo hit then skips routing entirely — the E1 gadget
+# refuter replays the same (view, tiny instance) pairs thousands of
+# times, and the hit path must stay a single dict probe.
 _EVAL_MEMO = memo.memo("evaluate", maxsize=16384)
 _EVAL_CACHE_MAX_ROWS = 2048
 
-
-def synthesize_view_schema(
-    query: ConjunctiveQuery, instance_or_schema
-) -> RelationSchema:
-    """Build a view scheme for a query's head from inferred types.
-
-    Attribute names are ``c0, c1, ...``; no key is declared.
-    """
-    schema = getattr(instance_or_schema, "schema", instance_or_schema)
-    types = infer_types(query, schema)
-    attributes = [
-        Attribute(f"c{i}", _term_type(term, types))
-        for i, term in enumerate(query.head.terms)
-    ]
-    return RelationSchema(query.view_name, attributes, None)
+_DISPATCH_COUNTERS: Dict[str, _metrics.Counter] = {}
 
 
-def _head_row(head: Atom, binding: Binding) -> Row:
-    row: List[Value] = []
-    for term in head.terms:
-        if isinstance(term, Constant):
-            row.append(term.value)
-        else:
-            try:
-                row.append(binding[term])
-            except KeyError:
-                raise EvaluationError(
-                    f"head variable {term!r} unbound after body evaluation"
-                ) from None
-    return tuple(row)
-
-
-def _order_atoms(body: Sequence[Atom]) -> List[Atom]:
-    """Greedy join order: start small, prefer atoms sharing bound variables."""
-    remaining = list(body)
-    ordered: List[Atom] = []
-    bound: set = set()
-    while remaining:
-        def score(a: Atom) -> Tuple[int, int]:
-            shared = sum(
-                1 for t in a.terms if isinstance(t, Variable) and t in bound
-            )
-            constants = sum(1 for t in a.terms if isinstance(t, Constant))
-            return (shared + constants, -len(a.terms))
-
-        best = max(remaining, key=score)
-        remaining.remove(best)
-        ordered.append(best)
-        bound.update(t for t in best.terms if isinstance(t, Variable))
-    return ordered
-
-
-def _join_atom(
-    bindings: List[Tuple[Value, ...]],
-    var_index: Dict[Variable, int],
-    body_atom: Atom,
-    instance: DatabaseInstance,
-) -> List[Tuple[Value, ...]]:
-    """Hash-join one atom into the binding relation.
-
-    Bindings are flat tuples indexed by ``var_index`` (variable → slot);
-    newly bound variables are appended to ``var_index`` in place and their
-    values appended to each surviving binding tuple.  The flat-tuple
-    representation avoids per-row dict copies on the hot path.
-    """
-    relation = instance.relation(body_atom.relation)
-    if not bindings:
-        return []
-    const_positions: List[Tuple[int, Value]] = []
-    bound_positions: List[Tuple[int, int]] = []  # (row position, binding slot)
-    repeat_positions: List[Tuple[int, int]] = []  # (position, first occurrence)
-    free_row_positions: List[int] = []
-    first_free: Dict[Variable, int] = {}
-    for i, term in enumerate(body_atom.terms):
-        if isinstance(term, Constant):
-            const_positions.append((i, term.value))
-        elif term in var_index:
-            bound_positions.append((i, var_index[term]))
-        elif term in first_free:
-            repeat_positions.append((i, first_free[term]))
-        else:
-            first_free[term] = i
-            free_row_positions.append(i)
-
-    # Index the relation on the bound positions, after filtering rows that
-    # violate constants or intra-atom repeats.
-    index: Dict[Tuple[Value, ...], List[Tuple[Value, ...]]] = {}
-    for row in relation:
-        if any(row[i] != value for i, value in const_positions):
-            continue
-        if any(row[i] != row[j] for i, j in repeat_positions):
-            continue
-        key = tuple(row[i] for i, _ in bound_positions)
-        extras = tuple(row[i] for i in free_row_positions)
-        index.setdefault(key, []).append(extras)
-
-    slots = [slot for _, slot in bound_positions]
-    result: List[Tuple[Value, ...]] = []
-    append = result.append
-    for binding in bindings:
-        key = tuple(binding[slot] for slot in slots)
-        for extras in index.get(key, ()):
-            append(binding + extras)
-    # Register the newly bound variables' slots (in extras order).
-    next_slot = len(var_index)
-    for i in free_row_positions:
-        var_index[body_atom.terms[i]] = next_slot  # type: ignore[index]
-        next_slot += 1
-    return result
+def _dispatch_counter(name: str) -> _metrics.Counter:
+    counter = _DISPATCH_COUNTERS.get(name)
+    if counter is None:
+        counter = _metrics.registry().counter(f"backend.dispatch.{name}")
+        _DISPATCH_COUNTERS[name] = counter
+    return counter
 
 
 def evaluate(
     query: ConjunctiveQuery,
     instance: DatabaseInstance,
     view_schema: Optional[RelationSchema] = None,
+    backend: Optional[str] = None,
 ) -> RelationInstance:
-    """Evaluate ``query`` over ``instance`` with hash joins.
+    """Evaluate ``query`` over ``instance`` via the selected backend.
 
-    The query is first rewritten to an equality-free general form; an
-    inconsistent equality list yields the empty answer.  Answers for small
-    instances are memoized — the dominance search's gadget refuter applies
-    the same views to the same gadget instances for every candidate pair.
+    ``backend`` names a registered backend (``auto``, ``naive``,
+    ``indexed``, ``bitset``); ``None`` uses the process default.
+    Routing, the dispatch counter and the per-backend span all live on
+    the memo-miss path: a cache hit is answered before any backend
+    machinery runs, and the trace shows real join work only.
     """
     if view_schema is None:
         view_schema = synthesize_view_schema(query, instance)
+    name = backend if backend is not None else _backends.default_backend_name()
     if instance.total_rows() <= _EVAL_CACHE_MAX_ROWS:
         return _EVAL_MEMO.get_or_compute(
-            (query, instance, view_schema),
-            lambda: _evaluate(query, instance, view_schema),
+            (query, instance, view_schema, name),
+            lambda: _evaluate(name, query, instance, view_schema),
         )
-    return _evaluate(query, instance, view_schema)
+    return _evaluate(name, query, instance, view_schema)
 
 
 def _evaluate(
+    name: str,
     query: ConjunctiveQuery,
     instance: DatabaseInstance,
     view_schema: RelationSchema,
 ) -> RelationInstance:
-    # Spanning _evaluate (not evaluate) keeps memo hits out of the trace:
-    # the profile shows real join work only.
-    with _span("evaluate"):
-        return _evaluate_inner(query, instance, view_schema)
-
-
-def _evaluate_inner(
-    query: ConjunctiveQuery,
-    instance: DatabaseInstance,
-    view_schema: RelationSchema,
-) -> RelationInstance:
-    rewritten, structure = substitute_representatives(query)
-    if structure.inconsistent:
-        return RelationInstance(view_schema)
-    var_index: Dict[Variable, int] = {}
-    bindings: List[Tuple[Value, ...]] = [()]
-    for body_atom in _order_atoms(rewritten.body):
-        bindings = _join_atom(bindings, var_index, body_atom, instance)
-        if not bindings:
-            return RelationInstance(view_schema)
-    head_slots: List[Tuple[bool, object]] = []
-    for term in rewritten.head.terms:
-        if isinstance(term, Constant):
-            head_slots.append((True, term.value))
-        else:
-            try:
-                head_slots.append((False, var_index[term]))
-            except KeyError:
-                raise EvaluationError(
-                    f"head variable {term!r} unbound after body evaluation"
-                ) from None
-    rows = {
-        tuple(
-            value if is_const else binding[value]  # type: ignore[index]
-            for is_const, value in head_slots
-        )
-        for binding in bindings
-    }
-    return RelationInstance(view_schema, rows)
-
-
-def _satisfies_equalities(
-    query: ConjunctiveQuery, binding: Binding
-) -> bool:
-    def value_of(term: Term) -> Value:
-        if isinstance(term, Constant):
-            return term.value
-        return binding[term]
-
-    return all(value_of(l) == value_of(r) for l, r in query.equalities)
+    chosen = _backends.get_backend(name).select(query, instance)
+    _dispatch_counter(chosen.name).inc()
+    with _span("evaluate." + chosen.name):
+        return chosen.evaluate(query, instance, view_schema)
 
 
 def evaluate_naive(
@@ -235,35 +107,9 @@ def evaluate_naive(
     """Reference evaluator: enumerate all body-tuple combinations.
 
     Exponential in the body size; used for differential testing only.
+    Deliberately un-memoized and un-spanned so the oracle stays
+    independent of the machinery under test.
     """
     if view_schema is None:
         view_schema = synthesize_view_schema(query, instance)
-
-    def extend(
-        atoms: Sequence[Atom], binding: Binding
-    ) -> Iterable[Binding]:
-        if not atoms:
-            yield binding
-            return
-        first, rest = atoms[0], atoms[1:]
-        for row in instance.relation(first.relation):
-            extended = dict(binding)
-            ok = True
-            for term, value in zip(first.terms, row):
-                if isinstance(term, Constant):
-                    if term.value != value:
-                        ok = False
-                        break
-                else:
-                    if term in extended and extended[term] != value:
-                        ok = False
-                        break
-                    extended[term] = value
-            if ok:
-                yield from extend(rest, extended)
-
-    rows = set()
-    for binding in extend(query.body, {}):
-        if _satisfies_equalities(query, binding):
-            rows.add(_head_row(query.head, binding))
-    return RelationInstance(view_schema, rows)
+    return _backends.get_backend("naive").evaluate(query, instance, view_schema)

@@ -16,11 +16,11 @@ variable) is exposed as a :mod:`networkx` graph for ad-hoc analysis.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, NamedTuple, Set, Tuple
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
-from repro.cq.equality import EqualityStructure
+from repro.cq.equality import equality_structure
 from repro.cq.syntax import ConjunctiveQuery, Variable
 
 
@@ -32,7 +32,7 @@ def hyperedges(query: ConjunctiveQuery) -> List[FrozenSet[Variable]]:
     semantically connect.
     """
     paper = query.paper_form()
-    structure = EqualityStructure(paper)
+    structure = equality_structure(paper)
     edges: List[FrozenSet[Variable]] = []
     for atom in paper.body:
         edge = set()
@@ -79,6 +79,86 @@ def is_alpha_acyclic(query: ConjunctiveQuery) -> bool:
     return len(edges) <= 1
 
 
+def join_tree(
+    variable_sets: Sequence[FrozenSet[Variable]],
+) -> Optional[List[Tuple[int, int]]]:
+    """A join tree over atom indices via GYO reduction with witnesses.
+
+    Returns parent links ``(child, parent)`` (the last surviving atom is
+    the root and has no link), or ``None`` when the hypergraph is cyclic.
+    Ears whose remaining vertices vanish entirely (disconnected components)
+    are attached to the last survivor so downstream joins still visit them.
+
+    This is the constructive companion of :func:`is_alpha_acyclic`: GYO
+    succeeds on exactly the α-acyclic hypergraphs, so the result is
+    ``None`` iff the hypergraph is cyclic.  It historically lived in
+    :mod:`repro.cq.yannakakis` (which re-exports it); it moved here so the
+    evaluation backends can plan join trees without importing an
+    evaluator.
+    """
+    remaining: Dict[int, Set[Variable]] = {
+        i: set(vs) for i, vs in enumerate(variable_sets)
+    }
+    links: List[Tuple[int, int]] = []
+    orphans: List[int] = []
+    while len(remaining) > 1:
+        ear_found = False
+        for i, edge in list(remaining.items()):
+            counts = {
+                v: sum(1 for j, other in remaining.items() if j != i and v in other)
+                for v in edge
+            }
+            non_exclusive = {v for v in edge if counts[v] > 0}
+            witness = None
+            for j, other in remaining.items():
+                if j != i and non_exclusive <= other:
+                    witness = j
+                    break
+            if witness is None and not non_exclusive:
+                # Fully disconnected ear (cross-product component).
+                orphans.append(i)
+                del remaining[i]
+                ear_found = True
+                break
+            if witness is not None:
+                links.append((i, witness))
+                del remaining[i]
+                ear_found = True
+                break
+        if not ear_found:
+            return None
+    root = next(iter(remaining))
+    for orphan in orphans:
+        links.append((orphan, root))
+    return links
+
+
+def join_tree_depth(
+    links: Optional[Sequence[Tuple[int, int]]], atom_count: int
+) -> int:
+    """The depth (longest root-to-leaf path, in edges) of a join tree.
+
+    A single atom (or an empty link list) has depth 0; ``None`` (cyclic)
+    is reported as -1 so callers can aggregate without special-casing.
+    """
+    if links is None:
+        return -1
+    if not links or atom_count <= 1:
+        return 0
+    parents: Dict[int, int] = {child: parent for child, parent in links}
+    depth = 0
+    for node in range(atom_count):
+        steps = 0
+        current = node
+        seen = 0
+        while current in parents and seen <= atom_count:
+            current = parents[current]
+            steps += 1
+            seen += 1
+        depth = max(depth, steps)
+    return depth
+
+
 def join_graph(query: ConjunctiveQuery) -> nx.Graph:
     """The join graph: atoms as nodes, edges between variable-sharing atoms."""
     edges = hyperedges(query)
@@ -107,7 +187,7 @@ class QueryStatistics(NamedTuple):
 def query_statistics(query: ConjunctiveQuery) -> QueryStatistics:
     """Compute the structural statistics of ``query``."""
     paper = query.paper_form()
-    structure = EqualityStructure(paper)
+    structure = equality_structure(paper)
     graph = join_graph(paper)
     classes = structure.variable_classes()
     return QueryStatistics(

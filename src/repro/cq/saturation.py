@@ -27,7 +27,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, List, NamedTuple, Optional, Set, Tuple
 
-from repro.cq.equality import EqualityStructure
+from repro.cq.equality import equality_structure
 from repro.cq.syntax import Atom, ConjunctiveQuery, Constant, Term, Variable
 from repro.errors import QuerySyntaxError
 
@@ -74,7 +74,7 @@ def classify_conditions(query: ConjunctiveQuery) -> List[ClassifiedCondition]:
     pair condition per unordered pair of member positions.
     """
     paper = query.paper_form()
-    structure = EqualityStructure(paper)
+    structure = equality_structure(paper)
     positions = _positions_of(paper)
     conditions: List[ClassifiedCondition] = []
     for cls in structure.classes():
@@ -123,7 +123,7 @@ def is_ij_saturated(query: ConjunctiveQuery) -> bool:
     paper = query.paper_form()
     if not has_only_identity_joins(paper):
         return False
-    structure = EqualityStructure(paper)
+    structure = equality_structure(paper)
     occurrences: Dict[str, List[Atom]] = {}
     for body_atom in paper.body:
         occurrences.setdefault(body_atom.relation, []).append(body_atom)
@@ -149,7 +149,7 @@ def saturate(query: ConjunctiveQuery) -> ConjunctiveQuery:
     occurrences: Dict[str, List[Atom]] = {}
     for body_atom in paper.body:
         occurrences.setdefault(body_atom.relation, []).append(body_atom)
-    structure = EqualityStructure(paper)
+    structure = equality_structure(paper)
     for atoms in occurrences.values():
         first = atoms[0]
         for other in atoms[1:]:
@@ -192,7 +192,7 @@ def to_product_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
             "to_product_query requires an ij-saturated query; call saturate() "
             "first (Lemma 2) or check is_ij_saturated()"
         )
-    structure = EqualityStructure(paper)
+    structure = equality_structure(paper)
     kept: List[Atom] = []
     seen: Set[str] = set()
     for body_atom in paper.body:

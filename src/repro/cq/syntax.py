@@ -119,7 +119,7 @@ class ConjunctiveQuery:
     must occur in some body position (paper §2 requirement).
     """
 
-    __slots__ = ("_head", "_body", "_equalities")
+    __slots__ = ("_head", "_body", "_equalities", "_hash")
 
     def __init__(
         self,
@@ -146,6 +146,7 @@ class ConjunctiveQuery:
         self._head = head
         self._body = body
         self._equalities = eqs
+        self._hash = None
 
     # ------------------------------------------------------------------ basic
 
@@ -280,6 +281,16 @@ class ConjunctiveQuery:
 
     # -------------------------------------------------------------- equality
 
+    def __getstate__(self):
+        # The cached hash must never travel between processes: string
+        # hashing is salted per interpreter (PYTHONHASHSEED), so a hash
+        # computed in the parent is wrong inside a spawned worker.
+        return (self._head, self._body, self._equalities)
+
+    def __setstate__(self, state) -> None:
+        self._head, self._body, self._equalities = state
+        self._hash = None
+
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, ConjunctiveQuery)
@@ -289,7 +300,13 @@ class ConjunctiveQuery:
         )
 
     def __hash__(self) -> int:
-        return hash((self._head, self._body, self._equalities))
+        # Queries are immutable and serve as memo keys all over the hot
+        # path (evaluate answers, canonical databases, compiled plans,
+        # equality closures) — hash once, reuse forever.
+        value = self._hash
+        if value is None:
+            value = self._hash = hash((self._head, self._body, self._equalities))
+        return value
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = [repr(a) for a in self._body]

@@ -12,10 +12,18 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.cq.equality import EqualityStructure
+from repro.cq.equality import equality_structure
 from repro.cq.syntax import ConjunctiveQuery, Constant, Term, Variable
 from repro.errors import TypecheckError
 from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.utils import memo
+
+# Type inference is a pure function of (query, schema), both immutable,
+# and runs on every view-schema synthesis and canonical-database build.
+# The cached dict is shared between callers and must be treated as
+# read-only.  Failures are not cached: ill-typed queries re-raise on
+# every call, which keeps the hot (well-typed) path simple.
+_TYPES_MEMO = memo.memo("infer-types", maxsize=8192)
 
 
 def infer_types(
@@ -25,8 +33,17 @@ def infer_types(
 
     Raises :class:`TypecheckError` for unknown relations, arity mismatches,
     variables used at two types, ill-typed constants in body positions, or
-    ill-typed equalities.
+    ill-typed equalities.  Results are memoized per (query, schema); the
+    returned dict is shared and must not be mutated.
     """
+    return _TYPES_MEMO.get_or_compute(
+        (query, schema), lambda: _infer_types(query, schema)
+    )
+
+
+def _infer_types(
+    query: ConjunctiveQuery, schema: DatabaseSchema
+) -> Dict[Variable, str]:
     types: Dict[Variable, str] = {}
     for body_atom in query.body:
         if not schema.has_relation(body_atom.relation):
@@ -128,7 +145,7 @@ def class_types_consistent(query: ConjunctiveQuery, schema: DatabaseSchema) -> b
         types = infer_types(query, schema)
     except TypecheckError:
         return False
-    structure = EqualityStructure(query)
+    structure = equality_structure(query)
     for cls in structure.classes():
         class_types = set()
         for term in cls:

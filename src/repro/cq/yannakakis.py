@@ -13,21 +13,29 @@ relations and constant selections are handled uniformly):
 1. rewrite to the equality-free general form (representative
    substitution);
 2. build the join tree by GYO reduction with witness tracking
-   (:func:`join_tree`); cyclic queries return ``None`` and
-   :func:`evaluate_acyclic` falls back to the standard hash-join pipeline;
+   (:func:`repro.cq.hypergraph.join_tree`, re-exported here); cyclic
+   queries return ``None`` and :func:`evaluate_acyclic` falls back to the
+   ``indexed`` backend from the registry — no import-time dependency on
+   the dispatcher, so the evaluation layering is acyclic even though the
+   query may not be;
 3. semi-join reduce both directions, then join bottom-up and project.
 
 The answer always equals :func:`repro.cq.evaluation.evaluate` — the test
 suite checks the agreement differentially — the difference is the
 worst-case behaviour on dangling-heavy instances.
+
+The bitset backend (:mod:`repro.cq.backends.bitset`) runs the same
+join-tree reduction over posting bitmasks; this tuple-based version is
+kept as the direct, independently testable form of the algorithm.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.cq.backends import get_backend, synthesize_view_schema
 from repro.cq.equality import substitute_representatives
-from repro.cq.evaluation import evaluate, synthesize_view_schema
+from repro.cq.hypergraph import join_tree, join_tree_depth  # noqa: F401 - re-export
 from repro.cq.syntax import Atom, ConjunctiveQuery, Constant, Variable
 from repro.relational.domain import Value
 from repro.relational.instance import DatabaseInstance, RelationInstance
@@ -116,53 +124,6 @@ def _atom_tables(
     return tables
 
 
-def join_tree(
-    variable_sets: Sequence[FrozenSet[Variable]],
-) -> Optional[List[Tuple[int, int]]]:
-    """A join tree over atom indices via GYO reduction with witnesses.
-
-    Returns parent links ``(child, parent)`` (the last surviving atom is
-    the root and has no link), or ``None`` when the hypergraph is cyclic.
-    Ears whose remaining vertices vanish entirely (disconnected components)
-    are attached to the last survivor so downstream joins still visit them.
-    """
-    remaining: Dict[int, Set[Variable]] = {
-        i: set(vs) for i, vs in enumerate(variable_sets)
-    }
-    links: List[Tuple[int, int]] = []
-    orphans: List[int] = []
-    while len(remaining) > 1:
-        ear_found = False
-        for i, edge in list(remaining.items()):
-            counts = {
-                v: sum(1 for j, other in remaining.items() if j != i and v in other)
-                for v in edge
-            }
-            non_exclusive = {v for v in edge if counts[v] > 0}
-            witness = None
-            for j, other in remaining.items():
-                if j != i and non_exclusive <= other:
-                    witness = j
-                    break
-            if witness is None and not non_exclusive:
-                # Fully disconnected ear (cross-product component).
-                orphans.append(i)
-                del remaining[i]
-                ear_found = True
-                break
-            if witness is not None:
-                links.append((i, witness))
-                del remaining[i]
-                ear_found = True
-                break
-        if not ear_found:
-            return None
-    root = next(iter(remaining))
-    for orphan in orphans:
-        links.append((orphan, root))
-    return links
-
-
 def evaluate_acyclic(
     query: ConjunctiveQuery,
     instance: DatabaseInstance,
@@ -182,7 +143,7 @@ def evaluate_acyclic(
     variable_sets = [frozenset(t.variables) for t in tables]
     links = join_tree(variable_sets)
     if links is None:
-        return evaluate(query, instance, view_schema)
+        return get_backend("indexed").evaluate(query, instance, view_schema)
 
     # Full reducer: children were removed in ear order, so the recorded
     # links run leaves-to-root; semi-join parents by children in that

@@ -13,7 +13,7 @@ suite checks by evaluation.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, Mapping, Tuple
+from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Tuple
 
 from repro.cq.composition import compose_views, identity_view
 from repro.cq.receives import MappingReceives, analyze_views
@@ -87,15 +87,24 @@ class QueryMapping:
 
     # ------------------------------------------------------------ application
 
-    def apply(self, instance: DatabaseInstance) -> DatabaseInstance:
-        """α(d): evaluate every view over ``instance``."""
+    def apply(
+        self, instance: DatabaseInstance, backend: Optional[str] = None
+    ) -> DatabaseInstance:
+        """α(d): evaluate every view over ``instance``.
+
+        ``backend`` selects an evaluation backend by name for every view
+        (:mod:`repro.cq.backends`); ``None`` uses the process default.
+        """
         if instance.schema != self._source:
             raise MappingError(
                 "instance schema does not match the mapping's source schema"
             )
         return DatabaseInstance(
             self._target,
-            {name: view.answer(instance) for name, view in self._views.items()},
+            {
+                name: view.answer(instance, backend=backend)
+                for name, view in self._views.items()
+            },
         )
 
     def __call__(self, instance: DatabaseInstance) -> DatabaseInstance:

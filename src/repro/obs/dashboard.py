@@ -150,6 +150,22 @@ def _tiles_section(
         _tile(_fmt(snapshot.get("search.pairs_tried", 0)), "pairs tried"),
         _tile(str(len(incidents)), "incidents"),
     ]
+    plans = snapshot.get("hypergraph.plans.compiled", 0)
+    if plans:
+        acyclic = snapshot.get("hypergraph.plans.acyclic", 0)
+        tiles.append(
+            _tile(f"{100.0 * acyclic / plans:.1f}%", "acyclic plans")
+        )
+    dispatched = {
+        name[len("backend.dispatch."):]: value
+        for name, value in snapshot.items()
+        if name.startswith("backend.dispatch.") and value
+    }
+    if dispatched:
+        census = " ".join(
+            f"{name}:{_fmt(value)}" for name, value in sorted(dispatched.items())
+        )
+        tiles.append(_tile(census, "backend dispatches"))
     if total_ticks:
         tiles.append(_tile(f"{total_ticks} ({coverage})", "samples (attributed)"))
     return '<div class="tiles">' + "".join(tiles) + "</div>"

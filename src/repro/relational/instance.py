@@ -30,11 +30,12 @@ class RelationInstance:
     or hashing.
     """
 
-    __slots__ = ("_schema", "_rows", "_index_cache")
+    __slots__ = ("_schema", "_rows", "_index_cache", "_hash")
 
     def __init__(self, schema: RelationSchema, rows: Iterable[Row] = ()) -> None:
         self._schema = schema
         self._index_cache = None
+        self._hash = None
         checked: Set[Row] = set()
         arity = schema.arity
         signature = schema.type_signature
@@ -131,12 +132,15 @@ class RelationInstance:
     # -------------------------------------------------------------- equality
 
     def __getstate__(self):
-        # Indexes are derived data; rebuild lazily after unpickling.
+        # Indexes and the cached hash are derived data; the hash is also
+        # process-specific (salted string hashing), so both are rebuilt
+        # lazily after unpickling.
         return (self._schema, self._rows)
 
     def __setstate__(self, state) -> None:
         self._schema, self._rows = state
         self._index_cache = None
+        self._hash = None
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -146,7 +150,10 @@ class RelationInstance:
         )
 
     def __hash__(self) -> int:
-        return hash((self._schema, self._rows))
+        value = self._hash
+        if value is None:
+            value = self._hash = hash((self._schema, self._rows))
+        return value
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         shown = sorted(map(repr, self._rows))[:4]
@@ -161,7 +168,7 @@ class DatabaseInstance:
     is the empty instance of ``schema``.
     """
 
-    __slots__ = ("_schema", "_relations")
+    __slots__ = ("_schema", "_relations", "_hash")
 
     def __init__(
         self,
@@ -186,6 +193,7 @@ class DatabaseInstance:
                 f"instances supplied for unknown relations: {sorted(relations)}"
             )
         self._relations = filled
+        self._hash = None
 
     @classmethod
     def from_rows(
@@ -282,6 +290,15 @@ class DatabaseInstance:
 
     # -------------------------------------------------------------- equality
 
+    def __getstate__(self):
+        # The cached hash is process-specific (salted string hashing) and
+        # must be recomputed on the receiving side.
+        return (self._schema, self._relations)
+
+    def __setstate__(self, state) -> None:
+        self._schema, self._relations = state
+        self._hash = None
+
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, DatabaseInstance)
@@ -290,7 +307,12 @@ class DatabaseInstance:
         )
 
     def __hash__(self) -> int:
-        return hash((self._schema, frozenset(self._relations.items())))
+        value = self._hash
+        if value is None:
+            value = self._hash = hash(
+                (self._schema, frozenset(self._relations.items()))
+            )
+        return value
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,178 @@
+"""Differential parity suite for the pluggable evaluation backends.
+
+Every registered backend must return row-identical answers on every
+query/instance pair — the naive enumerator is the oracle.  The families
+below cover the shapes that have historically disagreed: acyclic
+(chain/star) vs cyclic queries, constants in body positions, repeated
+relation occurrences, and empty relations.  A final regression pins the
+router's dispatch rule to :func:`repro.cq.hypergraph.is_alpha_acyclic`.
+"""
+
+import pytest
+
+from repro.cq.backends import available_backends, get_backend, resolve_backend
+from repro.cq.backends.base import synthesize_view_schema
+from repro.cq.evaluation import evaluate
+from repro.cq.hypergraph import is_alpha_acyclic
+from repro.cq.syntax import Atom, ConjunctiveQuery, Constant, Variable
+from repro.relational import DatabaseInstance, Value, random_instance
+from repro.workloads import (
+    chain_query,
+    cycle_query,
+    edge_schema,
+    random_graph_instance,
+    random_identity_join_query,
+    random_query,
+    star_query,
+)
+from repro.workloads.schema_gen import random_keyed_schema
+
+BACKENDS = ("naive", "indexed", "bitset", "auto")
+
+
+def assert_parity(query, instance):
+    """All backends produce the oracle's rows, at and below the dispatcher."""
+    view_schema = synthesize_view_schema(query, instance)
+    oracle = get_backend("naive").evaluate(query, instance, view_schema).rows
+    for name in BACKENDS:
+        direct = get_backend(name).evaluate(query, instance, view_schema)
+        assert direct.rows == oracle, f"backend {name!r} disagrees with naive"
+        routed = evaluate(query, instance, view_schema, backend=name)
+        assert routed.rows == oracle, f"dispatch via {name!r} disagrees"
+    return oracle
+
+
+def test_registry_lists_all_backends():
+    assert set(BACKENDS) <= set(available_backends())
+
+
+@pytest.mark.parametrize("length", [1, 2, 4])
+def test_chain_queries(length):
+    inst = random_graph_instance(nodes=12, edges=40, seed=length)
+    q = chain_query(length)
+    assert is_alpha_acyclic(q)
+    assert_parity(q, inst)
+
+
+@pytest.mark.parametrize("rays", [1, 3, 5])
+def test_star_queries(rays):
+    inst = random_graph_instance(nodes=10, edges=35, seed=rays)
+    q = star_query(rays)
+    assert_parity(q, inst)
+
+
+@pytest.mark.parametrize("length", [3, 4, 5])
+def test_cycle_queries(length):
+    inst = random_graph_instance(nodes=8, edges=28, seed=length)
+    q = cycle_query(length)
+    assert not is_alpha_acyclic(q)
+    assert_parity(q, inst)
+
+
+def test_triangle_join_with_projection():
+    # A cyclic query whose head exports only part of the triangle; the
+    # bitset fallback path must re-check every equality at join time.
+    inst = random_graph_instance(nodes=7, edges=24, seed=11)
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    q = ConjunctiveQuery(
+        Atom("Q", (x, z)),
+        [Atom("E", (x, y)), Atom("E", (y, z)), Atom("E", (z, x))],
+    )
+    assert not is_alpha_acyclic(q)
+    assert_parity(q, inst)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_queries(seed):
+    schema = random_keyed_schema(seed, ["A", "B"], n_relations=2, max_arity=3)
+    q = random_query(schema, seed=seed, max_atoms=3)
+    inst = random_instance(schema, rows_per_relation=5, seed=seed)
+    assert_parity(q, inst)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_identity_join_queries(seed):
+    # Repeated relation occurrences with same-column joins (Lemma 2 class).
+    schema = random_keyed_schema(seed, ["A"], n_relations=1, max_arity=3)
+    q = random_identity_join_query(schema, seed=seed, max_atoms=3)
+    inst = random_instance(schema, rows_per_relation=4, seed=seed)
+    assert_parity(q, inst)
+
+
+@pytest.mark.parametrize("token", [0, 1, 99])
+def test_queries_with_constants(token):
+    inst = random_graph_instance(nodes=6, edges=20, seed=token)
+    c = Constant(Value("Node", token))
+    x, y = Variable("x"), Variable("y")
+    q = ConjunctiveQuery(
+        Atom("Q", (x, y)), [Atom("E", (c, x)), Atom("E", (x, y))]
+    )
+    assert_parity(q, inst)
+
+
+def test_constant_in_head():
+    inst = random_graph_instance(nodes=6, edges=18, seed=2)
+    c = Constant(Value("Node", 3))
+    x = Variable("x")
+    q = ConjunctiveQuery(Atom("Q", (c, x)), [Atom("E", (x, x))])
+    assert_parity(q, inst)
+
+
+def test_empty_relations():
+    q = chain_query(3)
+    rows = assert_parity(q, DatabaseInstance(edge_schema()))
+    assert rows == frozenset()
+
+
+def test_inconsistent_equalities_empty_everywhere():
+    inst = random_graph_instance(nodes=5, edges=15, seed=7)
+    x, y = Variable("x"), Variable("y")
+    c0, c1 = Constant(Value("Node", 0)), Constant(Value("Node", 1))
+    q = ConjunctiveQuery(
+        Atom("Q", (x,)), [Atom("E", (x, y))], [(c0, c1)]
+    )
+    rows = assert_parity(q, inst)
+    assert rows == frozenset()
+
+
+def test_repeated_rows_and_self_loops():
+    # Self-loops exercise repeated-variable positions within one atom.
+    rows = [
+        (Value("Node", 0), Value("Node", 0)),
+        (Value("Node", 0), Value("Node", 1)),
+        (Value("Node", 1), Value("Node", 0)),
+    ]
+    inst = DatabaseInstance.from_rows(edge_schema(), {"E": rows})
+    x = Variable("x")
+    q = ConjunctiveQuery(Atom("Q", (x,)), [Atom("E", (x, x))])
+    oracle = assert_parity(q, inst)
+    assert oracle == frozenset({(Value("Node", 0),)})
+
+
+# --------------------------------------------------------------- routing
+
+
+def _routed_name(query, instance):
+    return resolve_backend("auto").select(query, instance).name
+
+
+@pytest.mark.parametrize(
+    "make_query",
+    [lambda: chain_query(3), lambda: star_query(4), lambda: cycle_query(4)],
+)
+def test_router_picks_yannakakis_exactly_on_acyclic(make_query):
+    """The router dispatches to the bitset Yannakakis engine iff the
+    query is α-acyclic, and to the indexed fallback otherwise."""
+    q = make_query()
+    inst = random_graph_instance(nodes=8, edges=25, seed=1)
+    expected = "bitset" if is_alpha_acyclic(q) else "indexed"
+    assert _routed_name(q, inst) == expected
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_router_agrees_with_is_alpha_acyclic_on_random_queries(seed):
+    schema = random_keyed_schema(seed, ["A", "B"], n_relations=2, max_arity=3)
+    q = random_query(schema, seed=seed, max_atoms=4)
+    inst = random_instance(schema, rows_per_relation=3, seed=seed)
+    expected = "bitset" if is_alpha_acyclic(q) else "indexed"
+    assert _routed_name(q, inst) == expected

@@ -544,11 +544,19 @@ def test_metrics_json_includes_incidents_and_pair_timeouts(schema_files, tmp_pat
     assert code == 0
     payload = json.loads(metrics_file.read_text())
     # The enriched shape: schema version, metrics, incident census,
-    # pair-timeout total — regression-pinned here.
-    assert set(payload) == {"v", "metrics", "incidents", "pair_timeouts"}
+    # pair-timeout total, hypergraph statistics, backend dispatch
+    # census — regression-pinned here.
+    assert set(payload) == {
+        "v", "metrics", "incidents", "pair_timeouts", "hypergraph", "backends",
+    }
     assert payload["incidents"] == {"total": 0, "by_type": {}}
     assert payload["pair_timeouts"] == 0
     assert any(name.startswith("cache.") for name in payload["metrics"])
+    hyper = payload["hypergraph"]
+    assert hyper["plans_compiled"] >= 1
+    assert 0.0 <= hyper["acyclic_fraction"] <= 1.0
+    assert hyper["mean_atoms"] >= 1.0
+    assert sum(payload["backends"].values()) >= 1
 
 
 def test_metrics_json_counts_pair_timeouts(tmp_path, capsys):
