@@ -40,6 +40,16 @@ and exit code 3, never a hang), ``--retries`` caps process-pool attempts
 per unit before in-process fallback, and ``--checkpoint FILE`` with
 ``--resume`` journals completed units so an interrupted scan continues
 where it stopped.
+
+For grids too big for one process, ``theorem13 --fabric DIR`` joins a
+crash-tolerant sharded scan (``docs/RESILIENCE.md`` §"Sharded scans"):
+any number of workers cooperate on DIR via TTL leases with work
+stealing, pairs isomorphic to an already-planned representative are
+skipped as ``symmetric``, and ``--incremental PRIOR.jsonl`` re-verifies
+only cells whose schemas changed since a prior merged journal.
+``merge-journals DIR`` then combines the shard journals into one
+verified report, byte-identical (modulo ``perf:``/``fabric:`` status
+lines) to a single-process run.
 """
 
 from __future__ import annotations
@@ -325,6 +335,16 @@ def _backend_census(snapshot) -> dict:
     }
 
 
+def _fabric_census(snapshot) -> dict:
+    """Scan-fabric counters (shards leased/stolen, cell dispositions)."""
+    prefix = "fabric."
+    return {
+        name[len(prefix):]: int(value)
+        for name, value in sorted(snapshot.items())
+        if name.startswith(prefix)
+    }
+
+
 def _obs_end(args: argparse.Namespace, verdicts=()) -> None:
     """Emit the requested trace / metrics / profile / dashboard outputs."""
     import json
@@ -348,6 +368,7 @@ def _obs_end(args: argparse.Namespace, verdicts=()) -> None:
             ),
             "hypergraph": _hypergraph_census(snapshot),
             "backends": _backend_census(snapshot),
+            "fabric": _fabric_census(snapshot),
         }
         Path(args.metrics_json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"metrics written to {args.metrics_json}")
@@ -509,6 +530,125 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 1
 
 
+def _universe_line(
+    n_schemas: int,
+    types: Sequence[str],
+    max_arity: int,
+    max_relations: int,
+    n_rows: int,
+    max_atoms: int,
+) -> str:
+    """The report's first line; shared by ``theorem13`` and ``merge-journals``."""
+    return (
+        f"universe: {n_schemas} schema(s) over types {{{', '.join(types)}}}, "
+        f"max arity {max_arity}, ≤{max_relations} relation(s); "
+        f"{n_rows} unordered pair(s), ≤{max_atoms} body atoms per view"
+    )
+
+
+def _print_scan_rows(rows) -> None:
+    """The per-pair report lines, identical for live and merged scans."""
+    markers = {"timeout": "t/o", "unknown": "?? "}
+    for row in rows:
+        if row.verdict != "ok":
+            marker = markers.get(row.verdict, "?? ")
+        elif row.consistent_with_theorem13:
+            marker = "ok "
+        else:
+            marker = "XXX"
+        print(
+            f"  [{marker}] ({row.index1}, {row.index2}) "
+            f"isomorphic={row.isomorphic} witness={row.equivalence_found}"
+        )
+
+
+def _print_scan_conclusion(rows) -> tuple:
+    """Print the HOLDS/VIOLATED line; returns ``(consistent, decided)``."""
+    consistent = all(row.consistent_with_theorem13 for row in rows)
+    decided = all(row.verdict == "ok" for row in rows)
+    if not consistent:
+        print("Theorem 13 prediction VIOLATED — see rows above")
+    elif not decided:
+        undecided = sum(1 for row in rows if row.verdict != "ok")
+        print(
+            f"Theorem 13 prediction holds on every decided pair "
+            f"({undecided} pair(s) undecided within the deadline)"
+        )
+    else:
+        print("Theorem 13 prediction HOLDS on every pair")
+    return consistent, decided
+
+
+def _row_verdict_events(rows):
+    from repro import obs
+
+    return [
+        obs.events.verdict_event(
+            found=row.equivalence_found,
+            i=row.index1,
+            j=row.index2,
+            isomorphic=row.isomorphic,
+            consistent=row.consistent_with_theorem13,
+            verdict=row.verdict,
+        )
+        for row in rows
+    ]
+
+
+def _run_theorem13_fabric(args: argparse.Namespace, schemas, types) -> int:
+    """The ``theorem13 --fabric DIR`` worker mode (docs/RESILIENCE.md)."""
+    from repro import obs
+    from repro.scanfabric import run_fabric_worker
+
+    if args.checkpoint or args.resume:
+        raise ReproError(
+            "--fabric keeps its own per-shard journals; "
+            "--checkpoint/--resume do not apply"
+        )
+    if args.deadline is not None or args.pair_deadline is not None:
+        raise ReproError(
+            "--fabric shards must decide every cell; "
+            "--deadline/--pair-deadline would leave undecidable holes "
+            "(interrupt workers freely instead — journals resume)"
+        )
+    reporter = _progress_reporter(args, "fabric")
+    try:
+        with obs.span("theorem13.fabric"):
+            result = run_fabric_worker(
+                args.fabric,
+                schemas,
+                max_atoms=args.max_atoms,
+                owner=args.fabric_owner,
+                ttl=args.lease_ttl,
+                shard_cells=args.shard_cells,
+                symmetry=not args.no_symmetry,
+                prior=args.incremental,
+                meta={
+                    "types": list(types),
+                    "max_relations": args.max_relations,
+                    "max_arity": args.max_arity,
+                    "max_atoms": args.max_atoms,
+                },
+                n_workers=args.workers,
+                retry_policy=_retry_policy(args),
+                on_progress=None if reporter is None else reporter.update,
+            )
+    except KeyboardInterrupt:
+        print(
+            "interrupted; journaled cells are safe — rerun the same "
+            "command to resume (peers may steal this worker's shards "
+            f"after --lease-ttl {args.lease_ttl:g}s)"
+        )
+        return 130
+    finally:
+        if reporter is not None:
+            reporter.finish()
+    print(f"fabric: worker {result.summary()}")
+    print(f"fabric: all shards done; combine with: repro merge-journals {args.fabric}")
+    _obs_end(args)
+    return 0
+
+
 def _cmd_theorem13(args: argparse.Namespace) -> int:
     import time
 
@@ -528,6 +668,10 @@ def _cmd_theorem13(args: argparse.Namespace) -> int:
             max_arity=args.max_arity,
         )
     )
+    if getattr(args, "fabric", None):
+        return _run_theorem13_fabric(args, schemas, types)
+    if getattr(args, "incremental", None):
+        raise ReproError("--incremental requires --fabric DIR")
     # Cells are independent of the worker count, so --workers is *not*
     # part of the fingerprint: a scan may resume with more (or fewer)
     # workers than it started with.
@@ -562,24 +706,12 @@ def _cmd_theorem13(args: argparse.Namespace) -> int:
     wall = time.perf_counter() - start
     delta = obs.diff(before, obs.registry().snapshot())
     print(
-        f"universe: {len(schemas)} schema(s) over types {{{', '.join(types)}}}, "
-        f"max arity {args.max_arity}, ≤{args.max_relations} relation(s); "
-        f"{len(rows)} unordered pair(s), ≤{args.max_atoms} body atoms per view"
-    )
-    markers = {"timeout": "t/o", "unknown": "?? "}
-    for row in rows:
-        if row.verdict != "ok":
-            marker = markers.get(row.verdict, "?? ")
-        elif row.consistent_with_theorem13:
-            marker = "ok "
-        else:
-            marker = "XXX"
-        print(
-            f"  [{marker}] ({row.index1}, {row.index2}) "
-            f"isomorphic={row.isomorphic} witness={row.equivalence_found}"
+        _universe_line(
+            len(schemas), types, args.max_arity, args.max_relations,
+            len(rows), args.max_atoms,
         )
-    consistent = all(row.consistent_with_theorem13 for row in rows)
-    decided = all(row.verdict == "ok" for row in rows)
+    )
+    _print_scan_rows(rows)
     hits, misses, evictions = obs.cache_totals(delta)
     print(
         _perf_line(
@@ -589,27 +721,8 @@ def _cmd_theorem13(args: argparse.Namespace) -> int:
             wall, args.workers,
         )
     )
-    if not consistent:
-        print("Theorem 13 prediction VIOLATED — see rows above")
-    elif not decided:
-        undecided = sum(1 for row in rows if row.verdict != "ok")
-        print(
-            f"Theorem 13 prediction holds on every decided pair "
-            f"({undecided} pair(s) undecided within the deadline)"
-        )
-    else:
-        print("Theorem 13 prediction HOLDS on every pair")
-    verdicts = [
-        obs.events.verdict_event(
-            found=row.equivalence_found,
-            i=row.index1,
-            j=row.index2,
-            isomorphic=row.isomorphic,
-            consistent=row.consistent_with_theorem13,
-            verdict=row.verdict,
-        )
-        for row in rows
-    ]
+    consistent, decided = _print_scan_conclusion(rows)
+    verdicts = _row_verdict_events(rows)
     # The same string the HTML dashboard embeds, so report and dashboard
     # can be diffed byte-for-byte.
     print(obs.verdict_summary_line(verdicts))
@@ -617,6 +730,44 @@ def _cmd_theorem13(args: argparse.Namespace) -> int:
     if not consistent:
         return 1
     return 0 if decided else 3
+
+
+def _cmd_merge_journals(args: argparse.Namespace) -> int:
+    """``repro merge-journals DIR``: fabric segments → one report + journal.
+
+    Prints the same report a single-process ``theorem13`` run over the
+    same universe would (modulo the ``perf:``/``fabric:`` status lines,
+    which comparison tooling filters), so sharded-and-merged output can
+    be diffed byte-for-byte against a clean run.
+    """
+    from repro import obs
+    from repro.scanfabric import merge_journals, write_merged
+
+    _obs_begin(args)
+    result = merge_journals(
+        args.fabric_dir, require_complete=not args.partial
+    )
+    target = write_merged(args.fabric_dir, result, path=args.out)
+    plan, rows = result.plan, result.rows
+    meta = plan.meta
+    if meta:
+        print(
+            _universe_line(
+                plan.n_schemas, meta["types"], meta["max_arity"],
+                meta["max_relations"], len(rows), meta["max_atoms"],
+            )
+        )
+    _print_scan_rows(rows)
+    print(result.stats.census_line())
+    consistent, decided = _print_scan_conclusion(rows)
+    verdicts = _row_verdict_events(rows)
+    print(obs.verdict_summary_line(verdicts))
+    print(f"fabric: merged journal written to {target}")
+    _obs_end(args, verdicts=verdicts)
+    if not consistent:
+        return 1
+    complete = len(rows) == len(plan.all_cells)
+    return 0 if (decided and complete) else 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -714,7 +865,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_flag(p)
     _add_obs_flags(p)
     _add_resilience_flags(p)
+    p.add_argument(
+        "--fabric", metavar="DIR",
+        help="cooperate on a crash-tolerant sharded scan in DIR: any "
+        "number of workers may run this concurrently, claiming shards "
+        "via TTL leases and resuming each other's journals "
+        "(docs/RESILIENCE.md §'Sharded scans')",
+    )
+    p.add_argument(
+        "--fabric-owner", metavar="NAME", default=None,
+        help="this worker's owner name in lease files (default: host-pid)",
+    )
+    p.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="shard lease TTL; a worker silent this long is presumed "
+        "dead and its shard is stolen (default: 30)",
+    )
+    p.add_argument(
+        "--shard-cells", type=int, default=32, metavar="N",
+        help="cells per fabric shard (default: 32)",
+    )
+    p.add_argument(
+        "--no-symmetry", action="store_true",
+        help="scan isomorphic-duplicate pairs instead of recording them "
+        "as symmetric to a representative",
+    )
+    p.add_argument(
+        "--incremental", metavar="PRIOR.jsonl",
+        help="re-verify only cells whose schema fingerprints changed "
+        "since this merged journal; carry the rest forward",
+    )
     p.set_defaults(fn=_cmd_theorem13)
+
+    p = sub.add_parser(
+        "merge-journals",
+        help="merge a fabric directory's shard journals into one "
+        "verified report (byte-identical to a single-process scan)",
+    )
+    p.add_argument("fabric_dir", help="the --fabric DIR the workers shared")
+    p.add_argument(
+        "--out", metavar="FILE.jsonl",
+        help="write the merged journal here (default: DIR/merged.jsonl)",
+    )
+    p.add_argument(
+        "--partial", action="store_true",
+        help="merge what exists even if shards are unfinished (exit 3)",
+    )
+    _add_obs_flags(p)
+    p.set_defaults(fn=_cmd_merge_journals)
 
     return parser
 

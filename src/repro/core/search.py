@@ -873,6 +873,27 @@ def _equiv_cell_core(
     return isomorphic, result.found, verdict
 
 
+def theorem13_cell(
+    s1: DatabaseSchema,
+    s2: DatabaseSchema,
+    max_atoms: int = 2,
+    per_relation_cap: Optional[int] = None,
+    mapping_cap: Optional[int] = None,
+    deadline: _deadline.DeadlineLike = None,
+    pair_deadline: Optional[float] = None,
+) -> Tuple[bool, bool, str]:
+    """One Theorem 13 cell, standalone: ``(isomorphic, found, verdict)``.
+
+    Exactly the computation :func:`theorem13_scan` performs per unordered
+    pair, exposed for callers that schedule cells themselves (the scan
+    fabric's shard workers, the symmetry-soundness property tests).
+    """
+    return _equiv_cell_core(
+        s1, s2, max_atoms, per_relation_cap, mapping_cap,
+        _deadline.as_deadline(deadline, label="cell"), pair_deadline,
+    )
+
+
 def _dominance_cell(payload) -> _CellResult:
     """Worker: one (i, j) cell of the dominance matrix."""
     i, j, s1, s2, max_atoms, per_relation_cap, mapping_cap, env = payload
@@ -1010,12 +1031,20 @@ def theorem13_scan(
     mp_context=None,
     checkpoint: Optional[_checkpoint.ScanCheckpoint] = None,
     on_progress: Optional[Callable[[int, int, str], None]] = None,
+    cells: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> List[ScanRow]:
     """Scan all unordered pairs of ``schemas`` for Theorem 13's prediction.
 
     For each pair, run the bounded equivalence search and compare against
     the isomorphism test.  Every row should satisfy
     ``consistent_with_theorem13``.
+
+    ``cells`` restricts the scan to an explicit subset of unordered pairs
+    (each ``(i, j)`` with ``i <= j``), in the given order — this is the
+    shard-aware entry the scan fabric uses: a fabric worker passes one
+    shard's cells plus that shard's journal as ``checkpoint``, and the
+    returned rows cover exactly those cells.  Without ``cells`` the full
+    grid is scanned in ``(i, j)``-sorted order as before.
 
     ``n_workers > 1`` distributes pairs across a recoverable process pool.
     Rows come back in the same (i, j)-sorted order with the same verdicts
@@ -1028,9 +1057,18 @@ def theorem13_scan(
     """
     registry = _metrics.registry()
     scan_dl = _deadline.as_deadline(deadline, label="scan")
-    keys = [
-        (i, j) for i in range(len(schemas)) for j in range(i, len(schemas))
-    ]
+    if cells is None:
+        keys = [
+            (i, j) for i in range(len(schemas)) for j in range(i, len(schemas))
+        ]
+    else:
+        keys = [(int(i), int(j)) for i, j in cells]
+        for i, j in keys:
+            if not (0 <= i <= j < len(schemas)):
+                raise ValueError(
+                    f"cell ({i}, {j}) is not an unordered pair over "
+                    f"{len(schemas)} schema(s)"
+                )
     rows_by_key: Dict[Tuple[int, int], ScanRow] = {}
     pending: List[Tuple[int, int]] = []
     for key in keys:

@@ -97,5 +97,25 @@ class CheckpointError(ReproError):
     """A scan checkpoint file is unusable (corrupt, or from another scan)."""
 
 
+class FabricError(ReproError):
+    """A scan-fabric directory is unusable (:mod:`repro.scanfabric`).
+
+    Examples: a plan built from a different scan configuration, shard
+    journals recording conflicting verdicts for the same cell, or a merge
+    attempted while shards are still incomplete.
+    """
+
+
+class LeaseExpired(ReproError):
+    """A fabric shard lease expired or was reclaimed by another worker.
+
+    Raised inside a fabric worker when a heartbeat discovers the lease
+    record no longer names it (the shard was stolen), or by the
+    ``lease_expire`` fault action to simulate exactly that.  The worker
+    abandons the shard mid-scan; its journal segment keeps every cell it
+    completed, and the next owner resumes from there.
+    """
+
+
 class InjectedFault(ReproError):
     """A deterministic test fault fired (:mod:`repro.resilience.faults`)."""

@@ -166,6 +166,26 @@ def _tiles_section(
             f"{name}:{_fmt(value)}" for name, value in sorted(dispatched.items())
         )
         tiles.append(_tile(census, "backend dispatches"))
+    leased = snapshot.get("fabric.shards.leased", 0)
+    if leased:
+        tiles.append(
+            _tile(
+                f"{_fmt(leased)}/{_fmt(snapshot.get('fabric.shards.stolen', 0))}"
+                f"/{_fmt(snapshot.get('fabric.shards.reclaimed', 0))}",
+                "shards leased/stolen/reclaimed",
+            )
+        )
+    fabric_cells = {
+        kind: snapshot.get(f"fabric.cells.{kind}", 0)
+        for kind in ("scanned", "symmetric", "carried")
+    }
+    if any(fabric_cells.values()):
+        tiles.append(
+            _tile(
+                "/".join(_fmt(fabric_cells[k]) for k in ("scanned", "symmetric", "carried")),
+                "fabric cells scanned/sym/carried",
+            )
+        )
     if total_ticks:
         tiles.append(_tile(f"{total_ticks} ({coverage})", "samples (attributed)"))
     return '<div class="tiles">' + "".join(tiles) + "</div>"

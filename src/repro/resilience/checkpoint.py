@@ -18,11 +18,27 @@ different configuration raises :class:`~repro.errors.CheckpointError`
 rather than silently mixing incompatible verdicts.  A truncated final
 line (the process died mid-write) is tolerated and dropped; corruption
 anywhere else is an error.
+
+Durability levels: by default ``record()`` flushes each line to the OS
+(survives the *process* dying), and with ``durable=True`` it also
+``fsync``\\ s it to the device (survives the *machine* dying — a torn
+page, not just a torn line, can otherwise silently drop completed cells
+after a power-loss-style kill).  The scan fabric
+(:mod:`repro.scanfabric`) opens its shard journals durable, because a
+lease takeover *trusts* the previous owner's journal.
+
+:func:`read_journal` is the read-only half: it replays any journal
+without opening it for append, which is what the fabric's mid-shard
+resume and :mod:`repro.scanfabric.merge` build on.  Unlike plain resume
+it also refuses duplicate keys with *conflicting* data — two owners of a
+stolen shard may legitimately re-record the same cell, but only with the
+same outcome.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
@@ -40,14 +56,77 @@ def _as_key(key: Union[int, Sequence[int]]) -> Key:
     return tuple(int(part) for part in key)
 
 
+def read_journal(
+    path: Union[str, Path],
+    fingerprint: Optional[dict] = None,
+) -> Tuple[dict, Dict[Key, dict]]:
+    """Replay a journal read-only: ``(header_fingerprint, done)``.
+
+    Tolerates a torn final line (the writer died mid-append) and nothing
+    else.  When ``fingerprint`` is given the header must match it.
+    Duplicate keys are allowed only when they carry identical data —
+    conflicting duplicates mean two scans disagreed about the same unit,
+    which no caller can safely resolve.
+    """
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise CheckpointError(f"{path}: empty checkpoint (no header)")
+    records = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if number == len(lines):
+                break  # torn final write: the unit never completed
+            raise CheckpointError(
+                f"{path}:{number}: corrupt checkpoint line: {exc}"
+            ) from exc
+    if not records or records[0].get("kind") != "header":
+        raise CheckpointError(f"{path}: missing checkpoint header")
+    header = records[0]
+    if header.get("v") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint version {header.get('v')!r} "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    if fingerprint is not None and header.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            f"{path}: checkpoint belongs to a different scan configuration; "
+            "refusing to resume (delete the file or match the original flags)"
+        )
+    done: Dict[Key, dict] = {}
+    for record in records[1:]:
+        if record.get("kind") != "cell" or "key" not in record:
+            raise CheckpointError(
+                f"{path}: unexpected checkpoint record {record!r}"
+            )
+        key = _as_key(record["key"])
+        data = record.get("data", {})
+        if key in done and done[key] != data:
+            raise CheckpointError(
+                f"{path}: conflicting records for unit {list(key)}: "
+                f"{done[key]!r} vs {data!r}"
+            )
+        done[key] = data
+    return header.get("fingerprint", {}), done
+
+
 class ScanCheckpoint:
     """An open checkpoint journal: completed units in, completed units out."""
 
     def __init__(
-        self, path: Union[str, Path], fingerprint: dict, done: Dict[Key, dict]
+        self,
+        path: Union[str, Path],
+        fingerprint: dict,
+        done: Dict[Key, dict],
+        durable: bool = False,
     ) -> None:
         self.path = Path(path)
         self.fingerprint = fingerprint
+        self.durable = durable
         self._done = done
         self._handle = self.path.open("a", encoding="utf-8")
 
@@ -57,6 +136,7 @@ class ScanCheckpoint:
         path: Union[str, Path],
         fingerprint: dict,
         resume: bool = False,
+        durable: bool = False,
     ) -> "ScanCheckpoint":
         """Start (or resume) a checkpoint at ``path``.
 
@@ -64,11 +144,12 @@ class ScanCheckpoint:
         header written.  With ``resume`` an existing journal is replayed
         (its fingerprint must equal ``fingerprint``); a missing file
         degrades to a fresh start, so ``--resume`` is safe on first run.
+        ``durable=True`` fsyncs every appended record (header included).
         """
         path = Path(path)
         if resume and path.exists():
             done = cls._replay(path, fingerprint)
-            return cls(path, fingerprint, done)
+            return cls(path, fingerprint, done, durable=durable)
         path.parent.mkdir(parents=True, exist_ok=True)
         with path.open("w", encoding="utf-8") as handle:
             handle.write(
@@ -82,45 +163,14 @@ class ScanCheckpoint:
                 )
                 + "\n"
             )
-        return cls(path, fingerprint, {})
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
+        return cls(path, fingerprint, {}, durable=durable)
 
     @staticmethod
     def _replay(path: Path, fingerprint: dict) -> Dict[Key, dict]:
-        lines = path.read_text(encoding="utf-8").splitlines()
-        if not lines:
-            raise CheckpointError(f"{path}: empty checkpoint (no header)")
-        records = []
-        for number, line in enumerate(lines, start=1):
-            if not line.strip():
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                if number == len(lines):
-                    break  # torn final write: the unit never completed
-                raise CheckpointError(
-                    f"{path}:{number}: corrupt checkpoint line: {exc}"
-                ) from exc
-        if not records or records[0].get("kind") != "header":
-            raise CheckpointError(f"{path}: missing checkpoint header")
-        header = records[0]
-        if header.get("v") != CHECKPOINT_VERSION:
-            raise CheckpointError(
-                f"{path}: checkpoint version {header.get('v')!r} "
-                f"(expected {CHECKPOINT_VERSION})"
-            )
-        if header.get("fingerprint") != fingerprint:
-            raise CheckpointError(
-                f"{path}: checkpoint belongs to a different scan configuration; "
-                "refusing to resume (delete the file or match the original flags)"
-            )
-        done: Dict[Key, dict] = {}
-        for record in records[1:]:
-            if record.get("kind") != "cell" or "key" not in record:
-                raise CheckpointError(
-                    f"{path}: unexpected checkpoint record {record!r}"
-                )
-            done[_as_key(record["key"])] = record.get("data", {})
+        _, done = read_journal(path, fingerprint)
         _metrics.registry().counter("resilience.checkpoint.resumed").inc(len(done))
         return done
 
@@ -136,7 +186,12 @@ class ScanCheckpoint:
         return len(self._done)
 
     def record(self, key: Union[int, Sequence[int]], data: dict) -> None:
-        """Journal one completed unit (appended and flushed immediately)."""
+        """Journal one completed unit (appended and flushed immediately).
+
+        With ``durable=True`` the line is also fsynced, so a completed
+        unit survives even a power-loss-style kill that tears a whole
+        page of buffered writes, not just the final line.
+        """
         normalised = _as_key(key)
         if normalised in self._done:
             return
@@ -154,6 +209,8 @@ class ScanCheckpoint:
             + "\n"
         )
         self._handle.flush()
+        if self.durable:
+            os.fsync(self._handle.fileno())
         _metrics.registry().counter("resilience.checkpoint.cells").inc()
 
     def close(self) -> None:

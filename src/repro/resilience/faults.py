@@ -31,14 +31,15 @@ import random
 import time
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
-from repro.errors import InjectedFault
+from repro.errors import InjectedFault, LeaseExpired
 from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 
 ENV_VAR = "REPRO_FAULTS"
 
-_ACTIONS = ("raise", "kill", "delay", "interrupt")
+_ACTIONS = ("raise", "kill", "delay", "interrupt", "lease_expire", "kill_merge")
 _KILL_EXIT_CODE = 86  # distinctive, so a surprise worker death is greppable
+_KILL_MERGE_EXIT_CODE = 87  # a merge process killed mid-write, ditto
 
 
 class FaultRule(NamedTuple):
@@ -223,6 +224,16 @@ def fire(site: str, key: object = None, attempt: Optional[int] = None) -> None:
     ``os._exit`` — the closest stand-in for an OOM kill, which is exactly
     what a ``BrokenProcessPool`` looks like from the parent — except in
     the installing process itself, where it degrades to a no-op.
+
+    Two fabric-specific actions (see ``docs/RESILIENCE.md`` §"Sharded
+    scans"): ``lease_expire`` raises :class:`~repro.errors.LeaseExpired`,
+    simulating a heartbeat that discovers the shard lease was reclaimed —
+    the fabric worker abandons the shard mid-scan and another owner
+    resumes it from its journal.  ``kill_merge`` is a ``kill`` that
+    *ignores* the installing-process guard: a merge drill targets the
+    top-level ``merge-journals`` process itself, so arm it only against a
+    subprocess you intend to lose (exit code 87, distinct from worker
+    kills).
     """
     plan = active_plan()
     if plan is None:
@@ -245,6 +256,10 @@ def fire(site: str, key: object = None, attempt: Optional[int] = None) -> None:
         raise InjectedFault(f"injected fault at {site!r} (key={key!r})")
     elif matched.action == "interrupt":
         raise KeyboardInterrupt(f"injected interrupt at {site!r}")
+    elif matched.action == "lease_expire":
+        raise LeaseExpired(f"injected lease expiry at {site!r} (key={key!r})")
+    elif matched.action == "kill_merge":
+        os._exit(_KILL_MERGE_EXIT_CODE)
     elif matched.action == "kill":
         if os.getpid() == plan.install_pid:
             return  # never kill the driver; a dead test harness proves nothing

@@ -18,7 +18,11 @@ pipeline uses:
 * an item out of pool attempts falls back to in-process execution via
   ``inline_fn`` — slower, but immune to worker crashes;
 * ``KeyboardInterrupt`` shuts the pool down (cancelling what it can) and
-  propagates, leaving every already-delivered result delivered;
+  propagates, leaving every already-delivered result delivered; on the
+  in-process fallback path it is re-raised *promptly* — never counted as
+  a retry attempt or folded into another round — so a Ctrl-C during
+  inline execution still reaches the CLI's resume-hint handler (the
+  parent-side ``retry.inline`` fault site lets tests inject one there);
 * an expired ``deadline`` stops submitting and returns, reporting the
   never-finished indices as ``incomplete``.
 
@@ -36,6 +40,7 @@ from typing import Any, Callable, List, NamedTuple, Optional, Tuple
 
 from repro.obs import events as _events
 from repro.obs import metrics as _metrics
+from repro.resilience import faults as _faults
 from repro.resilience.deadline import Deadline
 
 
@@ -117,7 +122,22 @@ def resilient_map(
             _events.record_incident(
                 _events.retry_event(index, attempts[index], "inline")
             )
-            finish(index, run_inline(make_payload(index, attempts[index])))
+            # Parent-side fault site: lets tests land a simulated Ctrl-C
+            # exactly on the fallback path (the inline unit itself skips
+            # worker fault hooks by design).
+            _faults.fire("retry.inline", key=index, attempt=attempts[index])
+            try:
+                value = run_inline(make_payload(index, attempts[index]))
+            except KeyboardInterrupt:
+                # Re-raise promptly: an interrupt during inline execution
+                # must never be absorbed into a retry attempt — already-
+                # delivered results stay delivered and the caller's
+                # resume-hint handler runs.
+                _events.record_incident(
+                    _events.retry_event(index, attempts[index], "interrupted")
+                )
+                raise
+            finish(index, value)
         if not pending:
             break
         if round_number > 0:

@@ -1,0 +1,159 @@
+"""Fabric directory layout and per-shard journal segments.
+
+A fabric directory looks like::
+
+    FABRIC/
+      plan.json                        # frozen disposition (plan.py)
+      leases/shard-00007.lease         # one lease file per shard
+      shards/shard-00007.g0.host-1.jsonl   # journal segment: gen 0, owner host-1
+      shards/shard-00007.g1.host-2.jsonl   # ...the thief's segment after a steal
+      shards/shard-00007.done          # completion marker (atomic rename)
+      merged.jsonl                     # merge output (merge.py)
+
+Each lease generation writes its *own* segment — named by shard index,
+generation and owner — so two owners of a stolen shard never co-write a
+file, and no append ever races another process.  A shard's completed
+cells are the **union of all its segments**: identical duplicates (two
+owners both finished a cell before the steal was noticed) are fine,
+conflicting duplicates are a :class:`~repro.errors.FabricError` — that
+would mean the scan is not deterministic, and no merge order could be
+trusted.
+
+Segments are written ``durable`` (fsync per cell), so a takeover may
+trust every complete line it reads.  A segment consisting of nothing, or
+of a single torn line, is what a worker killed *during journal creation*
+leaves behind; it contains no completed cells and is skipped.  Any other
+malformation is real corruption and raises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import FabricError
+from repro.resilience.checkpoint import read_journal
+
+Cell = Tuple[int, int]
+
+LEASE_DIR = "leases"
+SHARD_DIR = "shards"
+MERGED_FILENAME = "merged.jsonl"
+
+
+def _shard_stem(shard_index: int) -> str:
+    return f"shard-{shard_index:05d}"
+
+
+def lease_path(root: Union[str, Path], shard_index: int) -> Path:
+    """The lease file for one shard."""
+    return Path(root) / LEASE_DIR / f"{_shard_stem(shard_index)}.lease"
+
+
+def _safe_owner(owner: str) -> str:
+    """Owner names become filename components; neuter anything unsafe."""
+    return "".join(
+        ch if (ch.isalnum() or ch in "-_") else "_" for ch in owner
+    ) or "owner"
+
+
+def segment_path(
+    root: Union[str, Path],
+    shard_index: int,
+    generation: int,
+    owner: str,
+) -> Path:
+    """This (shard, lease generation, owner)'s private journal segment."""
+    return (
+        Path(root)
+        / SHARD_DIR
+        / f"{_shard_stem(shard_index)}.g{generation}.{_safe_owner(owner)}.jsonl"
+    )
+
+
+def segment_paths(root: Union[str, Path], shard_index: int) -> List[Path]:
+    """All journal segments ever written for one shard, sorted by name."""
+    shard_dir = Path(root) / SHARD_DIR
+    if not shard_dir.is_dir():
+        return []
+    return sorted(shard_dir.glob(f"{_shard_stem(shard_index)}.g*.jsonl"))
+
+
+def done_marker_path(root: Union[str, Path], shard_index: int) -> Path:
+    return Path(root) / SHARD_DIR / f"{_shard_stem(shard_index)}.done"
+
+
+def shard_done(root: Union[str, Path], shard_index: int) -> bool:
+    """True once some owner has published the shard's completion marker."""
+    return done_marker_path(root, shard_index).exists()
+
+
+def mark_shard_done(
+    root: Union[str, Path], shard_index: int, payload: dict
+) -> Path:
+    """Atomically publish the shard's ``.done`` marker.
+
+    The marker is advisory (the merge re-derives completion from the
+    segments themselves); it exists so other workers stop trying to
+    claim a finished shard without replaying its journals.
+    """
+    path = done_marker_path(root, shard_index)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def _read_segment(path: Path, fingerprint: dict) -> Optional[Dict[Cell, dict]]:
+    """One segment's completed cells, or None for a died-at-birth segment.
+
+    A worker killed between creating the file and fsyncing the header
+    leaves an empty file or a single torn line; either way no cell was
+    recorded, so the segment is skippable.  Everything else goes through
+    the strict :func:`~repro.resilience.checkpoint.read_journal`.
+    """
+    raw = path.read_text(encoding="utf-8")
+    lines = raw.splitlines()
+    if not lines:
+        return None
+    try:
+        json.loads(lines[0])
+    except ValueError:
+        if len(lines) == 1:
+            return None  # lone torn header: the journal never got started
+        raise FabricError(
+            f"{path}: corrupt journal segment (unreadable header with "
+            "records after it)"
+        )
+    _, done = read_journal(path, fingerprint)
+    return {(key[0], key[1]): data for key, data in done.items()}
+
+
+def replay_shard(
+    root: Union[str, Path], shard_index: int, fingerprint: dict
+) -> Dict[Cell, dict]:
+    """The union of completed cells across all of a shard's segments.
+
+    Raises :class:`FabricError` when two segments disagree about a cell
+    — two owners are only ever allowed to *agree* redundantly.
+    """
+    done: Dict[Cell, dict] = {}
+    origin: Dict[Cell, Path] = {}
+    for path in segment_paths(root, shard_index):
+        segment = _read_segment(path, fingerprint)
+        if segment is None:
+            continue
+        for cell, data in segment.items():
+            previous = done.get(cell)
+            if previous is not None and previous != data:
+                raise FabricError(
+                    f"shard {shard_index}: conflicting verdicts for cell "
+                    f"{list(cell)}: {previous!r} in {origin[cell].name} vs "
+                    f"{data!r} in {path.name}; the journals cannot be merged"
+                )
+            done[cell] = data
+            origin.setdefault(cell, path)
+    return done

@@ -1,0 +1,298 @@
+"""The fabric worker loop: claim, scan, heartbeat, steal, repeat.
+
+``run_fabric_worker`` is what ``repro theorem13 --fabric DIR`` runs.  Any
+number of workers may execute it concurrently against the same directory
+(and the same schema universe — the plan fingerprint enforces that);
+each loops over the shards, claims whatever is claimable, and scans the
+claimed shard's still-missing cells through the shard-aware
+:func:`repro.core.search.theorem13_scan`, journaling each decided cell
+durably as it lands.
+
+Crash tolerance comes from three properties working together:
+
+* a worker that dies mid-shard stops heartbeating, its lease expires,
+  and a surviving worker *steals* the shard — resuming from the union
+  of the dead owner's journal segments, so only the in-flight cell is
+  redone;
+* a worker that is merely slow discovers the theft at its next
+  heartbeat (:class:`~repro.errors.LeaseExpired`), abandons the shard
+  and moves on; its completed cells remain on disk and, being
+  deterministic, agree with the thief's;
+* when every remaining shard is owned by *live* other workers, the loop
+  polls (cheap ``.done``/lease reads, no scanning) until they finish or
+  expire — so "run N workers, wait for all" needs no coordinator.
+
+Fault sites (``docs/RESILIENCE.md``): ``fabric.shard`` fires on each
+successful claim (attempt = lease generation — kill rules with
+``attempts=[0]`` kill first owners and spare the thieves),
+``fabric.cell`` fires between settled cells of a shard scan, and
+``fabric.lease.heartbeat`` fires just before each heartbeat write.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Callable, NamedTuple, Optional, Sequence, Union
+
+from repro.core.search import theorem13_scan
+from repro.errors import FabricError, LeaseExpired
+from repro.obs import metrics as _metrics
+from repro.relational.schema import DatabaseSchema
+from repro.resilience import faults as _faults
+from repro.resilience.checkpoint import ScanCheckpoint
+from repro.resilience.retry import RetryPolicy
+from repro.scanfabric import journal as _journal
+from repro.scanfabric.lease import DEFAULT_TTL, ShardLease
+from repro.scanfabric.plan import DEFAULT_SHARD_CELLS, FabricPlan, ensure_plan
+
+
+def default_owner() -> str:
+    """A reasonably unique owner name: ``host-pid``."""
+    host = socket.gethostname().split(".")[0] or "host"
+    return f"{host}-{os.getpid()}"
+
+
+class FabricWorkerResult(NamedTuple):
+    """What one worker contributed before the grid was fully claimed."""
+
+    owner: str
+    shards_completed: int
+    shards_resumed: int
+    shards_lost: int
+    cells_scanned: int
+    cells_resumed: int
+
+    def summary(self) -> str:
+        return (
+            f"owner={self.owner} shards_completed={self.shards_completed} "
+            f"shards_resumed={self.shards_resumed} "
+            f"shards_lost={self.shards_lost} "
+            f"cells_scanned={self.cells_scanned} "
+            f"cells_resumed={self.cells_resumed}"
+        )
+
+
+class _ShardOutcome(NamedTuple):
+    scanned: int
+    resumed: int
+
+
+def _scan_shard(
+    root: Path,
+    plan: FabricPlan,
+    shard_index: int,
+    schemas: Sequence[DatabaseSchema],
+    lease: ShardLease,
+    *,
+    max_atoms: int,
+    per_relation_cap: Optional[int],
+    mapping_cap: Optional[int],
+    n_workers: int,
+    retry_policy: Optional[RetryPolicy],
+    mp_context,
+    clock: Callable[[], float],
+    on_cells: Optional[Callable[[int], None]],
+) -> _ShardOutcome:
+    """Scan one claimed shard's missing cells into a fresh segment.
+
+    Heartbeats ride the scan's progress callback: between settled cells
+    (never blocking inside one) the worker refreshes its lease once a
+    quarter-TTL has passed.  A failed refresh raises
+    :class:`LeaseExpired` and the caller abandons the shard.
+    """
+    assert lease.record is not None
+    generation = lease.record.generation
+    cells = plan.shards[shard_index]
+    already = _journal.replay_shard(root, shard_index, plan.scan_fingerprint)
+    remaining = [cell for cell in cells if cell not in already]
+    resumed = len(already)
+
+    state = {"calls": 0, "last_heartbeat": clock(), "settled": 0}
+
+    def on_progress(done_units: int, total_units: int, proc: str) -> None:
+        state["calls"] += 1
+        if state["calls"] == 1:
+            return  # the baseline report, before any cell settles
+        state["settled"] += 1
+        if on_cells is not None:
+            on_cells(1)
+        _faults.fire("fabric.cell", key=shard_index, attempt=generation)
+        now = clock()
+        if now - state["last_heartbeat"] >= lease.ttl / 4.0:
+            _faults.fire(
+                "fabric.lease.heartbeat", key=shard_index, attempt=generation
+            )
+            if not lease.heartbeat():
+                raise LeaseExpired(
+                    f"shard {shard_index}: lease lost to another owner "
+                    f"(owner={lease.owner}, generation={generation})"
+                )
+            state["last_heartbeat"] = now
+
+    if remaining:
+        segment = _journal.segment_path(
+            root, shard_index, generation, lease.owner
+        )
+        with ScanCheckpoint.open(
+            segment, plan.scan_fingerprint, durable=True
+        ) as checkpoint:
+            rows = theorem13_scan(
+                schemas,
+                max_atoms=max_atoms,
+                per_relation_cap=per_relation_cap,
+                mapping_cap=mapping_cap,
+                n_workers=n_workers,
+                retry_policy=retry_policy,
+                mp_context=mp_context,
+                checkpoint=checkpoint,
+                on_progress=on_progress,
+                cells=remaining,
+            )
+        undecided = [row for row in rows if row.verdict != "ok"]
+        if undecided:
+            # Undecided cells are never journaled, so the shard can never
+            # finish; in fabric mode that is a configuration error (no
+            # scan/pair deadlines belong here), not a retryable state.
+            raise FabricError(
+                f"shard {shard_index}: {len(undecided)} cell(s) left "
+                "undecided (timeout/unknown); fabric shards must decide "
+                "every cell — rerun without deadlines"
+            )
+    _metrics.registry().counter("fabric.cells.scanned").inc(state["settled"])
+    return _ShardOutcome(scanned=state["settled"], resumed=resumed)
+
+
+def run_fabric_worker(
+    root: Union[str, Path],
+    schemas: Sequence[DatabaseSchema],
+    *,
+    max_atoms: int = 2,
+    per_relation_cap: Optional[int] = None,
+    mapping_cap: Optional[int] = None,
+    owner: Optional[str] = None,
+    ttl: float = DEFAULT_TTL,
+    shard_cells: int = DEFAULT_SHARD_CELLS,
+    symmetry: bool = True,
+    prior: Optional[Union[str, Path]] = None,
+    meta: Optional[dict] = None,
+    n_workers: int = 1,
+    retry_policy: Optional[RetryPolicy] = None,
+    mp_context=None,
+    poll_interval: Optional[float] = None,
+    clock: Callable[[], float] = time.time,
+    on_progress: Optional[Callable[[int, int, str], None]] = None,
+) -> FabricWorkerResult:
+    """Cooperate on the fabric at ``root`` until every shard is done.
+
+    Returns once every shard of the plan has a ``.done`` marker —
+    whether this worker or its peers produced them.  ``on_progress``
+    (same shape as the scan callback: ``(done, total, proc)``) reports
+    this worker's cumulative cells over the plan's total scan cells,
+    with ``proc`` fixed to the owner name so a progress census groups
+    by owner.
+    """
+    root = Path(root)
+    owner = owner or default_owner()
+    plan = ensure_plan(
+        root,
+        schemas,
+        max_atoms=max_atoms,
+        per_relation_cap=per_relation_cap,
+        mapping_cap=mapping_cap,
+        shard_cells=shard_cells,
+        symmetry=symmetry,
+        prior=prior,
+        meta=meta,
+    )
+    n_shards = len(plan.shards)
+    total_cells = len(plan.scan_cells)
+    if poll_interval is None:
+        poll_interval = max(0.02, min(0.5, ttl / 4.0))
+    registry = _metrics.registry()
+
+    progress = {"cells": 0}
+
+    def report() -> None:
+        if on_progress is not None:
+            on_progress(progress["cells"], total_cells, owner)
+
+    def on_cells(count: int) -> None:
+        progress["cells"] += count
+        report()
+
+    report()
+    completed = resumed_shards = lost = scanned = resumed_cells = 0
+    while True:
+        all_done = True
+        progressed = False
+        for shard_index in range(n_shards):
+            if _journal.shard_done(root, shard_index):
+                continue
+            all_done = False
+            lease = ShardLease(
+                _journal.lease_path(root, shard_index),
+                owner,
+                ttl=ttl,
+                clock=clock,
+            )
+            record = lease.try_acquire()
+            if record is None:
+                continue
+            _faults.fire(
+                "fabric.shard", key=shard_index, attempt=record.generation
+            )
+            try:
+                outcome = _scan_shard(
+                    root,
+                    plan,
+                    shard_index,
+                    schemas,
+                    lease,
+                    max_atoms=max_atoms,
+                    per_relation_cap=per_relation_cap,
+                    mapping_cap=mapping_cap,
+                    n_workers=n_workers,
+                    retry_policy=retry_policy,
+                    mp_context=mp_context,
+                    clock=clock,
+                    on_cells=on_cells,
+                )
+            except LeaseExpired:
+                lost += 1
+                registry.counter("fabric.leases.lost").inc()
+                progressed = True  # cells were journaled before the loss
+                continue
+            _journal.mark_shard_done(
+                root,
+                shard_index,
+                {
+                    "owner": owner,
+                    "generation": record.generation,
+                    "cells": len(plan.shards[shard_index]),
+                },
+            )
+            lease.release()
+            completed += 1
+            scanned += outcome.scanned
+            resumed_cells += outcome.resumed
+            if outcome.resumed:
+                resumed_shards += 1
+            progressed = True
+        if all_done:
+            break
+        if not progressed:
+            # Everything unfinished is owned by live peers: poll until
+            # their markers appear or their leases expire.
+            time.sleep(poll_interval)
+    report()
+    return FabricWorkerResult(
+        owner=owner,
+        shards_completed=completed,
+        shards_resumed=resumed_shards,
+        shards_lost=lost,
+        cells_scanned=scanned,
+        cells_resumed=resumed_cells,
+    )

@@ -116,3 +116,114 @@ def test_records_are_flushed_as_written(tmp_path):
         assert json.loads(on_disk[1])["key"] == [3, 4]
     finally:
         ck.close()
+
+
+def test_durable_checkpoint_fsyncs_header_and_records(tmp_path, monkeypatch):
+    import os as os_mod
+
+    synced = []
+    real_fsync = os_mod.fsync
+
+    def counting_fsync(fd):
+        synced.append(fd)
+        real_fsync(fd)
+
+    monkeypatch.setattr(
+        "repro.resilience.checkpoint.os.fsync", counting_fsync
+    )
+    path = tmp_path / "ck.jsonl"
+    with ScanCheckpoint.open(path, FP, durable=True) as ck:
+        assert len(synced) == 1  # the header
+        ck.record((0, 1), {"found": True})
+        assert len(synced) == 2
+        ck.record((0, 2), {"found": False})
+        assert len(synced) == 3
+        ck.record((0, 1), {"found": True})  # duplicate: no new write
+        assert len(synced) == 3
+
+
+def test_default_checkpoint_never_fsyncs(tmp_path, monkeypatch):
+    def forbidden_fsync(fd):
+        raise AssertionError("non-durable checkpoint must not fsync")
+
+    monkeypatch.setattr(
+        "repro.resilience.checkpoint.os.fsync", forbidden_fsync
+    )
+    path = tmp_path / "ck.jsonl"
+    with ScanCheckpoint.open(path, FP) as ck:
+        ck.record((0, 1), {"found": True})
+    assert len(path.read_text().splitlines()) == 2
+
+
+def test_durable_survives_resume_round_trip(tmp_path):
+    path = tmp_path / "ck.jsonl"
+    with ScanCheckpoint.open(path, FP, durable=True) as ck:
+        ck.record((1, 2), {"found": True})
+    with ScanCheckpoint.open(path, FP, resume=True, durable=True) as ck:
+        assert ck.get((1, 2)) == {"found": True}
+
+
+def test_read_journal_round_trip(tmp_path):
+    from repro.resilience.checkpoint import read_journal
+
+    path = tmp_path / "ck.jsonl"
+    with ScanCheckpoint.open(path, FP) as ck:
+        ck.record((0, 1), {"found": True})
+        ck.record((2, 3), {"found": False})
+    fingerprint, done = read_journal(path, FP)
+    assert fingerprint == FP
+    assert done == {(0, 1): {"found": True}, (2, 3): {"found": False}}
+
+
+def test_read_journal_tolerates_torn_tail_only(tmp_path):
+    from repro.resilience.checkpoint import read_journal
+
+    path = tmp_path / "ck.jsonl"
+    with ScanCheckpoint.open(path, FP) as ck:
+        ck.record((0, 1), {"found": True})
+    with path.open("a") as handle:
+        handle.write('{"v": 1, "kind": "cell", "key": [9')  # torn
+    _, done = read_journal(path)
+    assert done == {(0, 1): {"found": True}}
+
+
+def test_read_journal_rejects_conflicting_duplicates(tmp_path):
+    from repro.resilience.checkpoint import read_journal
+
+    path = tmp_path / "ck.jsonl"
+    with ScanCheckpoint.open(path, FP) as ck:
+        ck.record((0, 1), {"found": True})
+    line = json.dumps(
+        {"v": CHECKPOINT_VERSION, "kind": "cell", "key": [0, 1],
+         "data": {"found": False}}
+    )
+    with path.open("a") as handle:
+        handle.write(line + "\n" + "\n")  # conflicting dup + padding line
+    with pytest.raises(CheckpointError, match="conflicting records"):
+        read_journal(path)
+
+
+def test_read_journal_accepts_identical_duplicates(tmp_path):
+    from repro.resilience.checkpoint import read_journal
+
+    path = tmp_path / "ck.jsonl"
+    with ScanCheckpoint.open(path, FP) as ck:
+        ck.record((0, 1), {"found": True})
+    line = json.dumps(
+        {"v": CHECKPOINT_VERSION, "kind": "cell", "key": [0, 1],
+         "data": {"found": True}}
+    )
+    with path.open("a") as handle:
+        handle.write(line + "\n" + "\n")
+    _, done = read_journal(path)
+    assert done == {(0, 1): {"found": True}}
+
+
+def test_read_journal_verifies_fingerprint(tmp_path):
+    from repro.resilience.checkpoint import read_journal
+
+    path = tmp_path / "ck.jsonl"
+    with ScanCheckpoint.open(path, FP) as ck:
+        ck.record((0, 1), {"found": True})
+    with pytest.raises(CheckpointError, match="different scan configuration"):
+        read_journal(path, {"kind": "other"})

@@ -128,3 +128,65 @@ def test_keyboard_interrupt_propagates():
         resilient_map(
             _double, 2, _payload, n_workers=2, policy=FAST, on_result=on_result
         )
+
+
+def _inline_interrupt(payload):
+    raise KeyboardInterrupt
+
+
+ONE_SHOT = RetryPolicy(max_attempts=1, base_delay=0.01, max_delay=0.02)
+
+
+def test_interrupt_during_inline_fallback_reraises_promptly():
+    # Regression: a Ctrl-C on the in-process fallback path must re-raise
+    # immediately — never be absorbed as a retry attempt or folded into
+    # another pool round — with an "interrupted" retry event recorded.
+    from repro.obs import events
+
+    events.drain_incidents()
+    with pytest.raises(KeyboardInterrupt):
+        resilient_map(
+            _always_raises, 3, _payload, n_workers=2, policy=ONE_SHOT,
+            inline_fn=_inline_interrupt,
+        )
+    incidents = events.drain_incidents()
+    interrupted = [
+        e for e in incidents
+        if e.get("type") == "retry" and e.get("kind") == "interrupted"
+    ]
+    # Exactly one: the interrupt stopped the fallback loop at its first
+    # item instead of marching through the remaining two.
+    assert len(interrupted) == 1
+
+
+def test_injected_interrupt_at_inline_fault_site_propagates():
+    # The parent-side retry.inline site lets tests land the interrupt
+    # exactly between fallback items; nothing may swallow it.
+    from repro.resilience import faults, install, rule
+
+    install([rule("retry.inline", "interrupt", max_fires=1)])
+    try:
+        with pytest.raises(KeyboardInterrupt):
+            resilient_map(
+                _always_raises, 2, _payload, n_workers=2, policy=ONE_SHOT,
+                inline_fn=_inline_ok,
+            )
+    finally:
+        faults.clear()
+
+
+def test_inline_fallback_still_completes_after_interrupt_rerun():
+    # Delivered-results-stay-delivered: results finished before the
+    # interrupt were handed to on_result, and a clean rerun completes.
+    delivered = []
+    with pytest.raises(KeyboardInterrupt):
+        resilient_map(
+            _always_raises, 2, _payload, n_workers=2, policy=ONE_SHOT,
+            inline_fn=_inline_interrupt, on_result=lambda i, v: delivered.append(i),
+        )
+    assert delivered == []  # the interrupt hit the very first inline item
+    result = resilient_map(
+        _always_raises, 2, _payload, n_workers=2, policy=ONE_SHOT,
+        inline_fn=_inline_ok,
+    )
+    assert result.complete

@@ -192,3 +192,43 @@ def test_cli_checkpoint_mismatch_is_an_input_error(tmp_path):
     mismatched = _run_cli(base + ["--max-atoms", "2", "--resume"], tmp_path)
     assert mismatched.returncode == 2
     assert "different scan configuration" in mismatched.stderr
+
+
+def test_cli_interrupt_during_inline_fallback_still_prints_resume_hint(tmp_path):
+    # Regression (satellite b): every first pool attempt is killed so the
+    # scan falls back to in-process execution, and a simulated Ctrl-C
+    # lands exactly on that fallback path (the parent-side retry.inline
+    # site).  The interrupt must surface promptly: exit 130 with the
+    # journal intact and the resume hint printed — not be absorbed into
+    # another retry round.
+    scan_args = [
+        "theorem13", "--types", "T", "--max-relations", "1",
+        "--max-arity", "2", "--max-atoms", "1", "--workers", "2",
+        "--retries", "1",
+    ]
+    clean = _run_cli(scan_args, tmp_path)
+    assert clean.returncode == 0, clean.stderr
+
+    plan = FaultPlan(
+        [
+            rule("scan.cell", "kill", attempts=[0]),
+            rule("retry.inline", "interrupt", max_fires=1),
+        ],
+        install_pid=0,
+    )
+    interrupted = _run_cli(
+        scan_args + ["--checkpoint", "scan.jsonl"],
+        tmp_path,
+        extra_env={faults.ENV_VAR: plan.as_json()},
+    )
+    assert interrupted.returncode == 130, (
+        interrupted.stdout + interrupted.stderr
+    )
+    assert "cell(s) journaled" in interrupted.stdout
+    assert "--resume" in interrupted.stdout
+
+    resumed = _run_cli(
+        scan_args + ["--checkpoint", "scan.jsonl", "--resume"], tmp_path
+    )
+    assert resumed.returncode == 0, resumed.stdout + resumed.stderr
+    assert _report_lines(resumed.stdout) == _report_lines(clean.stdout)

@@ -1,0 +1,22 @@
+"""Shared hygiene for the scan-fabric suite (same rules as resilience).
+
+Fault plans ride on a process-global and an environment variable; a test
+that leaks either would corrupt every test after it.
+"""
+
+import pytest
+
+from repro.obs import events
+from repro.resilience import deadline as deadline_mod
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_fabric_state():
+    faults.clear()
+    events.drain_incidents()
+    assert deadline_mod.active_deadlines() == ()
+    yield
+    faults.clear()
+    events.drain_incidents()
+    assert deadline_mod.active_deadlines() == ()

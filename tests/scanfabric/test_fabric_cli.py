@@ -1,0 +1,187 @@
+"""CLI-level fabric drills: concurrency, chaos, incremental re-runs.
+
+The centrepiece is the ISSUE's chaos invariant, the same drill CI's
+``fabric-chaos`` job runs: three concurrent ``theorem13 --fabric``
+workers, a fault plan that OOM-kills the first owner of two shards
+mid-cell, and a merge whose report must be byte-for-byte identical
+(minus ``perf:``/``fabric:`` status lines) to a clean single-process
+run.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.resilience import FaultPlan, faults, rule
+
+SCAN_ARGS = [
+    "theorem13", "--types", "T,U", "--max-relations", "2",
+    "--max-arity", "1", "--max-atoms", "2",
+]
+# 5 schemas -> 15 cells -> 8 shards of <= 2 cells.
+FABRIC_ARGS = ["--shard-cells", "2", "--lease-ttl", "1.0"]
+
+
+def _env(extra=None):
+    env = dict(os.environ)
+    env.pop(faults.ENV_VAR, None)
+    src_dir = str(pathlib.Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [src_dir, env.get("PYTHONPATH")])
+    )
+    if extra:
+        env.update(extra)
+    return env
+
+
+def _run_cli(args, tmp_path, extra_env=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=_env(extra_env), cwd=tmp_path,
+        timeout=300,
+    )
+
+
+def _report_lines(stdout):
+    # perf: lines carry wall-clock times and fabric: lines carry run-
+    # specific provenance; the verdict report proper must match exactly.
+    return [
+        line
+        for line in stdout.splitlines()
+        if not line.startswith(("perf:", "fabric:"))
+    ]
+
+
+def test_fabric_chaos_three_workers_with_kills_matches_clean_run(tmp_path):
+    clean = _run_cli(SCAN_ARGS, tmp_path)
+    assert clean.returncode == 0, clean.stderr
+
+    # Kill the generation-0 owner of shards 0 and 3 right after their
+    # first journaled cell; thieves (generation >= 1) are spared.  At
+    # most two of the three workers die, so the fabric always drains.
+    plan = FaultPlan(
+        [rule("fabric.cell", "kill", keys=[0, 3], attempts=[0])],
+        install_pid=0,
+    )
+    chaos_env = {faults.ENV_VAR: plan.as_json()}
+    worker_args = SCAN_ARGS + ["--fabric", "fab"] + FABRIC_ARGS
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro", *worker_args,
+             "--fabric-owner", f"chaos-{i}"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=_env(chaos_env), cwd=tmp_path,
+        )
+        for i in range(3)
+    ]
+    exits = [proc.wait(timeout=300) for proc in procs]
+    # Workers either finish the fabric (0) or were chaos-killed (86).
+    assert set(exits) <= {0, 86}, [
+        (code, proc.communicate()) for code, proc in zip(exits, procs)
+    ]
+    assert 0 in exits  # at least one survivor drained the grid
+    assert 86 in exits  # and the drill actually killed someone
+
+    merged = _run_cli(["merge-journals", "fab"], tmp_path)
+    assert merged.returncode == 0, merged.stdout + merged.stderr
+    assert _report_lines(merged.stdout) == _report_lines(clean.stdout)
+    assert "scanned=15" in merged.stdout
+
+
+def test_fabric_single_worker_then_incremental_carries_everything(tmp_path):
+    clean = _run_cli(SCAN_ARGS, tmp_path)
+    assert clean.returncode == 0, clean.stderr
+
+    first = _run_cli(
+        SCAN_ARGS + ["--fabric", "fab1"] + FABRIC_ARGS, tmp_path
+    )
+    assert first.returncode == 0, first.stdout + first.stderr
+    merged1 = _run_cli(["merge-journals", "fab1"], tmp_path)
+    assert merged1.returncode == 0, merged1.stderr
+    assert _report_lines(merged1.stdout) == _report_lines(clean.stdout)
+
+    # Incremental against the merged journal: nothing changed, so every
+    # cell carries and the second fabric plans zero shards.
+    second = _run_cli(
+        SCAN_ARGS
+        + ["--fabric", "fab2", "--incremental", "fab1/merged.jsonl"]
+        + FABRIC_ARGS
+        + ["--metrics-json", "m.json"],
+        tmp_path,
+    )
+    assert second.returncode == 0, second.stdout + second.stderr
+    census = json.loads((tmp_path / "m.json").read_text())["fabric"]
+    assert census["cells.carried"] == 15
+    assert census.get("cells.scanned", 0) == 0
+    assert census.get("cells.planned", 0) == 0
+
+    merged2 = _run_cli(["merge-journals", "fab2"], tmp_path)
+    assert merged2.returncode == 0, merged2.stderr
+    assert _report_lines(merged2.stdout) == _report_lines(clean.stdout)
+    assert "carried=15" in merged2.stdout
+
+
+def test_fabric_flag_conflicts_are_input_errors(tmp_path):
+    conflict = _run_cli(
+        SCAN_ARGS + ["--fabric", "fab", "--checkpoint", "x.jsonl"], tmp_path
+    )
+    assert conflict.returncode == 2
+    assert "per-shard journals" in conflict.stderr
+    deadline = _run_cli(
+        SCAN_ARGS + ["--fabric", "fab", "--deadline", "10"], tmp_path
+    )
+    assert deadline.returncode == 2
+    assert "decide every cell" in deadline.stderr
+    orphan = _run_cli(
+        SCAN_ARGS + ["--incremental", "prior.jsonl"], tmp_path
+    )
+    assert orphan.returncode == 2
+    assert "--incremental requires --fabric" in orphan.stderr
+
+
+def test_merge_journals_on_unfinished_fabric(tmp_path):
+    # A worker killed on its very first cell leaves an unfinished
+    # fabric: strict merge refuses, --partial merges the rest (exit 3).
+    plan = FaultPlan(
+        [rule("fabric.cell", "kill")], install_pid=0,
+    )
+    worker = _run_cli(
+        SCAN_ARGS + ["--fabric", "fab"] + FABRIC_ARGS,
+        tmp_path,
+        extra_env={faults.ENV_VAR: plan.as_json()},
+    )
+    assert worker.returncode == 86
+    strict = _run_cli(["merge-journals", "fab"], tmp_path)
+    assert strict.returncode == 2
+    assert "workers still running" in strict.stderr
+    partial = _run_cli(["merge-journals", "fab", "--partial"], tmp_path)
+    assert partial.returncode == 3, partial.stdout + partial.stderr
+
+
+def test_kill_merge_leaves_no_partial_merged_journal(tmp_path):
+    # The kill_merge drill: a merge process dying mid-write (exit 87)
+    # must leave merged.jsonl either absent or from a previous complete
+    # merge — never torn — and the re-run produces the full journal.
+    worker = _run_cli(
+        SCAN_ARGS + ["--fabric", "fab"] + FABRIC_ARGS, tmp_path
+    )
+    assert worker.returncode == 0, worker.stderr
+    plan = FaultPlan(
+        [rule("merge.record", "kill_merge", keys=["0,4"])], install_pid=0,
+    )
+    killed = _run_cli(
+        ["merge-journals", "fab"],
+        tmp_path,
+        extra_env={faults.ENV_VAR: plan.as_json()},
+    )
+    assert killed.returncode == 87
+    assert not (tmp_path / "fab" / "merged.jsonl").exists()
+    rerun = _run_cli(["merge-journals", "fab"], tmp_path)
+    assert rerun.returncode == 0, rerun.stderr
+    lines = (tmp_path / "fab" / "merged.jsonl").read_text().splitlines()
+    assert len(lines) == 1 + 15  # header + every cell

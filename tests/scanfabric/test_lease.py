@@ -1,0 +1,123 @@
+"""Unit tests for shard leases (:mod:`repro.scanfabric.lease`)."""
+
+from repro.obs import metrics
+from repro.scanfabric import LeaseRecord, ShardLease, read_lease
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _counter(name):
+    return metrics.registry().snapshot().get(name, 0)
+
+
+def test_acquire_writes_record_and_counts(tmp_path):
+    clock = FakeClock()
+    leased_before = _counter("fabric.shards.leased")
+    lease = ShardLease(tmp_path / "s.lease", "w1", ttl=10.0, clock=clock)
+    record = lease.try_acquire()
+    assert record is not None
+    assert record.owner == "w1"
+    assert record.generation == 0
+    assert not record.released
+    assert read_lease(tmp_path / "s.lease") == record
+    assert _counter("fabric.shards.leased") == leased_before + 1
+
+
+def test_live_lease_blocks_other_owners(tmp_path):
+    clock = FakeClock()
+    first = ShardLease(tmp_path / "s.lease", "w1", ttl=10.0, clock=clock)
+    assert first.try_acquire() is not None
+    second = ShardLease(tmp_path / "s.lease", "w2", ttl=10.0, clock=clock)
+    clock.advance(5.0)  # within TTL
+    assert second.try_acquire() is None
+
+
+def test_expired_lease_is_stolen_with_bumped_generation(tmp_path):
+    clock = FakeClock()
+    stolen_before = _counter("fabric.shards.stolen")
+    first = ShardLease(tmp_path / "s.lease", "w1", ttl=10.0, clock=clock)
+    assert first.try_acquire() is not None
+    clock.advance(10.5)  # past TTL: w1 is presumed dead
+    second = ShardLease(tmp_path / "s.lease", "w2", ttl=10.0, clock=clock)
+    record = second.try_acquire()
+    assert record is not None
+    assert record.owner == "w2"
+    assert record.generation == 1
+    assert _counter("fabric.shards.stolen") == stolen_before + 1
+    # The original owner's next heartbeat discovers the theft.
+    assert not first.heartbeat()
+    assert first.record is None
+
+
+def test_heartbeat_extends_the_lease(tmp_path):
+    clock = FakeClock()
+    lease = ShardLease(tmp_path / "s.lease", "w1", ttl=10.0, clock=clock)
+    lease.try_acquire()
+    clock.advance(8.0)
+    assert lease.heartbeat()
+    clock.advance(8.0)  # 16s after acquire, 8s after heartbeat: still live
+    other = ShardLease(tmp_path / "s.lease", "w2", ttl=10.0, clock=clock)
+    assert other.try_acquire() is None
+
+
+def test_release_makes_lease_claimable_immediately(tmp_path):
+    clock = FakeClock()
+    lease = ShardLease(tmp_path / "s.lease", "w1", ttl=10.0, clock=clock)
+    lease.try_acquire()
+    lease.release()
+    assert read_lease(tmp_path / "s.lease").released
+    other = ShardLease(tmp_path / "s.lease", "w2", ttl=10.0, clock=clock)
+    record = other.try_acquire()
+    assert record is not None
+    assert record.generation == 1
+
+
+def test_release_is_idempotent_and_respects_theft(tmp_path):
+    clock = FakeClock()
+    lease = ShardLease(tmp_path / "s.lease", "w1", ttl=10.0, clock=clock)
+    lease.try_acquire()
+    clock.advance(11.0)
+    thief = ShardLease(tmp_path / "s.lease", "w2", ttl=10.0, clock=clock)
+    thief.try_acquire()
+    # The robbed owner's release must not clobber the thief's lease.
+    lease.release()
+    current = read_lease(tmp_path / "s.lease")
+    assert current.owner == "w2"
+    assert not current.released
+    lease.release()  # idempotent no-op
+
+
+def test_torn_lease_file_reads_as_absent(tmp_path):
+    path = tmp_path / "s.lease"
+    path.write_text('{"owner": "w1", "pid"')  # died mid-write
+    assert read_lease(path) is None
+    clock = FakeClock()
+    lease = ShardLease(path, "w2", ttl=10.0, clock=clock)
+    record = lease.try_acquire()
+    assert record is not None
+    assert record.generation == 0
+
+
+def test_heartbeat_without_acquire_is_false(tmp_path):
+    lease = ShardLease(tmp_path / "s.lease", "w1", ttl=10.0)
+    assert not lease.heartbeat()
+
+
+def test_lease_record_expiry_math():
+    record = LeaseRecord(
+        owner="w", pid=1, generation=0, acquired_at=0.0, heartbeat=100.0,
+        ttl=30.0,
+    )
+    assert not record.expired(120.0)
+    assert record.expired(130.1)
+    assert not record.claimable(120.0)
+    assert record._replace(released=True).claimable(100.0)

@@ -1,0 +1,161 @@
+"""Unit tests for fabric planning (:mod:`repro.scanfabric.plan`)."""
+
+import json
+
+import pytest
+
+from repro.errors import FabricError
+from repro.scanfabric import (
+    build_plan,
+    ensure_plan,
+    load_plan,
+    merge_journals,
+    run_fabric_worker,
+    symmetry_map,
+    write_merged,
+    write_plan,
+)
+from repro.workloads import enumerate_keyed_schemas
+from repro.workloads.schema_gen import shuffled_copy
+
+
+def _universe():
+    return list(
+        enumerate_keyed_schemas(("T", "U"), max_relations=2, max_arity=1)
+    )
+
+
+def test_plan_partitions_the_whole_grid():
+    schemas = _universe()
+    plan = build_plan(schemas, shard_cells=4)
+    shard_cells = [cell for shard in plan.shards for cell in shard]
+    assert len(shard_cells) == len(set(shard_cells))
+    covered = set(shard_cells) | set(plan.symmetric) | set(plan.carried)
+    assert covered == set(plan.all_cells)
+    assert set(plan.symmetric).isdisjoint(shard_cells)
+    assert all(1 <= len(shard) <= 4 for shard in plan.shards)
+
+
+def test_plan_is_deterministic_byte_for_byte(tmp_path):
+    schemas = _universe()
+    plan = build_plan(schemas, shard_cells=3)
+    write_plan(tmp_path / "a", plan)
+    write_plan(tmp_path / "b", build_plan(schemas, shard_cells=3))
+    assert (tmp_path / "a" / "plan.json").read_bytes() == (
+        tmp_path / "b" / "plan.json"
+    ).read_bytes()
+
+
+def test_plan_round_trips_through_disk(tmp_path):
+    schemas = _universe() + [shuffled_copy(_universe()[0], seed=3)]
+    plan = build_plan(schemas, shard_cells=2)
+    write_plan(tmp_path, plan)
+    loaded = load_plan(tmp_path)
+    assert loaded == plan
+
+
+def test_symmetry_map_on_canonical_universe_is_empty():
+    # enumerate_keyed_schemas yields one schema per isomorphism class, so
+    # no unordered pair repeats a class pair: symmetry reduction is a
+    # no-op exactly when the universe is already canonical.
+    assert symmetry_map(_universe()) == {}
+
+
+def test_symmetry_map_spots_renamed_duplicates():
+    schemas = _universe()
+    duplicate = shuffled_copy(schemas[2], seed=11)
+    extended = schemas + [duplicate]
+    redundant = symmetry_map(extended)
+    last = len(extended) - 1
+    # Every pair involving the duplicate maps to the matching pair
+    # involving schema 2 (both orders of the unordered class pair).
+    assert redundant[(2, last)] == (2, 2)
+    for i in range(len(schemas)):
+        cell = (min(i, last), max(i, last))
+        assert cell in redundant
+        rep = redundant[cell]
+        assert rep == (min(i, 2), max(i, 2))
+    # Representatives never appear as keys.
+    assert set(redundant).isdisjoint(set(redundant.values()))
+
+
+def test_symmetry_can_be_disabled():
+    schemas = _universe() + [shuffled_copy(_universe()[0], seed=5)]
+    plan = build_plan(schemas, symmetry=False)
+    assert plan.symmetric == {}
+    assert set(plan.scan_cells) == set(plan.all_cells)
+
+
+def test_ensure_plan_verifies_fingerprint(tmp_path):
+    schemas = _universe()
+    ensure_plan(tmp_path, schemas, shard_cells=4)
+    # Same configuration: load, don't rebuild differently.
+    again = ensure_plan(tmp_path, schemas, shard_cells=4)
+    assert again.census() == build_plan(schemas, shard_cells=4).census()
+    # Different configuration: refuse.
+    with pytest.raises(FabricError, match="different scan configuration"):
+        ensure_plan(tmp_path, schemas, shard_cells=5)
+    with pytest.raises(FabricError, match="different scan configuration"):
+        ensure_plan(tmp_path, schemas[:-1], shard_cells=4)
+
+
+def test_load_plan_rejects_garbage(tmp_path):
+    with pytest.raises(FabricError, match="not a fabric directory"):
+        load_plan(tmp_path)
+    (tmp_path / "plan.json").write_text("{not json")
+    with pytest.raises(FabricError, match="corrupt plan"):
+        load_plan(tmp_path)
+    (tmp_path / "plan.json").write_text(json.dumps({"kind": "other", "v": 1}))
+    with pytest.raises(FabricError, match="not a v1 fabric plan"):
+        load_plan(tmp_path)
+
+
+def test_incremental_carries_unchanged_cells(tmp_path):
+    schemas = _universe()
+    run_fabric_worker(tmp_path / "first", schemas, shard_cells=4, owner="w")
+    merged = write_merged(
+        tmp_path / "first", merge_journals(tmp_path / "first")
+    )
+    # Same universe: everything decided before carries forward.
+    plan = build_plan(schemas, prior=merged)
+    assert len(plan.carried) == len(plan.all_cells) - len(plan.symmetric)
+    assert plan.shards == ()
+    # Prior provenance marks are stripped on carry.
+    assert all(
+        set(data) == {"isomorphic", "found", "verdict"}
+        for data in plan.carried.values()
+    )
+
+
+def test_incremental_rescans_only_perturbed_cells(tmp_path):
+    # The ISSUE's acceptance criterion: perturb one schema, and exactly
+    # the cells touching it are re-scanned; the rest carry forward.
+    schemas = _universe()
+    run_fabric_worker(tmp_path / "first", schemas, shard_cells=4, owner="w")
+    merged = write_merged(
+        tmp_path / "first", merge_journals(tmp_path / "first")
+    )
+    perturbed = list(schemas)
+    victim = 2
+    perturbed[victim] = shuffled_copy(schemas[victim], seed=9)
+    plan = build_plan(perturbed, prior=merged, symmetry=False)
+    rescanned = set(plan.scan_cells)
+    assert rescanned == {
+        cell for cell in plan.all_cells if victim in cell
+    }
+    assert set(plan.carried) == set(plan.all_cells) - rescanned
+
+
+def test_incremental_rejects_prior_with_other_bounds(tmp_path):
+    schemas = _universe()
+    run_fabric_worker(tmp_path / "first", schemas, shard_cells=4, owner="w")
+    merged = write_merged(
+        tmp_path / "first", merge_journals(tmp_path / "first")
+    )
+    with pytest.raises(FabricError, match="max_atoms"):
+        build_plan(schemas, max_atoms=3, prior=merged)
+
+
+def test_shard_cells_must_be_positive():
+    with pytest.raises(FabricError, match="shard_cells"):
+        build_plan(_universe(), shard_cells=0)

@@ -545,9 +545,10 @@ def test_metrics_json_includes_incidents_and_pair_timeouts(schema_files, tmp_pat
     payload = json.loads(metrics_file.read_text())
     # The enriched shape: schema version, metrics, incident census,
     # pair-timeout total, hypergraph statistics, backend dispatch
-    # census — regression-pinned here.
+    # census, scan-fabric census — regression-pinned here.
     assert set(payload) == {
-        "v", "metrics", "incidents", "pair_timeouts", "hypergraph", "backends",
+        "v", "metrics", "incidents", "pair_timeouts", "hypergraph",
+        "backends", "fabric",
     }
     assert payload["incidents"] == {"total": 0, "by_type": {}}
     assert payload["pair_timeouts"] == 0
