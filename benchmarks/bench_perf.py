@@ -31,6 +31,16 @@ Two observability hooks ride along (PR 3):
   ``PROFILER_OVERHEAD_TOLERANCE`` (5%) over the traced-but-unsampled
   time.  Full mode only; a violation fails the run.
 
+The fleet-telemetry layer (PR 8) adds one more:
+
+* **telemetry guard** — the E1 optimized run is repeated with a
+  :class:`repro.obs.telemetry.TelemetryWriter` emitting a forced
+  heartbeat frame per progress report (the worst case: the fabric
+  worker rate-limits to ``ttl/4``); the stream may add at most
+  ``TELEMETRY_OVERHEAD_TOLERANCE`` (5%) over the plain run, both timed
+  back to back in this session.  Full mode only; a violation fails the
+  run.
+
 The backend subsystem (PR 6) adds three more checks:
 
 * **backend sweep** — the optimized E1 scan is re-timed once per
@@ -58,6 +68,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import tempfile
 import time
 from pathlib import Path
 
@@ -80,6 +91,11 @@ OBS_OVERHEAD_TOLERANCE = 0.05
 # is needed: both runs execute back to back on the same machine.
 PROFILER_OVERHEAD_TOLERANCE = 0.05
 PROFILE_HZ = 97.0
+
+# A telemetry stream emitting one forced frame per progress report may
+# add at most this much to the E1 scan.  Same-session comparison, like
+# the profiler guard.
+TELEMETRY_OVERHEAD_TOLERANCE = 0.05
 
 # Every registered evaluation backend is timed on the E1 scan and must
 # reproduce the reference verdicts exactly.
@@ -123,7 +139,15 @@ def e1_workload(smoke: bool):
     def run_parallel():
         return theorem13_scan(schemas, max_atoms=max_atoms, n_workers=2)
 
-    return run, run_parallel
+    def run_telemetry(writer):
+        def on_progress(done, total, proc):
+            writer.frame("scan", cells_done=done, cells_total=total, force=True)
+
+        return theorem13_scan(
+            schemas, max_atoms=max_atoms, on_progress=on_progress
+        )
+
+    return run, run_parallel, run_telemetry
 
 
 def e6_workload(smoke: bool):
@@ -274,9 +298,47 @@ def _profiler_overhead(run, repeats: int, traced_s: float) -> dict:
     }
 
 
+def _telemetry_overhead(run, run_telemetry, repeats: int) -> dict:
+    """Plain vs telemetry-streaming E1 times, back to back; overhead ratio.
+
+    The writer streams to a throwaway file with rate-limiting off
+    (every progress report becomes a forced frame), so the measured
+    cost is an upper bound on what a fabric worker — which limits
+    itself to one frame per ``ttl/4`` seconds — ever pays.
+    """
+    from repro.obs.telemetry import TelemetryWriter
+
+    _, plain_s = _timed(run, repeats)
+    streamed_s = None
+    frames = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for index in range(repeats):
+            memo.clear_all()
+            with TelemetryWriter(
+                Path(tmp) / f"bench-{index}.telemetry.jsonl", "bench"
+            ) as writer:
+                start = time.perf_counter()
+                run_telemetry(writer)
+                elapsed = time.perf_counter() - start
+                frames = writer._seq
+            if streamed_s is None or elapsed < streamed_s:
+                streamed_s = elapsed
+    ratio = streamed_s / plain_s if plain_s else 1.0
+    return {
+        "plain_s": round(plain_s, 4),
+        "streamed_s": round(streamed_s, 4),
+        "frames": frames,
+        "streamed_vs_plain_ratio": round(ratio, 4),
+        "tolerance": TELEMETRY_OVERHEAD_TOLERANCE,
+        "within_tolerance": ratio <= 1.0 + TELEMETRY_OVERHEAD_TOLERANCE,
+    }
+
+
 def bench_one(name: str, smoke: bool, repeats: int, profile: bool = False) -> dict:
     build = WORKLOADS[name]
-    run, run_parallel = build(smoke)
+    built = build(smoke)
+    run, run_parallel = built[0], built[1]
+    run_telemetry = built[2] if len(built) > 2 else None
     if name == "e6_containment":
         repeats = max(repeats * E6_REPEAT_BOOST, E6_REPEAT_BOOST)
 
@@ -305,6 +367,10 @@ def bench_one(name: str, smoke: bool, repeats: int, profile: bool = False) -> di
         record["profiler_overhead"] = _profiler_overhead(
             run, repeats, record["optimized_traced_s"]
         )
+        if run_telemetry is not None:
+            record["telemetry_overhead"] = _telemetry_overhead(
+                run, run_telemetry, repeats
+            )
     _set_mode(optimized=True)
     return record
 
@@ -487,6 +553,10 @@ def main() -> int:
     sampler = results["e1_theorem13_scan"].get("profiler_overhead", {})
     if not args.smoke and not sampler.get("within_tolerance", True):
         print(f"PROFILER OVERHEAD above tolerance: {sampler}")
+        return 1
+    streaming = results["e1_theorem13_scan"].get("telemetry_overhead", {})
+    if not args.smoke and not streaming.get("within_tolerance", True):
+        print(f"TELEMETRY OVERHEAD above tolerance: {streaming}")
         return 1
     return 0
 

@@ -3,7 +3,18 @@
 
 Usage:  PYTHONPATH=src python scripts/validate_trace.py [--lenient] TRACE.jsonl [...]
 
-Two layers of checking, both reported with ``file:line:`` prefixes:
+Chrome trace-event JSON files (a single object with ``traceEvents`` —
+what ``--export-chrome-trace`` and ``repro stitch-traces`` write) are
+detected by sniffing and validated through the inverse converter:
+``spans_from_chrome`` recovers the span records, ``trace_events``
+re-emits them as schema events, and the same schema + structure checks
+run over the result (positions are event indices, not line numbers).
+Instant events carrying schema payloads in ``args`` (``cat`` of
+``incident``, ``lease`` or ``verdict``) are schema-checked too, so a
+stitched fleet timeline is held to the same standard as a JSONL trace.
+
+For JSONL files, two layers of checking, both reported with
+``file:line:`` prefixes:
 
 * **Schema** — every line must satisfy
   :func:`repro.obs.events.validate_line_report`.  With ``--lenient``,
@@ -33,7 +44,11 @@ import json
 import sys
 from pathlib import Path
 
-from repro.obs.events import validate_line_report
+from repro.obs.events import trace_events, validate_event_report
+from repro.obs.export import spans_from_chrome
+
+#: Instant-event categories whose ``args`` are schema events.
+_CHROME_INSTANT_CATS = ("incident", "lease", "verdict")
 
 
 class _FileChecker:
@@ -83,27 +98,21 @@ class _FileChecker:
             else:
                 stack.pop()
 
-    def check(self) -> None:
-        lines = self.path.read_text(encoding="utf-8").splitlines()
-        events = 0
-        for number, line in enumerate(lines, start=1):
-            if not line.strip():
-                continue
-            events += 1
-            errors, warnings = validate_line_report(line, lenient=self.lenient)
-            for error in errors:
-                self._report(number, error)
-            for warning in warnings:
-                self._report(number, warning, warning=True)
-            try:
-                event = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # already reported by the schema layer
-            if isinstance(event, dict):
-                kind = event.get("type")
-                if isinstance(kind, str):
-                    self.census[kind] = self.census.get(kind, 0) + 1
-                self._check_structure(number, event)
+    def _check_object(self, number: int, event: object) -> None:
+        """Schema + census + structure checks of one decoded event."""
+        errors, warnings = validate_event_report(event, lenient=self.lenient)
+        for error in errors:
+            self._report(number, error)
+        for warning in warnings:
+            self._report(number, warning, warning=True)
+        if isinstance(event, dict):
+            kind = event.get("type")
+            if isinstance(kind, str):
+                self.census[kind] = self.census.get(kind, 0) + 1
+            self._check_structure(number, event)
+
+    def _finish(self, events: int) -> None:
+        """Unmatched-span sweep and the one-line per-file summary."""
         for (proc, span_id), stack in sorted(self._open.items()):
             for number in stack:
                 self._report(
@@ -121,6 +130,47 @@ class _FileChecker:
         status = "FAIL" if self.violations else "ok"
         suffix = f", {self.warnings} warning(s)" if self.warnings else ""
         print(f"{self.path}: {status}: {events} event(s): {census}{suffix}")
+
+    def _check_chrome(self, content: str) -> None:
+        """Validate a Chrome trace-event JSON file via the inverse map."""
+        try:
+            trace = json.loads(content)
+        except json.JSONDecodeError as exc:
+            self._report(1, f"not valid JSON: {exc}")
+            return
+        synthetic = trace_events(spans_from_chrome(trace))
+        events = 0
+        for number, event in enumerate(synthetic, start=1):
+            events += 1
+            self._check_object(number, event)
+        for event in trace.get("traceEvents", ()):
+            if (
+                isinstance(event, dict)
+                and event.get("ph") == "i"
+                and event.get("cat") in _CHROME_INSTANT_CATS
+            ):
+                events += 1
+                self._check_object(events, event.get("args"))
+        self._finish(events)
+
+    def check(self) -> None:
+        content = self.path.read_text(encoding="utf-8")
+        stripped = content.lstrip()
+        if stripped.startswith("{") and '"traceEvents"' in content:
+            self._check_chrome(content)
+            return
+        events = 0
+        for number, line in enumerate(content.splitlines(), start=1):
+            if not line.strip():
+                continue
+            events += 1
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                self._report(number, f"not valid JSON: {exc}")
+                continue
+            self._check_object(number, event)
+        self._finish(events)
 
 
 def validate_file(path: Path, lenient: bool = False) -> int:

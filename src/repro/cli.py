@@ -50,6 +50,13 @@ only cells whose schemas changed since a prior merged journal.
 ``merge-journals DIR`` then combines the shard journals into one
 verified report, byte-identical (modulo ``perf:``/``fabric:`` status
 lines) to a single-process run.
+
+A live fabric is watchable (``docs/OBSERVABILITY.md`` §"Watching a
+fleet"): ``top DIR`` is a self-overwriting terminal monitor of worker
+liveness, rates and steals; ``fleet-status DIR [--json]`` is the
+scriptable one-shot (exit 0 when the fabric is complete, 3 while
+in-flight); ``stitch-traces DIR`` merges every worker's span trace into
+one Perfetto timeline with per-worker swimlanes and lease instants.
 """
 
 from __future__ import annotations
@@ -345,8 +352,16 @@ def _fabric_census(snapshot) -> dict:
     }
 
 
-def _obs_end(args: argparse.Namespace, verdicts=()) -> None:
-    """Emit the requested trace / metrics / profile / dashboard outputs."""
+def _obs_end(
+    args: argparse.Namespace, verdicts=(), dashboard_extras=None
+) -> None:
+    """Emit the requested trace / metrics / profile / dashboard outputs.
+
+    ``dashboard_extras`` (optional dict of ``provenance`` / ``leases`` /
+    ``fleet``) forwards fabric-specific panels to the HTML dashboard —
+    the merge command uses it for the full-grid provenance heatmap and
+    the lease-ownership Gantt.
+    """
     import json
 
     from repro import obs
@@ -407,6 +422,7 @@ def _obs_end(args: argparse.Namespace, verdicts=()) -> None:
         size = obs.write_dashboard(
             args.html_report, records, metrics=obs.registry().as_dict(),
             verdicts=verdicts, incidents=incidents, samples=samples,
+            **(dashboard_extras or {}),
         )
         print(f"html report written to {args.html_report} ({size} bytes)")
     if getattr(args, "profile", False):
@@ -612,40 +628,67 @@ def _run_theorem13_fabric(args: argparse.Namespace, schemas, types) -> int:
             "(interrupt workers freely instead — journals resume)"
         )
     reporter = _progress_reporter(args, "fabric")
+    # Every fabric run is traced, whether or not --trace was asked for:
+    # the per-worker span trace lands next to the telemetry stream so
+    # `repro stitch-traces` can merge the fleet afterwards.  (If obs was
+    # already enabled by _obs_begin, the trace is simply shared.)
+    forced_tracing = not obs.tracing_enabled()
+    if forced_tracing:
+        obs.set_enabled(True)
+        obs.start_trace()
     try:
-        with obs.span("theorem13.fabric"):
-            result = run_fabric_worker(
-                args.fabric,
-                schemas,
-                max_atoms=args.max_atoms,
-                owner=args.fabric_owner,
-                ttl=args.lease_ttl,
-                shard_cells=args.shard_cells,
-                symmetry=not args.no_symmetry,
-                prior=args.incremental,
-                meta={
-                    "types": list(types),
-                    "max_relations": args.max_relations,
-                    "max_arity": args.max_arity,
-                    "max_atoms": args.max_atoms,
-                },
-                n_workers=args.workers,
-                retry_policy=_retry_policy(args),
-                on_progress=None if reporter is None else reporter.update,
+        try:
+            with obs.span("theorem13.fabric"):
+                result = run_fabric_worker(
+                    args.fabric,
+                    schemas,
+                    max_atoms=args.max_atoms,
+                    owner=args.fabric_owner,
+                    ttl=args.lease_ttl,
+                    shard_cells=args.shard_cells,
+                    symmetry=not args.no_symmetry,
+                    prior=args.incremental,
+                    meta={
+                        "types": list(types),
+                        "max_relations": args.max_relations,
+                        "max_arity": args.max_arity,
+                        "max_atoms": args.max_atoms,
+                    },
+                    n_workers=args.workers,
+                    retry_policy=_retry_policy(args),
+                    on_progress=None if reporter is None else reporter.update,
+                    on_pruned=None if reporter is None else reporter.note_pruned,
+                )
+        except KeyboardInterrupt:
+            print(
+                "interrupted; journaled cells are safe — rerun the same "
+                "command to resume (peers may steal this worker's shards "
+                f"after --lease-ttl {args.lease_ttl:g}s)"
             )
-    except KeyboardInterrupt:
-        print(
-            "interrupted; journaled cells are safe — rerun the same "
-            "command to resume (peers may steal this worker's shards "
-            f"after --lease-ttl {args.lease_ttl:g}s)"
+            return 130
+        finally:
+            if reporter is not None:
+                reporter.finish()
+        trace_file = obs.trace_path(args.fabric, result.owner)
+        trace_file.parent.mkdir(parents=True, exist_ok=True)
+        obs.write_trace(
+            trace_file,
+            obs.records(),
+            counters=obs.registry().snapshot(),
+            incidents=obs.peek_incidents(),
         )
-        return 130
+        print(f"fabric: worker {result.summary()}")
+        print(f"fabric: worker trace written to {trace_file}")
+        print(
+            f"fabric: all shards done; combine with: "
+            f"repro merge-journals {args.fabric}"
+        )
+        _obs_end(args)
     finally:
-        if reporter is not None:
-            reporter.finish()
-    print(f"fabric: worker {result.summary()}")
-    print(f"fabric: all shards done; combine with: repro merge-journals {args.fabric}")
-    _obs_end(args)
+        if forced_tracing:
+            obs.drain()
+            obs.drain_incidents()
+            obs.set_enabled(False)
     return 0
 
 
@@ -763,11 +806,109 @@ def _cmd_merge_journals(args: argparse.Namespace) -> int:
     verdicts = _row_verdict_events(rows)
     print(obs.verdict_summary_line(verdicts))
     print(f"fabric: merged journal written to {target}")
-    _obs_end(args, verdicts=verdicts)
+    # The dashboard gets the full-grid provenance (scanned / symmetric /
+    # carried per cell) and the workers' lease history for the Gantt.
+    leases = [
+        event
+        for log in obs.read_fleet_telemetry(args.fabric_dir).values()
+        for event in log.leases
+    ]
+    _obs_end(
+        args,
+        verdicts=verdicts,
+        dashboard_extras={
+            "provenance": result.provenance,
+            "leases": leases,
+        },
+    )
     if not consistent:
         return 1
     complete = len(rows) == len(plan.all_cells)
     return 0 if (decided and complete) else 3
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    """``repro fleet-status DIR [--json]``: one fabric snapshot.
+
+    Exit 0 when every shard is done, 3 while the fabric is in flight
+    (so scripts can poll it), 2 when DIR has no usable plan.
+    """
+    import json
+
+    from repro import obs
+
+    snap = obs.fleet_snapshot(args.fabric_dir)
+    if args.json:
+        print(json.dumps(snap.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(obs.render_fleet(snap))
+    return 0 if snap.complete else 3
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``repro top DIR``: live self-overwriting fleet monitor.
+
+    Refreshes every ``--interval`` seconds until the fabric completes
+    (exit 0), ``--frames`` renders have been shown (exit 3 if still in
+    flight), or Ctrl-C (exit 0 — stopping a monitor is not an error).
+    """
+    import time as _time
+
+    from repro import obs
+
+    block = obs.LiveBlock(stream=sys.stdout)
+    shown = 0
+    try:
+        while True:
+            snap = obs.fleet_snapshot(args.fabric_dir)
+            block.emit(obs.render_fleet(snap))
+            shown += 1
+            if snap.complete:
+                block.finish()
+                return 0
+            if args.frames is not None and shown >= args.frames:
+                block.finish()
+                return 3
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        block.finish()
+        return 0
+
+
+def _cmd_stitch_traces(args: argparse.Namespace) -> int:
+    """``repro stitch-traces DIR``: one Perfetto timeline for the fleet.
+
+    Reads every per-worker trace under ``DIR/telemetry/`` and merges
+    them into a single Chrome trace — a swimlane per worker process,
+    lease acquire/steal/release/lost transitions as instant events.
+    """
+    from repro import obs
+
+    paths = obs.worker_trace_paths(args.fabric_dir)
+    if not paths:
+        raise ReproError(
+            f"no worker traces under {args.fabric_dir}/telemetry/ — "
+            "run `theorem13 --fabric` workers against this directory first"
+        )
+    traces = {owner: obs.read_trace(path) for owner, path in paths.items()}
+    stitched = obs.stitch_worker_events(traces)
+    out = args.out or str(Path(args.fabric_dir) / "stitched.trace.json")
+    events = obs.write_stitched_chrome_trace(out, stitched)
+    print(
+        f"stitched chrome trace written to {out} "
+        f"({events} events, {len(paths)} workers, "
+        f"{len(stitched.records)} spans, "
+        f"{len(stitched.instants)} lease events)"
+    )
+    if args.events_out:
+        lines = obs.write_trace(
+            args.events_out, stitched.records, incidents=stitched.instants
+        )
+        print(
+            f"stitched event trace written to {args.events_out} "
+            f"({lines} events)"
+        )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -913,6 +1054,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_merge_journals)
+
+    p = sub.add_parser(
+        "fleet-status",
+        help="one snapshot of a fabric's workers, shards and ETA "
+        "(exit 0 complete, 3 in flight)",
+    )
+    p.add_argument("fabric_dir", help="the --fabric DIR the workers share")
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable snapshot instead of the text table",
+    )
+    p.set_defaults(fn=_cmd_fleet_status)
+
+    p = sub.add_parser(
+        "top",
+        help="live self-overwriting monitor of a fabric's worker fleet",
+    )
+    p.add_argument("fabric_dir", help="the --fabric DIR the workers share")
+    p.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh interval (default: 1.0)",
+    )
+    p.add_argument(
+        "--frames", type=int, default=None, metavar="N",
+        help="stop after N renders (default: run until complete/Ctrl-C)",
+    )
+    p.set_defaults(fn=_cmd_top)
+
+    p = sub.add_parser(
+        "stitch-traces",
+        help="merge a fabric's per-worker traces into one Perfetto "
+        "timeline with lease instant events",
+    )
+    p.add_argument("fabric_dir", help="the --fabric DIR the workers shared")
+    p.add_argument(
+        "--out", metavar="FILE.json",
+        help="stitched Chrome trace path (default: DIR/stitched.trace.json)",
+    )
+    p.add_argument(
+        "--events-out", metavar="FILE.jsonl",
+        help="also write the merged span/lease stream as a schema-valid "
+        "JSONL trace",
+    )
+    p.set_defaults(fn=_cmd_stitch_traces)
 
     return parser
 

@@ -15,11 +15,24 @@ Sections, in order:
   unordered schema pair, colored by verdict (``ok``/``timeout``/
   ``unknown``) and Theorem-13 consistency, with the exact verdict-count
   line the CLI prints (:func:`verdict_summary_line`) above it — the
-  acceptance check asserts the two match byte-for-byte;
+  acceptance check asserts the two match byte-for-byte.  When merge
+  provenance is supplied (``repro merge-journals --html-report``), every
+  cell additionally carries its disposition — genuinely *scanned*,
+  *symmetric* mirror, or *carried* from a prior journal — as an inset
+  border, with a provenance census line below the verdict line;
+* **lease Gantt** — one row per fabric worker, a bar per held
+  ``(shard, generation)`` interval from the telemetry streams' lease
+  events, so who-owned-what-when (and every steal) is visible at a
+  glance;
+* **fleet** — the per-worker liveness table of a
+  :class:`~repro.obs.fleet.FleetSnapshot`, when one is supplied;
 * **flamegraph** — the span tree per process, spans positioned by start
   offset and width by duration, profiler self-samples in the tooltip;
 * **incident timeline** — fault/retry/timeout events in record order;
 * **counters** — the full metrics snapshot, collapsed by default.
+
+Fabric tiles render only when the metrics snapshot actually has fabric
+counters (``fabric.*``): a plain non-fabric run gets no empty tiles.
 
 Everything is computed from the same inputs the JSONL trace is written
 from, so the dashboard never disagrees with the trace.
@@ -65,6 +78,15 @@ td.viol    { background: #e88; font-weight: 700; }
 td.timeout { background: #ffd27f; }
 td.unknown { background: #d5d5d5; }
 td.blank   { background: #f4f4f4; border-color: #eee; }
+td.p-sym   { box-shadow: inset 0 0 0 3px #8884d8; }
+td.p-car   { box-shadow: inset 0 0 0 3px #7a7a7a; }
+.gantt { position: relative; background: #fff; border: 1px solid #ddd;
+         border-radius: 4px; overflow: hidden; height: 18px; }
+.gantt .bar { position: absolute; height: 16px; top: 1px; border-radius: 2px;
+              font-size: 0.72em; line-height: 16px; color: #fff;
+              overflow: hidden; white-space: nowrap; padding: 0 3px;
+              box-sizing: border-box; }
+.gantt .bar.stolen { border: 2px dashed #222; line-height: 12px; }
 .proc { margin: 0.6em 0 1.1em; }
 .proc .label { color: #667; font-size: 0.85em; margin-bottom: 2px; }
 .flame { position: relative; background: #fff; border: 1px solid #ddd;
@@ -166,6 +188,24 @@ def _tiles_section(
             f"{name}:{_fmt(value)}" for name, value in sorted(dispatched.items())
         )
         tiles.append(_tile(census, "backend dispatches"))
+    tiles.extend(_fabric_tiles(snapshot))
+    if total_ticks:
+        tiles.append(_tile(f"{total_ticks} ({coverage})", "samples (attributed)"))
+    return '<div class="tiles">' + "".join(tiles) + "</div>"
+
+
+def _fabric_tiles(snapshot: Mapping[str, Number]) -> List[str]:
+    """Fabric/lease tiles, or nothing at all for a non-fabric run.
+
+    A metrics snapshot with no ``fabric.*`` counters (every plain
+    ``theorem13`` run) must produce *no* tiles here — not tiles full of
+    zeros.  Cell counters come in two spellings: workers increment
+    ``fabric.cells.*`` as they plan/scan, ``merge-journals`` increments
+    ``fabric.merge.cells.*`` as it assembles; both render.
+    """
+    if not any(name.startswith("fabric.") for name in snapshot):
+        return []
+    tiles: List[str] = []
     leased = snapshot.get("fabric.shards.leased", 0)
     if leased:
         tiles.append(
@@ -175,23 +215,33 @@ def _tiles_section(
                 "shards leased/stolen/reclaimed",
             )
         )
-    fabric_cells = {
-        kind: snapshot.get(f"fabric.cells.{kind}", 0)
-        for kind in ("scanned", "symmetric", "carried")
-    }
-    if any(fabric_cells.values()):
-        tiles.append(
-            _tile(
-                "/".join(_fmt(fabric_cells[k]) for k in ("scanned", "symmetric", "carried")),
-                "fabric cells scanned/sym/carried",
+    for prefix, label in (
+        ("fabric.cells.", "fabric cells scanned/sym/carried"),
+        ("fabric.merge.cells.", "merged cells scanned/sym/carried"),
+    ):
+        cells = {
+            kind: snapshot.get(f"{prefix}{kind}", 0)
+            for kind in ("scanned", "symmetric", "carried")
+        }
+        if any(cells.values()):
+            tiles.append(
+                _tile(
+                    "/".join(
+                        _fmt(cells[k])
+                        for k in ("scanned", "symmetric", "carried")
+                    ),
+                    label,
+                )
             )
-        )
-    if total_ticks:
-        tiles.append(_tile(f"{total_ticks} ({coverage})", "samples (attributed)"))
-    return '<div class="tiles">' + "".join(tiles) + "</div>"
+    return tiles
 
 
-def _grid_cell(event: Optional[Mapping]) -> str:
+_PROVENANCE_CSS = {"symmetric": "p-sym", "carried": "p-car"}
+
+
+def _grid_cell(
+    event: Optional[Mapping], origin: Optional[Mapping] = None
+) -> str:
     if event is None:
         return '<td class="blank"></td>'
     verdict = event.get("verdict", "ok")
@@ -203,16 +253,48 @@ def _grid_cell(event: Optional[Mapping]) -> str:
         css, text = "ok", "&#10003;"
     else:
         css, text = "viol", "&#10007;"
-    tooltip = html.escape(
+    tooltip = (
         f"({event.get('i')}, {event.get('j')}) verdict={verdict} "
         f"found={event.get('found')} isomorphic={event.get('isomorphic')}"
     )
-    return f'<td class="{css}" title="{tooltip}">{text}</td>'
+    if origin:
+        kind = origin.get("provenance", "")
+        extra = _PROVENANCE_CSS.get(kind)
+        if extra:
+            css += f" {extra}"
+        tooltip += f" provenance={kind}"
+        mirror = origin.get("symmetric_to")
+        if mirror is not None:
+            tooltip += f" of ({mirror[0]}, {mirror[1]})"
+    return f'<td class="{css}" title="{html.escape(tooltip)}">{text}</td>'
 
 
-def _grid_section(verdicts: Sequence[Mapping]) -> str:
+def _provenance_line(provenance: Mapping) -> str:
+    counts: Dict[str, int] = {}
+    for origin in provenance.values():
+        kind = origin.get("provenance", "?")
+        counts[kind] = counts.get(kind, 0) + 1
+    census = " ".join(
+        f"{kind}={counts[kind]}"
+        for kind in ("scanned", "symmetric", "carried")
+        if counts.get(kind)
+    )
+    return (
+        '<pre class="summary" id="provenance-summary">'
+        f"provenance: {html.escape(census)}</pre>"
+    )
+
+
+def _grid_section(
+    verdicts: Sequence[Mapping], provenance: Optional[Mapping] = None
+) -> str:
     line = html.escape(verdict_summary_line(verdicts))
     parts = [f'<pre class="summary" id="verdict-summary">{line}</pre>']
+    origins = {
+        tuple(cell): dict(origin) for cell, origin in (provenance or {}).items()
+    }
+    if origins:
+        parts.append(_provenance_line(origins))
     cells = {
         (event["i"], event["j"]): event
         for event in verdicts
@@ -225,12 +307,115 @@ def _grid_section(verdicts: Sequence[Mapping]) -> str:
         for i in range(n):
             row = [f"<tr><th>{i}</th>"]
             for j in range(n):
-                row.append(_grid_cell(cells.get((i, j), cells.get((j, i)))))
+                row.append(
+                    _grid_cell(
+                        cells.get((i, j), cells.get((j, i))),
+                        origins.get((i, j), origins.get((j, i))),
+                    )
+                )
             row.append("</tr>")
             rows.append("".join(row))
         rows.append("</table>")
         parts.append("".join(rows))
     return "\n".join(parts)
+
+
+def _gantt_section(leases: Sequence[Mapping]) -> str:
+    """Per-worker lease-ownership bars from telemetry ``lease`` events.
+
+    ``acquire``/``steal`` open an interval for ``(owner, shard,
+    generation)``; ``release``/``lost`` close the owner's open interval
+    on that shard.  Intervals a dead worker never closed extend to the
+    last event seen — exactly the window the stealing protocol had to
+    reclaim.
+    """
+    events = sorted(
+        (dict(event) for event in leases if event.get("wall") is not None),
+        key=lambda event: event["wall"],
+    )
+    if not events:
+        return ""
+    t0 = events[0]["wall"]
+    t1 = max(event["wall"] for event in events)
+    extent = max(t1 - t0, 1e-9)
+    open_bars: Dict[Tuple[str, int], Dict] = {}
+    bars_by_owner: Dict[str, List[Dict]] = {}
+    for event in events:
+        owner = str(event.get("owner", "?"))
+        shard = event.get("shard")
+        key = (owner, shard)
+        action = event.get("action")
+        if action in ("acquire", "steal"):
+            open_bars[key] = {
+                "shard": shard,
+                "generation": event.get("generation"),
+                "start": event["wall"],
+                "stolen": action == "steal",
+            }
+        elif action in ("release", "lost") and key in open_bars:
+            bar = open_bars.pop(key)
+            bar["end"] = event["wall"]
+            bar["closed_by"] = action
+            bars_by_owner.setdefault(owner, []).append(bar)
+    for (owner, _shard), bar in open_bars.items():
+        bar["end"] = t1
+        bar["closed_by"] = "(open)"
+        bars_by_owner.setdefault(owner, []).append(bar)
+    parts = []
+    for owner in sorted(bars_by_owner):
+        divs = []
+        for bar in sorted(bars_by_owner[owner], key=lambda b: b["start"]):
+            left = 100.0 * (bar["start"] - t0) / extent
+            width = max(100.0 * (bar["end"] - bar["start"]) / extent, 0.4)
+            css = "bar stolen" if bar["stolen"] else "bar"
+            color = _PALETTE[(bar["shard"] or 0) % len(_PALETTE)]
+            tip = (
+                f"shard {bar['shard']} g{bar['generation']} "
+                f"{'stolen' if bar['stolen'] else 'acquired'} "
+                f"{bar['end'] - bar['start']:.2f}s → {bar['closed_by']}"
+            )
+            divs.append(
+                f'<div class="{css}" style="left:{left:.3f}%;'
+                f'width:{width:.3f}%;background:{color}" '
+                f'title="{html.escape(tip)}">s{bar["shard"]}</div>'
+            )
+        parts.append(
+            f'<div class="proc"><div class="label">{html.escape(owner)}</div>'
+            f'<div class="gantt">{"".join(divs)}</div></div>'
+        )
+    return "\n".join(parts)
+
+
+def _fleet_section(fleet: Mapping) -> str:
+    """The per-worker liveness table of a fleet snapshot's ``as_dict``."""
+    workers = fleet.get("workers", ())
+    if not workers:
+        return "<p>no worker telemetry</p>"
+    rows = [
+        '<table class="list"><tr><th>worker</th><th>state</th><th>phase</th>'
+        "<th>shard</th><th>cells</th><th>rate</th><th>frames</th>"
+        "<th>torn</th></tr>"
+    ]
+    for worker in workers:
+        rate = worker.get("rate")
+        rows.append(
+            f"<tr><td>{html.escape(str(worker.get('owner')))}</td>"
+            f"<td>{html.escape(str(worker.get('state')))}</td>"
+            f"<td>{html.escape(str(worker.get('phase')))}</td>"
+            f"<td>{worker.get('shard') if worker.get('shard') is not None else '-'}</td>"
+            f"<td>{worker.get('cells_done', 0)}</td>"
+            f"<td>{f'{rate:.1f}/s' if rate else '-'}</td>"
+            f"<td>{worker.get('frames', 0)}</td>"
+            f"<td>{worker.get('torn', 0)}</td></tr>"
+        )
+    rows.append("</table>")
+    shards = fleet.get("shards", {})
+    summary = (
+        f"shards: {shards.get('done', 0)}/{shards.get('total', 0)} done, "
+        f"{shards.get('stolen', 0)} stolen"
+        + (" — complete" if fleet.get("complete") else "")
+    )
+    return f"<p>{html.escape(summary)}</p>" + "".join(rows)
 
 
 def _flame_spans(
@@ -334,15 +519,31 @@ def render_dashboard(
     incidents: Sequence[Mapping] = (),
     samples: Optional[Mapping[str, int]] = None,
     title: str = "repro run",
+    provenance: Optional[Mapping] = None,
+    leases: Sequence[Mapping] = (),
+    fleet: Optional[Mapping] = None,
 ) -> str:
-    """Render the full self-contained HTML report as a string."""
+    """Render the full self-contained HTML report as a string.
+
+    ``provenance`` (cell → disposition, from a merge result) colors the
+    pair grid; ``leases`` (telemetry lease events) adds the ownership
+    Gantt; ``fleet`` (a :meth:`FleetSnapshot.as_dict`) adds the worker
+    liveness table.  All three are optional and default to absent.
+    """
     snapshot = dict(metrics or {})
     samples = dict(samples or {})
     sections = [
         f"<h1>{html.escape(title)}</h1>",
         _tiles_section(records, snapshot, incidents, samples),
         "<h2>pair grid</h2>",
-        _grid_section(verdicts),
+        _grid_section(verdicts, provenance),
+    ]
+    gantt = _gantt_section(leases)
+    if gantt:
+        sections.extend(["<h2>lease ownership</h2>", gantt])
+    if fleet is not None:
+        sections.extend(["<h2>fleet</h2>", _fleet_section(fleet)])
+    sections += [
         "<h2>flamegraph</h2>",
         _flame_section(records, samples),
         "<h2>incident timeline</h2>",
@@ -368,10 +569,14 @@ def write_dashboard(
     incidents: Sequence[Mapping] = (),
     samples: Optional[Mapping[str, int]] = None,
     title: str = "repro run",
+    provenance: Optional[Mapping] = None,
+    leases: Sequence[Mapping] = (),
+    fleet: Optional[Mapping] = None,
 ) -> int:
     """Write the HTML report; returns the byte length written."""
     text = render_dashboard(
-        records, metrics, verdicts, incidents, samples, title=title
+        records, metrics, verdicts, incidents, samples, title=title,
+        provenance=provenance, leases=leases, fleet=fleet,
     )
     data = text.encode("utf-8")
     Path(path).write_bytes(data)

@@ -1,8 +1,9 @@
 """Structured JSONL event log with a versioned schema.
 
 A trace file is a sequence of JSON objects, one per line.  Every line
-carries ``"v"`` (the schema version, currently 1) and ``"type"``; the
-remaining fields depend on the type:
+carries ``"v"`` (the schema version, currently 2; v1 traces remain
+valid — see :data:`SUPPORTED_VERSIONS`) and ``"type"``; the remaining
+fields depend on the type:
 
 ``span_start``
     ``{"v": 1, "type": "span_start", "id": "s0001", "name": "theorem13",
@@ -40,6 +41,25 @@ remaining fields depend on the type:
     cooperative deadline expired; ``scope`` names the budget that ran out
     (``"pair"``, ``"cell"``, ``"scan"``, ``"search"``).
 
+``telemetry`` (v2)
+    ``{"v": 2, "type": "telemetry", "owner": "host-1", "seq": 3,
+    "wall": 1754600000.1, "phase": "scan", "shard": 4, "generation": 0,
+    "cells_done": 7, "cells_total": 15, "rate": 3.2, "ttl": 30.0,
+    "metrics": {"fabric.cells.scanned": 7}}`` — one heartbeat frame of a
+    fabric worker's telemetry stream (:mod:`repro.obs.telemetry`).
+    ``wall`` is absolute ``time.time()`` (frames from different workers
+    *are* comparable, unlike span offsets); ``metrics`` carries the
+    metrics-registry counter deltas since the previous frame; ``phase``
+    is ``start``/``scan``/``idle``/``done``.
+
+``lease`` (v2)
+    ``{"v": 2, "type": "lease", "action": "steal", "owner": "host-2",
+    "shard": 4, "generation": 1, "wall": 1754600000.2, "t": 0.41}`` —
+    one shard-lease transition (``acquire``/``steal``/``release``/
+    ``lost``).  The optional ``t`` is the tracer-relative offset, so a
+    stitched Chrome trace can place the transition as an instant event
+    on the owner's timeline.
+
 ``fault``/``retry``/``timeout`` are *incident* events: the resilience
 layer records them on a process-global buffer as they happen
 (:func:`record_incident`), and the CLI drains the buffer into the trace
@@ -62,7 +82,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.obs.tracing import SpanRecord
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions :func:`validate_event_report` accepts.  v2 is additive over
+#: v1 (two new event types, no changed fields), so v1 traces written by
+#: earlier emitters stay valid forever.
+SUPPORTED_VERSIONS = (1, 2)
 
 _NUMBER = (int, float)
 _STR_OR_NONE = (str, type(None))
@@ -115,7 +140,31 @@ EVENT_TYPES: Dict[str, Tuple[Dict[str, tuple], Dict[str, tuple]]] = {
         {"scope": (str,)},
         {"i": (int,), "j": (int,), "index": (int,), "seconds": _NUMBER},
     ),
+    "telemetry": (
+        {"owner": (str,), "seq": (int,), "wall": _NUMBER, "phase": (str,)},
+        {
+            "pid": (int,),
+            "shard": (int,),
+            "generation": (int,),
+            "cells_done": (int,),
+            "cells_total": (int,),
+            "rate": _NUMBER,
+            "ttl": _NUMBER,
+            "uptime": _NUMBER,
+            "metrics": (dict,),
+        },
+    ),
+    "lease": (
+        {"owner": (str,), "shard": (int,), "action": (str,), "wall": _NUMBER},
+        {"generation": (int,), "t": _NUMBER},
+    ),
 }
+
+#: Legal ``action`` strings of a ``lease`` event.
+LEASE_ACTIONS = ("acquire", "steal", "release", "lost")
+
+#: Legal ``phase`` strings of a ``telemetry`` frame.
+TELEMETRY_PHASES = ("start", "scan", "idle", "done")
 
 
 def span_events(record: SpanRecord) -> Tuple[dict, dict]:
@@ -234,6 +283,78 @@ def timeout_event(
     return event
 
 
+def telemetry_event(
+    owner: str,
+    seq: int,
+    wall: float,
+    phase: str,
+    pid: Optional[int] = None,
+    shard: Optional[int] = None,
+    generation: Optional[int] = None,
+    cells_done: Optional[int] = None,
+    cells_total: Optional[int] = None,
+    rate: Optional[float] = None,
+    ttl: Optional[float] = None,
+    uptime: Optional[float] = None,
+    metrics: Optional[dict] = None,
+) -> dict:
+    """A ``telemetry`` heartbeat frame of one fabric worker."""
+    if phase not in TELEMETRY_PHASES:
+        raise ValueError(
+            f"unknown telemetry phase {phase!r} (one of {TELEMETRY_PHASES})"
+        )
+    event: dict = {
+        "v": SCHEMA_VERSION,
+        "type": "telemetry",
+        "owner": owner,
+        "seq": seq,
+        "wall": wall,
+        "phase": phase,
+    }
+    for field, value in (
+        ("pid", pid),
+        ("shard", shard),
+        ("generation", generation),
+        ("cells_done", cells_done),
+        ("cells_total", cells_total),
+        ("rate", rate),
+        ("ttl", ttl),
+        ("uptime", uptime),
+        ("metrics", metrics),
+    ):
+        if value is not None:
+            event[field] = value
+    return event
+
+
+def lease_event(
+    action: str,
+    owner: str,
+    shard: int,
+    wall: float,
+    generation: Optional[int] = None,
+    t: Optional[float] = None,
+) -> dict:
+    """A ``lease`` event: one shard-lease ownership transition."""
+    if action not in LEASE_ACTIONS:
+        raise ValueError(
+            f"unknown lease action {action!r} (one of {LEASE_ACTIONS})"
+        )
+    event: dict = {
+        "v": SCHEMA_VERSION,
+        "type": "lease",
+        "action": action,
+        "owner": owner,
+        "shard": shard,
+        "wall": wall,
+    }
+    if generation is not None:
+        event["generation"] = generation
+    if t is not None:
+        event["t"] = t
+    return event
+
+
 # Incident buffer: fault/retry/timeout events appended as they happen and
 # drained by the CLI into the written trace.  Process-local (each worker
 # has its own; only parent-side incidents reach the trace file) and
@@ -251,6 +372,16 @@ def drain_incidents() -> List[dict]:
     global _incidents
     drained, _incidents = _incidents, []
     return drained
+
+
+def peek_incidents() -> List[dict]:
+    """The buffered incidents *without* draining them.
+
+    The fabric worker path writes a per-owner trace file (so stitching
+    works) *before* the CLI's end-of-run drain; peeking lets the same
+    incidents appear in both outputs without being consumed twice.
+    """
+    return list(_incidents)
 
 
 def _type_ok(value: object, types: tuple) -> bool:
@@ -286,8 +417,11 @@ def validate_event_report(
     if not isinstance(obj, dict):
         return [f"event must be a JSON object, got {type(obj).__name__}"], []
     version = obj.get("v")
-    if version != SCHEMA_VERSION:
-        errors.append(f"unsupported schema version {version!r} (expected {SCHEMA_VERSION})")
+    if version not in SUPPORTED_VERSIONS:
+        errors.append(
+            f"unsupported schema version {version!r} "
+            f"(expected one of {SUPPORTED_VERSIONS})"
+        )
     event_type = obj.get("type")
     if event_type not in EVENT_TYPES:
         errors.append(f"unknown event type {event_type!r}")

@@ -13,6 +13,11 @@ already collect:
   registry in the Prometheus text exposition format (version 0.0.4), one
   ``# HELP``/``# TYPE``/value triple per metric, suitable for a textfile
   collector or a one-shot scrape.
+* :func:`stitch_worker_events` / :func:`stitched_chrome_trace` — merge
+  the per-worker trace files a scan fabric leaves behind into one
+  Perfetto timeline: a swimlane per worker process plus lease
+  acquire/steal/release/lost instant events, invertible via
+  :func:`spans_from_chrome` and :func:`instants_from_chrome`.
 
 Both converters are *lossless* over their inputs: span ids and parent
 links ride in the Chrome events' ``args`` (so :func:`spans_from_chrome`
@@ -30,8 +35,18 @@ from __future__ import annotations
 import json
 import re
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.obs import events as _events
 from repro.obs.tracing import SpanRecord
 
 Number = Union[int, float]
@@ -69,7 +84,19 @@ def chrome_trace_events(
     pids = _pid_map(records)
     samples = samples or {}
     events: List[dict] = []
+    # Pid 0 ("main") also hosts the instant/counter tail, so its label is
+    # only skippable when nothing at all lands there — a stitched fleet
+    # trace whose every span belongs to a named worker must not grow a
+    # spurious empty "main" swimlane.
+    pid0_used = (
+        any(record.proc == "" for record in records)
+        or bool(verdicts)
+        or bool(incidents)
+        or bool(counters)
+    )
     for proc, pid in pids.items():
+        if pid == 0 and not pid0_used:
+            continue
         events.append(
             {
                 "name": "process_name",
@@ -188,6 +215,111 @@ def spans_from_chrome(trace: dict) -> List[SpanRecord]:
             )
         )
     return records
+
+
+class StitchedTrace(NamedTuple):
+    """The merger of several workers' event streams.
+
+    ``records`` are every worker's spans with their process labels
+    prefixed by the owning worker (so each worker gets its own Chrome
+    swimlane); ``instants`` are the workers' ``lease`` events (acquire /
+    steal / release / lost), kept as raw event dicts for rendering as
+    Chrome instant events.
+    """
+
+    records: List[SpanRecord]
+    instants: List[dict]
+
+
+def stitch_worker_events(
+    traces: Mapping[str, Sequence[dict]],
+) -> StitchedTrace:
+    """Merge per-worker JSONL trace event streams into one trace.
+
+    ``traces`` maps each worker's owner name to the events of its trace
+    file (:func:`repro.obs.events.read_trace`).  Each worker's process
+    labels are namespaced under its owner — its main process (``""``)
+    becomes ``owner`` and its subprocess labels ``w0`` become
+    ``owner/w0`` — so the merged trace keeps one swimlane per worker
+    process and span ids never collide across workers.
+
+    Span offsets stay *per-process relative* (each worker's epoch is its
+    own trace start), the same convention multi-process traces already
+    follow within one run; cross-worker wall-clock ordering lives in the
+    lease instants' ``wall`` field, not in span timestamps.
+    """
+    records: List[SpanRecord] = []
+    instants: List[dict] = []
+    for owner in sorted(traces):
+        events = traces[owner]
+        for record in _events.spans_from_events(events):
+            proc = owner if not record.proc else f"{owner}/{record.proc}"
+            records.append(record._replace(proc=proc))
+        for event in events:
+            if event.get("type") == "lease":
+                instants.append(dict(event))
+    return StitchedTrace(records, instants)
+
+
+def stitched_chrome_trace(
+    stitched: StitchedTrace,
+    counters: Optional[Mapping[str, Number]] = None,
+) -> dict:
+    """One Perfetto timeline for a whole fleet.
+
+    Builds the ordinary Chrome trace over the stitched span records
+    (per-worker swimlanes via the usual process-name metadata), then
+    adds each lease transition as an instant event (``ph: "i"``, ``cat:
+    "lease"``) pinned to the owning worker's swimlane.  Lease events
+    carrying a tracer-relative ``t`` land at that point on the
+    timeline; events without one queue after the trace end like other
+    instants.  The full original event rides in ``args`` so
+    :func:`instants_from_chrome` recovers it exactly.
+    """
+    trace = chrome_trace(list(stitched.records), counters)
+    pids = _pid_map(stitched.records)
+    trace_end = max((r.end for r in stitched.records), default=0.0)
+    cursor = trace_end
+    for event in stitched.instants:
+        t = event.get("t")
+        if t is None:
+            cursor += 1e-6
+            t = cursor
+        trace["traceEvents"].append(
+            {
+                "name": f"lease.{event.get('action', '?')}",
+                "cat": "lease",
+                "ph": "i",
+                "s": "g",
+                "ts": _ts(t),
+                "pid": pids.get(event.get("owner", ""), 0),
+                "tid": 0,
+                "args": dict(event),
+            }
+        )
+    return trace
+
+
+def write_stitched_chrome_trace(
+    path: Union[str, Path],
+    stitched: StitchedTrace,
+    counters: Optional[Mapping[str, Number]] = None,
+) -> int:
+    """Write the fleet timeline; returns the event count."""
+    trace = stitched_chrome_trace(stitched, counters)
+    Path(path).write_text(
+        json.dumps(trace, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(trace["traceEvents"])
+
+
+def instants_from_chrome(trace: dict, cat: str = "lease") -> List[dict]:
+    """Recover the original instant-event payloads of one category."""
+    return [
+        dict(event["args"])
+        for event in trace.get("traceEvents", ())
+        if event.get("ph") == "i" and event.get("cat") == cat
+    ]
 
 
 _PROM_INVALID = re.compile(r"[^a-zA-Z0-9_]")

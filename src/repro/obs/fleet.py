@@ -1,0 +1,337 @@
+"""Fleet aggregation: one snapshot of a live (or dead) scan fabric.
+
+:func:`fleet_snapshot` joins three durable sources under a fabric root —
+per-worker telemetry streams (:mod:`repro.obs.telemetry`), shard lease
+files, and journal segments — into a :class:`FleetSnapshot`: per-worker
+liveness and rates, stolen-shard counts, straggler detection against the
+lease TTL, and a fabric-wide ETA.  It reads only; it never takes locks
+or touches leases, so running ``repro top`` against a hot fabric cannot
+perturb the workers it is watching.
+
+Liveness is inferred from heartbeat age relative to the lease TTL (the
+same clock the stealing protocol trusts):
+
+* ``done`` — the worker's last frame says so;
+* ``active`` — heartbeat within one TTL;
+* ``idle`` — the worker said it was waiting for claimable shards;
+* ``stalled`` — silent for more than one TTL but less than
+  :data:`STALL_FACTOR` TTLs (a straggler: its shards are about to be
+  stolen);
+* ``dead`` — silent longer than that.
+
+The ETA deliberately counts only *genuinely scanned* cells: symmetric
+and carried cells resolve instantly at plan/merge time and must not
+inflate the remaining-work estimate (the PR-7 overestimate bug).
+
+Scanfabric modules are imported lazily inside functions: obs is a lower
+layer and must stay importable without the fabric (and vice versa).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple, Union
+
+from . import telemetry as _telemetry
+
+__all__ = [
+    "STALL_FACTOR",
+    "DEFAULT_TTL",
+    "WorkerStatus",
+    "FleetSnapshot",
+    "fleet_snapshot",
+    "render_fleet",
+]
+
+#: Heartbeat silence beyond ``STALL_FACTOR * ttl`` marks a worker dead
+#: (one TTL of silence is merely *stalled* — the stealing protocol's own
+#: reclamation threshold).
+STALL_FACTOR = 3.0
+
+#: Fallback TTL when neither lease files nor telemetry frames carry one.
+DEFAULT_TTL = 30.0
+
+
+class WorkerStatus(NamedTuple):
+    """One worker's condition, as inferred from its telemetry stream."""
+
+    owner: str
+    pid: Optional[int]
+    state: str  # "active" | "idle" | "done" | "stalled" | "dead"
+    last_seen: float  # wall time of the newest frame
+    age: float  # seconds since last_seen, at snapshot time
+    phase: str
+    shard: Optional[int]
+    generation: Optional[int]
+    cells_done: int
+    cells_total: Optional[int]
+    rate: Optional[float]  # cells/s from the newest rated frame
+    frames: int
+    torn: int
+
+    @property
+    def live(self) -> bool:
+        return self.state in ("active", "idle")
+
+
+class FleetSnapshot(NamedTuple):
+    """The whole fabric at one instant."""
+
+    root: str
+    now: float
+    workers: Tuple[WorkerStatus, ...]
+    shards_total: int
+    shards_done: int
+    shards_leased: int
+    shards_open: int
+    stolen: int  # lease "steal" events across all telemetry streams
+    cells_total: int  # scan cells in the plan (pruned cells excluded)
+    cells_done: int  # journaled scan cells
+    cells_symmetric: int
+    cells_carried: int
+    rate: Optional[float]  # summed cells/s over live workers
+    eta: Optional[float]  # seconds until the scan cells drain
+    complete: bool
+    journal_errors: int  # shards whose replay raised (live-read races)
+
+    def as_dict(self) -> dict:
+        """A JSON-ready rendering for ``repro fleet-status --json``."""
+        return {
+            "root": self.root,
+            "now": self.now,
+            "workers": [
+                {
+                    "owner": w.owner,
+                    "pid": w.pid,
+                    "state": w.state,
+                    "last_seen": w.last_seen,
+                    "age": round(w.age, 3),
+                    "phase": w.phase,
+                    "shard": w.shard,
+                    "generation": w.generation,
+                    "cells_done": w.cells_done,
+                    "cells_total": w.cells_total,
+                    "rate": w.rate,
+                    "frames": w.frames,
+                    "torn": w.torn,
+                }
+                for w in self.workers
+            ],
+            "shards": {
+                "total": self.shards_total,
+                "done": self.shards_done,
+                "leased": self.shards_leased,
+                "open": self.shards_open,
+                "stolen": self.stolen,
+            },
+            "cells": {
+                "total": self.cells_total,
+                "done": self.cells_done,
+                "symmetric": self.cells_symmetric,
+                "carried": self.cells_carried,
+            },
+            "rate": self.rate,
+            "eta": self.eta,
+            "complete": self.complete,
+            "journal_errors": self.journal_errors,
+        }
+
+
+def _worker_status(
+    log: _telemetry.TelemetryLog, now: float, ttl: float
+) -> WorkerStatus:
+    frames = log.frames
+    last = frames[-1] if frames else None
+    last_seen = float(last["wall"]) if last else 0.0
+    age = max(0.0, now - last_seen) if last else float("inf")
+    phase = str(last.get("phase", "")) if last else ""
+    # The newest frame carrying each optional field wins: a terminal
+    # "done" frame has no shard, but the worker's final cell counts
+    # should still be reported.
+    def newest(field):
+        for frame in reversed(frames):
+            if frame.get(field) is not None:
+                return frame[field]
+        return None
+
+    if phase == "done":
+        state = "done"
+    elif not frames:
+        state = "dead"
+    elif age <= ttl:
+        state = "idle" if phase == "idle" else "active"
+    elif age <= STALL_FACTOR * ttl:
+        state = "stalled"
+    else:
+        state = "dead"
+    rate = newest("rate")
+    return WorkerStatus(
+        owner=log.owner,
+        pid=newest("pid"),
+        state=state,
+        last_seen=last_seen,
+        age=age,
+        phase=phase,
+        shard=last.get("shard") if last else None,
+        generation=last.get("generation") if last else None,
+        cells_done=int(newest("cells_done") or 0),
+        cells_total=newest("cells_total"),
+        rate=float(rate) if rate is not None else None,
+        frames=len(frames),
+        torn=log.torn,
+    )
+
+
+def fleet_snapshot(
+    root: Union[str, Path],
+    clock: Callable[[], float] = time.time,
+) -> FleetSnapshot:
+    """Join telemetry + leases + journals into one fabric snapshot.
+
+    Requires ``root/plan.json`` (raises
+    :class:`~repro.errors.FabricError` otherwise) but tolerates every
+    live-read hazard below that: torn telemetry lines, vanished lease
+    files, and half-written journal segments.
+    """
+    from repro.scanfabric import journal as _journal
+    from repro.scanfabric import lease as _lease
+    from repro.scanfabric import plan as _plan
+    from repro.errors import FabricError
+
+    root = Path(root)
+    now = clock()
+    plan = _plan.load_plan(root)
+    logs = _telemetry.read_fleet_telemetry(root)
+
+    # TTL: lease files are authoritative (they are what stealing trusts),
+    # telemetry frames are the fallback for a fabric whose leases are
+    # all released and gone.
+    ttls: List[float] = []
+    lease_records: Dict[int, "_lease.LeaseRecord"] = {}
+    for index in range(len(plan.shards)):
+        record = _lease.read_lease(_journal.lease_path(root, index))
+        if record is not None:
+            lease_records[index] = record
+            ttls.append(float(record.ttl))
+    if not ttls:
+        ttls = [
+            float(frame["ttl"])
+            for log in logs.values()
+            for frame in log.frames
+            if frame.get("ttl") is not None
+        ]
+    ttl = max(ttls) if ttls else DEFAULT_TTL
+
+    workers = tuple(
+        sorted(
+            (_worker_status(log, now, ttl) for log in logs.values()),
+            key=lambda w: w.owner,
+        )
+    )
+    stolen = sum(
+        1
+        for log in logs.values()
+        for event in log.leases
+        if event.get("action") == "steal"
+    )
+
+    shards_total = len(plan.shards)
+    shards_done = 0
+    shards_leased = 0
+    cells_done = 0
+    journal_errors = 0
+    for index, shard in enumerate(plan.shards):
+        if _journal.shard_done(root, index):
+            shards_done += 1
+            cells_done += len(shard)
+            continue
+        record = lease_records.get(index)
+        if record is not None and not record.claimable(now):
+            shards_leased += 1
+        try:
+            cells_done += len(
+                _journal.replay_shard(root, index, plan.scan_fingerprint)
+            )
+        except FabricError:
+            # A segment being appended to right now, or a chaos-killed
+            # writer's garbage: the monitor must not crash on it.
+            journal_errors += 1
+    shards_open = shards_total - shards_done - shards_leased
+
+    cells_total = len(plan.scan_cells)
+    rate_sum = sum(w.rate for w in workers if w.live and w.rate)
+    rate = rate_sum if rate_sum > 0 else None
+    remaining = max(0, cells_total - cells_done)
+    eta = (remaining / rate) if (rate and remaining) else None
+    complete = shards_done == shards_total
+
+    return FleetSnapshot(
+        root=str(root),
+        now=now,
+        workers=workers,
+        shards_total=shards_total,
+        shards_done=shards_done,
+        shards_leased=shards_leased,
+        shards_open=shards_open,
+        stolen=stolen,
+        cells_total=cells_total,
+        cells_done=cells_done,
+        cells_symmetric=len(plan.symmetric),
+        cells_carried=len(plan.carried),
+        rate=rate,
+        eta=eta if not complete else 0.0 if remaining == 0 else eta,
+        complete=complete,
+        journal_errors=journal_errors,
+    )
+
+
+def _fmt_rate(rate: Optional[float]) -> str:
+    return f"{rate:.1f}/s" if rate else "-"
+
+
+def _fmt_eta(eta: Optional[float]) -> str:
+    if eta is None:
+        return "-"
+    return f"{eta:.1f}s"
+
+
+def render_fleet(snap: FleetSnapshot) -> str:
+    """A fixed-width text table for ``repro top`` / ``fleet-status``."""
+    lines = [
+        (
+            f"fabric {snap.root}: "
+            f"cells {snap.cells_done}/{snap.cells_total} scanned"
+            f" | shards {snap.shards_done}/{snap.shards_total} done"
+            f" ({snap.shards_leased} leased, {snap.shards_open} open,"
+            f" {snap.stolen} stolen)"
+            f" | pruned {snap.cells_symmetric + snap.cells_carried}"
+            f" ({snap.cells_symmetric} symmetric,"
+            f" {snap.cells_carried} carried)"
+            f" | rate {_fmt_rate(snap.rate)}"
+            f" | eta {_fmt_eta(snap.eta)}"
+            + (" | COMPLETE" if snap.complete else "")
+        )
+    ]
+    if snap.journal_errors:
+        lines.append(
+            f"  ({snap.journal_errors} shard journal(s) unreadable"
+            " mid-write; counts are a floor)"
+        )
+    header = (
+        f"  {'WORKER':<16} {'STATE':<8} {'PHASE':<6} {'SHARD':>5} "
+        f"{'GEN':>3} {'CELLS':>6} {'RATE':>8} {'AGE':>7} {'TORN':>4}"
+    )
+    lines.append(header)
+    for w in snap.workers:
+        shard = "-" if w.shard is None else str(w.shard)
+        gen = "-" if w.generation is None else str(w.generation)
+        age = "-" if w.age == float("inf") else f"{w.age:.1f}s"
+        lines.append(
+            f"  {w.owner:<16} {w.state:<8} {w.phase:<6} {shard:>5} "
+            f"{gen:>3} {w.cells_done:>6} {_fmt_rate(w.rate):>8} "
+            f"{age:>7} {w.torn:>4}"
+        )
+    if not snap.workers:
+        lines.append("  (no telemetry streams found)")
+    return "\n".join(lines)

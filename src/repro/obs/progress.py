@@ -18,8 +18,18 @@ Properties:
 * **Rate-limited.**  At most one line per ``min_interval`` seconds
   (final updates always render), so tight loops do not flood a slow
   terminal.
+* **Prune-aware.**  Units resolved without work — symmetric or carried
+  cells in a fabric plan, instantly-replayed journal entries — are
+  reported via :meth:`~ProgressReporter.note_pruned`: they count toward
+  percent-complete and shrink the ETA's remaining-work term, but never
+  enter the rate, so an incremental fabric run shows the throughput of
+  its *genuine* scanning instead of a wildly optimistic blur.
 * **Deterministic under test.**  The clock is injectable and rendering
   is a pure function of reported state.
+
+:class:`LiveBlock` is the multi-line sibling used by ``repro top``: a
+self-overwriting block of N lines redrawn in place with ANSI cursor
+movement.
 
 Per-unit process labels (the ``proc`` argument) accumulate into a
 per-worker completion census, shown while it stays legible (at most
@@ -68,6 +78,7 @@ class ProgressReporter:
         self._baseline: Optional[int] = None
         self.done = 0
         self.total = 0
+        self.pruned = 0
         self.per_proc: Dict[str, int] = {}
         self._last_emit: Optional[float] = None
         self._last_line_width = 0
@@ -96,6 +107,16 @@ class ProgressReporter:
         self._last_emit = now
         self._emit(self.render(now))
 
+    def note_pruned(self, count: int = 1) -> None:
+        """Report ``count`` units resolved without genuine scan work.
+
+        Pruned units advance percent-complete and shrink the ETA but are
+        excluded from the rate — they took no scanning time, so letting
+        them into the throughput would understate how long the real
+        remaining work takes.
+        """
+        self.pruned += count
+
     def rate(self, now: Optional[float] = None) -> Optional[float]:
         """Units per second completed this run (None before any progress)."""
         if self._start is None or self._baseline is None:
@@ -111,21 +132,24 @@ class ProgressReporter:
         rate = self.rate(now)
         if rate is None:
             return None
-        return max(0, self.total - self.done) / rate
+        return max(0, self.total - self.done - self.pruned) / rate
 
     def render(self, now: Optional[float] = None) -> str:
         """The current status line (no trailing newline)."""
         parts = [f"{self.label} {self.done}/{self.total}"]
         if self.total:
-            parts[0] += f" {100.0 * self.done / self.total:.1f}%"
+            covered = min(self.total, self.done + self.pruned)
+            parts[0] += f" {100.0 * covered / self.total:.1f}%"
         rate = self.rate(now)
         if rate is not None:
             parts.append(f"{rate:.1f}/s")
         eta = self.eta(now)
-        if eta is not None and self.done < self.total:
+        if eta is not None and self.done + self.pruned < self.total:
             parts.append(f"eta {_format_eta(eta)}")
         if self._baseline:
             parts.append(f"resumed {self._baseline}")
+        if self.pruned:
+            parts.append(f"pruned {self.pruned}")
         if self.per_proc and len(self.per_proc) <= MAX_WORKER_FIELDS:
             census = " ".join(
                 f"{proc}:{count}" for proc, count in sorted(self.per_proc.items())
@@ -146,3 +170,32 @@ class ProgressReporter:
             self._emit(self.render())
             self.stream.write("\n")
             self.stream.flush()
+
+
+class LiveBlock:
+    """A self-overwriting multi-line terminal block (``repro top``).
+
+    Each :meth:`emit` moves the cursor back up over the previous block
+    (ANSI ``CUU`` + erase-below) and redraws, so a refreshing N-line
+    display stays put instead of scrolling.  When the stream is not a
+    terminal (piped output, CI logs), blocks are simply appended —
+    every frame stays in the scrollback, which is what a log wants.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._last_lines = 0
+        self._ansi = bool(getattr(self.stream, "isatty", lambda: False)())
+
+    def emit(self, text: str) -> None:
+        """Replace the previously emitted block with ``text``."""
+        if self._ansi and self._last_lines:
+            # Cursor up over the old block, then erase to end of screen.
+            self.stream.write(f"\x1b[{self._last_lines}F\x1b[J")
+        self.stream.write(text.rstrip("\n") + "\n")
+        self.stream.flush()
+        self._last_lines = text.rstrip("\n").count("\n") + 1
+
+    def finish(self) -> None:
+        """Leave the final block in place (no-op beyond bookkeeping)."""
+        self._last_lines = 0

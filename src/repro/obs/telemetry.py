@@ -1,0 +1,290 @@
+"""Per-worker telemetry streams for the scan fabric.
+
+Each fabric worker appends schema-v2 :mod:`repro.obs.events` frames to
+its own JSONL file under ``FABRIC/telemetry/`` — heartbeat ``telemetry``
+frames (current shard, lease generation, cells/s, metrics-registry
+deltas) interleaved with ``lease`` ownership-transition events.  The
+stream is append-only and flushed per line, so a reader tailing the
+file while the worker runs sees at worst one torn trailing line, and a
+worker killed mid-write loses at most its final frame.
+
+Layout inside a fabric directory::
+
+    FABRIC/
+      telemetry/
+        <owner>.telemetry.jsonl   # heartbeat + lease frames (this module)
+        <owner>.trace.jsonl       # per-worker span trace (written by cli)
+
+Readers are deliberately forgiving: :func:`read_telemetry` counts
+undecodable or schema-invalid lines as *torn* instead of raising, so
+``repro top`` and :mod:`repro.obs.fleet` keep working on the leavings of
+chaos-killed workers.
+
+The writer never imports :mod:`repro.scanfabric` — telemetry sits in the
+obs layer, below the fabric — so the filename sanitiser is a local twin
+of the journal's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Union
+
+from . import events as _events
+from . import metrics as _metrics
+
+__all__ = [
+    "TELEMETRY_DIR",
+    "TelemetryWriter",
+    "TelemetryLog",
+    "frame_path",
+    "trace_path",
+    "read_telemetry",
+    "read_fleet_telemetry",
+    "worker_trace_paths",
+]
+
+#: Subdirectory of a fabric root holding per-worker telemetry streams.
+TELEMETRY_DIR = "telemetry"
+
+
+def _safe_name(owner: str) -> str:
+    """Owner names become filename components; neuter anything unsafe.
+
+    Mirrors ``repro.scanfabric.journal._safe_owner`` so an owner's
+    telemetry, trace and journal segments sort together in listings —
+    duplicated rather than imported because obs must not depend on the
+    fabric layer.
+    """
+    return "".join(
+        ch if (ch.isalnum() or ch in "-_") else "_" for ch in owner
+    ) or "owner"
+
+
+def frame_path(root: Union[str, Path], owner: str) -> Path:
+    """The telemetry stream file for ``owner`` under fabric ``root``."""
+    return Path(root) / TELEMETRY_DIR / f"{_safe_name(owner)}.telemetry.jsonl"
+
+
+def trace_path(root: Union[str, Path], owner: str) -> Path:
+    """The per-worker span trace file for ``owner`` under ``root``."""
+    return Path(root) / TELEMETRY_DIR / f"{_safe_name(owner)}.trace.jsonl"
+
+
+class TelemetryWriter:
+    """Appends heartbeat frames and lease events for one worker.
+
+    Frames carry metrics-registry *deltas* since the previous frame (so
+    a fleet aggregator can sum them without double counting) and a
+    cells/s rate computed from the ``cells_done`` progression.  Frame
+    emission is rate-limited to ``min_interval`` seconds unless forced;
+    lease events always go out — ownership transitions are rare and the
+    Gantt panel needs every one.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        owner: str,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.time,
+        min_interval: float = 0.0,
+    ) -> None:
+        self.path = Path(path)
+        self.owner = owner
+        self.ttl = ttl
+        self._clock = clock
+        self._min_interval = min_interval
+        self._seq = 0
+        self._started = clock()
+        self._last_emit: Optional[float] = None
+        self._last_cells: Optional[int] = None
+        self._last_cells_wall: Optional[float] = None
+        self._metrics_base = _metrics.registry().snapshot()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def _write(self, event: dict) -> None:
+        if self._handle is None:  # pragma: no cover - defensive
+            return
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def frame(
+        self,
+        phase: str,
+        shard: Optional[int] = None,
+        generation: Optional[int] = None,
+        cells_done: Optional[int] = None,
+        cells_total: Optional[int] = None,
+        force: bool = False,
+    ) -> Optional[dict]:
+        """Emit one heartbeat frame; returns it, or None if rate-limited.
+
+        The frame number doubles as the fault-injection attempt index
+        for the ``telemetry.frame`` site, so chaos plans can tear a
+        specific frame of a specific owner.
+        """
+        now = self._clock()
+        if (
+            not force
+            and self._last_emit is not None
+            and now - self._last_emit < self._min_interval
+        ):
+            return None
+        # Fault site: lets the chaos suite kill or corrupt a worker
+        # exactly between metric computation and the durable write.
+        from repro.resilience import faults as _faults
+
+        _faults.fire("telemetry.frame", key=self.owner, attempt=self._seq)
+
+        rate: Optional[float] = None
+        if cells_done is not None:
+            if (
+                self._last_cells is not None
+                and self._last_cells_wall is not None
+                and cells_done > self._last_cells
+                and now > self._last_cells_wall
+            ):
+                rate = (cells_done - self._last_cells) / (
+                    now - self._last_cells_wall
+                )
+            self._last_cells = cells_done
+            self._last_cells_wall = now
+
+        snapshot = _metrics.registry().snapshot()
+        delta = {
+            name: value
+            for name, value in _metrics.diff(
+                self._metrics_base, snapshot
+            ).items()
+            if value
+        }
+        self._metrics_base = snapshot
+
+        event = _events.telemetry_event(
+            owner=self.owner,
+            seq=self._seq,
+            wall=now,
+            phase=phase,
+            pid=os.getpid(),
+            shard=shard,
+            generation=generation,
+            cells_done=cells_done,
+            cells_total=cells_total,
+            rate=rate,
+            ttl=self.ttl,
+            uptime=now - self._started,
+            metrics=delta or None,
+        )
+        self._write(event)
+        self._seq += 1
+        self._last_emit = now
+        return event
+
+    def lease(
+        self,
+        action: str,
+        shard: int,
+        generation: Optional[int] = None,
+        t: Optional[float] = None,
+    ) -> dict:
+        """Emit one lease ownership-transition event (never rate-limited)."""
+        event = _events.lease_event(
+            action,
+            owner=self.owner,
+            shard=shard,
+            wall=self._clock(),
+            generation=generation,
+            t=t,
+        )
+        self._write(event)
+        return event
+
+
+class TelemetryLog(NamedTuple):
+    """One worker's parsed telemetry stream."""
+
+    owner: str
+    frames: List[dict]  # telemetry events, in file order
+    leases: List[dict]  # lease events, in file order
+    torn: int  # undecodable or schema-invalid lines skipped
+
+
+def read_telemetry(path: Union[str, Path]) -> TelemetryLog:
+    """Parse one telemetry stream, tolerating torn/partial lines.
+
+    A worker killed mid-write leaves at most one truncated trailing
+    line; a fault-injected write can leave garbage anywhere.  Either
+    way the surviving frames are still useful, so invalid lines are
+    counted (``torn``) rather than raised.
+    """
+    path = Path(path)
+    frames: List[dict] = []
+    leases: List[dict] = []
+    torn = 0
+    owner = ""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return TelemetryLog(owner, frames, leases, torn)
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            torn += 1
+            continue
+        errors, _warnings = _events.validate_event_report(obj)
+        if errors:
+            torn += 1
+            continue
+        if not owner:
+            owner = str(obj.get("owner", ""))
+        if obj.get("type") == "telemetry":
+            frames.append(obj)
+        elif obj.get("type") == "lease":
+            leases.append(obj)
+        else:  # valid event of some other type: not ours, but not torn
+            continue
+    return TelemetryLog(owner or path.stem.split(".")[0], frames, leases, torn)
+
+
+def read_fleet_telemetry(
+    root: Union[str, Path],
+) -> Dict[str, TelemetryLog]:
+    """All telemetry streams under a fabric root, keyed by owner."""
+    tel_dir = Path(root) / TELEMETRY_DIR
+    logs: Dict[str, TelemetryLog] = {}
+    if not tel_dir.is_dir():
+        return logs
+    for path in sorted(tel_dir.glob("*.telemetry.jsonl")):
+        log = read_telemetry(path)
+        logs[log.owner] = log
+    return logs
+
+
+def worker_trace_paths(root: Union[str, Path]) -> Dict[str, Path]:
+    """Per-worker span trace files under a fabric root, keyed by stem."""
+    tel_dir = Path(root) / TELEMETRY_DIR
+    if not tel_dir.is_dir():
+        return {}
+    return {
+        path.name[: -len(".trace.jsonl")]: path
+        for path in sorted(tel_dir.glob("*.trace.jsonl"))
+    }

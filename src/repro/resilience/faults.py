@@ -234,6 +234,12 @@ def fire(site: str, key: object = None, attempt: Optional[int] = None) -> None:
     top-level ``merge-journals`` process itself, so arm it only against a
     subprocess you intend to lose (exit code 87, distinct from worker
     kills).
+
+    The telemetry stream has its own site: ``telemetry.frame`` fires
+    just before each heartbeat frame is written (key = owner name,
+    attempt = frame sequence number), so chaos plans can kill a worker
+    between metric capture and the durable write — the torn-frame case
+    the fleet readers must tolerate.
     """
     plan = active_plan()
     if plan is None:

@@ -9,6 +9,8 @@ A fabric directory looks like::
       shards/shard-00007.g1.host-2.jsonl   # ...the thief's segment after a steal
       shards/shard-00007.done          # completion marker (atomic rename)
       merged.jsonl                     # merge output (merge.py)
+      telemetry/host-1.telemetry.jsonl # heartbeat frames (obs.telemetry)
+      telemetry/host-1.trace.jsonl     # per-worker span trace (cli)
 
 Each lease generation writes its *own* segment — named by shard index,
 generation and owner — so two owners of a stolen shard never co-write a

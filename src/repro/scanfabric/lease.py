@@ -121,6 +121,12 @@ class ShardLease:
         #: Our record as of the last successful acquire/heartbeat; None
         #: when we do not (or no longer) hold the lease.
         self.record: Optional[LeaseRecord] = None
+        #: How the last successful ``try_acquire`` got the shard:
+        #: ``"fresh"`` (no previous lease), ``"reacquire"`` (our own or
+        #: a released lease), or ``"steal"`` (another owner's unreleased
+        #: lease, taken after expiry).  Telemetry distinguishes steals
+        #: so the lease Gantt and steal counters are honest.
+        self.last_acquire: Optional[str] = None
 
     @contextmanager
     def _locked(self):
@@ -194,10 +200,15 @@ class ShardLease:
             self._write(fd, record)
             registry = _metrics.registry()
             registry.counter("fabric.shards.leased").inc()
+            if current is None:
+                self.last_acquire = "fresh"
+            else:
+                self.last_acquire = "reacquire"
             if current is not None and not current.released:
                 registry.counter("fabric.shards.reclaimed").inc()
                 if current.owner != self.owner:
                     registry.counter("fabric.shards.stolen").inc()
+                    self.last_acquire = "steal"
             self.record = record
             return record
 

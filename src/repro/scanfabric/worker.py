@@ -25,8 +25,17 @@ Crash tolerance comes from three properties working together:
 Fault sites (``docs/RESILIENCE.md``): ``fabric.shard`` fires on each
 successful claim (attempt = lease generation — kill rules with
 ``attempts=[0]`` kill first owners and spare the thieves),
-``fabric.cell`` fires between settled cells of a shard scan, and
-``fabric.lease.heartbeat`` fires just before each heartbeat write.
+``fabric.cell`` fires between settled cells of a shard scan,
+``fabric.lease.heartbeat`` fires just before each heartbeat write, and
+``telemetry.frame`` fires before each telemetry heartbeat frame.
+
+Unless disabled (``telemetry=False``), each worker also streams
+heartbeat frames and lease-transition events into
+``ROOT/telemetry/<owner>.telemetry.jsonl`` (:mod:`repro.obs.telemetry`)
+— the durable feed ``repro top``, ``repro fleet-status`` and the
+dashboard's lease Gantt aggregate.  Lease transitions additionally land
+in the obs incident buffer, so a traced run's per-worker trace file
+carries them as instant events for cross-worker stitching.
 """
 
 from __future__ import annotations
@@ -39,7 +48,10 @@ from typing import Callable, NamedTuple, Optional, Sequence, Union
 
 from repro.core.search import theorem13_scan
 from repro.errors import FabricError, LeaseExpired
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
+from repro.obs import telemetry as _telemetry
+from repro.obs import tracing as _tracing
 from repro.relational.schema import DatabaseSchema
 from repro.resilience import faults as _faults
 from repro.resilience.checkpoint import ScanCheckpoint
@@ -95,6 +107,7 @@ def _scan_shard(
     mp_context,
     clock: Callable[[], float],
     on_cells: Optional[Callable[[int], None]],
+    on_pruned: Optional[Callable[[int], None]] = None,
 ) -> _ShardOutcome:
     """Scan one claimed shard's missing cells into a fresh segment.
 
@@ -109,6 +122,11 @@ def _scan_shard(
     already = _journal.replay_shard(root, shard_index, plan.scan_fingerprint)
     remaining = [cell for cell in cells if cell not in already]
     resumed = len(already)
+    if resumed and on_pruned is not None:
+        # Replayed cells are finished work that took no scanning time:
+        # the progress line counts them toward completion but keeps them
+        # out of the throughput estimate.
+        on_pruned(resumed)
 
     state = {"calls": 0, "last_heartbeat": clock(), "settled": 0}
 
@@ -184,6 +202,8 @@ def run_fabric_worker(
     poll_interval: Optional[float] = None,
     clock: Callable[[], float] = time.time,
     on_progress: Optional[Callable[[int, int, str], None]] = None,
+    on_pruned: Optional[Callable[[int], None]] = None,
+    telemetry: bool = True,
 ) -> FabricWorkerResult:
     """Cooperate on the fabric at ``root`` until every shard is done.
 
@@ -192,7 +212,9 @@ def run_fabric_worker(
     (same shape as the scan callback: ``(done, total, proc)``) reports
     this worker's cumulative cells over the plan's total scan cells,
     with ``proc`` fixed to the owner name so a progress census groups
-    by owner.
+    by owner; ``on_pruned`` reports cells replayed from existing journal
+    segments (finished without scanning).  ``telemetry=True`` streams
+    heartbeat frames into ``root/telemetry/`` for fleet monitoring.
     """
     root = Path(root)
     owner = owner or default_owner()
@@ -214,6 +236,49 @@ def run_fabric_worker(
     registry = _metrics.registry()
 
     progress = {"cells": 0}
+    current = {"shard": None, "generation": None}
+    writer = (
+        _telemetry.TelemetryWriter(
+            _telemetry.frame_path(root, owner),
+            owner,
+            ttl=ttl,
+            clock=clock,
+            min_interval=ttl / 4.0,
+        )
+        if telemetry
+        else None
+    )
+
+    def frame(phase: str, force: bool = False) -> None:
+        if writer is not None:
+            writer.frame(
+                phase,
+                shard=current["shard"],
+                generation=current["generation"],
+                cells_done=progress["cells"],
+                cells_total=total_cells,
+                force=force,
+            )
+
+    def lease_note(
+        action: str, shard_index: int, generation: Optional[int]
+    ) -> None:
+        # Durable copy for the fleet aggregator and the Gantt panel...
+        if writer is not None:
+            writer.lease(action, shard_index, generation)
+        # ...and an incident-buffer copy (with a tracer-relative ``t``
+        # when a trace is live) so per-worker trace files carry lease
+        # transitions as stitchable instant events.
+        _events.record_incident(
+            _events.lease_event(
+                action,
+                owner=owner,
+                shard=shard_index,
+                wall=clock(),
+                generation=generation,
+                t=_tracing.elapsed() if _tracing.tracing_enabled() else None,
+            )
+        )
 
     def report() -> None:
         if on_progress is not None:
@@ -222,72 +287,92 @@ def run_fabric_worker(
     def on_cells(count: int) -> None:
         progress["cells"] += count
         report()
+        frame("scan")
 
     report()
+    frame("start", force=True)
     completed = resumed_shards = lost = scanned = resumed_cells = 0
-    while True:
-        all_done = True
-        progressed = False
-        for shard_index in range(n_shards):
-            if _journal.shard_done(root, shard_index):
-                continue
-            all_done = False
-            lease = ShardLease(
-                _journal.lease_path(root, shard_index),
-                owner,
-                ttl=ttl,
-                clock=clock,
-            )
-            record = lease.try_acquire()
-            if record is None:
-                continue
-            _faults.fire(
-                "fabric.shard", key=shard_index, attempt=record.generation
-            )
-            try:
-                outcome = _scan_shard(
-                    root,
-                    plan,
-                    shard_index,
-                    schemas,
-                    lease,
-                    max_atoms=max_atoms,
-                    per_relation_cap=per_relation_cap,
-                    mapping_cap=mapping_cap,
-                    n_workers=n_workers,
-                    retry_policy=retry_policy,
-                    mp_context=mp_context,
+    try:
+        while True:
+            all_done = True
+            progressed = False
+            for shard_index in range(n_shards):
+                if _journal.shard_done(root, shard_index):
+                    continue
+                all_done = False
+                lease = ShardLease(
+                    _journal.lease_path(root, shard_index),
+                    owner,
+                    ttl=ttl,
                     clock=clock,
-                    on_cells=on_cells,
                 )
-            except LeaseExpired:
-                lost += 1
-                registry.counter("fabric.leases.lost").inc()
-                progressed = True  # cells were journaled before the loss
-                continue
-            _journal.mark_shard_done(
-                root,
-                shard_index,
-                {
-                    "owner": owner,
-                    "generation": record.generation,
-                    "cells": len(plan.shards[shard_index]),
-                },
-            )
-            lease.release()
-            completed += 1
-            scanned += outcome.scanned
-            resumed_cells += outcome.resumed
-            if outcome.resumed:
-                resumed_shards += 1
-            progressed = True
-        if all_done:
-            break
-        if not progressed:
-            # Everything unfinished is owned by live peers: poll until
-            # their markers appear or their leases expire.
-            time.sleep(poll_interval)
-    report()
+                record = lease.try_acquire()
+                if record is None:
+                    continue
+                current["shard"] = shard_index
+                current["generation"] = record.generation
+                lease_note(
+                    "steal" if lease.last_acquire == "steal" else "acquire",
+                    shard_index,
+                    record.generation,
+                )
+                _faults.fire(
+                    "fabric.shard", key=shard_index, attempt=record.generation
+                )
+                try:
+                    outcome = _scan_shard(
+                        root,
+                        plan,
+                        shard_index,
+                        schemas,
+                        lease,
+                        max_atoms=max_atoms,
+                        per_relation_cap=per_relation_cap,
+                        mapping_cap=mapping_cap,
+                        n_workers=n_workers,
+                        retry_policy=retry_policy,
+                        mp_context=mp_context,
+                        clock=clock,
+                        on_cells=on_cells,
+                        on_pruned=on_pruned,
+                    )
+                except LeaseExpired:
+                    lost += 1
+                    registry.counter("fabric.leases.lost").inc()
+                    lease_note("lost", shard_index, record.generation)
+                    current["shard"] = current["generation"] = None
+                    progressed = True  # cells were journaled before the loss
+                    continue
+                _journal.mark_shard_done(
+                    root,
+                    shard_index,
+                    {
+                        "owner": owner,
+                        "generation": record.generation,
+                        "cells": len(plan.shards[shard_index]),
+                    },
+                )
+                lease.release()
+                lease_note("release", shard_index, record.generation)
+                current["shard"] = current["generation"] = None
+                completed += 1
+                scanned += outcome.scanned
+                resumed_cells += outcome.resumed
+                if outcome.resumed:
+                    resumed_shards += 1
+                progressed = True
+            if all_done:
+                break
+            if not progressed:
+                # Everything unfinished is owned by live peers: poll until
+                # their markers appear or their leases expire.
+                frame("idle")
+                time.sleep(poll_interval)
+        report()
+        frame("done", force=True)
+    finally:
+        if writer is not None:
+            writer.close()
     return FabricWorkerResult(
         owner=owner,
         shards_completed=completed,

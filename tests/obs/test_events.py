@@ -137,6 +137,10 @@ def test_every_schema_type_has_an_emitter_example():
         "fault": events.fault_event("scan.cell", "kill", key="0,1", attempt=0),
         "retry": events.retry_event(3, 1, "crash", delay=0.05),
         "timeout": events.timeout_event("pair", i=0, j=1, seconds=0.5),
+        "telemetry": events.telemetry_event(
+            "w1", seq=0, wall=1.0, phase="scan"
+        ),
+        "lease": events.lease_event("acquire", owner="w1", shard=0, wall=1.0),
     }
     assert set(by_type) == set(events.EVENT_TYPES)
     for event in by_type.values():
@@ -213,3 +217,68 @@ def test_spans_from_events_drops_unmatched_and_orphans():
         counter_event("x", 1),
     ]
     assert events.spans_from_events(stream) == []
+
+
+def test_telemetry_event_carries_optional_fields_and_validates():
+    frame = events.telemetry_event(
+        "host-1", seq=3, wall=12.5, phase="scan", pid=44, shard=7,
+        generation=1, cells_done=12, cells_total=40, rate=3.4, ttl=30.0,
+        uptime=9.0, metrics={"fabric.cells.scanned": 12},
+    )
+    assert events.validate_event(frame) == []
+    assert frame["v"] == SCHEMA_VERSION
+    assert frame["shard"] == 7 and frame["metrics"] == {
+        "fabric.cells.scanned": 12
+    }
+    # None-valued optionals are omitted, not serialised as null.
+    bare = events.telemetry_event("host-1", seq=0, wall=1.0, phase="idle")
+    assert "shard" not in bare and "rate" not in bare
+
+
+def test_telemetry_event_rejects_unknown_phase():
+    import pytest
+
+    with pytest.raises(ValueError, match="unknown telemetry phase"):
+        events.telemetry_event("w", seq=0, wall=0.0, phase="zombie")
+
+
+def test_lease_event_validates_and_rejects_unknown_action():
+    import pytest
+
+    event = events.lease_event(
+        "steal", owner="w2", shard=5, wall=9.0, generation=1, t=0.25
+    )
+    assert events.validate_event(event) == []
+    assert event["action"] == "steal" and event["t"] == 0.25
+    with pytest.raises(ValueError, match="unknown lease action"):
+        events.lease_event("borrow", owner="w2", shard=5, wall=9.0)
+
+
+def test_schema_v1_events_still_validate():
+    # A v1 trace (pre-fleet) must keep validating under the v2 checker.
+    old = counter_event("x", 1)
+    old["v"] = 1
+    assert validate_event(old) == []
+    assert 1 in events.SUPPORTED_VERSIONS and SCHEMA_VERSION == 2
+
+
+def test_unsupported_future_version_is_rejected():
+    event = counter_event("x", 1)
+    event["v"] = 3
+    assert any("unsupported schema version" in e for e in validate_event(event))
+
+
+def test_peek_incidents_reads_without_draining():
+    events.drain_incidents()
+    try:
+        events.record_incident(
+            events.lease_event("acquire", owner="w1", shard=0, wall=1.0)
+        )
+        peeked = events.peek_incidents()
+        assert [e["type"] for e in peeked] == ["lease"]
+        # Still there: peeking must not consume the buffer.
+        assert events.peek_incidents() == peeked
+        assert [e["type"] for e in events.drain_incidents()] == ["lease"]
+        assert events.peek_incidents() == []
+    finally:
+        events.drain_incidents()

@@ -111,3 +111,113 @@ def test_write_prometheus_counts_metrics(tmp_path):
     count = write_prometheus(path, {"a.b": 1}, gauges={"c.d": 2})
     assert count == 2
     assert path.read_text().count("# TYPE") == 2
+
+
+def _worker_trace(owner, offset=0.0):
+    """A small per-worker event stream with one lease instant."""
+    from repro.obs.events import lease_event, trace_events
+
+    records = [
+        _record("s0001", None, "fabric.shard", 0.0 + offset, 1.0 + offset),
+        _record("s0002", "s0001", "scan.cell", 0.2 + offset, 0.6 + offset),
+    ]
+    return trace_events(
+        records,
+        incidents=[
+            lease_event(
+                "acquire", owner=owner, shard=0, wall=50.0 + offset,
+                t=0.05 + offset,
+            )
+        ],
+    )
+
+
+def test_stitch_worker_events_relabels_procs_per_owner():
+    from repro.obs.export import stitch_worker_events
+
+    stitched = stitch_worker_events(
+        {"w-b": _worker_trace("w-b", 1.0), "w-a": _worker_trace("w-a")}
+    )
+    assert sorted({r.proc for r in stitched.records}) == ["w-a", "w-b"]
+    # Each worker keeps its own span tree under its own lane.
+    by_proc = {}
+    for record in stitched.records:
+        by_proc.setdefault(record.proc, []).append(record)
+    assert all(len(spans) == 2 for spans in by_proc.values())
+    assert [e["owner"] for e in stitched.instants] == ["w-a", "w-b"]
+
+
+def test_stitch_prefixes_subprocess_lanes_with_their_owner():
+    from repro.obs.events import trace_events
+    from repro.obs.export import stitch_worker_events
+
+    trace = trace_events([
+        _record("s0001", None, "scan", 0.0, 1.0),
+        _record("w0:s0001", None, "chunk", 0.0, 0.5, proc="w0"),
+    ])
+    stitched = stitch_worker_events({"host-1": trace})
+    assert sorted({r.proc for r in stitched.records}) == [
+        "host-1", "host-1/w0",
+    ]
+
+
+def test_stitched_chrome_trace_inverts_losslessly_with_lease_instants():
+    from repro.obs.export import (
+        instants_from_chrome,
+        stitch_worker_events,
+        stitched_chrome_trace,
+    )
+
+    traces = {
+        f"w-{i}": _worker_trace(f"w-{i}", float(i)) for i in range(3)
+    }
+    stitched = stitch_worker_events(traces)
+    trace = stitched_chrome_trace(stitched)
+    # Three swimlanes, no spurious "main" lane.
+    lanes = {
+        e["args"]["name"] for e in trace["traceEvents"]
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+    }
+    assert lanes == {"w-0", "w-1", "w-2"}
+    # Spans invert exactly (chrome order: by pid, then start/end).
+    recovered = spans_from_chrome(trace)
+    pid_order = sorted({r.proc for r in stitched.records})
+    assert recovered == sorted(
+        stitched.records,
+        key=lambda r: (pid_order.index(r.proc), r.start, r.end),
+    )
+    # Lease instants survive the round trip bit-for-bit.
+    instants = instants_from_chrome(trace)
+    assert instants == list(stitched.instants)
+    # Each lease instant is pinned to its owner's swimlane.
+    pids = {
+        e["args"]["name"]: e["pid"] for e in trace["traceEvents"]
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+    }
+    for event in trace["traceEvents"]:
+        if event.get("cat") == "lease":
+            assert event["pid"] == pids[event["args"]["owner"]]
+
+
+def test_write_stitched_chrome_trace_round_trips_via_file(tmp_path):
+    from repro.obs.export import (
+        instants_from_chrome,
+        stitch_worker_events,
+        write_stitched_chrome_trace,
+    )
+
+    stitched = stitch_worker_events({"w-a": _worker_trace("w-a")})
+    path = tmp_path / "stitched.trace.json"
+    write_stitched_chrome_trace(path, stitched)
+    trace = json.loads(path.read_text())
+    assert spans_from_chrome(trace)
+    assert instants_from_chrome(trace) == list(stitched.instants)
+
+
+def test_stitch_tolerates_empty_and_spanless_traces():
+    from repro.obs.export import stitch_worker_events, stitched_chrome_trace
+
+    stitched = stitch_worker_events({"w-a": [], "w-b": _worker_trace("w-b")})
+    assert {r.proc for r in stitched.records} == {"w-b"}
+    trace = stitched_chrome_trace(stitched)
+    assert spans_from_chrome(trace)

@@ -1,0 +1,189 @@
+"""Unit tests for fleet aggregation (:mod:`repro.obs.fleet`).
+
+The liveness state machine is tested against synthetic telemetry logs;
+the snapshot join runs over a real (small) fabric so the lease/journal
+paths are the production ones.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import FabricError
+from repro.obs.fleet import (
+    DEFAULT_TTL,
+    STALL_FACTOR,
+    _worker_status,
+    fleet_snapshot,
+    render_fleet,
+)
+from repro.obs.telemetry import TelemetryLog, TelemetryWriter, frame_path
+from repro.scanfabric import run_fabric_worker
+from repro.scanfabric import journal as fabric_journal
+from repro.workloads import enumerate_keyed_schemas
+
+
+def _universe():
+    return list(
+        enumerate_keyed_schemas(("T", "U"), max_relations=2, max_arity=1)
+    )
+
+
+def _frame(wall, phase="scan", **extra):
+    event = {"v": 2, "type": "telemetry", "owner": "w1", "seq": 0,
+             "wall": wall, "phase": phase}
+    event.update(extra)
+    return event
+
+
+def _log(*frames, torn=0):
+    return TelemetryLog("w1", list(frames), [], torn)
+
+
+def test_worker_liveness_thresholds():
+    now, ttl = 100.0, 10.0
+    assert _worker_status(_log(_frame(95.0)), now, ttl).state == "active"
+    assert _worker_status(_log(_frame(95.0, phase="idle")), now, ttl).state == "idle"
+    # Silent for more than one TTL: a straggler about to be stolen from.
+    assert _worker_status(_log(_frame(85.0)), now, ttl).state == "stalled"
+    # Silent past STALL_FACTOR TTLs: dead.
+    assert _worker_status(
+        _log(_frame(now - STALL_FACTOR * ttl - 1.0)), now, ttl
+    ).state == "dead"
+    # A terminal "done" frame wins regardless of age.
+    assert _worker_status(
+        _log(_frame(0.0, phase="done")), now, ttl
+    ).state == "done"
+    assert _worker_status(_log(), now, ttl).state == "dead"
+
+
+def test_worker_status_reports_newest_non_null_fields():
+    # The terminal frame drops shard/cell fields; the counts must
+    # survive from the last frame that carried them.
+    status = _worker_status(
+        _log(
+            _frame(90.0, shard=4, generation=1, cells_done=7,
+                   cells_total=15, rate=3.5, pid=123),
+            _frame(95.0, phase="done"),
+        ),
+        100.0,
+        10.0,
+    )
+    assert status.state == "done"
+    assert status.cells_done == 7 and status.cells_total == 15
+    assert status.rate == 3.5 and status.pid == 123
+    # shard/generation reflect the *newest* frame: the worker holds none.
+    assert status.shard is None and status.generation is None
+
+
+def test_fleet_snapshot_of_completed_fabric(tmp_path):
+    schemas = _universe()
+    result = run_fabric_worker(tmp_path, schemas, shard_cells=4,
+                               owner="w1", ttl=5.0)
+    snap = fleet_snapshot(tmp_path)
+    assert snap.complete
+    assert snap.shards_done == snap.shards_total > 0
+    assert snap.cells_done == snap.cells_total == result.cells_scanned
+    assert snap.eta == 0.0
+    assert snap.stolen == 0 and snap.journal_errors == 0
+    (worker,) = snap.workers
+    assert worker.owner == "w1" and worker.state == "done"
+    assert worker.cells_done == result.cells_scanned
+    # The JSON rendering is actually JSON-serialisable.
+    payload = json.loads(json.dumps(snap.as_dict()))
+    assert payload["complete"] is True
+    assert [w["owner"] for w in payload["workers"]] == ["w1"]
+
+
+def test_fleet_snapshot_requires_a_plan(tmp_path):
+    with pytest.raises(FabricError):
+        fleet_snapshot(tmp_path)
+
+
+def test_fleet_snapshot_counts_steals_from_telemetry(tmp_path):
+    schemas = _universe()
+    run_fabric_worker(tmp_path, schemas, shard_cells=4, owner="w1", ttl=5.0)
+    with TelemetryWriter(frame_path(tmp_path, "thief"), "thief") as writer:
+        writer.frame("start")
+        writer.lease("steal", shard=0, generation=1)
+    snap = fleet_snapshot(tmp_path)
+    assert snap.stolen == 1
+    assert sorted(w.owner for w in snap.workers) == ["thief", "w1"]
+
+
+def test_fleet_snapshot_eta_uses_live_rate_over_remaining_cells(tmp_path):
+    schemas = _universe()
+    run_fabric_worker(tmp_path, schemas, shard_cells=4, owner="w1", ttl=5.0)
+    # Reopen shard 0: delete its marker and journals, as if mid-flight.
+    lost = len(fabric_journal.segment_paths(tmp_path, 0))
+    assert lost
+    fabric_journal.done_marker_path(tmp_path, 0).unlink()
+    for segment in fabric_journal.segment_paths(tmp_path, 0):
+        segment.unlink()
+    clock = {"now": 998.0}
+    with TelemetryWriter(frame_path(tmp_path, "w2"), "w2",
+                         clock=lambda: clock["now"]) as writer:
+        writer.frame("scan", cells_done=1, cells_total=15)
+        clock["now"] = 1000.0
+        writer.frame("scan", cells_done=3)  # second frame carries a rate
+    snap = fleet_snapshot(tmp_path, clock=lambda: clock["now"])
+    assert not snap.complete
+    remaining = snap.cells_total - snap.cells_done
+    assert remaining > 0
+    w2 = next(w for w in snap.workers if w.owner == "w2")
+    assert w2.live and w2.rate and snap.rate == w2.rate
+    assert snap.eta == pytest.approx(remaining / snap.rate)
+
+
+def test_fleet_snapshot_tolerates_torn_streams_and_garbage_journals(tmp_path):
+    schemas = _universe()
+    run_fabric_worker(tmp_path, schemas, shard_cells=4, owner="w1", ttl=5.0)
+    # Tear the telemetry stream the way a chaos kill does.
+    with frame_path(tmp_path, "w1").open("a") as handle:
+        handle.write('{"v": 2, "type": "telem')
+    # Reopen shard 0 and leave conflicting segments behind it.
+    plan_cell = None
+    from repro.scanfabric import load_plan
+
+    plan = load_plan(tmp_path)
+    plan_cell = plan.shards[0][0]
+    fabric_journal.done_marker_path(tmp_path, 0).unlink()
+    header = {"v": 1, "kind": "header", "fingerprint": plan.scan_fingerprint}
+    for owner, verdict in (("evil-a", True), ("evil-b", False)):
+        forged = fabric_journal.segment_path(tmp_path, 0, 99, owner)
+        cell = {"v": 1, "kind": "cell", "key": list(plan_cell),
+                "data": {"isomorphic": verdict}}
+        forged.write_text(
+            json.dumps(header) + "\n" + json.dumps(cell) + "\n"
+        )
+    snap = fleet_snapshot(tmp_path)  # must not raise
+    assert snap.journal_errors == 1
+    assert not snap.complete
+    (worker,) = snap.workers
+    assert worker.torn == 1
+
+
+def test_render_fleet_headline_and_table(tmp_path):
+    schemas = _universe()
+    run_fabric_worker(tmp_path, schemas, shard_cells=4, owner="w1", ttl=5.0)
+    text = render_fleet(fleet_snapshot(tmp_path))
+    assert "COMPLETE" in text
+    assert "WORKER" in text and "STATE" in text and "TORN" in text
+    assert "w1" in text
+
+
+def test_default_ttl_when_no_leases_or_frames_carry_one(tmp_path):
+    schemas = _universe()
+    run_fabric_worker(tmp_path, schemas, shard_cells=4, owner="w1", ttl=5.0)
+    # Wipe the lease files and rewrite a stream without ttl fields: the
+    # snapshot must fall back to DEFAULT_TTL rather than crash.
+    for index in range(len(fabric_journal.segment_paths(tmp_path, 0)) + 64):
+        path = fabric_journal.lease_path(tmp_path, index)
+        if path.exists():
+            path.unlink()
+    frame_path(tmp_path, "w1").write_text(
+        json.dumps(_frame(1000.0, phase="done")) + "\n"
+    )
+    snap = fleet_snapshot(tmp_path, clock=lambda: 1000.0 + DEFAULT_TTL / 2)
+    (worker,) = snap.workers
+    assert worker.state == "done"

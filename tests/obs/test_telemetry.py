@@ -1,0 +1,154 @@
+"""Unit tests for per-worker telemetry streams (:mod:`repro.obs.telemetry`)."""
+
+import json
+
+import pytest
+
+from repro.errors import InjectedFault
+from repro.obs import events, metrics
+from repro.obs.telemetry import (
+    TelemetryWriter,
+    frame_path,
+    read_fleet_telemetry,
+    read_telemetry,
+    trace_path,
+    worker_trace_paths,
+)
+from repro.resilience import faults, install, rule
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def test_frames_carry_seq_phase_and_auto_rate(tmp_path):
+    clock = FakeClock()
+    with TelemetryWriter(tmp_path / "w1.telemetry.jsonl", "w1",
+                         ttl=8.0, clock=clock) as writer:
+        first = writer.frame("start", cells_done=0, cells_total=10)
+        clock.now += 2.0
+        second = writer.frame("scan", shard=3, generation=1,
+                              cells_done=4, cells_total=10)
+    assert first["seq"] == 0 and first["phase"] == "start"
+    assert "rate" not in first  # no progression yet
+    assert second["seq"] == 1
+    assert second["shard"] == 3 and second["generation"] == 1
+    assert second["rate"] == pytest.approx(2.0)  # 4 cells over 2 seconds
+    assert second["ttl"] == 8.0
+    assert second["uptime"] == pytest.approx(2.0)
+
+
+def test_frames_carry_metrics_deltas_not_totals(tmp_path):
+    counter = metrics.registry().counter("telemetry.test.widget")
+    clock = FakeClock()
+    with TelemetryWriter(tmp_path / "w1.telemetry.jsonl", "w1",
+                         clock=clock) as writer:
+        counter.inc(5)
+        first = writer.frame("scan")
+        clock.now += 1.0
+        counter.inc(2)
+        second = writer.frame("scan")
+        clock.now += 1.0
+        third = writer.frame("scan")
+    assert first["metrics"]["telemetry.test.widget"] == 5
+    assert second["metrics"]["telemetry.test.widget"] == 2
+    # No change since the previous frame: the key is omitted entirely.
+    assert "telemetry.test.widget" not in third.get("metrics", {})
+
+
+def test_rate_limit_drops_frames_unless_forced(tmp_path):
+    clock = FakeClock()
+    with TelemetryWriter(tmp_path / "w1.telemetry.jsonl", "w1",
+                         clock=clock, min_interval=5.0) as writer:
+        assert writer.frame("scan") is not None
+        clock.now += 1.0
+        assert writer.frame("scan") is None  # inside the interval
+        assert writer.frame("scan", force=True) is not None
+        clock.now += 6.0
+        assert writer.frame("scan") is not None
+    log = read_telemetry(tmp_path / "w1.telemetry.jsonl")
+    assert len(log.frames) == 3 and log.torn == 0
+
+
+def test_lease_events_are_never_rate_limited(tmp_path):
+    clock = FakeClock()
+    with TelemetryWriter(tmp_path / "w1.telemetry.jsonl", "w1",
+                         clock=clock, min_interval=60.0) as writer:
+        writer.frame("start")
+        writer.lease("acquire", shard=2, generation=0)
+        writer.lease("steal", shard=5, generation=1, t=0.25)
+    log = read_telemetry(tmp_path / "w1.telemetry.jsonl")
+    assert [e["action"] for e in log.leases] == ["acquire", "steal"]
+    assert log.leases[1]["t"] == 0.25
+
+
+def test_read_telemetry_counts_torn_lines_instead_of_raising(tmp_path):
+    path = tmp_path / "w1.telemetry.jsonl"
+    with TelemetryWriter(path, "w1", clock=FakeClock()) as writer:
+        writer.frame("scan", cells_done=3)
+    with path.open("a") as handle:
+        handle.write('{"v": 2, "type": "telemetry", "owner": "w1", "se')
+    log = read_telemetry(path)
+    assert log.owner == "w1"
+    assert len(log.frames) == 1 and log.torn == 1
+
+
+def test_read_telemetry_counts_schema_invalid_lines_as_torn(tmp_path):
+    path = tmp_path / "w1.telemetry.jsonl"
+    path.write_text(
+        json.dumps({"v": 2, "type": "telemetry", "owner": "w1"}) + "\n"
+    )  # missing required seq/wall/phase
+    log = read_telemetry(path)
+    assert log.frames == [] and log.torn == 1
+    # The owner falls back to the filename stem.
+    assert log.owner == "w1"
+
+
+def test_read_telemetry_missing_file_is_empty_not_an_error(tmp_path):
+    log = read_telemetry(tmp_path / "nope.telemetry.jsonl")
+    assert log.frames == [] and log.leases == [] and log.torn == 0
+
+
+def test_fleet_readers_key_by_owner_and_trace_stem(tmp_path):
+    for owner in ("w-a", "w-b"):
+        with TelemetryWriter(frame_path(tmp_path, owner), owner,
+                             clock=FakeClock()) as writer:
+            writer.frame("start")
+        trace_path(tmp_path, owner).write_text("")
+    logs = read_fleet_telemetry(tmp_path)
+    assert sorted(logs) == ["w-a", "w-b"]
+    traces = worker_trace_paths(tmp_path)
+    assert sorted(traces) == ["w-a", "w-b"]
+    assert traces["w-a"].name == "w-a.trace.jsonl"
+
+
+def test_unsafe_owner_names_are_neutered_in_paths(tmp_path):
+    path = frame_path(tmp_path, "host/1:evil")
+    assert path.name == "host_1_evil.telemetry.jsonl"
+
+
+def test_telemetry_frame_fault_site_fires_per_owner_and_seq(tmp_path):
+    install([
+        rule("telemetry.frame", "raise", keys=["w1"], attempts=[1]),
+    ])
+    try:
+        clock = FakeClock()
+        with TelemetryWriter(tmp_path / "w1.telemetry.jsonl", "w1",
+                             clock=clock) as writer:
+            writer.frame("start")  # seq 0: spared
+            with pytest.raises(InjectedFault):
+                writer.frame("scan")  # seq 1: the armed attempt
+        with TelemetryWriter(tmp_path / "w2.telemetry.jsonl", "w2",
+                             clock=clock) as writer:
+            writer.frame("start")
+            writer.frame("scan")  # different owner: spared
+    finally:
+        faults.clear()
+        events.drain_incidents()  # the fired fault recorded an incident
+    # The torn write never happened; the stream holds only the survivor.
+    log = read_telemetry(tmp_path / "w1.telemetry.jsonl")
+    assert len(log.frames) == 1

@@ -245,3 +245,86 @@ def test_incremental_metrics_count_carried_vs_scanned(tmp_path):
     total = n * (n + 1) // 2
     assert _counter("fabric.cells.carried") == carried_before + total - affected
     assert result.cells_scanned == affected
+
+
+def test_worker_streams_telemetry_frames_and_lease_events(tmp_path):
+    from repro.obs.telemetry import frame_path, read_telemetry
+
+    schemas = _universe()
+    result = run_fabric_worker(tmp_path, schemas, shard_cells=4, owner="w1")
+    log = read_telemetry(frame_path(tmp_path, "w1"))
+    assert log.owner == "w1" and log.torn == 0
+    assert log.frames[0]["phase"] == "start"
+    assert log.frames[-1]["phase"] == "done"
+    assert log.frames[-1]["cells_done"] == result.cells_scanned
+    plan = load_plan(tmp_path)
+    assert log.frames[-1]["cells_total"] == len(plan.scan_cells)
+    # One acquire + one release per shard this worker completed.
+    actions = [e["action"] for e in log.leases]
+    assert actions.count("acquire") == result.shards_completed
+    assert actions.count("release") == result.shards_completed
+    assert all(e["ttl"] == 30.0 for e in log.frames if "ttl" in e)
+
+
+def test_worker_telemetry_can_be_disabled(tmp_path):
+    from repro.obs.telemetry import TELEMETRY_DIR
+
+    schemas = _universe()
+    run_fabric_worker(tmp_path, schemas, shard_cells=4, owner="w1",
+                      telemetry=False)
+    assert not (tmp_path / TELEMETRY_DIR).exists()
+
+
+def test_worker_reports_lost_leases_and_pruned_resumed_cells(tmp_path):
+    from repro.obs.telemetry import frame_path, read_telemetry
+
+    schemas = _universe()
+    install([
+        rule("fabric.cell", "lease_expire", keys=[0], attempts=[0],
+             max_fires=1),
+    ])
+    pruned = []
+    result = run_fabric_worker(
+        tmp_path, schemas, shard_cells=4, owner="w1", ttl=5.0,
+        on_pruned=pruned.append,
+    )
+    assert result.cells_resumed >= 1
+    # The journal replay on the second pass reported its resumed cells
+    # as pruned work (they advance progress without entering the rate).
+    assert sum(pruned) == result.cells_resumed
+    log = read_telemetry(frame_path(tmp_path, "w1"))
+    assert "lost" in [e["action"] for e in log.leases]
+
+
+def test_thief_telemetry_records_steal_events(tmp_path):
+    from repro.errors import InjectedFault
+    from repro.obs.telemetry import frame_path, read_telemetry
+    from repro.resilience import faults
+
+    schemas = _universe()
+
+    class Expiring:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            self.now += 2.0
+            return self.now
+
+    install([
+        rule("fabric.cell", "lease_expire"),
+        rule("fabric.shard", "raise", attempts=[1]),
+    ])
+    with pytest.raises(InjectedFault):
+        run_fabric_worker(
+            tmp_path, schemas, shard_cells=2, owner="w1", ttl=4.0,
+            clock=Expiring(),
+        )
+    faults.clear()
+    second = run_fabric_worker(
+        tmp_path, schemas, shard_cells=2, owner="w2", ttl=4.0
+    )
+    assert second.shards_completed > 0
+    log = read_telemetry(frame_path(tmp_path, "w2"))
+    steals = [e for e in log.leases if e["action"] == "steal"]
+    assert steals and all(e["owner"] == "w2" for e in steals)

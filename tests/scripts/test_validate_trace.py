@@ -117,3 +117,80 @@ def test_real_cli_trace_validates(tmp_path, validate_trace):
     assert validate_trace.main([str(trace)]) == 0
     # Invariant under event-schema strictness too.
     assert validate_trace.main(["--lenient", str(trace)]) == 0
+
+
+def _chrome(tmp_path, trace, name="trace.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(trace) + "\n")
+    return path
+
+
+def test_chrome_trace_is_sniffed_and_validated(tmp_path, capsys, validate_trace):
+    from repro.obs.export import chrome_trace
+
+    records = [
+        _span("s0001", None, "scan", 0.0, 1.0),
+        _span("s0002", "s0001", "pair", 0.2, 0.6),
+    ]
+    path = _chrome(tmp_path, chrome_trace(records))
+    assert validate_trace.main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "span_start=2" in out and "span_end=2" in out
+
+
+def test_stitched_chrome_trace_with_lease_instants_validates(
+    tmp_path, capsys, validate_trace
+):
+    from repro.obs.events import lease_event, trace_events
+    from repro.obs.export import stitch_worker_events, stitched_chrome_trace
+
+    traces = {
+        owner: trace_events(
+            [_span("s0001", None, "fabric.shard", 0.0, 1.0)],
+            incidents=[
+                lease_event("acquire", owner=owner, shard=0, wall=5.0, t=0.1)
+            ],
+        )
+        for owner in ("w-a", "w-b", "w-c")
+    }
+    path = _chrome(
+        tmp_path, stitched_chrome_trace(stitch_worker_events(traces))
+    )
+    assert validate_trace.main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "lease=3" in out and "span_start=3" in out
+
+
+def test_chrome_trace_with_invalid_instant_args_fails(
+    tmp_path, capsys, validate_trace
+):
+    from repro.obs.export import chrome_trace
+
+    trace = chrome_trace([_span()])
+    trace["traceEvents"].append({
+        "name": "lease.acquire", "cat": "lease", "ph": "i", "s": "g",
+        "ts": 2e6, "pid": 0, "tid": 0,
+        "args": {"v": 2, "type": "lease", "owner": "w1"},  # missing fields
+    })
+    path = _chrome(tmp_path, trace)
+    assert validate_trace.main([str(path)]) == 1
+    assert "missing required field" in capsys.readouterr().out
+
+
+def test_chrome_file_with_broken_json_fails_not_crashes(
+    tmp_path, capsys, validate_trace
+):
+    path = tmp_path / "broken.json"
+    path.write_text('{"traceEvents": [')
+    assert validate_trace.main([str(path)]) == 1
+    assert "not valid JSON" in capsys.readouterr().out
+
+
+def test_spanless_chrome_trace_is_an_empty_trace_violation(
+    tmp_path, capsys, validate_trace
+):
+    path = _chrome(
+        tmp_path, {"traceEvents": [], "displayTimeUnit": "ms"}
+    )
+    assert validate_trace.main([str(path)]) == 1
+    assert "empty trace" in capsys.readouterr().out

@@ -399,7 +399,7 @@ def test_search_metrics_json(schema_files, tmp_path, capsys):
     assert code == 0
     assert f"metrics written to {metrics_file}" in out
     payload = json.loads(metrics_file.read_text())
-    assert payload["v"] == 1
+    assert payload["v"] == 2  # rides the event-schema version (fleet bump)
     assert any(name.startswith("cache.") for name in payload["metrics"])
 
 
