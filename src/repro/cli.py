@@ -68,7 +68,6 @@ from typing import Sequence
 
 from repro.core.equivalence import decide_equivalence
 from repro.errors import ReproError
-from repro.core.search import search_dominance
 from repro.cq.containment_deps import is_contained_under_keys
 from repro.cq.homomorphism import is_contained_in
 from repro.cq.minimize import minimize
@@ -154,8 +153,36 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     return 0 if plan.is_noop else 1
 
 
+def _engine_from_args(args: argparse.Namespace):
+    """Build and activate an :class:`repro.engine.Engine` from CLI flags.
+
+    The CLI's toggles stay process-scoped (the process exits right after
+    the command), so the engine is activated but never close()d with
+    toggle restoration — in-process test callers manage toggles
+    themselves, exactly as they did before the engine existed.
+    """
+    from repro.engine import Engine, EngineConfig
+
+    config = EngineConfig(
+        backend=getattr(args, "backend", None),
+        use_cache=not getattr(args, "no_cache", False),
+        use_index=not getattr(args, "no_index", False),
+        n_workers=getattr(args, "workers", 1),
+        deadline=getattr(args, "deadline", None),
+        pair_deadline=getattr(args, "pair_deadline", None),
+        retries=getattr(args, "retries", None),
+        max_atoms=getattr(args, "max_atoms", 2),
+    )
+    return Engine(config).activate()
+
+
 def _apply_perf_flags(args: argparse.Namespace) -> None:
-    """Honour the cache/index/backend toggles shared by several commands."""
+    """Honour the cache/index/backend toggles shared by several commands.
+
+    Apply-only (never restored): these are one-shot process toggles.
+    Unset flags leave the current process state alone, which in-process
+    callers (the tests) rely on.
+    """
     if getattr(args, "no_cache", False):
         from repro.utils import memo
 
@@ -464,8 +491,9 @@ def _perf_line(
 def _cmd_search(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.core.search import scan_fingerprint
+    from repro.engine import report as engine_report
 
-    _apply_perf_flags(args)
+    engine = _engine_from_args(args)
     _obs_begin(args)
     s1, _ = _load_schema(args.schema1)
     s2, _ = _load_schema(args.schema2)
@@ -479,10 +507,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
     reporter = _progress_reporter(args, "search")
     try:
         with obs.span("search"):
-            result = search_dominance(
-                s1, s2, max_atoms=args.max_atoms, n_workers=args.workers,
-                deadline=args.deadline, pair_deadline=args.pair_deadline,
-                retry_policy=_retry_policy(args), checkpoint=checkpoint,
+            result = engine.search_dominance(
+                s1, s2, checkpoint=checkpoint,
                 on_progress=None if reporter is None else reporter.update,
             )
     finally:
@@ -491,20 +517,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
         if checkpoint is not None:
             checkpoint.close()
     stats = result.stats
-    if result.found:
-        verdict = "ok"
-    elif not result.complete:
-        verdict = "timeout"
-    elif stats.pair_timeouts:
-        verdict = "unknown"
-    else:
-        verdict = "ok"
-    print(
-        f"candidates: α={stats.alpha_candidates} "
-        f"β={stats.beta_candidates}, pairs tried={stats.pairs_tried}, "
-        f"gadget-rejected={stats.pairs_gadget_rejected}, "
-        f"exact checks={stats.exact_checks}"
-    )
+    verdict = engine_report.search_verdict(result)
+    print(engine_report.candidates_line(stats))
     print(
         _perf_line(
             stats.cache_hits, stats.cache_misses, stats.cache_evictions,
@@ -517,11 +531,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
         verdicts=[obs.events.verdict_event(found=result.found, verdict=verdict)],
     )
     if result.found:
-        print("dominance witness found:")
-        for view in result.pair.alpha:
-            print("  α:", format_query(view.query))
-        for view in result.pair.beta:
-            print("  β:", format_query(view.query))
+        for line in engine_report.witness_lines(result.pair):
+            print(line)
         if args.out:
             from repro.mappings.serialization import format_mapping
 
@@ -532,17 +543,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
             print(f"witness mappings written to {args.out}")
         return 0
     if verdict != "ok":
-        reason = (
-            "whole-scan deadline expired"
-            if verdict == "timeout"
-            else f"{stats.pair_timeouts} pair check(s) hit --pair-deadline"
-        )
-        print(f"search inconclusive: {reason}; no witness found in the part that ran")
+        print(engine_report.inconclusive_line(verdict, stats))
         return 3
-    print(
-        f"no witness with ≤{args.max_atoms} body atoms per view "
-        "(exhaustive within bounds, constants excluded)"
-    )
+    print(engine_report.no_witness_line(args.max_atoms))
     return 1
 
 
@@ -696,10 +699,10 @@ def _cmd_theorem13(args: argparse.Namespace) -> int:
     import time
 
     from repro import obs
-    from repro.core.search import scan_fingerprint, theorem13_scan
+    from repro.core.search import scan_fingerprint
     from repro.workloads import enumerate_keyed_schemas
 
-    _apply_perf_flags(args)
+    engine = _engine_from_args(args)
     _obs_begin(args)
     types = [t.strip() for t in args.types.split(",") if t.strip()]
     start = time.perf_counter()
@@ -725,10 +728,8 @@ def _cmd_theorem13(args: argparse.Namespace) -> int:
     reporter = _progress_reporter(args, "scan")
     try:
         with obs.span("theorem13"):
-            rows = theorem13_scan(
-                schemas, max_atoms=args.max_atoms, n_workers=args.workers,
-                deadline=args.deadline, pair_deadline=args.pair_deadline,
-                retry_policy=_retry_policy(args), checkpoint=checkpoint,
+            rows = engine.theorem13_scan(
+                schemas, checkpoint=checkpoint,
                 on_progress=None if reporter is None else reporter.update,
             )
     except KeyboardInterrupt:
@@ -911,6 +912,49 @@ def _cmd_stitch_traces(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the long-running equivalence service.
+
+    Serves until SIGTERM/SIGINT (exit 0 either way — stopping a server
+    is not an error).  See docs/SERVICE.md for the API.
+    """
+    import asyncio
+
+    from repro.engine import EngineConfig
+    from repro.service import ServiceConfig, serve
+
+    engine_config = EngineConfig(
+        backend=args.backend,
+        use_cache=not args.no_cache,
+        use_index=not args.no_index,
+        n_workers=args.scan_workers,
+        pair_deadline=args.pair_deadline,
+        retries=args.retries,
+        max_atoms=args.max_atoms,
+        request_workers=args.workers,
+        result_cache_path=args.cache,
+        result_cache_entries=args.cache_entries,
+    )
+    service_config = ServiceConfig(
+        host=args.host, port=args.port, deadline=args.deadline
+    )
+
+    def ready(server) -> None:
+        print(
+            f"repro service listening on http://{args.host}:{server.port} "
+            f"({args.workers} request worker(s), "
+            f"deadline cap {args.deadline if args.deadline is not None else 'none'})",
+            flush=True,
+        )
+
+    try:
+        return asyncio.run(
+            serve(engine_config, service_config, ready=ready)
+        )
+    except KeyboardInterrupt:  # loop without signal-handler support
+        return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse tree (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -1037,6 +1081,60 @@ def build_parser() -> argparse.ArgumentParser:
         "since this merged journal; carry the rest forward",
     )
     p.set_defaults(fn=_cmd_theorem13)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the equivalence service: an HTTP/JSON API over a "
+        "shared engine with a fingerprint-keyed warm result cache "
+        "(docs/SERVICE.md)",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    p.add_argument(
+        "--port", type=int, default=8420,
+        help="TCP port; 0 asks the OS for a free one, printed at startup "
+        "(default: 8420)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="concurrent request worker threads (default: 4)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request budget cap; client-requested deadlines are "
+        "clamped to this, expiry yields a structured timeout verdict "
+        "(default: unbounded)",
+    )
+    p.add_argument(
+        "--pair-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-pair exact-check budget applied to every search request",
+    )
+    p.add_argument("--max-atoms", type=int, default=2)
+    p.add_argument(
+        "--scan-workers", type=int, default=1, metavar="N",
+        help="worker processes per dominance scan (default: 1)",
+    )
+    p.add_argument(
+        "--cache", metavar="FILE.json", default=None,
+        help="persist the fingerprint-keyed result cache here "
+        "(loaded at startup, saved at shutdown)",
+    )
+    p.add_argument(
+        "--cache-entries", type=int, default=1024, metavar="N",
+        help="result-cache LRU bound (default: 1024)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="process-pool attempts per scan unit (default: 3)",
+    )
+    p.add_argument("--no-cache", action="store_true", help="disable memo caches")
+    p.add_argument(
+        "--no-index", action="store_true", help="disable indexed homomorphism matching"
+    )
+    _add_backend_flag(p)
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
         "merge-journals",

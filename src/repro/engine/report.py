@@ -1,0 +1,88 @@
+"""Deterministic report lines shared by the CLI and the service.
+
+The ``search`` command's verdict output — the candidate-census line, the
+witness mapping lines, the no-witness/inconclusive conclusions — is the
+contract both surfaces expose: the CLI prints these lines, the service
+returns them in its JSON payloads, and the integration tests assert they
+are byte-identical.  Only *deterministic* lines live here; the ``perf:``
+line (wall time, per-run cache traffic) stays a CLI-side decoration and
+is never part of a cached payload.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.search import DominanceSearchResult, SearchStats
+from repro.cq.parser import format_query
+from repro.mappings.dominance import DominancePair
+
+
+def search_verdict(result: DominanceSearchResult) -> str:
+    """``ok`` / ``timeout`` / ``unknown`` for one dominance search.
+
+    ``ok`` covers both conclusive outcomes (witness found, or exhaustive
+    no-witness); ``timeout`` means the whole-scan deadline expired, and
+    ``unknown`` means individual pair checks hit their per-pair budget so
+    the no-witness answer is not exhaustive.
+    """
+    if result.found:
+        return "ok"
+    if not result.complete:
+        return "timeout"
+    if result.stats.pair_timeouts:
+        return "unknown"
+    return "ok"
+
+
+def candidates_line(stats: SearchStats) -> str:
+    """The search effort census, exactly as the CLI prints it."""
+    return (
+        f"candidates: α={stats.alpha_candidates} "
+        f"β={stats.beta_candidates}, pairs tried={stats.pairs_tried}, "
+        f"gadget-rejected={stats.pairs_gadget_rejected}, "
+        f"exact checks={stats.exact_checks}"
+    )
+
+
+def witness_lines(pair: DominancePair) -> List[str]:
+    """The witness block: header plus one line per α/β view."""
+    lines = ["dominance witness found:"]
+    for view in pair.alpha:
+        lines.append(f"  α: {format_query(view.query)}")
+    for view in pair.beta:
+        lines.append(f"  β: {format_query(view.query)}")
+    return lines
+
+
+def no_witness_line(max_atoms: int) -> str:
+    """The exhaustive negative conclusion."""
+    return (
+        f"no witness with ≤{max_atoms} body atoms per view "
+        "(exhaustive within bounds, constants excluded)"
+    )
+
+
+def inconclusive_line(verdict: str, stats: SearchStats) -> str:
+    """The timeout/unknown conclusion for an inconclusive search."""
+    reason = (
+        "whole-scan deadline expired"
+        if verdict == "timeout"
+        else f"{stats.pair_timeouts} pair check(s) hit --pair-deadline"
+    )
+    return f"search inconclusive: {reason}; no witness found in the part that ran"
+
+
+def search_report_lines(
+    result: DominanceSearchResult, max_atoms: int
+) -> List[str]:
+    """Every deterministic line of one search verdict, in CLI order."""
+    verdict = search_verdict(result)
+    lines = [candidates_line(result.stats)]
+    if result.found:
+        lines.extend(witness_lines(result.pair))
+    elif verdict != "ok":
+        lines.append(inconclusive_line(verdict, result.stats))
+    else:
+        lines.append(no_witness_line(max_atoms))
+    return lines

@@ -29,6 +29,8 @@ def format_mapping(mapping: QueryMapping, header: str = "") -> str:
         lines.append(f"# {header}")
     for view in mapping:
         lines.append(format_query(view.query))
+    if not lines:
+        return ""
     return "\n".join(lines) + "\n"
 
 
@@ -39,12 +41,21 @@ def parse_mapping(
 ) -> QueryMapping:
     """Parse a mapping file against its source and target schemas.
 
-    Every target relation needs exactly one defining view; duplicate or
-    missing definitions raise :class:`MappingError`, and each view is
-    typechecked by the :class:`QueryMapping` constructor.
+    Every target relation needs exactly one defining view; duplicate
+    definitions, or a head naming a relation the target schema does not
+    have, raise :class:`MappingError` here — before the deep typecheck in
+    the :class:`QueryMapping` constructor, so the error names the
+    offending head instead of surfacing as an arity/type mismatch.
     """
+    target_names = set(target.relation_names)
     queries: Dict[str, ConjunctiveQuery] = {}
     for query in parse_queries(text):
+        if query.view_name not in target_names:
+            raise MappingError(
+                f"view head {query.view_name!r} is not a relation of the "
+                f"target schema (expected one of "
+                f"{', '.join(sorted(target_names))})"
+            )
         if query.view_name in queries:
             raise MappingError(
                 f"duplicate view definition for relation {query.view_name!r}"

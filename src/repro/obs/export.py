@@ -348,11 +348,26 @@ def prometheus_text(
     Counters (including histogram ``.count``/``.total`` components, which
     are genuine registry counters) expose as ``counter``; gauges as
     ``gauge``.  Lines are name-sorted for deterministic output.
+
+    Sanitization is not injective (``a.b`` and ``a_b`` both map to
+    ``repro_a_b``); exposing both under one series would be an invalid
+    exposition, so later claimants of a taken series get a deterministic
+    ``_2``, ``_3``, ... suffix — deterministic because names are visited
+    in sorted order, counters before gauges.  The ``# HELP`` line always
+    carries the original dotted name, so the mapping stays lossless.
     """
     lines: List[str] = []
+    taken: Dict[str, Tuple[str, str]] = {}
     for mapping, kind in ((counters, "counter"), (gauges or {}, "gauge")):
         for name in sorted(mapping):
             exposed = prometheus_name(name, prefix=prefix)
+            claim = (name, kind)
+            if taken.get(exposed, claim) != claim:
+                suffix = 2
+                while taken.get(f"{exposed}_{suffix}", claim) != claim:
+                    suffix += 1
+                exposed = f"{exposed}_{suffix}"
+            taken[exposed] = claim
             value = mapping[name]
             lines.append(f"# HELP {exposed} repro metric `{name}`")
             lines.append(f"# TYPE {exposed} {kind}")

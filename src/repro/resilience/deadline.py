@@ -20,12 +20,20 @@ budget to a worker process, send ``deadline.remaining()`` and re-anchor
 with a fresh ``Deadline`` on the other side; the small skew this allows
 is the cost of not trusting wall clocks across processes.
 
+Scopes are additionally *thread-local*: the equivalence service runs one
+request per worker thread, each under its own budget, and a request
+polling a neighbour's expired deadline would time out the wrong client.
+Each thread therefore sees only the scopes it opened itself; a budget
+crossing a thread boundary is re-anchored the same way as one crossing a
+process boundary.
+
 The disabled path is free in practice: with no active scope, :func:`poll`
-is one truthiness check on a module-level list.
+is one truthiness check on a thread-local list.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Iterator, List, Optional, Tuple, Union
@@ -87,15 +95,22 @@ def as_deadline(value: DeadlineLike, label: str = "deadline") -> Optional[Deadli
     return Deadline(float(value), label=label)
 
 
-# The active scopes of this process, outermost first.  The library's
-# parallelism is process-based and scopes are opened/closed on one thread
-# per search, so a plain list under the GIL suffices.
-_stack: List[Deadline] = []
+# The active scopes of the *current thread*, outermost first.  Thread-
+# local so concurrent service requests each poll only their own budgets;
+# single-threaded callers see exactly the old module-global behavior.
+_scopes = threading.local()
+
+
+def _stack() -> List[Deadline]:
+    stack = getattr(_scopes, "stack", None)
+    if stack is None:
+        stack = _scopes.stack = []
+    return stack
 
 
 def active_deadlines() -> Tuple[Deadline, ...]:
-    """The currently open deadline scopes, outermost first."""
-    return tuple(_stack)
+    """The deadline scopes open on this thread, outermost first."""
+    return tuple(_stack())
 
 
 def poll() -> None:
@@ -105,9 +120,10 @@ def poll() -> None:
     dead whole-scan budget beats a dead per-pair budget).  With no scope
     open this is a single truthiness check.
     """
-    if not _stack:
+    stack = getattr(_scopes, "stack", None)
+    if not stack:
         return
-    for active in _stack:
+    for active in stack:
         active.check()
 
 
@@ -127,8 +143,9 @@ def deadline_scope(
     if active is None:
         yield None
         return
-    _stack.append(active)
+    stack = _stack()
+    stack.append(active)
     try:
         yield active
     finally:
-        _stack.remove(active)
+        stack.remove(active)

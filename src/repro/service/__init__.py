@@ -1,0 +1,40 @@
+"""Equivalence-as-a-service: an async stdlib HTTP/JSON front end.
+
+``repro serve`` stands the package up as a long-running server over a
+shared :class:`repro.engine.Engine`:
+
+* ``POST /v1/equivalence`` — Theorem 13 equivalence of a schema pair;
+* ``POST /v1/dominance`` — bounded exhaustive dominance-witness search;
+* ``POST /v1/mapping-check`` — exact key-preservation check of a view
+  mapping (:mod:`repro.mappings.serialization` wire syntax);
+* ``GET /healthz`` — liveness, config echo, cache occupancy;
+* ``GET /metrics`` — the metrics registry in Prometheus text format;
+* ``GET /v1/events`` — server-sent progress events, generalized from the
+  CLI's live progress line.
+
+See ``docs/SERVICE.md`` for request/response shapes, cache semantics and
+deadline behavior.
+"""
+
+from repro.service.progress import ProgressBroker
+from repro.service.protocol import (
+    RequestError,
+    canonical_bytes,
+    parse_dominance_request,
+    parse_equivalence_request,
+    parse_mapping_request,
+)
+from repro.service.server import ServiceConfig, ServiceServer, ServiceThread, serve
+
+__all__ = [
+    "ProgressBroker",
+    "RequestError",
+    "ServiceConfig",
+    "ServiceServer",
+    "ServiceThread",
+    "canonical_bytes",
+    "parse_dominance_request",
+    "parse_equivalence_request",
+    "parse_mapping_request",
+    "serve",
+]

@@ -1,0 +1,107 @@
+"""Server-sent progress: fan scan updates out to event-stream subscribers.
+
+The CLI's :class:`repro.obs.progress.ProgressReporter` renders ``(done,
+total, proc)`` updates as a self-overwriting terminal line; the service
+generalizes the same update stream to N remote watchers.  Engine calls
+run on worker threads while subscribers are ``GET /v1/events`` coroutines
+on the asyncio loop, so the broker bridges the two worlds with
+``loop.call_soon_threadsafe``: publishing never blocks a scan, and a slow
+subscriber drops events (bounded queues) instead of backing up the
+search.
+
+Events are JSON objects with an ``event`` discriminator::
+
+    {"event": "request",  "id": 3, "kind": "dominance"}
+    {"event": "progress", "id": 3, "done": 7, "total": 45, "proc": "w0"}
+    {"event": "done",     "id": 3, "verdict": "ok"}
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Callable, List, Optional
+
+_QUEUE_LIMIT = 256
+
+
+class ProgressBroker:
+    """Thread-safe publish / asyncio-subscribe fan-out of progress events."""
+
+    def __init__(self) -> None:
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._lock = threading.Lock()
+        self._queues: List[asyncio.Queue] = []
+        self._next_id = 0
+        self._closed = False
+
+    def bind(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Attach the broker to the server's event loop (once, at startup)."""
+        self._loop = loop
+
+    def next_request_id(self) -> int:
+        """A monotonically increasing id tying a request's events together."""
+        with self._lock:
+            self._next_id += 1
+            return self._next_id
+
+    def subscribe(self) -> asyncio.Queue:
+        """A new bounded event queue; must be called on the bound loop."""
+        queue: asyncio.Queue = asyncio.Queue(maxsize=_QUEUE_LIMIT)
+        with self._lock:
+            self._queues.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        with self._lock:
+            if queue in self._queues:
+                self._queues.remove(queue)
+
+    def publish(self, event: dict) -> None:
+        """Deliver ``event`` to every subscriber; safe from any thread.
+
+        With no loop bound (engine used without a server) this is a
+        no-op, so progress callbacks cost nothing outside the service.
+        """
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self._offer, event)
+        except RuntimeError:
+            pass  # loop shut down between the check and the call
+
+    def _offer(self, event: dict) -> None:
+        with self._lock:
+            queues = list(self._queues)
+        for queue in queues:
+            try:
+                queue.put_nowait(event)
+            except asyncio.QueueFull:
+                pass  # slow subscriber: drop, never block the scan
+
+    def close(self) -> None:
+        """Wake every subscriber with a ``None`` sentinel at shutdown."""
+        self._closed = True
+        self.publish(None)  # type: ignore[arg-type]
+
+    def reporter(self, request_id: int, kind: str) -> Callable:
+        """An ``on_progress(done, total, proc)`` callback for one request.
+
+        Shaped exactly like :meth:`ProgressReporter.update`, so it plugs
+        straight into the engine/search ``on_progress`` seam.
+        """
+
+        def update(done: int, total: int, proc: str = "") -> None:
+            self.publish(
+                {
+                    "event": "progress",
+                    "id": request_id,
+                    "kind": kind,
+                    "done": done,
+                    "total": total,
+                    "proc": proc,
+                }
+            )
+
+        return update

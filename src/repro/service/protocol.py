@@ -1,0 +1,167 @@
+"""Wire protocol of the equivalence service.
+
+Requests are JSON objects carrying schema texts in the catalog syntax of
+:mod:`repro.relational.catalog` (the same files the CLI reads) and
+mapping texts in the view-per-line syntax of
+:mod:`repro.mappings.serialization`.  Responses are the engine's
+deterministic payloads, serialized canonically (sorted keys, no
+whitespace) so a cache-served answer is byte-identical to the original —
+the property the integration tests and the CI smoke job pin down.
+
+Schema DDL rendering (:func:`repro.relational.ddl.to_ddl`) is available
+on request: ``"include_ddl": true`` adds a ``ddl`` echo of the parsed
+schemas to the response, so clients that speak SQL can see exactly what
+the catalog text was understood to mean.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, NamedTuple, Optional
+
+from repro.errors import ReproError
+from repro.relational.catalog import parse_schema
+from repro.relational.ddl import to_ddl
+from repro.relational.schema import DatabaseSchema
+
+
+class RequestError(ReproError):
+    """A malformed service request (HTTP 400)."""
+
+
+def canonical_bytes(payload: dict) -> bytes:
+    """The canonical JSON encoding every response body uses."""
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def _require_str(body: dict, field: str) -> str:
+    value = body.get(field)
+    if not isinstance(value, str) or not value.strip():
+        raise RequestError(f"request field {field!r} must be a non-empty string")
+    return value
+
+
+def _optional_number(body: dict, field: str) -> Optional[float]:
+    value = body.get(field)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise RequestError(f"request field {field!r} must be a number")
+    if value < 0:
+        raise RequestError(f"request field {field!r} must be >= 0")
+    return float(value)
+
+
+def _optional_int(body: dict, field: str) -> Optional[int]:
+    value = body.get(field)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestError(f"request field {field!r} must be an integer")
+    if value < 1:
+        raise RequestError(f"request field {field!r} must be >= 1")
+    return value
+
+
+def _parse_schema_field(body: dict, field: str) -> DatabaseSchema:
+    try:
+        schema, _ = parse_schema(_require_str(body, field))
+    except RequestError:
+        raise
+    except ReproError as exc:
+        raise RequestError(f"request field {field!r}: {exc}") from exc
+    return schema
+
+
+class SchemaPairRequest(NamedTuple):
+    """A parsed equivalence/dominance request."""
+
+    schema1: DatabaseSchema
+    schema2: DatabaseSchema
+    max_atoms: Optional[int]
+    deadline: Optional[float]
+    include_ddl: bool
+
+
+def _parse_schema_pair(body: dict) -> SchemaPairRequest:
+    if not isinstance(body, dict):
+        raise RequestError("request body must be a JSON object")
+    return SchemaPairRequest(
+        schema1=_parse_schema_field(body, "schema1"),
+        schema2=_parse_schema_field(body, "schema2"),
+        max_atoms=_optional_int(body, "max_atoms"),
+        deadline=_optional_number(body, "deadline"),
+        include_ddl=bool(body.get("include_ddl", False)),
+    )
+
+
+def parse_equivalence_request(body: dict) -> SchemaPairRequest:
+    """Validate and parse a ``POST /v1/equivalence`` body."""
+    return _parse_schema_pair(body)
+
+
+def parse_dominance_request(body: dict) -> SchemaPairRequest:
+    """Validate and parse a ``POST /v1/dominance`` body."""
+    return _parse_schema_pair(body)
+
+
+class MappingCheckRequest(NamedTuple):
+    """A parsed mapping-check request."""
+
+    source: DatabaseSchema
+    target: DatabaseSchema
+    mapping: str
+    include_ddl: bool
+
+
+def parse_mapping_request(body: dict) -> MappingCheckRequest:
+    """Validate and parse a ``POST /v1/mapping-check`` body."""
+    if not isinstance(body, dict):
+        raise RequestError("request body must be a JSON object")
+    return MappingCheckRequest(
+        source=_parse_schema_field(body, "source"),
+        target=_parse_schema_field(body, "target"),
+        mapping=_require_str(body, "mapping"),
+        include_ddl=bool(body.get("include_ddl", False)),
+    )
+
+
+def ddl_echo(
+    schemas: Dict[str, DatabaseSchema]
+) -> Dict[str, str]:
+    """The optional SQL-DDL echo of each parsed schema, keyed by field."""
+    return {field: to_ddl(schema, ()) for field, schema in sorted(schemas.items())}
+
+
+def parse_body(raw: bytes) -> dict:
+    """Decode a request body as a JSON object, or raise RequestError."""
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise RequestError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(body, dict):
+        raise RequestError("request body must be a JSON object")
+    return body
+
+
+def error_payload(message: str) -> dict:
+    """The uniform JSON error envelope."""
+    return {"verdict": "error", "error": message}
+
+
+def timeout_payload(kind: str, deadline: Optional[float]) -> dict:
+    """The structured last-resort timeout response.
+
+    Produced when the cooperative deadline machinery did not surface a
+    timeout verdict itself (it normally does) and the server's hard
+    backstop expired instead.
+    """
+    return {
+        "kind": kind,
+        "verdict": "timeout",
+        "found": False,
+        "error": "request deadline expired"
+        + (f" (budget {deadline:g}s)" if deadline is not None else ""),
+    }

@@ -24,10 +24,20 @@ keep their own counters from there; under ``spawn`` they start cold with
 default settings, which is why the search ships its toggles to workers
 explicitly (``_WorkerEnv`` in :mod:`repro.core.search`) instead of
 assuming inheritance.
+
+Caches are also *thread-safe*: the equivalence service
+(:mod:`repro.service`) handles concurrent requests on a thread pool, and
+every request hammers the same process-wide caches.  Each :class:`Memo`
+guards its storage, LRU bookkeeping and stats updates with a single
+re-entrant lock; ``compute`` callbacks run *outside* the lock (they may
+recurse into other — or the same — caches), so two threads missing the
+same key may both compute it, with one result winning.  That is the
+standard memo trade-off: duplicated work, never corrupted state.
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable, Tuple
@@ -55,12 +65,13 @@ def set_enabled(enabled: bool) -> bool:
     their inherited warm caches.
     """
     global _enabled
-    previous = _enabled
-    _enabled = bool(enabled)
-    if _enabled != previous:
-        for cache in list(_instances):
-            cache.flush()
-    return previous
+    with _registry_lock:
+        previous = _enabled
+        _enabled = bool(enabled)
+        if _enabled != previous:
+            for cache in list(_instances):
+                cache.flush()
+        return previous
 
 
 def caches_enabled() -> bool:
@@ -134,7 +145,7 @@ class Memo:
     and no counter updates.
     """
 
-    __slots__ = ("name", "maxsize", "stats", "_data", "__weakref__")
+    __slots__ = ("name", "maxsize", "stats", "_data", "_lock", "__weakref__")
 
     def __init__(self, name: str, maxsize: int = 4096) -> None:
         if maxsize < 1:
@@ -143,31 +154,48 @@ class Memo:
         self.maxsize = maxsize
         self.stats = CacheStats(name)
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        # One re-entrant lock guards storage, LRU order, eviction and the
+        # stats counters together; RLock because flush() may run inside a
+        # holder's own critical section (set_enabled during a lookup).
+        self._lock = threading.RLock()
         _instances.add(self)
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
-        """Return the cached value for ``key``, computing and storing on miss."""
+        """Return the cached value for ``key``, computing and storing on miss.
+
+        Thread-safe; ``compute`` runs outside the lock, so concurrent
+        misses on the same key may duplicate work (last store wins).
+        """
         if not _enabled:
             return compute()
-        value = self._data.get(key, _MISSING)
-        if value is not _MISSING:
-            self._data.move_to_end(key)
-            self.stats._hits.inc()
-            return value
-        self.stats._misses.inc()
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is not _MISSING:
+                self._data.move_to_end(key)
+                self.stats._hits.inc()
+                return value
+            self.stats._misses.inc()
         value = compute()
-        self._data[key] = value
-        if len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self.stats._evictions.inc()
+        with self._lock:
+            # The layer may have been disabled (and flushed) while we
+            # computed; storing now would leak an entry into the bypass
+            # window the flush was supposed to clear.
+            if not _enabled:
+                return value
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.stats._evictions.inc()
         return value
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def flush(self) -> None:
         """Drop all entries, *counting* each as an eviction.
@@ -176,10 +204,11 @@ class Memo:
         experiments), a flush is capacity/consistency pressure and shows
         up in ``cache.<name>.evictions``.
         """
-        dropped = len(self._data)
-        self._data.clear()
-        if dropped:
-            self.stats._evictions.inc(dropped)
+        with self._lock:
+            dropped = len(self._data)
+            self._data.clear()
+            if dropped:
+                self.stats._evictions.inc(dropped)
 
     def resize(self, maxsize: int) -> None:
         """Change the size bound; shrinking evicts LRU overflow immediately.
@@ -192,16 +221,18 @@ class Memo:
         """
         if maxsize < 1:
             raise ValueError(f"memo {self.name!r}: maxsize must be positive")
-        self.maxsize = maxsize
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self.stats._evictions.inc()
+        with self._lock:
+            self.maxsize = maxsize
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.stats._evictions.inc()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Memo({self.name!r}, {len(self._data)}/{self.maxsize}, {self.stats!r})"
 
 
 _registry: Dict[str, Memo] = {}
+_registry_lock = threading.Lock()
 
 
 def memo(name: str, maxsize: int = 4096) -> Memo:
@@ -211,15 +242,17 @@ def memo(name: str, maxsize: int = 4096) -> Memo:
     the *smallest* ever requested: a larger ``maxsize`` never grows an
     existing cache, while a smaller one shrinks it immediately (evicting
     and counting LRU overflow) so capped-cache experiments see the cap
-    they asked for.
+    they asked for.  Registration is thread-safe: two threads racing the
+    first lookup of a name get the same instance.
     """
-    cache = _registry.get(name)
-    if cache is None:
-        cache = Memo(name, maxsize=maxsize)
-        _registry[name] = cache
-    elif maxsize < cache.maxsize:
-        cache.resize(maxsize)
-    return cache
+    with _registry_lock:
+        cache = _registry.get(name)
+        if cache is None:
+            cache = Memo(name, maxsize=maxsize)
+            _registry[name] = cache
+        elif maxsize < cache.maxsize:
+            cache.resize(maxsize)
+        return cache
 
 
 def all_stats() -> Dict[str, Dict[str, int]]:

@@ -62,6 +62,49 @@ def test_parse_rejects_missing_view(schemas):
         parse_mapping("M(X, Y) :- A(X, Y).\n", s1, s2)
 
 
+def test_parse_rejects_head_not_in_target(schemas):
+    """A head naming a non-target relation fails fast, naming the head."""
+    s1, s2 = schemas
+    text = "M(X, Y) :- A(X, Y).\nQ(Y) :- B(Y).\n"
+    with pytest.raises(MappingError, match="'Q'"):
+        parse_mapping(text, s1, s2)
+
+
+def test_bad_head_reported_even_when_all_views_present(schemas):
+    """An extra bad-head view is reported by name, not as "extra views"."""
+    s1, s2 = schemas
+    text = "M(X, Y) :- A(X, Y).\nN(Y) :- B(Y).\nQ(Y) :- B(Y).\n"
+    with pytest.raises(MappingError, match="'Q'"):
+        parse_mapping(text, s1, s2)
+
+
+def test_round_trip_with_header_and_comments(schemas, mapping):
+    """Headers and interleaved comments survive a format→parse round trip."""
+    s1, s2 = schemas
+    text = format_mapping(mapping, header="α : S1 → S2")
+    commented = "# leading note\n" + text.replace(
+        "N(", "# interleaved comment\nN(", 1
+    )
+    parsed = parse_mapping(commented, s1, s2)
+    assert parsed.queries() == mapping.queries()
+
+
+class _EmptyViews:
+    """format_mapping only iterates views; model a view-less mapping."""
+
+    def __iter__(self):
+        return iter(())
+
+
+def test_empty_mapping_formats_to_empty_string():
+    """No views and no header must yield "", not a bare newline."""
+    assert format_mapping(_EmptyViews()) == ""
+
+
+def test_header_only_mapping_keeps_trailing_newline():
+    assert format_mapping(_EmptyViews(), header="note") == "# note\n"
+
+
 def test_parse_with_constants(schemas):
     s1, s2 = schemas
     text = "M(X, U:5) :- A(X, Y).\nN(Y) :- B(Y).\n"

@@ -106,6 +106,46 @@ def test_prometheus_text_exposition_format():
     assert prometheus_text({}) == ""
 
 
+def test_prometheus_collision_disambiguated_with_suffix():
+    """Distinct dotted names sanitizing identically get distinct series."""
+    text = prometheus_text({"a.b": 1, "a_b": 2})
+    lines = text.splitlines()
+    # Sorted order: "a.b" before "a_b", so "a.b" keeps the bare name.
+    assert "repro_a_b 1" in lines
+    assert "repro_a_b_2 2" in lines
+    assert "# HELP repro_a_b_2 repro metric `a_b`" in lines
+    # Every exposed series name is unique.
+    exposed = [line.split()[0] for line in lines if not line.startswith("#")]
+    assert len(exposed) == len(set(exposed))
+
+
+def test_prometheus_collision_three_way_is_deterministic():
+    text1 = prometheus_text({"a.b": 1, "a_b": 2, "a-b": 3})
+    text2 = prometheus_text({"a-b": 3, "a_b": 2, "a.b": 1})
+    assert text1 == text2
+    lines = text1.splitlines()
+    # Sorted: "a-b" < "a.b" < "a_b" → bare, _2, _3.
+    assert "repro_a_b 3" in lines
+    assert "repro_a_b_2 1" in lines
+    assert "repro_a_b_3 2" in lines
+
+
+def test_prometheus_counter_gauge_collision_split():
+    """The same series claimed by a counter and a gauge must split."""
+    text = prometheus_text({"a.b": 1}, gauges={"a_b": 2})
+    lines = text.splitlines()
+    assert "# TYPE repro_a_b counter" in lines
+    assert "# TYPE repro_a_b_2 gauge" in lines
+
+
+def test_prometheus_suffix_collision_with_existing_name():
+    """A literal name already ending in _2 must not be stomped."""
+    text = prometheus_text({"a.b": 1, "a_b": 2, "a_b_2": 3})
+    lines = text.splitlines()
+    exposed = [line.split()[0] for line in lines if not line.startswith("#")]
+    assert len(exposed) == len(set(exposed)) == 3
+
+
 def test_write_prometheus_counts_metrics(tmp_path):
     path = tmp_path / "metrics.prom"
     count = write_prometheus(path, {"a.b": 1}, gauges={"c.d": 2})

@@ -117,3 +117,65 @@ def test_reentering_a_shared_deadline_is_safe():
             assert active_deadlines() == (dl, dl)
         assert active_deadlines() == (dl,)
     assert active_deadlines() == ()
+
+
+def test_deadline_scopes_are_thread_local():
+    """A thread's expired budget must never time out its neighbours.
+
+    The service runs one request per worker thread, each under its own
+    deadline scope; before the stack went thread-local, any thread's
+    poll() walked every open scope in the process.
+    """
+    import threading
+
+    started = threading.Event()
+    release = threading.Event()
+    errors = []
+
+    def victim():
+        try:
+            started.set()
+            release.wait(timeout=10)
+            # This thread opened no scope: poll must be a no-op even
+            # while another thread sits inside an expired scope.
+            assert active_deadlines() == ()
+            poll()
+        except Exception as exc:  # pragma: no cover - only on regression
+            errors.append(exc)
+
+    with deadline_scope(0.0, label="other-request"):
+        assert active_deadlines() != ()
+        thread = threading.Thread(target=victim)
+        thread.start()
+        started.wait(timeout=10)
+        release.set()
+        thread.join(timeout=10)
+        # ... and this thread still sees — and trips over — its own.
+        with pytest.raises(DeadlineExceeded):
+            poll()
+    assert errors == []
+
+
+def test_concurrent_scopes_expire_independently():
+    import threading
+
+    outcomes = {}
+
+    def request(name, budget):
+        with deadline_scope(budget, label=name) as scope:
+            try:
+                poll()
+                outcomes[name] = "ok"
+            except DeadlineExceeded as exc:
+                assert exc.deadline is scope
+                outcomes[name] = "timeout"
+
+    threads = [
+        threading.Thread(target=request, args=("fast", 0.0)),
+        threading.Thread(target=request, args=("slow", 60.0)),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert outcomes == {"fast": "timeout", "slow": "ok"}

@@ -1,0 +1,56 @@
+"""Shared fixtures for the service integration tests: one real server."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine import EngineConfig
+from repro.service import ServiceConfig, ServiceThread
+
+SCHEMA_A = "emp(ss*: SSN, name: Name)"
+SCHEMA_B = "person(id*: SSN, nm: Name)"  # equivalent to A
+SCHEMA_C = "person(id*: SSN, nm: Name, extra: Name)"  # not equivalent to A
+
+
+class Client:
+    """A tiny synchronous HTTP client over urllib (no new dependencies)."""
+
+    def __init__(self, port: int) -> None:
+        self.base = f"http://127.0.0.1:{port}"
+
+    def get(self, path: str):
+        try:
+            with urllib.request.urlopen(self.base + path, timeout=30) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+
+    def post(self, path: str, body: dict):
+        request = urllib.request.Request(
+            self.base + path,
+            data=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=60) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+
+
+@pytest.fixture(scope="module")
+def service():
+    """One live server shared by the module (real sockets, OS port)."""
+    thread = ServiceThread(
+        EngineConfig(max_atoms=1, request_workers=4),
+        ServiceConfig(port=0, deadline=60.0),
+    )
+    with thread:
+        yield thread
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    return Client(service.port)

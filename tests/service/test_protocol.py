@@ -1,0 +1,62 @@
+"""Unit tests for the service wire protocol (no sockets)."""
+
+import pytest
+
+from repro.service import (
+    RequestError,
+    canonical_bytes,
+    parse_dominance_request,
+    parse_equivalence_request,
+    parse_mapping_request,
+)
+from repro.service.protocol import parse_body
+
+
+def test_parse_body_rejects_non_object():
+    with pytest.raises(RequestError):
+        parse_body(b"[1, 2]")
+    with pytest.raises(RequestError):
+        parse_body(b"not json")
+
+
+def test_parse_schema_pair_happy_path():
+    parsed = parse_equivalence_request(
+        {
+            "schema1": "A(a*: T)",
+            "schema2": "B(b*: T)",
+            "max_atoms": 3,
+            "deadline": 1.5,
+        }
+    )
+    assert parsed.schema1.relation_names == ("A",)
+    assert parsed.schema2.relation_names == ("B",)
+    assert parsed.max_atoms == 3
+    assert parsed.deadline == 1.5
+    assert parsed.include_ddl is False
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        {"schema2": "B(b*: T)"},  # missing schema1
+        {"schema1": "", "schema2": "B(b*: T)"},  # empty
+        {"schema1": "not a schema(", "schema2": "B(b*: T)"},  # unparsable
+        {"schema1": "A(a*: T)", "schema2": "B(b*: T)", "max_atoms": 0},
+        {"schema1": "A(a*: T)", "schema2": "B(b*: T)", "max_atoms": True},
+        {"schema1": "A(a*: T)", "schema2": "B(b*: T)", "deadline": -1},
+        {"schema1": "A(a*: T)", "schema2": "B(b*: T)", "deadline": "soon"},
+    ],
+)
+def test_parse_schema_pair_rejections(body):
+    with pytest.raises(RequestError):
+        parse_dominance_request(body)
+
+
+def test_parse_mapping_request_requires_all_fields():
+    with pytest.raises(RequestError):
+        parse_mapping_request({"source": "A(a*: T)", "target": "B(b*: T)"})
+
+
+def test_canonical_bytes_is_stable():
+    assert canonical_bytes({"b": 1, "a": [2]}) == b'{"a":[2],"b":1}\n'
+    assert canonical_bytes({"a": [2], "b": 1}) == b'{"a":[2],"b":1}\n'
